@@ -1,0 +1,49 @@
+//! Criterion benchmark behind Table 6: one training step (forward +
+//! backward + SGD) of vanilla vs Pufferfish models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puffer_bench::setups;
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::units::FactorInit;
+use puffer_nn::layer::{Layer, Mode};
+use puffer_nn::loss::softmax_cross_entropy;
+use puffer_nn::optim::Sgd;
+use puffer_tensor::Tensor;
+
+fn step<M: Layer>(model: &mut M, opt: &mut Sgd, x: &Tensor, y: &[usize]) {
+    model.zero_grad();
+    let logits = model.forward(x, Mode::Train);
+    let (_, dl) = softmax_cross_entropy(&logits, y, 0.0).unwrap();
+    let _ = model.backward(&dl);
+    opt.step(&mut model.params_mut());
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let x = Tensor::randn(&[8, 3, 32, 32], 1.0, 1);
+    let y: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let mut group = c.benchmark_group("train_step_batch8");
+    group.sample_size(10);
+
+    let mut vanilla = setups::resnet18(10, 1);
+    let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+    group.bench_function("resnet18_vanilla", |b| b.iter(|| step(&mut vanilla, &mut opt, &x, &y)));
+
+    let mut puffer = setups::resnet18(10, 1)
+        .to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::Random(2))
+        .unwrap();
+    let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+    group.bench_function("resnet18_pufferfish", |b| b.iter(|| step(&mut puffer, &mut opt, &x, &y)));
+
+    let mut vanilla = setups::vgg19(10, 1);
+    let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+    group.bench_function("vgg19_vanilla", |b| b.iter(|| step(&mut vanilla, &mut opt, &x, &y)));
+
+    let mut puffer = setups::vgg19(10, 1).to_hybrid(10, 0.25, FactorInit::Random(2)).unwrap();
+    let mut opt = Sgd::new(0.1, 0.9, 1e-4);
+    group.bench_function("vgg19_pufferfish", |b| b.iter(|| step(&mut puffer, &mut opt, &x, &y)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

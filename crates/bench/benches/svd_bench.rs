@@ -1,0 +1,35 @@
+//! Criterion benchmark behind appendix Table 19: the one-off SVD
+//! warm-start factorization per model family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puffer_bench::setups;
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::units::FactorInit;
+
+fn bench_svd_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_warm_start");
+    group.sample_size(10);
+
+    let resnet18 = setups::resnet18(10, 1);
+    group.bench_function("resnet18", |b| {
+        b.iter(|| resnet18.to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart).unwrap())
+    });
+
+    let vgg19 = setups::vgg19(10, 1);
+    group.bench_function("vgg19", |b| {
+        b.iter(|| vgg19.to_hybrid(10, 0.25, FactorInit::WarmStart).unwrap())
+    });
+
+    let lstm = setups::lstm_lm(200, 1);
+    group.bench_function("lstm", |b| b.iter(|| lstm.to_low_rank(setups::LSTM_RANK, true).unwrap()));
+
+    let transformer = setups::transformer(64, None, 1);
+    group.bench_function("transformer", |b| {
+        b.iter(|| transformer.to_hybrid(setups::TRANSFORMER_RANK, true).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd_factorization);
+criterion_main!(benches);

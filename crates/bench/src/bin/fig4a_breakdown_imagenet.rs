@@ -1,0 +1,125 @@
+//! **Figure 4(a)**: per-epoch breakdown (computation vs communication) and
+//! end-to-end convergence for vanilla SGD, Pufferfish, and Signum —
+//! ResNet-50 on ImageNet(-lite), 16-node cluster.
+//!
+//! Computation and encode/decode are measured on real gradients at bench
+//! scale; communication uses the α–β cost model at the paper's cluster
+//! size (16 × p3.2xlarge, 10 Gbps). Shape under reproduction: Pufferfish
+//! beats both vanilla SGD (less communication *and* less compute) and
+//! Signum (whose allgather scales poorly), per-epoch and end-to-end.
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::Table;
+use puffer_bench::{record_result, setups};
+use puffer_compress::none::NoCompression;
+use puffer_compress::signum::Signum;
+use puffer_compress::GradCompressor;
+use puffer_dist::breakdown::measure_sequential_epoch;
+use puffer_dist::cost::ClusterProfile;
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::units::FactorInit;
+use puffer_nn::Layer;
+use pufferfish::trainer::ImageModel;
+
+const NODES: usize = 16;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let data = setups::imagenet_lite_data(scale);
+    let classes = data.config().classes;
+    let profile = ClusterProfile::p3_like(NODES);
+    let epochs = scale.pick(2, 5);
+    // Global batch 256 in the paper (16/node); bench scale 64 (4/node).
+    let batches = data.train_batches(64, 0);
+    println!("== Figure 4(a): ResNet-50 / ImageNet-lite breakdown, {NODES} nodes ==\n");
+
+    let mut t = Table::new(vec!["method", "compute s/epoch", "encode+decode", "comm (modeled)", "total", "final loss"]);
+    // (method, total, codec seconds, bench gradient bytes)
+    let mut totals: Vec<(&str, f64, f64, usize)> = Vec::new();
+    for method in ["vanilla-sgd", "pufferfish", "signum"] {
+        let mut model: ImageModel = match method {
+            "pufferfish" => setups::resnet50(classes, 1)
+                .to_hybrid(&ResNetHybridPlan::resnet50_paper(), FactorInit::WarmStart)
+                .expect("hybrid")
+                .into(),
+            _ => setups::resnet50(classes, 1).into(),
+        };
+        let mut vanilla_c;
+        let mut signum_c;
+        let compressor: &mut dyn GradCompressor = if method == "signum" {
+            signum_c = Signum::new(0.9);
+            &mut signum_c
+        } else {
+            vanilla_c = NoCompression::new();
+            &mut vanilla_c
+        };
+        let mut last = Default::default();
+        let mut loss = f32::NAN;
+        for _ in 0..epochs {
+            let (bd, l) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            last = bd;
+            loss = l;
+        }
+        let grad_bytes: usize = model.params().iter().map(|p| p.len() * 4).sum();
+        t.row(vec![
+            format!("{method} ({:.1} MB grads)", grad_bytes as f64 / 1e6),
+            format!("{:.3}", last.compute.as_secs_f64()),
+            format!("{:.3}", (last.encode + last.decode).as_secs_f64()),
+            format!("{:.3}", last.comm.as_secs_f64()),
+            format!("{:.3}", last.total().as_secs_f64()),
+            format!("{loss:.3}"),
+        ]);
+        totals.push((
+            method,
+            last.total().as_secs_f64(),
+            (last.encode + last.decode).as_secs_f64(),
+            grad_bytes,
+        ));
+        record_result(
+            "fig4a_breakdown",
+            &format!(
+                "{method}: compute {:.3} codec {:.3} comm {:.3} total {:.3}",
+                last.compute.as_secs_f64(),
+                (last.encode + last.decode).as_secs_f64(),
+                last.comm.as_secs_f64(),
+                last.total().as_secs_f64()
+            ),
+        );
+    }
+    t.print();
+    let v = totals.iter().find(|(m, ..)| *m == "vanilla-sgd").unwrap().1;
+    let p = totals.iter().find(|(m, ..)| *m == "pufferfish").unwrap().1;
+    let s = totals.iter().find(|(m, ..)| *m == "signum").unwrap().1;
+    println!("\nper-epoch speedups (bench scale): pufferfish vs vanilla {:.2}x (paper 1.35x), vs signum {:.2}x (paper 1.28x)", v / p, s / p);
+
+    // Full-scale projection: at 1/64 width the conv5_x-only compute saving
+    // is below CPU measurement noise, so project the paper's setting from
+    // the exact full-scale ledgers — compute scaled by the MAC ratio, comm
+    // modeled on the real 97.5 MB / 58 MB gradients.
+    use puffer_models::spec::{resnet50_imagenet, SpecVariant};
+    let spec_v = resnet50_imagenet(SpecVariant::Vanilla);
+    let spec_p = resnet50_imagenet(SpecVariant::Pufferfish);
+    let steps = batches.len() as f64;
+    let vanilla_row = totals.iter().find(|(m, ..)| *m == "vanilla-sgd").unwrap();
+    let signum_row = totals.iter().find(|(m, ..)| *m == "signum").unwrap();
+    let compute_v = vanilla_row.1 - vanilla_row.2; // compute-ish share
+    // Keep the measured vanilla compute as the unit; scale by MACs.
+    let mac_ratio = spec_p.macs() as f64 / spec_v.macs() as f64;
+    let comm_v = profile.allreduce(spec_v.params() as usize * 4).as_secs_f64() * steps;
+    let comm_p = profile.allreduce(spec_p.params() as usize * 4).as_secs_f64() * steps;
+    let comm_s = profile.allgather(spec_v.params() as usize / 8).as_secs_f64() * steps;
+    // Signum's majority-vote decode is O(workers · n): scale the measured
+    // codec time by the parameter ratio between full scale and bench scale.
+    let param_scale = (spec_v.params() as f64 * 4.0) / signum_row.3 as f64;
+    let codec_s = signum_row.2 * param_scale;
+    let proj_v = compute_v + comm_v;
+    let proj_p = compute_v * mac_ratio + comm_p;
+    let proj_s = compute_v + codec_s + comm_s; // sign bit per coordinate
+    println!("\nfull-scale projection (measured compute x MAC ratio + cost-model comm on real gradient sizes):");
+    println!("  vanilla {proj_v:.2}s, pufferfish {proj_p:.2}s, signum {proj_s:.2}s");
+    println!("  -> pufferfish vs vanilla {:.2}x (paper 1.35x), vs signum {:.2}x (paper 1.28x)", proj_v / proj_p, proj_s / proj_p);
+    record_result(
+        "fig4a_breakdown",
+        &format!("projection: vanilla {proj_v:.3} pufferfish {proj_p:.3} signum {proj_s:.3}"),
+    );
+}

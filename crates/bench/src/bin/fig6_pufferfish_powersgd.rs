@@ -1,0 +1,106 @@
+//! **Figure 6** (appendix E): composing Pufferfish with PowerSGD —
+//! per-epoch breakdown and convergence of Pufferfish, Pufferfish+PowerSGD
+//! (rank 4), PowerSGD (rank 2), Signum, and vanilla SGD on ResNet-18 /
+//! CIFAR-10, 8 nodes.
+//!
+//! Shape under reproduction: Pufferfish+PowerSGD gets PowerSGD-level
+//! communication on top of Pufferfish-level compute, at the price of a
+//! *larger* encode/decode column than PowerSGD alone (more layers to
+//! encode, as the appendix notes).
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::Table;
+use puffer_bench::{record_result, setups};
+use puffer_compress::none::NoCompression;
+use puffer_compress::powersgd::PowerSgd;
+use puffer_compress::signum::Signum;
+use puffer_compress::GradCompressor;
+use puffer_dist::breakdown::measure_sequential_epoch;
+use puffer_dist::cost::ClusterProfile;
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::units::FactorInit;
+use pufferfish::trainer::ImageModel;
+
+const NODES: usize = 8;
+
+fn main() {
+    let scale = RunScale::from_env();
+    let data = setups::cifar_data(scale);
+    let profile = ClusterProfile::p3_like(NODES);
+    let epochs = scale.pick(2, 4);
+    let batches = data.train_batches(32, 0);
+    println!("== Figure 6: Pufferfish + PowerSGD composition, {NODES} nodes ==\n");
+
+    let configs: Vec<(&str, bool, &str)> = vec![
+        ("vanilla-sgd", false, "none"),
+        ("signum", false, "signum"),
+        ("powersgd-r2", false, "powersgd2"),
+        ("pufferfish", true, "none"),
+        ("pufferfish+powersgd-r4", true, "powersgd4"),
+    ];
+    let mut t = Table::new(vec!["method", "compute", "encode+decode", "comm", "total", "final loss"]);
+    let mut totals: Vec<(&str, f64)> = Vec::new();
+    for (name, hybrid, comp_kind) in configs {
+        let mut model: ImageModel = if hybrid {
+            setups::resnet18(10, 1)
+                .to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart)
+                .expect("hybrid")
+                .into()
+        } else {
+            setups::resnet18(10, 1).into()
+        };
+        let mut none_c;
+        let mut p2;
+        let mut p4;
+        let mut sig;
+        let compressor: &mut dyn GradCompressor = match comp_kind {
+            "powersgd2" => {
+                p2 = PowerSgd::new(2, 3);
+                &mut p2
+            }
+            "powersgd4" => {
+                p4 = PowerSgd::new(4, 3);
+                &mut p4
+            }
+            "signum" => {
+                sig = Signum::new(0.9);
+                &mut sig
+            }
+            _ => {
+                none_c = NoCompression::new();
+                &mut none_c
+            }
+        };
+        let mut last = Default::default();
+        let mut loss = f32::NAN;
+        for _ in 0..epochs {
+            let (bd, l) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            last = bd;
+            loss = l;
+        }
+        t.row(vec![
+            name.into(),
+            format!("{:.3}", last.compute.as_secs_f64()),
+            format!("{:.3}", (last.encode + last.decode).as_secs_f64()),
+            format!("{:.4}", last.comm.as_secs_f64()),
+            format!("{:.3}", last.total().as_secs_f64()),
+            format!("{loss:.3}"),
+        ]);
+        totals.push((name, last.total().as_secs_f64()));
+        record_result(
+            "fig6_composition",
+            &format!(
+                "{name}: compute {:.3} codec {:.3} comm {:.4} total {:.3} loss {loss:.3}",
+                last.compute.as_secs_f64(),
+                (last.encode + last.decode).as_secs_f64(),
+                last.comm.as_secs_f64(),
+                last.total().as_secs_f64()
+            ),
+        );
+    }
+    t.print();
+    let get = |m: &str| totals.iter().find(|(x, _)| *x == m).map(|(_, v)| *v).unwrap_or(f64::NAN);
+    println!("\nshape checks:");
+    println!("- pufferfish+powersgd comm <= pufferfish comm: {}", get("pufferfish+powersgd-r4") <= get("pufferfish"));
+    println!("- composition keeps pufferfish-level compute while gaining powersgd-level comm.");
+}

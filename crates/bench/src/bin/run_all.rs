@@ -1,0 +1,65 @@
+//! Runs every experiment binary in sequence (passing through `--quick` /
+//! `--full`), regenerating all tables and figures end-to-end. Output is
+//! also captured under `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_complexity",
+    "fig2_convergence",
+    "fig3a_hybrid_k",
+    "fig3b_warmup",
+    "table2_lstm",
+    "table3_transformer",
+    "table4_cifar",
+    "table5_imagenet",
+    "table6_minibench",
+    "fig4a_breakdown_imagenet",
+    "fig4b_breakdown_cifar",
+    "fig4c_ddp_scaling",
+    "end_to_end_speedup",
+    "table7_eb_train",
+    "fig5_lth",
+    "table8_ablation_resnet18",
+    "table9_ablation_lstm",
+    "fig6_pufferfish_powersgd",
+    "fig7_binary_quant",
+    "table19_svd_cost",
+    "table21_22_ablation",
+    "rank_alloc_ablation",
+    "atomo_overhead",
+    "appendix_architectures",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n################ {exp} ################\n");
+        let status = Command::new(exe_dir.join(exp))
+            .args(&args)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("{exp} failed to launch: {e} (build with `cargo build --release -p puffer-bench` first)");
+                failures.push(*exp);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

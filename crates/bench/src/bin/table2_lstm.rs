@@ -1,0 +1,75 @@
+//! **Table 2**: vanilla vs Pufferfish 2-layer LSTM on WikiText-2(-like):
+//! parameters, train/val/test perplexity, MACs.
+//!
+//! Full-scale parameter/MAC columns reproduce the paper's exact counts
+//! (85,962,278 → 67,962,278; MAC ratio 2×); perplexities come from
+//! training the bench-scale tied LSTM on the synthetic Markov corpus,
+//! averaged over seeds. Shape under reproduction: the factorized model's
+//! perplexity stays close to (the paper: slightly worse train ppl, nearly
+//! equal val/test ppl than) the vanilla model at ~0.79× the parameters.
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::{commas, Table};
+use puffer_bench::{record_result, setups};
+use pufferfish::ablation::mean_std;
+use pufferfish::lm::{train_lm, LmTrainConfig};
+use puffer_models::spec::{lstm_wikitext2, SpecVariant};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let epochs = scale.pick(3, 8);
+    let warmup = scale.pick(1, 2);
+    let seeds = scale.seeds();
+    let corpus = setups::lm_corpus(scale);
+    println!("== Table 2: LSTM on WikiText-2-like corpus (epochs={epochs}, seeds={}) ==\n", seeds.len());
+
+    let spec_v = lstm_wikitext2(SpecVariant::Vanilla);
+    let spec_p = lstm_wikitext2(SpecVariant::Pufferfish);
+
+    let mut rows: Vec<(String, Vec<f32>, Vec<f32>, Vec<f32>)> = vec![
+        ("Vanilla LSTM".into(), vec![], vec![], vec![]),
+        ("Pufferfish LSTM".into(), vec![], vec![], vec![]),
+    ];
+    for &seed in &seeds {
+        // Vanilla: warm-up = total epochs (never converts).
+        let cfg = LmTrainConfig::small(epochs, epochs, setups::LSTM_RANK);
+        let out = train_lm(setups::lstm_lm(corpus.vocab(), seed), &corpus, &cfg).expect("lm training");
+        rows[0].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
+        rows[0].2.push(out.report.final_perplexity());
+        rows[0].3.push(out.test_perplexity);
+        // Pufferfish: warm-up then factorized.
+        let cfg = LmTrainConfig::small(epochs, warmup, setups::LSTM_RANK);
+        let out = train_lm(setups::lstm_lm(corpus.vocab(), seed), &corpus, &cfg).expect("lm training");
+        rows[1].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
+        rows[1].2.push(out.report.final_perplexity());
+        rows[1].3.push(out.test_perplexity);
+    }
+
+    let mut t = Table::new(vec![
+        "Model archs.",
+        "# Params (full-scale)",
+        "Train Ppl.",
+        "Val. Ppl.",
+        "Test Ppl.",
+        "MACs (full-scale)",
+    ]);
+    for (i, (name, train_p, val_p, test_p)) in rows.iter().enumerate() {
+        let (tm, ts) = mean_std(train_p);
+        let (vm, vs) = mean_std(val_p);
+        let (em, es) = mean_std(test_p);
+        let spec = if i == 0 { &spec_v } else { &spec_p };
+        t.row(vec![
+            name.clone(),
+            commas(spec.params()),
+            format!("{tm:.2} ± {ts:.2}"),
+            format!("{vm:.2} ± {vs:.2}"),
+            format!("{em:.2} ± {es:.2}"),
+            format!("{}M", spec.macs() / 1_000_000),
+        ]);
+        record_result("table2_lstm", &format!("{name}: train {tm:.2} val {vm:.2} test {em:.2}"));
+    }
+    t.print();
+    println!("\npaper reference: params 85,962,278 -> 67,962,278 (reproduced exactly at full");
+    println!("scale); val ppl 92.49 vs 93.62, test 88.16 vs 88.72 — near-parity at 0.79x params.");
+    println!("uniform-baseline perplexity on this corpus = {}", corpus.vocab());
+}

@@ -1,0 +1,73 @@
+//! **Table 3**: vanilla vs Pufferfish 6-layer Transformer on WMT'16-like
+//! translation: parameters, train/val perplexity, validation BLEU.
+//!
+//! Full-scale parameter columns reproduce the paper's exact counts
+//! (48,978,432 → 26,696,192); perplexity/BLEU come from the bench-scale
+//! Transformer on the synthetic reversal-translation task. Shape under
+//! reproduction: the factorized Transformer matches or *beats* the vanilla
+//! one (the paper observes better val ppl and BLEU — implicit
+//! regularization).
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::{commas, Table};
+use puffer_bench::{record_result, setups};
+use pufferfish::ablation::mean_std;
+use pufferfish::seq2seq::{train_seq2seq, Seq2SeqConfig};
+use puffer_models::spec::{transformer_wmt16, SpecVariant};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let epochs = scale.pick(3, 10);
+    let warmup = scale.pick(1, 2);
+    let seeds = scale.seeds();
+    let data = setups::translation_data(scale);
+    let vocab = data.config().vocab;
+    println!("== Table 3: Transformer on WMT'16-like translation (epochs={epochs}, seeds={}) ==\n", seeds.len());
+
+    let spec_v = transformer_wmt16(SpecVariant::Vanilla);
+    let spec_p = transformer_wmt16(SpecVariant::Pufferfish);
+
+    let mut results: Vec<(String, Vec<f32>, Vec<f32>, Vec<f64>)> = vec![
+        ("Vanilla Transformer".into(), vec![], vec![], vec![]),
+        ("Pufferfish Transformer".into(), vec![], vec![], vec![]),
+    ];
+    for &seed in &seeds {
+        let cfg = Seq2SeqConfig::small(epochs, epochs, setups::TRANSFORMER_RANK);
+        let out = train_seq2seq(setups::transformer(vocab, None, seed), &data, &cfg).expect("seq2seq");
+        results[0].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
+        results[0].2.push(out.report.final_perplexity());
+        results[0].3.push(out.valid_bleu);
+
+        let cfg = Seq2SeqConfig::small(epochs, warmup, setups::TRANSFORMER_RANK);
+        let out = train_seq2seq(setups::transformer(vocab, None, seed), &data, &cfg).expect("seq2seq");
+        results[1].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
+        results[1].2.push(out.report.final_perplexity());
+        results[1].3.push(out.valid_bleu);
+    }
+
+    let mut t = Table::new(vec![
+        "Model archs.",
+        "# Params (full-scale)",
+        "Train Ppl.",
+        "Val. Ppl.",
+        "Val. BLEU",
+    ]);
+    for (i, (name, train_p, val_p, bleu)) in results.iter().enumerate() {
+        let (tm, ts) = mean_std(train_p);
+        let (vm, vs) = mean_std(val_p);
+        let bleus: Vec<f32> = bleu.iter().map(|&b| b as f32).collect();
+        let (bm, bs) = mean_std(&bleus);
+        let spec = if i == 0 { &spec_v } else { &spec_p };
+        t.row(vec![
+            name.clone(),
+            commas(spec.params()),
+            format!("{tm:.2} ± {ts:.2}"),
+            format!("{vm:.2} ± {vs:.2}"),
+            format!("{bm:.2} ± {bs:.2}"),
+        ]);
+        record_result("table3_transformer", &format!("{name}: val_ppl {vm:.2} bleu {bm:.2}"));
+    }
+    t.print();
+    println!("\npaper reference: params 48,978,432 -> 26,696,192 (reproduced exactly at full");
+    println!("scale); val ppl 11.88 vs 7.34, BLEU 19.05 vs 26.87 (factorized model better).");
+}

@@ -1,0 +1,106 @@
+//! **Table 4**: VGG-19 and ResNet-18 on CIFAR-10 — parameters, test
+//! accuracy, and MACs, under both FP32 and emulated mixed precision (AMP).
+//!
+//! Parameter/MAC columns reproduce the paper's *exact full-scale* counts
+//! from the spec ledgers; accuracy columns come from end-to-end training of
+//! the width-scaled models on the synthetic CIFAR-like task (3 seeds at
+//! `--full`), where the claim under test is accuracy *parity* between
+//! vanilla and Pufferfish, in both precision modes.
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::{commas, Table};
+use puffer_bench::{record_result, setups};
+use pufferfish::ablation::mean_std;
+use pufferfish::trainer::{train, ModelPlan, TrainConfig};
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::spec::{resnet18_cifar, vgg19_cifar, SpecVariant};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let data = setups::cifar_data(scale);
+    let epochs = scale.pick(6, 16);
+    let warmup = scale.pick(2, 5);
+    let seeds = scale.seeds();
+    println!("== Table 4: CIFAR-10 params / accuracy / MACs (epochs={epochs}, seeds={}) ==\n", seeds.len());
+
+    let mut t = Table::new(vec![
+        "Model Archs.",
+        "# Params (full-scale)",
+        "Test Acc. (synthetic)",
+        "MACs (G, full-scale)",
+        "Paper acc.",
+    ]);
+
+    let vgg_specs = (vgg19_cifar(SpecVariant::Vanilla), vgg19_cifar(SpecVariant::Pufferfish));
+    let res_specs = (resnet18_cifar(SpecVariant::Vanilla), resnet18_cifar(SpecVariant::Pufferfish));
+
+    for amp in [false, true] {
+        let tag = if amp { "AMP" } else { "FP32" };
+        for (arch, plan_kind) in [("VGG-19", 0usize), ("ResNet-18", 1usize)] {
+            let mut van_accs = Vec::new();
+            let mut puf_accs = Vec::new();
+            for &seed in &seeds {
+                let mut cfg = TrainConfig::cifar_small(epochs, 0);
+                cfg.amp = amp;
+                cfg.seed = seed;
+                // Vanilla.
+                let out = match plan_kind {
+                    0 => train(setups::vgg19(10, seed), ModelPlan::None, &data, &cfg),
+                    _ => train(setups::resnet18(10, seed), ModelPlan::None, &data, &cfg),
+                }
+                .expect("training");
+                van_accs.push(out.report.final_test_accuracy() * 100.0);
+                // Pufferfish (warm-up → hybrid).
+                let mut cfg = TrainConfig::cifar_small(epochs, warmup);
+                cfg.amp = amp;
+                cfg.seed = seed;
+                let out = match plan_kind {
+                    0 => train(
+                        setups::vgg19(10, seed),
+                        ModelPlan::VggHybrid { first_low_rank: 10, rank_ratio: 0.25 },
+                        &data,
+                        &cfg,
+                    ),
+                    _ => train(
+                        setups::resnet18(10, seed),
+                        ModelPlan::ResNetHybrid(ResNetHybridPlan::resnet18_paper()),
+                        &data,
+                        &cfg,
+                    ),
+                }
+                .expect("training");
+                puf_accs.push(out.report.final_test_accuracy() * 100.0);
+            }
+            let (vm, vs) = mean_std(&van_accs);
+            let (pm, ps) = mean_std(&puf_accs);
+            let (specs, paper_v, paper_p) = if plan_kind == 0 {
+                (&vgg_specs, ("93.91", "93.89"), ("94.12", "93.98"))
+            } else {
+                (&res_specs, ("95.09", "94.87"), ("95.02", "94.70"))
+            };
+            let (paper_van, paper_puf) = if amp { (specs, paper_p) } else { (specs, paper_v) }.1;
+            t.row(vec![
+                format!("Vanilla {arch} ({tag})"),
+                commas(specs.0.params()),
+                format!("{vm:.2} ± {vs:.2}"),
+                format!("{:.2}", specs.0.macs() as f64 / 1e9),
+                paper_van.into(),
+            ]);
+            t.row(vec![
+                format!("Pufferfish {arch} ({tag})"),
+                commas(specs.1.params()),
+                format!("{pm:.2} ± {ps:.2}"),
+                format!("{:.2}", specs.1.macs() as f64 / 1e9),
+                paper_puf.into(),
+            ]);
+            record_result(
+                "table4_cifar",
+                &format!("{arch} {tag}: vanilla {vm:.2}±{vs:.2} pufferfish {pm:.2}±{ps:.2}"),
+            );
+        }
+    }
+    t.print();
+    println!("\nShape checks: full-scale param counts equal the paper's Table 4 exactly");
+    println!("(VGG 20,560,330 -> 8,370,634; ResNet-18 +128 stem-BN delta, see DESIGN.md).");
+    println!("The reproduction claim is vanilla ≈ Pufferfish accuracy in each precision row.");
+}

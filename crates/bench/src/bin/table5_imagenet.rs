@@ -1,0 +1,90 @@
+//! **Table 5**: ResNet-50 and WideResNet-50-2 on ImageNet(-lite):
+//! parameters, accuracy (top-1/top-5), MACs, FP32 + emulated AMP.
+//!
+//! Full-scale parameter columns come from the spec ledgers (vanilla
+//! 25,557,032 / Pufferfish 15,202,344 for ResNet-50 — the paper's hybrid
+//! count reproduced exactly; compression ratios 1.68× / 1.72× as in the
+//! paper's limitations section). Accuracies come from bench-scale training
+//! on ImageNet-lite, where the claim is accuracy parity.
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::{commas, ratio, Table};
+use puffer_bench::{record_result, setups};
+use puffer_nn::loss::top_k_accuracy;
+use puffer_nn::{Layer, Mode};
+use pufferfish::trainer::{train, ModelPlan, TrainConfig};
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::spec::{resnet50_imagenet, wide_resnet50_2_imagenet, SpecVariant};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let epochs = scale.pick(5, 14);
+    let warmup = scale.pick(2, 4);
+    let data = setups::imagenet_lite_data(scale);
+    let classes = data.config().classes;
+    println!("== Table 5: ImageNet-lite params / top-1 / top-5 / MACs (epochs={epochs}) ==\n");
+
+    let mut t = Table::new(vec![
+        "Model Archs.",
+        "# Params (full-scale)",
+        "Top-1 (synthetic)",
+        "Top-5 (synthetic)",
+        "MACs (G, full-scale)",
+    ]);
+
+    for (arch, wide) in [("ResNet-50", false), ("WideResNet-50-2", true)] {
+        let (spec_v, spec_p) = if wide {
+            (wide_resnet50_2_imagenet(SpecVariant::Vanilla), wide_resnet50_2_imagenet(SpecVariant::Pufferfish))
+        } else {
+            (resnet50_imagenet(SpecVariant::Vanilla), resnet50_imagenet(SpecVariant::Pufferfish))
+        };
+        for amp in [false, true] {
+            // AMP rows only for ResNet-50, as in the paper.
+            if amp && wide {
+                continue;
+            }
+            let tag = if amp { "AMP" } else { "FP32" };
+            for pufferfish in [false, true] {
+                let mut cfg = TrainConfig::imagenet_small(epochs, if pufferfish { warmup } else { 0 });
+                cfg.amp = amp;
+                let model = if wide { setups::wide_resnet50(classes, 1) } else { setups::resnet50(classes, 1) };
+                let plan = if pufferfish {
+                    ModelPlan::ResNetHybrid(ResNetHybridPlan::resnet50_paper())
+                } else {
+                    ModelPlan::None
+                };
+                let mut out = train(model, plan, &data, &cfg).expect("training");
+                // Top-5 on the test split.
+                let mut top5_sum = 0.0f64;
+                let mut n = 0usize;
+                for (images, labels) in data.test_batches(32) {
+                    let logits = out.model.forward(&images, Mode::Eval);
+                    top5_sum += top_k_accuracy(&logits, &labels, 5) as f64 * labels.len() as f64;
+                    n += labels.len();
+                }
+                let top5 = (top5_sum / n.max(1) as f64) as f32;
+                let top1 = out.report.final_test_accuracy();
+                let spec = if pufferfish { &spec_p } else { &spec_v };
+                let label = if pufferfish { "Pufferfish" } else { "Vanilla" };
+                t.row(vec![
+                    format!("{label} {arch} ({tag})"),
+                    commas(spec.params()),
+                    format!("{:.2}%", top1 * 100.0),
+                    format!("{:.2}%", top5 * 100.0),
+                    if amp { "N/A".into() } else { format!("{:.2}", spec.macs() as f64 / 1e9) },
+                ]);
+                record_result(
+                    "table5_imagenet",
+                    &format!("{label} {arch} {tag}: top1 {:.4} top5 {top5:.4}", top1),
+                );
+            }
+        }
+        println!(
+            "{arch}: full-scale compression ratio = {}",
+            ratio(spec_v.params() as f64, spec_p.params() as f64)
+        );
+    }
+    t.print();
+    println!("\npaper shape: Pufferfish ≈ vanilla accuracy at 1.68x (ResNet-50) / 1.72x");
+    println!("(WideResNet-50-2) fewer parameters; stability under AMP.");
+}

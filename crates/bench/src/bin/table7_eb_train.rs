@@ -1,0 +1,139 @@
+//! **Table 7**: Pufferfish ResNet-50 vs Early-Bird structured pruning
+//! (EB Train) at prune ratios 30/50/70% on ImageNet(-lite).
+//!
+//! Full-scale parameter columns: Pufferfish from the spec ledger
+//! (15,202,344, exact), EB Train rows from the original paper (You et al.
+//! 2019) as cited. Accuracy columns come from running both methods at
+//! bench scale — EB Train with real mask-convergence detection and
+//! structured pruning, Pufferfish with Algorithm 1 — under the same
+//! training recipe (the paper matches EB Train's hyper-parameters: no
+//! label smoothing, decay at 30/60).
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::{commas, Table};
+use puffer_bench::{record_result, setups};
+use puffer_nn::schedule::StepDecay;
+use puffer_prune::early_bird::{apply_channel_mask, EarlyBirdDetector};
+use pufferfish::trainer::{evaluate, train, ModelPlan, TrainConfig};
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::spec::{resnet50_imagenet, SpecVariant};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let data = setups::imagenet_lite_data(scale);
+    let classes = data.config().classes;
+    let epochs = scale.pick(5, 14);
+    let warmup = scale.pick(2, 4);
+    println!("== Table 7: Pufferfish vs EB Train, ResNet-50 ==\n");
+
+    // EB-matched recipe: no label smoothing, decay at 1/3 and 2/3.
+    let mut cfg = TrainConfig::cifar_small(epochs, 0);
+    cfg.schedule = StepDecay::new(0.1, vec![epochs / 3, epochs * 2 / 3], 0.1);
+
+    // Vanilla reference.
+    let vanilla = train(setups::resnet50(classes, 1), ModelPlan::None, &data, &cfg).expect("training");
+
+    // Pufferfish.
+    let mut pcfg = cfg.clone();
+    pcfg.warmup_epochs = warmup;
+    let puffer = train(
+        setups::resnet50(classes, 1),
+        ModelPlan::ResNetHybrid(ResNetHybridPlan::resnet50_paper()),
+        &data,
+        &pcfg,
+    )
+    .expect("training");
+
+    // EB Train at three prune ratios: train with the detector watching BN
+    // scales; at convergence (or the warm-up deadline) draw the ticket,
+    // apply structured pruning, and fine-tune for the remaining epochs.
+    let mut t = Table::new(vec![
+        "Model architectures",
+        "# Params (full-scale / measured)",
+        "Top-1 (synthetic)",
+        "paper top-1",
+    ]);
+    let spec_v = resnet50_imagenet(SpecVariant::Vanilla);
+    let spec_p = resnet50_imagenet(SpecVariant::Pufferfish);
+    t.row(vec![
+        "vanilla ResNet-50".into(),
+        commas(spec_v.params()),
+        format!("{:.2}%", vanilla.report.final_test_accuracy() * 100.0),
+        "75.99%".into(),
+    ]);
+    t.row(vec![
+        "Pufferfish ResNet-50".into(),
+        commas(spec_p.params()),
+        format!("{:.2}%", puffer.report.final_test_accuracy() * 100.0),
+        "75.62%".into(),
+    ]);
+
+    for (pr, paper_params, paper_acc) in
+        [(0.3f32, 16_466_787u64, "73.86%"), (0.5, 15_081_947, "73.35%"), (0.7, 7_882_503, "70.16%")]
+    {
+        // Phase 1: train while watching for the early-bird ticket.
+        let mut model: pufferfish::trainer::ImageModel = setups::resnet50(classes, 2).into();
+        let mut detector = EarlyBirdDetector::with_window(pr, 0.1, 3);
+        let mut ticket = None;
+        let mut search_epochs = 0usize;
+        for epoch in 0..epochs {
+            let mut ecfg = cfg.clone();
+            ecfg.epochs = 1;
+            // One epoch of vanilla training on the live model.
+            let out = match model {
+                pufferfish::trainer::ImageModel::ResNet(net) => {
+                    train(net, ModelPlan::None, &data, &ecfg).expect("training")
+                }
+                _ => unreachable!("resnet50 setup"),
+            };
+            model = out.model;
+            search_epochs = epoch + 1;
+            if let Some(mask) = detector.observe(&model) {
+                ticket = Some(mask);
+                break;
+            }
+            if epoch + 1 >= warmup + 2 {
+                // EB deadline: draw whatever mask we have.
+                ticket = Some(
+                    puffer_prune::early_bird::global_channel_mask(
+                        &puffer_prune::early_bird::bn_gammas(&model),
+                        pr,
+                    ),
+                );
+                break;
+            }
+        }
+        let mask = ticket.expect("ticket drawn");
+        let effective = apply_channel_mask(&mut model, &mask);
+        // Phase 2: fine-tune the pruned network.
+        let mut fcfg = cfg.clone();
+        fcfg.epochs = epochs - search_epochs;
+        let mut model = match model {
+            pufferfish::trainer::ImageModel::ResNet(net) => {
+                if fcfg.epochs > 0 {
+                    let out = train(net, ModelPlan::None, &data, &fcfg).expect("fine-tune");
+                    out.model
+                } else {
+                    net.into()
+                }
+            }
+            other => other,
+        };
+        // Keep pruned channels dead through fine-tuning is approximated by
+        // re-applying the mask before evaluation.
+        let _ = apply_channel_mask(&mut model, &mask);
+        let (_, acc) = evaluate(&mut model, &data, 32).expect("eval");
+        t.row(vec![
+            format!("EB Train (pr={:.0}%)", pr * 100.0),
+            format!("{} / {} measured", commas(paper_params), commas(effective as u64)),
+            format!("{:.2}%", acc * 100.0),
+            paper_acc.into(),
+        ]);
+        record_result("table7_eb", &format!("pr={pr} effective={effective} acc={acc:.4}"));
+    }
+    t.print();
+    println!("\nshape under reproduction: Pufferfish ({} full-scale params) is smaller than",
+        commas(spec_p.params()));
+    println!("EB-30% ({}, 1.3M more) while being more accurate; EB accuracy degrades with pr.",
+        commas(16_466_787u64));
+}

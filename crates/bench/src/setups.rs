@@ -1,0 +1,129 @@
+//! Shared bench-scale workloads and models.
+//!
+//! All experiment binaries draw their datasets and scaled models from here
+//! so that, e.g., "ResNet-18 on CIFAR-10" means the same thing in
+//! Figure 4(b), Table 4, and Table 8. Width scales are chosen so a full
+//! experiment runs in minutes on one CPU core while preserving each
+//! architecture's shape (stage structure, hybrid plans, rank ratios).
+
+use crate::scale::RunScale;
+use puffer_data::images::{ImageDataset, ImageDatasetConfig};
+use puffer_data::text::{TextCorpus, TextCorpusConfig};
+use puffer_data::translation::{TranslationConfig, TranslationDataset};
+use puffer_models::lstm_lm::{LstmLm, LstmLmConfig};
+use puffer_models::resnet::{ResNet, ResNetConfig};
+use puffer_models::transformer::{TransformerConfig, TransformerModel};
+use puffer_models::vgg::{Vgg, VggConfig};
+
+/// Width multiplier used for every bench-scale CNN.
+pub const CNN_SCALE: f32 = 0.125;
+
+/// The CIFAR-10 stand-in at bench scale.
+pub fn cifar_data(scale: RunScale) -> ImageDataset {
+    let (train, test) = scale.pick((384, 128), (2_048, 512));
+    ImageDataset::generate(ImageDatasetConfig { noise: 0.25, ..ImageDatasetConfig::cifar_like(train, test, 42) })
+}
+
+/// The ImageNet-lite stand-in (more classes) at bench scale.
+pub fn imagenet_lite_data(scale: RunScale) -> ImageDataset {
+    let (train, test) = scale.pick((384, 128), (2_048, 512));
+    ImageDataset::generate(ImageDatasetConfig { noise: 0.25, ..ImageDatasetConfig::imagenet_lite(train, test, 43) })
+}
+
+/// Bench-scale VGG-19 (16 convs, the paper's CIFAR VGG).
+pub fn vgg19(classes: usize, seed: u64) -> Vgg {
+    Vgg::new(VggConfig::vgg19(CNN_SCALE, classes, seed)).expect("valid config")
+}
+
+/// Bench-scale VGG-11 (Figure 2a's model).
+pub fn vgg11(classes: usize, seed: u64) -> Vgg {
+    Vgg::new(VggConfig::vgg11(CNN_SCALE, classes, seed)).expect("valid config")
+}
+
+/// Bench-scale ResNet-18.
+pub fn resnet18(classes: usize, seed: u64) -> ResNet {
+    ResNet::new(ResNetConfig::resnet18(CNN_SCALE, classes, seed)).expect("valid config")
+}
+
+/// Bench-scale ResNet-50 (bottleneck).
+pub fn resnet50(classes: usize, seed: u64) -> ResNet {
+    ResNet::new(ResNetConfig::resnet50(CNN_SCALE, classes, seed)).expect("valid config")
+}
+
+/// Bench-scale WideResNet-50-2.
+pub fn wide_resnet50(classes: usize, seed: u64) -> ResNet {
+    ResNet::new(ResNetConfig::wide_resnet50_2(CNN_SCALE, classes, seed)).expect("valid config")
+}
+
+/// The WikiText-2 stand-in corpus.
+pub fn lm_corpus(scale: RunScale) -> TextCorpus {
+    let (train, heldout) = scale.pick((4_000, 800), (24_000, 2_400));
+    TextCorpus::generate(TextCorpusConfig {
+        vocab: 200,
+        branching: 4,
+        train_tokens: train,
+        valid_tokens: heldout,
+        test_tokens: heldout,
+        seed: 44,
+    })
+}
+
+/// Bench-scale 2-layer LSTM LM (embedding = hidden, tied), matching the
+/// paper's structure.
+pub fn lstm_lm(vocab: usize, seed: u64) -> LstmLm {
+    LstmLm::new(LstmLmConfig::small(vocab, 64, seed)).expect("valid config")
+}
+
+/// The LSTM factorization rank at bench scale (the paper's hidden/4 rule).
+pub const LSTM_RANK: usize = 16;
+
+/// The WMT'16 stand-in translation task.
+pub fn translation_data(scale: RunScale) -> TranslationDataset {
+    let (train, valid) = scale.pick((512, 96), (3_000, 256));
+    TranslationDataset::generate(TranslationConfig {
+        vocab: 64,
+        min_len: 4,
+        max_len: 9,
+        train_pairs: train,
+        valid_pairs: valid,
+        seed: 45,
+    })
+}
+
+/// Bench-scale Transformer (2+2 layers, d_model 32, 4 heads).
+pub fn transformer(vocab: usize, rank: Option<usize>, seed: u64) -> TransformerModel {
+    TransformerModel::new(TransformerConfig {
+        vocab,
+        d_model: 32,
+        heads: 4,
+        enc_layers: 2,
+        dec_layers: 2,
+        rank,
+        seed,
+    })
+    .expect("valid config")
+}
+
+/// The Transformer factorization rank at bench scale (d_model/4).
+pub const TRANSFORMER_RANK: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_nn::Layer;
+
+    #[test]
+    fn setups_construct() {
+        let d = cifar_data(RunScale::Quick);
+        assert_eq!(d.config().classes, 10);
+        assert!(vgg19(10, 1).param_count() > vgg11(10, 1).param_count());
+        assert!(wide_resnet50(10, 1).param_count() > resnet50(10, 1).param_count());
+        let c = lm_corpus(RunScale::Quick);
+        assert_eq!(c.vocab(), 200);
+        let t = translation_data(RunScale::Quick);
+        assert_eq!(t.config().vocab, 64);
+        let m = transformer(64, Some(TRANSFORMER_RANK), 2);
+        assert!(m.param_count() > 0);
+        let _ = lstm_lm(200, 3);
+    }
+}

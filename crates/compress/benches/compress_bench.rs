@@ -1,0 +1,52 @@
+//! Encode/decode cost micro-benchmarks for the compression baselines: the
+//! per-method costs behind the paper's Figure 4 breakdown and appendix F.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puffer_compress::none::NoCompression;
+use puffer_compress::powersgd::PowerSgd;
+use puffer_compress::quant::BinaryQuant;
+use puffer_compress::signum::Signum;
+use puffer_compress::topk::TopK;
+use puffer_compress::GradCompressor;
+use puffer_tensor::Tensor;
+
+fn worker_grads(workers: usize) -> Vec<Vec<Tensor>> {
+    (0..workers)
+        .map(|w| {
+            vec![
+                Tensor::randn(&[128, 128], 1.0, w as u64),
+                Tensor::randn(&[64, 128, 3, 3], 0.5, 100 + w as u64),
+                Tensor::randn(&[128], 0.1, 200 + w as u64),
+            ]
+        })
+        .collect()
+}
+
+fn bench_round(c: &mut Criterion) {
+    let grads = worker_grads(4);
+    let mut group = c.benchmark_group("compressor_round_4workers");
+    group.bench_function("vanilla", |b| {
+        let mut m = NoCompression::new();
+        b.iter(|| m.round(&grads))
+    });
+    group.bench_function("powersgd_r2", |b| {
+        let mut m = PowerSgd::new(2, 1);
+        b.iter(|| m.round(&grads))
+    });
+    group.bench_function("signum", |b| {
+        let mut m = Signum::new(0.9);
+        b.iter(|| m.round(&grads))
+    });
+    group.bench_function("topk_1pct", |b| {
+        let mut m = TopK::new(0.01);
+        b.iter(|| m.round(&grads))
+    });
+    group.bench_function("binary_quant", |b| {
+        let mut m = BinaryQuant::new(2);
+        b.iter(|| m.round(&grads))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! ATOMO-style spectral gradient sparsification (Wang et al. 2018).
+//!
+//! ATOMO decomposes each gradient matrix with an SVD **every step** and
+//! ships a sampled subset of singular triplets. The paper's introduction
+//! names it as the motivating example of a compressor whose *computation*
+//! cost is prohibitive: "ATOMO requires to compute gradient factorizations
+//! using SVD for every single batch" (§1) — exactly the overhead
+//! Pufferfish's one-time warm-start SVD amortizes away. We implement the
+//! deterministic top-`r` variant (spectral-ATOMO at fixed rank) so the
+//! per-step SVD cost can be measured against PowerSGD's power iteration
+//! and Pufferfish's zero-cost rounds.
+
+use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_tensor::svd::truncated_svd_seeded;
+use puffer_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// ATOMO compressor at fixed spectral rank.
+#[derive(Debug)]
+pub struct Atomo {
+    rank: usize,
+    seed: u64,
+    step: u64,
+}
+
+impl Atomo {
+    /// Creates a rank-`r` spectral compressor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero.
+    pub fn new(rank: usize, seed: u64) -> Self {
+        assert!(rank > 0, "ATOMO rank must be nonzero");
+        Atomo { rank, seed, step: 0 }
+    }
+
+    /// The spectral rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn as_matrix(t: &Tensor) -> Option<Tensor> {
+        if t.ndim() < 2 {
+            return None;
+        }
+        let rows = t.shape()[0];
+        Some(t.reshape(&[rows, t.len() / rows]).expect("element count"))
+    }
+}
+
+impl GradCompressor for Atomo {
+    fn name(&self) -> &'static str {
+        "atomo"
+    }
+
+    fn aggregation(&self) -> AggregationKind {
+        // Per-worker singular triplets differ, so messages must be gathered.
+        AggregationKind::AllGather
+    }
+
+    fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats) {
+        self.step += 1;
+        let n_workers = worker_grads.len();
+        let n_layers = worker_grads[0].len();
+        let mut out: Vec<Tensor> = Vec::with_capacity(n_layers);
+        let mut bytes = 0usize;
+        let mut encode_time = Duration::ZERO;
+        let mut decode_time = Duration::ZERO;
+        for li in 0..n_layers {
+            let sample = &worker_grads[0][li];
+            match Self::as_matrix(sample) {
+                None => {
+                    let mut mean = worker_grads[0][li].clone();
+                    for w in &worker_grads[1..] {
+                        mean.axpy(1.0, &w[li]).expect("shape");
+                    }
+                    mean.scale(1.0 / n_workers as f32);
+                    bytes += mean.len() * 4;
+                    out.push(mean);
+                }
+                Some(m0) => {
+                    let (m, n) = (m0.shape()[0], m0.shape()[1]);
+                    let r = self.rank.min(m).min(n);
+                    // Encode: per-worker truncated SVD — the per-step cost
+                    // the paper's intro criticizes.
+                    let t_enc = Instant::now();
+                    let factors: Vec<_> = worker_grads
+                        .iter()
+                        .map(|grads| {
+                            let mat = Self::as_matrix(&grads[li]).expect("checked");
+                            truncated_svd_seeded(&mat, r, self.seed ^ self.step)
+                                .expect("svd of finite gradient")
+                        })
+                        .collect();
+                    encode_time += t_enc.elapsed();
+                    bytes += (m * r + r + r * n) * 4;
+                    // Decode: every worker reconstructs and averages all
+                    // workers' triplets (allgather semantics).
+                    let t_dec = Instant::now();
+                    let mut mean = Tensor::zeros(&[m, n]);
+                    for f in &factors {
+                        mean.axpy(1.0, &f.reconstruct()).expect("shape");
+                    }
+                    mean.scale(1.0 / n_workers as f32);
+                    decode_time += t_dec.elapsed();
+                    out.push(mean.reshape(sample.shape()).expect("element count"));
+                }
+            }
+        }
+        // Per-node encode: each node factorizes only its own gradient.
+        encode_time /= n_workers.max(1) as u32;
+        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_tensor::matmul::matmul;
+    use puffer_tensor::stats::rel_error;
+
+    #[test]
+    fn low_rank_gradient_passes_exactly() {
+        let u = Tensor::randn(&[8, 2], 1.0, 1);
+        let v = Tensor::randn(&[2, 6], 1.0, 2);
+        let g = matmul(&u, &v).unwrap();
+        let mut c = Atomo::new(2, 3);
+        let (out, _) = c.round(&[vec![g.clone()]]);
+        assert!(rel_error(&g, &out[0]) < 1e-2, "{}", rel_error(&g, &out[0]));
+    }
+
+    #[test]
+    fn truncation_loses_tail_energy_only() {
+        let g = Tensor::randn(&[10, 10], 1.0, 4);
+        let mut c = Atomo::new(4, 5);
+        let (out, _) = c.round(&[vec![g.clone()]]);
+        // Eckart–Young: the rank-4 approximation is closer than zero.
+        let err = rel_error(&g, &out[0]);
+        assert!(err < 1.0 && err > 0.0);
+    }
+
+    #[test]
+    fn encode_cost_is_measured_every_round() {
+        // The defining pathology: encode time is nonzero on *every* round.
+        let mut c = Atomo::new(2, 6);
+        let grads = vec![vec![Tensor::randn(&[48, 48], 1.0, 7)]];
+        for _ in 0..3 {
+            let (_, stats) = c.round(&grads);
+            assert!(stats.encode_time > Duration::ZERO);
+        }
+        assert_eq!(c.aggregation(), AggregationKind::AllGather);
+    }
+
+    #[test]
+    fn one_d_passthrough_and_multiworker_mean() {
+        let mut c = Atomo::new(2, 8);
+        let w1 = vec![Tensor::full(&[3], 1.0)];
+        let w2 = vec![Tensor::full(&[3], 3.0)];
+        let (out, _) = c.round(&[w1, w2]);
+        assert_eq!(out[0].as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn bytes_reflect_triplet_size() {
+        let mut c = Atomo::new(2, 9);
+        let grads = vec![vec![Tensor::randn(&[32, 32], 1.0, 10)]];
+        let (_, stats) = c.round(&grads);
+        assert_eq!(stats.bytes_per_worker, (32 * 2 + 2 + 2 * 32) * 4);
+    }
+}

@@ -1,0 +1,121 @@
+//! Gradient-compression baselines for the Pufferfish reproduction.
+//!
+//! The paper compares Pufferfish against gradient-compression methods that
+//! operate on the *gradients* of a full-rank model:
+//!
+//! * [`powersgd`] — PowerSGD (Vogels et al. 2019): rank-`r` power-iteration
+//!   factorization with error feedback and warm-started query matrices;
+//!   allreduce-compatible.
+//! * [`signum`] — SignSGD with majority vote / Signum (Bernstein et al.
+//!   2018): 1 bit per coordinate of the momentum, **not** allreduce-
+//!   compatible (allgather), as the paper emphasizes in §4.2.
+//! * [`topk`] — Top-k sparsification with error feedback (allgather).
+//! * [`quant`] — stochastic binary quantization (Suresh et al. 2016), the
+//!   appendix-F case study whose decompression cost scales with the number
+//!   of workers.
+//! * [`atomo`] — ATOMO-style per-step spectral (SVD) compression (Wang et
+//!   al. 2018), the intro's motivating example of prohibitive per-batch
+//!   compression compute.
+//! * [`none`] — uncompressed baseline (vanilla allreduce SGD).
+//! * [`pack`] — flat-buffer packing: the paper's implementation-level
+//!   optimization of issuing **one** allreduce per iteration over a single
+//!   flattened gradient buffer (§4.1).
+//!
+//! Every method implements [`GradCompressor::round`], which plays one
+//! synchronization round: it consumes each worker's per-layer gradients and
+//! returns the aggregated gradient every worker decodes, along with
+//! measured encode/decode times and the exact message size in bytes (fed to
+//! the `puffer-dist` communication cost model).
+
+pub mod atomo;
+pub mod none;
+pub mod pack;
+pub mod powersgd;
+pub mod quant;
+pub mod signum;
+pub mod topk;
+
+use puffer_tensor::Tensor;
+use std::time::Duration;
+
+/// Which collective the encoded messages are compatible with. This drives
+/// the communication cost model: allgather traffic grows with the worker
+/// count while ring-allreduce bandwidth does not (paper appendix F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregationKind {
+    /// Messages can be summed component-wise in flight.
+    AllReduce,
+    /// Every worker must receive every other worker's message.
+    AllGather,
+}
+
+/// Measured/derived statistics of one synchronization round, expressed as
+/// **per-node wall-clock**: `encode_time` is what one node spends encoding
+/// its own gradient (the mean across workers), while `decode_time` is the
+/// full aggregation cost, which every node pays — for allgather methods it
+/// grows with the worker count (the appendix-F asymmetry).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Bytes each worker puts on the wire.
+    pub bytes_per_worker: usize,
+    /// Per-node encode wall-clock (mean across workers).
+    pub encode_time: Duration,
+    /// Per-node decode/aggregation wall-clock.
+    pub decode_time: Duration,
+}
+
+/// A gradient-compression scheme playing full synchronization rounds.
+///
+/// `worker_grads[w]` is worker `w`'s per-layer gradient list; all workers
+/// must present identical shapes. The return value is the aggregated
+/// (mean) gradient list as every worker decodes it.
+pub trait GradCompressor {
+    /// Human-readable method name (used by the bench harness tables).
+    fn name(&self) -> &'static str;
+
+    /// The collective the method's messages support.
+    fn aggregation(&self) -> AggregationKind;
+
+    /// Plays one round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if workers disagree on layer shapes.
+    fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats);
+}
+
+/// Exact mean of per-worker gradient lists (the reference aggregation all
+/// compressors approximate).
+pub fn exact_mean(worker_grads: &[Vec<Tensor>]) -> Vec<Tensor> {
+    assert!(!worker_grads.is_empty(), "no workers");
+    let n = worker_grads.len() as f32;
+    let mut out = worker_grads[0].clone();
+    for grads in &worker_grads[1..] {
+        for (acc, g) in out.iter_mut().zip(grads) {
+            acc.axpy(1.0, g).expect("worker gradient shapes must match");
+        }
+    }
+    for t in &mut out {
+        t.scale(1.0 / n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_mean_averages() {
+        let a = vec![Tensor::full(&[3], 1.0)];
+        let b = vec![Tensor::full(&[3], 3.0)];
+        let m = exact_mean(&[a, b]);
+        assert_eq!(m[0].as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workers")]
+    fn exact_mean_rejects_empty() {
+        let _ = exact_mean(&[]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Uncompressed baseline: exact mean over a single flat allreduce — what
+//! "vanilla SGD" means in the paper's Figure 4, including its flat-buffer
+//! packing optimization.
+
+use crate::pack::{pack, unpack};
+use crate::{exact_mean, AggregationKind, GradCompressor, RoundStats};
+use puffer_tensor::Tensor;
+use std::time::Instant;
+
+/// No compression: ships raw f32 gradients.
+#[derive(Debug, Default)]
+pub struct NoCompression;
+
+impl NoCompression {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        NoCompression
+    }
+}
+
+impl GradCompressor for NoCompression {
+    fn name(&self) -> &'static str {
+        "vanilla-sgd"
+    }
+
+    fn aggregation(&self) -> AggregationKind {
+        AggregationKind::AllReduce
+    }
+
+    fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats) {
+        // Encode = flatten into one buffer (the paper's packing step).
+        let t0 = Instant::now();
+        let packed: Vec<_> = worker_grads.iter().map(|g| pack(g)).collect();
+        let encode_time = t0.elapsed() / worker_grads.len().max(1) as u32;
+        let bytes = packed.first().map(|(_, l)| l.total_bytes()).unwrap_or(0);
+        // Decode = unpack the (conceptually allreduced) buffer.
+        let t0 = Instant::now();
+        let mean = exact_mean(worker_grads);
+        let (mean_buf, layout) = pack(&mean);
+        let out = unpack(&mean_buf, &layout);
+        let decode_time = t0.elapsed();
+        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_is_exact() {
+        let mut c = NoCompression::new();
+        let w1 = vec![Tensor::full(&[4], 2.0), Tensor::full(&[2], 0.0)];
+        let w2 = vec![Tensor::full(&[4], 4.0), Tensor::full(&[2], 2.0)];
+        let (out, stats) = c.round(&[w1, w2]);
+        assert_eq!(out[0].as_slice(), &[3.0; 4]);
+        assert_eq!(out[1].as_slice(), &[1.0, 1.0]);
+        assert_eq!(stats.bytes_per_worker, 6 * 4);
+        assert_eq!(c.aggregation(), AggregationKind::AllReduce);
+    }
+}

@@ -1,0 +1,109 @@
+//! Flat gradient-buffer packing.
+//!
+//! The paper's prototype packs **all** gradient tensors into one flat
+//! buffer and issues a single allreduce per iteration (§4.1), because each
+//! collective call pays a latency term proportional to the node count
+//! (Thakur et al. 2005) and factorization doubles the number of layers.
+//! This module provides the pack/unpack primitives plus the layout
+//! bookkeeping.
+
+use puffer_tensor::Tensor;
+
+/// The shape layout of a packed buffer, needed to unpack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackLayout {
+    shapes: Vec<Vec<usize>>,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl PackLayout {
+    /// Derives the layout from a tensor list.
+    pub fn of(tensors: &[Tensor]) -> Self {
+        let mut offsets = Vec::with_capacity(tensors.len());
+        let mut total = 0;
+        for t in tensors {
+            offsets.push(total);
+            total += t.len();
+        }
+        PackLayout { shapes: tensors.iter().map(|t| t.shape().to_vec()).collect(), offsets, total }
+    }
+
+    /// Total number of f32 elements in the packed buffer.
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Number of tensors.
+    pub fn tensor_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Packed size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.total * std::mem::size_of::<f32>()
+    }
+}
+
+/// Packs a tensor list into one flat buffer.
+pub fn pack(tensors: &[Tensor]) -> (Tensor, PackLayout) {
+    let layout = PackLayout::of(tensors);
+    let mut buf = Tensor::zeros(&[layout.total]);
+    for (t, &off) in tensors.iter().zip(&layout.offsets) {
+        buf.as_mut_slice()[off..off + t.len()].copy_from_slice(t.as_slice());
+    }
+    (buf, layout)
+}
+
+/// Unpacks a flat buffer back into tensors.
+///
+/// # Panics
+///
+/// Panics if the buffer length does not match the layout.
+pub fn unpack(buf: &Tensor, layout: &PackLayout) -> Vec<Tensor> {
+    assert_eq!(buf.len(), layout.total, "buffer/layout length mismatch");
+    layout
+        .shapes
+        .iter()
+        .zip(&layout.offsets)
+        .map(|(shape, &off)| {
+            let len: usize = shape.iter().product();
+            Tensor::from_vec(buf.as_slice()[off..off + len].to_vec(), shape)
+                .expect("layout shapes are consistent")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let tensors = vec![
+            Tensor::randn(&[2, 3], 1.0, 1),
+            Tensor::randn(&[4], 1.0, 2),
+            Tensor::randn(&[1, 2, 2], 1.0, 3),
+        ];
+        let (buf, layout) = pack(&tensors);
+        assert_eq!(buf.len(), 14);
+        assert_eq!(layout.total_bytes(), 56);
+        assert_eq!(layout.tensor_count(), 3);
+        let back = unpack(&buf, &layout);
+        assert_eq!(back, tensors);
+    }
+
+    #[test]
+    fn empty_list() {
+        let (buf, layout) = pack(&[]);
+        assert_eq!(buf.len(), 0);
+        assert!(unpack(&buf, &layout).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unpack_validates() {
+        let (_, layout) = pack(&[Tensor::zeros(&[3])]);
+        let _ = unpack(&Tensor::zeros(&[2]), &layout);
+    }
+}

@@ -1,0 +1,199 @@
+//! SignSGD with majority vote / Signum (Bernstein et al. 2018a;b).
+//!
+//! Each worker maintains a momentum buffer and transmits only the **sign**
+//! of each momentum coordinate (1 bit), packed into `u64` words. The
+//! aggregation is a majority vote across workers. Sign messages cannot be
+//! summed in flight, so the collective is allgather — the inefficiency the
+//! paper measures in Figure 4 ("allgather is less efficient than
+//! allreduce").
+
+use crate::pack::{pack, PackLayout};
+use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Signum compressor state.
+#[derive(Debug)]
+pub struct Signum {
+    beta: f32,
+    /// Per-worker momentum over the packed flat gradient.
+    momentum: Vec<Tensor>,
+    layout: Option<PackLayout>,
+}
+
+/// A packed sign message: one bit per coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignMessage {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SignMessage {
+    /// Encodes the signs of a flat buffer (negative → 0, non-negative → 1).
+    pub fn encode(values: &[f32]) -> Self {
+        let mut bits = vec![0u64; values.len().div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            if v >= 0.0 {
+                bits[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        SignMessage { bits, len: values.len() }
+    }
+
+    /// Sign at coordinate `i`: `+1.0` or `-1.0`.
+    pub fn sign(&self, i: usize) -> f32 {
+        debug_assert!(i < self.len);
+        if self.bits[i / 64] >> (i % 64) & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Number of encoded coordinates.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the message is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Wire size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+impl Signum {
+    /// Creates a Signum compressor with momentum `beta` (paper default 0.9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is not in `[0, 1)`.
+    pub fn new(beta: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta), "beta must be in [0, 1)");
+        Signum { beta, momentum: Vec::new(), layout: None }
+    }
+}
+
+impl GradCompressor for Signum {
+    fn name(&self) -> &'static str {
+        "signum"
+    }
+
+    fn aggregation(&self) -> AggregationKind {
+        AggregationKind::AllGather
+    }
+
+    fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats) {
+        let n_workers = worker_grads.len();
+        let mut encode_time = Duration::ZERO;
+
+        // Encode: update momentum, take signs.
+        let mut msgs = Vec::with_capacity(n_workers);
+        for (w, grads) in worker_grads.iter().enumerate() {
+            let t0 = Instant::now();
+            let (flat, layout) = pack(grads);
+            if self.layout.as_ref() != Some(&layout) {
+                self.layout = Some(layout.clone());
+                self.momentum = vec![Tensor::zeros(&[layout.total_len()]); n_workers];
+            }
+            if self.momentum.len() != n_workers {
+                self.momentum = vec![Tensor::zeros(&[flat.len()]); n_workers];
+            }
+            let mom = &mut self.momentum[w];
+            // m ← β m + (1 − β) g
+            mom.scale(self.beta);
+            mom.axpy(1.0 - self.beta, &flat).expect("shape");
+            msgs.push(SignMessage::encode(mom.as_slice()));
+            encode_time += t0.elapsed();
+        }
+        let bytes = msgs[0].bytes();
+        // Per-node encode: each node only signs its own momentum.
+        encode_time /= n_workers.max(1) as u32;
+
+        // Decode: majority vote over n_workers sign vectors (cost grows
+        // linearly with worker count — the allgather penalty).
+        let t0 = Instant::now();
+        let layout = self.layout.as_ref().expect("layout set above");
+        let total = layout.total_len();
+        let mut voted = Tensor::zeros(&[total]);
+        for i in 0..total {
+            let mut v = 0.0f32;
+            for msg in &msgs {
+                v += msg.sign(i);
+            }
+            voted.as_mut_slice()[i] = if v >= 0.0 { 1.0 } else { -1.0 };
+        }
+        let out = crate::pack::unpack(&voted, layout);
+        let decode_time = t0.elapsed();
+        (
+            out,
+            RoundStats { bytes_per_worker: bytes, encode_time, decode_time },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_message_round_trip() {
+        let vals = [1.0f32, -2.0, 0.0, -0.5, 3.0];
+        let msg = SignMessage::encode(&vals);
+        assert_eq!(msg.len(), 5);
+        assert_eq!(msg.sign(0), 1.0);
+        assert_eq!(msg.sign(1), -1.0);
+        assert_eq!(msg.sign(2), 1.0); // zero counts as +
+        assert_eq!(msg.sign(3), -1.0);
+        assert_eq!(msg.sign(4), 1.0);
+    }
+
+    #[test]
+    fn message_is_one_bit_per_coordinate() {
+        let vals = vec![1.0f32; 1000];
+        let msg = SignMessage::encode(&vals);
+        assert_eq!(msg.bytes(), 1000usize.div_ceil(64) * 8); // 128 bytes vs 4000 raw
+    }
+
+    #[test]
+    fn majority_vote() {
+        let mut c = Signum::new(0.0); // no momentum: sign of raw gradient
+        let w1 = vec![Tensor::from_vec(vec![1.0, -1.0, 1.0], &[3]).unwrap()];
+        let w2 = vec![Tensor::from_vec(vec![1.0, -1.0, -1.0], &[3]).unwrap()];
+        let w3 = vec![Tensor::from_vec(vec![-1.0, -1.0, -1.0], &[3]).unwrap()];
+        let (out, stats) = c.round(&[w1, w2, w3]);
+        assert_eq!(out[0].as_slice(), &[1.0, -1.0, -1.0]);
+        assert!(stats.bytes_per_worker < 3 * 4);
+        assert_eq!(c.aggregation(), AggregationKind::AllGather);
+    }
+
+    #[test]
+    fn momentum_smooths_signs() {
+        // A single large positive gradient followed by small negative ones:
+        // with high momentum, the sign stays positive for a while.
+        let mut c = Signum::new(0.9);
+        let big = vec![Tensor::from_vec(vec![10.0], &[1]).unwrap()];
+        let (out, _) = c.round(std::slice::from_ref(&big));
+        assert_eq!(out[0].as_slice(), &[1.0]);
+        let small_neg = vec![Tensor::from_vec(vec![-0.1], &[1]).unwrap()];
+        let (out, _) = c.round(std::slice::from_ref(&small_neg));
+        assert_eq!(out[0].as_slice(), &[1.0], "momentum should dominate");
+        // After many negative steps the sign flips.
+        let mut last = 1.0;
+        for _ in 0..60 {
+            let (o, _) = c.round(std::slice::from_ref(&small_neg));
+            last = o[0].as_slice()[0];
+        }
+        assert_eq!(last, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn beta_validated() {
+        let _ = Signum::new(1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Top-k gradient sparsification with error feedback (Stich et al. 2018;
+//! Lin et al. 2017).
+//!
+//! Each worker ships the `k` largest-magnitude coordinates of its
+//! error-compensated flat gradient as (index, value) pairs. Sparse
+//! messages from different workers hit different coordinates, so the
+//! collective is allgather. The paper's appendix E names Top-k as the kind
+//! of flat-gradient compressor that composes well with Pufferfish.
+
+use crate::pack::{pack, unpack, PackLayout};
+use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_tensor::stats::top_k_indices;
+use puffer_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Top-k compressor state.
+#[derive(Debug)]
+pub struct TopK {
+    ratio: f32,
+    memory: Vec<Tensor>,
+    layout: Option<PackLayout>,
+}
+
+impl TopK {
+    /// Creates a compressor keeping a `ratio` fraction of coordinates
+    /// (e.g. 0.01 for 1%).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio <= 1`.
+    pub fn new(ratio: f32) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        TopK { ratio, memory: Vec::new(), layout: None }
+    }
+
+    /// The kept fraction.
+    pub fn ratio(&self) -> f32 {
+        self.ratio
+    }
+}
+
+impl GradCompressor for TopK {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+
+    fn aggregation(&self) -> AggregationKind {
+        AggregationKind::AllGather
+    }
+
+    fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats) {
+        let n_workers = worker_grads.len();
+        let mut encode_time = Duration::ZERO;
+        let mut sparse_msgs: Vec<(Vec<u32>, Vec<f32>)> = Vec::with_capacity(n_workers);
+        let mut total_len = 0usize;
+        for (w, grads) in worker_grads.iter().enumerate() {
+            let t0 = Instant::now();
+            let (mut flat, layout) = pack(grads);
+            total_len = layout.total_len();
+            if self.layout.as_ref() != Some(&layout) {
+                self.layout = Some(layout);
+                self.memory = vec![Tensor::zeros(&[total_len]); n_workers];
+            }
+            if self.memory.len() != n_workers {
+                self.memory = vec![Tensor::zeros(&[total_len]); n_workers];
+            }
+            // Error compensation.
+            flat.axpy(1.0, &self.memory[w]).expect("shape");
+            let k = ((total_len as f32 * self.ratio).ceil() as usize).clamp(1, total_len);
+            let abs: Vec<f32> = flat.as_slice().iter().map(|x| x.abs()).collect();
+            let idx = top_k_indices(&abs, k);
+            let vals: Vec<f32> = idx.iter().map(|&i| flat.as_slice()[i]).collect();
+            // Residual memory: everything not sent.
+            let mut residual = flat;
+            for &i in &idx {
+                residual.as_mut_slice()[i] = 0.0;
+            }
+            self.memory[w] = residual;
+            sparse_msgs.push((idx.iter().map(|&i| i as u32).collect(), vals));
+            encode_time += t0.elapsed();
+        }
+        let bytes = sparse_msgs[0].0.len() * (4 + 4);
+        // Per-node encode: each node only sparsifies its own gradient.
+        encode_time /= n_workers.max(1) as u32;
+
+        // Decode: scatter-add all workers' sparse messages, divide by count.
+        let t0 = Instant::now();
+        let mut dense = Tensor::zeros(&[total_len]);
+        for (idx, vals) in &sparse_msgs {
+            for (&i, &v) in idx.iter().zip(vals) {
+                dense.as_mut_slice()[i as usize] += v;
+            }
+        }
+        dense.scale(1.0 / n_workers as f32);
+        let out = unpack(&dense, self.layout.as_ref().expect("layout set"));
+        let decode_time = t0.elapsed();
+        (
+            out,
+            RoundStats { bytes_per_worker: bytes, encode_time, decode_time },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_tensor::stats::l2_norm;
+
+    #[test]
+    fn keeps_largest_coordinates() {
+        let mut c = TopK::new(0.25);
+        let g = vec![Tensor::from_vec(vec![0.1, -5.0, 0.2, 0.05, 4.0, 0.0, 0.0, 0.0], &[8]).unwrap()];
+        let (out, stats) = c.round(std::slice::from_ref(&g));
+        assert_eq!(out[0].as_slice()[1], -5.0);
+        assert_eq!(out[0].as_slice()[4], 4.0);
+        assert_eq!(out[0].as_slice()[0], 0.0);
+        assert_eq!(stats.bytes_per_worker, 2 * 8);
+    }
+
+    #[test]
+    fn error_feedback_transmits_everything_eventually() {
+        // A constant gradient: with memory, repeated rounds must deliver
+        // every coordinate (memory grows until it wins the top-k).
+        let mut c = TopK::new(0.25);
+        let g = vec![Tensor::from_vec(vec![4.0, 3.0, 2.0, 1.0], &[4]).unwrap()];
+        let mut acc = Tensor::zeros(&[4]);
+        for _ in 0..12 {
+            let (out, _) = c.round(std::slice::from_ref(&g));
+            acc.axpy(1.0, &out[0]).expect("shape");
+        }
+        // All coordinates must have accumulated mass, including the smallest.
+        assert!(acc.as_slice().iter().all(|&v| v > 0.5), "{acc:?}");
+    }
+
+    #[test]
+    fn full_ratio_is_exact() {
+        let mut c = TopK::new(1.0);
+        let w1 = vec![Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap()];
+        let w2 = vec![Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap()];
+        let (out, _) = c.round(&[w1, w2]);
+        assert_eq!(out[0].as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn residual_plus_sent_equals_input() {
+        let mut c = TopK::new(0.5);
+        let g = Tensor::randn(&[16], 1.0, 1);
+        let (out, _) = c.round(&[vec![g.clone()]]);
+        let sum = &out[0] + &c.memory[0];
+        assert!(l2_norm(&(&sum - &g)) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn ratio_validated() {
+        let _ = TopK::new(0.0);
+    }
+}

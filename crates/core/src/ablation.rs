@@ -1,0 +1,168 @@
+//! The paper's accuracy-mitigation ablation (Tables 8, 9, 21, 22):
+//! low-rank-from-scratch vs hybrid-without-warm-up vs hybrid-with-warm-up,
+//! averaged over seeds.
+
+use crate::report::TrainReport;
+use crate::trainer::{train, ModelPlan, TrainConfig};
+use puffer_data::images::ImageDataset;
+use puffer_models::resnet::{ResNet, ResNetConfig, ResNetHybridPlan};
+use puffer_nn::Result;
+
+/// The three configurations of the ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AblationArm {
+    /// Every factorizable layer low-rank, random init, no warm-up
+    /// ("Low-rank" rows of Tables 8/21/22).
+    LowRankFromScratch,
+    /// Hybrid architecture, random factor init, no warm-up.
+    HybridNoWarmup,
+    /// Hybrid architecture with vanilla warm-up (full Pufferfish).
+    HybridWithWarmup,
+}
+
+impl AblationArm {
+    /// All three arms in table order.
+    pub fn all() -> [AblationArm; 3] {
+        [AblationArm::LowRankFromScratch, AblationArm::HybridNoWarmup, AblationArm::HybridWithWarmup]
+    }
+
+    /// Paper row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AblationArm::LowRankFromScratch => "Low-rank (from scratch)",
+            AblationArm::HybridNoWarmup => "Hybrid (wo. vanilla warm-up)",
+            AblationArm::HybridWithWarmup => "Hybrid (w. vanilla warm-up)",
+        }
+    }
+}
+
+/// Result of one arm averaged across seeds.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Which arm.
+    pub arm: AblationArm,
+    /// Mean final test loss across seeds.
+    pub mean_loss: f32,
+    /// Std-dev of final test loss.
+    pub std_loss: f32,
+    /// Mean final test accuracy.
+    pub mean_accuracy: f32,
+    /// Std-dev of final test accuracy.
+    pub std_accuracy: f32,
+    /// Reports per seed.
+    pub reports: Vec<TrainReport>,
+}
+
+/// Runs one ablation arm on a scaled ResNet-18 across `seeds`.
+///
+/// # Errors
+///
+/// Propagates trainer errors.
+pub fn run_resnet18_arm(
+    arm: AblationArm,
+    data: &ImageDataset,
+    scale: f32,
+    epochs: usize,
+    warmup_epochs: usize,
+    rank_ratio: f32,
+    seeds: &[u64],
+) -> Result<AblationResult> {
+    let mut losses = Vec::new();
+    let mut accs = Vec::new();
+    let mut reports = Vec::new();
+    for &seed in seeds {
+        let net = ResNet::new(ResNetConfig::resnet18(scale, data.config().classes, seed))?;
+        let (plan, warmup) = match arm {
+            AblationArm::LowRankFromScratch => {
+                (ModelPlan::ResNetHybrid(ResNetHybridPlan::all_layers(rank_ratio)), 0)
+            }
+            AblationArm::HybridNoWarmup => {
+                let mut p = ResNetHybridPlan::resnet18_paper();
+                p.rank_ratio = rank_ratio;
+                (ModelPlan::ResNetHybrid(p), 0)
+            }
+            AblationArm::HybridWithWarmup => {
+                let mut p = ResNetHybridPlan::resnet18_paper();
+                p.rank_ratio = rank_ratio;
+                (ModelPlan::ResNetHybrid(p), warmup_epochs)
+            }
+        };
+        let mut cfg = TrainConfig::cifar_small(epochs, warmup);
+        cfg.seed = seed;
+        let out = train(net, plan, data, &cfg)?;
+        losses.push(out.report.final_eval_loss());
+        accs.push(out.report.final_test_accuracy());
+        reports.push(out.report);
+    }
+    let (mean_loss, std_loss) = mean_std(&losses);
+    let (mean_accuracy, std_accuracy) = mean_std(&accs);
+    Ok(AblationResult { arm, mean_loss, std_loss, mean_accuracy, std_accuracy, reports })
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(xs: &[f32]) -> (f32, f32) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_data::images::ImageDatasetConfig;
+
+    #[test]
+    fn arms_have_labels() {
+        for arm in AblationArm::all() {
+            assert!(!arm.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn ablation_arm_runs_end_to_end() {
+        let data = ImageDataset::generate(ImageDatasetConfig {
+            classes: 3,
+            channels: 3,
+            size: 16,
+            train: 48,
+            test: 24,
+            noise: 0.2,
+            seed: 9,
+        });
+        let res =
+            run_resnet18_arm(AblationArm::HybridWithWarmup, &data, 0.0625, 2, 1, 0.25, &[1]).unwrap();
+        assert_eq!(res.reports.len(), 1);
+        assert_eq!(res.reports[0].switch_epoch, Some(1));
+        assert!(res.mean_loss.is_finite());
+    }
+
+    #[test]
+    fn low_rank_arm_is_smallest() {
+        let data = ImageDataset::generate(ImageDatasetConfig {
+            classes: 3,
+            channels: 3,
+            size: 16,
+            train: 24,
+            test: 12,
+            noise: 0.2,
+            seed: 10,
+        });
+        let lr = run_resnet18_arm(AblationArm::LowRankFromScratch, &data, 0.0625, 1, 0, 0.25, &[1]).unwrap();
+        let hy = run_resnet18_arm(AblationArm::HybridNoWarmup, &data, 0.0625, 1, 0, 0.25, &[1]).unwrap();
+        assert!(
+            lr.reports[0].hybrid_params < hy.reports[0].hybrid_params,
+            "all-low-rank must be smaller than the hybrid"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! **Pufferfish** (Wang, Agarwal & Papailiopoulos, MLSys 2021):
+//! communication-efficient distributed training of low-rank, pre-factorized
+//! deep networks — at no extra cost.
+//!
+//! Instead of compressing gradients (PowerSGD, SignSGD, …), Pufferfish
+//! changes the *model*: every weight matrix `W` becomes a trainable product
+//! `U·Vᵀ` (and every conv filter bank a thin conv followed by a `1×1`
+//! conv), so the gradients that must be communicated are small by
+//! construction and no encode/decode step exists. Two techniques recover
+//! the accuracy a naïvely factorized network loses (paper §3):
+//!
+//! 1. **Hybrid architecture** — only layers `K..L` are factorized;
+//! 2. **Vanilla warm-up** — train the full-rank network for `E_wu` epochs,
+//!    then initialize the factors from a truncated SVD of the partially
+//!    trained weights (`U = Ũ Σ^½`, `Vᵀ = Σ^½ Ṽᵀ`) and continue training
+//!    the factorized network under the same LR schedule (Algorithm 1).
+//!
+//! This crate implements Algorithm 1 end-to-end for all four model
+//! families of the paper (CNNs via [`trainer`], the LSTM language model
+//! via [`lm`], the Transformer via [`seq2seq`]), the three-way ablation of
+//! Tables 8/9/21/22 ([`ablation`]), and the spectral rank allocator the
+//! paper names as future work ([`rank_alloc`]).
+//!
+//! # Example: Algorithm 1 on a small CNN
+//!
+//! ```no_run
+//! use pufferfish::trainer::{train, TrainConfig, ModelPlan};
+//! use puffer_data::images::{ImageDataset, ImageDatasetConfig};
+//! use puffer_models::vgg::{Vgg, VggConfig};
+//!
+//! let data = ImageDataset::generate(ImageDatasetConfig::cifar_like(512, 128, 0));
+//! let vanilla = Vgg::new(VggConfig::vgg11(0.125, 10, 1))?;
+//! let cfg = TrainConfig::cifar_small(6, 2); // 6 epochs, warm-up after 2
+//! let outcome = train(vanilla, ModelPlan::VggHybrid { first_low_rank: 3, rank_ratio: 0.25 }, &data, &cfg)?;
+//! println!("final acc {:.3}", outcome.report.final_test_accuracy());
+//! # Ok::<(), puffer_nn::NnError>(())
+//! ```
+
+pub mod ablation;
+pub mod lm;
+pub mod rank_alloc;
+pub mod report;
+pub mod seq2seq;
+pub mod trainer;

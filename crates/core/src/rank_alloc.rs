@@ -1,0 +1,149 @@
+//! Spectral rank allocation — the extension the paper defers to future
+//! work ("allocating the optimal rank for each layer … we leave as future
+//! work", §4.1).
+//!
+//! Instead of a single global rank ratio, [`energy_rank`] picks the
+//! smallest rank whose leading singular values capture a target fraction of
+//! the layer's spectral energy, and [`allocate_ranks`] applies it across a
+//! set of weight matrices. The ablation bench compares this allocator
+//! against the paper's fixed-ratio rule.
+
+use puffer_nn::Result;
+use puffer_tensor::svd::svd_jacobi;
+use puffer_tensor::Tensor;
+
+/// Smallest rank `r` such that `Σ_{i<r} σᵢ² ≥ energy · Σ σᵢ²`.
+/// `energy` is clamped to `(0, 1]`; returns at least 1 for a non-zero
+/// spectrum.
+pub fn energy_rank(singular_values: &[f32], energy: f32) -> usize {
+    let energy = energy.clamp(f32::MIN_POSITIVE, 1.0);
+    let total: f32 = singular_values.iter().map(|s| s * s).sum();
+    if total <= 0.0 {
+        return 1;
+    }
+    let target = energy * total;
+    let mut acc = 0.0f32;
+    for (i, s) in singular_values.iter().enumerate() {
+        acc += s * s;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    singular_values.len()
+}
+
+/// The stable rank `‖W‖_F² / σ₁²` — a smooth lower bound on rank, useful
+/// as a diagnostic for how compressible a layer is.
+pub fn stable_rank(singular_values: &[f32]) -> f32 {
+    let fro2: f32 = singular_values.iter().map(|s| s * s).sum();
+    let top = singular_values.first().copied().unwrap_or(0.0);
+    if top <= 0.0 {
+        0.0
+    } else {
+        fro2 / (top * top)
+    }
+}
+
+/// A per-layer rank decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankDecision {
+    /// Layer label.
+    pub name: String,
+    /// Chosen rank.
+    pub rank: usize,
+    /// Maximum admissible rank (`min(m, n)`).
+    pub max_rank: usize,
+    /// The layer's stable rank (diagnostic).
+    pub stable_rank: f32,
+    /// Parameters with the chosen rank: `r(m+n)`.
+    pub factorized_params: usize,
+    /// Parameters of the dense layer: `m·n`.
+    pub dense_params: usize,
+}
+
+/// Chooses a rank per weight matrix so each captures `energy` of its
+/// spectral energy, capped at `max_ratio × min(m, n)` so no layer exceeds
+/// the budget of the paper's fixed-ratio scheme by more than that factor.
+///
+/// # Errors
+///
+/// Propagates SVD failures.
+pub fn allocate_ranks(
+    weights: &[(String, Tensor)],
+    energy: f32,
+    max_ratio: f32,
+) -> Result<Vec<RankDecision>> {
+    let mut out = Vec::with_capacity(weights.len());
+    for (name, w) in weights {
+        let (m, n) = (w.shape()[0], w.shape()[1]);
+        let f = svd_jacobi(w)?;
+        let max_rank = m.min(n);
+        let cap = ((max_rank as f32 * max_ratio).round() as usize).clamp(1, max_rank);
+        let rank = energy_rank(&f.s, energy).min(cap);
+        out.push(RankDecision {
+            name: name.clone(),
+            rank,
+            max_rank,
+            stable_rank: stable_rank(&f.s),
+            factorized_params: rank * (m + n),
+            dense_params: m * n,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_tensor::matmul::matmul;
+
+    #[test]
+    fn energy_rank_on_flat_spectrum() {
+        let s = vec![1.0f32; 10];
+        assert_eq!(energy_rank(&s, 0.5), 5);
+        assert_eq!(energy_rank(&s, 1.0), 10);
+        assert_eq!(energy_rank(&s, 1e-9), 1);
+    }
+
+    #[test]
+    fn energy_rank_on_decaying_spectrum() {
+        let s: Vec<f32> = (0..10).map(|i| 0.5f32.powi(i)).collect();
+        // σ² decays 4× per step: the head dominates.
+        assert!(energy_rank(&s, 0.9) <= 2);
+        assert_eq!(energy_rank(&s, 1.0), 10);
+    }
+
+    #[test]
+    fn energy_rank_degenerate() {
+        assert_eq!(energy_rank(&[0.0, 0.0], 0.9), 1);
+        assert_eq!(energy_rank(&[], 0.9), 1);
+    }
+
+    #[test]
+    fn stable_rank_bounds() {
+        // Flat spectrum: stable rank = count; spiked: close to 1.
+        assert_eq!(stable_rank(&[2.0, 2.0, 2.0]), 3.0);
+        assert!(stable_rank(&[10.0, 0.1, 0.1]) < 1.1);
+        assert_eq!(stable_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn allocator_gives_small_rank_to_low_rank_layers() {
+        // A genuinely rank-2 matrix should be allocated rank ≈ 2; a random
+        // full-rank matrix should hit the cap.
+        let u = Tensor::randn(&[16, 2], 1.0, 1);
+        let v = Tensor::randn(&[2, 12], 1.0, 2);
+        let low = matmul(&u, &v).unwrap();
+        let full = Tensor::randn(&[16, 12], 1.0, 3);
+        let decisions = allocate_ranks(
+            &[("low".into(), low), ("full".into(), full)],
+            0.99,
+            0.5,
+        )
+        .unwrap();
+        assert!(decisions[0].rank <= 3, "low-rank layer got {}", decisions[0].rank);
+        assert_eq!(decisions[1].rank, 6, "full-rank layer should hit the 0.5 cap");
+        assert!(decisions[0].stable_rank < decisions[1].stable_rank);
+        assert!(decisions[0].factorized_params < decisions[0].dense_params);
+    }
+}

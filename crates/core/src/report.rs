@@ -1,0 +1,115 @@
+//! Training telemetry shared by all Pufferfish trainers.
+
+use std::time::Duration;
+
+/// One epoch's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochMetrics {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Test/validation loss.
+    pub eval_loss: f32,
+    /// Test accuracy (classification) or `None` for LM/seq2seq tasks.
+    pub eval_accuracy: Option<f32>,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+    /// Trainable parameters of the model during this epoch (changes at the
+    /// warm-up → hybrid switch).
+    pub params: usize,
+    /// Wall-clock time of the epoch.
+    pub wall: Duration,
+}
+
+/// A full training run's record.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Per-epoch metrics.
+    pub epochs: Vec<EpochMetrics>,
+    /// Time spent in the one-off SVD factorization at the warm-up boundary
+    /// (`None` if no conversion happened) — the quantity of appendix
+    /// Table 19.
+    pub svd_time: Option<Duration>,
+    /// Epoch at which the model switched to the hybrid architecture.
+    pub switch_epoch: Option<usize>,
+    /// Parameter count before the switch.
+    pub vanilla_params: usize,
+    /// Parameter count after the switch (equals `vanilla_params` when no
+    /// conversion happened).
+    pub hybrid_params: usize,
+}
+
+impl TrainReport {
+    /// Final test accuracy (0.0 when the task has no accuracy metric or no
+    /// epochs ran).
+    pub fn final_test_accuracy(&self) -> f32 {
+        self.epochs.last().and_then(|e| e.eval_accuracy).unwrap_or(0.0)
+    }
+
+    /// Final evaluation loss (∞ when no epochs ran).
+    pub fn final_eval_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.eval_loss).unwrap_or(f32::INFINITY)
+    }
+
+    /// Final evaluation perplexity `exp(loss)`.
+    pub fn final_perplexity(&self) -> f32 {
+        self.final_eval_loss().exp()
+    }
+
+    /// Total wall-clock time across epochs plus the SVD step — the
+    /// "end-to-end" time of the paper's Figure 4 (the paper includes SVD
+    /// and warm-up overheads in all end-to-end numbers).
+    pub fn total_wall(&self) -> Duration {
+        self.epochs.iter().map(|e| e.wall).sum::<Duration>()
+            + self.svd_time.unwrap_or(Duration::ZERO)
+    }
+
+    /// Compression ratio `vanilla / hybrid` parameter counts.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.hybrid_params == 0 {
+            1.0
+        } else {
+            self.vanilla_params as f64 / self.hybrid_params as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(i: usize, acc: f32) -> EpochMetrics {
+        EpochMetrics {
+            epoch: i,
+            train_loss: 1.0,
+            eval_loss: 0.5,
+            eval_accuracy: Some(acc),
+            lr: 0.1,
+            params: 100,
+            wall: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let mut r = TrainReport::default();
+        assert_eq!(r.final_test_accuracy(), 0.0);
+        assert!(r.final_eval_loss().is_infinite());
+        r.epochs.push(epoch(0, 0.5));
+        r.epochs.push(epoch(1, 0.8));
+        r.vanilla_params = 200;
+        r.hybrid_params = 100;
+        r.svd_time = Some(Duration::from_millis(5));
+        assert_eq!(r.final_test_accuracy(), 0.8);
+        assert_eq!(r.total_wall(), Duration::from_millis(25));
+        assert!((r.compression_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perplexity_is_exp_loss() {
+        let mut r = TrainReport::default();
+        r.epochs.push(EpochMetrics { eval_loss: 2.0, ..epoch(0, 0.0) });
+        assert!((r.final_perplexity() - 2.0f32.exp()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Corpus-level BLEU (Papineni et al. 2002), the metric of the paper's
+//! Table 3 translation experiment.
+
+use std::collections::HashMap;
+
+/// Corpus BLEU with n-gram precision up to `max_n` (standard BLEU-4 uses
+/// `max_n = 4`) and the brevity penalty, with +1 smoothing on the
+/// higher-order precisions (Lin & Och 2004) so short corpora do not
+/// degenerate to zero.
+///
+/// `hypotheses[i]` is scored against `references[i]`.
+///
+/// # Panics
+///
+/// Panics if the two corpora have different lengths or `max_n` is zero.
+pub fn corpus_bleu(hypotheses: &[Vec<usize>], references: &[Vec<usize>], max_n: usize) -> f64 {
+    assert_eq!(hypotheses.len(), references.len(), "corpus size mismatch");
+    assert!(max_n > 0, "max_n must be nonzero");
+    if hypotheses.is_empty() {
+        return 0.0;
+    }
+    let mut hyp_len = 0usize;
+    let mut ref_len = 0usize;
+    let mut matches = vec![0usize; max_n];
+    let mut totals = vec![0usize; max_n];
+    for (hyp, rf) in hypotheses.iter().zip(references) {
+        hyp_len += hyp.len();
+        ref_len += rf.len();
+        for n in 1..=max_n {
+            let hyp_counts = ngram_counts(hyp, n);
+            let ref_counts = ngram_counts(rf, n);
+            for (gram, &c) in &hyp_counts {
+                let clipped = c.min(*ref_counts.get(gram).unwrap_or(&0));
+                matches[n - 1] += clipped;
+            }
+            totals[n - 1] += hyp.len().saturating_sub(n - 1);
+        }
+    }
+    let mut log_prec_sum = 0.0f64;
+    for n in 0..max_n {
+        // +1 smoothing above unigrams.
+        let (m, t) = if n == 0 {
+            (matches[0] as f64, totals[0] as f64)
+        } else {
+            (matches[n] as f64 + 1.0, totals[n] as f64 + 1.0)
+        };
+        if m == 0.0 || t == 0.0 {
+            return 0.0;
+        }
+        log_prec_sum += (m / t).ln();
+    }
+    let geo_mean = (log_prec_sum / max_n as f64).exp();
+    let bp = if hyp_len >= ref_len || hyp_len == 0 {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len as f64).exp()
+    };
+    bp * geo_mean
+}
+
+/// BLEU-4 as a percentage, the convention used in the paper's Table 3.
+pub fn bleu4_percent(hypotheses: &[Vec<usize>], references: &[Vec<usize>]) -> f64 {
+    corpus_bleu(hypotheses, references, 4) * 100.0
+}
+
+fn ngram_counts(seq: &[usize], n: usize) -> HashMap<&[usize], usize> {
+    let mut map = HashMap::new();
+    if seq.len() >= n {
+        for gram in seq.windows(n) {
+            *map.entry(gram).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_one() {
+        let c = vec![vec![1, 2, 3, 4, 5], vec![6, 7, 8, 9]];
+        let b = corpus_bleu(&c, &c, 4);
+        assert!((b - 1.0).abs() < 1e-9, "bleu {b}");
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let hyp = vec![vec![1, 2, 3, 4]];
+        let rf = vec![vec![5, 6, 7, 8]];
+        assert_eq!(corpus_bleu(&hyp, &rf, 4), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_between_zero_and_one() {
+        let hyp = vec![vec![1, 2, 3, 9, 9, 9]];
+        let rf = vec![vec![1, 2, 3, 4, 5, 6]];
+        let b = corpus_bleu(&hyp, &rf, 4);
+        assert!(b > 0.0 && b < 1.0, "bleu {b}");
+    }
+
+    #[test]
+    fn brevity_penalty_punishes_short_hypotheses() {
+        let rf = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let long = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let short = vec![vec![1, 2, 3, 4]];
+        assert!(corpus_bleu(&short, &rf, 2) < corpus_bleu(&long, &rf, 2));
+    }
+
+    #[test]
+    fn clipping_prevents_repetition_gaming() {
+        // "the the the the" trick: repeated matched unigrams are clipped.
+        let hyp = vec![vec![1, 1, 1, 1]];
+        let rf = vec![vec![1, 2, 3, 4]];
+        let b = corpus_bleu(&hyp, &rf, 1);
+        assert!((b - 0.25).abs() < 1e-9, "bleu {b}");
+    }
+
+    #[test]
+    fn empty_corpus() {
+        assert_eq!(corpus_bleu(&[], &[], 4), 0.0);
+    }
+
+    #[test]
+    fn percent_wrapper() {
+        let c = vec![vec![1, 2, 3, 4]];
+        assert!((bleu4_percent(&c, &c) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "corpus size")]
+    fn mismatched_sizes_panic() {
+        let _ = corpus_bleu(&[vec![1]], &[], 4);
+    }
+}

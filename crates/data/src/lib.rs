@@ -1,0 +1,24 @@
+//! Synthetic workload generators for the Pufferfish reproduction.
+//!
+//! The paper trains on CIFAR-10, ImageNet, WikiText-2, and WMT'16 En↔De.
+//! None of those datasets ship with this repository, so this crate provides
+//! deterministic synthetic stand-ins that exercise the same code paths and
+//! metrics (accuracy / top-k accuracy, perplexity, BLEU):
+//!
+//! * [`images`] — class-conditional texture images ("CIFAR-10-like" at
+//!   `32×32×3`, "ImageNet-lite" at configurable size/classes), with the
+//!   paper's augmentation pipeline (pad-crop, horizontal flip, per-channel
+//!   normalization, appendix H);
+//! * [`text`] — a Markov-chain language corpus for next-word prediction
+//!   (the WikiText-2 stand-in), with the standard `batchify`/BPTT layout;
+//! * [`translation`] — a deterministic toy translation task (token
+//!   remapping + reversal) scored with real corpus [`bleu`];
+//! * [`bleu`] — corpus-level BLEU-4 with brevity penalty.
+//!
+//! Every generator takes an explicit seed; identical seeds produce
+//! identical datasets across runs and platforms.
+
+pub mod bleu;
+pub mod images;
+pub mod text;
+pub mod translation;

@@ -1,0 +1,192 @@
+//! Per-epoch breakdown accounting: the decomposition behind the paper's
+//! Figure 4(a)/(b), Figure 6, and Figure 7 bar charts.
+//!
+//! A breakdown combines **measured** per-batch compute and encode/decode
+//! times (from real gradient work and real compressor rounds) with
+//! **modeled** communication time (the α–β cost model), per synchronization
+//! round.
+
+use crate::cost::ClusterProfile;
+use puffer_compress::{AggregationKind, GradCompressor, RoundStats};
+use std::time::Duration;
+
+/// One epoch's time decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochBreakdown {
+    /// Forward+backward gradient computation.
+    pub compute: Duration,
+    /// Gradient encoding (compression).
+    pub encode: Duration,
+    /// Wire time under the cost model.
+    pub comm: Duration,
+    /// Gradient decoding/aggregation.
+    pub decode: Duration,
+}
+
+impl EpochBreakdown {
+    /// Total epoch time.
+    pub fn total(&self) -> Duration {
+        self.compute + self.encode + self.comm + self.decode
+    }
+
+    /// Scales every component (e.g. extrapolating from a measured subset of
+    /// batches to a full epoch).
+    pub fn scaled(&self, factor: f64) -> EpochBreakdown {
+        let s = |d: Duration| Duration::from_secs_f64(d.as_secs_f64() * factor);
+        EpochBreakdown {
+            compute: s(self.compute),
+            encode: s(self.encode),
+            comm: s(self.comm),
+            decode: s(self.decode),
+        }
+    }
+}
+
+/// Communication time of one synchronization round for a compressor's
+/// message under the profile.
+pub fn round_comm_time(
+    profile: &ClusterProfile,
+    aggregation: AggregationKind,
+    stats: &RoundStats,
+) -> Duration {
+    match aggregation {
+        AggregationKind::AllReduce => profile.allreduce(stats.bytes_per_worker),
+        AggregationKind::AllGather => profile.allgather(stats.bytes_per_worker),
+    }
+}
+
+/// Accumulates an epoch breakdown from measured per-round quantities.
+#[derive(Debug, Default)]
+pub struct BreakdownAccumulator {
+    acc: EpochBreakdown,
+    rounds: usize,
+}
+
+impl BreakdownAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one synchronization round.
+    pub fn record(
+        &mut self,
+        profile: &ClusterProfile,
+        compressor: &dyn GradCompressor,
+        compute: Duration,
+        stats: &RoundStats,
+    ) {
+        self.acc.compute += compute;
+        self.acc.encode += stats.encode_time;
+        self.acc.decode += stats.decode_time;
+        self.acc.comm += round_comm_time(profile, compressor.aggregation(), stats);
+        self.rounds += 1;
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The accumulated breakdown.
+    pub fn breakdown(&self) -> EpochBreakdown {
+        self.acc
+    }
+}
+
+/// Measures one data-parallel epoch **sequentially**: worker shards are
+/// computed one after another on the calling thread (so compute timings are
+/// free of thread contention), the compressor plays a real round per step,
+/// and communication is modeled. The model is actually updated each step
+/// with the decoded mean gradient, so repeated calls converge like real
+/// training. Per-step compute is the *maximum* shard time (the synchronous
+/// straggler).
+///
+/// Returns the epoch's breakdown and the mean training loss.
+pub fn measure_sequential_epoch<M: Layer>(
+    model: &mut M,
+    global_batches: &[(Tensor, Vec<usize>)],
+    nodes: usize,
+    compressor: &mut dyn GradCompressor,
+    profile: &ClusterProfile,
+    lr: f32,
+) -> (EpochBreakdown, f32) {
+    use puffer_nn::loss::softmax_cross_entropy;
+    let mut acc = BreakdownAccumulator::new();
+    let mut loss_sum = 0.0f64;
+    let mut steps = 0usize;
+    let mut opt = puffer_nn::optim::Sgd::new(lr, 0.9, 1e-4);
+    for batch in global_batches {
+        let mut worker_grads: Vec<Vec<Tensor>> = Vec::with_capacity(nodes);
+        let mut slowest = Duration::ZERO;
+        let mut loss_mean = 0.0f32;
+        for w in 0..nodes {
+            let (images, labels) = crate::trainer::shard_batch(batch, w, nodes);
+            let t0 = Instant::now();
+            model.zero_grad();
+            let logits = model.forward(&images, Mode::Train);
+            let (loss, dl) = softmax_cross_entropy(&logits, &labels, 0.0).expect("valid labels");
+            let _ = model.backward(&dl);
+            slowest = slowest.max(t0.elapsed());
+            loss_mean += loss / nodes as f32;
+            worker_grads.push(model.params().iter().map(|p| p.grad.clone()).collect());
+        }
+        let (mean, stats) = compressor.round(&worker_grads);
+        acc.record(profile, compressor, slowest, &stats);
+        model.zero_grad();
+        for (p, g) in model.params_mut().into_iter().zip(mean) {
+            p.grad = g;
+        }
+        opt.step(&mut model.params_mut());
+        loss_sum += loss_mean as f64;
+        steps += 1;
+    }
+    (acc.breakdown(), (loss_sum / steps.max(1) as f64) as f32)
+}
+
+use puffer_nn::layer::{Layer, Mode};
+use puffer_tensor::Tensor;
+use std::time::Instant;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_compress::none::NoCompression;
+    use puffer_compress::signum::Signum;
+    use puffer_tensor::Tensor;
+
+    #[test]
+    fn total_is_sum() {
+        let b = EpochBreakdown {
+            compute: Duration::from_millis(10),
+            encode: Duration::from_millis(1),
+            comm: Duration::from_millis(5),
+            decode: Duration::from_millis(2),
+        };
+        assert_eq!(b.total(), Duration::from_millis(18));
+        assert_eq!(b.scaled(2.0).total(), Duration::from_millis(36));
+    }
+
+    #[test]
+    fn accumulator_records_real_rounds() {
+        let profile = ClusterProfile::p3_like(4);
+        let mut vanilla = NoCompression::new();
+        let mut signum = Signum::new(0.9);
+        let grads: Vec<Vec<Tensor>> =
+            (0..4).map(|w| vec![Tensor::randn(&[256, 256], 1.0, w as u64)]).collect();
+
+        let mut acc_v = BreakdownAccumulator::new();
+        let (_, stats) = vanilla.round(&grads);
+        acc_v.record(&profile, &vanilla, Duration::from_millis(3), &stats);
+
+        let mut acc_s = BreakdownAccumulator::new();
+        let (_, stats) = signum.round(&grads);
+        acc_s.record(&profile, &signum, Duration::from_millis(3), &stats);
+
+        // Signum moves 32× fewer bytes; on 4 nodes its comm must be smaller.
+        assert!(acc_s.breakdown().comm < acc_v.breakdown().comm);
+        // Signum's majority-vote decode is measured (nonzero).
+        assert!(acc_s.breakdown().decode > Duration::ZERO);
+        assert_eq!(acc_v.rounds(), 1);
+    }
+}

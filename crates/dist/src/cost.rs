@@ -1,0 +1,127 @@
+//! α–β communication cost models (Thakur, Rabenseifner & Gropp 2005).
+//!
+//! Ring allreduce on `p` nodes over an `n`-byte buffer:
+//! `T = 2(p−1)·α + 2·((p−1)/p)·n·β` — the latency term the paper's
+//! flat-buffer packing optimization targets (§4.1: "each allreduce call
+//! introduces a network latency proportional to the product of the number
+//! of compute nodes and average network latency").
+//!
+//! Allgather: `T = (p−1)·α + (p−1)·n·β` — per-node traffic grows with `p`,
+//! which is why sign/quantization methods lose their wire savings at scale
+//! (appendix F).
+
+use std::time::Duration;
+
+/// A homogeneous cluster's network parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterProfile {
+    /// Per-message latency α in seconds.
+    pub alpha: f64,
+    /// Per-byte transfer time β in seconds (1 / bandwidth).
+    pub beta: f64,
+    /// Number of nodes `p`.
+    pub nodes: usize,
+}
+
+impl ClusterProfile {
+    /// An EC2 p3.2xlarge-like profile: "up to 10 Gbps" (appendix K) and
+    /// ~50 µs one-way latency.
+    pub fn p3_like(nodes: usize) -> Self {
+        ClusterProfile { alpha: 50e-6, beta: 8.0 / 10e9, nodes }
+    }
+
+    /// A zero-cost network (used to validate trainer equivalence).
+    pub fn zero_cost(nodes: usize) -> Self {
+        ClusterProfile { alpha: 0.0, beta: 0.0, nodes }
+    }
+
+    /// Ring-allreduce time for one `bytes`-sized buffer.
+    pub fn allreduce(&self, bytes: usize) -> Duration {
+        let p = self.nodes as f64;
+        if self.nodes <= 1 {
+            return Duration::ZERO;
+        }
+        let t = 2.0 * (p - 1.0) * self.alpha + 2.0 * ((p - 1.0) / p) * bytes as f64 * self.beta;
+        Duration::from_secs_f64(t)
+    }
+
+    /// Allgather time when every node contributes `bytes`.
+    pub fn allgather(&self, bytes: usize) -> Duration {
+        let p = self.nodes as f64;
+        if self.nodes <= 1 {
+            return Duration::ZERO;
+        }
+        let t = (p - 1.0) * self.alpha + (p - 1.0) * bytes as f64 * self.beta;
+        Duration::from_secs_f64(t)
+    }
+
+    /// Total time of `calls` independent allreduces of `bytes` each —
+    /// models the unpacked per-layer synchronization the paper's packing
+    /// optimization removes.
+    pub fn allreduce_per_layer(&self, layer_bytes: &[usize]) -> Duration {
+        layer_bytes.iter().map(|&b| self.allreduce(b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_free() {
+        let c = ClusterProfile::p3_like(1);
+        assert_eq!(c.allreduce(1 << 20), Duration::ZERO);
+        assert_eq!(c.allgather(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_saturates_with_nodes() {
+        // (p−1)/p → 1: doubling nodes must not double allreduce time for
+        // large buffers.
+        let bytes = 100 << 20;
+        let t2 = ClusterProfile::p3_like(2).allreduce(bytes).as_secs_f64();
+        let t16 = ClusterProfile::p3_like(16).allreduce(bytes).as_secs_f64();
+        assert!(t16 < t2 * 2.0, "t2 {t2} t16 {t16}");
+    }
+
+    #[test]
+    fn allgather_grows_linearly_with_nodes() {
+        let bytes = 10 << 20;
+        let t4 = ClusterProfile::p3_like(4).allgather(bytes).as_secs_f64();
+        let t16 = ClusterProfile::p3_like(16).allgather(bytes).as_secs_f64();
+        assert!(t16 > t4 * 3.0, "t4 {t4} t16 {t16}");
+    }
+
+    #[test]
+    fn crossover_compressed_allgather_vs_raw_allreduce() {
+        // At small node counts a 32× smaller allgather beats the raw
+        // allreduce; at large counts the allreduce wins — the appendix-F
+        // phenomenon.
+        let raw = 100 << 20;
+        let compressed = raw / 32;
+        let few = ClusterProfile::p3_like(2);
+        assert!(few.allgather(compressed) < few.allreduce(raw));
+        let many = ClusterProfile::p3_like(128);
+        assert!(many.allgather(compressed) > many.allreduce(raw));
+    }
+
+    #[test]
+    fn packing_beats_per_layer_latency() {
+        // 100 small layers synced individually pay 100× the latency term.
+        let c = ClusterProfile::p3_like(16);
+        let layers = vec![4 * 1024usize; 100];
+        let total: usize = layers.iter().sum();
+        let packed = c.allreduce(total);
+        let unpacked = c.allreduce_per_layer(&layers);
+        assert!(unpacked > packed * 5, "packed {packed:?} unpacked {unpacked:?}");
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // ResNet-50 gradients (~102 MB) on 16 nodes at 10 Gbps: an
+        // allreduce takes on the order of a fifth of a second.
+        let c = ClusterProfile::p3_like(16);
+        let t = c.allreduce(25_557_032 * 4).as_secs_f64();
+        assert!(t > 0.05 && t < 1.0, "t {t}");
+    }
+}

@@ -1,0 +1,177 @@
+//! PyTorch-DistributedDataParallel-style gradient bucketing with
+//! compute/communication overlap — the model behind the paper's
+//! Figure 4(c) DDP scaling study.
+//!
+//! DDP buffers gradients during backward and launches an allreduce as soon
+//! as a bucket fills (default 25 MB), overlapping communication with the
+//! remaining backward computation. We model one training step as a small
+//! discrete-event simulation: buckets become ready at evenly spaced points
+//! during backward; each bucket's allreduce starts when the bucket is ready
+//! *and* the previous allreduce finished (collectives serialize on the
+//! NCCL stream); the step ends when both backward and the last allreduce
+//! are done.
+
+use crate::cost::ClusterProfile;
+use std::time::Duration;
+
+/// DDP's default bucket size (25 MB), per the paper's footnote 2.
+pub const DEFAULT_BUCKET_BYTES: usize = 25 << 20;
+
+/// Splits per-layer gradient byte sizes into DDP buckets, walking layers in
+/// reverse (gradients become ready back-to-front during backward).
+pub fn bucketize(layer_bytes: &[usize], bucket_bytes: usize) -> Vec<usize> {
+    assert!(bucket_bytes > 0, "bucket size must be nonzero");
+    let mut buckets = Vec::new();
+    let mut current = 0usize;
+    for &b in layer_bytes.iter().rev() {
+        current += b;
+        if current >= bucket_bytes {
+            buckets.push(current);
+            current = 0;
+        }
+    }
+    if current > 0 {
+        buckets.push(current);
+    }
+    buckets
+}
+
+/// One simulated DDP training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdpStep {
+    /// Pure computation time (forward + backward).
+    pub compute: Duration,
+    /// Wall-clock of the whole step including communication.
+    pub total: Duration,
+    /// Communication time that was NOT hidden behind backward.
+    pub exposed_comm: Duration,
+}
+
+/// Simulates one DDP step.
+///
+/// * `forward`/`backward` — measured compute times;
+/// * `layer_bytes` — per-layer gradient sizes (model order);
+/// * `profile` — the cluster.
+pub fn simulate_step(
+    forward: Duration,
+    backward: Duration,
+    layer_bytes: &[usize],
+    bucket_bytes: usize,
+    profile: &ClusterProfile,
+) -> DdpStep {
+    let buckets = bucketize(layer_bytes, bucket_bytes);
+    let compute = forward + backward;
+    if buckets.is_empty() || profile.nodes <= 1 {
+        return DdpStep { compute, total: compute, exposed_comm: Duration::ZERO };
+    }
+    let n = buckets.len();
+    let bwd = backward.as_secs_f64();
+    let fwd = forward.as_secs_f64();
+    // Bucket i (in launch order) becomes ready at an evenly spaced fraction
+    // of backward.
+    let mut stream_free = 0.0f64; // when the comm stream is next available
+    let mut last_done = 0.0f64;
+    for (i, &bytes) in buckets.iter().enumerate() {
+        let ready = fwd + bwd * ((i + 1) as f64 / n as f64);
+        let start = ready.max(stream_free);
+        let dur = profile.allreduce(bytes).as_secs_f64();
+        stream_free = start + dur;
+        last_done = stream_free;
+    }
+    let total = last_done.max(fwd + bwd);
+    DdpStep {
+        compute,
+        total: Duration::from_secs_f64(total),
+        exposed_comm: Duration::from_secs_f64((total - (fwd + bwd)).max(0.0)),
+    }
+}
+
+/// Per-epoch DDP time for `steps` identical steps.
+pub fn simulate_epoch(
+    forward: Duration,
+    backward: Duration,
+    layer_bytes: &[usize],
+    bucket_bytes: usize,
+    profile: &ClusterProfile,
+    steps: usize,
+) -> Duration {
+    let step = simulate_step(forward, backward, layer_bytes, bucket_bytes, profile);
+    Duration::from_secs_f64(step.total.as_secs_f64() * steps as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketize_respects_threshold() {
+        let layers = vec![10 << 20, 10 << 20, 10 << 20, 2 << 20];
+        let buckets = bucketize(&layers, 20 << 20);
+        let total: usize = buckets.iter().sum();
+        assert_eq!(total, 32 << 20);
+        // Reverse walk: 2+10+10 = 22 MB ≥ 20 closes bucket 0; 10 MB remains.
+        assert_eq!(buckets, vec![22 << 20, 10 << 20]);
+    }
+
+    #[test]
+    fn single_node_has_no_comm() {
+        let step = simulate_step(
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            &[50 << 20],
+            DEFAULT_BUCKET_BYTES,
+            &ClusterProfile::p3_like(1),
+        );
+        assert_eq!(step.total, step.compute);
+        assert_eq!(step.exposed_comm, Duration::ZERO);
+    }
+
+    #[test]
+    fn overlap_hides_some_communication() {
+        // Many buckets + long backward: most comm hides behind compute, so
+        // total << compute + full-comm.
+        let layers = vec![5 << 20; 20]; // 100 MB in 20 layers
+        let profile = ClusterProfile::p3_like(8);
+        let fwd = Duration::from_millis(50);
+        let bwd = Duration::from_millis(150);
+        let step = simulate_step(fwd, bwd, &layers, DEFAULT_BUCKET_BYTES, &profile);
+        let serial_comm: Duration = bucketize(&layers, DEFAULT_BUCKET_BYTES)
+            .iter()
+            .map(|&b| profile.allreduce(b))
+            .sum();
+        assert!(step.total < step.compute + serial_comm, "no overlap achieved");
+        assert!(step.total >= step.compute);
+    }
+
+    #[test]
+    fn smaller_model_scales_better() {
+        // The Figure 4(c) claim: the factorized model's smaller gradient
+        // gives a larger DDP speedup as node count grows.
+        let vanilla_layers = vec![4 << 20; 25]; // 100 MB (ResNet-50-ish)
+        let puffer_layers = vec![4 << 20; 15]; // 60 MB (hybrid)
+        let fwd = Duration::from_millis(40);
+        let bwd_v = Duration::from_millis(120);
+        let bwd_p = Duration::from_millis(100);
+        for nodes in [2usize, 16] {
+            let profile = ClusterProfile::p3_like(nodes);
+            let v = simulate_step(fwd, bwd_v, &vanilla_layers, DEFAULT_BUCKET_BYTES, &profile);
+            let p = simulate_step(fwd, bwd_p, &puffer_layers, DEFAULT_BUCKET_BYTES, &profile);
+            assert!(p.total < v.total, "pufferfish slower at {nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn epoch_scales_linearly_in_steps() {
+        let profile = ClusterProfile::p3_like(4);
+        let layers = vec![10 << 20];
+        let one = simulate_epoch(Duration::from_millis(5), Duration::from_millis(10), &layers, DEFAULT_BUCKET_BYTES, &profile, 1);
+        let ten = simulate_epoch(Duration::from_millis(5), Duration::from_millis(10), &layers, DEFAULT_BUCKET_BYTES, &profile, 10);
+        assert!((ten.as_secs_f64() - 10.0 * one.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size")]
+    fn zero_bucket_rejected() {
+        let _ = bucketize(&[1], 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Distributed data-parallel substrate for the Pufferfish reproduction.
+//!
+//! The paper's distributed results (Figure 4, Figures 6–7, appendix F)
+//! decompose per-epoch time into *computation* (real gradient work),
+//! *encode/decode* (compression overhead), and *communication* (a
+//! deterministic function of message bytes, collective type, and node
+//! count). This crate reproduces that decomposition:
+//!
+//! * [`cost`] — the α–β cost model of ring-allreduce and allgather
+//!   (Thakur, Rabenseifner & Gropp 2005), with an EC2-p3.2xlarge-like
+//!   cluster profile (10 Gbps, the paper's testbed);
+//! * [`breakdown`] — per-epoch breakdown accounting combining measured
+//!   compute/encode/decode times with modeled communication;
+//! * [`ddp`] — PyTorch-DDP-style 25 MB gradient bucketing with
+//!   compute/communication overlap, for the paper's Figure 4(c) scaling
+//!   study;
+//! * [`ring`] — an executable ring allreduce whose per-step trace
+//!   validates the closed-form cost model;
+//! * [`trainer`] — a **real multi-threaded data-parallel trainer**
+//!   (crossbeam workers, shared-memory allreduce) whose workers compute
+//!   real gradients on data shards; under an exact compressor it is
+//!   step-equivalent to single-process training.
+
+pub mod breakdown;
+pub mod cost;
+pub mod ddp;
+pub mod ring;
+pub mod trainer;

@@ -1,0 +1,298 @@
+//! A real multi-threaded data-parallel trainer.
+//!
+//! `N` worker threads each hold an identical model replica and a shard of
+//! every global batch. Per step: workers compute real gradients
+//! (forward/backward), a shared aggregator plays one compression round
+//! (exact mean for vanilla SGD), and every worker applies the same update
+//! — the synchronous data-parallel SGD the paper's prototype implements
+//! with allreduce. Communication cost is accounted by the α–β model;
+//! computation and encode/decode are measured wall-clock.
+
+use crate::breakdown::{BreakdownAccumulator, EpochBreakdown};
+use crate::cost::ClusterProfile;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use puffer_compress::GradCompressor;
+use puffer_nn::layer::{Layer, Mode};
+use puffer_nn::loss::softmax_cross_entropy;
+use puffer_nn::optim::Sgd;
+use puffer_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Configuration of a data-parallel run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Worker (node) count.
+    pub workers: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Cluster profile for communication accounting.
+    pub profile: ClusterProfile,
+}
+
+impl DistConfig {
+    /// A `workers`-node run with the paper's CNN hyper-parameters on a
+    /// p3-like network.
+    pub fn p3(workers: usize, lr: f32) -> Self {
+        DistConfig {
+            workers,
+            lr,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            profile: ClusterProfile::p3_like(workers),
+        }
+    }
+}
+
+/// Result of a data-parallel run.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// Accumulated compute/encode/comm/decode decomposition.
+    pub breakdown: EpochBreakdown,
+    /// Mean training loss per step.
+    pub step_losses: Vec<f32>,
+    /// Final parameter values (all replicas are identical; worker 0's).
+    pub final_params: Vec<Tensor>,
+}
+
+struct WorkerMsg {
+    worker: usize,
+    grads: Vec<Tensor>,
+    loss: f32,
+    compute: Duration,
+}
+
+/// Runs synchronous data-parallel SGD over `global_batches`.
+///
+/// `factory(worker)` must build **identical** replicas for every worker
+/// (same seed). Each global batch is split row-wise into equal worker
+/// shards (trailing remainder rows are dropped, as with PyTorch's
+/// DistributedSampler padding semantics).
+///
+/// # Panics
+///
+/// Panics if `cfg.workers` is zero or a batch has fewer rows than workers.
+pub fn train_data_parallel<M, F>(
+    factory: F,
+    global_batches: &[(Tensor, Vec<usize>)],
+    compressor: &mut dyn GradCompressor,
+    cfg: &DistConfig,
+) -> DistOutcome
+where
+    M: Layer + Send,
+    F: Fn(usize) -> M + Sync,
+{
+    assert!(cfg.workers > 0, "need at least one worker");
+    let n_workers = cfg.workers;
+    let steps = global_batches.len();
+
+    // Pre-split shards per worker.
+    let shards: Vec<Vec<(Tensor, Vec<usize>)>> = (0..n_workers)
+        .map(|w| global_batches.iter().map(|b| shard_batch(b, w, n_workers)).collect())
+        .collect();
+
+    let (to_agg, from_workers): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+    let mut to_workers: Vec<Sender<Vec<Tensor>>> = Vec::new();
+    let mut worker_rx: Vec<Receiver<Vec<Tensor>>> = Vec::new();
+    for _ in 0..n_workers {
+        let (tx, rx) = unbounded();
+        to_workers.push(tx);
+        worker_rx.push(rx);
+    }
+    let (param_tx, param_rx): (Sender<(usize, Vec<Tensor>)>, Receiver<(usize, Vec<Tensor>)>) =
+        unbounded();
+
+    let mut acc = BreakdownAccumulator::new();
+    let mut step_losses = vec![0.0f32; steps];
+
+    crossbeam::scope(|scope| {
+        for (w, (shard, rx)) in shards.into_iter().zip(worker_rx.drain(..)).enumerate() {
+            let to_agg = to_agg.clone();
+            let param_tx = param_tx.clone();
+            let factory = &factory;
+            let cfg = cfg.clone();
+            scope.spawn(move |_| {
+                let mut model = factory(w);
+                let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+                for (images, labels) in &shard {
+                    let t0 = Instant::now();
+                    model.zero_grad();
+                    let logits = model.forward(images, Mode::Train);
+                    let (loss, dl) =
+                        softmax_cross_entropy(&logits, labels, 0.0).expect("valid labels");
+                    let _ = model.backward(&dl);
+                    let grads: Vec<Tensor> =
+                        model.params().iter().map(|p| p.grad.clone()).collect();
+                    let compute = t0.elapsed();
+                    to_agg.send(WorkerMsg { worker: w, grads, loss, compute }).expect("agg alive");
+                    // Receive the aggregated gradient and step.
+                    let mean = rx.recv().expect("aggregator alive");
+                    for (p, g) in model.params_mut().into_iter().zip(mean) {
+                        p.grad = g;
+                    }
+                    opt.step(&mut model.params_mut());
+                }
+                let finals: Vec<Tensor> =
+                    model.params().iter().map(|p| p.value.clone()).collect();
+                param_tx.send((w, finals)).expect("main alive");
+            });
+        }
+        drop(to_agg);
+        drop(param_tx);
+
+        // Aggregator loop on the calling thread.
+        for (step, loss_slot) in step_losses.iter_mut().enumerate() {
+            let mut msgs: Vec<WorkerMsg> = (0..n_workers)
+                .map(|_| from_workers.recv().expect("workers alive"))
+                .collect();
+            msgs.sort_by_key(|m| m.worker);
+            *loss_slot =
+                msgs.iter().map(|m| m.loss).sum::<f32>() / n_workers as f32;
+            let slowest = msgs.iter().map(|m| m.compute).max().unwrap_or_default();
+            let worker_grads: Vec<Vec<Tensor>> = msgs.into_iter().map(|m| m.grads).collect();
+            let (mean, stats) = compressor.round(&worker_grads);
+            acc.record(&cfg.profile, compressor, slowest, &stats);
+            for tx in &to_workers {
+                tx.send(mean.clone()).expect("worker alive");
+            }
+            let _ = step;
+        }
+        drop(to_workers);
+    })
+    .expect("worker thread panicked");
+
+    // Collect worker-0 final parameters.
+    let mut final_params = Vec::new();
+    for (w, params) in param_rx.iter() {
+        if w == 0 {
+            final_params = params;
+        }
+    }
+    DistOutcome { breakdown: acc.breakdown(), step_losses, final_params }
+}
+
+/// Extracts worker `w`'s rows of a global batch (rows split evenly;
+/// remainder rows dropped).
+///
+/// # Panics
+///
+/// Panics if the batch has fewer rows than workers.
+pub fn shard_batch(batch: &(Tensor, Vec<usize>), w: usize, workers: usize) -> (Tensor, Vec<usize>) {
+    let (images, labels) = batch;
+    let n = labels.len();
+    let per = n / workers;
+    assert!(per > 0, "batch of {n} rows cannot feed {workers} workers");
+    let start = w * per;
+    let end = start + per;
+    let row_len = images.len() / n;
+    let data = images.as_slice()[start * row_len..end * row_len].to_vec();
+    let mut shape = images.shape().to_vec();
+    shape[0] = per;
+    (
+        Tensor::from_vec(data, &shape).expect("shard shape"),
+        labels[start..end].to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_compress::none::NoCompression;
+    use puffer_compress::powersgd::PowerSgd;
+    use puffer_compress::signum::Signum;
+    use puffer_nn::activation::Relu;
+    use puffer_nn::linear::Linear;
+    use puffer_nn::{Sequential};
+
+    fn mlp(seed_base: u64) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(6, 16, true, seed_base).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(16, 3, true, seed_base + 1).unwrap()),
+        ])
+    }
+
+    fn synthetic_batches(n_batches: usize, batch: usize) -> Vec<(Tensor, Vec<usize>)> {
+        (0..n_batches)
+            .map(|b| {
+                let x = Tensor::randn(&[batch, 6], 1.0, 100 + b as u64);
+                let labels = (0..batch).map(|i| (i + b) % 3).collect();
+                (x, labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_workers_match_single_process_sgd() {
+        // With an exact-mean compressor and equal shards, data-parallel SGD
+        // equals full-batch single-process SGD step for step.
+        let batches = synthetic_batches(5, 8);
+        let cfg = DistConfig { workers: 2, lr: 0.1, momentum: 0.9, weight_decay: 0.0, profile: ClusterProfile::zero_cost(2) };
+        let mut comp = NoCompression::new();
+        let out = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg);
+
+        // Reference: single process on the full batches.
+        let mut model = mlp(1);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        for (x, labels) in &batches {
+            model.zero_grad();
+            let logits = model.forward(x, Mode::Train);
+            let (_, dl) = softmax_cross_entropy(&logits, labels, 0.0).unwrap();
+            let _ = model.backward(&dl);
+            opt.step(&mut model.params_mut());
+        }
+        for (dist_p, ref_p) in out.final_params.iter().zip(model.params()) {
+            let err = puffer_tensor::stats::rel_error(&ref_p.value, dist_p);
+            assert!(err < 1e-4, "divergence {err}");
+        }
+    }
+
+    #[test]
+    fn replicas_stay_synchronized() {
+        // Worker count > 2, several steps: all replicas' final params equal
+        // (we check worker 0 against a rerun with permuted worker ids by
+        // reusing deterministic seeds).
+        let batches = synthetic_batches(4, 8);
+        let cfg = DistConfig { workers: 4, lr: 0.05, momentum: 0.0, weight_decay: 0.0, profile: ClusterProfile::zero_cost(4) };
+        let mut comp = NoCompression::new();
+        let a = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg);
+        let mut comp = NoCompression::new();
+        let b = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg);
+        assert_eq!(a.final_params, b.final_params, "run must be deterministic");
+        assert_eq!(a.step_losses.len(), 4);
+    }
+
+    #[test]
+    fn powersgd_rounds_run_and_losses_decrease() {
+        let batches = synthetic_batches(30, 8);
+        let cfg = DistConfig { workers: 2, lr: 0.1, momentum: 0.9, weight_decay: 0.0, profile: ClusterProfile::p3_like(2) };
+        let mut comp = PowerSgd::new(2, 9);
+        let out = train_data_parallel(|_| mlp(5), &batches, &mut comp, &cfg);
+        let early: f32 = out.step_losses[..5].iter().sum::<f32>() / 5.0;
+        let late: f32 = out.step_losses[25..].iter().sum::<f32>() / 5.0;
+        assert!(late < early, "PowerSGD training diverged: {early} -> {late}");
+        assert!(out.breakdown.comm > Duration::ZERO);
+    }
+
+    #[test]
+    fn signum_uses_allgather_accounting() {
+        let batches = synthetic_batches(2, 8);
+        let cfg = DistConfig { workers: 4, lr: 0.01, momentum: 0.0, weight_decay: 0.0, profile: ClusterProfile::p3_like(4) };
+        let mut comp = Signum::new(0.9);
+        let out = train_data_parallel(|_| mlp(7), &batches, &mut comp, &cfg);
+        assert!(out.breakdown.comm > Duration::ZERO);
+        assert!(out.breakdown.decode > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot feed")]
+    fn undersized_batch_rejected() {
+        let batches = synthetic_batches(1, 2);
+        let cfg = DistConfig { workers: 4, lr: 0.1, momentum: 0.0, weight_decay: 0.0, profile: ClusterProfile::zero_cost(4) };
+        let mut comp = NoCompression::new();
+        let _ = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg);
+    }
+}

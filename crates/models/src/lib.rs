@@ -1,0 +1,25 @@
+//! Model zoo for the Pufferfish reproduction.
+//!
+//! Two complementary views of every architecture the paper evaluates:
+//!
+//! * [`spec`] — **paper-exact parameter/MAC ledgers** of the full-scale
+//!   models (VGG-19-BN, ResNet-18, ResNet-50, WideResNet-50-2, the 2-layer
+//!   LSTM, the 6-layer Transformer) and their Pufferfish hybrids. These
+//!   reproduce the exact counts of Tables 2–5 and 7 (e.g. VGG-19
+//!   20,560,330 → 8,370,634) without allocating any weights.
+//! * Runnable, width-scaled models for CPU-scale end-to-end training:
+//!   [`vgg::Vgg`], [`resnet::ResNet`], [`lstm_lm::LstmLm`], and
+//!   [`transformer::TransformerModel`] — each with a `to_hybrid` /
+//!   `to_low_rank` conversion implementing the paper's SVD warm-start
+//!   (Algorithm 1's factorization step) or random low-rank initialization
+//!   (the from-scratch baseline).
+//!
+//! Shared machinery (dense/low-rank conv & FC units, factorization
+//! surgery) lives in [`units`].
+
+pub mod lstm_lm;
+pub mod resnet;
+pub mod spec;
+pub mod transformer;
+pub mod units;
+pub mod vgg;

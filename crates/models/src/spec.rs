@@ -1,0 +1,470 @@
+//! Paper-exact architecture specifications.
+//!
+//! These builders describe the **full-scale** architectures the paper
+//! evaluates (VGG-19-BN and ResNet-18 on CIFAR-10, ResNet-50 and
+//! WideResNet-50-2 on ImageNet, the 2-layer LSTM on WikiText-2, the 6-layer
+//! Transformer on WMT'16) and their Pufferfish hybrids, as parameter/MAC
+//! *ledgers* — no tensors are allocated, so the exact models of Tables 2–5
+//! and 7 can be accounted for even though training at that scale is out of
+//! reach for this CPU reproduction.
+//!
+//! Rank rules recovered from the paper's appendix tables and verified
+//! against its reported totals:
+//!
+//! * VGG-19 hybrid (K = 10): convs 10–16 and fc17/fc18 factorized at
+//!   `r = c_out/4` (Table 11); reproduces 20,560,330 → 8,370,634 exactly.
+//! * ResNet-18 hybrid: all basic-block convs from the 2nd block of stage 1
+//!   on, `r = c_out/4`, shortcuts untouched (Table 13). The paper's totals
+//!   are 128 below ours for both variants — consistent with its count
+//!   omitting the stem BatchNorm affine pair; we document the delta instead
+//!   of replicating the omission.
+//! * ResNet-50 / WideResNet-50-2 hybrids: only stage `conv5_x` factorized,
+//!   `r = min(c_in, c_out)/4` per conv **including the downsample**
+//!   (Tables 14–15). Savings reproduce the paper's Pufferfish ResNet-50
+//!   total (15,202,344) exactly relative to the canonical vanilla count.
+//! * LSTM / Transformer: reproduce Tables 2–3 exactly (85,962,278 →
+//!   67,962,278 and 48,978,432 → 26,696,192).
+
+use puffer_nn::complexity as cx;
+
+/// Whether a spec describes the vanilla or the Pufferfish hybrid variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecVariant {
+    /// The unmodified full-rank architecture.
+    Vanilla,
+    /// The Pufferfish hybrid with the paper's per-model rank plan.
+    Pufferfish,
+}
+
+/// One ledger line: a named layer with its parameter and MAC counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerCount {
+    /// Dotted layer name following the paper's appendix tables.
+    pub name: String,
+    /// Trainable parameters.
+    pub params: u64,
+    /// Forward-pass multiply–accumulates for one example (0 where the paper
+    /// does not count them, e.g. embedding lookups).
+    pub macs: u64,
+}
+
+/// A full model ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Model name, e.g. `"vgg19-cifar10"`.
+    pub name: String,
+    /// Which variant this ledger describes.
+    pub variant: SpecVariant,
+    /// Per-layer lines.
+    pub layers: Vec<LayerCount>,
+}
+
+impl ModelSpec {
+    /// Total trainable parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total forward MACs for one example.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+}
+
+struct Ledger {
+    layers: Vec<LayerCount>,
+}
+
+impl Ledger {
+    fn new() -> Self {
+        Ledger { layers: Vec::new() }
+    }
+
+    fn line(&mut self, name: impl Into<String>, params: u64, macs: u64) {
+        self.layers.push(LayerCount { name: name.into(), params, macs });
+    }
+
+    fn conv(&mut self, name: &str, c_in: u64, c_out: u64, k: u64, h: u64, w: u64) {
+        self.line(name, cx::conv_params(c_in, c_out, k), cx::conv_macs(c_in, c_out, k, h, w));
+    }
+
+    fn conv_lr(&mut self, name: &str, c_in: u64, c_out: u64, k: u64, r: u64, h: u64, w: u64) {
+        self.line(
+            format!("{name}_u+v"),
+            cx::conv_low_rank_params(c_in, c_out, k, r),
+            cx::conv_low_rank_macs(c_in, c_out, k, r, h, w),
+        );
+    }
+
+    fn bn(&mut self, name: &str, c: u64) {
+        self.line(name, 2 * c, 0);
+    }
+
+    fn fc(&mut self, name: &str, m: u64, n: u64, bias: bool) {
+        self.line(name, cx::fc_params(m, n) + if bias { n } else { 0 }, cx::fc_macs(m, n));
+    }
+
+    fn fc_lr(&mut self, name: &str, m: u64, n: u64, r: u64, bias: bool) {
+        self.line(
+            format!("{name}_u+v"),
+            cx::fc_low_rank_params(m, n, r) + if bias { n } else { 0 },
+            cx::fc_low_rank_macs(m, n, r),
+        );
+    }
+}
+
+/// VGG-19-BN for CIFAR-10 (appendix Table 11): 16 bias-free convs with BN,
+/// classifier 512→512→512→10.
+pub fn vgg19_cifar(variant: SpecVariant) -> ModelSpec {
+    let stages: [&[u64]; 5] =
+        [&[64, 64], &[128, 128], &[256, 256, 256, 256], &[512, 512, 512, 512], &[512, 512, 512, 512]];
+    let mut led = Ledger::new();
+    let mut c_in = 3u64;
+    let mut hw = 32u64;
+    let mut idx = 1usize;
+    for stage in stages {
+        for &c_out in stage {
+            let name = format!("layer{idx}.conv{idx}");
+            // Hybrid: convs with index >= 10 are factorized at r = c_out/4.
+            if variant == SpecVariant::Pufferfish && idx >= 10 {
+                led.conv_lr(&name, c_in, c_out, 3, c_out / 4, hw, hw);
+            } else {
+                led.conv(&name, c_in, c_out, 3, hw, hw);
+            }
+            led.bn(&format!("layer{idx}.bn{idx}"), c_out);
+            c_in = c_out;
+            idx += 1;
+        }
+        hw /= 2; // max pool after each stage
+    }
+    // Classifier (Table 11): fc17 512→512, fc18 512→512, fc19 512→10.
+    if variant == SpecVariant::Pufferfish {
+        led.fc_lr("layer17.fc17", 512, 512, 128, true);
+        led.fc_lr("layer18.fc18", 512, 512, 128, true);
+    } else {
+        led.fc("layer17.fc17", 512, 512, true);
+        led.fc("layer18.fc18", 512, 512, true);
+    }
+    led.fc("layer19.fc19", 512, 10, true);
+    ModelSpec { name: "vgg19-cifar10".into(), variant, layers: led.layers }
+}
+
+/// ResNet-18 for CIFAR-10 (appendix Table 13): 3×3 stem, four stages of two
+/// basic blocks; hybrid factorizes everything from the 2nd block of stage 1
+/// at `r = c_out/4`, leaving shortcut convs full-rank.
+pub fn resnet18_cifar(variant: SpecVariant) -> ModelSpec {
+    let mut led = Ledger::new();
+    led.conv("conv1", 3, 64, 3, 32, 32);
+    led.bn("bn1", 64);
+    let widths = [64u64, 128, 256, 512];
+    let mut c_in = 64u64;
+    let mut hw = 32u64;
+    for (stage, &c_out) in widths.iter().enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        if stride == 2 {
+            hw /= 2;
+        }
+        for block in 0..2 {
+            let block_c_in = if block == 0 { c_in } else { c_out };
+            // Hybrid rule: factorized from (stage 0, block 1) onward.
+            let low_rank = variant == SpecVariant::Pufferfish && (stage > 0 || block >= 1);
+            let prefix = format!("conv{}_x.block{block}", stage + 2);
+            let r = c_out / 4;
+            if low_rank {
+                led.conv_lr(&format!("{prefix}.conv1"), block_c_in, c_out, 3, r, hw, hw);
+            } else {
+                led.conv(&format!("{prefix}.conv1"), block_c_in, c_out, 3, hw, hw);
+            }
+            led.bn(&format!("{prefix}.bn1"), c_out);
+            if low_rank {
+                led.conv_lr(&format!("{prefix}.conv2"), c_out, c_out, 3, r, hw, hw);
+            } else {
+                led.conv(&format!("{prefix}.conv2"), c_out, c_out, 3, hw, hw);
+            }
+            led.bn(&format!("{prefix}.bn2"), c_out);
+            if block == 0 && block_c_in != c_out {
+                // Shortcut 1×1 conv + BN; never factorized for ResNet-18.
+                led.conv(&format!("{prefix}.shortcut"), block_c_in, c_out, 1, hw, hw);
+                led.bn(&format!("{prefix}.shortcut_bn"), c_out);
+            }
+        }
+        c_in = c_out;
+    }
+    led.fc("linear", 512, 10, true);
+    ModelSpec { name: "resnet18-cifar10".into(), variant, layers: led.layers }
+}
+
+/// Bottleneck-ResNet builder shared by ResNet-50 and WideResNet-50-2
+/// (appendix Tables 14–15). `width_factor = 1` gives ResNet-50;
+/// `width_factor = 2` gives WideResNet-50-2. Hybrid factorizes only stage
+/// `conv5_x` at `r = min(c_in, c_out)/4`, downsample included.
+fn bottleneck_resnet(
+    name: &str,
+    width_factor: u64,
+    variant: SpecVariant,
+) -> ModelSpec {
+    let mut led = Ledger::new();
+    led.conv("conv1", 3, 64, 7, 112, 112);
+    led.bn("bn1", 64);
+    let stage_blocks = [3u64, 4, 6, 3];
+    let base_widths = [64u64, 128, 256, 512];
+    let mut c_in = 64u64;
+    let mut hw = 56u64;
+    for (stage, (&blocks, &base)) in stage_blocks.iter().zip(&base_widths).enumerate() {
+        // Stride-2 sits on conv2 of the first block (torchvision layout):
+        // that block's conv1 still runs at the incoming resolution.
+        let hw_in = hw;
+        if stage > 0 {
+            hw /= 2;
+        }
+        let inner = base * width_factor;
+        let c_out = base * 4; // expansion 4
+        let low_rank_stage = variant == SpecVariant::Pufferfish && stage == 3;
+        for block in 0..blocks {
+            let block_c_in = if block == 0 { c_in } else { c_out };
+            let conv1_hw = if block == 0 { hw_in } else { hw };
+            let prefix = format!("conv{}_x.block{block}", stage + 2);
+            let rank = |a: u64, b: u64| a.min(b) / 4;
+            if low_rank_stage {
+                led.conv_lr(&format!("{prefix}.conv1"), block_c_in, inner, 1, rank(block_c_in, inner), conv1_hw, conv1_hw);
+            } else {
+                led.conv(&format!("{prefix}.conv1"), block_c_in, inner, 1, conv1_hw, conv1_hw);
+            }
+            led.bn(&format!("{prefix}.bn1"), inner);
+            if low_rank_stage {
+                led.conv_lr(&format!("{prefix}.conv2"), inner, inner, 3, rank(inner, inner), hw, hw);
+            } else {
+                led.conv(&format!("{prefix}.conv2"), inner, inner, 3, hw, hw);
+            }
+            led.bn(&format!("{prefix}.bn2"), inner);
+            if low_rank_stage {
+                led.conv_lr(&format!("{prefix}.conv3"), inner, c_out, 1, rank(inner, c_out), hw, hw);
+            } else {
+                led.conv(&format!("{prefix}.conv3"), inner, c_out, 1, hw, hw);
+            }
+            led.bn(&format!("{prefix}.bn3"), c_out);
+            if block == 0 {
+                // Projection shortcut (factorized in conv5_x per Table 14).
+                if low_rank_stage {
+                    led.conv_lr(&format!("{prefix}.downsample"), block_c_in, c_out, 1, rank(block_c_in, c_out), hw, hw);
+                } else {
+                    led.conv(&format!("{prefix}.downsample"), block_c_in, c_out, 1, hw, hw);
+                }
+                led.bn(&format!("{prefix}.downsample_bn"), c_out);
+            }
+        }
+        c_in = c_out;
+    }
+    led.fc("fc", 2048, 1000, true);
+    ModelSpec { name: name.into(), variant, layers: led.layers }
+}
+
+/// ResNet-50 for ImageNet (appendix Table 14).
+pub fn resnet50_imagenet(variant: SpecVariant) -> ModelSpec {
+    bottleneck_resnet("resnet50-imagenet", 1, variant)
+}
+
+/// WideResNet-50-2 for ImageNet (appendix Table 15).
+pub fn wide_resnet50_2_imagenet(variant: SpecVariant) -> ModelSpec {
+    bottleneck_resnet("wide-resnet50-2-imagenet", 2, variant)
+}
+
+/// 2-layer tied-embedding LSTM for WikiText-2 (appendix Table 12):
+/// vocab 33,278, embedding/hidden 1500, per-gate factorization at r = 375.
+pub fn lstm_wikitext2(variant: SpecVariant) -> ModelSpec {
+    let (vocab, d, h, r) = (33_278u64, 1_500u64, 1_500u64, 375u64);
+    let mut led = Ledger::new();
+    // Tied embedding: counted once, no MACs (lookup table, per Table 2 note).
+    led.line("encoder.weight (tied)", vocab * d, 0);
+    for l in 0..2 {
+        match variant {
+            SpecVariant::Vanilla => {
+                led.line(format!("lstm{l}"), cx::lstm_params(d, h), cx::lstm_macs(d, h));
+            }
+            SpecVariant::Pufferfish => {
+                led.line(
+                    format!("lstm{l} (low-rank)"),
+                    cx::lstm_low_rank_params(d, h, r),
+                    cx::lstm_low_rank_macs(d, h, r),
+                );
+            }
+        }
+    }
+    led.line("decoder.bias", vocab, 0);
+    ModelSpec { name: "lstm-wikitext2".into(), variant, layers: led.layers }
+}
+
+/// 6-layer encoder/decoder Transformer for WMT'16 (appendix Tables 16–17):
+/// shared embedding (src = tgt, tied output), `p = 8` heads,
+/// `d_model = 512`, FFN 2048, rank 128; first encoder layer and first
+/// decoder layer stay full-rank.
+pub fn transformer_wmt16(variant: SpecVariant) -> ModelSpec {
+    let (vocab, dm, r) = (9_521u64, 512u64, 128u64);
+    let n_seq = 32u64; // nominal sequence length for MAC accounting
+    let (p, d) = (8u64, 64u64);
+    let mut led = Ledger::new();
+    led.line("embedding (shared, tied)", vocab * dm, 0);
+    let attn = |led: &mut Ledger, name: &str, low: bool| {
+        if low {
+            // Concatenated-head factorization: 4 matrices at r(dm+dm).
+            led.line(
+                format!("{name} (low-rank)"),
+                4 * cx::fc_low_rank_params(dm, dm, r),
+                cx::attention_low_rank_macs(p, d, r, n_seq) / n_seq,
+            );
+        } else {
+            led.line(name.to_string(), cx::attention_params(p, d), cx::attention_macs(p, d, n_seq) / n_seq);
+        }
+    };
+    let ffn = |led: &mut Ledger, name: &str, low: bool| {
+        let bias = 4 * dm + dm;
+        if low {
+            led.line(
+                format!("{name} (low-rank)"),
+                cx::ffn_low_rank_params(p, d, r) + bias,
+                cx::ffn_low_rank_macs(p, d, r, n_seq) / n_seq,
+            );
+        } else {
+            led.line(name.to_string(), cx::ffn_params(p, d) + bias, cx::ffn_macs(p, d, n_seq) / n_seq);
+        }
+    };
+    let ln = |led: &mut Ledger, name: &str| led.line(name.to_string(), 2 * dm, 0);
+    for l in 0..6 {
+        let low = variant == SpecVariant::Pufferfish && l >= 1;
+        attn(&mut led, &format!("encoder{l}.self_attention"), low);
+        ln(&mut led, &format!("encoder{l}.ln1"));
+        ffn(&mut led, &format!("encoder{l}.ffn"), low);
+        ln(&mut led, &format!("encoder{l}.ln2"));
+    }
+    ln(&mut led, "encoder.final_ln");
+    for l in 0..6 {
+        let low = variant == SpecVariant::Pufferfish && l >= 1;
+        attn(&mut led, &format!("decoder{l}.self_attention"), low);
+        ln(&mut led, &format!("decoder{l}.ln1"));
+        attn(&mut led, &format!("decoder{l}.enc_attention"), low);
+        ln(&mut led, &format!("decoder{l}.ln2"));
+        ffn(&mut led, &format!("decoder{l}.ffn"), low);
+        ln(&mut led, &format!("decoder{l}.ln3"));
+    }
+    ln(&mut led, "decoder.final_ln");
+    ModelSpec { name: "transformer-wmt16".into(), variant, layers: led.layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg19_matches_paper_exactly() {
+        // Table 4: 20,560,330 → 8,370,634.
+        assert_eq!(vgg19_cifar(SpecVariant::Vanilla).params(), 20_560_330);
+        assert_eq!(vgg19_cifar(SpecVariant::Pufferfish).params(), 8_370_634);
+    }
+
+    #[test]
+    fn vgg19_macs_match_paper_order() {
+        // Table 4 reports 0.4 G → 0.29 G MACs.
+        let v = vgg19_cifar(SpecVariant::Vanilla).macs() as f64 / 1e9;
+        let p = vgg19_cifar(SpecVariant::Pufferfish).macs() as f64 / 1e9;
+        assert!((v - 0.4).abs() < 0.02, "vanilla MACs {v} G");
+        assert!((p - 0.29).abs() < 0.02, "pufferfish MACs {p} G");
+    }
+
+    #[test]
+    fn resnet18_matches_paper_modulo_stem_bn() {
+        // Table 4: 11,173,834 → 3,336,138; the paper omits the stem BN
+        // affine pair (128 params) — see module docs.
+        assert_eq!(resnet18_cifar(SpecVariant::Vanilla).params(), 11_173_834 + 128);
+        assert_eq!(resnet18_cifar(SpecVariant::Pufferfish).params(), 3_336_138 + 128);
+    }
+
+    #[test]
+    fn resnet18_macs_match_paper_order() {
+        // Table 4: 0.56 G → 0.22 G.
+        let v = resnet18_cifar(SpecVariant::Vanilla).macs() as f64 / 1e9;
+        let p = resnet18_cifar(SpecVariant::Pufferfish).macs() as f64 / 1e9;
+        assert!((v - 0.56).abs() < 0.03, "vanilla MACs {v} G");
+        assert!((p - 0.22).abs() < 0.03, "pufferfish MACs {p} G");
+    }
+
+    #[test]
+    fn resnet50_pufferfish_matches_paper_exactly() {
+        // Table 7: Pufferfish ResNet-50 = 15,202,344. The canonical vanilla
+        // count is 25,557,032 (the paper's Table 7 lists 25,610,205; the
+        // ~53k delta is unexplained there — our ledger matches torchvision).
+        let vanilla = resnet50_imagenet(SpecVariant::Vanilla).params();
+        assert_eq!(vanilla, 25_557_032);
+        assert_eq!(resnet50_imagenet(SpecVariant::Pufferfish).params(), 15_202_344);
+        // Compression ratio ≈ 1.68× (paper's limitation section).
+        let ratio = vanilla as f64 / 15_202_344.0;
+        assert!((ratio - 1.68).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn resnet50_macs_match_paper_order() {
+        // Table 7: 4.12 G → 3.6 G.
+        let v = resnet50_imagenet(SpecVariant::Vanilla).macs() as f64 / 1e9;
+        let p = resnet50_imagenet(SpecVariant::Pufferfish).macs() as f64 / 1e9;
+        assert!((v - 4.12).abs() < 0.1, "vanilla MACs {v} G");
+        assert!((p - 3.6).abs() < 0.15, "pufferfish MACs {p} G");
+    }
+
+    #[test]
+    fn wide_resnet_compression_matches_limitations_section() {
+        // Paper §4: Pufferfish finds a 1.72× smaller WideResNet-50-2.
+        let v = wide_resnet50_2_imagenet(SpecVariant::Vanilla).params();
+        let p = wide_resnet50_2_imagenet(SpecVariant::Pufferfish).params();
+        let ratio = v as f64 / p as f64;
+        assert_eq!(v, 68_883_240); // torchvision wide_resnet50_2
+        assert!((ratio - 1.72).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lstm_matches_paper_exactly() {
+        // Table 2: 85,962,278 → 67,962,278.
+        assert_eq!(lstm_wikitext2(SpecVariant::Vanilla).params(), 85_962_278);
+        assert_eq!(lstm_wikitext2(SpecVariant::Pufferfish).params(), 67_962_278);
+    }
+
+    #[test]
+    fn lstm_macs_ratio_is_two() {
+        // Table 2 reports 18M → 9M MACs (per layer per token): the ratio is 2×.
+        let v = lstm_wikitext2(SpecVariant::Vanilla).macs();
+        let p = lstm_wikitext2(SpecVariant::Pufferfish).macs();
+        assert_eq!(v, 2 * p);
+        assert_eq!(v / 2, 18_000_000); // per-layer figure the paper reports
+    }
+
+    #[test]
+    fn transformer_matches_paper_exactly() {
+        // Table 3: 48,978,432 → 26,696,192.
+        assert_eq!(transformer_wmt16(SpecVariant::Vanilla).params(), 48_978_432);
+        assert_eq!(transformer_wmt16(SpecVariant::Pufferfish).params(), 26_696_192);
+    }
+
+    #[test]
+    fn pufferfish_never_more_macs() {
+        for (v, p) in [
+            (vgg19_cifar(SpecVariant::Vanilla), vgg19_cifar(SpecVariant::Pufferfish)),
+            (resnet18_cifar(SpecVariant::Vanilla), resnet18_cifar(SpecVariant::Pufferfish)),
+            (resnet50_imagenet(SpecVariant::Vanilla), resnet50_imagenet(SpecVariant::Pufferfish)),
+        ] {
+            assert!(p.macs() < v.macs(), "{}", v.name);
+            assert!(p.params() < v.params(), "{}", v.name);
+        }
+    }
+
+    #[test]
+    fn ledgers_have_no_empty_lines() {
+        for spec in [
+            vgg19_cifar(SpecVariant::Vanilla),
+            resnet18_cifar(SpecVariant::Pufferfish),
+            resnet50_imagenet(SpecVariant::Pufferfish),
+            lstm_wikitext2(SpecVariant::Vanilla),
+            transformer_wmt16(SpecVariant::Pufferfish),
+        ] {
+            assert!(!spec.layers.is_empty());
+            assert!(spec.layers.iter().all(|l| !l.name.is_empty()));
+        }
+    }
+}

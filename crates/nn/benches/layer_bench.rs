@@ -1,0 +1,53 @@
+//! Micro-benchmarks: vanilla vs factorized layer forward+backward — the
+//! per-layer view behind the paper's Table 6 runtime mini-benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puffer_nn::conv::{Conv2d, LowRankConv2d};
+use puffer_nn::layer::{Layer, Mode};
+use puffer_nn::linear::{Linear, LowRankLinear};
+use puffer_tensor::Tensor;
+
+fn bench_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fc_512x512");
+    let x = Tensor::randn(&[32, 512], 1.0, 1);
+    let g = Tensor::randn(&[32, 512], 1.0, 2);
+    let mut dense = Linear::new(512, 512, false, 3).unwrap();
+    group.bench_function("vanilla", |b| {
+        b.iter(|| {
+            let _ = dense.forward(&x, Mode::Train);
+            let _ = dense.backward(&g);
+        })
+    });
+    let mut lr = LowRankLinear::new(512, 512, 128, false, 4).unwrap();
+    group.bench_function("low_rank_r128", |b| {
+        b.iter(|| {
+            let _ = lr.forward(&x, Mode::Train);
+            let _ = lr.backward(&g);
+        })
+    });
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_128c_8x8");
+    let x = Tensor::randn(&[8, 128, 8, 8], 1.0, 5);
+    let g = Tensor::randn(&[8, 128, 8, 8], 1.0, 6);
+    let mut dense = Conv2d::new(128, 128, 3, 1, 1, false, 7).unwrap();
+    group.bench_function("vanilla", |b| {
+        b.iter(|| {
+            let _ = dense.forward(&x, Mode::Train);
+            let _ = dense.backward(&g);
+        })
+    });
+    let mut lr = LowRankConv2d::new(128, 128, 3, 1, 1, 32, 8).unwrap();
+    group.bench_function("low_rank_r32", |b| {
+        b.iter(|| {
+            let _ = lr.forward(&x, Mode::Train);
+            let _ = lr.backward(&g);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear, bench_conv);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Software-emulated mixed-precision ("AMP") training.
+//!
+//! The paper's Tables 4–5 verify that Pufferfish's accuracy is stable under
+//! PyTorch AMP. We reproduce the numerics of AMP in software:
+//!
+//! 1. master weights stay in f32;
+//! 2. a half-precision **copy** of the weights is what the forward/backward
+//!    pass sees ([`AmpSession::cast_params_to_f16`] rounds values through
+//!    IEEE binary16 and remembers the masters);
+//! 3. the loss is scaled before backward so small gradients survive the
+//!    binary16 dynamic range, and unscaled before the optimizer step
+//!    ([`AmpSession::unscale_grads`]), with the standard inf/nan skip logic.
+
+use crate::param::Param;
+use puffer_tensor::f16::round_slice_f16;
+use puffer_tensor::Tensor;
+
+/// Dynamic-loss-scaling state for one training run.
+#[derive(Debug, Clone)]
+pub struct AmpSession {
+    loss_scale: f32,
+    growth_factor: f32,
+    backoff_factor: f32,
+    growth_interval: u32,
+    steps_since_backoff: u32,
+    masters: Vec<Tensor>,
+}
+
+impl Default for AmpSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AmpSession {
+    /// Creates a session with PyTorch's default scaler constants
+    /// (initial scale 2¹⁶, growth 2×, backoff 0.5×, growth interval 2000).
+    pub fn new() -> Self {
+        AmpSession {
+            loss_scale: 65536.0,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 2000,
+            steps_since_backoff: 0,
+            masters: Vec::new(),
+        }
+    }
+
+    /// Current loss scale.
+    pub fn loss_scale(&self) -> f32 {
+        self.loss_scale
+    }
+
+    /// Rounds every parameter through binary16 for the upcoming
+    /// forward/backward, saving the f32 masters. Call
+    /// [`AmpSession::restore_masters`] before the optimizer step.
+    pub fn cast_params_to_f16(&mut self, params: &mut [&mut Param]) {
+        self.masters = params.iter().map(|p| p.value.clone()).collect();
+        for p in params.iter_mut() {
+            round_slice_f16(p.value.as_mut_slice());
+        }
+    }
+
+    /// Restores the f32 master weights saved by
+    /// [`AmpSession::cast_params_to_f16`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cast is outstanding or the parameter list changed.
+    pub fn restore_masters(&mut self, params: &mut [&mut Param]) {
+        assert_eq!(self.masters.len(), params.len(), "no matching cast_params_to_f16");
+        for (p, m) in params.iter_mut().zip(self.masters.drain(..)) {
+            p.value = m;
+        }
+    }
+
+    /// Scales a loss gradient by the current loss scale (apply to the
+    /// gradient fed into `backward`).
+    pub fn scale_loss_grad(&self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        g.scale(self.loss_scale);
+        g
+    }
+
+    /// Rounds a gradient through binary16, emulating a half-precision
+    /// backward pass.
+    pub fn round_grad_f16(grad: &mut Tensor) {
+        round_slice_f16(grad.as_mut_slice());
+    }
+
+    /// Unscales accumulated gradients and runs the inf/nan check.
+    /// Returns `true` if the step should proceed; on overflow the gradients
+    /// are zeroed, the scale backs off, and `false` is returned (skip step).
+    pub fn unscale_grads(&mut self, params: &mut [&mut Param]) -> bool {
+        let inv = 1.0 / self.loss_scale;
+        let mut overflow = false;
+        for p in params.iter() {
+            if p.grad.as_slice().iter().any(|g| !g.is_finite()) {
+                overflow = true;
+                break;
+            }
+        }
+        if overflow {
+            for p in params.iter_mut() {
+                p.zero_grad();
+            }
+            self.loss_scale = (self.loss_scale * self.backoff_factor).max(1.0);
+            self.steps_since_backoff = 0;
+            return false;
+        }
+        for p in params.iter_mut() {
+            p.grad.scale(inv);
+        }
+        self.steps_since_backoff += 1;
+        if self.steps_since_backoff >= self.growth_interval {
+            self.loss_scale *= self.growth_factor;
+            self.steps_since_backoff = 0;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param(vals: &[f32]) -> Param {
+        Param::new("p", Tensor::from_vec(vals.to_vec(), &[vals.len()]).unwrap())
+    }
+
+    #[test]
+    fn cast_and_restore_round_trip() {
+        let mut p = param(&[0.1, 1.0, 3.14159]);
+        let original = p.value.clone();
+        let mut amp = AmpSession::new();
+        amp.cast_params_to_f16(&mut [&mut p]);
+        // 0.1 is inexact in f16.
+        assert_ne!(p.value.as_slice()[0], 0.1);
+        assert_eq!(p.value.as_slice()[1], 1.0);
+        amp.restore_masters(&mut [&mut p]);
+        assert_eq!(p.value, original);
+    }
+
+    #[test]
+    fn unscale_divides_by_scale() {
+        let mut p = param(&[0.0]);
+        p.grad = Tensor::from_vec(vec![65536.0], &[1]).unwrap();
+        let mut amp = AmpSession::new();
+        assert!(amp.unscale_grads(&mut [&mut p]));
+        assert!((p.grad.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overflow_skips_and_backs_off() {
+        let mut p = param(&[0.0]);
+        p.grad = Tensor::from_vec(vec![f32::INFINITY], &[1]).unwrap();
+        let mut amp = AmpSession::new();
+        let scale0 = amp.loss_scale();
+        assert!(!amp.unscale_grads(&mut [&mut p]));
+        assert_eq!(p.grad.as_slice()[0], 0.0);
+        assert_eq!(amp.loss_scale(), scale0 * 0.5);
+    }
+
+    #[test]
+    fn scale_grows_after_interval() {
+        let mut amp = AmpSession::new();
+        amp.growth_interval = 3;
+        let mut p = param(&[0.0]);
+        let scale0 = amp.loss_scale();
+        for _ in 0..3 {
+            p.grad = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+            assert!(amp.unscale_grads(&mut [&mut p]));
+        }
+        assert_eq!(amp.loss_scale(), scale0 * 2.0);
+    }
+
+    #[test]
+    fn scaled_loss_grad() {
+        let amp = AmpSession::new();
+        let g = Tensor::from_vec(vec![1e-7], &[1]).unwrap();
+        let sg = amp.scale_loss_grad(&g);
+        // 1e-7 underflows f16; scaled by 2^16 it survives rounding.
+        let mut rounded = sg.clone();
+        AmpSession::round_grad_f16(&mut rounded);
+        assert!(rounded.as_slice()[0] > 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Token embedding table.
+//!
+//! Embeddings are index lookups rather than tensor-in/tensor-out maps, so
+//! [`Embedding`] has its own forward/backward API instead of implementing
+//! [`crate::Layer`]. The paper's LSTM ties the embedding with the decoder
+//! (Press & Wolf 2016); [`Embedding::project_logits`] implements that tied
+//! output projection (`logits = h · Eᵀ`) and
+//! [`Embedding::backward_projection`] its gradient, so a single parameter
+//! serves both roles exactly as in the reference implementation.
+
+use crate::param::Param;
+use crate::{NnError, Result};
+use puffer_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use puffer_tensor::Tensor;
+
+/// A `vocab × dim` embedding table.
+#[derive(Debug)]
+pub struct Embedding {
+    weight: Param,
+    vocab: usize,
+    dim: usize,
+    cached_tokens: Option<Vec<usize>>,
+    cached_hidden: Option<Tensor>,
+}
+
+impl Embedding {
+    /// Creates an embedding table initialized uniformly on `[-0.1, 0.1]`
+    /// (the PyTorch word-language-model default the paper builds on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if either dimension is zero.
+    pub fn new(vocab: usize, dim: usize, seed: u64) -> Result<Self> {
+        if vocab == 0 || dim == 0 {
+            return Err(NnError::BadConfig {
+                layer: "Embedding",
+                reason: format!("dimensions must be nonzero, got {vocab}x{dim}"),
+            });
+        }
+        let weight = Param::new("embedding.weight", Tensor::rand_uniform(&[vocab, dim], -0.1, 0.1, seed));
+        Ok(Embedding { weight, vocab, dim, cached_tokens: None, cached_hidden: None })
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying parameter.
+    pub fn param(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the underlying parameter (for optimizers).
+    pub fn param_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Looks up a batch of tokens, returning `[tokens.len(), dim]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token index is out of vocabulary (validated data is a
+    /// precondition; the data crate guarantees it).
+    pub fn forward(&mut self, tokens: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(&[tokens.len(), self.dim]);
+        for (row, &t) in tokens.iter().enumerate() {
+            assert!(t < self.vocab, "token {t} out of vocabulary ({})", self.vocab);
+            let src = &self.weight.value.as_slice()[t * self.dim..(t + 1) * self.dim];
+            out.as_mut_slice()[row * self.dim..(row + 1) * self.dim].copy_from_slice(src);
+        }
+        self.cached_tokens = Some(tokens.to_vec());
+        out
+    }
+
+    /// Accumulates the lookup gradient: row `t` of the table receives the
+    /// sum of gradients of every position that looked up token `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Embedding::forward`] or with a gradient of
+    /// the wrong shape.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let tokens = self.cached_tokens.as_ref().expect("backward before forward");
+        assert_eq!(grad.shape(), &[tokens.len(), self.dim], "Embedding gradient shape mismatch");
+        for (row, &t) in tokens.iter().enumerate() {
+            let g = &grad.as_slice()[row * self.dim..(row + 1) * self.dim];
+            let dst = &mut self.weight.grad.as_mut_slice()[t * self.dim..(t + 1) * self.dim];
+            for (d, gi) in dst.iter_mut().zip(g) {
+                *d += gi;
+            }
+        }
+    }
+
+    /// Accumulates the lookup gradient for an explicit token list, without
+    /// relying on the cached tokens from [`Embedding::forward`]. Needed when
+    /// the same table serves several lookups per step (e.g. the
+    /// Transformer's shared source/target embedding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` is not `[tokens.len(), dim]`.
+    pub fn backward_for(&mut self, tokens: &[usize], grad: &Tensor) {
+        assert_eq!(grad.shape(), &[tokens.len(), self.dim], "Embedding gradient shape mismatch");
+        for (row, &t) in tokens.iter().enumerate() {
+            let g = &grad.as_slice()[row * self.dim..(row + 1) * self.dim];
+            let dst = &mut self.weight.grad.as_mut_slice()[t * self.dim..(t + 1) * self.dim];
+            for (d, gi) in dst.iter_mut().zip(g) {
+                *d += gi;
+            }
+        }
+    }
+
+    /// Tied output projection: `logits = h · Eᵀ`, shape `[n, vocab]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not `[n, dim]`.
+    pub fn project_logits(&mut self, hidden: &Tensor) -> Tensor {
+        assert_eq!(hidden.shape()[1], self.dim, "tied projection dim mismatch");
+        let logits = matmul_nt(hidden, &self.weight.value).expect("shapes checked");
+        self.cached_hidden = Some(hidden.clone());
+        logits
+    }
+
+    /// Gradient of the tied projection: accumulates `∂L/∂E += dlogitsᵀ·h`
+    /// and returns `∂L/∂h = dlogits·E`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Embedding::project_logits`].
+    pub fn backward_projection(&mut self, dlogits: &Tensor) -> Tensor {
+        let h = self.cached_hidden.as_ref().expect("backward_projection before project_logits");
+        let de = matmul_tn(dlogits, h).expect("shapes checked");
+        self.weight.grad.axpy(1.0, &de).expect("grad shape");
+        matmul(dlogits, &self.weight.value).expect("shapes checked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_scatter() {
+        let mut e = Embedding::new(5, 3, 1).unwrap();
+        let out = e.forward(&[0, 2, 0]);
+        assert_eq!(out.shape(), &[3, 3]);
+        assert_eq!(out.row_slice(0), out.row_slice(2));
+
+        let mut g = Tensor::zeros(&[3, 3]);
+        g.as_mut_slice()[..3].copy_from_slice(&[1.0, 1.0, 1.0]);
+        g.as_mut_slice()[6..].copy_from_slice(&[2.0, 2.0, 2.0]);
+        e.backward(&g);
+        // Token 0 was used at rows 0 and 2: its grad row is 1+2 = 3.
+        assert_eq!(&e.param().grad.as_slice()[..3], &[3.0, 3.0, 3.0]);
+        // Token 2's grad is zero (row 1 of g is zero).
+        assert_eq!(&e.param().grad.as_slice()[6..9], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn tied_projection_shapes_and_grad() {
+        let mut e = Embedding::new(7, 4, 2).unwrap();
+        let h = Tensor::randn(&[3, 4], 1.0, 3);
+        let logits = e.project_logits(&h);
+        assert_eq!(logits.shape(), &[3, 7]);
+        let dh = e.backward_projection(&Tensor::ones(&[3, 7]));
+        assert_eq!(dh.shape(), &[3, 4]);
+        assert!(e.param().grad.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn tied_projection_gradcheck() {
+        let mut e = Embedding::new(4, 3, 5).unwrap();
+        let h = Tensor::randn(&[2, 3], 1.0, 6);
+        let kappa = Tensor::rand_uniform(&[2, 4], -1.0, 1.0, 7);
+        let _ = e.project_logits(&h);
+        let dh = e.backward_projection(&kappa);
+        let eps = 1e-2;
+        let mut hp = h.clone();
+        for i in 0..h.len() {
+            let orig = hp.as_slice()[i];
+            hp.as_mut_slice()[i] = orig + eps;
+            let fp = e.project_logits(&hp).dot(&kappa).unwrap();
+            hp.as_mut_slice()[i] = orig - eps;
+            let fm = e.project_logits(&hp).dot(&kappa).unwrap();
+            hp.as_mut_slice()[i] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dh.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Embedding::new(0, 4, 1).is_err());
+        assert!(Embedding::new(4, 0, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_panics() {
+        let mut e = Embedding::new(3, 2, 1).unwrap();
+        let _ = e.forward(&[3]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for network construction and loss computation.
+
+use puffer_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by fallible `puffer-nn` operations (constructors and
+/// losses). Shape errors inside `forward`/`backward` are programming errors
+/// and panic instead; see the `Layer` trait documentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A layer was configured with inconsistent dimensions.
+    BadConfig {
+        /// The layer type being constructed.
+        layer: &'static str,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A target index exceeded the number of classes.
+    BadTarget {
+        /// The offending class index.
+        class: usize,
+        /// The number of classes in the logits.
+        num_classes: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::BadConfig { layer, reason } => write!(f, "bad `{layer}` config: {reason}"),
+            NnError::BadTarget { class, num_classes } => {
+                write!(f, "target class {class} out of range for {num_classes} classes")
+            }
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::BadConfig { layer: "Linear", reason: "zero input dim".into() };
+        assert!(e.to_string().contains("Linear"));
+        let t = NnError::from(TensorError::RankOutOfRange { requested: 3, max: 2 });
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

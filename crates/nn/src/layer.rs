@@ -1,0 +1,298 @@
+//! The [`Layer`] trait and [`Sequential`] container.
+
+use crate::param::Param;
+use puffer_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Controls dropout (disabled in [`Mode::Eval`]) and batch-norm statistics
+/// (running statistics are used in [`Mode::Eval`], batch statistics in
+/// [`Mode::Train`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: caches activations for backward, uses batch statistics.
+    #[default]
+    Train,
+    /// Inference: no caching required, uses running statistics.
+    Eval,
+}
+
+/// A network layer with explicit forward and backward passes.
+///
+/// The contract:
+///
+/// * [`Layer::forward`] consumes an activation and caches whatever the
+///   backward pass needs (when called with [`Mode::Train`]).
+/// * [`Layer::backward`] consumes `∂L/∂output`, **accumulates** parameter
+///   gradients into each [`Param::grad`], and returns `∂L/∂input`. It must
+///   be called after a `Train`-mode forward with a gradient of the same
+///   shape as that forward's output.
+///
+/// # Panics
+///
+/// `forward`/`backward` panic on activation shape mismatches: these are
+/// programming errors, not recoverable conditions (constructors validate
+/// configuration and return errors instead).
+///
+/// Layers are `Send` so model replicas can be moved into data-parallel
+/// worker threads (`puffer-dist`).
+pub trait Layer: Send {
+    /// Forward pass.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backward pass: accumulates parameter gradients, returns the input
+    /// gradient.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer's parameters, in a stable order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable views of the layer's parameters, in the same order as
+    /// [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// A short human-readable description (e.g. `"Linear(512→10)"`).
+    fn describe(&self) -> String;
+
+    /// Total number of trainable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Non-trainable state in a stable order (e.g. BatchNorm running
+    /// statistics). Containers concatenate their children's buffers.
+    fn buffers(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Layer::buffers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on count or shape mismatch (checkpoint from a different
+    /// architecture).
+    fn load_buffers(&mut self, buffers: &[Tensor]) {
+        assert!(buffers.is_empty(), "layer has no buffers but {} were provided", buffers.len());
+    }
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// A chain of layers applied in order.
+///
+/// # Example
+///
+/// ```
+/// use puffer_nn::{Layer, Mode, Sequential};
+/// use puffer_nn::activation::Relu;
+/// use puffer_nn::linear::Linear;
+/// use puffer_tensor::Tensor;
+///
+/// let mut net = Sequential::new(vec![
+///     Box::new(Linear::new(2, 4, true, 0)?),
+///     Box::new(Relu::new()),
+/// ]);
+/// let y = net.forward(&Tensor::ones(&[1, 2]), Mode::Eval);
+/// assert_eq!(y.shape(), &[1, 4]);
+/// # Ok::<(), puffer_nn::NnError>(())
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the contained layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable access to the contained layers (used by model surgery when
+    /// Pufferfish swaps full-rank layers for factorized ones).
+    pub fn layers_mut(&mut self) -> &mut Vec<Box<dyn Layer>> {
+        &mut self.layers
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn describe(&self) -> String {
+        let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("Sequential[{}]", inner.join(", "))
+    }
+
+    fn buffers(&self) -> Vec<Tensor> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    fn load_buffers(&mut self, buffers: &[Tensor]) {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let n = layer.buffers().len();
+            layer.load_buffers(&buffers[off..off + n]);
+            off += n;
+        }
+        assert_eq!(off, buffers.len(), "buffer count mismatch");
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// Numerically checks a layer's input gradient with central finite
+/// differences. Returns the max absolute deviation between analytic and
+/// numeric `∂(sum κ·output)/∂input` for a random direction `κ`.
+///
+/// Test-support utility shared by all layer test modules; exposed publicly
+/// so downstream crates (models) can gradient-check their composites too.
+pub fn finite_diff_input_check<L: Layer>(layer: &mut L, input: &Tensor, eps: f32) -> f32 {
+    let kappa = Tensor::rand_uniform(&layer.forward(input, Mode::Train).shape().to_vec(), -1.0, 1.0, 777);
+    // Analytic gradient.
+    let _ = layer.forward(input, Mode::Train);
+    let analytic = layer.backward(&kappa);
+    // Numeric gradient.
+    let mut max_dev = 0.0f32;
+    let mut x = input.clone();
+    for i in 0..input.len() {
+        let orig = x.as_slice()[i];
+        x.as_mut_slice()[i] = orig + eps;
+        let fp = layer.forward(&x, Mode::Train).dot(&kappa).unwrap();
+        x.as_mut_slice()[i] = orig - eps;
+        let fm = layer.forward(&x, Mode::Train).dot(&kappa).unwrap();
+        x.as_mut_slice()[i] = orig;
+        let numeric = (fp - fm) / (2.0 * eps);
+        max_dev = max_dev.max((numeric - analytic.as_slice()[i]).abs());
+    }
+    max_dev
+}
+
+/// Numerically checks a layer's **parameter** gradients against central
+/// finite differences, returning the max absolute deviation across all
+/// parameters. See [`finite_diff_input_check`].
+pub fn finite_diff_param_check<L: Layer>(layer: &mut L, input: &Tensor, eps: f32) -> f32 {
+    let out = layer.forward(input, Mode::Train);
+    let kappa = Tensor::rand_uniform(&out.shape().to_vec(), -1.0, 1.0, 778);
+    layer.zero_grad();
+    let _ = layer.forward(input, Mode::Train);
+    let _ = layer.backward(&kappa);
+    let analytic: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+
+    let mut max_dev = 0.0f32;
+    let n_params = layer.params().len();
+    for pi in 0..n_params {
+        for i in 0..analytic[pi].len() {
+            let orig = layer.params()[pi].value.as_slice()[i];
+            layer.params_mut()[pi].value.as_mut_slice()[i] = orig + eps;
+            let fp = layer.forward(input, Mode::Train).dot(&kappa).unwrap();
+            layer.params_mut()[pi].value.as_mut_slice()[i] = orig - eps;
+            let fm = layer.forward(input, Mode::Train).dot(&kappa).unwrap();
+            layer.params_mut()[pi].value.as_mut_slice()[i] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            max_dev = max_dev.max((numeric - analytic[pi].as_slice()[i]).abs());
+        }
+    }
+    max_dev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+
+    #[test]
+    fn sequential_composes() {
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, true, 1).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(5, 2, true, 2).unwrap()),
+        ]);
+        let x = Tensor::randn(&[4, 3], 1.0, 3);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[4, 2]);
+        let gx = net.backward(&Tensor::ones(&[4, 2]));
+        assert_eq!(gx.shape(), &[4, 3]);
+        assert!(net.param_count() > 0);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn zero_grad_clears_everything() {
+        let mut net = Sequential::new(vec![Box::new(Linear::new(2, 2, true, 1).unwrap())]);
+        let x = Tensor::ones(&[1, 2]);
+        let _ = net.forward(&x, Mode::Train);
+        let _ = net.backward(&Tensor::ones(&[1, 2]));
+        assert!(net.params().iter().any(|p| p.grad.as_slice().iter().any(|&g| g != 0.0)));
+        net.zero_grad();
+        assert!(net.params().iter().all(|p| p.grad.as_slice().iter().all(|&g| g == 0.0)));
+    }
+
+    #[test]
+    fn sequential_gradcheck() {
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(3, 4, true, 1).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(4, 2, true, 2).unwrap()),
+        ]);
+        // Keep inputs away from ReLU kinks.
+        let x = Tensor::rand_uniform(&[2, 3], 0.3, 1.0, 5);
+        let dev = finite_diff_input_check(&mut net, &x, 1e-3);
+        assert!(dev < 1e-2, "input grad deviation {dev}");
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        let net = Sequential::new(vec![Box::new(Relu::new())]);
+        assert!(net.describe().contains("Relu"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Fully connected layers: vanilla [`Linear`] and Pufferfish's
+//! [`LowRankLinear`] (`W ≈ U·Vᵀ`, paper §2.1).
+
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::{NnError, Result};
+use puffer_tensor::init::kaiming_normal;
+use puffer_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use puffer_tensor::Tensor;
+
+/// Dense layer `y = x·Wᵀ + b` with `W ∈ R^{out×in}`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, seed: u64) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::BadConfig {
+                layer: "Linear",
+                reason: format!("dimensions must be nonzero, got {in_features}x{out_features}"),
+            });
+        }
+        let weight = Param::new("weight", kaiming_normal(&[out_features, in_features], in_features, seed));
+        let bias = bias.then(|| Param::new_no_decay("bias", Tensor::zeros(&[out_features])));
+        Ok(Linear { weight, bias, in_features, out_features, cached_input: None })
+    }
+
+    /// Creates a layer from explicit weights (used by warm-start surgery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if `weight` is not 2-D or `bias` has
+    /// the wrong length.
+    pub fn from_weights(weight: Tensor, bias: Option<Tensor>) -> Result<Self> {
+        if weight.ndim() != 2 {
+            return Err(NnError::BadConfig { layer: "Linear", reason: "weight must be 2-D".into() });
+        }
+        let (out_features, in_features) = (weight.shape()[0], weight.shape()[1]);
+        if let Some(b) = &bias {
+            if b.len() != out_features {
+                return Err(NnError::BadConfig {
+                    layer: "Linear",
+                    reason: format!("bias length {} != out features {out_features}", b.len()),
+                });
+            }
+        }
+        Ok(Linear {
+            weight: Param::new("weight", weight),
+            bias: bias.map(|b| Param::new_no_decay("bias", b)),
+            in_features,
+            out_features,
+            cached_input: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight matrix (`out×in`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias vector, if present.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|p| &p.value)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Linear expects [batch, features]");
+        assert_eq!(input.shape()[1], self.in_features, "Linear input feature mismatch");
+        let mut y = matmul_nt(input, &self.weight.value).expect("shapes checked");
+        if let Some(b) = &self.bias {
+            add_bias_rows(&mut y, &b.value);
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before train-mode forward");
+        let dw = matmul_tn(grad_output, x).expect("shapes checked");
+        self.weight.grad.axpy(1.0, &dw).expect("grad shape");
+        if let Some(b) = &mut self.bias {
+            accumulate_bias_grad(&mut b.grad, grad_output);
+        }
+        matmul(grad_output, &self.weight.value).expect("shapes checked")
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.weight];
+        v.extend(self.bias.as_ref());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.weight];
+        v.extend(self.bias.as_mut());
+        v
+    }
+
+    fn describe(&self) -> String {
+        format!("Linear({}→{})", self.in_features, self.out_features)
+    }
+}
+
+/// Pufferfish factorized dense layer `y = ((x·V)·Uᵀ) + b` where the dense
+/// `W ∈ R^{out×in}` is replaced by `U ∈ R^{out×r}` and `Vᵀ ∈ R^{r×in}`.
+///
+/// Parameter count drops from `out·in` to `r·(out+in)` (Table 1).
+#[derive(Debug)]
+pub struct LowRankLinear {
+    u: Param,
+    vt: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+    rank: usize,
+    cached_input: Option<Tensor>,
+    cached_hidden: Option<Tensor>,
+}
+
+impl LowRankLinear {
+    /// Creates a randomly initialized factorized layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] if any dimension is zero or
+    /// `rank > min(in, out)`.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        rank: usize,
+        bias: bool,
+        seed: u64,
+    ) -> Result<Self> {
+        validate_rank("LowRankLinear", in_features, out_features, rank)?;
+        // Initialize so that U·Vᵀ has Kaiming-like variance: each factor gets
+        // the fourth root of the target variance.
+        let std = (2.0 / in_features as f32).sqrt() / (rank as f32).sqrt();
+        let u = Param::new("weight_u", Tensor::randn(&[out_features, rank], std.sqrt(), seed));
+        let vt = Param::new("weight_v", Tensor::randn(&[rank, in_features], std.sqrt(), seed.wrapping_add(1)));
+        let bias = bias.then(|| Param::new_no_decay("bias", Tensor::zeros(&[out_features])));
+        Ok(LowRankLinear {
+            u,
+            vt,
+            bias,
+            in_features,
+            out_features,
+            rank,
+            cached_input: None,
+            cached_hidden: None,
+        })
+    }
+
+    /// Creates a factorized layer from explicit factors (`U: out×r`,
+    /// `Vᵀ: r×in`), the output of Pufferfish's SVD warm-start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] on factor shape mismatch.
+    pub fn from_factors(u: Tensor, vt: Tensor, bias: Option<Tensor>) -> Result<Self> {
+        if u.ndim() != 2 || vt.ndim() != 2 || u.shape()[1] != vt.shape()[0] {
+            return Err(NnError::BadConfig {
+                layer: "LowRankLinear",
+                reason: format!("incompatible factors {:?} / {:?}", u.shape(), vt.shape()),
+            });
+        }
+        let (out_features, rank) = (u.shape()[0], u.shape()[1]);
+        let in_features = vt.shape()[1];
+        if let Some(b) = &bias {
+            if b.len() != out_features {
+                return Err(NnError::BadConfig {
+                    layer: "LowRankLinear",
+                    reason: format!("bias length {} != out features {out_features}", b.len()),
+                });
+            }
+        }
+        Ok(LowRankLinear {
+            u: Param::new("weight_u", u),
+            vt: Param::new("weight_v", vt),
+            bias: bias.map(|b| Param::new_no_decay("bias", b)),
+            in_features,
+            out_features,
+            rank,
+            cached_input: None,
+            cached_hidden: None,
+        })
+    }
+
+    /// The factorization rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Reconstructs the effective dense weight `U·Vᵀ` (for tests/analysis).
+    pub fn effective_weight(&self) -> Tensor {
+        matmul(&self.u.value, &self.vt.value).expect("factor shapes are consistent")
+    }
+}
+
+impl Layer for LowRankLinear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 2, "LowRankLinear expects [batch, features]");
+        assert_eq!(input.shape()[1], self.in_features, "LowRankLinear input feature mismatch");
+        let hidden = matmul_nt(input, &self.vt.value).expect("shapes checked"); // [N, r]
+        let mut y = matmul_nt(&hidden, &self.u.value).expect("shapes checked"); // [N, out]
+        if let Some(b) = &self.bias {
+            add_bias_rows(&mut y, &b.value);
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+            self.cached_hidden = Some(hidden);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before train-mode forward");
+        let h = self.cached_hidden.as_ref().expect("backward before train-mode forward");
+        // dU = dYᵀ·H, dH = dY·U, dVᵀ = dHᵀ·X, dX = dH·Vᵀ
+        let du = matmul_tn(grad_output, h).expect("shapes checked");
+        self.u.grad.axpy(1.0, &du).expect("grad shape");
+        let dh = matmul(grad_output, &self.u.value).expect("shapes checked");
+        let dvt = matmul_tn(&dh, x).expect("shapes checked");
+        self.vt.grad.axpy(1.0, &dvt).expect("grad shape");
+        if let Some(b) = &mut self.bias {
+            accumulate_bias_grad(&mut b.grad, grad_output);
+        }
+        matmul(&dh, &self.vt.value).expect("shapes checked")
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.u, &self.vt];
+        v.extend(self.bias.as_ref());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.u, &mut self.vt];
+        v.extend(self.bias.as_mut());
+        v
+    }
+
+    fn describe(&self) -> String {
+        format!("LowRankLinear({}→{}, r={})", self.in_features, self.out_features, self.rank)
+    }
+}
+
+pub(crate) fn validate_rank(
+    layer: &'static str,
+    in_features: usize,
+    out_features: usize,
+    rank: usize,
+) -> Result<()> {
+    if in_features == 0 || out_features == 0 || rank == 0 {
+        return Err(NnError::BadConfig {
+            layer,
+            reason: format!("dimensions must be nonzero, got {in_features}x{out_features} rank {rank}"),
+        });
+    }
+    if rank > in_features.min(out_features) {
+        return Err(NnError::BadConfig {
+            layer,
+            reason: format!("rank {rank} exceeds min({in_features}, {out_features})"),
+        });
+    }
+    Ok(())
+}
+
+/// Adds a bias vector to every row of a `[rows, features]` activation.
+/// Shared by every layer with a per-feature bias.
+pub fn add_bias_rows(y: &mut Tensor, bias: &Tensor) {
+    let cols = y.shape()[y.ndim() - 1];
+    debug_assert_eq!(bias.len(), cols);
+    for row in y.as_mut_slice().chunks_mut(cols) {
+        for (v, b) in row.iter_mut().zip(bias.as_slice()) {
+            *v += b;
+        }
+    }
+}
+
+/// Accumulates a bias gradient: the row-sum of `grad_output`. The adjoint
+/// of [`add_bias_rows`].
+pub fn accumulate_bias_grad(bias_grad: &mut Tensor, grad_output: &Tensor) {
+    let cols = bias_grad.len();
+    for row in grad_output.as_slice().chunks(cols) {
+        for (g, d) in bias_grad.as_mut_slice().iter_mut().zip(row) {
+            *g += d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{finite_diff_input_check, finite_diff_param_check};
+    use puffer_tensor::stats::rel_error;
+
+    #[test]
+    fn linear_forward_known_values() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let mut l = Linear::from_weights(w, Some(b)).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]).unwrap();
+        let y = l.forward(&x, Mode::Eval);
+        // y = [1-3+0.5, 4-6-0.5] = [-1.5, -2.5]
+        assert_eq!(y.as_slice(), &[-1.5, -2.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut l = Linear::new(4, 3, true, 1).unwrap();
+        let x = Tensor::randn(&[2, 4], 1.0, 2);
+        assert!(finite_diff_input_check(&mut l, &x, 1e-2) < 1e-2);
+        assert!(finite_diff_param_check(&mut l, &x, 1e-2) < 1e-2);
+    }
+
+    #[test]
+    fn low_rank_gradcheck() {
+        let mut l = LowRankLinear::new(5, 4, 2, true, 3).unwrap();
+        let x = Tensor::randn(&[3, 5], 1.0, 4);
+        assert!(finite_diff_input_check(&mut l, &x, 1e-2) < 1e-2);
+        assert!(finite_diff_param_check(&mut l, &x, 1e-2) < 1e-2);
+    }
+
+    #[test]
+    fn full_rank_factorization_is_exact() {
+        // With r = min(in, out), LowRankLinear can represent any Linear.
+        let dense = Linear::new(6, 4, false, 5).unwrap();
+        let f = puffer_tensor::svd::truncated_svd(dense.weight(), 4).unwrap();
+        let (u, vt) = f.split_balanced();
+        let mut lr = LowRankLinear::from_factors(u, vt, None).unwrap();
+        let mut dense = dense;
+        let x = Tensor::randn(&[3, 6], 1.0, 6);
+        let yd = dense.forward(&x, Mode::Eval);
+        let yl = lr.forward(&x, Mode::Eval);
+        assert!(rel_error(&yd, &yl) < 1e-3, "rel err {}", rel_error(&yd, &yl));
+    }
+
+    #[test]
+    fn param_counts_match_table1() {
+        let (m, n, r) = (128usize, 64usize, 16usize);
+        let dense = Linear::new(n, m, false, 1).unwrap();
+        assert_eq!(dense.param_count(), m * n);
+        let lr = LowRankLinear::new(n, m, r, false, 1).unwrap();
+        assert_eq!(lr.param_count(), r * (m + n));
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_batch() {
+        let mut l = Linear::new(2, 2, true, 1).unwrap();
+        let x = Tensor::ones(&[4, 2]);
+        let _ = l.forward(&x, Mode::Train);
+        let _ = l.backward(&Tensor::ones(&[4, 2]));
+        // db = sum over 4 batch rows of ones = 4.
+        assert_eq!(l.params()[1].grad.as_slice(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Linear::new(0, 4, true, 1).is_err());
+        assert!(LowRankLinear::new(4, 4, 5, true, 1).is_err());
+        assert!(LowRankLinear::new(4, 4, 0, true, 1).is_err());
+        let u = Tensor::zeros(&[4, 2]);
+        let vt = Tensor::zeros(&[3, 5]);
+        assert!(LowRankLinear::from_factors(u, vt, None).is_err());
+    }
+
+    #[test]
+    fn effective_weight_matches_factors() {
+        let lr = LowRankLinear::new(4, 3, 2, false, 7).unwrap();
+        let w = lr.effective_weight();
+        assert_eq!(w.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn grads_accumulate_across_backward_calls() {
+        let mut l = Linear::new(2, 2, false, 1).unwrap();
+        let x = Tensor::ones(&[1, 2]);
+        let g = Tensor::ones(&[1, 2]);
+        let _ = l.forward(&x, Mode::Train);
+        let _ = l.backward(&g);
+        let g1 = l.params()[0].grad.clone();
+        let _ = l.forward(&x, Mode::Train);
+        let _ = l.backward(&g);
+        let g2 = l.params()[0].grad.clone();
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+    }
+}

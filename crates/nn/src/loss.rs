@@ -1,0 +1,204 @@
+//! Losses and classification metrics.
+
+use crate::{NnError, Result};
+use puffer_tensor::stats::top_k_indices;
+use puffer_tensor::Tensor;
+
+/// Softmax cross-entropy with optional label smoothing, returning the mean
+/// loss and `∂L/∂logits`.
+///
+/// With smoothing `ε`, the target distribution is
+/// `(1-ε)·onehot + ε/C` — the recipe the paper uses for ImageNet and the
+/// Transformer (appendix I).
+///
+/// # Errors
+///
+/// Returns [`NnError::BadTarget`] if any target index is out of range, or a
+/// shape error if `targets.len()` does not match the batch dimension.
+///
+/// # Example
+///
+/// ```
+/// use puffer_nn::loss::softmax_cross_entropy;
+/// use puffer_tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2])?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1], 0.0)?;
+/// assert!(loss < 1e-3);           // confident and correct
+/// assert_eq!(grad.shape(), &[2, 2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    targets: &[usize],
+    label_smoothing: f32,
+) -> Result<(f32, Tensor)> {
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    if targets.len() != n {
+        return Err(NnError::BadConfig {
+            layer: "softmax_cross_entropy",
+            reason: format!("{} targets for batch of {n}", targets.len()),
+        });
+    }
+    for &t in targets {
+        if t >= c {
+            return Err(NnError::BadTarget { class: t, num_classes: c });
+        }
+    }
+    let eps = label_smoothing;
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let row = logits.row_slice(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let log_z = z.ln() + max;
+        // Smoothed target: (1-eps) onehot + eps/C.
+        let mut loss_i = 0.0f32;
+        for j in 0..c {
+            let p = exps[j] / z;
+            let target_w = if j == targets[i] { 1.0 - eps + eps / c as f32 } else { eps / c as f32 };
+            loss_i += target_w * (log_z - row[j]);
+            grad.as_mut_slice()[i * c + j] = (p - target_w) / n as f32;
+        }
+        total += loss_i as f64;
+    }
+    Ok(((total / n as f64) as f32, grad))
+}
+
+/// Mean negative log-likelihood of the targets under `softmax(logits)` —
+/// the quantity whose exponential is perplexity.
+///
+/// # Errors
+///
+/// Same as [`softmax_cross_entropy`].
+pub fn nll(logits: &Tensor, targets: &[usize]) -> Result<f32> {
+    softmax_cross_entropy(logits, targets, 0.0).map(|(l, _)| l)
+}
+
+/// Perplexity `exp(NLL)` over the batch.
+///
+/// # Errors
+///
+/// Same as [`softmax_cross_entropy`].
+pub fn perplexity(logits: &Tensor, targets: &[usize]) -> Result<f32> {
+    nll(logits, targets).map(f32::exp)
+}
+
+/// Top-1 accuracy in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `targets.len()` differs from the batch dimension.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    top_k_accuracy(logits, targets, 1)
+}
+
+/// Top-k accuracy in `[0, 1]` (paper Tables 5 and 7 report top-1 and top-5).
+///
+/// # Panics
+///
+/// Panics if `targets.len()` differs from the batch dimension.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
+    let (n, _c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(targets.len(), n, "targets/batch mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for i in 0..n {
+        let top = top_k_indices(logits.row_slice(i), k);
+        if top.contains(&targets[i]) {
+            hits += 1;
+        }
+    }
+    hits as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3], 0.0).unwrap();
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::randn(&[3, 4], 1.0, 1);
+        let targets = [2, 0, 3];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets, 0.1).unwrap();
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets, 0.1).unwrap();
+            lp.as_mut_slice()[i] -= 2.0 * eps;
+            let (fm, _) = softmax_cross_entropy(&lp, &targets, 0.1).unwrap();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.as_slice()[i]).abs() < 1e-3, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // Softmax CE gradient rows always sum to zero (prob simplex).
+        let logits = Tensor::randn(&[5, 7], 2.0, 2);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4], 0.2).unwrap();
+        for i in 0..5 {
+            let s: f32 = grad.row_slice(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn label_smoothing_increases_confident_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (plain, _) = softmax_cross_entropy(&logits, &[0], 0.0).unwrap();
+        let (smoothed, _) = softmax_cross_entropy(&logits, &[0], 0.1).unwrap();
+        assert!(smoothed > plain);
+    }
+
+    #[test]
+    fn numerical_stability_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0], 0.0).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_metrics() {
+        let logits = Tensor::from_vec(
+            vec![
+                3.0, 2.0, 1.0, // top-1 = 0
+                1.0, 3.0, 2.0, // top-1 = 1
+                1.0, 2.0, 3.0, // top-1 = 2
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 2.0 / 3.0);
+        // Top-2 sets per row: {0,1}, {1,2}, {2,1}.
+        assert_eq!(top_k_accuracy(&logits, &[1, 0, 0], 2), 1.0 / 3.0);
+        assert_eq!(top_k_accuracy(&logits, &[1, 2, 1], 2), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 2, 2], 3), 1.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0], 0.0).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 9], 0.0).is_err());
+    }
+
+    #[test]
+    fn perplexity_of_uniform_is_vocab_size() {
+        let logits = Tensor::zeros(&[4, 50]);
+        let ppl = perplexity(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((ppl - 50.0).abs() < 0.01);
+    }
+}

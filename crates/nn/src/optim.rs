@@ -1,0 +1,234 @@
+//! Optimizers: SGD with momentum + weight decay, and Adam.
+//!
+//! Optimizers are stateful and keyed by parameter *position*: callers must
+//! pass the same parameter list (same order, from the same model) on every
+//! step — exactly what [`crate::Layer::params_mut`] guarantees. When
+//! Pufferfish swaps the model architecture at the warm-up boundary
+//! (Algorithm 1), a **fresh optimizer is created** for the hybrid network,
+//! matching the reference implementation.
+
+use crate::param::Param;
+use puffer_tensor::Tensor;
+
+/// Stochastic gradient descent with momentum and decoupled-from-BN weight
+/// decay (ℓ2 applied only to parameters with
+/// [`Param::apply_weight_decay`]).
+///
+/// Matches `torch.optim.SGD`: `v ← μ·v + (g + λ·w)`, `w ← w − η·v`.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer. The paper's CNN recipe is
+    /// `momentum = 0.9`, `weight_decay = 1e-4` (appendix I).
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (driven by a schedule).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params` using their accumulated
+    /// gradients. Gradients are **not** zeroed; call
+    /// [`crate::Layer::zero_grad`] before the next accumulation.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            debug_assert_eq!(v.shape(), p.value.shape(), "optimizer/param list mismatch");
+            let decay = if p.apply_weight_decay { self.weight_decay } else { 0.0 };
+            let vs = v.as_mut_slice();
+            let ws = p.value.as_mut_slice();
+            let gs = p.grad.as_slice();
+            for i in 0..ws.len() {
+                let g = gs[i] + decay * ws[i];
+                vs[i] = self.momentum * vs[i] + g;
+                ws[i] -= self.lr * vs[i];
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba). The paper's Transformer recipe is
+/// `lr = 1e-3, β = (0.9, 0.98), ε = 1e-8` (appendix I).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        Adam { lr, beta1, beta2, eps, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adam with the paper's Transformer hyper-parameters.
+    pub fn transformer_default() -> Self {
+        Self::new(1e-3, 0.9, 0.98, 1e-8, 0.0)
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step (see [`Sgd::step`] for the contract).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let decay = if p.apply_weight_decay { self.weight_decay } else { 0.0 };
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            let ws = p.value.as_mut_slice();
+            let gs = p.grad.as_slice();
+            for i in 0..ws.len() {
+                let g = gs[i] + decay * ws[i];
+                ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * g;
+                vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * g * g;
+                let mhat = ms[i] / bc1;
+                let vhat = vs[i] / bc2;
+                ws[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Clips the global gradient norm to `max_norm` (the paper clips the LSTM
+/// and Transformer gradients to 0.25, appendix I). Returns the pre-clip
+/// norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params.iter_mut() {
+            p.grad.scale(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: &[f32]) -> Param {
+        Param::new("x", Tensor::from_vec(x0.to_vec(), &[x0.len()]).unwrap())
+    }
+
+    /// Sets grad = ∇(½‖x‖²) = x.
+    fn set_quadratic_grad(p: &mut Param) {
+        let g = p.value.clone();
+        p.grad = g;
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut p = quadratic_param(&[5.0, -3.0]);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        for _ in 0..100 {
+            set_quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(puffer_tensor::stats::l2_norm(&p.value) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_matches_pytorch_semantics() {
+        // One step with momentum: v = g, w -= lr*g. Second step: v = mu*g + g.
+        let mut p = quadratic_param(&[1.0]);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        p.grad = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] - 0.9).abs() < 1e-6);
+        p.grad = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        opt.step(&mut [&mut p]);
+        // v2 = 0.9*1 + 1 = 1.9; w = 0.9 - 0.19 = 0.71.
+        assert!((p.value.as_slice()[0] - 0.71).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_respects_no_decay_flag() {
+        let mut decayed = quadratic_param(&[1.0]);
+        let mut exempt = Param::new_no_decay("b", Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        // Zero gradients: only decay acts.
+        opt.step(&mut [&mut decayed, &mut exempt]);
+        assert!(decayed.value.as_slice()[0] < 1.0);
+        assert_eq!(exempt.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = quadratic_param(&[5.0, -3.0, 2.0]);
+        let mut opt = Adam::new(0.1, 0.9, 0.999, 1e-8, 0.0);
+        for _ in 0..300 {
+            set_quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(puffer_tensor::stats::l2_norm(&p.value) < 1e-2);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // Bias correction makes the first Adam step ≈ lr * sign(g).
+        let mut p = quadratic_param(&[1.0]);
+        let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-8, 0.0);
+        p.grad = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] - 0.99).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let mut p = quadratic_param(&[3.0, 4.0]);
+        p.grad = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post: f32 = p.grad.as_slice().iter().map(|g| g * g).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let mut p = quadratic_param(&[0.1]);
+        p.grad = Tensor::from_vec(vec![0.1], &[1]).unwrap();
+        clip_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(p.grad.as_slice()[0], 0.1);
+    }
+}

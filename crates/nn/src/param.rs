@@ -1,0 +1,78 @@
+//! Trainable parameters.
+
+use puffer_tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+///
+/// `apply_weight_decay` mirrors the paper's training recipe, which applies
+/// ℓ2 regularization to weights but **not** to BatchNorm affine parameters
+/// or biases (appendix I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Human-readable dotted name (e.g. `"layer10.conv10_u.weight"`),
+    /// mirroring the paper's appendix tables.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient; same shape as `value`.
+    pub grad: Tensor,
+    /// Whether optimizers should apply weight decay to this parameter.
+    pub apply_weight_decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient buffer.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { name: name.into(), value, grad, apply_weight_decay: true }
+    }
+
+    /// Creates a parameter exempt from weight decay (biases, norm affines).
+    pub fn new_no_decay(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Self::new(name, value);
+        p.apply_weight_decay = false;
+        p
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Zeroes the gradient buffer.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_zeroes_grad() {
+        let p = Param::new("w", Tensor::ones(&[2, 2]));
+        assert_eq!(p.grad.as_slice(), &[0.0; 4]);
+        assert!(p.apply_weight_decay);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn no_decay_constructor() {
+        let p = Param::new_no_decay("b", Tensor::ones(&[3]));
+        assert!(!p.apply_weight_decay);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("w", Tensor::ones(&[2]));
+        p.grad.as_mut_slice().fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+}

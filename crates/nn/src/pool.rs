@@ -1,0 +1,262 @@
+//! Spatial pooling and shape-bridging layers for CNNs.
+
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use puffer_tensor::Tensor;
+
+/// 2-D max pooling with square kernel and equal stride.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    argmax: Option<Vec<usize>>,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer (`kernel_size = stride = k` is the VGG/ResNet
+    /// convention used throughout the paper's appendix tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be nonzero");
+        MaxPool2d { kernel, stride, argmax: None, input_shape: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 4, "MaxPool2d expects [N, C, H, W]");
+        let (n, c, h, w) = {
+            let s = input.shape();
+            (s[0], s[1], s[2], s[3])
+        };
+        let ho = (h - self.kernel) / self.stride + 1;
+        let wo = (w - self.kernel) / self.stride + 1;
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        let mut argmax = vec![0usize; out.len()];
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        let mut oi = 0;
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..self.kernel {
+                                let ix = ox * self.stride + kx;
+                                let idx = base + iy * w + ix;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[oi] = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.argmax = Some(argmax);
+            self.input_shape = Some(input.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward before train-mode forward");
+        let shape = self.input_shape.as_ref().expect("backward before train-mode forward");
+        assert_eq!(argmax.len(), grad_output.len(), "MaxPool2d gradient shape mismatch");
+        let mut gin = Tensor::zeros(shape);
+        let gv = gin.as_mut_slice();
+        for (g, &idx) in grad_output.as_slice().iter().zip(argmax) {
+            gv[idx] += g;
+        }
+        gin
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        format!("MaxPool2d(k={}, s={})", self.kernel, self.stride)
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 4, "GlobalAvgPool expects [N, C, H, W]");
+        let (n, c, h, w) = {
+            let s = input.shape();
+            (s[0], s[1], s[2], s[3])
+        };
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let s: f32 = input.as_slice()[base..base + h * w].iter().sum();
+                out.as_mut_slice()[ni * c + ci] = s / hw;
+            }
+        }
+        if mode == Mode::Train {
+            self.input_shape = Some(input.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("backward before train-mode forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(grad_output.shape(), &[n, c], "GlobalAvgPool gradient shape mismatch");
+        let inv = 1.0 / (h * w) as f32;
+        let mut gin = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_output.as_slice()[ni * c + ci] * inv;
+                let base = (ni * c + ci) * h * w;
+                for v in &mut gin.as_mut_slice()[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        gin
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        "GlobalAvgPool".into()
+    }
+}
+
+/// Flattens `[N, ...] → [N, prod(...)]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert!(input.ndim() >= 2, "Flatten expects a batch dimension");
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if mode == Mode::Train {
+            self.input_shape = Some(input.shape().to_vec());
+        }
+        input.reshape(&[n, rest]).expect("flatten preserves element count")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("backward before train-mode forward");
+        grad_output.reshape(shape).expect("flatten backward preserves element count")
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        "Flatten".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_known_values() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        // Backward routes gradient to argmax positions only.
+        let g = p.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        let expected: Vec<f32> = (0..16)
+            .map(|i| if [5, 7, 13, 15].contains(&i) { 1.0 } else { 0.0 })
+            .collect();
+        assert_eq!(g.as_slice(), &expected[..]);
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[4.0]);
+        let g = p.backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap());
+        assert_eq!(g.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, 1);
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn maxpool_grad_accumulates_duplicate_max() {
+        // Stride 1 pooling: same input position can be max of two windows.
+        let mut p = MaxPool2d::new(2, 1);
+        let x = Tensor::from_vec(vec![0.0, 9.0, 0.0, 0.0, 0.0, 0.0], &[1, 1, 2, 3]).unwrap();
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[9.0, 9.0]);
+        let g = p.backward(&Tensor::ones(&[1, 1, 1, 2]));
+        assert_eq!(g.as_slice()[1], 2.0);
+    }
+}

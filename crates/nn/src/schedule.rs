@@ -1,0 +1,175 @@
+//! Learning-rate schedules used by the paper's recipes.
+
+/// A learning-rate schedule: a map from epoch index to learning rate.
+pub trait LrSchedule {
+    /// Learning rate to use during `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Piecewise-constant decay: multiply by `factor` at each milestone.
+///
+/// The paper's CIFAR recipe decays 0.1× at epochs 150 and 250 of 300; the
+/// ImageNet recipe at epochs 30, 60 and 80 of 90 (appendix I).
+#[derive(Debug, Clone)]
+pub struct StepDecay {
+    base_lr: f32,
+    milestones: Vec<usize>,
+    factor: f32,
+}
+
+impl StepDecay {
+    /// Creates a step-decay schedule.
+    pub fn new(base_lr: f32, milestones: Vec<usize>, factor: f32) -> Self {
+        StepDecay { base_lr, milestones, factor }
+    }
+
+    /// The paper's CIFAR-10 schedule: lr 0.1, ×0.1 at epochs 150 and 250.
+    pub fn cifar() -> Self {
+        Self::new(0.1, vec![150, 250], 0.1)
+    }
+
+    /// The paper's ImageNet schedule: lr 0.1, ×0.1 at epochs 30, 60, 80.
+    pub fn imagenet() -> Self {
+        Self::new(0.1, vec![30, 60, 80], 0.1)
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let passed = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr * self.factor.powi(passed as i32)
+    }
+}
+
+/// Linear warm-up from `start_lr` to `peak_lr` over `warmup_epochs`, then
+/// delegates to an inner schedule. Used in the paper's large-batch CIFAR
+/// runs (0.1 → 1.6 over 5 epochs, following Goyal et al. 2017).
+#[derive(Debug, Clone)]
+pub struct LinearWarmup<S> {
+    start_lr: f32,
+    peak_lr: f32,
+    warmup_epochs: usize,
+    inner: S,
+}
+
+impl<S: LrSchedule> LinearWarmup<S> {
+    /// Creates a warm-up wrapper around `inner`.
+    pub fn new(start_lr: f32, peak_lr: f32, warmup_epochs: usize, inner: S) -> Self {
+        LinearWarmup { start_lr, peak_lr, warmup_epochs, inner }
+    }
+}
+
+impl<S: LrSchedule> LrSchedule for LinearWarmup<S> {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        if self.warmup_epochs > 0 && epoch < self.warmup_epochs {
+            let t = epoch as f32 / self.warmup_epochs as f32;
+            self.start_lr + t * (self.peak_lr - self.start_lr)
+        } else {
+            self.inner.lr_at(epoch)
+        }
+    }
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub f32);
+
+impl LrSchedule for Constant {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Decay-on-plateau controller for the LSTM recipe: lr starts at `base_lr`
+/// and is multiplied by `factor` whenever validation loss fails to improve
+/// (paper: lr 20, ×0.25 on plateau). Stateful — drive it with
+/// [`PlateauDecay::observe`].
+#[derive(Debug, Clone)]
+pub struct PlateauDecay {
+    lr: f32,
+    factor: f32,
+    best: f32,
+}
+
+impl PlateauDecay {
+    /// Creates a plateau controller.
+    pub fn new(base_lr: f32, factor: f32) -> Self {
+        PlateauDecay { lr: base_lr, factor, best: f32::INFINITY }
+    }
+
+    /// The paper's WikiText-2 LSTM controller (lr 20, ×0.25 on plateau).
+    pub fn lstm_default() -> Self {
+        Self::new(20.0, 0.25)
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Scales the learning rate by an external factor (the paper halves the
+    /// LSTM lr at the warm-up → low-rank switch).
+    pub fn scale_lr(&mut self, factor: f32) {
+        self.lr *= factor;
+    }
+
+    /// Feeds a validation loss; decays the lr if it did not improve.
+    /// Returns the lr to use next epoch.
+    pub fn observe(&mut self, val_loss: f32) -> f32 {
+        if val_loss < self.best {
+            self.best = val_loss;
+        } else {
+            self.lr *= self.factor;
+        }
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_decay_milestones() {
+        let s = StepDecay::cifar();
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(149), 0.1);
+        assert!((s.lr_at(150) - 0.01).abs() < 1e-8);
+        assert!((s.lr_at(250) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imagenet_schedule() {
+        let s = StepDecay::imagenet();
+        assert_eq!(s.lr_at(29), 0.1);
+        assert!((s.lr_at(30) - 0.01).abs() < 1e-8);
+        assert!((s.lr_at(60) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(80) - 0.0001).abs() < 1e-10);
+    }
+
+    #[test]
+    fn warmup_interpolates_then_delegates() {
+        let s = LinearWarmup::new(0.1, 1.6, 5, StepDecay::new(1.6, vec![150], 0.1));
+        assert_eq!(s.lr_at(0), 0.1);
+        assert!((s.lr_at(4) - (0.1 + 0.8 * 1.5)).abs() < 1e-6);
+        assert_eq!(s.lr_at(5), 1.6);
+        assert!((s.lr_at(150) - 0.16).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plateau_decays_only_without_improvement() {
+        let mut p = PlateauDecay::new(20.0, 0.25);
+        assert_eq!(p.observe(5.0), 20.0); // improved
+        assert_eq!(p.observe(4.0), 20.0); // improved
+        assert_eq!(p.observe(4.5), 5.0); // plateau → decay
+        assert_eq!(p.observe(3.0), 5.0); // improved again
+        p.scale_lr(0.5);
+        assert_eq!(p.lr(), 2.5);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let c = Constant(0.01);
+        assert_eq!(c.lr_at(0), c.lr_at(1000));
+    }
+}

@@ -1,0 +1,283 @@
+//! Early-Bird tickets (You et al. 2019): structured channel pruning drawn
+//! early in training.
+//!
+//! Channels are ranked globally by the magnitude of their BatchNorm scale
+//! factor γ (the network-slimming criterion); the lowest `prune_ratio`
+//! fraction is masked. The "early bird" phenomenon is detected by the
+//! normalized Hamming distance between consecutive epochs' masks: when the
+//! largest distance over a sliding window drops below a threshold (paper:
+//! 0.1 over 5 epochs), the ticket is drawn and training switches to the
+//! pruned network. This is the "EB Train" baseline of the paper's Table 7.
+
+use puffer_nn::layer::Layer;
+use std::collections::VecDeque;
+
+/// A structured channel mask: per BN layer, per channel.
+pub type ChannelMask = Vec<Vec<bool>>;
+
+/// Extracts all BatchNorm γ vectors of a model (in parameter order),
+/// identified by the `"bn.weight"` naming convention.
+pub fn bn_gammas<M: Layer>(model: &M) -> Vec<Vec<f32>> {
+    model
+        .params()
+        .iter()
+        .filter(|p| p.name == "bn.weight")
+        .map(|p| p.value.as_slice().to_vec())
+        .collect()
+}
+
+/// Computes the global channel mask pruning the `ratio` fraction of
+/// channels with the smallest |γ| across all BN layers.
+///
+/// # Panics
+///
+/// Panics unless `0 <= ratio < 1`.
+pub fn global_channel_mask(gammas: &[Vec<f32>], ratio: f32) -> ChannelMask {
+    assert!((0.0..1.0).contains(&ratio), "prune ratio must be in [0, 1)");
+    let mut all: Vec<f32> = gammas.iter().flatten().map(|g| g.abs()).collect();
+    if all.is_empty() {
+        return Vec::new();
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let k = (all.len() as f32 * ratio) as usize;
+    let threshold = if k == 0 { f32::NEG_INFINITY } else { all[k - 1] };
+    let mut budget = k;
+    gammas
+        .iter()
+        .map(|layer| {
+            layer
+                .iter()
+                .map(|g| {
+                    if budget > 0 && g.abs() <= threshold {
+                        budget -= 1;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Normalized Hamming distance between two masks in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics on structurally different masks.
+pub fn mask_distance(a: &ChannelMask, b: &ChannelMask) -> f32 {
+    assert_eq!(a.len(), b.len(), "mask layer count mismatch");
+    let mut diff = 0usize;
+    let mut total = 0usize;
+    for (la, lb) in a.iter().zip(b) {
+        assert_eq!(la.len(), lb.len(), "mask channel count mismatch");
+        total += la.len();
+        diff += la.iter().zip(lb).filter(|(x, y)| x != y).count();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        diff as f32 / total as f32
+    }
+}
+
+/// Early-bird ticket detector: a sliding window of recent masks.
+#[derive(Debug)]
+pub struct EarlyBirdDetector {
+    prune_ratio: f32,
+    threshold: f32,
+    window: usize,
+    history: VecDeque<ChannelMask>,
+}
+
+impl EarlyBirdDetector {
+    /// Creates a detector with the paper's defaults (distance threshold
+    /// 0.1 over a 5-epoch window).
+    pub fn new(prune_ratio: f32) -> Self {
+        Self::with_window(prune_ratio, 0.1, 5)
+    }
+
+    /// Creates a detector with explicit threshold and window.
+    pub fn with_window(prune_ratio: f32, threshold: f32, window: usize) -> Self {
+        assert!(window >= 2, "window must hold at least two masks");
+        EarlyBirdDetector { prune_ratio, threshold, window, history: VecDeque::new() }
+    }
+
+    /// The pruning ratio this detector draws tickets for.
+    pub fn prune_ratio(&self) -> f32 {
+        self.prune_ratio
+    }
+
+    /// Observes one epoch's model; returns `Some(mask)` when the ticket has
+    /// converged (all pairwise distances to the newest mask within the
+    /// window are below the threshold).
+    pub fn observe<M: Layer>(&mut self, model: &M) -> Option<ChannelMask> {
+        let mask = global_channel_mask(&bn_gammas(model), self.prune_ratio);
+        self.history.push_back(mask.clone());
+        if self.history.len() > self.window {
+            self.history.pop_front();
+        }
+        if self.history.len() == self.window {
+            let newest = self.history.back().expect("nonempty");
+            let converged = self
+                .history
+                .iter()
+                .take(self.window - 1)
+                .all(|m| mask_distance(m, newest) < self.threshold);
+            if converged {
+                return Some(mask);
+            }
+        }
+        None
+    }
+}
+
+/// Applies a structured mask: zeroes pruned channels' BN affine and the
+/// producing conv filters (identified by the `"weight"` parameter directly
+/// preceding each `"bn.weight"`), and keeps them dead by zeroing gradients.
+/// Returns the **effective parameter count** (parameters in surviving
+/// channels only) — the number reported in Table 7.
+pub fn apply_channel_mask<M: Layer>(model: &mut M, mask: &ChannelMask) -> usize {
+    let mut effective = 0usize;
+    let mut bn_idx = 0usize;
+    let mut params = model.params_mut();
+    let n = params.len();
+    let mut i = 0;
+    while i < n {
+        if params[i].name == "bn.weight" {
+            let channels = &mask[bn_idx];
+            // Zero pruned channels' γ (and β at i+1).
+            for (c, &keep) in channels.iter().enumerate() {
+                if !keep {
+                    params[i].value.as_mut_slice()[c] = 0.0;
+                    if i + 1 < n && params[i + 1].name == "bn.bias" {
+                        params[i + 1].value.as_mut_slice()[c] = 0.0;
+                    }
+                }
+            }
+            let kept = channels.iter().filter(|&&k| k).count();
+            effective += 2 * kept; // surviving BN affine pairs
+            if i + 1 < n && params[i + 1].name == "bn.bias" {
+                // skip counting bn.bias separately below
+            }
+            // Zero the producing conv's filters (rows of the weight at i-1).
+            if i > 0 && params[i - 1].name.ends_with("weight") && params[i - 1].value.ndim() == 4 {
+                let w = &mut params[i - 1];
+                let c_out = w.value.shape()[0];
+                let per = w.value.len() / c_out;
+                debug_assert_eq!(c_out, channels.len(), "conv/bn channel mismatch");
+                for (c, &keep) in channels.iter().enumerate() {
+                    if !keep {
+                        w.value.as_mut_slice()[c * per..(c + 1) * per].fill(0.0);
+                    }
+                }
+                effective += kept * per;
+            }
+            bn_idx += 1;
+            i += 2; // skip bn.bias
+            continue;
+        }
+        // Parameters not governed by a BN mask count fully, except conv
+        // weights that precede a bn.weight (handled above).
+        let followed_by_bn = i + 1 < n && params[i + 1].name == "bn.weight"
+            && params[i].name.ends_with("weight")
+            && params[i].value.ndim() == 4;
+        if !followed_by_bn {
+            effective += params[i].len();
+        }
+        i += 1;
+    }
+    effective
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_models::units::ConvBnUnit;
+    use puffer_nn::layer::Mode;
+    use puffer_tensor::Tensor;
+
+    fn unit(c_out: usize) -> ConvBnUnit {
+        ConvBnUnit::dense(2, c_out, 3, 1, 1, true, 1).unwrap()
+    }
+
+    #[test]
+    fn gammas_extracted_by_name() {
+        let u = unit(6);
+        let g = bn_gammas(&u);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].len(), 6);
+        assert!(g[0].iter().all(|&x| x == 1.0)); // fresh BN
+    }
+
+    #[test]
+    fn global_mask_prunes_smallest_gammas() {
+        let gammas = vec![vec![0.1, 0.9, 0.5], vec![0.05, 0.8]];
+        let mask = global_channel_mask(&gammas, 0.4); // prune 2 of 5
+        assert_eq!(mask[0], vec![false, true, true]);
+        assert_eq!(mask[1], vec![false, true]);
+    }
+
+    #[test]
+    fn zero_ratio_keeps_everything() {
+        let gammas = vec![vec![0.1, 0.2]];
+        let mask = global_channel_mask(&gammas, 0.0);
+        assert!(mask[0].iter().all(|&k| k));
+    }
+
+    #[test]
+    fn mask_distance_measures_flips() {
+        let a = vec![vec![true, true, false, false]];
+        let b = vec![vec![true, false, true, false]];
+        assert_eq!(mask_distance(&a, &b), 0.5);
+        assert_eq!(mask_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn detector_fires_on_stable_masks() {
+        let mut unit = unit(8);
+        // Perturb gammas once so the ranking is nontrivial, then keep stable.
+        for (c, g) in unit.params_mut()[1].value.as_mut_slice().iter_mut().enumerate() {
+            *g = 0.1 + c as f32 * 0.1;
+        }
+        let mut det = EarlyBirdDetector::with_window(0.25, 0.1, 3);
+        assert!(det.observe(&unit).is_none()); // window not full
+        assert!(det.observe(&unit).is_none());
+        let ticket = det.observe(&unit);
+        assert!(ticket.is_some(), "stable masks must converge");
+        let mask = ticket.unwrap();
+        assert_eq!(mask[0].iter().filter(|&&k| !k).count(), 2); // 25% of 8
+    }
+
+    #[test]
+    fn detector_does_not_fire_on_churning_masks() {
+        let mut unit = unit(8);
+        let mut det = EarlyBirdDetector::with_window(0.5, 0.05, 3);
+        for epoch in 0..6 {
+            // Rotate the gamma ranking every epoch: masks keep changing.
+            for (c, g) in unit.params_mut()[1].value.as_mut_slice().iter_mut().enumerate() {
+                *g = ((c + epoch) % 8) as f32 * 0.1 + 0.05;
+            }
+            assert!(det.observe(&unit).is_none(), "churning masks converged at {epoch}");
+        }
+    }
+
+    #[test]
+    fn apply_mask_zeroes_channels_and_counts_params() {
+        let mut u = unit(4);
+        let full = u.param_count();
+        let mask = vec![vec![true, false, true, false]];
+        let effective = apply_channel_mask(&mut u, &mask);
+        // Half the conv filters and half the BN affine survive.
+        let conv_per_filter = 2 * 3 * 3;
+        assert_eq!(effective, 2 * conv_per_filter + 2 * 2);
+        assert!(effective < full);
+        // Pruned channel rows are zero.
+        let w = &u.params()[0].value;
+        assert!(w.as_slice()[conv_per_filter..2 * conv_per_filter].iter().all(|&x| x == 0.0));
+        // Forward still works.
+        let x = Tensor::randn(&[1, 2, 5, 5], 1.0, 2);
+        let y = u.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 4, 5, 5]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Pruning baselines for the Pufferfish reproduction.
+//!
+//! The paper compares against two pruning families:
+//!
+//! * [`lth`] — the Lottery Ticket Hypothesis iterative magnitude pruning
+//!   (Frankle & Carbin 2018): train → globally prune the smallest-magnitude
+//!   surviving weights → rewind survivors to their initial values →
+//!   retrain, repeated for several rounds. Massive compression, but the
+//!   repeated retraining is what makes LTH 5.67× slower than Pufferfish at
+//!   equal compression (Figure 5).
+//! * [`early_bird`] — Early-Bird tickets (You et al. 2019): structured
+//!   channel pruning drawn *early* in training by ranking BatchNorm scale
+//!   factors (γ) and detecting mask convergence via Hamming distance
+//!   (Table 7's EB Train baseline).
+//!
+//! Both operate generically on any [`puffer_nn::Layer`] through the
+//! workspace's parameter-name conventions (`"weight"` for prunable weight
+//! tensors, `"bn.weight"`/`"bn.bias"` for BatchNorm affines).
+
+pub mod early_bird;
+pub mod lth;

@@ -1,0 +1,278 @@
+//! Lottery Ticket Hypothesis iterative magnitude pruning with weight
+//! rewinding (Frankle & Carbin 2018).
+
+use puffer_nn::layer::Layer;
+use puffer_tensor::Tensor;
+
+/// Sparsity masks plus the initial weights needed for rewinding.
+///
+/// Masks cover exactly the parameters with
+/// [`puffer_nn::Param::apply_weight_decay`] set (weight tensors); biases
+/// and normalization affines are never pruned, matching the open-source
+/// LTH implementation the paper uses.
+#[derive(Debug, Clone)]
+pub struct LotteryState {
+    masks: Vec<Option<Vec<bool>>>,
+    init_values: Vec<Tensor>,
+}
+
+impl LotteryState {
+    /// Captures the initialization of a freshly built model.
+    pub fn capture<M: Layer>(model: &M) -> Self {
+        let params = model.params();
+        LotteryState {
+            masks: params
+                .iter()
+                .map(|p| p.apply_weight_decay.then(|| vec![true; p.len()]))
+                .collect(),
+            init_values: params.iter().map(|p| p.value.clone()).collect(),
+        }
+    }
+
+    /// Number of surviving (unmasked) prunable weights.
+    pub fn surviving(&self) -> usize {
+        self.masks
+            .iter()
+            .flatten()
+            .map(|m| m.iter().filter(|&&b| b).count())
+            .sum()
+    }
+
+    /// Total prunable weights.
+    pub fn prunable(&self) -> usize {
+        self.masks.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Current sparsity (fraction pruned) in `[0, 1]`.
+    pub fn sparsity(&self) -> f32 {
+        let total = self.prunable();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.surviving() as f32 / total as f32
+        }
+    }
+
+    /// Globally prunes `fraction` of the *surviving* weights by smallest
+    /// magnitude (the standard per-round LTH rule, e.g. 0.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    pub fn prune_global<M: Layer>(&mut self, model: &M, fraction: f32) {
+        assert!(fraction > 0.0 && fraction < 1.0, "prune fraction must be in (0, 1)");
+        // Collect magnitudes of surviving weights.
+        let params = model.params();
+        let mut mags: Vec<f32> = Vec::new();
+        for (p, mask) in params.iter().zip(&self.masks) {
+            if let Some(m) = mask {
+                for (v, &keep) in p.value.as_slice().iter().zip(m) {
+                    if keep {
+                        mags.push(v.abs());
+                    }
+                }
+            }
+        }
+        if mags.is_empty() {
+            return;
+        }
+        let k = ((mags.len() as f32 * fraction) as usize).min(mags.len() - 1);
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let threshold = mags[k];
+        // Kill surviving weights strictly below the threshold (plus enough
+        // at the threshold to approximate k, handled by <=-first-come).
+        let mut to_kill = k;
+        for (p, mask) in params.iter().zip(&mut self.masks) {
+            if let Some(m) = mask {
+                for (v, keep) in p.value.as_slice().iter().zip(m.iter_mut()) {
+                    if *keep && to_kill > 0 && v.abs() <= threshold {
+                        *keep = false;
+                        to_kill -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rewinds surviving weights to their captured initial values and zeroes
+    /// pruned ones ("winning ticket" reset).
+    pub fn rewind<M: Layer>(&self, model: &mut M) {
+        for ((p, mask), init) in model.params_mut().into_iter().zip(&self.masks).zip(&self.init_values) {
+            match mask {
+                None => {} // bias/BN: keep current values? LTH resets them too.
+                Some(m) => {
+                    for ((w, &keep), &w0) in
+                        p.value.as_mut_slice().iter_mut().zip(m).zip(init.as_slice())
+                    {
+                        *w = if keep { w0 } else { 0.0 };
+                    }
+                }
+            }
+            if mask.is_none() {
+                p.value = init.clone();
+            }
+        }
+    }
+
+    /// Applies masks to weights and gradients (call after every optimizer
+    /// step so pruned weights stay dead).
+    pub fn enforce<M: Layer>(&self, model: &mut M) {
+        for (p, mask) in model.params_mut().into_iter().zip(&self.masks) {
+            if let Some(m) = mask {
+                for (w, &keep) in p.value.as_mut_slice().iter_mut().zip(m) {
+                    if !keep {
+                        *w = 0.0;
+                    }
+                }
+                for (g, &keep) in p.grad.as_mut_slice().iter_mut().zip(m) {
+                    if !keep {
+                        *g = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remaining parameter count of the whole model (pruned weights
+    /// excluded, unprunable parameters included) — the x-axis of Figure 5.
+    pub fn effective_params<M: Layer>(&self, model: &M) -> usize {
+        let unprunable: usize = model
+            .params()
+            .iter()
+            .zip(&self.masks)
+            .filter(|(_, m)| m.is_none())
+            .map(|(p, _)| p.len())
+            .sum();
+        unprunable + self.surviving()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_nn::activation::Relu;
+    use puffer_nn::linear::Linear;
+    use puffer_nn::{Mode, Sequential};
+    use puffer_tensor::Tensor;
+
+    fn mlp() -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 8, true, 1).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, true, 2).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn capture_masks_only_weights() {
+        let m = mlp();
+        let state = LotteryState::capture(&m);
+        // Two weight matrices prunable: 32 + 16 = 48; biases excluded.
+        assert_eq!(state.prunable(), 48);
+        assert_eq!(state.surviving(), 48);
+        assert_eq!(state.sparsity(), 0.0);
+        assert_eq!(state.effective_params(&m), m.param_count());
+    }
+
+    #[test]
+    fn prune_removes_smallest_fraction() {
+        let m = mlp();
+        let mut state = LotteryState::capture(&m);
+        state.prune_global(&m, 0.25);
+        let surv = state.surviving();
+        assert!((surv as i32 - 36).abs() <= 1, "survivors {surv}");
+        // Iterative: another 25% of survivors.
+        state.prune_global(&m, 0.25);
+        assert!(state.surviving() < surv);
+    }
+
+    #[test]
+    fn pruned_weights_are_smallest_by_magnitude() {
+        let mut m = mlp();
+        let mut state = LotteryState::capture(&m);
+        state.prune_global(&m, 0.5);
+        state.enforce(&mut m);
+        // The max |w| among zeroed (pruned) positions must be <= min |w|
+        // among survivors — use the masks to check.
+        let params = m.params();
+        let mut max_pruned = 0.0f32;
+        let mut min_kept = f32::INFINITY;
+        for (p, mask) in params.iter().zip(&state.masks) {
+            if let Some(mask) = mask {
+                for (w, &keep) in p.value.as_slice().iter().zip(mask) {
+                    if keep {
+                        min_kept = min_kept.min(w.abs());
+                    }
+                }
+            }
+        }
+        // After enforce, pruned weights are exactly zero.
+        for (p, mask) in params.iter().zip(&state.masks) {
+            if let Some(mask) = mask {
+                for (w, &keep) in p.value.as_slice().iter().zip(mask) {
+                    if !keep {
+                        max_pruned = max_pruned.max(w.abs());
+                    }
+                }
+            }
+        }
+        assert_eq!(max_pruned, 0.0);
+        assert!(min_kept > 0.0);
+    }
+
+    #[test]
+    fn rewind_restores_survivors() {
+        let mut m = mlp();
+        let state0 = LotteryState::capture(&m);
+        // "Train": perturb all weights.
+        for p in m.params_mut() {
+            p.value.map_inplace(|w| w + 1.0);
+        }
+        let mut state = state0.clone();
+        state.prune_global(&m, 0.3);
+        state.rewind(&mut m);
+        // Survivors equal init, pruned are zero.
+        for ((p, mask), init) in m.params().iter().zip(&state.masks).zip(&state.init_values) {
+            if let Some(mask) = mask {
+                for ((w, &keep), w0) in p.value.as_slice().iter().zip(mask).zip(init.as_slice()) {
+                    if keep {
+                        assert_eq!(w, w0);
+                    } else {
+                        assert_eq!(*w, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enforce_keeps_gradients_masked() {
+        let mut m = mlp();
+        let mut state = LotteryState::capture(&m);
+        state.prune_global(&m, 0.5);
+        let x = Tensor::randn(&[3, 4], 1.0, 3);
+        let _ = m.forward(&x, Mode::Train);
+        let _ = m.backward(&Tensor::ones(&[3, 2]));
+        state.enforce(&mut m);
+        for (p, mask) in m.params().iter().zip(&state.masks) {
+            if let Some(mask) = mask {
+                for (g, &keep) in p.grad.as_slice().iter().zip(mask) {
+                    if !keep {
+                        assert_eq!(*g, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effective_params_tracks_sparsity() {
+        let m = mlp();
+        let mut state = LotteryState::capture(&m);
+        let before = state.effective_params(&m);
+        state.prune_global(&m, 0.5);
+        let after = state.effective_params(&m);
+        assert!(after < before);
+        assert_eq!(before - after, state.prunable() - state.surviving());
+    }
+}

@@ -1,0 +1,40 @@
+//! Micro-benchmarks for the tensor substrate: matmul profiles, im2col, SVD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use puffer_tensor::conv::{im2col, ConvGeometry};
+use puffer_tensor::matmul::{matmul_with_profile, MatmulProfile};
+use puffer_tensor::svd::truncated_svd;
+use puffer_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn(&[n, n], 1.0, 1);
+        let b = Tensor::randn(&[n, n], 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("reproducible", n), &n, |bch, _| {
+            bch.iter(|| matmul_with_profile(&a, &b, MatmulProfile::Reproducible).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |bch, _| {
+            bch.iter(|| matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geo = ConvGeometry { c_in: 64, h: 16, w: 16, k: 3, stride: 1, padding: 1 };
+    let x = Tensor::randn(&[8, 64, 16, 16], 1.0, 3);
+    c.bench_function("im2col_64c_16x16_b8", |b| b.iter(|| im2col(&x, &geo).unwrap()));
+}
+
+fn bench_truncated_svd(c: &mut Criterion) {
+    // The shape of a VGG conv10 unrolled weight: (c_in k², c_out) = (4608, 512),
+    // scaled down 4x to keep the bench fast.
+    let a = Tensor::randn(&[1152, 128], 1.0, 4);
+    c.bench_function("truncated_svd_1152x128_r32", |b| {
+        b.iter(|| truncated_svd(&a, 32).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_im2col, bench_truncated_svd);
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! im2col / col2im convolution primitives.
+//!
+//! Convolution layers in `puffer-nn` lower to matrix multiplication through
+//! [`im2col`]: an input batch `(N, C, H, W)` becomes a patch matrix of shape
+//! `(C·k², N·H_out·W_out)`, so a convolution with weight `(c_out, c_in, k, k)`
+//! is one matmul against the unrolled `(c_out, c_in·k²)` weight. This is the
+//! same unrolling the paper uses to define conv-layer factorization
+//! (`W_unrolled ∈ R^{c_in k² × c_out}`, paper §2.2).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub c_in: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial height.
+    pub fn h_out(&self) -> usize {
+        (self.h + 2 * self.padding - self.k) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn w_out(&self) -> usize {
+        (self.w + 2 * self.padding - self.k) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix: `c_in · k²`.
+    pub fn patch_rows(&self) -> usize {
+        self.c_in * self.k * self.k
+    }
+
+    /// Validates that the kernel fits within the padded input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the kernel exceeds the
+    /// padded input extent or the stride is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.stride == 0
+            || self.h + 2 * self.padding < self.k
+            || self.w + 2 * self.padding < self.k
+        {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![self.k, self.k],
+                got: vec![self.h + 2 * self.padding, self.w + 2 * self.padding],
+                op: "conv_geometry",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Lowers an input batch `(N, C, H, W)` into a patch matrix of shape
+/// `(C·k², N·H_out·W_out)`. Patch column order is `(n, y_out, x_out)`
+/// row-major, matching [`col2im`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::WrongDimensions`] for non-4-D input or
+/// [`TensorError::ShapeMismatch`] if the input shape disagrees with `geo`.
+pub fn im2col(input: &Tensor, geo: &ConvGeometry) -> Result<Tensor> {
+    if input.ndim() != 4 {
+        return Err(TensorError::WrongDimensions { expected: 4, got: input.ndim(), op: "im2col" });
+    }
+    geo.validate()?;
+    let shape = input.shape();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    if c != geo.c_in || h != geo.h || w != geo.w {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, geo.c_in, geo.h, geo.w],
+            got: shape.to_vec(),
+            op: "im2col",
+        });
+    }
+    let (ho, wo, k) = (geo.h_out(), geo.w_out(), geo.k);
+    let rows = geo.patch_rows();
+    let cols = n * ho * wo;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    let pad = geo.padding as isize;
+    let stride = geo.stride;
+
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let row_base = row * cols;
+                for ni in 0..n {
+                    let img_base = (ni * c + ci) * h * w;
+                    for oy in 0..ho {
+                        let iy = (oy * stride) as isize + ky as isize - pad;
+                        let col_base = row_base + (ni * ho + oy) * wo;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding, dst already 0
+                        }
+                        let src_row = img_base + iy as usize * w;
+                        for ox in 0..wo {
+                            let ix = (ox * stride) as isize + kx as isize - pad;
+                            if ix >= 0 && ix < w as isize {
+                                dst[col_base + ox] = src[src_row + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`im2col`]: scatters a patch-matrix gradient
+/// `(C·k², N·H_out·W_out)` back to an input-shaped gradient `(N, C, H, W)`.
+/// Overlapping patches accumulate, which makes `col2im(im2col(·))` the
+/// correct vector–Jacobian product for convolution backward.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not have the patch
+/// shape implied by `geo` and `n`.
+pub fn col2im(cols: &Tensor, geo: &ConvGeometry, n: usize) -> Result<Tensor> {
+    geo.validate()?;
+    let (ho, wo, k) = (geo.h_out(), geo.w_out(), geo.k);
+    let rows = geo.patch_rows();
+    let ncols = n * ho * wo;
+    if cols.shape() != [rows, ncols] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![rows, ncols],
+            got: cols.shape().to_vec(),
+            op: "col2im",
+        });
+    }
+    let (c, h, w) = (geo.c_in, geo.h, geo.w);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = cols.as_slice();
+    let dst = out.as_mut_slice();
+    let pad = geo.padding as isize;
+    let stride = geo.stride;
+
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let row_base = row * ncols;
+                for ni in 0..n {
+                    let img_base = (ni * c + ci) * h * w;
+                    for oy in 0..ho {
+                        let iy = (oy * stride) as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = img_base + iy as usize * w;
+                        let col_base = row_base + (ni * ho + oy) * wo;
+                        for ox in 0..wo {
+                            let ix = (ox * stride) as isize + kx as isize - pad;
+                            if ix >= 0 && ix < w as isize {
+                                dst[dst_row + ix as usize] += src[col_base + ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(c: usize, h: usize, w: usize, k: usize, stride: usize, padding: usize) -> ConvGeometry {
+        ConvGeometry { c_in: c, h, w, k, stride, padding }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geo(3, 32, 32, 3, 1, 1);
+        assert_eq!((g.h_out(), g.w_out()), (32, 32));
+        let g = geo(3, 32, 32, 3, 2, 1);
+        assert_eq!((g.h_out(), g.w_out()), (16, 16));
+        let g = geo(3, 224, 224, 7, 2, 3);
+        assert_eq!((g.h_out(), g.w_out()), (112, 112));
+    }
+
+    #[test]
+    fn im2col_shapes() {
+        let g = geo(2, 4, 4, 3, 1, 1);
+        let x = Tensor::randn(&[3, 2, 4, 4], 1.0, 1);
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[2 * 9, 3 * 4 * 4]);
+    }
+
+    #[test]
+    fn identity_kernel_1x1() {
+        // 1x1 patches with stride 1 and no padding are just a reshape.
+        let g = geo(2, 3, 3, 1, 1, 0);
+        let x = Tensor::from_vec((0..18).map(|v| v as f32).collect(), &[1, 2, 3, 3]).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[2, 9]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_patch() {
+        // Single 3x3 image, 3x3 kernel, no padding: one patch = the image.
+        let g = geo(1, 3, 3, 3, 1, 0);
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[9, 1]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn padding_zeros_at_border() {
+        let g = geo(1, 2, 2, 3, 1, 1);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let cols = im2col(&x, &g).unwrap();
+        // Top-left output position: kernel offset (0,0) reads padded zero.
+        assert_eq!(cols.at2(0, 0), 0.0);
+        // Center kernel offset (1,1) at output (0,0) reads pixel (0,0) = 1.
+        assert_eq!(cols.at2(4, 0), 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint and what conv backward relies on.
+        let g = geo(3, 6, 5, 3, 2, 1);
+        let n = 2;
+        let x = Tensor::randn(&[n, 3, 6, 5], 1.0, 2);
+        let cols = im2col(&x, &g).unwrap();
+        let y = Tensor::randn(cols.shape(), 1.0, 3);
+        let xty = cols.dot(&y).unwrap();
+        let back = col2im(&y, &g, n).unwrap();
+        let xback = x.dot(&back).unwrap();
+        assert!((xty - xback).abs() < 1e-2 * xty.abs().max(1.0), "{xty} vs {xback}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // 2x3 image, k=2, stride=1, no padding: the middle column of pixels
+        // is covered by both horizontal patch positions.
+        let g = geo(1, 2, 3, 2, 1, 0);
+        assert_eq!((g.h_out(), g.w_out(), g.patch_rows()), (1, 2, 4));
+        let ones = Tensor::ones(&[4, 2]);
+        let img = col2im(&ones, &g, 1).unwrap();
+        assert_eq!(img.as_slice(), &[1.0, 2.0, 1.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(geo(1, 2, 2, 5, 1, 0).validate().is_err());
+        assert!(geo(1, 2, 2, 5, 1, 2).validate().is_ok());
+        assert!(geo(1, 4, 4, 3, 0, 1).validate().is_err());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let g = geo(3, 8, 8, 3, 1, 1);
+        let wrong = Tensor::zeros(&[1, 2, 8, 8]);
+        assert!(im2col(&wrong, &g).is_err());
+        let not4d = Tensor::zeros(&[3, 8, 8]);
+        assert!(im2col(&not4d, &g).is_err());
+        let badcols = Tensor::zeros(&[5, 5]);
+        assert!(col2im(&badcols, &g, 1).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::fmt;
+
+/// Error returned by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (or be compatible) did not.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: Vec<usize>,
+        /// What the caller supplied.
+        got: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A requested rank exceeds what the matrix dimensions allow.
+    RankOutOfRange {
+        /// The rank the caller asked for.
+        requested: usize,
+        /// The largest admissible rank, `min(rows, cols)`.
+        max: usize,
+    },
+    /// An iterative algorithm (e.g. Jacobi SVD) failed to converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's shape.
+        shape: Vec<usize>,
+    },
+    /// The operation requires a tensor of a specific dimensionality.
+    WrongDimensions {
+        /// Required number of dimensions.
+        expected: usize,
+        /// Actual number of dimensions.
+        got: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got, op } => {
+                write!(f, "shape mismatch in `{op}`: expected {expected:?}, got {got:?}")
+            }
+            TensorError::RankOutOfRange { requested, max } => {
+                write!(f, "requested rank {requested} exceeds maximum admissible rank {max}")
+            }
+            TensorError::NoConvergence { algorithm, iterations } => {
+                write!(f, "`{algorithm}` failed to converge after {iterations} iterations")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::WrongDimensions { expected, got, op } => {
+                write!(f, "`{op}` requires a {expected}-dimensional tensor, got {got} dimensions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch { expected: vec![2, 3], got: vec![3, 2], op: "matmul" };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("[2, 3]"));
+
+        let e = TensorError::RankOutOfRange { requested: 9, max: 4 };
+        assert!(e.to_string().contains('9'));
+
+        let e = TensorError::NoConvergence { algorithm: "jacobi-svd", iterations: 30 };
+        assert!(e.to_string().contains("jacobi-svd"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,205 @@
+//! IEEE 754 binary16 (half precision) emulation.
+//!
+//! The paper's Tables 4–5 report accuracy under PyTorch AMP (mixed
+//! precision). We reproduce the numerical effect in software: values are
+//! rounded through the binary16 format (round-to-nearest-even), while master
+//! weights stay in f32 — the same contract AMP provides. No `half` crate is
+//! used; the bit-level conversion is implemented here and tested against the
+//! format's edge cases (subnormals, infinities, NaN, rounding ties).
+
+/// Converts an `f32` to its binary16 bit pattern, rounding to nearest even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN: preserve NaN-ness with a quiet mantissa bit.
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        // Overflow to infinity.
+        return sign | 0x7C00;
+    }
+    if e >= -14 {
+        // Normal half: 10-bit mantissa, round-to-nearest-even on bit 13.
+        let mant16 = mant >> 13;
+        let rest = mant & 0x1FFF;
+        let half = 0x1000;
+        let mut out = sign as u32 | (((e + 15) as u32) << 10) | mant16;
+        if rest > half || (rest == half && (mant16 & 1) == 1) {
+            out += 1; // carries correctly into the exponent on mantissa overflow
+        }
+        return out as u16;
+    }
+    if e >= -24 {
+        // Subnormal half.
+        let shift = (-14 - e) as u32; // 1..=10
+        let mant_full = mant | 0x0080_0000; // implicit leading 1
+        let total_shift = 13 + shift;
+        let mant16 = mant_full >> total_shift;
+        let rest = mant_full & ((1u32 << total_shift) - 1);
+        let half = 1u32 << (total_shift - 1);
+        let mut out = sign as u32 | mant16;
+        if rest > half || (rest == half && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return out as u16;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Converts a binary16 bit pattern to `f32` exactly.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let mant = (bits & 0x03FF) as u32;
+    let out = if exp == 0x1F {
+        // Inf / NaN
+        sign | 0x7F80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalize. `e` counts the shifts needed to bring
+            // the leading bit to position 10; the unbiased exponent is
+            // -14 - shifts.
+            let mut m = mant;
+            let mut e = 0i32;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03FF;
+            sign | (((e - 14 + 127) as u32) << 23) | (m << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Rounds an `f32` through binary16 and back: the value an AMP forward pass
+/// would observe.
+///
+/// # Example
+///
+/// ```
+/// use puffer_tensor::f16::round_f16;
+/// assert_eq!(round_f16(1.0), 1.0);
+/// // binary16 has ~3 decimal digits: 0.1 is not representable exactly.
+/// assert!((round_f16(0.1) - 0.1).abs() > 0.0);
+/// assert!((round_f16(0.1) - 0.1).abs() < 1e-4);
+/// ```
+pub fn round_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+/// Rounds every element of a slice through binary16 in place.
+pub fn round_slice_f16(xs: &mut [f32]) {
+    for x in xs {
+        *x = round_f16(*x);
+    }
+}
+
+/// Largest finite binary16 value (65504).
+pub const F16_MAX: f32 = 65504.0;
+
+/// Smallest positive normal binary16 value (2⁻¹⁴).
+pub const F16_MIN_POSITIVE: f32 = 6.103_515_6e-5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &v in &[0.0f32, -0.0, 1.0, -1.0, 2.0, 0.5, 0.25, 1.5, 65504.0, -65504.0, 6.1035156e-5] {
+            assert_eq!(round_f16(v), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert!(round_f16(-0.0).is_sign_negative());
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(round_f16(1e6), f32::INFINITY);
+        assert_eq!(round_f16(-1e6), f32::NEG_INFINITY);
+        assert_eq!(round_f16(65520.0), f32::INFINITY); // rounds past F16_MAX
+    }
+
+    #[test]
+    fn infinity_and_nan() {
+        assert_eq!(round_f16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_f16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(round_f16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal half = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(round_f16(tiny), tiny);
+        // Below half of it underflows to zero.
+        assert_eq!(round_f16(2.0f32.powi(-26)), 0.0);
+        // A subnormal mid-range value.
+        let v = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(round_f16(v), v);
+    }
+
+    #[test]
+    fn round_to_nearest_even_tie() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10:
+        // round-to-even picks 1.0 (even mantissa).
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(round_f16(tie), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: picks 1+2^-9.
+        let tie2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(round_f16(tie2), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn mantissa_overflow_carries_into_exponent() {
+        // Just below 2.0: 1.9990234 (max half mantissa at e=0). Nudging past
+        // the rounding midpoint (half a ULP = 2^-11) must carry the mantissa
+        // into the exponent and produce exactly 2.0.
+        let max_mant = f16_bits_to_f32(0x3FFF); // 1.9990234
+        let nudged = max_mant + 6.0e-4;
+        assert_eq!(round_f16(nudged), 2.0);
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_relative_epsilon() {
+        // Relative error of binary16 rounding is at most 2^-11 for normals.
+        for i in 0..1000 {
+            let v = 0.01 + i as f32 * 0.37;
+            let r = round_f16(v);
+            assert!((r - v).abs() <= v.abs() * 2.0f32.powi(-10), "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for i in 0..100 {
+            let v = -50.0 + i as f32 * 1.37;
+            assert_eq!(round_f16(round_f16(v)), round_f16(v));
+        }
+    }
+
+    #[test]
+    fn slice_rounding() {
+        let mut xs = vec![0.1f32, 1.0, 1e6];
+        round_slice_f16(&mut xs);
+        assert_eq!(xs[1], 1.0);
+        assert_eq!(xs[2], f32::INFINITY);
+    }
+}

@@ -1,0 +1,42 @@
+//! Dense f32 tensor substrate for the Pufferfish reproduction.
+//!
+//! This crate provides the linear-algebra kernel that the rest of the
+//! workspace is built on: a row-major dense [`Tensor`], cache-blocked
+//! matrix multiplication, im2col-based convolution primitives, a one-sided
+//! Jacobi [singular value decomposition](svd) (the operation at the heart of
+//! Pufferfish's "vanilla warm-up" factorization), IEEE 754 binary16
+//! emulation used by the mixed-precision experiments, and the random weight
+//! initializers used by the model zoo.
+//!
+//! Everything is implemented from scratch on `std` + `rand`; there is no
+//! BLAS or LAPACK dependency, so results are bit-reproducible across
+//! machines given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use puffer_tensor::{Tensor, svd::truncated_svd};
+//!
+//! // Factorize a weight matrix W ≈ U Vᵀ at rank 2, Pufferfish-style.
+//! let w = Tensor::randn(&[8, 6], 0.5, 42);
+//! let fact = truncated_svd(&w, 2).unwrap();
+//! let (u, vt) = fact.split_balanced();
+//! assert_eq!(u.shape(), &[8, 2]);
+//! assert_eq!(vt.shape(), &[2, 6]);
+//! ```
+
+pub mod conv;
+pub mod error;
+pub mod f16;
+pub mod init;
+pub mod io;
+pub mod matmul;
+pub mod stats;
+pub mod svd;
+mod tensor;
+
+pub use error::TensorError;
+pub use tensor::Tensor;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

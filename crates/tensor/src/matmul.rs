@@ -1,0 +1,335 @@
+//! Cache-blocked dense matrix multiplication.
+//!
+//! Two execution profiles mirror the paper's two cuDNN settings (Table 6 vs
+//! Table 20): [`MatmulProfile::Reproducible`] uses a straightforward ikj
+//! loop, while [`MatmulProfile::Optimized`] uses cache blocking with an
+//! unrolled inner kernel. Both produce identical results up to f32
+//! associativity within a block; the split exists so the mini-benchmarks can
+//! report speedups under both regimes like the paper does.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Execution profile for [`matmul_with_profile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum MatmulProfile {
+    /// Simple ikj-ordered triple loop; deterministic and branch-free.
+    /// Stands in for the paper's "reproducibility optimized cuDNN" setting.
+    Reproducible = 0,
+    /// Cache-blocked kernel; stands in for "speed optimized cuDNN".
+    #[default]
+    Optimized = 1,
+}
+
+const BLOCK: usize = 64;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+static DEFAULT_PROFILE: AtomicU8 = AtomicU8::new(1);
+
+/// Sets the process-wide default profile used by [`matmul`] (and therefore
+/// by every layer in `puffer-nn`). Mirrors toggling
+/// `cudnn.benchmark`/`cudnn.deterministic` in the paper's Table 6 vs
+/// Table 20 runtime benchmarks.
+pub fn set_default_profile(profile: MatmulProfile) {
+    DEFAULT_PROFILE.store(profile as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide default profile.
+pub fn default_profile() -> MatmulProfile {
+    match DEFAULT_PROFILE.load(Ordering::Relaxed) {
+        0 => MatmulProfile::Reproducible,
+        _ => MatmulProfile::Optimized,
+    }
+}
+
+/// `C = A · B` for 2-D tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::WrongDimensions`] if either input is not 2-D and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use puffer_tensor::{Tensor, matmul::matmul};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let i = Tensor::eye(2);
+/// assert_eq!(matmul(&a, &i)?, a);
+/// # Ok::<(), puffer_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with_profile(a, b, default_profile())
+}
+
+/// `C = A · B` under an explicit execution [`MatmulProfile`].
+///
+/// # Errors
+///
+/// Same as [`matmul`].
+pub fn matmul_with_profile(a: &Tensor, b: &Tensor, profile: MatmulProfile) -> Result<Tensor> {
+    check_2d(a, "matmul")?;
+    check_2d(b, "matmul")?;
+    let (m, ka) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, ka],
+            got: vec![kb, n],
+            op: "matmul",
+        });
+    }
+    let mut c = Tensor::zeros(&[m, n]);
+    match profile {
+        MatmulProfile::Reproducible => {
+            mm_ikj(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, ka, n)
+        }
+        MatmulProfile::Optimized => {
+            mm_blocked(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, ka, n)
+        }
+    }
+    Ok(c)
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+///
+/// # Errors
+///
+/// Returns [`TensorError::WrongDimensions`] / [`TensorError::ShapeMismatch`]
+/// on rank or inner-dimension mismatch (`A: k×m`, `B: k×n`).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_2d(a, "matmul_tn")?;
+    check_2d(b, "matmul_tn")?;
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![k, m],
+            got: vec![kb, n],
+            op: "matmul_tn",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut c = Tensor::zeros(&[m, n]);
+    let cv = c.as_mut_slice();
+    // Row p of A contributes outer-product row to every C row: ikj order over k.
+    for p in 0..k {
+        let brow = &bv[p * n..(p + 1) * n];
+        let arow = &av[p * m..(p + 1) * m];
+        for i in 0..m {
+            let aip = arow[i];
+            if aip == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aip * bj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+///
+/// # Errors
+///
+/// Returns [`TensorError::WrongDimensions`] / [`TensorError::ShapeMismatch`]
+/// on rank or inner-dimension mismatch (`A: m×k`, `B: n×k`).
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_2d(a, "matmul_nt")?;
+    check_2d(b, "matmul_nt")?;
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, kb) = (b.shape()[0], b.shape()[1]);
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![m, k],
+            got: vec![n, kb],
+            op: "matmul_nt",
+        });
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut c = Tensor::zeros(&[m, n]);
+    let cv = c.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            crow[j] = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Matrix–vector product `y = A · x` (`A: m×k`, `x: k`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x.len() != k`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    check_2d(a, "matvec")?;
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    if x.len() != k {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![k],
+            got: x.shape().to_vec(),
+            op: "matvec",
+        });
+    }
+    let (av, xv) = (a.as_slice(), x.as_slice());
+    let mut y = Tensor::zeros(&[m]);
+    for (i, yo) in y.as_mut_slice().iter_mut().enumerate() {
+        let row = &av[i * k..(i + 1) * k];
+        *yo = row.iter().zip(xv).map(|(a, b)| a * b).sum();
+    }
+    Ok(y)
+}
+
+fn mm_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aip * bj;
+            }
+        }
+    }
+}
+
+fn mm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i0 in (0..m).step_by(BLOCK) {
+        let imax = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let pmax = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let jmax = (j0 + BLOCK).min(n);
+                for i in i0..imax {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let crow = &mut c[i * n + j0..i * n + jmax];
+                    for p in p0..pmax {
+                        let aip = arow[p];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n + j0..p * n + jmax];
+                        for (cj, bj) in crow.iter_mut().zip(brow) {
+                            *cj += aip * bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_2d(t: &Tensor, op: &'static str) -> Result<()> {
+    if t.ndim() != 2 {
+        return Err(TensorError::WrongDimensions { expected: 2, got: t.ndim(), op });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at2(i, p) * b.at2(p, j);
+                }
+                *c.at2_mut(i, j) = s;
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_both_profiles() {
+        let a = Tensor::randn(&[37, 53], 1.0, 1);
+        let b = Tensor::randn(&[53, 29], 1.0, 2);
+        let reference = naive(&a, &b);
+        for profile in [MatmulProfile::Reproducible, MatmulProfile::Optimized] {
+            let c = matmul_with_profile(&a, &b, profile).unwrap();
+            assert_close(&c, &reference, 1e-3);
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::randn(&[5, 5], 1.0, 3);
+        let i = Tensor::eye(5);
+        assert_close(&matmul(&a, &i).unwrap(), &a, 0.0);
+        assert_close(&matmul(&i, &a).unwrap(), &a, 0.0);
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let a = Tensor::randn(&[11, 7], 1.0, 4);
+        let b = Tensor::randn(&[11, 13], 1.0, 5);
+        let tn = matmul_tn(&a, &b).unwrap();
+        let explicit = matmul(&a.transpose(), &b).unwrap();
+        assert_close(&tn, &explicit, 1e-4);
+
+        let c = Tensor::randn(&[9, 7], 1.0, 6);
+        let d = Tensor::randn(&[5, 7], 1.0, 7);
+        let nt = matmul_nt(&c, &d).unwrap();
+        let explicit = matmul(&c, &d.transpose()).unwrap();
+        assert_close(&nt, &explicit, 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::randn(&[6, 4], 1.0, 8);
+        let x = Tensor::randn(&[4], 1.0, 9);
+        let y = matvec(&a, &x).unwrap();
+        let xm = x.reshape(&[4, 1]).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        assert_close(&y, &ym.reshape(&[6]).unwrap(), 1e-5);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(matmul(&a, &v).is_err());
+        assert!(matvec(&a, &Tensor::zeros(&[2])).is_err());
+        assert!(matmul_tn(&a, &b).is_err());
+        assert!(matmul_nt(&a, &b).is_err());
+    }
+
+    #[test]
+    fn block_boundary_sizes() {
+        // Sizes straddling the 64-wide block boundary.
+        for &(m, k, n) in &[(64, 64, 64), (65, 63, 64), (1, 128, 1), (130, 2, 70)] {
+            let a = Tensor::randn(&[m, k], 1.0, (m * k) as u64);
+            let b = Tensor::randn(&[k, n], 1.0, (k * n + 1) as u64);
+            assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-2);
+        }
+    }
+}

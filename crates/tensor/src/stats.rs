@@ -1,0 +1,122 @@
+//! Reductions and summary statistics over tensors.
+
+use crate::Tensor;
+
+/// Sum of all elements.
+pub fn sum(t: &Tensor) -> f32 {
+    t.as_slice().iter().sum()
+}
+
+/// Arithmetic mean of all elements (0.0 for empty tensors).
+pub fn mean(t: &Tensor) -> f32 {
+    if t.is_empty() {
+        0.0
+    } else {
+        sum(t) / t.len() as f32
+    }
+}
+
+/// Euclidean (Frobenius) norm.
+pub fn l2_norm(t: &Tensor) -> f32 {
+    t.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn l1_norm(t: &Tensor) -> f32 {
+    t.as_slice().iter().map(|x| x.abs()).sum()
+}
+
+/// Maximum element (−∞ for empty tensors).
+pub fn max(t: &Tensor) -> f32 {
+    t.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Minimum element (+∞ for empty tensors).
+pub fn min(t: &Tensor) -> f32 {
+    t.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+}
+
+/// Index of the maximum element of a 1-D view (first occurrence).
+///
+/// Returns `None` for empty tensors.
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Indices of the top-`k` elements of a 1-D view, descending by value.
+///
+/// Returns fewer than `k` indices if the slice is shorter than `k`.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+/// Relative Frobenius error `‖a − b‖ / ‖a‖` (defaults to absolute error when
+/// `‖a‖ == 0`). Used throughout the test suite to compare factorizations.
+pub fn rel_error(a: &Tensor, b: &Tensor) -> f32 {
+    let diff = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt();
+    let denom = l2_norm(a);
+    if denom == 0.0 {
+        diff
+    } else {
+        diff / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[4]).unwrap();
+        assert_eq!(sum(&t), -2.0);
+        assert_eq!(mean(&t), -0.5);
+        assert_eq!(l1_norm(&t), 10.0);
+        assert!((l2_norm(&t) - 30.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(max(&t), 3.0);
+        assert_eq!(min(&t), -4.0);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let v = [0.5, 3.0, -1.0, 2.0];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&v, 10).len(), 4);
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let t = Tensor::randn(&[5, 5], 1.0, 1);
+        assert_eq!(rel_error(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn empty_tensor_mean() {
+        let t = Tensor::zeros(&[0]);
+        assert_eq!(mean(&t), 0.0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Singular value decomposition.
+//!
+//! Pufferfish's "vanilla warm-up" converts a partially trained full-rank
+//! layer `W` into low-rank factors via truncated SVD:
+//! `W ≈ Ũ_r Σ_r Ṽ_rᵀ`, then `U = Ũ_r Σ_r^½` and `Vᵀ = Σ_r^½ Ṽ_rᵀ`
+//! (paper §3, Algorithm 1). This module provides:
+//!
+//! * [`svd_jacobi`] — a full one-sided Jacobi SVD, the accuracy reference;
+//! * [`truncated_svd`] — a randomized range-finder (Halko et al.) followed by
+//!   a small Jacobi SVD, which is what the training pipeline calls (it is the
+//!   operation timed in the paper's appendix Table 19);
+//! * [`orthogonalize_columns`] — modified Gram–Schmidt, shared with the
+//!   PowerSGD baseline which orthogonalizes its `P` factor every iteration.
+
+use crate::matmul::{matmul, matmul_tn};
+use crate::{Result, Tensor, TensorError};
+
+/// The factors of a (possibly truncated) SVD `A ≈ U · diag(S) · Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvdFactors {
+    /// Left singular vectors, `m × r`, orthonormal columns.
+    pub u: Tensor,
+    /// Singular values in non-increasing order, length `r`.
+    pub s: Vec<f32>,
+    /// Right singular vectors transposed, `r × n`, orthonormal rows.
+    pub vt: Tensor,
+}
+
+impl SvdFactors {
+    /// Rank of the factorization.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Reconstructs `U · diag(S) · Vᵀ`.
+    pub fn reconstruct(&self) -> Tensor {
+        let mut us = self.u.clone();
+        let r = self.rank();
+        let m = us.shape()[0];
+        for i in 0..m {
+            for (j, &sj) in self.s.iter().enumerate().take(r) {
+                us.as_mut_slice()[i * r + j] *= sj;
+            }
+        }
+        matmul(&us, &self.vt).expect("svd factor shapes are consistent")
+    }
+
+    /// Splits into the balanced Pufferfish factors
+    /// `(U Σ^½, Σ^½ Vᵀ)` so that their product equals the truncated SVD.
+    ///
+    /// Balancing spreads the singular-value magnitude evenly between the two
+    /// trainable factors, which the paper found important for the
+    /// continued-training phase.
+    pub fn split_balanced(&self) -> (Tensor, Tensor) {
+        let r = self.rank();
+        let m = self.u.shape()[0];
+        let n = self.vt.shape()[1];
+        let sqrt_s: Vec<f32> = self.s.iter().map(|&x| x.max(0.0).sqrt()).collect();
+        let mut u = self.u.clone();
+        for i in 0..m {
+            for j in 0..r {
+                u.as_mut_slice()[i * r + j] *= sqrt_s[j];
+            }
+        }
+        let mut vt = self.vt.clone();
+        for (j, &sj) in sqrt_s.iter().enumerate() {
+            for k in 0..n {
+                vt.as_mut_slice()[j * n + k] *= sj;
+            }
+        }
+        (u, vt)
+    }
+
+    /// Keeps only the top `rank` singular triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankOutOfRange`] if `rank` is 0 or exceeds the
+    /// current rank.
+    pub fn truncate(&self, rank: usize) -> Result<SvdFactors> {
+        if rank == 0 || rank > self.rank() {
+            return Err(TensorError::RankOutOfRange { requested: rank, max: self.rank() });
+        }
+        let m = self.u.shape()[0];
+        let n = self.vt.shape()[1];
+        let r0 = self.rank();
+        let mut u = Tensor::zeros(&[m, rank]);
+        for i in 0..m {
+            for j in 0..rank {
+                u.as_mut_slice()[i * rank + j] = self.u.as_slice()[i * r0 + j];
+            }
+        }
+        let mut vt = Tensor::zeros(&[rank, n]);
+        vt.as_mut_slice().copy_from_slice(&self.vt.as_slice()[..rank * n]);
+        Ok(SvdFactors { u, s: self.s[..rank].to_vec(), vt })
+    }
+}
+
+const JACOBI_MAX_SWEEPS: usize = 60;
+const JACOBI_TOL: f32 = 1e-6;
+
+/// Full SVD via one-sided Jacobi rotations.
+///
+/// Numerically robust and dependency-free; `O(m n²)` per sweep, so intended
+/// for matrices up to a few thousand on a side. Larger factorizations should
+/// use [`truncated_svd`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::WrongDimensions`] for non-2-D input and
+/// [`TensorError::NoConvergence`] if the rotation sweeps fail to converge
+/// (does not occur for finite inputs in practice).
+pub fn svd_jacobi(a: &Tensor) -> Result<SvdFactors> {
+    if a.ndim() != 2 {
+        return Err(TensorError::WrongDimensions { expected: 2, got: a.ndim(), op: "svd_jacobi" });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    if m >= n {
+        svd_jacobi_tall(a)
+    } else {
+        // SVD(Aᵀ) = V Σ Uᵀ: factor the transpose and swap the factors.
+        let f = svd_jacobi_tall(&a.transpose())?;
+        Ok(SvdFactors { u: f.vt.transpose(), s: f.s, vt: f.u.transpose() })
+    }
+}
+
+/// One-sided Jacobi for `m >= n`: orthogonalize the columns of a working
+/// copy of `A` by right rotations, accumulating them into `V`.
+fn svd_jacobi_tall(a: &Tensor) -> Result<SvdFactors> {
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let mut w = a.clone(); // m x n, columns become U * diag(S)
+    let mut v = Tensor::eye(n);
+
+    let mut converged = false;
+    for _sweep in 0..JACOBI_MAX_SWEEPS {
+        let mut rotations = 0usize;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for columns p, q.
+                let (mut app, mut aqq, mut apq) = (0.0f32, 0.0f32, 0.0f32);
+                for i in 0..m {
+                    let wp = w.as_slice()[i * n + p];
+                    let wq = w.as_slice()[i * n + q];
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if apq.abs() <= JACOBI_TOL * (app * aqq).sqrt().max(f32::MIN_POSITIVE) {
+                    continue;
+                }
+                rotations += 1;
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_columns(w.as_mut_slice(), m, n, p, q, c, s);
+                rotate_columns(v.as_mut_slice(), n, n, p, q, c, s);
+            }
+        }
+        if rotations == 0 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(TensorError::NoConvergence {
+            algorithm: "jacobi-svd",
+            iterations: JACOBI_MAX_SWEEPS,
+        });
+    }
+
+    // Column norms are the singular values; normalize to get U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut norms = vec![0.0f32; n];
+    for (j, nj) in norms.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..m {
+            let x = w.as_slice()[i * n + j];
+            acc += x * x;
+        }
+        *nj = acc.sqrt();
+    }
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = Tensor::zeros(&[m, n]);
+    let mut vt = Tensor::zeros(&[n, n]);
+    let mut s = vec![0.0f32; n];
+    for (dst, &src) in order.iter().enumerate() {
+        s[dst] = norms[src];
+        let inv = if norms[src] > 0.0 { 1.0 / norms[src] } else { 0.0 };
+        for i in 0..m {
+            u.as_mut_slice()[i * n + dst] = w.as_slice()[i * n + src] * inv;
+        }
+        for k in 0..n {
+            // column src of V becomes row dst of Vᵀ
+            vt.as_mut_slice()[dst * n + k] = v.as_slice()[k * n + src];
+        }
+    }
+    Ok(SvdFactors { u, s, vt })
+}
+
+#[inline]
+fn rotate_columns(data: &mut [f32], rows: usize, cols: usize, p: usize, q: usize, c: f32, s: f32) {
+    for i in 0..rows {
+        let base = i * cols;
+        let xp = data[base + p];
+        let xq = data[base + q];
+        data[base + p] = c * xp - s * xq;
+        data[base + q] = s * xp + c * xq;
+    }
+}
+
+/// Truncated SVD of `a` at the given `rank`.
+///
+/// Uses the randomized range finder of Halko, Martinsson & Tropp (2011) with
+/// oversampling 8 and two power iterations, followed by an exact Jacobi SVD
+/// of the small projected matrix. For matrices whose smaller side is at most
+/// `rank + 8` the exact Jacobi SVD is used directly.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankOutOfRange`] if `rank` is 0 or exceeds
+/// `min(m, n)`, and propagates convergence failures from the Jacobi core.
+///
+/// # Example
+///
+/// ```
+/// use puffer_tensor::{Tensor, svd::truncated_svd, stats::rel_error};
+/// // A rank-2 matrix is recovered exactly (up to f32 noise) at rank 2.
+/// let u = Tensor::randn(&[12, 2], 1.0, 1);
+/// let v = Tensor::randn(&[2, 9], 1.0, 2);
+/// let a = puffer_tensor::matmul::matmul(&u, &v)?;
+/// let f = truncated_svd(&a, 2)?;
+/// assert!(rel_error(&a, &f.reconstruct()) < 1e-3);
+/// # Ok::<(), puffer_tensor::TensorError>(())
+/// ```
+pub fn truncated_svd(a: &Tensor, rank: usize) -> Result<SvdFactors> {
+    truncated_svd_seeded(a, rank, 0x5EED)
+}
+
+/// [`truncated_svd`] with an explicit seed for the randomized range finder.
+///
+/// # Errors
+///
+/// Same as [`truncated_svd`].
+pub fn truncated_svd_seeded(a: &Tensor, rank: usize, seed: u64) -> Result<SvdFactors> {
+    if a.ndim() != 2 {
+        return Err(TensorError::WrongDimensions { expected: 2, got: a.ndim(), op: "truncated_svd" });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let maxr = m.min(n);
+    if rank == 0 || rank > maxr {
+        return Err(TensorError::RankOutOfRange { requested: rank, max: maxr });
+    }
+    const OVERSAMPLE: usize = 8;
+    const POWER_ITERS: usize = 2;
+    let sketch = (rank + OVERSAMPLE).min(maxr);
+    if maxr <= sketch + 4 || maxr <= 32 {
+        // Small problem: exact SVD then truncate.
+        return svd_jacobi(a)?.truncate(rank);
+    }
+    if m < n {
+        let f = truncated_svd_seeded(&a.transpose(), rank, seed)?;
+        return Ok(SvdFactors { u: f.vt.transpose(), s: f.s, vt: f.u.transpose() });
+    }
+
+    // Range finder: Y = A Ω, orthogonalize, power-iterate.
+    let omega = Tensor::randn(&[n, sketch], 1.0, seed);
+    let mut q = matmul(a, &omega)?;
+    orthogonalize_columns(&mut q);
+    for _ in 0..POWER_ITERS {
+        let mut z = matmul_tn(a, &q)?; // n x sketch
+        orthogonalize_columns(&mut z);
+        q = matmul(a, &z)?; // m x sketch
+        orthogonalize_columns(&mut q);
+    }
+
+    // B = Qᵀ A (sketch x n), small exact SVD, lift back: U = Q Ub.
+    let b = matmul_tn(&q, a)?;
+    let fb = svd_jacobi(&b)?.truncate(rank)?;
+    let u = matmul(&q, &fb.u)?;
+    Ok(SvdFactors { u, s: fb.s, vt: fb.vt })
+}
+
+/// In-place modified Gram–Schmidt orthogonalization of the columns of a 2-D
+/// tensor. Zero columns are replaced by zeros (not unit vectors), matching
+/// the PowerSGD reference implementation's `orthogonalize`.
+///
+/// # Panics
+///
+/// Panics if `q` is not 2-dimensional.
+pub fn orthogonalize_columns(q: &mut Tensor) {
+    assert_eq!(q.ndim(), 2, "orthogonalize_columns requires a 2-D tensor");
+    let (m, n) = (q.shape()[0], q.shape()[1]);
+    let data = q.as_mut_slice();
+    for j in 0..n {
+        // Subtract projections onto previous columns.
+        for k in 0..j {
+            let mut dot = 0.0f32;
+            for i in 0..m {
+                dot += data[i * n + j] * data[i * n + k];
+            }
+            for i in 0..m {
+                data[i * n + j] -= dot * data[i * n + k];
+            }
+        }
+        let mut norm = 0.0f32;
+        for i in 0..m {
+            norm += data[i * n + j] * data[i * n + j];
+        }
+        let norm = norm.sqrt();
+        if norm > 1e-12 {
+            let inv = 1.0 / norm;
+            for i in 0..m {
+                data[i * n + j] *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::rel_error;
+
+    fn assert_orthonormal_cols(t: &Tensor, tol: f32) {
+        let (m, n) = (t.shape()[0], t.shape()[1]);
+        for j in 0..n {
+            for k in j..n {
+                let mut dot = 0.0;
+                for i in 0..m {
+                    dot += t.as_slice()[i * n + j] * t.as_slice()[i * n + k];
+                }
+                let expected = if j == k { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < tol, "col {j}·{k} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_svd_reconstructs() {
+        let a = Tensor::randn(&[10, 6], 1.0, 1);
+        let f = svd_jacobi(&a).unwrap();
+        assert!(rel_error(&a, &f.reconstruct()) < 1e-4);
+        assert_orthonormal_cols(&f.u, 1e-3);
+        assert_orthonormal_cols(&f.vt.transpose(), 1e-3);
+    }
+
+    #[test]
+    fn wide_matrix_via_transpose() {
+        let a = Tensor::randn(&[5, 12], 1.0, 2);
+        let f = svd_jacobi(&a).unwrap();
+        assert_eq!(f.u.shape(), &[5, 5]);
+        assert_eq!(f.vt.shape(), &[5, 12]);
+        assert!(rel_error(&a, &f.reconstruct()) < 1e-4);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let a = Tensor::randn(&[15, 8], 2.0, 3);
+        let f = svd_jacobi(&a).unwrap();
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+        assert!(f.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn truncation_is_best_low_rank() {
+        // Eckart–Young: rank-r truncation error equals the tail singular values.
+        let a = Tensor::randn(&[20, 12], 1.0, 4);
+        let f = svd_jacobi(&a).unwrap();
+        let r = 4;
+        let tr = f.truncate(r).unwrap();
+        let err = {
+            let rec = tr.reconstruct();
+            (&a - &rec).as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
+        };
+        let tail: f32 = f.s[r..].iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((err - tail).abs() < 1e-2 * tail.max(1.0), "err {err} vs tail {tail}");
+    }
+
+    #[test]
+    fn exact_recovery_of_low_rank_matrix() {
+        let u = Tensor::randn(&[40, 3], 1.0, 5);
+        let v = Tensor::randn(&[3, 25], 1.0, 6);
+        let a = matmul(&u, &v).unwrap();
+        let f = truncated_svd(&a, 3).unwrap();
+        assert!(rel_error(&a, &f.reconstruct()) < 1e-3);
+    }
+
+    #[test]
+    fn randomized_matches_exact_on_decaying_spectrum() {
+        // Build a matrix with known decaying spectrum.
+        let mut u = Tensor::randn(&[60, 60], 1.0, 7);
+        orthogonalize_columns(&mut u);
+        let mut v = Tensor::randn(&[50, 50], 1.0, 8);
+        orthogonalize_columns(&mut v);
+        let r = 50;
+        let mut a = Tensor::zeros(&[60, 50]);
+        for j in 0..r {
+            let s = 0.7f32.powi(j as i32);
+            for row in 0..60 {
+                for col in 0..50 {
+                    a.as_mut_slice()[row * 50 + col] +=
+                        s * u.as_slice()[row * 60 + j] * v.as_slice()[col * 50 + j];
+                }
+            }
+        }
+        let f = truncated_svd(&a, 6).unwrap();
+        for (j, &sj) in f.s.iter().enumerate() {
+            let expected = 0.7f32.powi(j as i32);
+            assert!((sj - expected).abs() < 0.05, "σ_{j} = {sj}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn split_balanced_product_matches() {
+        let a = Tensor::randn(&[12, 10], 1.0, 9);
+        let f = truncated_svd(&a, 5).unwrap();
+        let (u, vt) = f.split_balanced();
+        let prod = matmul(&u, &vt).unwrap();
+        assert!(rel_error(&f.reconstruct(), &prod) < 1e-4);
+        // Balance: both factors should carry comparable norms.
+        let nu = crate::stats::l2_norm(&u);
+        let nv = crate::stats::l2_norm(&vt);
+        assert!(nu / nv < 10.0 && nv / nu < 10.0);
+    }
+
+    #[test]
+    fn rank_validation() {
+        let a = Tensor::randn(&[6, 4], 1.0, 10);
+        assert!(truncated_svd(&a, 0).is_err());
+        assert!(truncated_svd(&a, 5).is_err());
+        let f = svd_jacobi(&a).unwrap();
+        assert!(f.truncate(0).is_err());
+        assert!(f.truncate(5).is_err());
+    }
+
+    #[test]
+    fn orthogonalize_produces_orthonormal_columns() {
+        let mut q = Tensor::randn(&[30, 6], 1.0, 11);
+        orthogonalize_columns(&mut q);
+        assert_orthonormal_cols(&q, 1e-3);
+    }
+
+    #[test]
+    fn orthogonalize_handles_dependent_columns() {
+        // Second column is a multiple of the first: must not produce NaNs.
+        let mut q = Tensor::zeros(&[4, 2]);
+        for i in 0..4 {
+            q.as_mut_slice()[i * 2] = (i + 1) as f32;
+            q.as_mut_slice()[i * 2 + 1] = 2.0 * (i + 1) as f32;
+        }
+        orthogonalize_columns(&mut q);
+        assert!(q.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn svd_of_zero_matrix() {
+        let a = Tensor::zeros(&[5, 3]);
+        let f = svd_jacobi(&a).unwrap();
+        assert!(f.s.iter().all(|&x| x == 0.0));
+        assert!(rel_error(&a, &f.reconstruct()) < 1e-6);
+    }
+
+    #[test]
+    fn non_2d_rejected() {
+        let a = Tensor::zeros(&[2, 2, 2]);
+        assert!(svd_jacobi(&a).is_err());
+        assert!(truncated_svd(&a, 1).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use puffer_tensor::f16::round_f16;
+use puffer_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use puffer_tensor::stats::{l2_norm, rel_error, top_k_indices};
+use puffer_tensor::svd::{svd_jacobi, truncated_svd};
+use puffer_tensor::Tensor;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_involution(t in tensor_strategy(5, 7)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(4, 5),
+        b in tensor_strategy(5, 3),
+        c in tensor_strategy(5, 3),
+    ) {
+        let lhs = matmul(&a, &(&b + &c)).unwrap();
+        let rhs = &matmul(&a, &b).unwrap() + &matmul(&a, &c).unwrap();
+        prop_assert!(rel_error(&lhs, &rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor_strategy(4, 6), b in tensor_strategy(4, 3)) {
+        // (Aᵀ B) computed fused equals the explicit version.
+        let fused = matmul_tn(&a, &b).unwrap();
+        let explicit = matmul(&a.transpose(), &b).unwrap();
+        prop_assert!(rel_error(&explicit, &fused) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_identity(a in tensor_strategy(4, 6), b in tensor_strategy(3, 6)) {
+        let fused = matmul_nt(&a, &b).unwrap();
+        let explicit = matmul(&a, &b.transpose()).unwrap();
+        prop_assert!(rel_error(&explicit, &fused) < 1e-4);
+    }
+
+    #[test]
+    fn svd_reconstruction_and_orthogonality(a in tensor_strategy(8, 5)) {
+        let f = svd_jacobi(&a).unwrap();
+        prop_assert!(rel_error(&a, &f.reconstruct()) < 1e-3);
+        // Singular values are non-increasing and non-negative.
+        for w in f.s.windows(2) {
+            prop_assert!(w[0] + 1e-5 >= w[1]);
+        }
+        prop_assert!(f.s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn truncated_svd_error_never_exceeds_full_norm(a in tensor_strategy(8, 6)) {
+        let f = truncated_svd(&a, 3).unwrap();
+        let rec = f.reconstruct();
+        let err = l2_norm(&(&a - &rec));
+        prop_assert!(err <= l2_norm(&a) + 1e-3);
+    }
+
+    #[test]
+    fn balanced_split_preserves_product(a in tensor_strategy(7, 6)) {
+        let f = truncated_svd(&a, 4).unwrap();
+        let (u, vt) = f.split_balanced();
+        let prod = matmul(&u, &vt).unwrap();
+        prop_assert!(rel_error(&f.reconstruct(), &prod) < 1e-3);
+    }
+
+    #[test]
+    fn f16_round_is_monotone(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(round_f16(lo) <= round_f16(hi));
+    }
+
+    #[test]
+    fn f16_error_bound(x in -60000.0f32..60000.0) {
+        let r = round_f16(x);
+        // Max relative error for normals, absolute bound for subnormals.
+        let bound = (x.abs() * 2.0f32.powi(-10)).max(2.0f32.powi(-24));
+        prop_assert!((r - x).abs() <= bound);
+    }
+
+    #[test]
+    fn top_k_has_max_energy(v in proptest::collection::vec(-5.0f32..5.0, 1..40), k in 1usize..10) {
+        let k = k.min(v.len());
+        let abs: Vec<f32> = v.iter().map(|x| x.abs()).collect();
+        let picked = top_k_indices(&abs, k);
+        let picked_energy: f32 = picked.iter().map(|&i| abs[i] * abs[i]).sum();
+        // Any other k-subset has no more energy: compare with sorted tail.
+        let mut sorted = abs.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let best: f32 = sorted[..k].iter().map(|x| x * x).sum();
+        prop_assert!((picked_energy - best).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,45 @@
+//! Low-rank LSTM language modeling (the paper's WikiText-2 experiment at
+//! example scale): train a tied-embedding 2-layer LSTM, factorize its gate
+//! matrices with Pufferfish's warm-start, and compare perplexities.
+//!
+//! ```sh
+//! cargo run --release --example language_model
+//! ```
+
+use pufferfish_repro::core::lm::{train_lm, LmTrainConfig};
+use pufferfish_repro::data::text::{TextCorpus, TextCorpusConfig};
+use pufferfish_repro::models::lstm_lm::{LstmLm, LstmLmConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A Markov-chain corpus: predictable enough that a good LM gets far
+    // below the uniform perplexity (= vocab size).
+    let corpus = TextCorpus::generate(TextCorpusConfig::small(11));
+    let vocab = corpus.vocab();
+    println!("corpus: vocab {vocab}, {} train tokens (uniform ppl = {vocab})", corpus.train_stream().len());
+
+    let epochs = 6;
+    let rank = 16; // hidden/4, the paper's ratio
+
+    // Vanilla LSTM for the whole budget.
+    let model = LstmLm::new(LstmLmConfig::small(vocab, 64, 1))?;
+    let vanilla_params = model.param_count();
+    let cfg = LmTrainConfig::small(epochs, epochs, rank);
+    let vanilla = train_lm(model, &corpus, &cfg)?;
+
+    // Pufferfish: 2 warm-up epochs, then per-gate SVD factorization.
+    let model = LstmLm::new(LstmLmConfig::small(vocab, 64, 1))?;
+    let cfg = LmTrainConfig::small(epochs, 2, rank);
+    let puffer = train_lm(model, &corpus, &cfg)?;
+
+    println!("\nvanilla LSTM:    {:>8} params, val ppl {:.2}, test ppl {:.2}",
+        vanilla_params, vanilla.report.final_perplexity(), vanilla.test_perplexity);
+    println!("pufferfish LSTM: {:>8} params, val ppl {:.2}, test ppl {:.2}  (switched at epoch {:?})",
+        puffer.report.hybrid_params,
+        puffer.report.final_perplexity(),
+        puffer.test_perplexity,
+        puffer.report.switch_epoch,
+    );
+    println!("\nthe paper's full-scale counterpart: 85,962,278 -> 67,962,278 params with");
+    println!("test perplexity 88.16 vs 88.72 (Table 2) — factorization at near-zero ppl cost.");
+    Ok(())
+}

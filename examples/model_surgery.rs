@@ -1,0 +1,63 @@
+//! Model surgery in detail: what Pufferfish's SVD warm-start actually does
+//! to a layer.
+//!
+//! Takes a single trained convolution, unrolls it to the paper's 2-D form,
+//! truncates its SVD at several ranks, and shows reconstruction error,
+//! parameter counts, and the accuracy of the factorized layer's *outputs*
+//! against the dense layer — plus the spectral diagnostics that explain
+//! why warm-started factors are so much better than random ones.
+//!
+//! ```sh
+//! cargo run --release --example model_surgery
+//! ```
+
+use pufferfish_repro::core::rank_alloc::{energy_rank, stable_rank};
+use pufferfish_repro::models::units::{factorize_conv, FactorInit};
+use pufferfish_repro::nn::conv::Conv2d;
+use pufferfish_repro::nn::{Layer, Mode};
+use pufferfish_repro::tensor::stats::rel_error;
+use pufferfish_repro::tensor::svd::svd_jacobi;
+use pufferfish_repro::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64→64 3x3 convolution with a synthetic low-rank-ish weight: weights
+    // of trained CNNs concentrate spectral energy in few directions, which
+    // we emulate by damping the tail of a random weight's spectrum.
+    let mut conv = Conv2d::new(64, 64, 3, 1, 1, false, 3)?;
+    let unrolled = conv.unrolled_weight(); // (c_in k², c_out) = (576, 64)
+    let f = svd_jacobi(&unrolled)?;
+    let damped: Vec<f32> = f.s.iter().enumerate().map(|(i, &s)| s * 0.85f32.powi(i as i32)).collect();
+    let damped_f = pufferfish_repro::tensor::svd::SvdFactors { u: f.u.clone(), s: damped, vt: f.vt.clone() };
+    let w2 = damped_f.reconstruct(); // (576, 64)
+    let w4 = w2
+        .transpose()
+        .reshape(&[64, 64, 3, 3])?;
+    conv = Conv2d::from_weight(w4, 1, 1)?;
+
+    let unrolled = conv.unrolled_weight();
+    let f = svd_jacobi(&unrolled)?;
+    println!("layer: Conv2d(64→64, 3x3), unrolled {}x{}", unrolled.rows(), unrolled.cols());
+    println!("stable rank: {:.1} of {} (energy_rank 90% = {}, 99% = {})\n",
+        stable_rank(&f.s), f.s.len(), energy_rank(&f.s, 0.90), energy_rank(&f.s, 0.99));
+
+    let x = Tensor::randn(&[4, 64, 8, 8], 1.0, 9);
+    let y_dense = conv.forward(&x, Mode::Eval);
+    println!("{:>5} {:>10} {:>12} {:>22} {:>22}", "rank", "params", "vs dense", "output err (warm SVD)", "output err (random)");
+    for rank in [4usize, 8, 16, 32, 64] {
+        let mut warm = factorize_conv(&conv, rank, FactorInit::WarmStart)?;
+        let mut cold = factorize_conv(&conv, rank, FactorInit::Random(5))?;
+        let ew = rel_error(&y_dense, &warm.forward(&x, Mode::Eval));
+        let ec = rel_error(&y_dense, &cold.forward(&x, Mode::Eval));
+        println!(
+            "{:>5} {:>10} {:>11.1}% {:>21.4} {:>22.4}",
+            rank,
+            warm.param_count(),
+            warm.param_count() as f64 / conv.param_count() as f64 * 100.0,
+            ew,
+            ec
+        );
+    }
+    println!("\nat rank 16 (the paper's 0.25 ratio) the warm-started factorized layer");
+    println!("reproduces the dense layer's outputs almost exactly — random factors do not.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Low-rank Transformer translation (the paper's WMT'16 experiment at
+//! example scale): train an encoder–decoder Transformer on a synthetic
+//! reversal-translation task, factorize every block except the first
+//! encoder/decoder layer, and score BLEU with greedy decoding.
+//!
+//! ```sh
+//! cargo run --release --example translation
+//! ```
+
+use pufferfish_repro::core::seq2seq::{train_seq2seq, Seq2SeqConfig};
+use pufferfish_repro::data::translation::{TranslationConfig, TranslationDataset};
+use pufferfish_repro::models::transformer::{TransformerConfig, TransformerModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = TranslationDataset::generate(TranslationConfig::small(21));
+    println!(
+        "task: translate by token-mapping + reversal; vocab {}, {} train pairs",
+        data.config().vocab,
+        data.train_pairs().len()
+    );
+
+    let epochs = 6;
+    let rank = 8; // d_model/4
+
+    let make = || {
+        TransformerModel::new(TransformerConfig {
+            vocab: data.config().vocab,
+            d_model: 32,
+            heads: 4,
+            enc_layers: 2,
+            dec_layers: 2,
+            rank: None,
+            seed: 1,
+        })
+    };
+
+    // Vanilla Transformer.
+    let cfg = Seq2SeqConfig::small(epochs, epochs, rank);
+    let vanilla = train_seq2seq(make()?, &data, &cfg)?;
+
+    // Pufferfish: 2 warm-up epochs then hybrid factorization.
+    let cfg = Seq2SeqConfig::small(epochs, 2, rank);
+    let puffer = train_seq2seq(make()?, &data, &cfg)?;
+
+    println!("\nvanilla Transformer:    {:>7} params, val ppl {:.2}, BLEU {:.1}",
+        vanilla.report.vanilla_params, vanilla.report.final_perplexity(), vanilla.valid_bleu);
+    println!("pufferfish Transformer: {:>7} params, val ppl {:.2}, BLEU {:.1}  (switched at epoch {:?})",
+        puffer.report.hybrid_params,
+        puffer.report.final_perplexity(),
+        puffer.valid_bleu,
+        puffer.report.switch_epoch,
+    );
+    println!("\nthe paper's full-scale counterpart: 48,978,432 -> 26,696,192 params with the");
+    println!("factorized model *better* on val ppl (7.34 vs 11.88) and BLEU (26.87 vs 19.05).");
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the Pufferfish reproduction workspace.
+//!
+//! Re-exports every workspace crate under one root so that the repo-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) can span
+//! the whole system. Library users should depend on the individual crates
+//! (`pufferfish`, `puffer-nn`, ...) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use pufferfish_repro::tensor::Tensor;
+//! let t = Tensor::zeros(&[2, 3]);
+//! assert_eq!(t.shape(), &[2, 3]);
+//! ```
+
+pub use puffer_compress as compress;
+pub use puffer_data as data;
+pub use puffer_dist as dist;
+pub use puffer_models as models;
+pub use puffer_nn as nn;
+pub use puffer_prune as prune;
+pub use puffer_tensor as tensor;
+pub use pufferfish as core;
