@@ -12,7 +12,9 @@ fn bench_svd_factorization(c: &mut Criterion) {
 
     let resnet18 = setups::resnet18(10, 1);
     group.bench_function("resnet18", |b| {
-        b.iter(|| resnet18.to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart).unwrap())
+        b.iter(|| {
+            resnet18.to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart).unwrap()
+        })
     });
 
     let vgg19 = setups::vgg19(10, 1);

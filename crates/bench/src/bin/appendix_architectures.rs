@@ -13,7 +13,13 @@ use puffer_models::spec::{
 };
 
 fn print_spec(spec: &ModelSpec) {
-    println!("\n--- {} ({:?}) — {} params, {} MACs ---", spec.name, spec.variant, commas(spec.params()), commas(spec.macs()));
+    println!(
+        "\n--- {} ({:?}) — {} params, {} MACs ---",
+        spec.name,
+        spec.variant,
+        commas(spec.params()),
+        commas(spec.macs())
+    );
     let mut t = Table::new(vec!["layer", "params", "MACs"]);
     for l in &spec.layers {
         t.row(vec![l.name.clone(), commas(l.params), commas(l.macs)]);
@@ -23,11 +29,32 @@ fn print_spec(spec: &ModelSpec) {
 
 fn main() {
     println!("== Appendix Table 10 analogue: datasets and stand-ins ==\n");
-    let mut t = Table::new(vec!["paper dataset", "# data points", "stand-in (this repo)", "metric"]);
-    t.row(vec!["CIFAR-10", "60,000", "class-conditional texture images, 32x32x3, 10 classes", "top-1 acc"]);
-    t.row(vec!["ImageNet", "1,281,167", "ImageNet-lite: texture images, more classes", "top-1/top-5 acc"]);
-    t.row(vec!["WikiText-2", "29,000 (sents)", "Markov-chain token stream, vocab 200", "perplexity"]);
-    t.row(vec!["WMT'16 En-De", "1,017,981", "token-mapping + reversal translation, vocab 64", "ppl + BLEU-4"]);
+    let mut t =
+        Table::new(vec!["paper dataset", "# data points", "stand-in (this repo)", "metric"]);
+    t.row(vec![
+        "CIFAR-10",
+        "60,000",
+        "class-conditional texture images, 32x32x3, 10 classes",
+        "top-1 acc",
+    ]);
+    t.row(vec![
+        "ImageNet",
+        "1,281,167",
+        "ImageNet-lite: texture images, more classes",
+        "top-1/top-5 acc",
+    ]);
+    t.row(vec![
+        "WikiText-2",
+        "29,000 (sents)",
+        "Markov-chain token stream, vocab 200",
+        "perplexity",
+    ]);
+    t.row(vec![
+        "WMT'16 En-De",
+        "1,017,981",
+        "token-mapping + reversal translation, vocab 64",
+        "ppl + BLEU-4",
+    ]);
     t.print();
 
     println!("\n== Appendix Tables 11–18 analogue: per-layer ledgers (full scale) ==");
@@ -37,7 +64,10 @@ fn main() {
         (vgg19_cifar(SpecVariant::Vanilla), vgg19_cifar(SpecVariant::Pufferfish)),
         (resnet18_cifar(SpecVariant::Vanilla), resnet18_cifar(SpecVariant::Pufferfish)),
         (resnet50_imagenet(SpecVariant::Vanilla), resnet50_imagenet(SpecVariant::Pufferfish)),
-        (wide_resnet50_2_imagenet(SpecVariant::Vanilla), wide_resnet50_2_imagenet(SpecVariant::Pufferfish)),
+        (
+            wide_resnet50_2_imagenet(SpecVariant::Vanilla),
+            wide_resnet50_2_imagenet(SpecVariant::Pufferfish),
+        ),
         (lstm_wikitext2(SpecVariant::Vanilla), lstm_wikitext2(SpecVariant::Pufferfish)),
         (transformer_wmt16(SpecVariant::Vanilla), transformer_wmt16(SpecVariant::Pufferfish)),
     ] {

@@ -28,9 +28,13 @@ fn main() {
     let data = setups::cifar_data(scale);
     let profile = ClusterProfile::p3_like(NODES);
     let batches: Vec<_> = data.train_batches(32, 0).into_iter().take(scale.pick(6, 24)).collect();
-    println!("== Intro claim: per-step SVD (ATOMO) vs one-time SVD (Pufferfish), {} steps ==\n", batches.len());
+    println!(
+        "== Intro claim: per-step SVD (ATOMO) vs one-time SVD (Pufferfish), {} steps ==\n",
+        batches.len()
+    );
 
-    let mut t = Table::new(vec!["method", "codec s/epoch", "codec calls", "comm (modeled)", "total"]);
+    let mut t =
+        Table::new(vec!["method", "codec s/epoch", "codec calls", "comm (modeled)", "total"]);
     for method in ["atomo-r2", "powersgd-r2", "pufferfish"] {
         let mut svd_once = 0.0f64;
         let mut model: ImageModel = if method == "pufferfish" {
@@ -60,9 +64,14 @@ fn main() {
                 &mut none_c
             }
         };
-        let (bd, _) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+        let (bd, _) =
+            measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
         let codec = (bd.encode + bd.decode).as_secs_f64() + svd_once;
-        let calls = if method == "pufferfish" { "1 (one-time SVD)".to_string() } else { format!("{} (every step)", batches.len()) };
+        let calls = if method == "pufferfish" {
+            "1 (one-time SVD)".to_string()
+        } else {
+            format!("{} (every step)", batches.len())
+        };
         t.row(vec![
             method.into(),
             format!("{codec:.3}"),
@@ -70,7 +79,13 @@ fn main() {
             format!("{:.4}", bd.comm.as_secs_f64()),
             format!("{:.3}", (bd.total().as_secs_f64() + svd_once)),
         ]);
-        record_result("atomo_overhead", &format!("{method}: codec {codec:.4}s total {:.3}s", bd.total().as_secs_f64() + svd_once));
+        record_result(
+            "atomo_overhead",
+            &format!(
+                "{method}: codec {codec:.4}s total {:.3}s",
+                bd.total().as_secs_f64() + svd_once
+            ),
+        );
     }
     t.print();
     println!("\nshape: ATOMO's codec column dwarfs PowerSGD's, and Pufferfish pays its SVD once —");

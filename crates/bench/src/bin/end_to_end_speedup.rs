@@ -34,7 +34,8 @@ fn main() {
     let batches = data.train_batches(32, 0);
     println!("== End-to-end speedup, ResNet-18 / CIFAR-10, {NODES} nodes, {epochs} epochs ==\n");
 
-    let mut t = Table::new(vec!["method", "end-to-end (s)", "final acc", "speedup of pufferfish", "paper"]);
+    let mut t =
+        Table::new(vec!["method", "end-to-end (s)", "final acc", "speedup of pufferfish", "paper"]);
     let mut results: Vec<(&str, f64, f32)> = Vec::new();
     // (method, per-epoch (cumulative seconds, train loss)) — the
     // convergence-vs-wall-clock series of the paper's Figure 4 bottom rows.
@@ -63,7 +64,8 @@ fn main() {
         let mut total = 0.0f64;
         let mut curve = Vec::new();
         for _ in 0..epochs {
-            let (bd, loss) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            let (bd, loss) =
+                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
             total += bd.total().as_secs_f64();
             curve.push((total, loss));
         }
@@ -79,7 +81,8 @@ fn main() {
         let mut total = 0.0f64;
         let mut p4 = PowerSgd::new(4, 3);
         for _ in 0..warmup {
-            let (bd, _) = measure_sequential_epoch(&mut model, &batches, NODES, &mut p4, &profile, 0.05);
+            let (bd, _) =
+                measure_sequential_epoch(&mut model, &batches, NODES, &mut p4, &profile, 0.05);
             total += bd.total().as_secs_f64();
         }
         let t0 = Instant::now();
@@ -92,7 +95,8 @@ fn main() {
         let mut none_c = NoCompression::new();
         let mut curve = Vec::new();
         for _ in warmup..epochs {
-            let (bd, loss) = measure_sequential_epoch(&mut model, &batches, NODES, &mut none_c, &profile, 0.05);
+            let (bd, loss) =
+                measure_sequential_epoch(&mut model, &batches, NODES, &mut none_c, &profile, 0.05);
             total += bd.total().as_secs_f64();
             curve.push((total, loss));
         }
@@ -113,7 +117,11 @@ fn main() {
             (*method).into(),
             format!("{total:.2}"),
             format!("{acc:.3}"),
-            if *method == "pufferfish" { "-".into() } else { format!("{:.2}x", total / puffer_total) },
+            if *method == "pufferfish" {
+                "-".into()
+            } else {
+                format!("{:.2}x", total / puffer_total)
+            },
             paper.into(),
         ]);
         record_result("end_to_end", &format!("{method}: total {total:.2}s acc {acc:.4}"));
@@ -123,8 +131,7 @@ fn main() {
     // Convergence vs wall-clock (Figure 4 bottom-row analogue).
     println!("\nconvergence vs cumulative wall-clock (train loss @ seconds):");
     for (method, curve) in &curves {
-        let series: Vec<String> =
-            curve.iter().map(|(s, l)| format!("{l:.2}@{s:.1}s")).collect();
+        let series: Vec<String> = curve.iter().map(|(s, l)| format!("{l:.2}@{s:.1}s")).collect();
         println!("  {method:<14} {}", series.join(" -> "));
     }
     println!("\nall reported times include Pufferfish's warm-up + SVD overhead (as in the paper).");

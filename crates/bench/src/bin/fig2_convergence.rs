@@ -10,8 +10,8 @@
 use puffer_bench::scale::RunScale;
 use puffer_bench::table::Table;
 use puffer_bench::{record_result, setups};
-use pufferfish::trainer::{train, ModelPlan, TrainConfig};
 use puffer_models::resnet::ResNetHybridPlan;
+use pufferfish::trainer::{train, ModelPlan, TrainConfig};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -47,7 +47,8 @@ fn main() {
     let data = setups::imagenet_lite_data(scale);
     let cfg = TrainConfig::imagenet_small(epochs, 0);
     let classes = data.config().classes;
-    let vanilla50 = train(setups::resnet50(classes, 1), ModelPlan::None, &data, &cfg).expect("training");
+    let vanilla50 =
+        train(setups::resnet50(classes, 1), ModelPlan::None, &data, &cfg).expect("training");
     let low50 = train(
         setups::resnet50(classes, 1),
         ModelPlan::ResNetHybrid(ResNetHybridPlan::all_layers(0.25)),
@@ -70,8 +71,5 @@ fn main() {
     println!("final-accuracy gap (vanilla - low-rank): {gap_b:+.3}");
     println!("\npaper shape: low-rank-from-scratch loses accuracy; gap larger on the harder task");
     println!("(paper: ~0.4% on CIFAR VGG, ~3% top-1 on ImageNet ResNet-50).");
-    record_result(
-        "fig2_convergence",
-        &format!("gap_vgg11={gap_a:.4} gap_resnet50={gap_b:.4}"),
-    );
+    record_result("fig2_convergence", &format!("gap_vgg11={gap_a:.4} gap_resnet50={gap_b:.4}"));
 }

@@ -49,7 +49,12 @@ fn main() {
         ]);
         record_result("fig3a_hybrid_k", &format!("K={k} acc={acc:.4} vanilla={van_acc:.4}"));
     }
-    t.row(vec!["vanilla".into(), commas(vanilla.model.param_count() as u64), format!("{van_acc:.3}"), "+0.000".into()]);
+    t.row(vec![
+        "vanilla".into(),
+        commas(vanilla.model.param_count() as u64),
+        format!("{van_acc:.3}"),
+        "+0.000".into(),
+    ]);
     t.print();
 
     // Shape check: the most factorized model (smallest K) should not beat

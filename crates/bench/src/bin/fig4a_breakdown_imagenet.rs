@@ -33,7 +33,14 @@ fn main() {
     let batches = data.train_batches(64, 0);
     println!("== Figure 4(a): ResNet-50 / ImageNet-lite breakdown, {NODES} nodes ==\n");
 
-    let mut t = Table::new(vec!["method", "compute s/epoch", "encode+decode", "comm (modeled)", "total", "final loss"]);
+    let mut t = Table::new(vec![
+        "method",
+        "compute s/epoch",
+        "encode+decode",
+        "comm (modeled)",
+        "total",
+        "final loss",
+    ]);
     // (method, total, codec seconds, bench gradient bytes)
     let mut totals: Vec<(&str, f64, f64, usize)> = Vec::new();
     for method in ["vanilla-sgd", "pufferfish", "signum"] {
@@ -56,7 +63,8 @@ fn main() {
         let mut last = Default::default();
         let mut loss = f32::NAN;
         for _ in 0..epochs {
-            let (bd, l) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            let (bd, l) =
+                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
             last = bd;
             loss = l;
         }
@@ -103,7 +111,7 @@ fn main() {
     let vanilla_row = totals.iter().find(|(m, ..)| *m == "vanilla-sgd").unwrap();
     let signum_row = totals.iter().find(|(m, ..)| *m == "signum").unwrap();
     let compute_v = vanilla_row.1 - vanilla_row.2; // compute-ish share
-    // Keep the measured vanilla compute as the unit; scale by MACs.
+                                                   // Keep the measured vanilla compute as the unit; scale by MACs.
     let mac_ratio = spec_p.macs() as f64 / spec_v.macs() as f64;
     let comm_v = profile.allreduce(spec_v.params() as usize * 4).as_secs_f64() * steps;
     let comm_p = profile.allreduce(spec_p.params() as usize * 4).as_secs_f64() * steps;
@@ -117,7 +125,11 @@ fn main() {
     let proj_s = compute_v + codec_s + comm_s; // sign bit per coordinate
     println!("\nfull-scale projection (measured compute x MAC ratio + cost-model comm on real gradient sizes):");
     println!("  vanilla {proj_v:.2}s, pufferfish {proj_p:.2}s, signum {proj_s:.2}s");
-    println!("  -> pufferfish vs vanilla {:.2}x (paper 1.35x), vs signum {:.2}x (paper 1.28x)", proj_v / proj_p, proj_s / proj_p);
+    println!(
+        "  -> pufferfish vs vanilla {:.2}x (paper 1.35x), vs signum {:.2}x (paper 1.28x)",
+        proj_v / proj_p,
+        proj_s / proj_p
+    );
     record_result(
         "fig4a_breakdown",
         &format!("projection: vanilla {proj_v:.3} pufferfish {proj_p:.3} signum {proj_s:.3}"),

@@ -30,7 +30,14 @@ fn main() {
     let batches = data.train_batches(32, 0);
     println!("== Figure 4(b): ResNet-18 / CIFAR-10 breakdown, {NODES} nodes ==\n");
 
-    let mut t = Table::new(vec!["method", "compute s/epoch", "encode+decode", "comm (modeled)", "total", "final loss"]);
+    let mut t = Table::new(vec![
+        "method",
+        "compute s/epoch",
+        "encode+decode",
+        "comm (modeled)",
+        "total",
+        "final loss",
+    ]);
     let mut totals: Vec<(&str, f64)> = Vec::new();
     for method in ["vanilla-sgd", "powersgd-r2", "signum", "pufferfish"] {
         let mut model: ImageModel = match method {
@@ -60,7 +67,8 @@ fn main() {
         let mut last = Default::default();
         let mut loss = f32::NAN;
         for _ in 0..epochs {
-            let (bd, l) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            let (bd, l) =
+                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
             last = bd;
             loss = l;
         }

@@ -38,7 +38,8 @@ fn main() {
         ("pufferfish", true, "none"),
         ("pufferfish+powersgd-r4", true, "powersgd4"),
     ];
-    let mut t = Table::new(vec!["method", "compute", "encode+decode", "comm", "total", "final loss"]);
+    let mut t =
+        Table::new(vec!["method", "compute", "encode+decode", "comm", "total", "final loss"]);
     let mut totals: Vec<(&str, f64)> = Vec::new();
     for (name, hybrid, comp_kind) in configs {
         let mut model: ImageModel = if hybrid {
@@ -74,7 +75,8 @@ fn main() {
         let mut last = Default::default();
         let mut loss = f32::NAN;
         for _ in 0..epochs {
-            let (bd, l) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            let (bd, l) =
+                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
             last = bd;
             loss = l;
         }
@@ -101,6 +103,9 @@ fn main() {
     t.print();
     let get = |m: &str| totals.iter().find(|(x, _)| *x == m).map(|(_, v)| *v).unwrap_or(f64::NAN);
     println!("\nshape checks:");
-    println!("- pufferfish+powersgd comm <= pufferfish comm: {}", get("pufferfish+powersgd-r4") <= get("pufferfish"));
+    println!(
+        "- pufferfish+powersgd comm <= pufferfish comm: {}",
+        get("pufferfish+powersgd-r4") <= get("pufferfish")
+    );
     println!("- composition keeps pufferfish-level compute while gaining powersgd-level comm.");
 }

@@ -50,7 +50,8 @@ fn main() {
             none_c = NoCompression::new();
             &mut none_c
         };
-        let (bd, _) = measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+        let (bd, _) =
+            measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
         t.row(vec![
             method.into(),
             format!("{:.3}", bd.compute.as_secs_f64()),

@@ -9,9 +9,9 @@ use puffer_bench::scale::RunScale;
 use puffer_bench::table::{commas, Table};
 use puffer_bench::{record_result, setups};
 use puffer_nn::Layer;
+use puffer_tensor::svd::svd_jacobi;
 use pufferfish::rank_alloc::{allocate_ranks, stable_rank};
 use pufferfish::trainer::{train, ModelPlan, TrainConfig};
-use puffer_tensor::svd::svd_jacobi;
 
 fn main() {
     let scale = RunScale::from_env();
@@ -58,7 +58,11 @@ fn main() {
     // effective ratios and compare params/accuracy.
     println!("\nhybrid fine-tuning comparison:");
     let mut t = Table::new(vec!["scheme", "# params", "final acc"]);
-    for (label, ratio) in [("fixed ratio 0.25 (paper)", 0.25f32), ("energy-derived ~0.4", 0.4), ("aggressive 0.125", 0.125)] {
+    for (label, ratio) in [
+        ("fixed ratio 0.25 (paper)", 0.25f32),
+        ("energy-derived ~0.4", 0.4),
+        ("aggressive 0.125", 0.125),
+    ] {
         let cfg = TrainConfig::cifar_small(epochs, warmup);
         let out = train(
             setups::vgg19(10, 1),
@@ -74,7 +78,11 @@ fn main() {
         ]);
         record_result(
             "rank_alloc",
-            &format!("{label}: params {} acc {:.4}", out.model.param_count(), out.report.final_test_accuracy()),
+            &format!(
+                "{label}: params {} acc {:.4}",
+                out.model.param_count(),
+                out.report.final_test_accuracy()
+            ),
         );
     }
     t.print();

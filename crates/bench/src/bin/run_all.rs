@@ -33,17 +33,12 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
     let mut failures = Vec::new();
     for exp in EXPERIMENTS {
         println!("\n################ {exp} ################\n");
-        let status = Command::new(exe_dir.join(exp))
-            .args(&args)
-            .status();
+        let status = Command::new(exe_dir.join(exp)).args(&args).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

@@ -6,8 +6,8 @@
 //! the symbolic formula next to the evaluated counts, cross-checking the
 //! formulas against actually constructed layers.
 
-use puffer_bench::table::{commas, Table};
 use puffer_bench::record_result;
+use puffer_bench::table::{commas, Table};
 use puffer_nn::complexity as cx;
 use puffer_nn::conv::{Conv2d, LowRankConv2d};
 use puffer_nn::layer::Layer;
@@ -16,7 +16,8 @@ use puffer_nn::lstm::{GateRank, LstmLayer};
 
 fn main() {
     println!("== Table 1: #params and computational complexity ==\n");
-    let mut t = Table::new(vec!["Network", "# Params (formula)", "evaluated", "instantiated", "MACs"]);
+    let mut t =
+        Table::new(vec!["Network", "# Params (formula)", "evaluated", "instantiated", "MACs"]);
 
     // FC at the paper's classifier dims m = n = 512, r = 128.
     let (m, n, r) = (512u64, 512u64, 128u64);
@@ -47,7 +48,8 @@ fn main() {
         commas(conv.param_count() as u64),
         commas(cx::conv_macs(ci, co, k, h, w)),
     ]);
-    let conv_lr = LowRankConv2d::new(ci as usize, co as usize, k as usize, 1, 1, rc as usize, 1).unwrap();
+    let conv_lr =
+        LowRankConv2d::new(ci as usize, co as usize, k as usize, 1, 1, rc as usize, 1).unwrap();
     t.row(vec![
         "Factorized Conv.".into(),
         "c_in r k^2 + r c_out".into(),

@@ -8,9 +8,9 @@
 use puffer_bench::scale::RunScale;
 use puffer_bench::table::Table;
 use puffer_bench::{record_result, setups};
+use puffer_models::resnet::ResNetHybridPlan;
 use pufferfish::ablation::mean_std;
 use pufferfish::trainer::{train, ModelPlan, TrainConfig};
-use puffer_models::resnet::ResNetHybridPlan;
 
 fn main() {
     let scale = RunScale::from_env();

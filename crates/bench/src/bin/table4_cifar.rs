@@ -10,10 +10,10 @@
 use puffer_bench::scale::RunScale;
 use puffer_bench::table::{commas, Table};
 use puffer_bench::{record_result, setups};
-use pufferfish::ablation::mean_std;
-use pufferfish::trainer::{train, ModelPlan, TrainConfig};
 use puffer_models::resnet::ResNetHybridPlan;
 use puffer_models::spec::{resnet18_cifar, vgg19_cifar, SpecVariant};
+use pufferfish::ablation::mean_std;
+use pufferfish::trainer::{train, ModelPlan, TrainConfig};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -21,7 +21,10 @@ fn main() {
     let epochs = scale.pick(6, 16);
     let warmup = scale.pick(2, 5);
     let seeds = scale.seeds();
-    println!("== Table 4: CIFAR-10 params / accuracy / MACs (epochs={epochs}, seeds={}) ==\n", seeds.len());
+    println!(
+        "== Table 4: CIFAR-10 params / accuracy / MACs (epochs={epochs}, seeds={}) ==\n",
+        seeds.len()
+    );
 
     let mut t = Table::new(vec![
         "Model Archs.",

@@ -10,11 +10,11 @@
 use puffer_bench::scale::RunScale;
 use puffer_bench::table::{commas, ratio, Table};
 use puffer_bench::{record_result, setups};
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::spec::{resnet50_imagenet, wide_resnet50_2_imagenet, SpecVariant};
 use puffer_nn::loss::top_k_accuracy;
 use puffer_nn::{Layer, Mode};
 use pufferfish::trainer::{train, ModelPlan, TrainConfig};
-use puffer_models::resnet::ResNetHybridPlan;
-use puffer_models::spec::{resnet50_imagenet, wide_resnet50_2_imagenet, SpecVariant};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -34,7 +34,10 @@ fn main() {
 
     for (arch, wide) in [("ResNet-50", false), ("WideResNet-50-2", true)] {
         let (spec_v, spec_p) = if wide {
-            (wide_resnet50_2_imagenet(SpecVariant::Vanilla), wide_resnet50_2_imagenet(SpecVariant::Pufferfish))
+            (
+                wide_resnet50_2_imagenet(SpecVariant::Vanilla),
+                wide_resnet50_2_imagenet(SpecVariant::Pufferfish),
+            )
         } else {
             (resnet50_imagenet(SpecVariant::Vanilla), resnet50_imagenet(SpecVariant::Pufferfish))
         };
@@ -45,9 +48,14 @@ fn main() {
             }
             let tag = if amp { "AMP" } else { "FP32" };
             for pufferfish in [false, true] {
-                let mut cfg = TrainConfig::imagenet_small(epochs, if pufferfish { warmup } else { 0 });
+                let mut cfg =
+                    TrainConfig::imagenet_small(epochs, if pufferfish { warmup } else { 0 });
                 cfg.amp = amp;
-                let model = if wide { setups::wide_resnet50(classes, 1) } else { setups::resnet50(classes, 1) };
+                let model = if wide {
+                    setups::wide_resnet50(classes, 1)
+                } else {
+                    setups::resnet50(classes, 1)
+                };
                 let plan = if pufferfish {
                     ModelPlan::ResNetHybrid(ResNetHybridPlan::resnet50_paper())
                 } else {

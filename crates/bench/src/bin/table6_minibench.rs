@@ -12,15 +12,19 @@
 use puffer_bench::scale::{optimized_flag, RunScale};
 use puffer_bench::table::Table;
 use puffer_bench::{record_result, setups};
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::units::FactorInit;
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::Sgd;
-use puffer_models::units::FactorInit;
-use puffer_models::resnet::ResNetHybridPlan;
 use puffer_tensor::matmul::{set_default_profile, MatmulProfile};
 use std::time::Instant;
 
-fn epoch_time<M: Layer>(model: &mut M, data: &puffer_data::images::ImageDataset, reps: usize) -> (f64, f64) {
+fn epoch_time<M: Layer>(
+    model: &mut M,
+    data: &puffer_data::images::ImageDataset,
+    reps: usize,
+) -> (f64, f64) {
     let mut opt = Sgd::new(0.05, 0.9, 1e-4);
     let mut times = Vec::new();
     for rep in 0..reps {
@@ -42,8 +46,13 @@ fn epoch_time<M: Layer>(model: &mut M, data: &puffer_data::images::ImageDataset,
 fn main() {
     let scale = RunScale::from_env();
     let optimized = optimized_flag();
-    set_default_profile(if optimized { MatmulProfile::Optimized } else { MatmulProfile::Reproducible });
-    let profile_name = if optimized { "speed-optimized (Table 20)" } else { "reproducible (Table 6)" };
+    set_default_profile(if optimized {
+        MatmulProfile::Optimized
+    } else {
+        MatmulProfile::Reproducible
+    });
+    let profile_name =
+        if optimized { "speed-optimized (Table 20)" } else { "reproducible (Table 6)" };
     let data = setups::cifar_data(scale);
     let reps = scale.pick(2, 5);
     println!("== Runtime mini-benchmark, {profile_name} profile, {reps} epochs ==\n");
@@ -55,19 +64,17 @@ fn main() {
     let (vm, vs) = epoch_time(&mut vanilla, &data, reps);
     let mut puffer = vanilla.to_hybrid(10, 0.25, FactorInit::WarmStart).expect("hybrid");
     let (pm, ps) = epoch_time(&mut puffer, &data, reps);
-    t.row(vec![
-        "Vanilla VGG-19".into(),
-        format!("{vm:.2} ± {vs:.2}"),
-        "-".into(),
-        "-".into(),
-    ]);
+    t.row(vec!["Vanilla VGG-19".into(), format!("{vm:.2} ± {vs:.2}"), "-".into(), "-".into()]);
     t.row(vec![
         "Pufferfish VGG-19".into(),
         format!("{pm:.2} ± {ps:.2}"),
         format!("{:.2}x", vm / pm),
         if optimized { "1.01x" } else { "1.23x" }.into(),
     ]);
-    record_result("table6_minibench", &format!("{profile_name} vgg19 {vm:.3}s -> {pm:.3}s ({:.2}x)", vm / pm));
+    record_result(
+        "table6_minibench",
+        &format!("{profile_name} vgg19 {vm:.3}s -> {pm:.3}s ({:.2}x)", vm / pm),
+    );
 
     // ResNet-18.
     let mut vanilla = setups::resnet18(10, 1);
@@ -76,19 +83,17 @@ fn main() {
         .to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart)
         .expect("hybrid");
     let (pm, ps) = epoch_time(&mut puffer, &data, reps);
-    t.row(vec![
-        "Vanilla ResNet-18".into(),
-        format!("{vm:.2} ± {vs:.2}"),
-        "-".into(),
-        "-".into(),
-    ]);
+    t.row(vec!["Vanilla ResNet-18".into(), format!("{vm:.2} ± {vs:.2}"), "-".into(), "-".into()]);
     t.row(vec![
         "Pufferfish ResNet-18".into(),
         format!("{pm:.2} ± {ps:.2}"),
         format!("{:.2}x", vm / pm),
         if optimized { "1.16x" } else { "1.48x" }.into(),
     ]);
-    record_result("table6_minibench", &format!("{profile_name} resnet18 {vm:.3}s -> {pm:.3}s ({:.2}x)", vm / pm));
+    record_result(
+        "table6_minibench",
+        &format!("{profile_name} resnet18 {vm:.3}s -> {pm:.3}s ({:.2}x)", vm / pm),
+    );
 
     t.print();
     println!("\nshape under reproduction: Pufferfish > 1x speedup, larger for ResNet-18 than");

@@ -12,11 +12,11 @@
 use puffer_bench::scale::RunScale;
 use puffer_bench::table::{commas, Table};
 use puffer_bench::{record_result, setups};
+use puffer_models::resnet::ResNetHybridPlan;
+use puffer_models::spec::{resnet50_imagenet, SpecVariant};
 use puffer_nn::schedule::StepDecay;
 use puffer_prune::early_bird::{apply_channel_mask, EarlyBirdDetector};
 use pufferfish::trainer::{evaluate, train, ModelPlan, TrainConfig};
-use puffer_models::resnet::ResNetHybridPlan;
-use puffer_models::spec::{resnet50_imagenet, SpecVariant};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -31,7 +31,8 @@ fn main() {
     cfg.schedule = StepDecay::new(0.1, vec![epochs / 3, epochs * 2 / 3], 0.1);
 
     // Vanilla reference.
-    let vanilla = train(setups::resnet50(classes, 1), ModelPlan::None, &data, &cfg).expect("training");
+    let vanilla =
+        train(setups::resnet50(classes, 1), ModelPlan::None, &data, &cfg).expect("training");
 
     // Pufferfish.
     let mut pcfg = cfg.clone();
@@ -94,12 +95,10 @@ fn main() {
             }
             if epoch + 1 >= warmup + 2 {
                 // EB deadline: draw whatever mask we have.
-                ticket = Some(
-                    puffer_prune::early_bird::global_channel_mask(
-                        &puffer_prune::early_bird::bn_gammas(&model),
-                        pr,
-                    ),
-                );
+                ticket = Some(puffer_prune::early_bird::global_channel_mask(
+                    &puffer_prune::early_bird::bn_gammas(&model),
+                    pr,
+                ));
                 break;
             }
         }
@@ -132,8 +131,12 @@ fn main() {
         record_result("table7_eb", &format!("pr={pr} effective={effective} acc={acc:.4}"));
     }
     t.print();
-    println!("\nshape under reproduction: Pufferfish ({} full-scale params) is smaller than",
-        commas(spec_p.params()));
-    println!("EB-30% ({}, 1.3M more) while being more accurate; EB accuracy degrades with pr.",
-        commas(16_466_787u64));
+    println!(
+        "\nshape under reproduction: Pufferfish ({} full-scale params) is smaller than",
+        commas(spec_p.params())
+    );
+    println!(
+        "EB-30% ({}, 1.3M more) while being more accurate; EB accuracy degrades with pr.",
+        commas(16_466_787u64)
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
     let epochs = scale.pick(6, 16);
     let warmup = scale.pick(2, 5);
     let seeds = scale.seeds();
-    println!("== Table 8: ResNet-18 ablation (epochs={epochs}, warm-up={warmup}, seeds={}) ==\n", seeds.len());
+    println!(
+        "== Table 8: ResNet-18 ablation (epochs={epochs}, warm-up={warmup}, seeds={}) ==\n",
+        seeds.len()
+    );
 
     let mut t = Table::new(vec!["Methods", "Test Loss", "Test Acc. (%)", "paper acc."]);
     let paper = ["93.75 ± 0.19", "93.92 ± 0.45", "94.87 ± 0.21"];

@@ -21,13 +21,19 @@ pub const CNN_SCALE: f32 = 0.125;
 /// The CIFAR-10 stand-in at bench scale.
 pub fn cifar_data(scale: RunScale) -> ImageDataset {
     let (train, test) = scale.pick((384, 128), (2_048, 512));
-    ImageDataset::generate(ImageDatasetConfig { noise: 0.25, ..ImageDatasetConfig::cifar_like(train, test, 42) })
+    ImageDataset::generate(ImageDatasetConfig {
+        noise: 0.25,
+        ..ImageDatasetConfig::cifar_like(train, test, 42)
+    })
 }
 
 /// The ImageNet-lite stand-in (more classes) at bench scale.
 pub fn imagenet_lite_data(scale: RunScale) -> ImageDataset {
     let (train, test) = scale.pick((384, 128), (2_048, 512));
-    ImageDataset::generate(ImageDatasetConfig { noise: 0.25, ..ImageDatasetConfig::imagenet_lite(train, test, 43) })
+    ImageDataset::generate(ImageDatasetConfig {
+        noise: 0.25,
+        ..ImageDatasetConfig::imagenet_lite(train, test, 43)
+    })
 }
 
 /// Bench-scale VGG-19 (16 convs, the paper's CIFAR VGG).

@@ -115,12 +115,9 @@ impl GradCompressor for PowerSgd {
                         })
                         .collect();
                     // Warm-started shared query.
-                    let q = self.queries[li]
-                        .take()
-                        .filter(|q| q.shape() == [n, r])
-                        .unwrap_or_else(|| {
-                            Tensor::randn(&[n, r], 1.0, self.seed.wrapping_add(li as u64))
-                        });
+                    let q = self.queries[li].take().filter(|q| q.shape() == [n, r]).unwrap_or_else(
+                        || Tensor::randn(&[n, r], 1.0, self.seed.wrapping_add(li as u64)),
+                    );
                     // P_w = M_w Q; allreduce-mean; orthogonalize.
                     let mut p_mean = Tensor::zeros(&[m, r]);
                     for mat in &mats {
@@ -155,10 +152,7 @@ impl GradCompressor for PowerSgd {
         // Per-node encode: each node computes only its own P/Q products
         // (the allreduce sums them in flight).
         encode_time /= n_workers.max(1) as u32;
-        (
-            out,
-            RoundStats { bytes_per_worker: bytes, encode_time, decode_time },
-        )
+        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
     }
 }
 

@@ -129,10 +129,7 @@ impl GradCompressor for Signum {
         }
         let out = crate::pack::unpack(&voted, layout);
         let decode_time = t0.elapsed();
-        (
-            out,
-            RoundStats { bytes_per_worker: bytes, encode_time, decode_time },
-        )
+        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
     }
 }
 

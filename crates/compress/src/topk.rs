@@ -94,10 +94,7 @@ impl GradCompressor for TopK {
         dense.scale(1.0 / n_workers as f32);
         let out = unpack(&dense, self.layout.as_ref().expect("layout set"));
         let decode_time = t0.elapsed();
-        (
-            out,
-            RoundStats { bytes_per_worker: bytes, encode_time, decode_time },
-        )
+        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
     }
 }
 
@@ -109,7 +106,8 @@ mod tests {
     #[test]
     fn keeps_largest_coordinates() {
         let mut c = TopK::new(0.25);
-        let g = vec![Tensor::from_vec(vec![0.1, -5.0, 0.2, 0.05, 4.0, 0.0, 0.0, 0.0], &[8]).unwrap()];
+        let g =
+            vec![Tensor::from_vec(vec![0.1, -5.0, 0.2, 0.05, 4.0, 0.0, 0.0, 0.0], &[8]).unwrap()];
         let (out, stats) = c.round(std::slice::from_ref(&g));
         assert_eq!(out[0].as_slice()[1], -5.0);
         assert_eq!(out[0].as_slice()[4], 4.0);

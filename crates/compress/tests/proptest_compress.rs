@@ -15,7 +15,12 @@ use rand::SeedableRng;
 
 fn grads(workers: usize, rows: usize, cols: usize, seed: u64) -> Vec<Vec<Tensor>> {
     (0..workers)
-        .map(|w| vec![Tensor::randn(&[rows, cols], 1.0, seed + w as u64), Tensor::randn(&[cols], 0.5, 99 + seed + w as u64)])
+        .map(|w| {
+            vec![
+                Tensor::randn(&[rows, cols], 1.0, seed + w as u64),
+                Tensor::randn(&[cols], 0.5, 99 + seed + w as u64),
+            ]
+        })
         .collect()
 }
 

@@ -23,7 +23,11 @@ pub enum AblationArm {
 impl AblationArm {
     /// All three arms in table order.
     pub fn all() -> [AblationArm; 3] {
-        [AblationArm::LowRankFromScratch, AblationArm::HybridNoWarmup, AblationArm::HybridWithWarmup]
+        [
+            AblationArm::LowRankFromScratch,
+            AblationArm::HybridNoWarmup,
+            AblationArm::HybridWithWarmup,
+        ]
     }
 
     /// Paper row label.
@@ -140,8 +144,8 @@ mod tests {
             noise: 0.2,
             seed: 9,
         });
-        let res =
-            run_resnet18_arm(AblationArm::HybridWithWarmup, &data, 0.0625, 2, 1, 0.25, &[1]).unwrap();
+        let res = run_resnet18_arm(AblationArm::HybridWithWarmup, &data, 0.0625, 2, 1, 0.25, &[1])
+            .unwrap();
         assert_eq!(res.reports.len(), 1);
         assert_eq!(res.reports[0].switch_epoch, Some(1));
         assert!(res.mean_loss.is_finite());
@@ -158,8 +162,10 @@ mod tests {
             noise: 0.2,
             seed: 10,
         });
-        let lr = run_resnet18_arm(AblationArm::LowRankFromScratch, &data, 0.0625, 1, 0, 0.25, &[1]).unwrap();
-        let hy = run_resnet18_arm(AblationArm::HybridNoWarmup, &data, 0.0625, 1, 0, 0.25, &[1]).unwrap();
+        let lr = run_resnet18_arm(AblationArm::LowRankFromScratch, &data, 0.0625, 1, 0, 0.25, &[1])
+            .unwrap();
+        let hy =
+            run_resnet18_arm(AblationArm::HybridNoWarmup, &data, 0.0625, 1, 0, 0.25, &[1]).unwrap();
         assert!(
             lr.reports[0].hybrid_params < hy.reports[0].hybrid_params,
             "all-low-rank must be smaller than the hybrid"

@@ -135,12 +135,8 @@ mod tests {
         let v = Tensor::randn(&[2, 12], 1.0, 2);
         let low = matmul(&u, &v).unwrap();
         let full = Tensor::randn(&[16, 12], 1.0, 3);
-        let decisions = allocate_ranks(
-            &[("low".into(), low), ("full".into(), full)],
-            0.99,
-            0.5,
-        )
-        .unwrap();
+        let decisions =
+            allocate_ranks(&[("low".into(), low), ("full".into(), full)], 0.99, 0.5).unwrap();
         assert!(decisions[0].rank <= 3, "low-rank layer got {}", decisions[0].rank);
         assert_eq!(decisions[1].rank, 6, "full-rank layer should hit the 0.5 cap");
         assert!(decisions[0].stable_rank < decisions[1].stable_rank);

@@ -65,10 +65,10 @@ impl ImageDataset {
                 (0..config.channels * 3)
                     .map(|_| {
                         (
-                            rng.gen_range(0.5..4.0),              // fx
-                            rng.gen_range(0.5..4.0),              // fy
+                            rng.gen_range(0.5..4.0),                   // fx
+                            rng.gen_range(0.5..4.0),                   // fy
                             rng.gen_range(0.0..std::f32::consts::TAU), // phase
-                            rng.gen_range(0.4..1.0),              // amplitude
+                            rng.gen_range(0.4..1.0),                   // amplitude
                         )
                     })
                     .collect()
@@ -139,7 +139,8 @@ impl ImageDataset {
     pub fn train_batches(&self, batch_size: usize, epoch_seed: u64) -> Vec<(Tensor, Vec<usize>)> {
         assert!(batch_size > 0, "batch size must be nonzero");
         let mut order: Vec<usize> = (0..self.train_images.len()).collect();
-        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ epoch_seed.wrapping_mul(0x9E37_79B9));
+        let mut rng =
+            SmallRng::seed_from_u64(self.config.seed ^ epoch_seed.wrapping_mul(0x9E37_79B9));
         // Fisher–Yates shuffle.
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);

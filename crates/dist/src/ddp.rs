@@ -135,10 +135,8 @@ mod tests {
         let fwd = Duration::from_millis(50);
         let bwd = Duration::from_millis(150);
         let step = simulate_step(fwd, bwd, &layers, DEFAULT_BUCKET_BYTES, &profile);
-        let serial_comm: Duration = bucketize(&layers, DEFAULT_BUCKET_BYTES)
-            .iter()
-            .map(|&b| profile.allreduce(b))
-            .sum();
+        let serial_comm: Duration =
+            bucketize(&layers, DEFAULT_BUCKET_BYTES).iter().map(|&b| profile.allreduce(b)).sum();
         assert!(step.total < step.compute + serial_comm, "no overlap achieved");
         assert!(step.total >= step.compute);
     }
@@ -164,8 +162,22 @@ mod tests {
     fn epoch_scales_linearly_in_steps() {
         let profile = ClusterProfile::p3_like(4);
         let layers = vec![10 << 20];
-        let one = simulate_epoch(Duration::from_millis(5), Duration::from_millis(10), &layers, DEFAULT_BUCKET_BYTES, &profile, 1);
-        let ten = simulate_epoch(Duration::from_millis(5), Duration::from_millis(10), &layers, DEFAULT_BUCKET_BYTES, &profile, 10);
+        let one = simulate_epoch(
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+            &layers,
+            DEFAULT_BUCKET_BYTES,
+            &profile,
+            1,
+        );
+        let ten = simulate_epoch(
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+            &layers,
+            DEFAULT_BUCKET_BYTES,
+            &profile,
+            10,
+        );
         assert!((ten.as_secs_f64() - 10.0 * one.as_secs_f64()).abs() < 1e-9);
     }
 

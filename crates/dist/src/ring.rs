@@ -31,11 +31,8 @@ impl RingTrace {
     /// Evaluates the trace under a cluster profile: each step costs
     /// `α + bytes·β` (all nodes transfer concurrently around the ring).
     pub fn time(&self, profile: &ClusterProfile) -> Duration {
-        let secs: f64 = self
-            .step_bytes
-            .iter()
-            .map(|&b| profile.alpha + b as f64 * profile.beta)
-            .sum();
+        let secs: f64 =
+            self.step_bytes.iter().map(|&b| profile.alpha + b as f64 * profile.beta).sum();
         Duration::from_secs_f64(secs)
     }
 }
@@ -152,10 +149,7 @@ mod tests {
         let profile = ClusterProfile::p3_like(p);
         let traced = trace.time(&profile).as_secs_f64();
         let closed = profile.allreduce(n * 4).as_secs_f64();
-        assert!(
-            (traced - closed).abs() < closed * 1e-6,
-            "traced {traced} vs closed-form {closed}"
-        );
+        assert!((traced - closed).abs() < closed * 1e-6, "traced {traced} vs closed-form {closed}");
     }
 
     #[test]

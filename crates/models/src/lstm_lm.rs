@@ -66,7 +66,12 @@ impl LstmLm {
         let embedding = Embedding::new(config.vocab, config.dim, config.seed)?;
         let mut lstms = Vec::with_capacity(config.layers);
         for l in 0..config.layers {
-            lstms.push(LstmLayer::new(config.dim, config.dim, config.rank, config.seed.wrapping_add(1000 * (l as u64 + 1)))?);
+            lstms.push(LstmLayer::new(
+                config.dim,
+                config.dim,
+                config.rank,
+                config.seed.wrapping_add(1000 * (l as u64 + 1)),
+            )?);
         }
         Ok(LstmLm {
             config,
@@ -146,9 +151,16 @@ impl LstmLm {
             if train && p > 0.0 {
                 let keep = 1.0 - p;
                 for s in &mut seq {
-                    let mask: Vec<f32> = (0..s.len())
-                        .map(|_| if self.dropout_rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
-                        .collect();
+                    let mask: Vec<f32> =
+                        (0..s.len())
+                            .map(|_| {
+                                if self.dropout_rng.gen::<f32>() < keep {
+                                    1.0 / keep
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .collect();
                     for (v, m) in s.as_mut_slice().iter_mut().zip(&mask) {
                         *v *= m;
                     }
@@ -277,7 +289,8 @@ mod tests {
         let mut lm = tiny();
         let mut opt = puffer_nn::optim::Sgd::new(0.5, 0.9, 0.0);
         let inputs: Vec<Vec<usize>> = (0..6).map(|t| vec![t % 5; 2]).collect();
-        let targets: Vec<usize> = inputs.iter().flat_map(|r| r.iter().map(|&t| (t + 1) % 5)).collect();
+        let targets: Vec<usize> =
+            inputs.iter().flat_map(|r| r.iter().map(|&t| (t + 1) % 5)).collect();
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..60 {
@@ -321,9 +334,8 @@ mod tests {
         lm.backward(&dl);
         let g = &lm.params()[0].grad;
         // Projection grads touch every vocab row; lookup grads add to rows 0/1.
-        let nonzero_rows = (0..20)
-            .filter(|&r| g.as_slice()[r * 8..(r + 1) * 8].iter().any(|&x| x != 0.0))
-            .count();
+        let nonzero_rows =
+            (0..20).filter(|&r| g.as_slice()[r * 8..(r + 1) * 8].iter().any(|&x| x != 0.0)).count();
         assert!(nonzero_rows >= 19, "rows with grad: {nonzero_rows}");
     }
 

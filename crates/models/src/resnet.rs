@@ -173,7 +173,13 @@ impl ResBlock {
         Ok(ResBlock { units: vec![unit1, unit2], shortcut, relu_mask: None })
     }
 
-    fn bottleneck(c_in: usize, inner: usize, c_out: usize, stride: usize, seed: u64) -> Result<Self> {
+    fn bottleneck(
+        c_in: usize,
+        inner: usize,
+        c_out: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Result<Self> {
         let unit1 = ConvBnUnit::dense(c_in, inner, 1, 1, 0, true, seed)?;
         let unit2 = ConvBnUnit::dense(inner, inner, 3, stride, 1, true, seed.wrapping_add(1))?;
         let unit3 = ConvBnUnit::dense(inner, c_out, 1, 1, 0, false, seed.wrapping_add(2))?;
@@ -273,7 +279,10 @@ impl Layer for ResBlock {
     }
 
     fn describe(&self) -> String {
-        format!("ResBlock[{}]", self.units.iter().map(|u| u.describe()).collect::<Vec<_>>().join(", "))
+        format!(
+            "ResBlock[{}]",
+            self.units.iter().map(|u| u.describe()).collect::<Vec<_>>().join(", ")
+        )
     }
 
     fn buffers(&self) -> Vec<Tensor> {

@@ -145,7 +145,12 @@ impl Vgg {
     /// # Errors
     ///
     /// Propagates factorization errors.
-    pub fn to_hybrid(&self, first_low_rank: usize, rank_ratio: f32, init: FactorInit) -> Result<Self> {
+    pub fn to_hybrid(
+        &self,
+        first_low_rank: usize,
+        rank_ratio: f32,
+        init: FactorInit,
+    ) -> Result<Self> {
         let mut conv_units = Vec::new();
         for (i, unit) in self.conv_units.iter().enumerate() {
             let idx = i + 1;
@@ -195,10 +200,9 @@ impl Vgg {
 
 fn clone_fc(fc: &FcKind) -> Result<FcKind> {
     match fc {
-        FcKind::Dense(l) => Ok(FcKind::Dense(Linear::from_weights(
-            l.weight().clone(),
-            l.bias().cloned(),
-        )?)),
+        FcKind::Dense(l) => {
+            Ok(FcKind::Dense(Linear::from_weights(l.weight().clone(), l.bias().cloned())?))
+        }
         FcKind::LowRank(_) => Err(puffer_nn::NnError::BadConfig {
             layer: "Vgg",
             reason: "cannot deep-copy an already-hybrid FC".into(),
@@ -259,7 +263,8 @@ impl Layer for Vgg {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        let mut v: Vec<&mut Param> = self.conv_units.iter_mut().flat_map(|u| u.params_mut()).collect();
+        let mut v: Vec<&mut Param> =
+            self.conv_units.iter_mut().flat_map(|u| u.params_mut()).collect();
         v.extend(self.fc_units.iter_mut().flat_map(|f| f.params_mut()));
         v.extend(self.classifier.params_mut());
         v
@@ -360,11 +365,8 @@ mod tests {
         let y = vgg.forward(&x, Mode::Train);
         let (_, dy) = puffer_nn::loss::softmax_cross_entropy(&y, &[0, 1], 0.0).unwrap();
         let _ = vgg.backward(&dy);
-        let nonzero = vgg
-            .params()
-            .iter()
-            .filter(|p| p.grad.as_slice().iter().any(|&g| g != 0.0))
-            .count();
+        let nonzero =
+            vgg.params().iter().filter(|p| p.grad.as_slice().iter().any(|&g| g != 0.0)).count();
         // All conv/FC weights and most BN affines receive gradient.
         assert!(nonzero as f32 > vgg.params().len() as f32 * 0.8, "{nonzero}");
     }

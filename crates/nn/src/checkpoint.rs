@@ -21,11 +21,7 @@ pub fn state_dict<M: Layer + ?Sized>(model: &M) -> Vec<(String, Tensor)> {
         .map(|(i, p)| (format!("{i:04}.{}", p.name), p.value.clone()))
         .collect();
     entries.extend(
-        model
-            .buffers()
-            .into_iter()
-            .enumerate()
-            .map(|(i, b)| (format!("buffer.{i:04}"), b)),
+        model.buffers().into_iter().enumerate().map(|(i, b)| (format!("buffer.{i:04}"), b)),
     );
     entries
 }
@@ -37,7 +33,10 @@ pub fn state_dict<M: Layer + ?Sized>(model: &M) -> Vec<(String, Tensor)> {
 ///
 /// Returns [`NnError::BadConfig`] on entry-count or shape mismatch (the
 /// checkpoint came from a different architecture).
-pub fn load_state_dict<M: Layer + ?Sized>(model: &mut M, entries: &[(String, Tensor)]) -> Result<()> {
+pub fn load_state_dict<M: Layer + ?Sized>(
+    model: &mut M,
+    entries: &[(String, Tensor)],
+) -> Result<()> {
     let n_buffers = model.buffers().len();
     let n_params = model.params().len();
     if n_params + n_buffers != entries.len() {
@@ -81,10 +80,8 @@ pub fn load_state_dict<M: Layer + ?Sized>(model: &mut M, entries: &[(String, Ten
 pub fn save<M: Layer + ?Sized, P: AsRef<Path>>(model: &M, path: P) -> Result<()> {
     let owned = state_dict(model);
     let refs: Vec<(String, &Tensor)> = owned.iter().map(|(n, t)| (n.clone(), t)).collect();
-    save_tensors(path, &refs).map_err(|e| NnError::BadConfig {
-        layer: "checkpoint",
-        reason: format!("io error: {e}"),
-    })
+    save_tensors(path, &refs)
+        .map_err(|e| NnError::BadConfig { layer: "checkpoint", reason: format!("io error: {e}") })
 }
 
 /// Loads a model's state from a `.puft` file.

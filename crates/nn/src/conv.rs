@@ -52,7 +52,17 @@ impl Conv2d {
         let fan_in = c_in * k * k;
         let weight = Param::new("weight", kaiming_normal(&[c_out, c_in, k, k], fan_in, seed));
         let bias = bias.then(|| Param::new_no_decay("bias", Tensor::zeros(&[c_out])));
-        Ok(Conv2d { weight, bias, c_in, c_out, k, stride, padding, cached_cols: None, cached_geo: None })
+        Ok(Conv2d {
+            weight,
+            bias,
+            c_in,
+            c_out,
+            k,
+            stride,
+            padding,
+            cached_cols: None,
+            cached_geo: None,
+        })
     }
 
     /// Creates a convolution from an explicit weight `(c_out, c_in, k, k)`.
@@ -62,7 +72,10 @@ impl Conv2d {
     /// Returns [`NnError::BadConfig`] if the weight is not 4-D.
     pub fn from_weight(weight: Tensor, stride: usize, padding: usize) -> Result<Self> {
         if weight.ndim() != 4 {
-            return Err(NnError::BadConfig { layer: "Conv2d", reason: "weight must be 4-D".into() });
+            return Err(NnError::BadConfig {
+                layer: "Conv2d",
+                reason: "weight must be 4-D".into(),
+            });
         }
         let s = weight.shape().to_vec();
         let mut conv = Self::new(s[1], s[0], s[2], stride, padding, false, 0)?;
@@ -98,7 +111,14 @@ impl Layer for Conv2d {
         let s = input.shape();
         let (n, h, w) = (s[0], s[2], s[3]);
         assert_eq!(s[1], self.c_in, "Conv2d channel mismatch");
-        let geo = ConvGeometry { c_in: self.c_in, h, w, k: self.k, stride: self.stride, padding: self.padding };
+        let geo = ConvGeometry {
+            c_in: self.c_in,
+            h,
+            w,
+            k: self.k,
+            stride: self.stride,
+            padding: self.padding,
+        };
         let cols = im2col(input, &geo).expect("validated geometry");
         let w_mat = self
             .weight
@@ -121,9 +141,13 @@ impl Layer for Conv2d {
         let cols = self.cached_cols.as_ref().expect("backward before train-mode forward");
         let (geo, n) = self.cached_geo.as_ref().expect("backward before train-mode forward");
         let (ho, wo) = (geo.h_out(), geo.w_out());
-        assert_eq!(grad_output.shape(), &[*n, self.c_out, ho, wo], "Conv2d gradient shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            &[*n, self.c_out, ho, wo],
+            "Conv2d gradient shape mismatch"
+        );
         let dout_mat = nchw_to_cols(grad_output); // [c_out, N·ho·wo]
-        // dW = dOut · colsᵀ
+                                                  // dW = dOut · colsᵀ
         let dw = matmul_nt(&dout_mat, cols).expect("shapes checked");
         let dw4 = dw.reshape(self.weight.value.shape()).expect("element count matches");
         self.weight.grad.axpy(1.0, &dw4).expect("grad shape");
@@ -153,7 +177,10 @@ impl Layer for Conv2d {
     }
 
     fn describe(&self) -> String {
-        format!("Conv2d({}→{}, k={}, s={}, p={})", self.c_in, self.c_out, self.k, self.stride, self.padding)
+        format!(
+            "Conv2d({}→{}, k={}, s={}, p={})",
+            self.c_in, self.c_out, self.k, self.stride, self.padding
+        )
     }
 }
 
@@ -398,8 +425,8 @@ mod tests {
         let unrolled = dense.unrolled_weight(); // (c_in k², c_out) = (27, 4)
         let f = puffer_tensor::svd::truncated_svd(&unrolled, 4).unwrap();
         let (u, vt) = f.split_balanced(); // u: (27, 4), vt: (4, 4)
-        // u columns are basis filters: reshape uᵀ to (r, c_in, k, k);
-        // vt maps basis → c_out: (c_out, r) = vtᵀ.
+                                          // u columns are basis filters: reshape uᵀ to (r, c_in, k, k);
+                                          // vt maps basis → c_out: (c_out, r) = vtᵀ.
         let u4 = u.transpose().reshape(&[4, 3, 3, 3]).unwrap();
         let v2 = vt.transpose();
         let mut lr = LowRankConv2d::from_factors(u4, v2, 1, 1).unwrap();

@@ -37,7 +37,8 @@ impl Embedding {
                 reason: format!("dimensions must be nonzero, got {vocab}x{dim}"),
             });
         }
-        let weight = Param::new("embedding.weight", Tensor::rand_uniform(&[vocab, dim], -0.1, 0.1, seed));
+        let weight =
+            Param::new("embedding.weight", Tensor::rand_uniform(&[vocab, dim], -0.1, 0.1, seed));
         Ok(Embedding { weight, vocab, dim, cached_tokens: None, cached_hidden: None })
     }
 

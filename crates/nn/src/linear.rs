@@ -31,7 +31,8 @@ impl Linear {
                 reason: format!("dimensions must be nonzero, got {in_features}x{out_features}"),
             });
         }
-        let weight = Param::new("weight", kaiming_normal(&[out_features, in_features], in_features, seed));
+        let weight =
+            Param::new("weight", kaiming_normal(&[out_features, in_features], in_features, seed));
         let bias = bias.then(|| Param::new_no_decay("bias", Tensor::zeros(&[out_features])));
         Ok(Linear { weight, bias, in_features, out_features, cached_input: None })
     }
@@ -44,7 +45,10 @@ impl Linear {
     /// the wrong length.
     pub fn from_weights(weight: Tensor, bias: Option<Tensor>) -> Result<Self> {
         if weight.ndim() != 2 {
-            return Err(NnError::BadConfig { layer: "Linear", reason: "weight must be 2-D".into() });
+            return Err(NnError::BadConfig {
+                layer: "Linear",
+                reason: "weight must be 2-D".into(),
+            });
         }
         let (out_features, in_features) = (weight.shape()[0], weight.shape()[1]);
         if let Some(b) = &bias {
@@ -161,7 +165,10 @@ impl LowRankLinear {
         // the fourth root of the target variance.
         let std = (2.0 / in_features as f32).sqrt() / (rank as f32).sqrt();
         let u = Param::new("weight_u", Tensor::randn(&[out_features, rank], std.sqrt(), seed));
-        let vt = Param::new("weight_v", Tensor::randn(&[rank, in_features], std.sqrt(), seed.wrapping_add(1)));
+        let vt = Param::new(
+            "weight_v",
+            Tensor::randn(&[rank, in_features], std.sqrt(), seed.wrapping_add(1)),
+        );
         let bias = bias.then(|| Param::new_no_decay("bias", Tensor::zeros(&[out_features])));
         Ok(LowRankLinear {
             u,
@@ -278,7 +285,9 @@ pub(crate) fn validate_rank(
     if in_features == 0 || out_features == 0 || rank == 0 {
         return Err(NnError::BadConfig {
             layer,
-            reason: format!("dimensions must be nonzero, got {in_features}x{out_features} rank {rank}"),
+            reason: format!(
+                "dimensions must be nonzero, got {in_features}x{out_features} rank {rank}"
+            ),
         });
     }
     if rank > in_features.min(out_features) {

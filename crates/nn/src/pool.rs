@@ -213,7 +213,10 @@ mod tests {
     fn maxpool_known_values() {
         let mut p = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -222,9 +225,8 @@ mod tests {
         assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
         // Backward routes gradient to argmax positions only.
         let g = p.backward(&Tensor::ones(&[1, 1, 2, 2]));
-        let expected: Vec<f32> = (0..16)
-            .map(|i| if [5, 7, 13, 15].contains(&i) { 1.0 } else { 0.0 })
-            .collect();
+        let expected: Vec<f32> =
+            (0..16).map(|i| if [5, 7, 13, 15].contains(&i) { 1.0 } else { 0.0 }).collect();
         assert_eq!(g.as_slice(), &expected[..]);
     }
 

@@ -60,11 +60,8 @@ fn activation_and_pool_gradcheck() {
     check_input("relu", &mut Relu::new(), &x);
     check_input("tanh", &mut Tanh::new(), &x);
 
-    let ximg = Tensor::from_vec(
-        (0..32).map(|i| i as f32 * 0.37 % 5.0).collect(),
-        &[1, 2, 4, 4],
-    )
-    .unwrap();
+    let ximg =
+        Tensor::from_vec((0..32).map(|i| i as f32 * 0.37 % 5.0).collect(), &[1, 2, 4, 4]).unwrap();
     check_input("maxpool", &mut MaxPool2d::new(2, 2), &ximg);
     check_input("gap", &mut GlobalAvgPool::new(), &ximg);
     check_input("flatten", &mut Flatten::new(), &ximg);

@@ -179,7 +179,8 @@ pub fn apply_channel_mask<M: Layer>(model: &mut M, mask: &ChannelMask) -> usize 
         }
         // Parameters not governed by a BN mask count fully, except conv
         // weights that precede a bn.weight (handled above).
-        let followed_by_bn = i + 1 < n && params[i + 1].name == "bn.weight"
+        let followed_by_bn = i + 1 < n
+            && params[i + 1].name == "bn.weight"
             && params[i].name.ends_with("weight")
             && params[i].value.ndim() == 4;
         if !followed_by_bn {

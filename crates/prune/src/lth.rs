@@ -31,11 +31,7 @@ impl LotteryState {
 
     /// Number of surviving (unmasked) prunable weights.
     pub fn surviving(&self) -> usize {
-        self.masks
-            .iter()
-            .flatten()
-            .map(|m| m.iter().filter(|&&b| b).count())
-            .sum()
+        self.masks.iter().flatten().map(|m| m.iter().filter(|&&b| b).count()).sum()
     }
 
     /// Total prunable weights.
@@ -97,7 +93,9 @@ impl LotteryState {
     /// Rewinds surviving weights to their captured initial values and zeroes
     /// pruned ones ("winning ticket" reset).
     pub fn rewind<M: Layer>(&self, model: &mut M) {
-        for ((p, mask), init) in model.params_mut().into_iter().zip(&self.masks).zip(&self.init_values) {
+        for ((p, mask), init) in
+            model.params_mut().into_iter().zip(&self.masks).zip(&self.init_values)
+        {
             match mask {
                 None => {} // bias/BN: keep current values? LTH resets them too.
                 Some(m) => {

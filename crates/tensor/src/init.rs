@@ -79,8 +79,8 @@ mod tests {
     fn randn_moments() {
         let t = Tensor::randn(&[10_000], 2.0, 11);
         let mean = stats::mean(&t);
-        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>()
-            / (t.len() - 1) as f32;
+        let var =
+            t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / (t.len() - 1) as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

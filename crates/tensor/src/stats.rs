@@ -65,13 +65,8 @@ pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
 /// Relative Frobenius error `‖a − b‖ / ‖a‖` (defaults to absolute error when
 /// `‖a‖ == 0`). Used throughout the test suite to compare factorizations.
 pub fn rel_error(a: &Tensor, b: &Tensor) -> f32 {
-    let diff = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f32>()
-        .sqrt();
+    let diff =
+        a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
     let denom = l2_norm(a);
     if denom == 0.0 {
         diff

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batches = data.train_batches(32, 0);
     let cfg = DistConfig::p3(8, 0.05);
 
-    println!("{:<22} {:>10} {:>14} {:>12} {:>10}", "method", "compute", "encode+decode", "comm(model)", "loss");
+    println!(
+        "{:<22} {:>10} {:>14} {:>12} {:>10}",
+        "method", "compute", "encode+decode", "comm(model)", "loss"
+    );
     for method in ["vanilla", "pufferfish", "signum"] {
         let mut none_c;
         let mut sig_c;

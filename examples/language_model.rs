@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // below the uniform perplexity (= vocab size).
     let corpus = TextCorpus::generate(TextCorpusConfig::small(11));
     let vocab = corpus.vocab();
-    println!("corpus: vocab {vocab}, {} train tokens (uniform ppl = {vocab})", corpus.train_stream().len());
+    println!(
+        "corpus: vocab {vocab}, {} train tokens (uniform ppl = {vocab})",
+        corpus.train_stream().len()
+    );
 
     let epochs = 6;
     let rank = 16; // hidden/4, the paper's ratio
@@ -31,9 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = LmTrainConfig::small(epochs, 2, rank);
     let puffer = train_lm(model, &corpus, &cfg)?;
 
-    println!("\nvanilla LSTM:    {:>8} params, val ppl {:.2}, test ppl {:.2}",
-        vanilla_params, vanilla.report.final_perplexity(), vanilla.test_perplexity);
-    println!("pufferfish LSTM: {:>8} params, val ppl {:.2}, test ppl {:.2}  (switched at epoch {:?})",
+    println!(
+        "\nvanilla LSTM:    {:>8} params, val ppl {:.2}, test ppl {:.2}",
+        vanilla_params,
+        vanilla.report.final_perplexity(),
+        vanilla.test_perplexity
+    );
+    println!(
+        "pufferfish LSTM: {:>8} params, val ppl {:.2}, test ppl {:.2}  (switched at epoch {:?})",
         puffer.report.hybrid_params,
         puffer.report.final_perplexity(),
         puffer.test_perplexity,

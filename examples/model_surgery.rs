@@ -26,23 +26,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut conv = Conv2d::new(64, 64, 3, 1, 1, false, 3)?;
     let unrolled = conv.unrolled_weight(); // (c_in k², c_out) = (576, 64)
     let f = svd_jacobi(&unrolled)?;
-    let damped: Vec<f32> = f.s.iter().enumerate().map(|(i, &s)| s * 0.85f32.powi(i as i32)).collect();
-    let damped_f = pufferfish_repro::tensor::svd::SvdFactors { u: f.u.clone(), s: damped, vt: f.vt.clone() };
+    let damped: Vec<f32> =
+        f.s.iter().enumerate().map(|(i, &s)| s * 0.85f32.powi(i as i32)).collect();
+    let damped_f =
+        pufferfish_repro::tensor::svd::SvdFactors { u: f.u.clone(), s: damped, vt: f.vt.clone() };
     let w2 = damped_f.reconstruct(); // (576, 64)
-    let w4 = w2
-        .transpose()
-        .reshape(&[64, 64, 3, 3])?;
+    let w4 = w2.transpose().reshape(&[64, 64, 3, 3])?;
     conv = Conv2d::from_weight(w4, 1, 1)?;
 
     let unrolled = conv.unrolled_weight();
     let f = svd_jacobi(&unrolled)?;
     println!("layer: Conv2d(64→64, 3x3), unrolled {}x{}", unrolled.rows(), unrolled.cols());
-    println!("stable rank: {:.1} of {} (energy_rank 90% = {}, 99% = {})\n",
-        stable_rank(&f.s), f.s.len(), energy_rank(&f.s, 0.90), energy_rank(&f.s, 0.99));
+    println!(
+        "stable rank: {:.1} of {} (energy_rank 90% = {}, 99% = {})\n",
+        stable_rank(&f.s),
+        f.s.len(),
+        energy_rank(&f.s, 0.90),
+        energy_rank(&f.s, 0.99)
+    );
 
     let x = Tensor::randn(&[4, 64, 8, 8], 1.0, 9);
     let y_dense = conv.forward(&x, Mode::Eval);
-    println!("{:>5} {:>10} {:>12} {:>22} {:>22}", "rank", "params", "vs dense", "output err (warm SVD)", "output err (random)");
+    println!(
+        "{:>5} {:>10} {:>12} {:>22} {:>22}",
+        "rank", "params", "vs dense", "output err (warm SVD)", "output err (random)"
+    );
     for rank in [4usize, 8, 16, 32, 64] {
         let mut warm = factorize_conv(&conv, rank, FactorInit::WarmStart)?;
         let mut cold = factorize_conv(&conv, rank, FactorInit::Random(5))?;

@@ -31,9 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = ModelPlan::VggHybrid { first_low_rank: 4, rank_ratio: 0.25 };
     let puffer = train(vanilla, plan, &data, &cfg)?;
 
-    println!("vanilla:    {:>9} params, final acc {:.3}",
-        base.report.vanilla_params, base.report.final_test_accuracy());
-    println!("pufferfish: {:>9} params, final acc {:.3}  (switched at epoch {:?}, SVD took {:?})",
+    println!(
+        "vanilla:    {:>9} params, final acc {:.3}",
+        base.report.vanilla_params,
+        base.report.final_test_accuracy()
+    );
+    println!(
+        "pufferfish: {:>9} params, final acc {:.3}  (switched at epoch {:?}, SVD took {:?})",
         puffer.report.hybrid_params,
         puffer.report.final_test_accuracy(),
         puffer.report.switch_epoch,

@@ -42,9 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = Seq2SeqConfig::small(epochs, 2, rank);
     let puffer = train_seq2seq(make()?, &data, &cfg)?;
 
-    println!("\nvanilla Transformer:    {:>7} params, val ppl {:.2}, BLEU {:.1}",
-        vanilla.report.vanilla_params, vanilla.report.final_perplexity(), vanilla.valid_bleu);
-    println!("pufferfish Transformer: {:>7} params, val ppl {:.2}, BLEU {:.1}  (switched at epoch {:?})",
+    println!(
+        "\nvanilla Transformer:    {:>7} params, val ppl {:.2}, BLEU {:.1}",
+        vanilla.report.vanilla_params,
+        vanilla.report.final_perplexity(),
+        vanilla.valid_bleu
+    );
+    println!(
+        "pufferfish Transformer: {:>7} params, val ppl {:.2}, BLEU {:.1}  (switched at epoch {:?})",
         puffer.report.hybrid_params,
         puffer.report.final_perplexity(),
         puffer.valid_bleu,

@@ -43,11 +43,7 @@ fn algorithm1_end_to_end_beats_chance_and_shrinks_model() {
     .unwrap();
     assert_eq!(out.report.switch_epoch, Some(3));
     assert!(out.report.hybrid_params < out.report.vanilla_params);
-    assert!(
-        out.report.final_test_accuracy() > 0.45,
-        "acc {}",
-        out.report.final_test_accuracy()
-    );
+    assert!(out.report.final_test_accuracy() > 0.45, "acc {}", out.report.final_test_accuracy());
     // Training loss decreased overall.
     let first = out.report.epochs.first().unwrap().train_loss;
     let last = out.report.epochs.last().unwrap().train_loss;
@@ -94,7 +90,8 @@ fn resnet_hybrid_trains_and_preserves_shapes() {
     let data = dataset();
     let net = ResNet::new(ResNetConfig::resnet18(0.0625, 4, 5)).unwrap();
     let cfg = TrainConfig::cifar_small(3, 1);
-    let out = train(net, ModelPlan::ResNetHybrid(ResNetHybridPlan::resnet18_paper()), &data, &cfg).unwrap();
+    let out = train(net, ModelPlan::ResNetHybrid(ResNetHybridPlan::resnet18_paper()), &data, &cfg)
+        .unwrap();
     assert_eq!(out.report.switch_epoch, Some(1));
     assert!(out.report.compression_ratio() > 1.5, "ratio {}", out.report.compression_ratio());
     assert!(out.report.epochs.iter().all(|e| e.train_loss.is_finite()));

@@ -66,7 +66,9 @@ fn warmup_checkpoint_resumes_into_hybrid() {
 fn checkpoint_preserves_eval_behaviour_exactly() {
     let data = dataset();
     let cfg = TrainConfig::cifar_small(2, 1);
-    let out = train(vgg(), ModelPlan::VggHybrid { first_low_rank: 2, rank_ratio: 0.5 }, &data, &cfg).unwrap();
+    let out =
+        train(vgg(), ModelPlan::VggHybrid { first_low_rank: 2, rank_ratio: 0.5 }, &data, &cfg)
+            .unwrap();
     let mut trained = out.model;
     let (loss_before, acc_before) = {
         let x = Tensor::randn(&[2, 3, 16, 16], 1.0, 1);
@@ -82,10 +84,7 @@ fn checkpoint_preserves_eval_behaviour_exactly() {
     // BN running statistics travel with the checkpoint as buffers, so
     // evaluation behaviour is restored exactly.
     let (loss_after, acc_after) = evaluate(&mut fresh, &data, 16).unwrap();
-    assert!(
-        (loss_before - loss_after).abs() < 1e-5,
-        "loss drifted: {loss_before} vs {loss_after}"
-    );
+    assert!((loss_before - loss_after).abs() < 1e-5, "loss drifted: {loss_before} vs {loss_after}");
     assert!((acc_before - acc_after).abs() < 1e-6, "acc drifted: {acc_before} vs {acc_after}");
     let _ = std::fs::remove_file(path);
 }

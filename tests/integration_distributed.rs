@@ -32,7 +32,13 @@ fn four_worker_cnn_matches_single_process() {
     // *deterministic reproducibility* of the distributed run and that it
     // optimizes.
     let data = batches(16, 8, 8, 4);
-    let cfg = DistConfig { workers: 4, lr: 0.05, momentum: 0.9, weight_decay: 1e-4, profile: ClusterProfile::zero_cost(4) };
+    let cfg = DistConfig {
+        workers: 4,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        profile: ClusterProfile::zero_cost(4),
+    };
     let factory = |_w: usize| ResNet::new(ResNetConfig::resnet18(0.0625, 4, 11)).unwrap();
     let mut c1 = NoCompression::new();
     let a = train_data_parallel(factory, &data, &mut c1, &cfg);
@@ -106,7 +112,13 @@ fn compressed_training_still_converges_end_to_end() {
     // PowerSGD-compressed data-parallel training on a real CNN reduces the
     // loss (error feedback working through the whole pipeline).
     let data = batches(24, 8, 8, 4);
-    let cfg = DistConfig { workers: 2, lr: 0.05, momentum: 0.9, weight_decay: 0.0, profile: ClusterProfile::p3_like(2) };
+    let cfg = DistConfig {
+        workers: 2,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        profile: ClusterProfile::p3_like(2),
+    };
     let mut comp = PowerSgd::new(2, 9);
     let out = train_data_parallel(
         |_| ResNet::new(ResNetConfig::resnet18(0.0625, 4, 13)).unwrap(),
@@ -139,10 +151,7 @@ fn sequential_and_threaded_paths_agree_on_losses() {
         &cfg,
     );
     let thr_loss = out.step_losses[0];
-    assert!(
-        (seq_loss - thr_loss).abs() < 1e-4,
-        "sequential {seq_loss} vs threaded {thr_loss}"
-    );
+    assert!((seq_loss - thr_loss).abs() < 1e-4, "sequential {seq_loss} vs threaded {thr_loss}");
 }
 
 #[test]
