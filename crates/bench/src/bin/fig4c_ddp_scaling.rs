@@ -23,7 +23,12 @@ use puffer_tensor::Tensor;
 use std::time::{Duration, Instant};
 
 /// Measures mean (forward, backward) time per batch.
-fn fwd_bwd_time<M: Layer>(model: &mut M, images: &Tensor, labels: &[usize], reps: usize) -> (Duration, Duration) {
+fn fwd_bwd_time<M: Layer>(
+    model: &mut M,
+    images: &Tensor,
+    labels: &[usize],
+    reps: usize,
+) -> (Duration, Duration) {
     let (mut fwd, mut bwd) = (Duration::ZERO, Duration::ZERO);
     for _ in 0..reps {
         model.zero_grad();
@@ -65,16 +70,23 @@ fn main() {
     let _ = (fp_raw, bp_raw);
 
     // Full-scale gradient layouts (what DDP actually ships).
-    let vanilla_layers: Vec<usize> =
-        resnet50_imagenet(SpecVariant::Vanilla).layers.iter().map(|l| l.params as usize * 4).collect();
-    let puffer_layers: Vec<usize> =
-        resnet50_imagenet(SpecVariant::Pufferfish).layers.iter().map(|l| l.params as usize * 4).collect();
+    let vanilla_layers: Vec<usize> = resnet50_imagenet(SpecVariant::Vanilla)
+        .layers
+        .iter()
+        .map(|l| l.params as usize * 4)
+        .collect();
+    let puffer_layers: Vec<usize> = resnet50_imagenet(SpecVariant::Pufferfish)
+        .layers
+        .iter()
+        .map(|l| l.params as usize * 4)
+        .collect();
 
     println!("== Figure 4(c): DDP per-epoch scaling, ResNet-50, {steps_per_epoch} steps/epoch ==");
     println!("compute/batch: vanilla fwd {:.1}ms bwd {:.1}ms (measured) | pufferfish fwd {:.1}ms bwd {:.1}ms (MAC-ratio {:.3})\n",
         fv.as_secs_f64() * 1e3, bv.as_secs_f64() * 1e3, fp.as_secs_f64() * 1e3, bp.as_secs_f64() * 1e3, mac_ratio);
 
-    let mut t = Table::new(vec!["nodes", "vanilla s/epoch", "pufferfish s/epoch", "speedup", "paper"]);
+    let mut t =
+        Table::new(vec!["nodes", "vanilla s/epoch", "pufferfish s/epoch", "speedup", "paper"]);
     for nodes in [2usize, 4, 8, 16] {
         let profile = ClusterProfile::p3_like(nodes);
         let sv = simulate_step(fv, bv, &vanilla_layers, DEFAULT_BUCKET_BYTES, &profile);
@@ -102,7 +114,8 @@ fn main() {
     let bv100 = Duration::from_millis(70);
     let fp100 = Duration::from_secs_f64(fv100.as_secs_f64() * mac_ratio);
     let bp100 = Duration::from_secs_f64(bv100.as_secs_f64() * mac_ratio);
-    let mut t = Table::new(vec!["nodes", "vanilla s/epoch", "pufferfish s/epoch", "speedup", "paper"]);
+    let mut t =
+        Table::new(vec!["nodes", "vanilla s/epoch", "pufferfish s/epoch", "speedup", "paper"]);
     for nodes in [2usize, 4, 8, 16] {
         let profile = ClusterProfile::p3_like(nodes);
         let sv = simulate_step(fv100, bv100, &vanilla_layers, DEFAULT_BUCKET_BYTES, &profile);
@@ -116,7 +129,10 @@ fn main() {
             format!("{:.2}x", ev / ep),
             if nodes == 16 { "1.52x".into() } else { String::new() },
         ]);
-        record_result("fig4c_ddp", &format!("v100-like nodes={nodes} vanilla={ev:.3} pufferfish={ep:.3}"));
+        record_result(
+            "fig4c_ddp",
+            &format!("v100-like nodes={nodes} vanilla={ev:.3} pufferfish={ep:.3}"),
+        );
     }
     t.print();
 
@@ -134,9 +150,12 @@ fn main() {
         &cfg,
     );
     let early: f32 =
-        out.step_losses.iter().take(3).sum::<f32>() / out.step_losses.len().min(3).max(1) as f32;
-    let late_n = out.step_losses.len().min(3).max(1);
+        out.step_losses.iter().take(3).sum::<f32>() / out.step_losses.len().clamp(1, 3) as f32;
+    let late_n = out.step_losses.len().clamp(1, 3);
     let late: f32 = out.step_losses.iter().rev().take(late_n).sum::<f32>() / late_n as f32;
-    println!("vanilla DDP loss (3-step means): {early:.3} -> {late:.3} over {} steps", out.step_losses.len());
+    println!(
+        "vanilla DDP loss (3-step means): {early:.3} -> {late:.3} over {} steps",
+        out.step_losses.len()
+    );
     record_result("fig4c_ddp", &format!("ddp-8node loss {early:.3} -> {late:.3}"));
 }

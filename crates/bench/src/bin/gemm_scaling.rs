@@ -1,0 +1,105 @@
+//! GEMM thread-scaling sweep for the packed `Optimized` kernel.
+//!
+//! Times square matmuls at 128/512/1024 across a thread grid and writes a
+//! machine-readable record to `BENCH_gemm.json` at the workspace root
+//! (plus a line-oriented copy under `results/`). This is the compute-side
+//! companion to the communication benchmarks: the paper's end-to-end
+//! speedups (Tables 4–6) are only credible if dense compute is not a
+//! strawman, so this sweep documents exactly how fast the local GEMM
+//! engine is on the machine that produced any given set of results.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin gemm_scaling`
+//! (`PUFFER_GEMM_THREADS=1,2,4,8` overrides the thread grid).
+
+use std::time::Instant;
+
+use puffer_bench::record_result;
+use puffer_tensor::matmul::{matmul_with_profile, MatmulProfile};
+use puffer_tensor::{pool, Tensor};
+
+/// Median-of-`reps` wall time for one `n×n×n` matmul, in seconds.
+fn time_matmul(a: &Tensor, b: &Tensor, reps: usize) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let c = matmul_with_profile(a, b, MatmulProfile::Optimized).unwrap();
+        samples.push(t0.elapsed().as_secs_f64());
+        // Keep the result observable so the multiply cannot be elided.
+        assert!(c.as_slice()[0].is_finite());
+    }
+    samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn thread_grid() -> Vec<usize> {
+    if let Ok(v) = std::env::var("PUFFER_GEMM_THREADS") {
+        let grid: Vec<usize> =
+            v.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&t| t >= 1).collect();
+        if !grid.is_empty() {
+            return grid;
+        }
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut grid = vec![1];
+    let mut t = 2;
+    while t <= hw {
+        grid.push(t);
+        t *= 2;
+    }
+    if *grid.last().unwrap() != hw {
+        grid.push(hw);
+    }
+    grid
+}
+
+fn main() {
+    let sizes = [128usize, 512, 1024];
+    let grid = thread_grid();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let prev_threads = pool::num_threads();
+
+    println!("GEMM thread scaling (packed Optimized kernel), {hw} hardware thread(s)");
+    println!("{:>6} {:>8} {:>12} {:>10} {:>9}", "n", "threads", "median_s", "gflops", "speedup");
+
+    let mut entries = Vec::new();
+    for &n in &sizes {
+        let a = Tensor::randn(&[n, n], 1.0, 1);
+        let b = Tensor::randn(&[n, n], 1.0, 2);
+        let reps = (5_000_000_000 / (2 * n * n * n)).clamp(3, 25);
+        let flops = 2.0 * (n as f64).powi(3);
+        let mut base = None;
+        for &t in &grid {
+            pool::set_num_threads(t);
+            // Warm the pool and caches outside the timed region.
+            let _ = matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap();
+            let secs = time_matmul(&a, &b, reps);
+            let base_secs = *base.get_or_insert(secs);
+            let speedup = base_secs / secs;
+            let gflops = flops / secs / 1e9;
+            println!("{n:>6} {t:>8} {secs:>12.6} {gflops:>10.2} {speedup:>8.2}x");
+            record_result(
+                "gemm_scaling",
+                &format!(
+                    "n={n} threads={t} median_s={secs:.6} gflops={gflops:.3} speedup={speedup:.3}"
+                ),
+            );
+            entries.push(format!(
+                "    {{ \"n\": {n}, \"threads\": {t}, \"median_s\": {secs:.6}, \"gflops\": {gflops:.3}, \"speedup_vs_1_thread\": {speedup:.3} }}"
+            ));
+        }
+    }
+    pool::set_num_threads(prev_threads);
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_matmul\",\n  \"kernel\": \"packed MR=4 NR=8, row-partitioned\",\n  \"hardware_threads\": {hw},\n  \"note\": \"speedup_vs_1_thread is bounded by hardware_threads; on a single-core host the threaded rows measure dispatch overhead, not scaling\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|p| std::path::PathBuf::from(p).join("../.."))
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join("BENCH_gemm.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -11,9 +11,9 @@
 use puffer_bench::scale::RunScale;
 use puffer_bench::table::{commas, Table};
 use puffer_bench::{record_result, setups};
+use puffer_models::spec::{lstm_wikitext2, SpecVariant};
 use pufferfish::ablation::mean_std;
 use pufferfish::lm::{train_lm, LmTrainConfig};
-use puffer_models::spec::{lstm_wikitext2, SpecVariant};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -21,25 +21,32 @@ fn main() {
     let warmup = scale.pick(1, 2);
     let seeds = scale.seeds();
     let corpus = setups::lm_corpus(scale);
-    println!("== Table 2: LSTM on WikiText-2-like corpus (epochs={epochs}, seeds={}) ==\n", seeds.len());
+    println!(
+        "== Table 2: LSTM on WikiText-2-like corpus (epochs={epochs}, seeds={}) ==\n",
+        seeds.len()
+    );
 
     let spec_v = lstm_wikitext2(SpecVariant::Vanilla);
     let spec_p = lstm_wikitext2(SpecVariant::Pufferfish);
 
-    let mut rows: Vec<(String, Vec<f32>, Vec<f32>, Vec<f32>)> = vec![
+    // (label, train-ppl per seed, valid-ppl per seed, test-ppl per seed)
+    type Row = (String, Vec<f32>, Vec<f32>, Vec<f32>);
+    let mut rows: Vec<Row> = vec![
         ("Vanilla LSTM".into(), vec![], vec![], vec![]),
         ("Pufferfish LSTM".into(), vec![], vec![], vec![]),
     ];
     for &seed in &seeds {
         // Vanilla: warm-up = total epochs (never converts).
         let cfg = LmTrainConfig::small(epochs, epochs, setups::LSTM_RANK);
-        let out = train_lm(setups::lstm_lm(corpus.vocab(), seed), &corpus, &cfg).expect("lm training");
+        let out =
+            train_lm(setups::lstm_lm(corpus.vocab(), seed), &corpus, &cfg).expect("lm training");
         rows[0].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
         rows[0].2.push(out.report.final_perplexity());
         rows[0].3.push(out.test_perplexity);
         // Pufferfish: warm-up then factorized.
         let cfg = LmTrainConfig::small(epochs, warmup, setups::LSTM_RANK);
-        let out = train_lm(setups::lstm_lm(corpus.vocab(), seed), &corpus, &cfg).expect("lm training");
+        let out =
+            train_lm(setups::lstm_lm(corpus.vocab(), seed), &corpus, &cfg).expect("lm training");
         rows[1].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
         rows[1].2.push(out.report.final_perplexity());
         rows[1].3.push(out.test_perplexity);

@@ -11,9 +11,9 @@
 use puffer_bench::scale::RunScale;
 use puffer_bench::table::{commas, Table};
 use puffer_bench::{record_result, setups};
+use puffer_models::spec::{transformer_wmt16, SpecVariant};
 use pufferfish::ablation::mean_std;
 use pufferfish::seq2seq::{train_seq2seq, Seq2SeqConfig};
-use puffer_models::spec::{transformer_wmt16, SpecVariant};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -22,24 +22,31 @@ fn main() {
     let seeds = scale.seeds();
     let data = setups::translation_data(scale);
     let vocab = data.config().vocab;
-    println!("== Table 3: Transformer on WMT'16-like translation (epochs={epochs}, seeds={}) ==\n", seeds.len());
+    println!(
+        "== Table 3: Transformer on WMT'16-like translation (epochs={epochs}, seeds={}) ==\n",
+        seeds.len()
+    );
 
     let spec_v = transformer_wmt16(SpecVariant::Vanilla);
     let spec_p = transformer_wmt16(SpecVariant::Pufferfish);
 
-    let mut results: Vec<(String, Vec<f32>, Vec<f32>, Vec<f64>)> = vec![
+    // (label, train-ppl per seed, valid-ppl per seed, BLEU per seed)
+    type Row = (String, Vec<f32>, Vec<f32>, Vec<f64>);
+    let mut results: Vec<Row> = vec![
         ("Vanilla Transformer".into(), vec![], vec![], vec![]),
         ("Pufferfish Transformer".into(), vec![], vec![], vec![]),
     ];
     for &seed in &seeds {
         let cfg = Seq2SeqConfig::small(epochs, epochs, setups::TRANSFORMER_RANK);
-        let out = train_seq2seq(setups::transformer(vocab, None, seed), &data, &cfg).expect("seq2seq");
+        let out =
+            train_seq2seq(setups::transformer(vocab, None, seed), &data, &cfg).expect("seq2seq");
         results[0].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
         results[0].2.push(out.report.final_perplexity());
         results[0].3.push(out.valid_bleu);
 
         let cfg = Seq2SeqConfig::small(epochs, warmup, setups::TRANSFORMER_RANK);
-        let out = train_seq2seq(setups::transformer(vocab, None, seed), &data, &cfg).expect("seq2seq");
+        let out =
+            train_seq2seq(setups::transformer(vocab, None, seed), &data, &cfg).expect("seq2seq");
         results[1].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
         results[1].2.push(out.report.final_perplexity());
         results[1].3.push(out.valid_bleu);

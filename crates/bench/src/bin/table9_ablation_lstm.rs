@@ -18,7 +18,9 @@ fn main() {
     let seeds = scale.seeds();
     println!("== Table 9: LSTM warm-up ablation (epochs={epochs}, seeds={}) ==\n", seeds.len());
 
-    let mut results: Vec<(&str, Vec<f32>, Vec<f32>, Vec<f32>)> = vec![
+    // (label, train-ppl per seed, valid-ppl per seed, test-ppl per seed)
+    type Row = (&'static str, Vec<f32>, Vec<f32>, Vec<f32>);
+    let mut results: Vec<Row> = vec![
         ("Low-rank LSTM (wo. vanilla warm-up)", vec![], vec![], vec![]),
         ("Low-rank LSTM (w. vanilla warm-up)", vec![], vec![], vec![]),
     ];
@@ -26,7 +28,9 @@ fn main() {
         for (i, wu) in [0usize, warmup].into_iter().enumerate() {
             let cfg = LmTrainConfig::small(epochs, wu, setups::LSTM_RANK);
             let out = train_lm(setups::lstm_lm(corpus.vocab(), seed), &corpus, &cfg).expect("lm");
-            results[i].1.push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
+            results[i]
+                .1
+                .push(out.report.epochs.last().map(|e| e.train_loss.exp()).unwrap_or(f32::NAN));
             results[i].2.push(out.report.final_perplexity());
             results[i].3.push(out.test_perplexity);
         }
@@ -43,7 +47,10 @@ fn main() {
             format!("{vm:.2} ± {vs:.2}"),
             format!("{em:.2} ± {es:.2}"),
         ]);
-        record_result("table9_ablation", &format!("{name}: train {tm:.2} val {vm:.2} test {em:.2}"));
+        record_result(
+            "table9_ablation",
+            &format!("{name}: train {tm:.2} val {vm:.2} test {em:.2}"),
+        );
     }
     t.print();
     println!("\npaper shape: warm-up lowers all three perplexities");

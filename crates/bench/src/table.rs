@@ -31,7 +31,8 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+        let sep: String =
+            widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
         out.push_str(&sep);
         out.push('|');
         for (h, w) in self.headers.iter().zip(&widths) {
@@ -62,7 +63,7 @@ pub fn commas(n: u64) -> String {
     let digits = n.to_string();
     let mut out = String::new();
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

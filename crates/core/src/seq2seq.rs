@@ -152,7 +152,6 @@ pub fn masked_ce(
     let c = logits.shape()[1];
     // Zero the gradient of padded positions and renormalize by kept count.
     let scale = n as f32 / kept as f32;
-    let masked_loss;
     {
         let g = grad.as_mut_slice();
         for (i, &m) in mask.iter().enumerate() {
@@ -166,15 +165,11 @@ pub fn masked_ce(
         }
     }
     // Recompute mean loss on kept positions (cheap second pass).
-    if kept == n {
-        masked_loss = loss;
+    let masked_loss = if kept == n {
+        loss
     } else {
-        let kept_targets: Vec<usize> = targets
-            .iter()
-            .zip(mask)
-            .filter(|(_, &m)| m)
-            .map(|(&t, _)| t)
-            .collect();
+        let kept_targets: Vec<usize> =
+            targets.iter().zip(mask).filter(|(_, &m)| m).map(|(&t, _)| t).collect();
         let mut kept_rows = Tensor::zeros(&[kept_targets.len(), c]);
         let mut row = 0;
         for (i, &m) in mask.iter().enumerate() {
@@ -184,8 +179,8 @@ pub fn masked_ce(
                 row += 1;
             }
         }
-        masked_loss = softmax_cross_entropy(&kept_rows, &kept_targets, label_smoothing)?.0;
-    }
+        softmax_cross_entropy(&kept_rows, &kept_targets, label_smoothing)?.0
+    };
     Ok((masked_loss, grad))
 }
 
@@ -219,10 +214,8 @@ pub fn evaluate_bleu(model: &mut TransformerModel, pairs: &[SentencePair], limit
     let srcs: Vec<Vec<usize>> = subset.iter().map(|p| p.source.clone()).collect();
     let max_len = subset.iter().map(|p| p.target.len()).max().unwrap_or(4) + 2;
     let hyps = model.greedy_decode(&srcs, BOS, EOS, max_len);
-    let refs: Vec<Vec<usize>> = subset
-        .iter()
-        .map(|p| p.target[1..p.target.len() - 1].to_vec())
-        .collect();
+    let refs: Vec<Vec<usize>> =
+        subset.iter().map(|p| p.target[1..p.target.len() - 1].to_vec()).collect();
     bleu4_percent(&hyps, &refs)
 }
 

@@ -18,6 +18,10 @@ use std::time::Instant;
 
 /// An image-classification model Pufferfish can train: either family of
 /// the paper's CNNs.
+///
+/// Variant sizes differ by design: one ImageModel exists per training run,
+/// so boxing the larger network would only add pointer chasing.
+#[allow(clippy::large_enum_variant)]
 pub enum ImageModel {
     /// A VGG-style network.
     Vgg(Vgg),
@@ -224,7 +228,8 @@ pub fn train(
             let loss = if cfg.amp {
                 amp.cast_params_to_f16(&mut model.params_mut());
                 let logits = model.forward(&images, Mode::Train);
-                let (loss, mut dlogits) = softmax_cross_entropy(&logits, &labels, cfg.label_smoothing)?;
+                let (loss, mut dlogits) =
+                    softmax_cross_entropy(&logits, &labels, cfg.label_smoothing)?;
                 dlogits = amp.scale_loss_grad(&dlogits);
                 let _ = model.backward(&dlogits);
                 amp.restore_masters(&mut model.params_mut());
@@ -264,7 +269,11 @@ pub fn train(
 /// # Errors
 ///
 /// Propagates loss errors.
-pub fn evaluate(model: &mut ImageModel, data: &ImageDataset, batch_size: usize) -> Result<(f32, f32)> {
+pub fn evaluate(
+    model: &mut ImageModel,
+    data: &ImageDataset,
+    batch_size: usize,
+) -> Result<(f32, f32)> {
     let mut loss_sum = 0.0f64;
     let mut acc_sum = 0.0f64;
     let mut n = 0usize;
@@ -329,7 +338,11 @@ mod tests {
         let cfg = TrainConfig::cifar_small(6, 0);
         let out = train(tiny_vgg(), ModelPlan::None, &tiny_data(), &cfg).unwrap();
         assert_eq!(out.report.epochs.len(), 6);
-        assert!(out.report.final_test_accuracy() > 0.45, "acc {}", out.report.final_test_accuracy());
+        assert!(
+            out.report.final_test_accuracy() > 0.45,
+            "acc {}",
+            out.report.final_test_accuracy()
+        );
         assert!(out.report.switch_epoch.is_none());
     }
 
@@ -364,7 +377,11 @@ mod tests {
         let plan = ModelPlan::VggHybrid { first_low_rank: 2, rank_ratio: 0.5 };
         let out = train(tiny_vgg(), plan, &tiny_data(), &cfg).unwrap();
         assert!(out.report.epochs.iter().all(|e| e.train_loss.is_finite()));
-        assert!(out.report.final_test_accuracy() > 0.35, "acc {}", out.report.final_test_accuracy());
+        assert!(
+            out.report.final_test_accuracy() > 0.35,
+            "acc {}",
+            out.report.final_test_accuracy()
+        );
     }
 
     #[test]

@@ -42,9 +42,19 @@ pub struct TranslationConfig {
 impl TranslationConfig {
     /// A small default.
     pub fn small(seed: u64) -> Self {
-        TranslationConfig { vocab: 64, min_len: 4, max_len: 10, train_pairs: 2_000, valid_pairs: 200, seed }
+        TranslationConfig {
+            vocab: 64,
+            min_len: 4,
+            max_len: 10,
+            train_pairs: 2_000,
+            valid_pairs: 200,
+            seed,
+        }
     }
 }
+
+/// One padded batch: `(source rows, target rows)`, each `[batch][max_len]`.
+pub type TokenBatch = (Vec<Vec<usize>>, Vec<Vec<usize>>);
 
 /// A sentence pair: source and target token sequences, both wrapped in
 /// `BOS … EOS`.
@@ -130,7 +140,7 @@ impl TranslationDataset {
     /// Groups pairs into padded batches: returns
     /// `(source rows, target rows)` where each row set is
     /// `[batch][max_len]` padded with [`PAD`].
-    pub fn batches(&self, pairs: &[SentencePair], batch_size: usize) -> Vec<(Vec<Vec<usize>>, Vec<Vec<usize>>)> {
+    pub fn batches(&self, pairs: &[SentencePair], batch_size: usize) -> Vec<TokenBatch> {
         assert!(batch_size > 0, "batch size must be nonzero");
         pairs
             .chunks(batch_size)
@@ -221,11 +231,8 @@ mod tests {
                 content.iter().rev().map(|&c| d.mapping()[c - FIRST_CONTENT]).collect()
             })
             .collect();
-        let refs: Vec<Vec<usize>> = d
-            .valid_pairs()
-            .iter()
-            .map(|p| p.target[1..p.target.len() - 1].to_vec())
-            .collect();
+        let refs: Vec<Vec<usize>> =
+            d.valid_pairs().iter().map(|p| p.target[1..p.target.len() - 1].to_vec()).collect();
         assert!((crate::bleu::bleu4_percent(&hyps, &refs) - 100.0).abs() < 1e-6);
     }
 }

@@ -84,8 +84,8 @@ proptest! {
         for p in d.train_pairs().iter().chain(d.valid_pairs()) {
             // Same content length on both sides; all content tokens valid.
             prop_assert_eq!(p.source.len(), p.target.len());
-            prop_assert!(p.source[1..p.source.len() - 1].iter().all(|&t| t >= FIRST_CONTENT && t < 20));
-            prop_assert!(p.target[1..p.target.len() - 1].iter().all(|&t| t >= FIRST_CONTENT && t < 20));
+            prop_assert!(p.source[1..p.source.len() - 1].iter().all(|t| (FIRST_CONTENT..20).contains(t)));
+            prop_assert!(p.target[1..p.target.len() - 1].iter().all(|t| (FIRST_CONTENT..20).contains(t)));
             prop_assert_eq!(*p.source.last().unwrap(), EOS);
         }
     }

@@ -7,6 +7,11 @@
 //! — the synchronous data-parallel SGD the paper's prototype implements
 //! with allreduce. Communication cost is accounted by the α–β model;
 //! computation and encode/decode are measured wall-clock.
+//!
+//! Worker compute runs on `puffer-tensor`'s threaded kernels; for the
+//! duration of a run the tensor pool is capped so that
+//! `workers × pool threads` does not oversubscribe the hardware
+//! (`PUFFER_NUM_THREADS` still sets the outer bound).
 
 use crate::breakdown::{BreakdownAccumulator, EpochBreakdown};
 use crate::cost::ClusterProfile;
@@ -65,6 +70,9 @@ struct WorkerMsg {
     compute: Duration,
 }
 
+/// Final parameters reported by a finished worker: `(worker index, params)`.
+type FinalParams = (usize, Vec<Tensor>);
+
 /// Runs synchronous data-parallel SGD over `global_batches`.
 ///
 /// `factory(worker)` must build **identical** replicas for every worker
@@ -89,6 +97,15 @@ where
     let n_workers = cfg.workers;
     let steps = global_batches.len();
 
+    // Each worker thread drives the tensor worker pool from its own
+    // forward/backward, so cap the pool width to keep
+    // workers × pool-threads within the hardware parallelism. Thread count
+    // never changes numerical results (the pool's kernels are bitwise
+    // deterministic), only contention.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let prev_pool_threads = puffer_tensor::pool::num_threads();
+    puffer_tensor::pool::set_num_threads((hw / n_workers).max(1).min(prev_pool_threads));
+
     // Pre-split shards per worker.
     let shards: Vec<Vec<(Tensor, Vec<usize>)>> = (0..n_workers)
         .map(|w| global_batches.iter().map(|b| shard_batch(b, w, n_workers)).collect())
@@ -102,8 +119,7 @@ where
         to_workers.push(tx);
         worker_rx.push(rx);
     }
-    let (param_tx, param_rx): (Sender<(usize, Vec<Tensor>)>, Receiver<(usize, Vec<Tensor>)>) =
-        unbounded();
+    let (param_tx, param_rx): (Sender<FinalParams>, Receiver<FinalParams>) = unbounded();
 
     let mut acc = BreakdownAccumulator::new();
     let mut step_losses = vec![0.0f32; steps];
@@ -135,8 +151,7 @@ where
                     }
                     opt.step(&mut model.params_mut());
                 }
-                let finals: Vec<Tensor> =
-                    model.params().iter().map(|p| p.value.clone()).collect();
+                let finals: Vec<Tensor> = model.params().iter().map(|p| p.value.clone()).collect();
                 param_tx.send((w, finals)).expect("main alive");
             });
         }
@@ -145,12 +160,10 @@ where
 
         // Aggregator loop on the calling thread.
         for (step, loss_slot) in step_losses.iter_mut().enumerate() {
-            let mut msgs: Vec<WorkerMsg> = (0..n_workers)
-                .map(|_| from_workers.recv().expect("workers alive"))
-                .collect();
+            let mut msgs: Vec<WorkerMsg> =
+                (0..n_workers).map(|_| from_workers.recv().expect("workers alive")).collect();
             msgs.sort_by_key(|m| m.worker);
-            *loss_slot =
-                msgs.iter().map(|m| m.loss).sum::<f32>() / n_workers as f32;
+            *loss_slot = msgs.iter().map(|m| m.loss).sum::<f32>() / n_workers as f32;
             let slowest = msgs.iter().map(|m| m.compute).max().unwrap_or_default();
             let worker_grads: Vec<Vec<Tensor>> = msgs.into_iter().map(|m| m.grads).collect();
             let (mean, stats) = compressor.round(&worker_grads);
@@ -163,6 +176,8 @@ where
         drop(to_workers);
     })
     .expect("worker thread panicked");
+
+    puffer_tensor::pool::set_num_threads(prev_pool_threads);
 
     // Collect worker-0 final parameters.
     let mut final_params = Vec::new();
@@ -191,10 +206,7 @@ pub fn shard_batch(batch: &(Tensor, Vec<usize>), w: usize, workers: usize) -> (T
     let data = images.as_slice()[start * row_len..end * row_len].to_vec();
     let mut shape = images.shape().to_vec();
     shape[0] = per;
-    (
-        Tensor::from_vec(data, &shape).expect("shard shape"),
-        labels[start..end].to_vec(),
-    )
+    (Tensor::from_vec(data, &shape).expect("shard shape"), labels[start..end].to_vec())
 }
 
 #[cfg(test)]
@@ -205,7 +217,7 @@ mod tests {
     use puffer_compress::signum::Signum;
     use puffer_nn::activation::Relu;
     use puffer_nn::linear::Linear;
-    use puffer_nn::{Sequential};
+    use puffer_nn::Sequential;
 
     fn mlp(seed_base: u64) -> Sequential {
         Sequential::new(vec![
@@ -230,7 +242,13 @@ mod tests {
         // With an exact-mean compressor and equal shards, data-parallel SGD
         // equals full-batch single-process SGD step for step.
         let batches = synthetic_batches(5, 8);
-        let cfg = DistConfig { workers: 2, lr: 0.1, momentum: 0.9, weight_decay: 0.0, profile: ClusterProfile::zero_cost(2) };
+        let cfg = DistConfig {
+            workers: 2,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            profile: ClusterProfile::zero_cost(2),
+        };
         let mut comp = NoCompression::new();
         let out = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg);
 
@@ -256,7 +274,13 @@ mod tests {
         // (we check worker 0 against a rerun with permuted worker ids by
         // reusing deterministic seeds).
         let batches = synthetic_batches(4, 8);
-        let cfg = DistConfig { workers: 4, lr: 0.05, momentum: 0.0, weight_decay: 0.0, profile: ClusterProfile::zero_cost(4) };
+        let cfg = DistConfig {
+            workers: 4,
+            lr: 0.05,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            profile: ClusterProfile::zero_cost(4),
+        };
         let mut comp = NoCompression::new();
         let a = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg);
         let mut comp = NoCompression::new();
@@ -268,7 +292,13 @@ mod tests {
     #[test]
     fn powersgd_rounds_run_and_losses_decrease() {
         let batches = synthetic_batches(30, 8);
-        let cfg = DistConfig { workers: 2, lr: 0.1, momentum: 0.9, weight_decay: 0.0, profile: ClusterProfile::p3_like(2) };
+        let cfg = DistConfig {
+            workers: 2,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            profile: ClusterProfile::p3_like(2),
+        };
         let mut comp = PowerSgd::new(2, 9);
         let out = train_data_parallel(|_| mlp(5), &batches, &mut comp, &cfg);
         let early: f32 = out.step_losses[..5].iter().sum::<f32>() / 5.0;
@@ -280,7 +310,13 @@ mod tests {
     #[test]
     fn signum_uses_allgather_accounting() {
         let batches = synthetic_batches(2, 8);
-        let cfg = DistConfig { workers: 4, lr: 0.01, momentum: 0.0, weight_decay: 0.0, profile: ClusterProfile::p3_like(4) };
+        let cfg = DistConfig {
+            workers: 4,
+            lr: 0.01,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            profile: ClusterProfile::p3_like(4),
+        };
         let mut comp = Signum::new(0.9);
         let out = train_data_parallel(|_| mlp(7), &batches, &mut comp, &cfg);
         assert!(out.breakdown.comm > Duration::ZERO);
@@ -291,7 +327,13 @@ mod tests {
     #[should_panic(expected = "cannot feed")]
     fn undersized_batch_rejected() {
         let batches = synthetic_batches(1, 2);
-        let cfg = DistConfig { workers: 4, lr: 0.1, momentum: 0.0, weight_decay: 0.0, profile: ClusterProfile::zero_cost(4) };
+        let cfg = DistConfig {
+            workers: 4,
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            profile: ClusterProfile::zero_cost(4),
+        };
         let mut comp = NoCompression::new();
         let _ = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg);
     }

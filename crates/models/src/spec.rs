@@ -88,6 +88,7 @@ impl Ledger {
         self.line(name, cx::conv_params(c_in, c_out, k), cx::conv_macs(c_in, c_out, k, h, w));
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn conv_lr(&mut self, name: &str, c_in: u64, c_out: u64, k: u64, r: u64, h: u64, w: u64) {
         self.line(
             format!("{name}_u+v"),
@@ -116,8 +117,13 @@ impl Ledger {
 /// VGG-19-BN for CIFAR-10 (appendix Table 11): 16 bias-free convs with BN,
 /// classifier 512→512→512→10.
 pub fn vgg19_cifar(variant: SpecVariant) -> ModelSpec {
-    let stages: [&[u64]; 5] =
-        [&[64, 64], &[128, 128], &[256, 256, 256, 256], &[512, 512, 512, 512], &[512, 512, 512, 512]];
+    let stages: [&[u64]; 5] = [
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256, 256],
+        &[512, 512, 512, 512],
+        &[512, 512, 512, 512],
+    ];
     let mut led = Ledger::new();
     let mut c_in = 3u64;
     let mut hw = 32u64;
@@ -198,11 +204,7 @@ pub fn resnet18_cifar(variant: SpecVariant) -> ModelSpec {
 /// (appendix Tables 14–15). `width_factor = 1` gives ResNet-50;
 /// `width_factor = 2` gives WideResNet-50-2. Hybrid factorizes only stage
 /// `conv5_x` at `r = min(c_in, c_out)/4`, downsample included.
-fn bottleneck_resnet(
-    name: &str,
-    width_factor: u64,
-    variant: SpecVariant,
-) -> ModelSpec {
+fn bottleneck_resnet(name: &str, width_factor: u64, variant: SpecVariant) -> ModelSpec {
     let mut led = Ledger::new();
     led.conv("conv1", 3, 64, 7, 112, 112);
     led.bn("bn1", 64);
@@ -226,19 +228,43 @@ fn bottleneck_resnet(
             let prefix = format!("conv{}_x.block{block}", stage + 2);
             let rank = |a: u64, b: u64| a.min(b) / 4;
             if low_rank_stage {
-                led.conv_lr(&format!("{prefix}.conv1"), block_c_in, inner, 1, rank(block_c_in, inner), conv1_hw, conv1_hw);
+                led.conv_lr(
+                    &format!("{prefix}.conv1"),
+                    block_c_in,
+                    inner,
+                    1,
+                    rank(block_c_in, inner),
+                    conv1_hw,
+                    conv1_hw,
+                );
             } else {
                 led.conv(&format!("{prefix}.conv1"), block_c_in, inner, 1, conv1_hw, conv1_hw);
             }
             led.bn(&format!("{prefix}.bn1"), inner);
             if low_rank_stage {
-                led.conv_lr(&format!("{prefix}.conv2"), inner, inner, 3, rank(inner, inner), hw, hw);
+                led.conv_lr(
+                    &format!("{prefix}.conv2"),
+                    inner,
+                    inner,
+                    3,
+                    rank(inner, inner),
+                    hw,
+                    hw,
+                );
             } else {
                 led.conv(&format!("{prefix}.conv2"), inner, inner, 3, hw, hw);
             }
             led.bn(&format!("{prefix}.bn2"), inner);
             if low_rank_stage {
-                led.conv_lr(&format!("{prefix}.conv3"), inner, c_out, 1, rank(inner, c_out), hw, hw);
+                led.conv_lr(
+                    &format!("{prefix}.conv3"),
+                    inner,
+                    c_out,
+                    1,
+                    rank(inner, c_out),
+                    hw,
+                    hw,
+                );
             } else {
                 led.conv(&format!("{prefix}.conv3"), inner, c_out, 1, hw, hw);
             }
@@ -246,7 +272,15 @@ fn bottleneck_resnet(
             if block == 0 {
                 // Projection shortcut (factorized in conv5_x per Table 14).
                 if low_rank_stage {
-                    led.conv_lr(&format!("{prefix}.downsample"), block_c_in, c_out, 1, rank(block_c_in, c_out), hw, hw);
+                    led.conv_lr(
+                        &format!("{prefix}.downsample"),
+                        block_c_in,
+                        c_out,
+                        1,
+                        rank(block_c_in, c_out),
+                        hw,
+                        hw,
+                    );
                 } else {
                     led.conv(&format!("{prefix}.downsample"), block_c_in, c_out, 1, hw, hw);
                 }
@@ -313,7 +347,11 @@ pub fn transformer_wmt16(variant: SpecVariant) -> ModelSpec {
                 cx::attention_low_rank_macs(p, d, r, n_seq) / n_seq,
             );
         } else {
-            led.line(name.to_string(), cx::attention_params(p, d), cx::attention_macs(p, d, n_seq) / n_seq);
+            led.line(
+                name.to_string(),
+                cx::attention_params(p, d),
+                cx::attention_macs(p, d, n_seq) / n_seq,
+            );
         }
     };
     let ffn = |led: &mut Ledger, name: &str, low: bool| {
@@ -325,7 +363,11 @@ pub fn transformer_wmt16(variant: SpecVariant) -> ModelSpec {
                 cx::ffn_low_rank_macs(p, d, r, n_seq) / n_seq,
             );
         } else {
-            led.line(name.to_string(), cx::ffn_params(p, d) + bias, cx::ffn_macs(p, d, n_seq) / n_seq);
+            led.line(
+                name.to_string(),
+                cx::ffn_params(p, d) + bias,
+                cx::ffn_macs(p, d, n_seq) / n_seq,
+            );
         }
     };
     let ln = |led: &mut Ledger, name: &str| led.line(name.to_string(), 2 * dm, 0);

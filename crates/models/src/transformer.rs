@@ -36,7 +36,15 @@ impl TransformerConfig {
     /// A CPU-scale default mirroring the paper's shape (enc/dec stacks,
     /// shared tied embedding, 4× FFN).
     pub fn small(vocab: usize, seed: u64) -> Self {
-        TransformerConfig { vocab, d_model: 32, heads: 4, enc_layers: 2, dec_layers: 2, rank: None, seed }
+        TransformerConfig {
+            vocab,
+            d_model: 32,
+            heads: 4,
+            enc_layers: 2,
+            dec_layers: 2,
+            rank: None,
+            seed,
+        }
     }
 }
 
@@ -81,7 +89,8 @@ fn sinusoidal_table(d_model: usize) -> Tensor {
     for pos in 0..MAX_LEN {
         for i in 0..d_model {
             let angle = pos as f32 / 10_000f32.powf((2 * (i / 2)) as f32 / d_model as f32);
-            t.as_mut_slice()[pos * d_model + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            t.as_mut_slice()[pos * d_model + i] =
+                if i % 2 == 0 { angle.sin() } else { angle.cos() };
         }
     }
     t
@@ -95,7 +104,10 @@ impl TransformerModel {
     /// Returns [`NnError::BadConfig`] on inconsistent dimensions.
     pub fn new(config: TransformerConfig) -> Result<Self> {
         if config.enc_layers == 0 || config.dec_layers == 0 {
-            return Err(NnError::BadConfig { layer: "TransformerModel", reason: "zero layers".into() });
+            return Err(NnError::BadConfig {
+                layer: "TransformerModel",
+                reason: "zero layers".into(),
+            });
         }
         let embedding = Embedding::new(config.vocab, config.d_model, config.seed)?;
         let rank_for = |layer_idx: usize| -> BlockRank {
@@ -120,7 +132,12 @@ impl TransformerModel {
             dec.push(DecoderLayer {
                 self_attn: MultiHeadAttention::new(config.d_model, config.heads, rank_for(l), s)?,
                 ln1: LayerNorm::new(config.d_model)?,
-                cross_attn: MultiHeadAttention::new(config.d_model, config.heads, rank_for(l), s.wrapping_add(33))?,
+                cross_attn: MultiHeadAttention::new(
+                    config.d_model,
+                    config.heads,
+                    rank_for(l),
+                    s.wrapping_add(33),
+                )?,
                 ln2: LayerNorm::new(config.d_model)?,
                 ffn: FeedForward::new(config.d_model, rank_for(l), s.wrapping_add(66))?,
                 ln3: LayerNorm::new(config.d_model)?,
@@ -345,7 +362,10 @@ impl TransformerModel {
                     fac(&wo, "wo", l as u64 * 8 + 3)?,
                 );
                 let (w1, w2) = src.ffn.projections();
-                dst.ffn.set_projections(fac(&w1, "w1", l as u64 * 8 + 4)?, fac(&w2, "w2", l as u64 * 8 + 5)?);
+                dst.ffn.set_projections(
+                    fac(&w1, "w1", l as u64 * 8 + 4)?,
+                    fac(&w2, "w2", l as u64 * 8 + 5)?,
+                );
             }
             copy_ln(&src.ln1, &mut dst.ln1);
             copy_ln(&src.ln2, &mut dst.ln2);
@@ -397,7 +417,8 @@ impl TransformerModel {
             .map(|sentence| {
                 let mut out = vec![bos];
                 for _ in 0..max_len {
-                    let logits = self.forward(&[sentence.clone()], &[out.clone()], false);
+                    let logits =
+                        self.forward(std::slice::from_ref(sentence), &[out.clone()], false);
                     let last = logits.row_slice((out.len() - 1).min(logits.shape()[0] - 1));
                     let next = puffer_tensor::stats::argmax(&last[..vocab]).unwrap_or(eos);
                     if next == eos {
@@ -438,7 +459,16 @@ mod tests {
     use puffer_nn::loss::softmax_cross_entropy;
 
     fn tiny() -> TransformerModel {
-        TransformerModel::new(TransformerConfig { vocab: 16, d_model: 8, heads: 2, enc_layers: 2, dec_layers: 2, rank: None, seed: 1 }).unwrap()
+        TransformerModel::new(TransformerConfig {
+            vocab: 16,
+            d_model: 8,
+            heads: 2,
+            enc_layers: 2,
+            dec_layers: 2,
+            rank: None,
+            seed: 1,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -518,11 +548,8 @@ mod tests {
         let logits = m.forward(&src, &tgt, true);
         let (_, dl) = softmax_cross_entropy(&logits, &[7, 8, 2], 0.0).unwrap();
         m.backward(&dl);
-        let nonzero = m
-            .params()
-            .iter()
-            .filter(|p| p.grad.as_slice().iter().any(|&g| g != 0.0))
-            .count();
+        let nonzero =
+            m.params().iter().filter(|p| p.grad.as_slice().iter().any(|&g| g != 0.0)).count();
         assert!(nonzero as f32 > m.params().len() as f32 * 0.9, "{nonzero}/{}", m.params().len());
     }
 

@@ -34,10 +34,7 @@ pub fn factorize_conv(conv: &Conv2d, rank: usize, init: FactorInit) -> Result<Lo
             let unrolled = conv.unrolled_weight(); // (c_in k², c_out)
             let f = truncated_svd_seeded(&unrolled, rank, 0x5EED)?;
             let (u, vt) = f.split_balanced(); // u: (c_in k², r), vt: (r, c_out)
-            let u4 = u
-                .transpose()
-                .reshape(&[rank, c_in, k, k])
-                .expect("factor element count");
+            let u4 = u.transpose().reshape(&[rank, c_in, k, k]).expect("factor element count");
             let v2 = vt.transpose(); // (c_out, r)
             LowRankConv2d::from_factors(u4, v2, stride, padding)
         }
@@ -75,6 +72,11 @@ pub fn factorize_linear(layer: &Linear, rank: usize, init: FactorInit) -> Result
 }
 
 /// A convolution that is either dense or factorized.
+///
+/// The variants intentionally differ in size: ConvKind values live inside
+/// long-lived model structs, so boxing the larger one would only add an
+/// indirection on the hot forward path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ConvKind {
     /// Full-rank convolution.

@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn cast_and_restore_round_trip() {
-        let mut p = param(&[0.1, 1.0, 3.14159]);
+        let mut p = param(&[0.1, 1.0, std::f32::consts::PI]);
         let original = p.value.clone();
         let mut amp = AmpSession::new();
         amp.cast_params_to_f16(&mut [&mut p]);

@@ -64,7 +64,7 @@ impl MultiHeadAttention {
     /// `heads`, any dimension is zero, or a requested rank exceeds
     /// `d_model`.
     pub fn new(d_model: usize, heads: usize, rank: BlockRank, seed: u64) -> Result<Self> {
-        if heads == 0 || d_model == 0 || d_model % heads != 0 {
+        if heads == 0 || d_model == 0 || !d_model.is_multiple_of(heads) {
             return Err(NnError::BadConfig {
                 layer: "MultiHeadAttention",
                 reason: format!("d_model {d_model} must be a nonzero multiple of heads {heads}"),
@@ -134,11 +134,13 @@ impl MultiHeadAttention {
             for h in 0..p {
                 // scores[i][j] = <Q_i, K_j> * scale
                 for i in 0..tq {
-                    let qrow = &q.as_slice()[(bi * tq + i) * dm + h * dh..(bi * tq + i) * dm + (h + 1) * dh];
+                    let qrow = &q.as_slice()
+                        [(bi * tq + i) * dm + h * dh..(bi * tq + i) * dm + (h + 1) * dh];
                     let srow_base = ((bi * p + h) * tq + i) * tk;
                     let mut max = f32::NEG_INFINITY;
                     for j in 0..tk {
-                        let krow = &k.as_slice()[(bi * tk + j) * dm + h * dh..(bi * tk + j) * dm + (h + 1) * dh];
+                        let krow = &k.as_slice()
+                            [(bi * tk + j) * dm + h * dh..(bi * tk + j) * dm + (h + 1) * dh];
                         let mut s = 0.0;
                         for (a, bv) in qrow.iter().zip(krow) {
                             s += a * bv;
@@ -161,13 +163,15 @@ impl MultiHeadAttention {
                         attn.as_mut_slice()[srow_base + j] /= zsum;
                     }
                     // z_i = Σ_j a_ij V_j
-                    let zrow = &mut z.as_mut_slice()[(bi * tq + i) * dm + h * dh..(bi * tq + i) * dm + (h + 1) * dh];
+                    let zrow = &mut z.as_mut_slice()
+                        [(bi * tq + i) * dm + h * dh..(bi * tq + i) * dm + (h + 1) * dh];
                     for j in 0..tk {
                         let a = attn.as_slice()[srow_base + j];
                         if a == 0.0 {
                             continue;
                         }
-                        let vrow = &v.as_slice()[(bi * tk + j) * dm + h * dh..(bi * tk + j) * dm + (h + 1) * dh];
+                        let vrow = &v.as_slice()
+                            [(bi * tk + j) * dm + h * dh..(bi * tk + j) * dm + (h + 1) * dh];
                         for (zo, vv) in zrow.iter_mut().zip(vrow) {
                             *zo += a * vv;
                         }
@@ -202,11 +206,12 @@ impl MultiHeadAttention {
         for bi in 0..b {
             for h in 0..p {
                 for i in 0..tq {
-                    let dzrow = &dz.as_slice()[(bi * tq + i) * dm + h * dh..(bi * tq + i) * dm + (h + 1) * dh];
+                    let dzrow = &dz.as_slice()
+                        [(bi * tq + i) * dm + h * dh..(bi * tq + i) * dm + (h + 1) * dh];
                     let arow_base = ((bi * p + h) * tq + i) * tk;
                     // dA_ij = <dZ_i, V_j>; dV_j += a_ij dZ_i
                     let mut da = vec![0.0f32; tk];
-                    for j in 0..tk {
+                    for (j, daj) in da.iter_mut().enumerate() {
                         let a = cache.attn.as_slice()[arow_base + j];
                         let vrow_base = (bi * tk + j) * dm + h * dh;
                         let vrow = &cache.v.as_slice()[vrow_base..vrow_base + dh];
@@ -214,7 +219,7 @@ impl MultiHeadAttention {
                         for (dzv, vv) in dzrow.iter().zip(vrow) {
                             acc += dzv * vv;
                         }
-                        da[j] = acc;
+                        *daj = acc;
                         if a != 0.0 {
                             let dvrow = &mut dv.as_mut_slice()[vrow_base..vrow_base + dh];
                             for (dvv, dzv) in dvrow.iter_mut().zip(dzrow) {
@@ -223,24 +228,24 @@ impl MultiHeadAttention {
                         }
                     }
                     // Softmax backward: dS_ij = a_ij (dA_ij − Σ_l a_il dA_il)
-                    let dot: f32 = (0..tk)
-                        .map(|j| cache.attn.as_slice()[arow_base + j] * da[j])
-                        .sum();
+                    let dot: f32 =
+                        (0..tk).map(|j| cache.attn.as_slice()[arow_base + j] * da[j]).sum();
                     for (j, daj) in da.iter_mut().enumerate() {
                         let a = cache.attn.as_slice()[arow_base + j];
                         *daj = a * (*daj - dot) * scale;
                     }
                     // dQ_i += Σ_j dS_ij K_j ; dK_j += dS_ij Q_i
                     let qrow_base = (bi * tq + i) * dm + h * dh;
-                    for j in 0..tk {
-                        let ds = da[j];
+                    for (j, &ds) in da.iter().enumerate() {
                         if ds == 0.0 {
                             continue;
                         }
                         let krow_base = (bi * tk + j) * dm + h * dh;
                         for l in 0..dh {
-                            dq.as_mut_slice()[qrow_base + l] += ds * cache.k.as_slice()[krow_base + l];
-                            dk.as_mut_slice()[krow_base + l] += ds * cache.q.as_slice()[qrow_base + l];
+                            dq.as_mut_slice()[qrow_base + l] +=
+                                ds * cache.k.as_slice()[krow_base + l];
+                            dk.as_mut_slice()[krow_base + l] +=
+                                ds * cache.q.as_slice()[qrow_base + l];
                         }
                     }
                 }

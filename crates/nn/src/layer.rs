@@ -196,7 +196,7 @@ impl std::fmt::Debug for Sequential {
 /// Test-support utility shared by all layer test modules; exposed publicly
 /// so downstream crates (models) can gradient-check their composites too.
 pub fn finite_diff_input_check<L: Layer>(layer: &mut L, input: &Tensor, eps: f32) -> f32 {
-    let kappa = Tensor::rand_uniform(&layer.forward(input, Mode::Train).shape().to_vec(), -1.0, 1.0, 777);
+    let kappa = Tensor::rand_uniform(layer.forward(input, Mode::Train).shape(), -1.0, 1.0, 777);
     // Analytic gradient.
     let _ = layer.forward(input, Mode::Train);
     let analytic = layer.backward(&kappa);
@@ -221,16 +221,15 @@ pub fn finite_diff_input_check<L: Layer>(layer: &mut L, input: &Tensor, eps: f32
 /// parameters. See [`finite_diff_input_check`].
 pub fn finite_diff_param_check<L: Layer>(layer: &mut L, input: &Tensor, eps: f32) -> f32 {
     let out = layer.forward(input, Mode::Train);
-    let kappa = Tensor::rand_uniform(&out.shape().to_vec(), -1.0, 1.0, 778);
+    let kappa = Tensor::rand_uniform(out.shape(), -1.0, 1.0, 778);
     layer.zero_grad();
     let _ = layer.forward(input, Mode::Train);
     let _ = layer.backward(&kappa);
     let analytic: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
 
     let mut max_dev = 0.0f32;
-    let n_params = layer.params().len();
-    for pi in 0..n_params {
-        for i in 0..analytic[pi].len() {
+    for (pi, analytic_p) in analytic.iter().enumerate() {
+        for i in 0..analytic_p.len() {
             let orig = layer.params()[pi].value.as_slice()[i];
             layer.params_mut()[pi].value.as_mut_slice()[i] = orig + eps;
             let fp = layer.forward(input, Mode::Train).dot(&kappa).unwrap();
@@ -238,7 +237,7 @@ pub fn finite_diff_param_check<L: Layer>(layer: &mut L, input: &Tensor, eps: f32
             let fm = layer.forward(input, Mode::Train).dot(&kappa).unwrap();
             layer.params_mut()[pi].value.as_mut_slice()[i] = orig;
             let numeric = (fp - fm) / (2.0 * eps);
-            max_dev = max_dev.max((numeric - analytic[pi].as_slice()[i]).abs());
+            max_dev = max_dev.max((numeric - analytic_p.as_slice()[i]).abs());
         }
     }
     max_dev

@@ -10,6 +10,16 @@
 //! `k×k` convolution followed by a `1×1` convolution for conv layers),
 //! which is the architectural device Pufferfish is built on.
 //!
+//! # Threading
+//!
+//! Every layer bottoms out in `puffer-tensor`'s panel-packed GEMM and
+//! im2col kernels, which fan out to the process-wide worker pool
+//! (re-exported here as [`threading`], since [`pool`] is pooling layers)
+//! under the default `Optimized` matmul profile. Forward/backward results
+//! are bitwise identical for every thread count; set
+//! `PUFFER_NUM_THREADS=1` (or switch the profile to `Reproducible`) to
+//! force strictly sequential execution.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +64,7 @@ pub mod schedule;
 pub use error::NnError;
 pub use layer::{Layer, Mode, Sequential};
 pub use param::Param;
+pub use puffer_tensor::pool as threading;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, NnError>;

@@ -47,7 +47,7 @@ pub fn softmax_cross_entropy(
     let eps = label_smoothing;
     let mut grad = Tensor::zeros(&[n, c]);
     let mut total = 0.0f64;
-    for i in 0..n {
+    for (i, &target) in targets.iter().enumerate() {
         let row = logits.row_slice(i);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
@@ -57,7 +57,7 @@ pub fn softmax_cross_entropy(
         let mut loss_i = 0.0f32;
         for j in 0..c {
             let p = exps[j] / z;
-            let target_w = if j == targets[i] { 1.0 - eps + eps / c as f32 } else { eps / c as f32 };
+            let target_w = if j == target { 1.0 - eps + eps / c as f32 } else { eps / c as f32 };
             loss_i += target_w * (log_z - row[j]);
             grad.as_mut_slice()[i * c + j] = (p - target_w) / n as f32;
         }
@@ -106,9 +106,9 @@ pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
         return 0.0;
     }
     let mut hits = 0usize;
-    for i in 0..n {
+    for (i, target) in targets.iter().enumerate() {
         let top = top_k_indices(logits.row_slice(i), k);
-        if top.contains(&targets[i]) {
+        if top.contains(target) {
             hits += 1;
         }
     }

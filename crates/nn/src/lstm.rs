@@ -35,11 +35,21 @@ impl MatOp {
     }
 
     /// Creates a low-rank op with N(0, std) per-factor initialization.
-    pub fn low_rank(name: &str, out_dim: usize, in_dim: usize, rank: usize, std: f32, seed: u64) -> Self {
+    pub fn low_rank(
+        name: &str,
+        out_dim: usize,
+        in_dim: usize,
+        rank: usize,
+        std: f32,
+        seed: u64,
+    ) -> Self {
         let fs = std / (rank as f32).sqrt();
         MatOp::LowRank {
             u: Param::new(format!("{name}_u"), Tensor::randn(&[out_dim, rank], fs.sqrt(), seed)),
-            vt: Param::new(format!("{name}_v"), Tensor::randn(&[rank, in_dim], fs.sqrt(), seed.wrapping_add(1))),
+            vt: Param::new(
+                format!("{name}_v"),
+                Tensor::randn(&[rank, in_dim], fs.sqrt(), seed.wrapping_add(1)),
+            ),
         }
     }
 
@@ -199,7 +209,11 @@ impl LstmLayer {
                     MatOp::low_rank(&format!("weight.h{gname}"), h, h, r, std, s.wrapping_add(1)),
                 ),
             };
-            gates.push(Gate { wx, wh, bias: Param::new_no_decay(format!("bias.{gname}"), Tensor::zeros(&[h])) });
+            gates.push(Gate {
+                wx,
+                wh,
+                bias: Param::new_no_decay(format!("bias.{gname}"), Tensor::zeros(&[h])),
+            });
         }
         Ok(LstmLayer { gates, d, h, rank, cache: Vec::new() })
     }
@@ -255,7 +269,8 @@ impl LstmLayer {
     /// Replaces gate `gi`'s maps with explicit [`MatOp`]s and bias (used by
     /// warm-start surgery).
     pub fn set_gate(&mut self, gi: usize, wx: MatOp, wh: MatOp, bias: Tensor) {
-        self.gates[gi] = Gate { wx, wh, bias: Param::new_no_decay(format!("bias.{}", GATE_NAMES[gi]), bias) };
+        self.gates[gi] =
+            Gate { wx, wh, bias: Param::new_no_decay(format!("bias.{}", GATE_NAMES[gi]), bias) };
     }
 
     /// Runs the layer over a sequence, returning hidden states per step.
@@ -284,7 +299,11 @@ impl LstmLayer {
             let f = acts[1].map(sigmoid);
             let g_ = acts[2].map(f32::tanh);
             let o = acts[3].map(sigmoid);
-            let new_c = f.hadamard(&c).expect("shape").zip_map(&i.hadamard(&g_).expect("shape"), |a, b| a + b).expect("shape");
+            let new_c = f
+                .hadamard(&c)
+                .expect("shape")
+                .zip_map(&i.hadamard(&g_).expect("shape"), |a, b| a + b)
+                .expect("shape");
             let tanh_c = new_c.map(f32::tanh);
             let new_h = o.hadamard(&tanh_c).expect("shape");
             self.cache.push(StepCache {
@@ -331,10 +350,26 @@ impl LstmLayer {
                 .expect("shape");
             dc.axpy(1.0, &dc_next).expect("shape");
             // Pre-activation gate gradients.
-            let dz_o = dh.hadamard(&cache.tanh_c).expect("shape").zip_map(o, |a, ov| a * ov * (1.0 - ov)).expect("shape");
-            let dz_f = dc.hadamard(&cache.c_prev).expect("shape").zip_map(f, |a, fv| a * fv * (1.0 - fv)).expect("shape");
-            let dz_i = dc.hadamard(g_).expect("shape").zip_map(i, |a, iv| a * iv * (1.0 - iv)).expect("shape");
-            let dz_g = dc.hadamard(i).expect("shape").zip_map(g_, |a, gv| a * (1.0 - gv * gv)).expect("shape");
+            let dz_o = dh
+                .hadamard(&cache.tanh_c)
+                .expect("shape")
+                .zip_map(o, |a, ov| a * ov * (1.0 - ov))
+                .expect("shape");
+            let dz_f = dc
+                .hadamard(&cache.c_prev)
+                .expect("shape")
+                .zip_map(f, |a, fv| a * fv * (1.0 - fv))
+                .expect("shape");
+            let dz_i = dc
+                .hadamard(g_)
+                .expect("shape")
+                .zip_map(i, |a, iv| a * iv * (1.0 - iv))
+                .expect("shape");
+            let dz_g = dc
+                .hadamard(i)
+                .expect("shape")
+                .zip_map(g_, |a, gv| a * (1.0 - gv * gv))
+                .expect("shape");
             dc_next = dc.hadamard(f).expect("shape");
 
             let mut dx = Tensor::zeros(&[batch, self.d]);
@@ -377,10 +412,8 @@ mod tests {
 
     #[test]
     fn matop_backward_gradcheck() {
-        for op in [
-            &mut MatOp::dense("w", 3, 4, 0.5, 1),
-            &mut MatOp::low_rank("w", 3, 4, 2, 0.5, 2),
-        ] {
+        for op in [&mut MatOp::dense("w", 3, 4, 0.5, 1), &mut MatOp::low_rank("w", 3, 4, 2, 0.5, 2)]
+        {
             let x = Tensor::randn(&[2, 4], 1.0, 3);
             let kappa = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, 4);
             let dx = op.backward(&x, &kappa);
@@ -415,7 +448,8 @@ mod tests {
         let mut lstm = LstmLayer::new(3, 4, GateRank::Full, 2).unwrap();
         let xs: Vec<Tensor> = (0..3).map(|t| Tensor::randn(&[2, 3], 0.5, 10 + t)).collect();
         let hs = lstm.forward_seq(&xs);
-        let dhs: Vec<Tensor> = hs.iter().map(|h| Tensor::rand_uniform(h.shape(), -1.0, 1.0, 99)).collect();
+        let dhs: Vec<Tensor> =
+            hs.iter().map(|h| Tensor::rand_uniform(h.shape(), -1.0, 1.0, 99)).collect();
         let _ = lstm.forward_seq(&xs);
         let dxs = lstm.backward_seq(&dhs);
 
@@ -443,24 +477,26 @@ mod tests {
         let mut lstm = LstmLayer::new(3, 3, GateRank::LowRank(2), 3).unwrap();
         let xs: Vec<Tensor> = (0..2).map(|t| Tensor::randn(&[1, 3], 0.5, 20 + t)).collect();
         let hs = lstm.forward_seq(&xs);
-        let dhs: Vec<Tensor> = hs.iter().map(|h| Tensor::rand_uniform(h.shape(), -1.0, 1.0, 98)).collect();
+        let dhs: Vec<Tensor> =
+            hs.iter().map(|h| Tensor::rand_uniform(h.shape(), -1.0, 1.0, 98)).collect();
         lstm.zero_grad();
         let _ = lstm.forward_seq(&xs);
         let _ = lstm.backward_seq(&dhs);
         let analytic: Vec<Tensor> = lstm.params().iter().map(|p| p.grad.clone()).collect();
 
         let eps = 1e-2;
-        let n_params = analytic.len();
-        for pi in 0..n_params {
-            for idx in 0..analytic[pi].len().min(6) {
+        for (pi, analytic_p) in analytic.iter().enumerate() {
+            for idx in 0..analytic_p.len().min(6) {
                 let orig = lstm.params()[pi].value.as_slice()[idx];
                 lstm.params_mut()[pi].value.as_mut_slice()[idx] = orig + eps;
-                let fp: f32 = lstm.forward_seq(&xs).iter().zip(&dhs).map(|(h, k)| h.dot(k).unwrap()).sum();
+                let fp: f32 =
+                    lstm.forward_seq(&xs).iter().zip(&dhs).map(|(h, k)| h.dot(k).unwrap()).sum();
                 lstm.params_mut()[pi].value.as_mut_slice()[idx] = orig - eps;
-                let fm: f32 = lstm.forward_seq(&xs).iter().zip(&dhs).map(|(h, k)| h.dot(k).unwrap()).sum();
+                let fm: f32 =
+                    lstm.forward_seq(&xs).iter().zip(&dhs).map(|(h, k)| h.dot(k).unwrap()).sum();
                 lstm.params_mut()[pi].value.as_mut_slice()[idx] = orig;
                 let num = (fp - fm) / (2.0 * eps);
-                let ana = analytic[pi].as_slice()[idx];
+                let ana = analytic_p.as_slice()[idx];
                 assert!((num - ana).abs() < 2e-2, "param {pi} idx {idx}: {num} vs {ana}");
             }
         }

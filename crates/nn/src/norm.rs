@@ -66,7 +66,10 @@ impl BatchNorm2d {
     /// Returns [`NnError::BadConfig`] if `channels` is zero.
     pub fn with_affine(channels: usize, affine: bool) -> Result<Self> {
         if channels == 0 {
-            return Err(NnError::BadConfig { layer: "BatchNorm2d", reason: "zero channels".into() });
+            return Err(NnError::BadConfig {
+                layer: "BatchNorm2d",
+                reason: "zero channels".into(),
+            });
         }
         Ok(BatchNorm2d {
             gamma: Param::new_no_decay("bn.weight", Tensor::ones(&[channels])),
@@ -103,7 +106,11 @@ impl BatchNorm2d {
         if state.gamma.len() != self.channels {
             return Err(NnError::BadConfig {
                 layer: "BatchNorm2d",
-                reason: format!("state has {} channels, layer has {}", state.gamma.len(), self.channels),
+                reason: format!(
+                    "state has {} channels, layer has {}",
+                    state.gamma.len(),
+                    self.channels
+                ),
             });
         }
         self.gamma.value = state.gamma.clone();
@@ -216,8 +223,7 @@ impl Layer for BatchNorm2d {
                 for i in base..base + spatial {
                     let dy = grad_output.as_slice()[i];
                     let xh = cache.x_hat.as_slice()[i];
-                    gin.as_mut_slice()[i] =
-                        k * (dy - sum_dy / count - xh * sum_dy_xhat / count);
+                    gin.as_mut_slice()[i] = k * (dy - sum_dy / count - xh * sum_dy_xhat / count);
                 }
             }
         }
@@ -310,14 +316,14 @@ impl Layer for LayerNorm {
         let mut x_hat = Tensor::zeros(input.shape());
         let mut out = Tensor::zeros(input.shape());
         let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
+        for (r, inv_std_r) in inv_std.iter_mut().enumerate() {
             let row = &input.as_slice()[r * f..(r + 1) * f];
             let mean: f32 = row.iter().sum::<f32>() / f as f32;
             let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / f as f32;
             let is = 1.0 / (var + self.eps).sqrt();
-            inv_std[r] = is;
-            for j in 0..f {
-                let xh = (row[j] - mean) * is;
+            *inv_std_r = is;
+            for (j, &xj) in row.iter().enumerate() {
+                let xh = (xj - mean) * is;
                 x_hat.as_mut_slice()[r * f + j] = xh;
                 out.as_mut_slice()[r * f + j] =
                     self.gamma.value.as_slice()[j] * xh + self.beta.value.as_slice()[j];
@@ -388,7 +394,8 @@ mod tests {
                 vals.extend_from_slice(&y.as_slice()[base..base + 9]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -3,6 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use puffer_tensor::conv::{im2col, ConvGeometry};
 use puffer_tensor::matmul::{matmul_with_profile, MatmulProfile};
+use puffer_tensor::pool;
 use puffer_tensor::svd::truncated_svd;
 use puffer_tensor::Tensor;
 
@@ -21,6 +22,40 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// 1-thread vs N-thread square GEMM through the packed `Optimized` kernel.
+/// `PUFFER_BENCH_THREADS` overrides the N-thread side (defaults to the
+/// pool's resolved width). The `gemm_scaling` binary in `puffer-bench`
+/// sweeps the full thread grid and records `BENCH_gemm.json` at the repo
+/// root.
+fn bench_parallel_matmul(c: &mut Criterion) {
+    let n_threads = std::env::var("PUFFER_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(pool::num_threads)
+        .max(1);
+    let prev_threads = pool::num_threads();
+    let mut group = c.benchmark_group("parallel_matmul");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 1024] {
+        let a = Tensor::randn(&[n, n], 1.0, 1);
+        let b = Tensor::randn(&[n, n], 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("threads_1", n), &n, |bch, _| {
+            pool::set_num_threads(1);
+            bch.iter(|| matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("threads_{n_threads}"), n),
+            &n,
+            |bch, _| {
+                pool::set_num_threads(n_threads);
+                bch.iter(|| matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap())
+            },
+        );
+    }
+    pool::set_num_threads(prev_threads);
+    group.finish();
+}
+
 fn bench_im2col(c: &mut Criterion) {
     let geo = ConvGeometry { c_in: 64, h: 16, w: 16, k: 3, stride: 1, padding: 1 };
     let x = Tensor::randn(&[8, 64, 16, 16], 1.0, 3);
@@ -31,10 +66,8 @@ fn bench_truncated_svd(c: &mut Criterion) {
     // The shape of a VGG conv10 unrolled weight: (c_in k², c_out) = (4608, 512),
     // scaled down 4x to keep the bench fast.
     let a = Tensor::randn(&[1152, 128], 1.0, 4);
-    c.bench_function("truncated_svd_1152x128_r32", |b| {
-        b.iter(|| truncated_svd(&a, 32).unwrap())
-    });
+    c.bench_function("truncated_svd_1152x128_r32", |b| b.iter(|| truncated_svd(&a, 32).unwrap()));
 }
 
-criterion_group!(benches, bench_matmul, bench_im2col, bench_truncated_svd);
+criterion_group!(benches, bench_matmul, bench_parallel_matmul, bench_im2col, bench_truncated_svd);
 criterion_main!(benches);

@@ -6,8 +6,17 @@
 //! is one matmul against the unrolled `(c_out, c_in·k²)` weight. This is the
 //! same unrolling the paper uses to define conv-layer factorization
 //! (`W_unrolled ∈ R^{c_in k² × c_out}`, paper §2.2).
+//!
+//! Above a size threshold, and under the `Optimized` default matmul
+//! profile, both lowerings fan out to the process-wide worker pool
+//! ([`crate::pool`]): [`im2col`] partitions over patch-matrix rows and
+//! [`col2im`] over `(image, channel)` planes. Both write disjoint output
+//! regions and keep the per-element visit/accumulation order of the
+//! sequential loop, so results are bitwise identical for every thread
+//! count.
 
-use crate::{Result, Tensor, TensorError};
+use crate::matmul::parallel_under_default;
+use crate::{pool, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,35 +98,44 @@ pub fn im2col(input: &Tensor, geo: &ConvGeometry) -> Result<Tensor> {
     let rows = geo.patch_rows();
     let cols = n * ho * wo;
     let mut out = Tensor::zeros(&[rows, cols]);
+    if rows == 0 || cols == 0 {
+        return Ok(out);
+    }
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
     let pad = geo.padding as isize;
     let stride = geo.stride;
 
-    for ci in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                let row_base = row * cols;
-                for ni in 0..n {
-                    let img_base = (ni * c + ci) * h * w;
-                    for oy in 0..ho {
-                        let iy = (oy * stride) as isize + ky as isize - pad;
-                        let col_base = row_base + (ni * ho + oy) * wo;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // zero padding, dst already 0
-                        }
-                        let src_row = img_base + iy as usize * w;
-                        for ox in 0..wo {
-                            let ix = (ox * stride) as isize + kx as isize - pad;
-                            if ix >= 0 && ix < w as isize {
-                                dst[col_base + ox] = src[src_row + ix as usize];
-                            }
+    // One patch-matrix row per (ci, ky, kx); each row is a contiguous,
+    // disjoint slice of the output, so rows parallelize trivially.
+    let fill_rows = |row0: usize, chunk: &mut [f32]| {
+        for (ri, dst_row) in chunk.chunks_exact_mut(cols).enumerate() {
+            let row = row0 + ri;
+            let kx = row % k;
+            let ky = (row / k) % k;
+            let ci = row / (k * k);
+            for ni in 0..n {
+                let img_base = (ni * c + ci) * h * w;
+                for oy in 0..ho {
+                    let iy = (oy * stride) as isize + ky as isize - pad;
+                    let col_base = (ni * ho + oy) * wo;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // zero padding, dst already 0
+                    }
+                    let src_row = img_base + iy as usize * w;
+                    for ox in 0..wo {
+                        let ix = (ox * stride) as isize + kx as isize - pad;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[col_base + ox] = src[src_row + ix as usize];
                         }
                     }
                 }
             }
         }
+    };
+    if parallel_under_default(rows * cols) {
+        pool::run_chunked(out.as_mut_slice(), cols, fill_rows);
+    } else {
+        fill_rows(0, out.as_mut_slice());
     }
     Ok(out)
 }
@@ -145,35 +163,49 @@ pub fn col2im(cols: &Tensor, geo: &ConvGeometry, n: usize) -> Result<Tensor> {
     }
     let (c, h, w) = (geo.c_in, geo.h, geo.w);
     let mut out = Tensor::zeros(&[n, c, h, w]);
+    if out.is_empty() {
+        return Ok(out);
+    }
     let src = cols.as_slice();
-    let dst = out.as_mut_slice();
     let pad = geo.padding as isize;
     let stride = geo.stride;
 
-    for ci in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                let row_base = row * ncols;
-                for ni in 0..n {
-                    let img_base = (ni * c + ci) * h * w;
+    // Each (image, channel) plane of the output accumulates only from the
+    // k² patch rows of its own channel, so planes partition the scatter
+    // without write conflicts. Per pixel, the (ky, kx, oy, ox) accumulation
+    // order matches the sequential loop exactly.
+    let plane_len = h * w;
+    let fill_planes = |p0: usize, chunk: &mut [f32]| {
+        for (pi, plane) in chunk.chunks_exact_mut(plane_len).enumerate() {
+            let idx = p0 + pi;
+            let ci = idx % c;
+            let ni = idx / c;
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    let row_base = row * ncols;
                     for oy in 0..ho {
                         let iy = (oy * stride) as isize + ky as isize - pad;
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        let dst_row = img_base + iy as usize * w;
+                        let dst_row = iy as usize * w;
                         let col_base = row_base + (ni * ho + oy) * wo;
                         for ox in 0..wo {
                             let ix = (ox * stride) as isize + kx as isize - pad;
                             if ix >= 0 && ix < w as isize {
-                                dst[dst_row + ix as usize] += src[col_base + ox];
+                                plane[dst_row + ix as usize] += src[col_base + ox];
                             }
                         }
                     }
                 }
             }
         }
+    };
+    if parallel_under_default(n * c * k * k * ho * wo) {
+        pool::run_chunked(out.as_mut_slice(), plane_len, fill_planes);
+    } else {
+        fill_planes(0, out.as_mut_slice());
     }
     Ok(out)
 }

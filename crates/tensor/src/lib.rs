@@ -8,9 +8,20 @@
 //! emulation used by the mixed-precision experiments, and the random weight
 //! initializers used by the model zoo.
 //!
-//! Everything is implemented from scratch on `std` + `rand`; there is no
-//! BLAS or LAPACK dependency, so results are bit-reproducible across
-//! machines given a seed.
+//! Everything is implemented from scratch on `std` + `rand` +
+//! `crossbeam` channels; there is no BLAS or LAPACK dependency, so results
+//! are bit-reproducible across machines given a seed.
+//!
+//! # Threading
+//!
+//! Dense kernels (GEMM, im2col/col2im, large elementwise ops) fan out to a
+//! lazily-initialized process-wide worker [`pool`] under the default
+//! `Optimized` matmul profile. `PUFFER_NUM_THREADS` (or
+//! [`pool::set_num_threads`]) controls the width; `PUFFER_NUM_THREADS=1`
+//! runs everything inline without spawning a single thread. All parallel
+//! kernels partition output regions and preserve the sequential per-element
+//! reduction order, so results are **bitwise identical for every thread
+//! count** — parallelism never costs reproducibility.
 //!
 //! # Example
 //!
@@ -31,6 +42,7 @@ pub mod f16;
 pub mod init;
 pub mod io;
 pub mod matmul;
+pub mod pool;
 pub mod stats;
 pub mod svd;
 mod tensor;

@@ -1,36 +1,75 @@
-//! Cache-blocked dense matrix multiplication.
+//! Panel-packed, thread-parallel dense matrix multiplication.
 //!
 //! Two execution profiles mirror the paper's two cuDNN settings (Table 6 vs
-//! Table 20): [`MatmulProfile::Reproducible`] uses a straightforward ikj
-//! loop, while [`MatmulProfile::Optimized`] uses cache blocking with an
-//! unrolled inner kernel. Both produce identical results up to f32
-//! associativity within a block; the split exists so the mini-benchmarks can
-//! report speedups under both regimes like the paper does.
+//! Table 20): [`MatmulProfile::Reproducible`] uses a straightforward,
+//! strictly sequential ikj loop, while [`MatmulProfile::Optimized`] packs B
+//! into contiguous column panels once and then drives an unrolled
+//! `MR×NR` register-blocked micro-kernel over row panels, fanning the row
+//! panels out to the process-wide worker pool (see [`crate::pool`]) above a
+//! size threshold.
+//!
+//! The parallel kernel is **bitwise deterministic across thread counts**:
+//! work is partitioned over output rows, and every `(i, j)` element is a
+//! single accumulator reduced over `p = 0..k` in ascending order regardless
+//! of how rows are grouped into `MR`-blocks or distributed over threads.
+//! Only the profile switch changes results (within f32 associativity), the
+//! thread count never does.
 
+use crate::pool;
 use crate::{Result, Tensor, TensorError};
 
 /// Execution profile for [`matmul_with_profile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[repr(u8)]
 pub enum MatmulProfile {
-    /// Simple ikj-ordered triple loop; deterministic and branch-free.
+    /// Simple ikj-ordered triple loop; sequential on the caller thread.
     /// Stands in for the paper's "reproducibility optimized cuDNN" setting.
     Reproducible = 0,
-    /// Cache-blocked kernel; stands in for "speed optimized cuDNN".
+    /// Panel-packed parallel kernel; stands in for "speed optimized cuDNN".
     #[default]
     Optimized = 1,
 }
 
-const BLOCK: usize = 64;
+/// Column-panel width of the packed micro-kernel. B is repacked into
+/// `k×NR` panels so the inner loop reads both operands contiguously.
+const NR: usize = 8;
 
-use std::sync::atomic::{AtomicU8, Ordering};
+/// Row-block height of the micro-kernel: `MR×NR` accumulators stay in
+/// registers across the whole `k` reduction.
+const MR: usize = 4;
+
+/// Default minimum multiply–add count before a dense kernel fans out to
+/// the pool; below this the dispatch overhead outweighs the parallelism.
+const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Minimum packed-buffer element count before B-packing itself fans out.
+const PAR_MIN_PACK: usize = 1 << 16;
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 static DEFAULT_PROFILE: AtomicU8 = AtomicU8::new(1);
+
+static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(PAR_MIN_FLOPS);
+
+/// Overrides the multiply–add count above which dense kernels fan out to
+/// the worker pool (default `2^18`). `0` parallelizes every eligible call —
+/// the determinism test suite uses this to exercise the threaded path at
+/// tiny sizes; results are bitwise identical either way.
+pub fn set_parallel_threshold(min_flops: usize) {
+    PAR_THRESHOLD.store(min_flops, Ordering::Relaxed);
+}
+
+/// The current fan-out threshold in multiply–adds.
+pub fn parallel_threshold() -> usize {
+    PAR_THRESHOLD.load(Ordering::Relaxed)
+}
 
 /// Sets the process-wide default profile used by [`matmul`] (and therefore
 /// by every layer in `puffer-nn`). Mirrors toggling
 /// `cudnn.benchmark`/`cudnn.deterministic` in the paper's Table 6 vs
-/// Table 20 runtime benchmarks.
+/// Table 20 runtime benchmarks. Under `Reproducible`, every dense kernel in
+/// this crate (including the fused transpose variants, convolution lowering
+/// and large elementwise ops) runs strictly sequentially.
 pub fn set_default_profile(profile: MatmulProfile) {
     DEFAULT_PROFILE.store(profile as u8, Ordering::Relaxed);
 }
@@ -41,6 +80,15 @@ pub fn default_profile() -> MatmulProfile {
         0 => MatmulProfile::Reproducible,
         _ => MatmulProfile::Optimized,
     }
+}
+
+/// Whether a dense kernel of `work` multiply–adds should fan out to the
+/// worker pool under the process-wide default profile. `Reproducible`
+/// always answers no, keeping that regime strictly sequential.
+pub(crate) fn parallel_under_default(work: usize) -> bool {
+    default_profile() == MatmulProfile::Optimized
+        && work >= PAR_THRESHOLD.load(Ordering::Relaxed)
+        && pool::num_threads() > 1
 }
 
 /// `C = A · B` for 2-D tensors.
@@ -86,13 +134,16 @@ pub fn matmul_with_profile(a: &Tensor, b: &Tensor, profile: MatmulProfile) -> Re
             mm_ikj(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, ka, n)
         }
         MatmulProfile::Optimized => {
-            mm_blocked(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, ka, n)
+            mm_packed(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, ka, n)
         }
     }
     Ok(c)
 }
 
 /// `C = Aᵀ · B` without materializing the transpose.
+///
+/// Row-parallel over the `m` output rows under the `Optimized` default
+/// profile; the per-element reduction order is thread-count independent.
 ///
 /// # Errors
 ///
@@ -112,26 +163,39 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
     let cv = c.as_mut_slice();
-    // Row p of A contributes outer-product row to every C row: ikj order over k.
-    for p in 0..k {
-        let brow = &bv[p * n..(p + 1) * n];
-        let arow = &av[p * m..(p + 1) * m];
-        for i in 0..m {
-            let aip = arow[i];
-            if aip == 0.0 {
-                continue;
-            }
-            let crow = &mut cv[i * n..(i + 1) * n];
-            for (cj, bj) in crow.iter_mut().zip(brow) {
-                *cj += aip * bj;
+    // Outer-product accumulation over k within each row chunk: B rows are
+    // reused across the chunk while every (i, j) still reduces over
+    // ascending p, so results do not depend on the partition.
+    let tn_rows = |i0: usize, chunk: &mut [f32]| {
+        let rows = chunk.len() / n;
+        for p in 0..k {
+            let arow = &av[p * m..(p + 1) * m];
+            let brow = &bv[p * n..(p + 1) * n];
+            for li in 0..rows {
+                let aip = arow[i0 + li];
+                let crow = &mut chunk[li * n..(li + 1) * n];
+                for (cj, bj) in crow.iter_mut().zip(brow) {
+                    *cj += aip * bj;
+                }
             }
         }
+    };
+    if parallel_under_default(m * k * n) {
+        pool::run_chunked(cv, n, tn_rows);
+    } else {
+        tn_rows(0, cv);
     }
     Ok(c)
 }
 
 /// `C = A · Bᵀ` without materializing the transpose.
+///
+/// Each output element is an unrolled 4-lane dot product; rows of C are
+/// computed in parallel under the `Optimized` default profile.
 ///
 /// # Errors
 ///
@@ -151,18 +215,23 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return Ok(c);
+    }
     let cv = c.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let crow = &mut cv[i * n..(i + 1) * n];
-        for j in 0..n {
-            let brow = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (x, y) in arow.iter().zip(brow) {
-                acc += x * y;
+    let nt_rows = |i0: usize, chunk: &mut [f32]| {
+        for (li, crow) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = i0 + li;
+            let arow = &av[i * k..(i + 1) * k];
+            for (j, cj) in crow.iter_mut().enumerate() {
+                *cj = dot_unrolled(arow, &bv[j * k..(j + 1) * k]);
             }
-            crow[j] = acc;
         }
+    };
+    if parallel_under_default(m * k * n) {
+        pool::run_chunked(cv, n, nt_rows);
+    } else {
+        nt_rows(0, cv);
     }
     Ok(c)
 }
@@ -184,11 +253,38 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
     }
     let (av, xv) = (a.as_slice(), x.as_slice());
     let mut y = Tensor::zeros(&[m]);
-    for (i, yo) in y.as_mut_slice().iter_mut().enumerate() {
-        let row = &av[i * k..(i + 1) * k];
-        *yo = row.iter().zip(xv).map(|(a, b)| a * b).sum();
+    if m == 0 {
+        return Ok(y);
+    }
+    let rows = |i0: usize, chunk: &mut [f32]| {
+        for (li, yo) in chunk.iter_mut().enumerate() {
+            let i = i0 + li;
+            *yo = dot_unrolled(&av[i * k..(i + 1) * k], xv);
+        }
+    };
+    if parallel_under_default(m * k) {
+        pool::run_chunked(y.as_mut_slice(), 1, rows);
+    } else {
+        rows(0, y.as_mut_slice());
     }
     Ok(y)
+}
+
+/// 4-lane unrolled dot product: independent accumulators keep the FP adder
+/// pipeline full; the lane-combination order is fixed, so the result only
+/// depends on the inputs.
+#[inline]
+fn dot_unrolled(x: &[f32], y: &[f32]) -> f32 {
+    let xc = x.chunks_exact(4);
+    let yc = y.chunks_exact(4);
+    let tail: f32 = xc.remainder().iter().zip(yc.remainder()).map(|(a, b)| a * b).sum();
+    let mut acc = [0.0f32; 4];
+    for (xs, ys) in xc.zip(yc) {
+        for l in 0..4 {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 fn mm_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
@@ -207,28 +303,100 @@ fn mm_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     }
 }
 
-fn mm_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i0 in (0..m).step_by(BLOCK) {
-        let imax = (i0 + BLOCK).min(m);
-        for p0 in (0..k).step_by(BLOCK) {
-            let pmax = (p0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let jmax = (j0 + BLOCK).min(n);
-                for i in i0..imax {
-                    let arow = &a[i * k..(i + 1) * k];
-                    let crow = &mut c[i * n + j0..i * n + jmax];
-                    for p in p0..pmax {
-                        let aip = arow[p];
-                        if aip == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[p * n + j0..p * n + jmax];
-                        for (cj, bj) in crow.iter_mut().zip(brow) {
-                            *cj += aip * bj;
-                        }
-                    }
+/// Packed parallel GEMM: packs B into `k×NR` column panels once, then
+/// computes `MR`-row blocks of C with a register-blocked micro-kernel,
+/// partitioning rows across the worker pool when the problem is large
+/// enough.
+fn mm_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let n_panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; n_panels * k * NR];
+    pack_b(b, &mut packed, k, n);
+    if k > 0 && parallel_under_default(m * k * n) {
+        let packed = &packed;
+        pool::run_chunked(c, n, |row0, chunk| {
+            mm_rows_packed(a, packed, chunk, row0, k, n);
+        });
+    } else {
+        mm_rows_packed(a, &packed, c, 0, k, n);
+    }
+}
+
+/// Copies B (`k×n` row-major) into zero-padded `k×NR` column panels laid
+/// out contiguously per panel, so the micro-kernel streams both operands.
+fn pack_b(b: &[f32], packed: &mut [f32], k: usize, n: usize) {
+    if k == 0 || packed.is_empty() {
+        return;
+    }
+    let panel_len = k * NR;
+    let pack_panels = |jp0: usize, chunk: &mut [f32]| {
+        for (pi, panel) in chunk.chunks_exact_mut(panel_len).enumerate() {
+            let j0 = (jp0 + pi) * NR;
+            let w = NR.min(n - j0);
+            for p in 0..k {
+                panel[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+            }
+        }
+    };
+    if packed.len() >= PAR_MIN_PACK && default_profile() == MatmulProfile::Optimized {
+        pool::run_chunked(packed, panel_len, pack_panels);
+    } else {
+        pack_panels(0, packed);
+    }
+}
+
+/// Computes the C rows in `c_chunk` (whose first row is global row `row0`)
+/// from A and packed B, blocking rows by `MR`. Per-element reduction order
+/// is identical for the `MR`-wide and single-row kernels, so chunk
+/// boundaries never change results.
+fn mm_rows_packed(a: &[f32], packed: &[f32], c_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = c_chunk.len() / n;
+    let mut r = 0;
+    while r + MR <= rows {
+        mm_row_block::<MR>(a, packed, c_chunk, row0 + r, r, k, n);
+        r += MR;
+    }
+    while r < rows {
+        mm_row_block::<1>(a, packed, c_chunk, row0 + r, r, k, n);
+        r += 1;
+    }
+}
+
+/// `M×NR` register-blocked micro-kernel: accumulates `M` rows of C against
+/// one packed column panel at a time, reducing over `p = 0..k` with a
+/// single accumulator per output element.
+#[inline(always)]
+fn mm_row_block<const M: usize>(
+    a: &[f32],
+    packed: &[f32],
+    c_chunk: &mut [f32],
+    global_row: usize,
+    local_row: usize,
+    k: usize,
+    n: usize,
+) {
+    let panel_len = k * NR;
+    let arows: [&[f32]; M] =
+        std::array::from_fn(|t| &a[(global_row + t) * k..(global_row + t + 1) * k]);
+    for jp in 0..n.div_ceil(NR) {
+        let bp = &packed[jp * panel_len..(jp + 1) * panel_len];
+        let mut acc = [[0.0f32; NR]; M];
+        for (p, brow) in bp.chunks_exact(NR).enumerate() {
+            let brow: &[f32; NR] = brow.try_into().expect("panel row is NR wide");
+            for (acc_t, arow) in acc.iter_mut().zip(&arows) {
+                let atp = arow[p];
+                for (aj, &bj) in acc_t.iter_mut().zip(brow) {
+                    *aj += atp * bj;
                 }
             }
+        }
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        for (t, acc_t) in acc.iter().enumerate() {
+            let base = (local_row + t) * n + j0;
+            c_chunk[base..base + w].copy_from_slice(&acc_t[..w]);
         }
     }
 }
@@ -316,20 +484,56 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 5]);
         assert!(matmul(&a, &b).is_err());
-        let v = Tensor::zeros(&[3]);
-        assert!(matmul(&a, &v).is_err());
-        assert!(matvec(&a, &Tensor::zeros(&[2])).is_err());
         assert!(matmul_tn(&a, &b).is_err());
         assert!(matmul_nt(&a, &b).is_err());
+        // Non-2-D operands are rejected by every variant alike.
+        let v = Tensor::zeros(&[3]);
+        assert!(matmul(&a, &v).is_err());
+        assert!(matmul(&v, &a).is_err());
+        assert!(matmul_tn(&a, &v).is_err());
+        assert!(matmul_tn(&v, &a).is_err());
+        assert!(matmul_nt(&a, &v).is_err());
+        assert!(matmul_nt(&v, &a).is_err());
+        assert!(matvec(&a, &Tensor::zeros(&[2])).is_err());
     }
 
     #[test]
-    fn block_boundary_sizes() {
-        // Sizes straddling the 64-wide block boundary.
-        for &(m, k, n) in &[(64, 64, 64), (65, 63, 64), (1, 128, 1), (130, 2, 70)] {
+    fn panel_boundary_sizes() {
+        // Sizes straddling the NR=8 panel and MR=4 row-block boundaries.
+        for &(m, k, n) in
+            &[(1, 1, 1), (4, 8, 8), (5, 9, 7), (8, 8, 9), (65, 63, 64), (1, 128, 1), (130, 2, 70)]
+        {
             let a = Tensor::randn(&[m, k], 1.0, (m * k) as u64);
             let b = Tensor::randn(&[k, n], 1.0, (k * n + 1) as u64);
             assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-2);
         }
+    }
+
+    #[test]
+    fn optimized_is_bitwise_stable_across_thread_counts() {
+        let a = Tensor::randn(&[70, 33], 1.0, 10);
+        let b = Tensor::randn(&[33, 41], 1.0, 11);
+        let prev_threshold = parallel_threshold();
+        set_parallel_threshold(0);
+        let prev = pool::num_threads();
+        pool::set_num_threads(1);
+        let one = matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap();
+        pool::set_num_threads(4);
+        let four = matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap();
+        pool::set_num_threads(prev);
+        set_parallel_threshold(prev_threshold);
+        assert_eq!(one, four, "thread count must not change Optimized results");
+    }
+
+    #[test]
+    fn empty_dimensions() {
+        let a = Tensor::zeros(&[0, 4]);
+        let b = Tensor::zeros(&[4, 3]);
+        assert_eq!(matmul(&a, &b).unwrap().shape(), &[0, 3]);
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
     }
 }

@@ -58,8 +58,9 @@ impl SvdFactors {
         let sqrt_s: Vec<f32> = self.s.iter().map(|&x| x.max(0.0).sqrt()).collect();
         let mut u = self.u.clone();
         for i in 0..m {
-            for j in 0..r {
-                u.as_mut_slice()[i * r + j] *= sqrt_s[j];
+            let row = &mut u.as_mut_slice()[i * r..(i + 1) * r];
+            for (x, &s) in row.iter_mut().zip(&sqrt_s) {
+                *x *= s;
             }
         }
         let mut vt = self.vt.clone();
@@ -250,7 +251,11 @@ pub fn truncated_svd(a: &Tensor, rank: usize) -> Result<SvdFactors> {
 /// Same as [`truncated_svd`].
 pub fn truncated_svd_seeded(a: &Tensor, rank: usize, seed: u64) -> Result<SvdFactors> {
     if a.ndim() != 2 {
-        return Err(TensorError::WrongDimensions { expected: 2, got: a.ndim(), op: "truncated_svd" });
+        return Err(TensorError::WrongDimensions {
+            expected: 2,
+            got: a.ndim(),
+            op: "truncated_svd",
+        });
     }
     let (m, n) = (a.shape()[0], a.shape()[1]);
     let maxr = m.min(n);

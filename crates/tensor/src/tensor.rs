@@ -1,6 +1,13 @@
 //! The dense row-major [`Tensor`] type.
+//!
+//! Elementwise ops (`map`, `zip_map`, `axpy`, `scale`, …) fan out to the
+//! process-wide worker pool ([`crate::pool`]) above a size threshold when
+//! the `Optimized` matmul profile is the process default. Each element is
+//! computed independently, so parallel results are bitwise identical to
+//! sequential ones.
 
-use crate::{Result, TensorError};
+use crate::matmul::parallel_under_default;
+use crate::{pool, Result, TensorError};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
@@ -161,9 +168,7 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] if any coordinate exceeds
     /// the corresponding dimension.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.shape.len()
-            || index.iter().zip(&self.shape).any(|(i, s)| i >= s)
-        {
+        if index.len() != self.shape.len() || index.iter().zip(&self.shape).any(|(i, s)| i >= s) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.shape.clone(),
@@ -212,14 +217,39 @@ impl Tensor {
     }
 
     /// Applies `f` element-wise, returning a new tensor.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    ///
+    /// Fans out to the worker pool for large tensors (hence the `Sync`
+    /// bound); results are bitwise identical to the sequential loop.
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        if parallel_under_default(data.len()) {
+            let src = &self.data;
+            pool::run_chunked(&mut data, 1, |i0, chunk| {
+                let end = i0 + chunk.len();
+                for (d, s) in chunk.iter_mut().zip(&src[i0..end]) {
+                    *d = f(*s);
+                }
+            });
+        } else {
+            for (d, s) in data.iter_mut().zip(&self.data) {
+                *d = f(*s);
+            }
+        }
+        Tensor { data, shape: self.shape.clone() }
     }
 
     /// Applies `f` element-wise in place.
-    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for x in &mut self.data {
-            *x = f(*x);
+    pub fn map_inplace<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        if parallel_under_default(self.data.len()) {
+            pool::run_chunked(&mut self.data, 1, |_, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            });
+        } else {
+            for x in &mut self.data {
+                *x = f(*x);
+            }
         }
     }
 
@@ -228,14 +258,22 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
-    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
+    pub fn zip_map<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Tensor, f: F) -> Result<Tensor> {
         self.check_same_shape(other, "zip_map")?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = vec![0.0f32; self.data.len()];
+        if parallel_under_default(data.len()) {
+            let (lhs, rhs) = (&self.data, &other.data);
+            pool::run_chunked(&mut data, 1, |i0, chunk| {
+                let end = i0 + chunk.len();
+                for ((d, a), b) in chunk.iter_mut().zip(&lhs[i0..end]).zip(&rhs[i0..end]) {
+                    *d = f(*a, *b);
+                }
+            });
+        } else {
+            for ((d, a), b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+                *d = f(*a, *b);
+            }
+        }
         Ok(Tensor { data, shape: self.shape.clone() })
     }
 
@@ -246,16 +284,34 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
         self.check_same_shape(other, "axpy")?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
+        if parallel_under_default(self.data.len()) {
+            let src = &other.data;
+            pool::run_chunked(&mut self.data, 1, |i0, chunk| {
+                let end = i0 + chunk.len();
+                for (a, b) in chunk.iter_mut().zip(&src[i0..end]) {
+                    *a += alpha * b;
+                }
+            });
+        } else {
+            for (a, b) in self.data.iter_mut().zip(&other.data) {
+                *a += alpha * b;
+            }
         }
         Ok(())
     }
 
     /// Scales every element by `alpha` in place.
     pub fn scale(&mut self, alpha: f32) {
-        for x in &mut self.data {
-            *x *= alpha;
+        if parallel_under_default(self.data.len()) {
+            pool::run_chunked(&mut self.data, 1, |_, chunk| {
+                for x in chunk {
+                    *x *= alpha;
+                }
+            });
+        } else {
+            for x in &mut self.data {
+                *x *= alpha;
+            }
         }
     }
 
@@ -339,7 +395,13 @@ impl fmt::Debug for Tensor {
         if self.len() <= 8 {
             write!(f, ", data={:?})", self.data)
         } else {
-            write!(f, ", data=[{:.4}, {:.4}, …, {:.4}])", self.data[0], self.data[1], self.data[self.len() - 1])
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, …, {:.4}])",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1]
+            )
         }
     }
 }

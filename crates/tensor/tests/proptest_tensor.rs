@@ -2,7 +2,11 @@
 
 use proptest::prelude::*;
 use puffer_tensor::f16::round_f16;
-use puffer_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use puffer_tensor::matmul::{
+    matmul, matmul_nt, matmul_tn, matmul_with_profile, parallel_threshold, set_parallel_threshold,
+    MatmulProfile,
+};
+use puffer_tensor::pool::{num_threads, set_num_threads};
 use puffer_tensor::stats::{l2_norm, rel_error, top_k_indices};
 use puffer_tensor::svd::{svd_jacobi, truncated_svd};
 use puffer_tensor::Tensor;
@@ -99,4 +103,86 @@ proptest! {
         let best: f32 = sorted[..k].iter().map(|x| x * x).sum();
         prop_assert!((picked_energy - best).abs() < 1e-4);
     }
+}
+
+proptest! {
+    // Fewer cases than the block above: each case runs three full GEMMs at
+    // up to 256×256×256 under three thread counts.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn optimized_gemm_bitwise_deterministic_across_threads(
+        idx in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        // Sizes straddle the NR=8 panel and MR=4 row-block boundaries:
+        // degenerate, unaligned, and large-aligned.
+        const SIZES: [(usize, usize, usize); 3] =
+            [(1, 1, 1), (63, 65, 64), (256, 256, 256)];
+        let (m, k, n) = SIZES[idx];
+        let a = Tensor::randn(&[m, k], 1.0, seed);
+        let b = Tensor::randn(&[k, n], 1.0, seed.wrapping_add(1));
+        let at = Tensor::randn(&[k, m], 1.0, seed.wrapping_add(2));
+        let bt = Tensor::randn(&[n, k], 1.0, seed.wrapping_add(3));
+
+        let prev_threshold = parallel_threshold();
+        let prev_threads = num_threads();
+        // Threshold 0 forces even the 1×1 case through the pool dispatch
+        // path, so partitioning logic itself is exercised at every size.
+        set_parallel_threshold(0);
+
+        let mut reference = None;
+        for &t in &[1usize, 2, 8] {
+            set_num_threads(t);
+            let c = matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap();
+            let tn = matmul_tn(&at, &b).unwrap();
+            let nt = matmul_nt(&a, &bt).unwrap();
+            match &reference {
+                None => reference = Some((c, tn, nt)),
+                Some((c1, tn1, nt1)) => {
+                    // Bitwise equality: Tensor PartialEq compares raw f32s.
+                    prop_assert_eq!(c1, &c, "matmul differs at {} threads", t);
+                    prop_assert_eq!(tn1, &tn, "matmul_tn differs at {} threads", t);
+                    prop_assert_eq!(nt1, &nt, "matmul_nt differs at {} threads", t);
+                }
+            }
+        }
+
+        set_num_threads(prev_threads);
+        set_parallel_threshold(prev_threshold);
+    }
+}
+
+#[test]
+fn conv_and_elementwise_bitwise_deterministic_across_threads() {
+    use puffer_tensor::conv::{col2im, im2col, ConvGeometry};
+
+    let geo = ConvGeometry { c_in: 3, h: 13, w: 11, k: 3, stride: 2, padding: 1 };
+    let x = Tensor::randn(&[2, 3, 13, 11], 1.0, 77);
+    let cols_grad = Tensor::randn(&[geo.patch_rows(), 2 * geo.h_out() * geo.w_out()], 1.0, 78);
+    let big = Tensor::randn(&[517, 123], 1.0, 79);
+
+    let prev_threshold = parallel_threshold();
+    let prev_threads = num_threads();
+    set_parallel_threshold(0);
+
+    let mut reference = None;
+    for &t in &[1usize, 2, 8] {
+        set_num_threads(t);
+        let cols = im2col(&x, &geo).unwrap();
+        let img = col2im(&cols_grad, &geo, 2).unwrap();
+        let mapped = big.map(|v| v * 1.5 - 0.25);
+        let mut scaled = big.clone();
+        scaled.scale(0.125);
+        let mut axpyd = big.clone();
+        axpyd.axpy(-0.5, &mapped).unwrap();
+        let state = (cols, img, mapped, scaled, axpyd);
+        match &reference {
+            None => reference = Some(state),
+            Some(r) => assert_eq!(r, &state, "threaded kernels diverged at {t} threads"),
+        }
+    }
+
+    set_num_threads(prev_threads);
+    set_parallel_threshold(prev_threshold);
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, and the full test suite.
+# Referenced from ROADMAP.md; run before every PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "All checks passed."
