@@ -65,7 +65,8 @@ fn main() {
             }
         };
         let (bd, _) =
-            measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05)
+                .expect("epoch");
         let codec = (bd.encode + bd.decode).as_secs_f64() + svd_once;
         let calls = if method == "pufferfish" {
             "1 (one-time SVD)".to_string()

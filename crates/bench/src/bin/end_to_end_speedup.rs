@@ -65,7 +65,8 @@ fn main() {
         let mut curve = Vec::new();
         for _ in 0..epochs {
             let (bd, loss) =
-                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05)
+                    .expect("epoch");
             total += bd.total().as_secs_f64();
             curve.push((total, loss));
         }
@@ -82,7 +83,8 @@ fn main() {
         let mut p4 = PowerSgd::new(4, 3);
         for _ in 0..warmup {
             let (bd, _) =
-                measure_sequential_epoch(&mut model, &batches, NODES, &mut p4, &profile, 0.05);
+                measure_sequential_epoch(&mut model, &batches, NODES, &mut p4, &profile, 0.05)
+                    .expect("epoch");
             total += bd.total().as_secs_f64();
         }
         let t0 = Instant::now();
@@ -96,7 +98,8 @@ fn main() {
         let mut curve = Vec::new();
         for _ in warmup..epochs {
             let (bd, loss) =
-                measure_sequential_epoch(&mut model, &batches, NODES, &mut none_c, &profile, 0.05);
+                measure_sequential_epoch(&mut model, &batches, NODES, &mut none_c, &profile, 0.05)
+                    .expect("epoch");
             total += bd.total().as_secs_f64();
             curve.push((total, loss));
         }

@@ -1,0 +1,115 @@
+//! Straggler sweep for the fault-tolerant data-parallel trainer.
+//!
+//! Trains the vanilla ResNet-18 and its Pufferfish hybrid with the
+//! threaded trainer while one worker is slowed 1×–8× by injected compute
+//! delay, at 4 and 8 workers, and reports throughput (steps/s of modeled
+//! wall-clock). Synchronous SGD runs at the pace of the slowest member, so
+//! throughput degrades with the straggler factor for *both* models — but
+//! the Pufferfish hybrid's smaller gradient keeps its per-step
+//! communication cheaper at every slowdown. A machine-readable record
+//! lands in `BENCH_faults.json` at the workspace root.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin fault_sweep`
+//! (`PUFFER_BENCH_SCALE=full` widens the run).
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::table::Table;
+use puffer_bench::{record_result, setups};
+use puffer_compress::none::NoCompression;
+use puffer_dist::fault::FaultPlan;
+use puffer_dist::trainer::{train_data_parallel_with, DistConfig, RunOptions};
+use puffer_models::resnet::{ResNet, ResNetHybridPlan};
+use puffer_models::units::FactorInit;
+use puffer_tensor::Tensor;
+
+const SEED: u64 = 42;
+
+fn batches(n: usize, batch: usize) -> Vec<(Tensor, Vec<usize>)> {
+    (0..n)
+        .map(|b| {
+            let x = Tensor::randn(&[batch, 3, 8, 8], 1.0, 500 + b as u64);
+            let labels = (0..batch).map(|i| (i + b) % 4).collect();
+            (x, labels)
+        })
+        .collect()
+}
+
+fn build(model: &str, seed: u64) -> ResNet {
+    let net = setups::resnet18(4, seed);
+    if model == "pufferfish" {
+        net.to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart).expect("hybrid")
+    } else {
+        net
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let steps = scale.pick(3, 8);
+    let data = batches(steps, 32);
+    let slowdowns = [1.0f64, 2.0, 4.0, 8.0];
+    let worker_counts = [4usize, 8];
+
+    let mut t = Table::new(vec!["model", "workers", "slowdown", "total_s", "steps/s", "comm_s"]);
+    let mut entries = Vec::new();
+    for model in ["vanilla", "pufferfish"] {
+        for &workers in &worker_counts {
+            for &slowdown in &slowdowns {
+                let cfg = DistConfig::p3(workers, 0.05);
+                // One straggler: the highest-indexed worker runs `slowdown`
+                // times slower than its measured compute.
+                let faults = if slowdown > 1.0 {
+                    FaultPlan::new(SEED).with_slowdown(workers - 1, slowdown)
+                } else {
+                    FaultPlan::none()
+                };
+                let opts = RunOptions { faults, ..RunOptions::default() };
+                let mut comp = NoCompression::new();
+                let out =
+                    train_data_parallel_with(|_| build(model, 5), &data, &mut comp, &cfg, &opts)
+                        .expect("sweep run");
+                assert!(out.faults.is_clean(), "straggler must not be declared dead");
+                let total = out.breakdown.total().as_secs_f64();
+                let throughput = steps as f64 / total;
+                let comm = out.breakdown.comm.as_secs_f64();
+                t.row(vec![
+                    model.into(),
+                    format!("{workers}"),
+                    format!("{slowdown:.0}x"),
+                    format!("{total:.3}"),
+                    format!("{throughput:.3}"),
+                    format!("{comm:.4}"),
+                ]);
+                record_result(
+                    "fault_sweep",
+                    &format!(
+                        "model={model} workers={workers} slowdown={slowdown:.0} \
+                         total_s={total:.4} steps_per_s={throughput:.4} comm_s={comm:.5}"
+                    ),
+                );
+                entries.push(format!(
+                    "    {{ \"model\": \"{model}\", \"workers\": {workers}, \
+                     \"slowdown\": {slowdown:.1}, \"steps\": {steps}, \
+                     \"total_s\": {total:.4}, \"steps_per_s\": {throughput:.4}, \
+                     \"comm_s\": {comm:.5} }}"
+                ));
+            }
+        }
+    }
+    t.print();
+    println!("\nsynchronous SGD paces at the slowest member: throughput falls with the straggler");
+    println!("factor while the hybrid keeps the cheaper communication at every slowdown.");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fault_sweep\",\n  \"trainer\": \"threaded data-parallel, fault-injected straggler on the last worker\",\n  \"seed\": {SEED},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|p| std::path::PathBuf::from(p).join("../.."))
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join("BENCH_faults.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -68,7 +68,8 @@ fn main() {
         let mut loss = f32::NAN;
         for _ in 0..epochs {
             let (bd, l) =
-                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+                measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05)
+                    .expect("epoch");
             last = bd;
             loss = l;
         }

@@ -148,7 +148,8 @@ fn main() {
         &batches,
         &mut comp,
         &cfg,
-    );
+    )
+    .expect("ddp run");
     let early: f32 =
         out.step_losses.iter().take(3).sum::<f32>() / out.step_losses.len().clamp(1, 3) as f32;
     let late_n = out.step_losses.len().clamp(1, 3);

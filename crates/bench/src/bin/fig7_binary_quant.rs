@@ -51,7 +51,8 @@ fn main() {
             &mut none_c
         };
         let (bd, _) =
-            measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05);
+            measure_sequential_epoch(&mut model, &batches, NODES, compressor, &profile, 0.05)
+                .expect("epoch");
         t.row(vec![
             method.into(),
             format!("{:.3}", bd.compute.as_secs_f64()),

@@ -89,6 +89,21 @@ pub trait GradCompressor {
     ///
     /// Panics if workers disagree on layer shapes.
     fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats);
+
+    /// Freezes the method's cross-round state (error-feedback memory,
+    /// warm-started queries, momentum) as named tensors so a trainer
+    /// checkpoint can restore it and resume bitwise identically. Stateless
+    /// methods return the empty list.
+    fn state_snapshot(&self) -> Vec<(String, Tensor)> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`GradCompressor::state_snapshot`].
+    /// Returns `false` if the state does not belong to this method (a
+    /// stateless method accepts only the empty list).
+    fn restore_state(&mut self, state: &[(String, Tensor)]) -> bool {
+        state.is_empty()
+    }
 }
 
 /// Exact mean of per-worker gradient lists (the reference aggregation all

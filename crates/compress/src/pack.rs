@@ -43,6 +43,86 @@ impl PackLayout {
     pub fn total_bytes(&self) -> usize {
         self.total * std::mem::size_of::<f32>()
     }
+
+    /// Serializes the layout's shape list as one f32 tensor
+    /// (`[n, ndim₀, dims…, ndim₁, dims…]`) so stateful compressors can
+    /// checkpoint it alongside their flat buffers.
+    pub fn to_tensor(&self) -> Tensor {
+        let mut data = vec![self.shapes.len() as f32];
+        for s in &self.shapes {
+            data.push(s.len() as f32);
+            data.extend(s.iter().map(|&d| d as f32));
+        }
+        let n = data.len();
+        Tensor::from_vec(data, &[n]).expect("layout serialization")
+    }
+
+    /// Rebuilds a layout from [`PackLayout::to_tensor`] output. Returns
+    /// `None` on a malformed encoding.
+    pub fn from_tensor(t: &Tensor) -> Option<PackLayout> {
+        let mut it = t.as_slice().iter().copied();
+        let n = it.next()? as usize;
+        let mut shapes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ndim = it.next()? as usize;
+            let mut s = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                s.push(it.next()? as usize);
+            }
+            shapes.push(s);
+        }
+        if it.next().is_some() {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(n);
+        let mut total = 0;
+        for s in &shapes {
+            offsets.push(total);
+            total += s.iter().product::<usize>();
+        }
+        Some(PackLayout { shapes, offsets, total })
+    }
+}
+
+/// Snapshot helper for compressors keeping one flat buffer per worker
+/// plus a layout: `[("layout", …), ("<prefix>.00", …), …]`.
+pub(crate) fn snapshot_flat_state(
+    layout: &PackLayout,
+    prefix: &str,
+    bufs: &[Tensor],
+) -> Vec<(String, Tensor)> {
+    let mut out = vec![("layout".to_string(), layout.to_tensor())];
+    for (w, b) in bufs.iter().enumerate() {
+        out.push((format!("{prefix}.{w:02}"), b.clone()));
+    }
+    out
+}
+
+/// Inverse of [`snapshot_flat_state`]; `None` on malformed or mismatched
+/// state.
+pub(crate) fn restore_flat_state(
+    state: &[(String, Tensor)],
+    prefix: &str,
+) -> Option<(PackLayout, Vec<Tensor>)> {
+    let (_, lt) = state.iter().find(|(n, _)| n == "layout")?;
+    let layout = PackLayout::from_tensor(lt)?;
+    let total = layout.total_len();
+    let mut bufs: Vec<(usize, Tensor)> = Vec::new();
+    for (name, t) in state {
+        if name == "layout" {
+            continue;
+        }
+        let w = name.strip_prefix(prefix)?.strip_prefix('.')?.parse::<usize>().ok()?;
+        if t.len() != total {
+            return None;
+        }
+        bufs.push((w, t.clone()));
+    }
+    bufs.sort_by_key(|(w, _)| *w);
+    if bufs.iter().enumerate().any(|(i, (w, _))| i != *w) {
+        return None;
+    }
+    Some((layout, bufs.into_iter().map(|(_, t)| t).collect()))
 }
 
 /// Packs a tensor list into one flat buffer.
@@ -91,6 +171,15 @@ mod tests {
         assert_eq!(layout.tensor_count(), 3);
         let back = unpack(&buf, &layout);
         assert_eq!(back, tensors);
+    }
+
+    #[test]
+    fn layout_tensor_round_trip() {
+        let tensors = vec![Tensor::randn(&[2, 3], 1.0, 1), Tensor::randn(&[4], 1.0, 2)];
+        let (_, layout) = pack(&tensors);
+        let back = PackLayout::from_tensor(&layout.to_tensor()).unwrap();
+        assert_eq!(back, layout);
+        assert!(PackLayout::from_tensor(&Tensor::full(&[2], 9.0)).is_none());
     }
 
     #[test]

@@ -131,6 +131,29 @@ impl GradCompressor for Signum {
         let decode_time = t0.elapsed();
         (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
     }
+
+    fn state_snapshot(&self) -> Vec<(String, Tensor)> {
+        match &self.layout {
+            Some(layout) => crate::pack::snapshot_flat_state(layout, "mom", &self.momentum),
+            None => Vec::new(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &[(String, Tensor)]) -> bool {
+        if state.is_empty() {
+            self.layout = None;
+            self.momentum.clear();
+            return true;
+        }
+        match crate::pack::restore_flat_state(state, "mom") {
+            Some((layout, momentum)) => {
+                self.layout = Some(layout);
+                self.momentum = momentum;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +209,22 @@ mod tests {
             last = o[0].as_slice()[0];
         }
         assert_eq!(last, -1.0);
+    }
+
+    #[test]
+    fn snapshot_restore_carries_momentum() {
+        let grads: Vec<Vec<Tensor>> =
+            (0..2).map(|w| vec![Tensor::randn(&[4, 3], 1.0, 40 + w)]).collect();
+        let mut a = Signum::new(0.9);
+        for _ in 0..3 {
+            let _ = a.round(&grads);
+        }
+        let snap = a.state_snapshot();
+        assert!(!snap.is_empty());
+        let mut b = Signum::new(0.9);
+        assert!(b.restore_state(&snap));
+        assert_eq!(a.round(&grads).0, b.round(&grads).0);
+        assert!(!b.restore_state(&[("garbage".into(), Tensor::zeros(&[1]))]));
     }
 
     #[test]

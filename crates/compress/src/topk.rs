@@ -96,6 +96,29 @@ impl GradCompressor for TopK {
         let decode_time = t0.elapsed();
         (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
     }
+
+    fn state_snapshot(&self) -> Vec<(String, Tensor)> {
+        match &self.layout {
+            Some(layout) => crate::pack::snapshot_flat_state(layout, "mem", &self.memory),
+            None => Vec::new(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &[(String, Tensor)]) -> bool {
+        if state.is_empty() {
+            self.layout = None;
+            self.memory.clear();
+            return true;
+        }
+        match crate::pack::restore_flat_state(state, "mem") {
+            Some((layout, memory)) => {
+                self.layout = Some(layout);
+                self.memory = memory;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +169,21 @@ mod tests {
         let (out, _) = c.round(&[vec![g.clone()]]);
         let sum = &out[0] + &c.memory[0];
         assert!(l2_norm(&(&sum - &g)) < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_restore_carries_residuals() {
+        let grads: Vec<Vec<Tensor>> =
+            (0..2).map(|w| vec![Tensor::randn(&[4, 4], 1.0, 50 + w)]).collect();
+        let mut a = TopK::new(0.25);
+        for _ in 0..3 {
+            let _ = a.round(&grads);
+        }
+        let snap = a.state_snapshot();
+        assert!(!snap.is_empty());
+        let mut b = TopK::new(0.25);
+        assert!(b.restore_state(&snap));
+        assert_eq!(a.round(&grads).0, b.round(&grads).0);
     }
 
     #[test]

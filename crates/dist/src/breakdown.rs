@@ -21,6 +21,9 @@ pub struct EpochBreakdown {
     pub comm: Duration,
     /// Gradient decoding/aggregation.
     pub decode: Duration,
+    /// Steps skipped by the non-finite-gradient guard (compute was paid,
+    /// but no synchronization or update happened).
+    pub skipped_steps: usize,
 }
 
 impl EpochBreakdown {
@@ -29,8 +32,9 @@ impl EpochBreakdown {
         self.compute + self.encode + self.comm + self.decode
     }
 
-    /// Scales every component (e.g. extrapolating from a measured subset of
-    /// batches to a full epoch).
+    /// Scales every time component (e.g. extrapolating from a measured
+    /// subset of batches to a full epoch). `skipped_steps` is a count, not
+    /// a time, and is left untouched.
     pub fn scaled(&self, factor: f64) -> EpochBreakdown {
         let s = |d: Duration| Duration::from_secs_f64(d.as_secs_f64() * factor);
         EpochBreakdown {
@@ -38,6 +42,7 @@ impl EpochBreakdown {
             encode: s(self.encode),
             comm: s(self.comm),
             decode: s(self.decode),
+            skipped_steps: self.skipped_steps,
         }
     }
 }
@@ -76,11 +81,26 @@ impl BreakdownAccumulator {
         compute: Duration,
         stats: &RoundStats,
     ) {
+        let comm = round_comm_time(profile, compressor.aggregation(), stats);
+        self.record_with_comm(comm, compute, stats);
+    }
+
+    /// Records one round with an explicitly priced communication time —
+    /// used by the trainer when the effective profile varies per round
+    /// (surviving member set, heterogeneous links, comm jitter).
+    pub fn record_with_comm(&mut self, comm: Duration, compute: Duration, stats: &RoundStats) {
         self.acc.compute += compute;
         self.acc.encode += stats.encode_time;
         self.acc.decode += stats.decode_time;
-        self.acc.comm += round_comm_time(profile, compressor.aggregation(), stats);
+        self.acc.comm += comm;
         self.rounds += 1;
+    }
+
+    /// Records a step skipped by the non-finite-gradient guard: compute
+    /// happened, but no round was played.
+    pub fn record_skipped(&mut self, compute: Duration) {
+        self.acc.compute += compute;
+        self.acc.skipped_steps += 1;
     }
 
     /// Number of recorded rounds.
@@ -103,6 +123,12 @@ impl BreakdownAccumulator {
 /// straggler).
 ///
 /// Returns the epoch's breakdown and the mean training loss.
+///
+/// # Errors
+///
+/// Returns [`DistError::BatchTooSmall`] if a batch cannot feed `nodes`
+/// shards and [`DistError::WorkerFailed`] if a loss evaluation rejects its
+/// inputs.
 pub fn measure_sequential_epoch<M: Layer>(
     model: &mut M,
     global_batches: &[(Tensor, Vec<usize>)],
@@ -110,7 +136,7 @@ pub fn measure_sequential_epoch<M: Layer>(
     compressor: &mut dyn GradCompressor,
     profile: &ClusterProfile,
     lr: f32,
-) -> (EpochBreakdown, f32) {
+) -> DistResult<(EpochBreakdown, f32)> {
     use puffer_nn::loss::softmax_cross_entropy;
     let mut acc = BreakdownAccumulator::new();
     let mut loss_sum = 0.0f64;
@@ -121,11 +147,12 @@ pub fn measure_sequential_epoch<M: Layer>(
         let mut slowest = Duration::ZERO;
         let mut loss_mean = 0.0f32;
         for w in 0..nodes {
-            let (images, labels) = crate::trainer::shard_batch(batch, w, nodes);
+            let (images, labels) = crate::trainer::shard_batch(batch, w, nodes)?;
             let t0 = Instant::now();
             model.zero_grad();
             let logits = model.forward(&images, Mode::Train);
-            let (loss, dl) = softmax_cross_entropy(&logits, &labels, 0.0).expect("valid labels");
+            let (loss, dl) = softmax_cross_entropy(&logits, &labels, 0.0)
+                .map_err(|e| DistError::WorkerFailed { worker: w, reason: e.to_string() })?;
             let _ = model.backward(&dl);
             slowest = slowest.max(t0.elapsed());
             loss_mean += loss / nodes as f32;
@@ -141,9 +168,10 @@ pub fn measure_sequential_epoch<M: Layer>(
         loss_sum += loss_mean as f64;
         steps += 1;
     }
-    (acc.breakdown(), (loss_sum / steps.max(1) as f64) as f32)
+    Ok((acc.breakdown(), (loss_sum / steps.max(1) as f64) as f32))
 }
 
+use crate::error::{DistError, DistResult};
 use puffer_nn::layer::{Layer, Mode};
 use puffer_tensor::Tensor;
 use std::time::Instant;
@@ -162,9 +190,12 @@ mod tests {
             encode: Duration::from_millis(1),
             comm: Duration::from_millis(5),
             decode: Duration::from_millis(2),
+            skipped_steps: 3,
         };
         assert_eq!(b.total(), Duration::from_millis(18));
         assert_eq!(b.scaled(2.0).total(), Duration::from_millis(36));
+        // Skip counts are not times; scaling leaves them alone.
+        assert_eq!(b.scaled(2.0).skipped_steps, 3);
     }
 
     #[test]

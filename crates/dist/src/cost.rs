@@ -63,6 +63,87 @@ impl ClusterProfile {
     }
 }
 
+/// A **heterogeneous** cluster: per-node α/β plus seeded per-round jitter.
+///
+/// Real deployments are rarely the homogeneous testbed of
+/// [`ClusterProfile`]: one node on a congested rack sees higher latency
+/// and lower bandwidth, and a synchronous collective runs at the pace of
+/// its **slowest** member. `HeteroProfile` models that, and — because it
+/// is indexed by node id — it also prices the *surviving* member set after
+/// the trainer drops a crashed worker (graceful degradation keeps an
+/// accurate cost account).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroProfile {
+    /// Per-node message latency α in seconds.
+    pub alphas: Vec<f64>,
+    /// Per-node per-byte transfer time β in seconds.
+    pub betas: Vec<f64>,
+    /// Fractional per-round communication jitter: each round's comm time
+    /// is stretched by a seeded factor in `[1, 1 + comm_jitter]`.
+    pub comm_jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl HeteroProfile {
+    /// A heterogeneous profile where every node matches `base` (jitter
+    /// off) — the identity extension of a homogeneous cluster.
+    pub fn uniform(base: ClusterProfile) -> Self {
+        HeteroProfile {
+            alphas: vec![base.alpha; base.nodes],
+            betas: vec![base.beta; base.nodes],
+            comm_jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Overrides one node's network parameters (a slow rack, a congested
+    /// uplink).
+    pub fn with_node(mut self, node: usize, alpha: f64, beta: f64) -> Self {
+        if node < self.alphas.len() {
+            self.alphas[node] = alpha;
+            self.betas[node] = beta;
+        }
+        self
+    }
+
+    /// Enables seeded per-round comm jitter.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> Self {
+        self.comm_jitter = jitter.max(0.0);
+        self.seed = seed;
+        self
+    }
+
+    /// Number of configured nodes.
+    pub fn nodes(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// The homogeneous profile equivalent to running a synchronous
+    /// collective over the member subset `live`: the slowest member's α
+    /// and β dominate, and `p` is the survivor count.
+    pub fn effective(&self, live: &[usize]) -> ClusterProfile {
+        let mut alpha = 0.0f64;
+        let mut beta = 0.0f64;
+        for &n in live {
+            if n < self.alphas.len() {
+                alpha = alpha.max(self.alphas[n]);
+                beta = beta.max(self.betas[n]);
+            }
+        }
+        ClusterProfile { alpha, beta, nodes: live.len() }
+    }
+
+    /// Deterministic per-round jitter factor in `[1, 1 + comm_jitter]`.
+    pub fn jitter_factor(&self, round: u64) -> f64 {
+        if self.comm_jitter <= 0.0 {
+            return 1.0;
+        }
+        1.0 + self.comm_jitter
+            * crate::fault::unit_in_01(self.seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +195,43 @@ mod tests {
         let packed = c.allreduce(total);
         let unpacked = c.allreduce_per_layer(&layers);
         assert!(unpacked > packed * 5, "packed {packed:?} unpacked {unpacked:?}");
+    }
+
+    #[test]
+    fn hetero_effective_is_slowest_member() {
+        let base = ClusterProfile::p3_like(4);
+        let h = HeteroProfile::uniform(base).with_node(2, 200e-6, 8.0 / 1e9);
+        // With the slow node in the set, its α and the worst β dominate.
+        let all = h.effective(&[0, 1, 2, 3]);
+        assert_eq!(all.nodes, 4);
+        assert_eq!(all.alpha, 200e-6);
+        assert_eq!(all.beta, 8.0 / 1e9);
+        // Dropping the slow node restores the base parameters at p = 3.
+        let survivors = h.effective(&[0, 1, 3]);
+        assert_eq!(survivors.nodes, 3);
+        assert_eq!(survivors.alpha, base.alpha);
+        assert_eq!(survivors.beta, base.beta);
+    }
+
+    #[test]
+    fn hetero_uniform_matches_homogeneous_cost() {
+        let base = ClusterProfile::p3_like(8);
+        let h = HeteroProfile::uniform(base);
+        let live: Vec<usize> = (0..8).collect();
+        assert_eq!(h.effective(&live).allreduce(1 << 20), base.allreduce(1 << 20));
+        assert_eq!(h.jitter_factor(3), 1.0);
+    }
+
+    #[test]
+    fn jitter_factor_is_bounded_and_deterministic() {
+        let h = HeteroProfile::uniform(ClusterProfile::p3_like(4)).with_jitter(0.25, 9);
+        for round in 0..100u64 {
+            let f = h.jitter_factor(round);
+            assert!((1.0..=1.25).contains(&f), "round {round}: {f}");
+            assert_eq!(f, h.jitter_factor(round));
+        }
+        // Not constant across rounds.
+        assert_ne!(h.jitter_factor(0), h.jitter_factor(1));
     }
 
     #[test]

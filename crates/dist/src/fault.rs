@@ -1,0 +1,394 @@
+//! Deterministic fault injection for the data-parallel trainer.
+//!
+//! Real clusters are not the perfect testbed the paper's Figure 4 assumes:
+//! "Is Network the Bottleneck of Distributed Training?" (Zhang et al.)
+//! stresses that stragglers and failures, not just bandwidth, dominate
+//! deployments. A [`FaultPlan`] injects those scenarios into
+//! [`crate::trainer::train_data_parallel_with`] deterministically — every
+//! fault is a pure function of `(seed, worker, step)`, so a faulty run is
+//! exactly reproducible and checkpoint-resume stays bitwise stable.
+//!
+//! Injectable faults:
+//!
+//! * **compute slowdown / straggler jitter** — per-worker multiplicative
+//!   slowdown plus seeded multiplicative jitter, realized as a real sleep
+//!   and accounted as compute time;
+//! * **crash-at-step** — the worker thread exits before contributing;
+//! * **dropped messages** — a gradient message is lost on its first send
+//!   attempt ([`FaultPlan::with_drop`], recovered by the worker's bounded
+//!   resend) or on every attempt ([`FaultPlan::with_drop_all`], degraded
+//!   around by the aggregator's step timeout);
+//! * **bit corruption** — one seeded bit of the encoded message flips;
+//!   detected by the aggregator via [`message_checksum`] and the
+//!   contribution is discarded;
+//! * **non-finite gradients** — one element becomes `NaN`; the
+//!   aggregator's AMP-style guard skips the step.
+
+use puffer_tensor::Tensor;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Upper bound on a single injected compute delay, so an absurd slowdown
+/// factor cannot hang a run (the aggregator would time the worker out long
+/// before this anyway).
+pub const MAX_INJECTED_DELAY: Duration = Duration::from_secs(5);
+
+const SALT_JITTER: u64 = 0x9e37_79b9_7f4a_7c15;
+const SALT_CORRUPT: u64 = 0xbf58_476d_1ce4_e5b9;
+const SALT_DROP: u64 = 0x94d0_49bb_1331_11eb;
+
+/// SplitMix64: the deterministic hash behind every seeded fault decision.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic uniform value in `[0, 1)` from a seed.
+pub(crate) fn unit_in_01(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic, seedable plan of faults to inject into one run.
+///
+/// The empty plan ([`FaultPlan::none`]) injects nothing and adds no
+/// overhead beyond a few map lookups per step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-worker compute slowdown factor (≥ 1.0).
+    slowdown: BTreeMap<usize, f64>,
+    /// Fractional straggler jitter applied to every worker's compute.
+    jitter: f64,
+    /// Worker → step at which it crashes (exits before contributing).
+    crashes: BTreeMap<usize, usize>,
+    /// Messages lost on the first send attempt only (resend recovers).
+    drop_once: BTreeSet<(usize, usize)>,
+    /// Messages lost on every attempt (the contribution is gone).
+    drop_all: BTreeSet<(usize, usize)>,
+    /// Per-attempt random drop probability.
+    drop_prob: f64,
+    /// Messages whose payload gets one flipped bit.
+    corrupt: BTreeSet<(usize, usize)>,
+    /// Gradients that turn non-finite (AMP-overflow style).
+    nonfinite: BTreeSet<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan with a seed for the randomized faults (jitter,
+    /// probabilistic drops, corruption sites).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::default() }
+    }
+
+    /// Slows `worker`'s compute by `factor` (≥ 1.0; values below 1 are
+    /// clamped to 1).
+    pub fn with_slowdown(mut self, worker: usize, factor: f64) -> Self {
+        self.slowdown.insert(worker, factor.max(1.0));
+        self
+    }
+
+    /// Adds multiplicative compute jitter: every worker's per-step compute
+    /// is stretched by a seeded factor in `[1, 1 + jitter]`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.max(0.0);
+        self
+    }
+
+    /// Crashes `worker` at `step`: its thread exits without contributing
+    /// to that or any later step.
+    pub fn with_crash(mut self, worker: usize, step: usize) -> Self {
+        self.crashes.insert(worker, step);
+        self
+    }
+
+    /// Drops `worker`'s step-`step` gradient message on the first send
+    /// attempt; the worker's bounded resend recovers it.
+    pub fn with_drop(mut self, worker: usize, step: usize) -> Self {
+        self.drop_once.insert((worker, step));
+        self
+    }
+
+    /// Drops `worker`'s step-`step` gradient message on **every** attempt;
+    /// the aggregator degrades around the lost contribution.
+    pub fn with_drop_all(mut self, worker: usize, step: usize) -> Self {
+        self.drop_all.insert((worker, step));
+        self
+    }
+
+    /// Drops any message with probability `p` per send attempt (seeded).
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Flips one seeded bit of `worker`'s step-`step` message payload.
+    pub fn with_corrupt(mut self, worker: usize, step: usize) -> Self {
+        self.corrupt.insert((worker, step));
+        self
+    }
+
+    /// Makes one element of `worker`'s step-`step` gradient `NaN`.
+    pub fn with_nonfinite(mut self, worker: usize, step: usize) -> Self {
+        self.nonfinite.insert((worker, step));
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default() || (self == &Self::new(self.seed))
+    }
+
+    fn mix(&self, salt: u64, worker: usize, step: usize) -> u64 {
+        splitmix64(
+            self.seed
+                ^ salt
+                ^ (worker as u64).wrapping_mul(0xa076_1d64_78bd_642f)
+                ^ (step as u64).wrapping_mul(0xe703_7ed1_a0b4_28db),
+        )
+    }
+
+    /// Extra compute delay for `worker` at `step` given its measured
+    /// compute time: `(slowdown − 1 + jitter·u)·measured`, capped at
+    /// [`MAX_INJECTED_DELAY`]. Deterministic in `(seed, worker, step)`.
+    pub fn compute_delay(&self, worker: usize, step: usize, measured: Duration) -> Duration {
+        let factor = self.slowdown.get(&worker).copied().unwrap_or(1.0);
+        let jitter = if self.jitter > 0.0 {
+            self.jitter * unit_in_01(self.mix(SALT_JITTER, worker, step))
+        } else {
+            0.0
+        };
+        let stretch = (factor - 1.0) + jitter;
+        if stretch <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(measured.as_secs_f64() * stretch).min(MAX_INJECTED_DELAY)
+    }
+
+    /// Whether `worker` crashes at (or before) `step`.
+    pub fn should_crash(&self, worker: usize, step: usize) -> bool {
+        self.crashes.get(&worker).is_some_and(|&s| step >= s)
+    }
+
+    /// Whether `worker`'s step-`step` message is lost on send `attempt`.
+    pub fn drops_message(&self, worker: usize, step: usize, attempt: u32) -> bool {
+        if self.drop_all.contains(&(worker, step)) {
+            return true;
+        }
+        if attempt == 0 && self.drop_once.contains(&(worker, step)) {
+            return true;
+        }
+        self.drop_prob > 0.0
+            && unit_in_01(self.mix(SALT_DROP ^ u64::from(attempt), worker, step)) < self.drop_prob
+    }
+
+    /// Applies bit corruption to an outgoing message (call **after**
+    /// checksumming, so the receiver can detect it). Returns whether a bit
+    /// was flipped.
+    pub fn corrupt_message(&self, worker: usize, step: usize, grads: &mut [Tensor]) -> bool {
+        if !self.corrupt.contains(&(worker, step)) {
+            return false;
+        }
+        let total: usize = grads.iter().map(Tensor::len).sum();
+        if total == 0 {
+            return false;
+        }
+        let h = self.mix(SALT_CORRUPT, worker, step);
+        let mut target = (h as usize) % total;
+        let bit = (h >> 48) as u32 % 32;
+        for g in grads.iter_mut() {
+            if target < g.len() {
+                let s = g.as_mut_slice();
+                s[target] = f32::from_bits(s[target].to_bits() ^ (1 << bit));
+                return true;
+            }
+            target -= g.len();
+        }
+        false
+    }
+
+    /// Injects a `NaN` into an outgoing gradient (before checksumming: the
+    /// worker "really" computed it, as under AMP overflow). Returns whether
+    /// an element was poisoned.
+    pub fn inject_nonfinite(&self, worker: usize, step: usize, grads: &mut [Tensor]) -> bool {
+        if !self.nonfinite.contains(&(worker, step)) {
+            return false;
+        }
+        for g in grads.iter_mut() {
+            if !g.is_empty() {
+                g.as_mut_slice()[0] = f32::NAN;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// FNV-1a over the bit patterns of every element of a gradient message —
+/// the integrity check the aggregator uses to reject bit-corrupted
+/// contributions.
+pub fn message_checksum(grads: &[Tensor]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for g in grads {
+        h ^= g.len() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        for &v in g.as_slice() {
+            h ^= u64::from(v.to_bits());
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Whether any element of any gradient is non-finite (the AMP-style skip
+/// guard's predicate).
+pub fn any_nonfinite(grads: &[Tensor]) -> bool {
+    grads.iter().any(|g| g.as_slice().iter().any(|v| !v.is_finite()))
+}
+
+/// What actually happened during a faulty run — the trainer's account of
+/// every degradation it absorbed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Workers detected dead, with the step of detection.
+    pub crashed: Vec<(usize, usize)>,
+    /// Steps skipped by the non-finite-gradient guard.
+    pub skipped_steps: Vec<usize>,
+    /// Contributions lost to timeouts (persistent drops or stragglers that
+    /// outlasted the bounded retries).
+    pub lost_contributions: usize,
+    /// Contributions rejected by the checksum guard.
+    pub corrupted_messages: usize,
+    /// Late messages from a previous step, discarded on arrival.
+    pub stale_messages: usize,
+    /// Checkpoint snapshots that could not be collected from a leader.
+    pub checkpoint_failures: usize,
+    /// Workers still alive at the end of the run.
+    pub survivors: usize,
+}
+
+impl FaultReport {
+    /// Whether the run saw no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        self.crashed.is_empty()
+            && self.skipped_steps.is_empty()
+            && self.lost_contributions == 0
+            && self.corrupted_messages == 0
+            && self.stale_messages == 0
+            && self.checkpoint_failures == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(!p.should_crash(0, 0));
+        assert!(!p.drops_message(0, 0, 0));
+        assert_eq!(p.compute_delay(0, 0, Duration::from_millis(10)), Duration::ZERO);
+        let mut g = vec![Tensor::full(&[4], 1.0)];
+        assert!(!p.corrupt_message(0, 0, &mut g));
+        assert!(!p.inject_nonfinite(0, 0, &mut g));
+        assert_eq!(g[0].as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn slowdown_scales_measured_compute() {
+        let p = FaultPlan::new(1).with_slowdown(2, 3.0);
+        let d = p.compute_delay(2, 5, Duration::from_millis(10));
+        assert_eq!(d, Duration::from_millis(20)); // (3−1)×10ms
+        assert_eq!(p.compute_delay(0, 5, Duration::from_millis(10)), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = FaultPlan::new(7).with_jitter(0.5);
+        let m = Duration::from_millis(100);
+        let a = p.compute_delay(1, 3, m);
+        let b = p.compute_delay(1, 3, m);
+        assert_eq!(a, b, "same (seed, worker, step) must give the same jitter");
+        assert!(a <= Duration::from_millis(50), "jitter delay {a:?} exceeds 0.5×measured");
+        // Different steps decorrelate.
+        let c = p.compute_delay(1, 4, m);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn injected_delay_is_capped() {
+        let p = FaultPlan::new(1).with_slowdown(0, 1e9);
+        assert_eq!(p.compute_delay(0, 0, Duration::from_secs(1)), MAX_INJECTED_DELAY);
+    }
+
+    #[test]
+    fn crash_is_sticky_from_its_step() {
+        let p = FaultPlan::new(1).with_crash(3, 5);
+        assert!(!p.should_crash(3, 4));
+        assert!(p.should_crash(3, 5));
+        assert!(p.should_crash(3, 9));
+        assert!(!p.should_crash(2, 9));
+    }
+
+    #[test]
+    fn drop_once_recovers_on_retry_drop_all_never() {
+        let p = FaultPlan::new(1).with_drop(0, 2).with_drop_all(1, 2);
+        assert!(p.drops_message(0, 2, 0));
+        assert!(!p.drops_message(0, 2, 1), "resend of a drop-once message must succeed");
+        for attempt in 0..5 {
+            assert!(p.drops_message(1, 2, attempt));
+        }
+        assert!(!p.drops_message(0, 3, 0));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_and_checksum_catches_it() {
+        let p = FaultPlan::new(42).with_corrupt(1, 0);
+        let mut grads = vec![Tensor::randn(&[3, 4], 1.0, 9), Tensor::randn(&[5], 1.0, 10)];
+        let before = grads.clone();
+        let sum = message_checksum(&grads);
+        assert!(p.corrupt_message(1, 0, &mut grads));
+        assert_ne!(message_checksum(&grads), sum);
+        let diffs: usize = grads
+            .iter()
+            .zip(&before)
+            .flat_map(|(a, b)| a.as_slice().iter().zip(b.as_slice()))
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn nan_injection_detected_by_guard() {
+        let p = FaultPlan::new(1).with_nonfinite(0, 1);
+        let mut grads = vec![Tensor::full(&[3], 2.0)];
+        assert!(!any_nonfinite(&grads));
+        assert!(p.inject_nonfinite(0, 1, &mut grads));
+        assert!(any_nonfinite(&grads));
+    }
+
+    #[test]
+    fn checksum_is_order_and_value_sensitive() {
+        let a = vec![Tensor::full(&[2], 1.0), Tensor::full(&[2], 2.0)];
+        let b = vec![Tensor::full(&[2], 2.0), Tensor::full(&[2], 1.0)];
+        assert_ne!(message_checksum(&a), message_checksum(&b));
+        assert_eq!(message_checksum(&a), message_checksum(&a.clone()));
+    }
+
+    #[test]
+    fn drop_prob_is_seeded_and_roughly_calibrated() {
+        let p = FaultPlan::new(3).with_drop_prob(0.3);
+        let hits = (0..1000).filter(|&s| p.drops_message(0, s, 0)).count();
+        assert!((200..400).contains(&hits), "30% drop rate wildly off: {hits}/1000");
+        let q = FaultPlan::new(3).with_drop_prob(0.3);
+        let hits2 = (0..1000).filter(|&s| q.drops_message(0, s, 0)).count();
+        assert_eq!(hits, hits2, "same seed must give same drop pattern");
+    }
+}

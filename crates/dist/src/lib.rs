@@ -20,9 +20,21 @@
 //!   (crossbeam workers, shared-memory allreduce) whose workers compute
 //!   real gradients on data shards; under an exact compressor it is
 //!   step-equivalent to single-process training.
+//!
+//! The trainer is **fault-tolerant**: [`fault`] injects deterministic
+//! seeded faults (stragglers, crashes, dropped/corrupted messages,
+//! non-finite gradients), [`error`] types every failure instead of
+//! panicking, and [`checkpoint`] freezes parameters, optimizer momentum,
+//! and compressor state for bitwise-identical resume. On a worker crash the
+//! aggregator drops the member, re-normalizes the gradient mean over the
+//! survivors, and re-prices communication for the surviving member set
+//! (optionally under a heterogeneous per-node α–β profile).
 
 pub mod breakdown;
+pub mod checkpoint;
 pub mod cost;
 pub mod ddp;
+pub mod error;
+pub mod fault;
 pub mod ring;
 pub mod trainer;

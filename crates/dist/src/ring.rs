@@ -164,6 +164,22 @@ mod tests {
     }
 
     #[test]
+    fn more_nodes_than_elements() {
+        // p > n leaves some chunks zero-width (consecutive chunk starts
+        // coincide); the sums must stay exact and the step count stays
+        // 2(p−1), with no step moving more than one element per node.
+        for (p, n) in [(6usize, 3usize), (8, 1), (5, 2)] {
+            let (mut buffers, expected) = random_buffers(p, n);
+            let trace = ring_allreduce(&mut buffers);
+            for b in &buffers {
+                assert_eq!(b, &expected, "p={p} n={n}");
+            }
+            assert_eq!(trace.steps(), 2 * (p - 1), "p={p} n={n}");
+            assert!(trace.step_bytes.iter().all(|&b| b <= 4), "p={p} n={n}: {trace:?}");
+        }
+    }
+
+    #[test]
     fn single_node_is_identity() {
         let mut buffers = vec![vec![1.0, 2.0, 3.0]];
         let trace = ring_allreduce(&mut buffers);

@@ -1,4 +1,4 @@
-//! A real multi-threaded data-parallel trainer.
+//! A real multi-threaded, fault-tolerant data-parallel trainer.
 //!
 //! `N` worker threads each hold an identical model replica and a shard of
 //! every global batch. Per step: workers compute real gradients
@@ -8,19 +8,36 @@
 //! with allreduce. Communication cost is accounted by the α–β model;
 //! computation and encode/decode are measured wall-clock.
 //!
+//! On top of that baseline the trainer is **fault-tolerant**
+//! ([`train_data_parallel_with`]): a seeded [`FaultPlan`] injects
+//! stragglers, crashes, dropped/corrupted messages and non-finite
+//! gradients, and the aggregator degrades gracefully instead of
+//! panicking — it times slow workers out with bounded retry/backoff,
+//! detects crashed workers by probing their channels, re-normalizes the
+//! gradient mean over the survivors, skips steps with non-finite
+//! gradients (AMP-style), and periodically checkpoints parameters +
+//! optimizer momentum + compressor state so a killed run can resume
+//! **bitwise identically** ([`crate::checkpoint::DistCheckpoint`]).
+//!
 //! Worker compute runs on `puffer-tensor`'s threaded kernels; for the
 //! duration of a run the tensor pool is capped so that
 //! `workers × pool threads` does not oversubscribe the hardware
-//! (`PUFFER_NUM_THREADS` still sets the outer bound).
+//! (`PUFFER_NUM_THREADS` still sets the outer bound). The cap is restored
+//! by an RAII guard even if the run errors.
 
-use crate::breakdown::{BreakdownAccumulator, EpochBreakdown};
+use crate::breakdown::{round_comm_time, BreakdownAccumulator, EpochBreakdown};
+use crate::checkpoint::DistCheckpoint;
 use crate::cost::ClusterProfile;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::error::{DistError, DistResult};
+use crate::fault::{any_nonfinite, message_checksum, FaultPlan, FaultReport};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use puffer_compress::GradCompressor;
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::Sgd;
 use puffer_tensor::Tensor;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Configuration of a data-parallel run.
@@ -50,6 +67,89 @@ impl DistConfig {
             profile: ClusterProfile::p3_like(workers),
         }
     }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidConfig`] for zero workers, non-finite
+    /// hyper-parameters, or a malformed cluster profile.
+    pub fn validate(&self) -> DistResult<()> {
+        if self.workers == 0 {
+            return Err(DistError::InvalidConfig { reason: "workers must be at least 1".into() });
+        }
+        for (name, v) in
+            [("lr", self.lr), ("momentum", self.momentum), ("weight_decay", self.weight_decay)]
+        {
+            if !v.is_finite() {
+                return Err(DistError::InvalidConfig {
+                    reason: format!("{name} must be finite, got {v}"),
+                });
+            }
+        }
+        let ok = self.profile.alpha.is_finite()
+            && self.profile.alpha >= 0.0
+            && self.profile.beta.is_finite()
+            && self.profile.beta >= 0.0;
+        if !ok {
+            return Err(DistError::InvalidConfig {
+                reason: "profile α/β must be finite and non-negative".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How the aggregator reacts to slow or silent workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// How long the aggregator waits for a step's contributions before
+    /// probing for crashes.
+    pub step_timeout: Duration,
+    /// How many timeout rounds to grant before declaring missing
+    /// contributions lost and degrading around them.
+    pub max_retries: u32,
+    /// Multiplicative backoff applied to the timeout per retry round.
+    pub backoff: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { step_timeout: Duration::from_secs(5), max_retries: 3, backoff: 2.0 }
+    }
+}
+
+impl RecoveryPolicy {
+    fn validate(&self) -> DistResult<()> {
+        if self.step_timeout == Duration::ZERO {
+            return Err(DistError::InvalidConfig {
+                reason: "step_timeout must be positive".into(),
+            });
+        }
+        if !self.backoff.is_finite() || self.backoff < 1.0 {
+            return Err(DistError::InvalidConfig { reason: "backoff must be ≥ 1".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Robustness knobs of a run: fault injection, recovery, heterogeneous
+/// cost accounting, and checkpoint/resume. The default is a clean run on a
+/// homogeneous cluster with no checkpointing — exactly the pre-fault
+/// trainer.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Faults to inject (deterministic, seeded).
+    pub faults: FaultPlan,
+    /// Timeout/retry policy for slow or dead workers.
+    pub recovery: RecoveryPolicy,
+    /// Per-node network parameters; `None` prices every round with
+    /// `cfg.profile` (node count still tracks the survivor set).
+    pub hetero: Option<crate::cost::HeteroProfile>,
+    /// Periodic checkpointing policy.
+    pub checkpoint: crate::checkpoint::CheckpointPolicy,
+    /// Resume from this checkpoint instead of starting at step 0.
+    pub resume: Option<DistCheckpoint>,
 }
 
 /// Result of a data-parallel run.
@@ -57,156 +157,580 @@ impl DistConfig {
 pub struct DistOutcome {
     /// Accumulated compute/encode/comm/decode decomposition.
     pub breakdown: EpochBreakdown,
-    /// Mean training loss per step.
+    /// Mean training loss per executed step (over the contributing
+    /// workers; `NaN` for steps where every contribution was lost).
     pub step_losses: Vec<f32>,
-    /// Final parameter values (all replicas are identical; worker 0's).
+    /// Final parameter values of the lowest-indexed surviving replica
+    /// (all survivors are bitwise identical).
     pub final_params: Vec<Tensor>,
+    /// Account of every degradation the run absorbed.
+    pub faults: FaultReport,
+    /// Paths of the checkpoints written during the run, in step order.
+    pub checkpoints: Vec<PathBuf>,
 }
 
-struct WorkerMsg {
+/// One worker's per-step gradient contribution.
+struct GradMsg {
     worker: usize,
+    step: usize,
     grads: Vec<Tensor>,
     loss: f32,
     compute: Duration,
+    checksum: u64,
+}
+
+enum WorkerMsg {
+    Grads(GradMsg),
+    Fatal { worker: usize, reason: String },
+}
+
+#[derive(Clone)]
+enum AggMsg {
+    /// Apply this aggregated gradient; if `snapshot`, report post-update
+    /// state for checkpointing.
+    Mean { grads: Vec<Tensor>, snapshot: bool },
+    /// Skip this step without updating (non-finite guard tripped or no
+    /// usable contribution survived).
+    Skip,
+    /// Liveness probe; carries no state change.
+    Ping,
 }
 
 /// Final parameters reported by a finished worker: `(worker index, params)`.
 type FinalParams = (usize, Vec<Tensor>);
 
-/// Runs synchronous data-parallel SGD over `global_batches`.
+/// Post-update state reported by the checkpoint leader:
+/// `(next step, params, velocity, buffers)`.
+type Snapshot = (usize, Vec<Tensor>, Vec<Tensor>, Vec<Tensor>);
+
+/// Restores the tensor pool width when the run ends, even on an error
+/// path (the old trainer leaked the cap when a worker panicked).
+struct PoolWidthGuard {
+    prev: usize,
+}
+
+impl PoolWidthGuard {
+    /// Caps the pool so `workers × pool threads` stays within the
+    /// hardware parallelism. Thread count never changes numerical results
+    /// (the pool's kernels are bitwise deterministic), only contention.
+    fn cap_for(n_workers: usize) -> Self {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let prev = puffer_tensor::pool::num_threads();
+        puffer_tensor::pool::set_num_threads((hw / n_workers.max(1)).max(1).min(prev));
+        PoolWidthGuard { prev }
+    }
+}
+
+impl Drop for PoolWidthGuard {
+    fn drop(&mut self) {
+        puffer_tensor::pool::set_num_threads(self.prev);
+    }
+}
+
+/// Runs synchronous data-parallel SGD over `global_batches` with no
+/// injected faults and default recovery (see
+/// [`train_data_parallel_with`]).
 ///
 /// `factory(worker)` must build **identical** replicas for every worker
 /// (same seed). Each global batch is split row-wise into equal worker
 /// shards (trailing remainder rows are dropped, as with PyTorch's
 /// DistributedSampler padding semantics).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cfg.workers` is zero or a batch has fewer rows than workers.
+/// Returns [`DistError::InvalidConfig`] / [`DistError::BatchTooSmall`] on
+/// bad inputs and the other [`DistError`] variants on runtime failures.
 pub fn train_data_parallel<M, F>(
     factory: F,
     global_batches: &[(Tensor, Vec<usize>)],
     compressor: &mut dyn GradCompressor,
     cfg: &DistConfig,
-) -> DistOutcome
+) -> DistResult<DistOutcome>
 where
     M: Layer + Send,
     F: Fn(usize) -> M + Sync,
 {
-    assert!(cfg.workers > 0, "need at least one worker");
+    train_data_parallel_with(factory, global_batches, compressor, cfg, &RunOptions::default())
+}
+
+/// Runs synchronous data-parallel SGD with fault injection, graceful
+/// degradation, heterogeneous cost accounting, and checkpoint/resume.
+///
+/// Fault semantics (see [`FaultPlan`]):
+///
+/// * **stragglers** stretch a worker's measured compute (a real sleep);
+///   the aggregator waits `recovery.step_timeout` with bounded
+///   retry/backoff, then degrades around the missing contribution;
+/// * **crashed** workers are detected by probing their channels; the
+///   member is dropped and the gradient mean is re-normalized over the
+///   survivors (the compression round only sees collected contributions);
+/// * **corrupted** messages fail their checksum and are discarded (the
+///   sender stays live);
+/// * **non-finite** gradients trip an AMP-style guard: the step is
+///   skipped on every replica (no optimizer update anywhere) and recorded
+///   in the breakdown, keeping replicas in lockstep.
+///
+/// The run errors only when it cannot possibly continue: every worker is
+/// dead, a worker reports a fatal error, a thread panics, or a checkpoint
+/// cannot be written.
+///
+/// # Errors
+///
+/// See [`DistError`].
+pub fn train_data_parallel_with<M, F>(
+    factory: F,
+    global_batches: &[(Tensor, Vec<usize>)],
+    compressor: &mut dyn GradCompressor,
+    cfg: &DistConfig,
+    opts: &RunOptions,
+) -> DistResult<DistOutcome>
+where
+    M: Layer + Send,
+    F: Fn(usize) -> M + Sync,
+{
+    cfg.validate()?;
+    opts.recovery.validate()?;
     let n_workers = cfg.workers;
     let steps = global_batches.len();
+    for b in global_batches {
+        let rows = b.1.len();
+        if rows < n_workers {
+            return Err(DistError::BatchTooSmall { rows, workers: n_workers });
+        }
+    }
+    let start_step = match &opts.resume {
+        Some(ck) => {
+            if ck.step > steps {
+                return Err(DistError::Checkpoint {
+                    reason: format!(
+                        "checkpoint resumes at step {} but the run has only {steps} batches",
+                        ck.step
+                    ),
+                });
+            }
+            if !compressor.restore_state(&ck.compressor) {
+                return Err(DistError::Checkpoint {
+                    reason: format!(
+                        "compressor {} rejected the checkpoint state",
+                        compressor.name()
+                    ),
+                });
+            }
+            ck.step
+        }
+        None => 0,
+    };
 
-    // Each worker thread drives the tensor worker pool from its own
-    // forward/backward, so cap the pool width to keep
-    // workers × pool-threads within the hardware parallelism. Thread count
-    // never changes numerical results (the pool's kernels are bitwise
-    // deterministic), only contention.
-    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let prev_pool_threads = puffer_tensor::pool::num_threads();
-    puffer_tensor::pool::set_num_threads((hw / n_workers).max(1).min(prev_pool_threads));
+    let _pool_guard = PoolWidthGuard::cap_for(n_workers);
 
     // Pre-split shards per worker.
     let shards: Vec<Vec<(Tensor, Vec<usize>)>> = (0..n_workers)
-        .map(|w| global_batches.iter().map(|b| shard_batch(b, w, n_workers)).collect())
-        .collect();
+        .map(|w| {
+            global_batches.iter().map(|b| shard_batch(b, w, n_workers)).collect::<DistResult<_>>()
+        })
+        .collect::<DistResult<_>>()?;
 
     let (to_agg, from_workers): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
-    let mut to_workers: Vec<Sender<Vec<Tensor>>> = Vec::new();
-    let mut worker_rx: Vec<Receiver<Vec<Tensor>>> = Vec::new();
+    let mut to_workers: Vec<Sender<AggMsg>> = Vec::new();
+    let mut worker_rx: Vec<Receiver<AggMsg>> = Vec::new();
     for _ in 0..n_workers {
         let (tx, rx) = unbounded();
         to_workers.push(tx);
         worker_rx.push(rx);
     }
     let (param_tx, param_rx): (Sender<FinalParams>, Receiver<FinalParams>) = unbounded();
+    let (snap_tx, snap_rx): (Sender<Snapshot>, Receiver<Snapshot>) = unbounded();
 
-    let mut acc = BreakdownAccumulator::new();
-    let mut step_losses = vec![0.0f32; steps];
-
-    crossbeam::scope(|scope| {
+    let args = AggArgs { cfg, opts, steps, start_step };
+    let agg = crossbeam::scope(|scope| {
         for (w, (shard, rx)) in shards.into_iter().zip(worker_rx.drain(..)).enumerate() {
             let to_agg = to_agg.clone();
             let param_tx = param_tx.clone();
+            let snap_tx = snap_tx.clone();
             let factory = &factory;
-            let cfg = cfg.clone();
             scope.spawn(move |_| {
-                let mut model = factory(w);
-                let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
-                for (images, labels) in &shard {
-                    let t0 = Instant::now();
-                    model.zero_grad();
-                    let logits = model.forward(images, Mode::Train);
-                    let (loss, dl) =
-                        softmax_cross_entropy(&logits, labels, 0.0).expect("valid labels");
-                    let _ = model.backward(&dl);
-                    let grads: Vec<Tensor> =
-                        model.params().iter().map(|p| p.grad.clone()).collect();
-                    let compute = t0.elapsed();
-                    to_agg.send(WorkerMsg { worker: w, grads, loss, compute }).expect("agg alive");
-                    // Receive the aggregated gradient and step.
-                    let mean = rx.recv().expect("aggregator alive");
+                let model = factory(w);
+                let ctx = WorkerCtx { worker: w, shard, rx, to_agg, param_tx, snap_tx, cfg, opts };
+                run_worker(ctx, model);
+            });
+        }
+        // The aggregator's receivers must be the only remaining handles so
+        // channel disconnects reflect worker death.
+        drop(to_agg);
+        drop(param_tx);
+        drop(snap_tx);
+        run_aggregator(&args, to_workers, &from_workers, &snap_rx, compressor)
+    })
+    .map_err(|_| DistError::WorkerPanicked)??;
+
+    // The lowest-indexed survivor's parameters stand for the run (all
+    // survivors applied identical updates).
+    let mut finals: Option<FinalParams> = None;
+    for (w, params) in param_rx.iter() {
+        let replace = match &finals {
+            Some((best, _)) => w < *best,
+            None => true,
+        };
+        if replace {
+            finals = Some((w, params));
+        }
+    }
+    let final_params = match finals {
+        Some((_, p)) => p,
+        None => return Err(DistError::AllWorkersDead { step: steps }),
+    };
+    Ok(DistOutcome {
+        breakdown: agg.breakdown,
+        step_losses: agg.step_losses,
+        final_params,
+        faults: agg.report,
+        checkpoints: agg.checkpoints,
+    })
+}
+
+struct WorkerCtx<'a> {
+    worker: usize,
+    shard: Vec<(Tensor, Vec<usize>)>,
+    rx: Receiver<AggMsg>,
+    to_agg: Sender<WorkerMsg>,
+    param_tx: Sender<FinalParams>,
+    snap_tx: Sender<Snapshot>,
+    cfg: &'a DistConfig,
+    opts: &'a RunOptions,
+}
+
+/// The worker loop. Never panics: channel failures mean the aggregator is
+/// gone (a fatal error elsewhere) and the worker just exits; its own
+/// fatal conditions are reported via [`WorkerMsg::Fatal`]. An injected
+/// crash exits without a word — the aggregator must *detect* it.
+fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
+    let w = ctx.worker;
+    let faults = &ctx.opts.faults;
+    let mut opt = Sgd::new(ctx.cfg.lr, ctx.cfg.momentum, ctx.cfg.weight_decay);
+    let mut start_step = 0;
+    if let Some(ck) = &ctx.opts.resume {
+        if !load_resume_state(&mut model, &mut opt, ck) {
+            let _ = ctx.to_agg.send(WorkerMsg::Fatal {
+                worker: w,
+                reason: "resume checkpoint does not match the model".into(),
+            });
+            return;
+        }
+        start_step = ck.step;
+    }
+    for (step, (images, labels)) in ctx.shard.iter().enumerate().skip(start_step) {
+        if faults.should_crash(w, step) {
+            return; // channels drop; the aggregator's probe sees the death
+        }
+        let t0 = Instant::now();
+        model.zero_grad();
+        let logits = model.forward(images, Mode::Train);
+        let (loss, dl) = match softmax_cross_entropy(&logits, labels, 0.0) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = ctx.to_agg.send(WorkerMsg::Fatal { worker: w, reason: e.to_string() });
+                return;
+            }
+        };
+        let _ = model.backward(&dl);
+        let mut grads: Vec<Tensor> = model.params().iter().map(|p| p.grad.clone()).collect();
+        let measured = t0.elapsed();
+        let delay = faults.compute_delay(w, step, measured);
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
+        }
+        let compute = measured + delay;
+        // Non-finite injection happens before checksumming (the worker
+        // "really" computed it); bit corruption after (it happens on the
+        // wire, so the checksum catches it).
+        faults.inject_nonfinite(w, step, &mut grads);
+        let checksum = message_checksum(&grads);
+        faults.corrupt_message(w, step, &mut grads);
+
+        let mut payload =
+            Some(WorkerMsg::Grads(GradMsg { worker: w, step, grads, loss, compute, checksum }));
+        let mut attempt = 0u32;
+        let sent = loop {
+            if !faults.drops_message(w, step, attempt) {
+                match payload.take() {
+                    Some(msg) => break ctx.to_agg.send(msg).is_ok(),
+                    None => break true,
+                }
+            }
+            if attempt >= ctx.opts.recovery.max_retries {
+                break true; // message lost for good; the aggregator degrades
+            }
+            attempt += 1;
+            std::thread::sleep(Duration::from_millis(u64::from(attempt)));
+        };
+        if !sent {
+            return;
+        }
+        // Wait for this step's verdict, consuming liveness probes.
+        loop {
+            match ctx.rx.recv() {
+                Ok(AggMsg::Ping) => {}
+                Ok(AggMsg::Skip) => break,
+                Ok(AggMsg::Mean { grads: mean, snapshot }) => {
                     for (p, g) in model.params_mut().into_iter().zip(mean) {
                         p.grad = g;
                     }
                     opt.step(&mut model.params_mut());
+                    if snapshot {
+                        let params = model.params().iter().map(|p| p.value.clone()).collect();
+                        let _ = ctx.snap_tx.send((
+                            step + 1,
+                            params,
+                            opt.velocity().to_vec(),
+                            model.buffers(),
+                        ));
+                    }
+                    break;
                 }
-                let finals: Vec<Tensor> = model.params().iter().map(|p| p.value.clone()).collect();
-                param_tx.send((w, finals)).expect("main alive");
-            });
-        }
-        drop(to_agg);
-        drop(param_tx);
-
-        // Aggregator loop on the calling thread.
-        for (step, loss_slot) in step_losses.iter_mut().enumerate() {
-            let mut msgs: Vec<WorkerMsg> =
-                (0..n_workers).map(|_| from_workers.recv().expect("workers alive")).collect();
-            msgs.sort_by_key(|m| m.worker);
-            *loss_slot = msgs.iter().map(|m| m.loss).sum::<f32>() / n_workers as f32;
-            let slowest = msgs.iter().map(|m| m.compute).max().unwrap_or_default();
-            let worker_grads: Vec<Vec<Tensor>> = msgs.into_iter().map(|m| m.grads).collect();
-            let (mean, stats) = compressor.round(&worker_grads);
-            acc.record(&cfg.profile, compressor, slowest, &stats);
-            for tx in &to_workers {
-                tx.send(mean.clone()).expect("worker alive");
+                Err(_) => return, // aggregator shut down
             }
-            let _ = step;
-        }
-        drop(to_workers);
-    })
-    .expect("worker thread panicked");
-
-    puffer_tensor::pool::set_num_threads(prev_pool_threads);
-
-    // Collect worker-0 final parameters.
-    let mut final_params = Vec::new();
-    for (w, params) in param_rx.iter() {
-        if w == 0 {
-            final_params = params;
         }
     }
-    DistOutcome { breakdown: acc.breakdown(), step_losses, final_params }
+    let finals: Vec<Tensor> = model.params().iter().map(|p| p.value.clone()).collect();
+    let _ = ctx.param_tx.send((w, finals));
+}
+
+/// Loads checkpointed parameters, buffers, and optimizer momentum into a
+/// freshly built replica. Returns `false` on any shape/count mismatch.
+fn load_resume_state<M: Layer>(model: &mut M, opt: &mut Sgd, ck: &DistCheckpoint) -> bool {
+    {
+        let mut params = model.params_mut();
+        if params.len() != ck.params.len() {
+            return false;
+        }
+        for (p, c) in params.iter_mut().zip(&ck.params) {
+            if p.value.shape() != c.shape() {
+                return false;
+            }
+            p.value = c.clone();
+        }
+    }
+    if model.buffers().len() != ck.buffers.len() {
+        return false;
+    }
+    if !ck.buffers.is_empty() {
+        model.load_buffers(&ck.buffers);
+    }
+    if !ck.velocity.is_empty() && ck.velocity.len() != ck.params.len() {
+        return false;
+    }
+    opt.set_velocity(ck.velocity.clone());
+    true
+}
+
+struct AggArgs<'a> {
+    cfg: &'a DistConfig,
+    opts: &'a RunOptions,
+    steps: usize,
+    start_step: usize,
+}
+
+struct AggOutput {
+    breakdown: EpochBreakdown,
+    step_losses: Vec<f32>,
+    report: FaultReport,
+    checkpoints: Vec<PathBuf>,
+}
+
+/// The aggregator loop: collects contributions with timeout/retry,
+/// detects crashes, re-normalizes the mean over survivors, prices the
+/// round for the surviving member set, and drives checkpointing.
+fn run_aggregator(
+    args: &AggArgs<'_>,
+    to_workers: Vec<Sender<AggMsg>>,
+    from_workers: &Receiver<WorkerMsg>,
+    snap_rx: &Receiver<Snapshot>,
+    compressor: &mut dyn GradCompressor,
+) -> DistResult<AggOutput> {
+    let recovery = &args.opts.recovery;
+    let mut live: BTreeSet<usize> = (0..to_workers.len()).collect();
+    let mut acc = BreakdownAccumulator::new();
+    let mut step_losses = Vec::with_capacity(args.steps.saturating_sub(args.start_step));
+    let mut report = FaultReport::default();
+    let mut checkpoints: Vec<PathBuf> = Vec::new();
+
+    for step in args.start_step..args.steps {
+        // ---- Collect this step's contributions from live workers. ----
+        let mut expected = live.clone();
+        let mut got: BTreeMap<usize, GradMsg> = BTreeMap::new();
+        let mut timeout = recovery.step_timeout;
+        let mut retries = 0u32;
+        while got.len() < expected.len() {
+            match from_workers.recv_timeout(timeout) {
+                Ok(WorkerMsg::Fatal { worker, reason }) => {
+                    return Err(DistError::WorkerFailed { worker, reason });
+                }
+                Ok(WorkerMsg::Grads(m)) => {
+                    if m.step != step || !expected.contains(&m.worker) {
+                        // A straggler's contribution from an already-closed
+                        // step (or a duplicate): discard.
+                        report.stale_messages += 1;
+                    } else if message_checksum(&m.grads) != m.checksum {
+                        // Bit corruption on the wire: reject the
+                        // contribution, keep the worker.
+                        report.corrupted_messages += 1;
+                        expected.remove(&m.worker);
+                    } else {
+                        got.insert(m.worker, m);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Probe the missing members: a crashed worker dropped
+                    // its receiver, so the probe send fails.
+                    let missing: Vec<usize> =
+                        expected.iter().copied().filter(|x| !got.contains_key(x)).collect();
+                    for x in missing {
+                        if to_workers[x].send(AggMsg::Ping).is_err() {
+                            expected.remove(&x);
+                            live.remove(&x);
+                            report.crashed.push((x, step));
+                        }
+                    }
+                    if live.is_empty() {
+                        return Err(DistError::AllWorkersDead { step });
+                    }
+                    if got.len() >= expected.len() {
+                        break; // crashes explained every missing member
+                    }
+                    retries += 1;
+                    if retries > recovery.max_retries {
+                        report.lost_contributions += expected.len() - got.len();
+                        break; // degrade: proceed with what arrived
+                    }
+                    timeout = Duration::from_secs_f64(timeout.as_secs_f64() * recovery.backoff);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(DistError::AllWorkersDead { step });
+                }
+            }
+        }
+        if live.is_empty() {
+            return Err(DistError::AllWorkersDead { step });
+        }
+
+        let slowest = got.values().map(|m| m.compute).max().unwrap_or_default();
+        let loss_mean = if got.is_empty() {
+            f32::NAN
+        } else {
+            got.values().map(|m| m.loss).sum::<f32>() / got.len() as f32
+        };
+
+        // ---- AMP-style guard: a poisoned gradient (or a round with no
+        // usable contribution) skips the step on every replica. ----
+        if got.is_empty() || got.values().any(|m| any_nonfinite(&m.grads)) {
+            for x in live.clone() {
+                if to_workers[x].send(AggMsg::Skip).is_err() {
+                    live.remove(&x);
+                    report.crashed.push((x, step));
+                }
+            }
+            report.skipped_steps.push(step);
+            acc.record_skipped(slowest);
+            step_losses.push(loss_mean);
+            continue;
+        }
+
+        // ---- One compression round over the collected contributions.
+        // `got` is keyed by worker id, so the round sees survivors in
+        // id order and the mean is automatically re-normalized to the
+        // contributing member count. ----
+        let contributions: Vec<Vec<Tensor>> = got.into_values().map(|m| m.grads).collect();
+        let (mean, stats) = compressor.round(&contributions);
+
+        // ---- Price the round for the *surviving* member set. ----
+        let live_vec: Vec<usize> = live.iter().copied().collect();
+        let (profile, jitter) = match &args.opts.hetero {
+            Some(h) => (h.effective(&live_vec), h.jitter_factor(step as u64)),
+            None => (ClusterProfile { nodes: live.len(), ..args.cfg.profile }, 1.0),
+        };
+        let comm = round_comm_time(&profile, compressor.aggregation(), &stats).mul_f64(jitter);
+        acc.record_with_comm(comm, slowest, &stats);
+        step_losses.push(loss_mean);
+
+        // ---- Broadcast the verdict; the lowest-indexed survivor doubles
+        // as checkpoint leader. ----
+        let next_step = step + 1;
+        let want_ckpt =
+            args.opts.checkpoint.is_enabled() && next_step % args.opts.checkpoint.every == 0;
+        let leader = live.iter().next().copied();
+        for x in live.clone() {
+            let snapshot = want_ckpt && Some(x) == leader;
+            if to_workers[x].send(AggMsg::Mean { grads: mean.clone(), snapshot }).is_err() {
+                live.remove(&x);
+                report.crashed.push((x, step));
+            }
+        }
+
+        if want_ckpt {
+            let deadline = recovery.step_timeout * (recovery.max_retries + 1);
+            let leader_alive = leader.is_some_and(|l| live.contains(&l));
+            let collected = if leader_alive {
+                snap_rx.recv_timeout(deadline).ok().filter(|(s, ..)| *s == next_step)
+            } else {
+                None
+            };
+            match collected {
+                Some((s, params, velocity, buffers)) => {
+                    let ck = DistCheckpoint {
+                        step: s,
+                        params,
+                        velocity,
+                        buffers,
+                        compressor: compressor.state_snapshot(),
+                    };
+                    if let Some(path) = args.opts.checkpoint.path_for(s) {
+                        ck.save(&path)?;
+                        checkpoints.push(path);
+                    }
+                }
+                None => report.checkpoint_failures += 1,
+            }
+        }
+    }
+    report.survivors = live.len();
+    Ok(AggOutput { breakdown: acc.breakdown(), step_losses, report, checkpoints })
 }
 
 /// Extracts worker `w`'s rows of a global batch (rows split evenly;
 /// remainder rows dropped).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the batch has fewer rows than workers.
-pub fn shard_batch(batch: &(Tensor, Vec<usize>), w: usize, workers: usize) -> (Tensor, Vec<usize>) {
+/// Returns [`DistError::BatchTooSmall`] if the batch has fewer rows than
+/// workers and [`DistError::Shard`] on shape arithmetic failures.
+pub fn shard_batch(
+    batch: &(Tensor, Vec<usize>),
+    w: usize,
+    workers: usize,
+) -> DistResult<(Tensor, Vec<usize>)> {
     let (images, labels) = batch;
     let n = labels.len();
+    if workers == 0 {
+        return Err(DistError::InvalidConfig { reason: "workers must be at least 1".into() });
+    }
+    if w >= workers {
+        return Err(DistError::Shard {
+            reason: format!("worker {w} out of range for {workers} shards"),
+        });
+    }
     let per = n / workers;
-    assert!(per > 0, "batch of {n} rows cannot feed {workers} workers");
+    if per == 0 {
+        return Err(DistError::BatchTooSmall { rows: n, workers });
+    }
     let start = w * per;
     let end = start + per;
     let row_len = images.len() / n;
     let data = images.as_slice()[start * row_len..end * row_len].to_vec();
     let mut shape = images.shape().to_vec();
     shape[0] = per;
-    (Tensor::from_vec(data, &shape).expect("shard shape"), labels[start..end].to_vec())
+    let shard =
+        Tensor::from_vec(data, &shape).map_err(|e| DistError::Shard { reason: e.to_string() })?;
+    Ok((shard, labels[start..end].to_vec()))
 }
 
 #[cfg(test)]
@@ -250,7 +774,9 @@ mod tests {
             profile: ClusterProfile::zero_cost(2),
         };
         let mut comp = NoCompression::new();
-        let out = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg);
+        let out = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg).unwrap();
+        assert!(out.faults.is_clean(), "clean run must report no faults: {:?}", out.faults);
+        assert_eq!(out.faults.survivors, 2);
 
         // Reference: single process on the full batches.
         let mut model = mlp(1);
@@ -282,9 +808,9 @@ mod tests {
             profile: ClusterProfile::zero_cost(4),
         };
         let mut comp = NoCompression::new();
-        let a = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg);
+        let a = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg).unwrap();
         let mut comp = NoCompression::new();
-        let b = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg);
+        let b = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg).unwrap();
         assert_eq!(a.final_params, b.final_params, "run must be deterministic");
         assert_eq!(a.step_losses.len(), 4);
     }
@@ -300,7 +826,7 @@ mod tests {
             profile: ClusterProfile::p3_like(2),
         };
         let mut comp = PowerSgd::new(2, 9);
-        let out = train_data_parallel(|_| mlp(5), &batches, &mut comp, &cfg);
+        let out = train_data_parallel(|_| mlp(5), &batches, &mut comp, &cfg).unwrap();
         let early: f32 = out.step_losses[..5].iter().sum::<f32>() / 5.0;
         let late: f32 = out.step_losses[25..].iter().sum::<f32>() / 5.0;
         assert!(late < early, "PowerSGD training diverged: {early} -> {late}");
@@ -318,13 +844,12 @@ mod tests {
             profile: ClusterProfile::p3_like(4),
         };
         let mut comp = Signum::new(0.9);
-        let out = train_data_parallel(|_| mlp(7), &batches, &mut comp, &cfg);
+        let out = train_data_parallel(|_| mlp(7), &batches, &mut comp, &cfg).unwrap();
         assert!(out.breakdown.comm > Duration::ZERO);
         assert!(out.breakdown.decode > Duration::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "cannot feed")]
     fn undersized_batch_rejected() {
         let batches = synthetic_batches(1, 2);
         let cfg = DistConfig {
@@ -335,6 +860,63 @@ mod tests {
             profile: ClusterProfile::zero_cost(4),
         };
         let mut comp = NoCompression::new();
-        let _ = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg);
+        let err = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg).unwrap_err();
+        assert_eq!(err, DistError::BatchTooSmall { rows: 2, workers: 4 });
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = DistConfig::p3(2, 0.1);
+        cfg.workers = 0;
+        assert!(matches!(cfg.validate(), Err(DistError::InvalidConfig { .. })));
+        let mut cfg = DistConfig::p3(2, f32::NAN);
+        assert!(matches!(cfg.validate(), Err(DistError::InvalidConfig { .. })));
+        cfg = DistConfig::p3(2, 0.1);
+        cfg.momentum = f32::INFINITY;
+        assert!(matches!(cfg.validate(), Err(DistError::InvalidConfig { .. })));
+        cfg = DistConfig::p3(2, 0.1);
+        cfg.profile.alpha = -1.0;
+        assert!(matches!(cfg.validate(), Err(DistError::InvalidConfig { .. })));
+        assert!(DistConfig::p3(4, 0.1).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_recovery_policy_rejected() {
+        let batches = synthetic_batches(1, 4);
+        let cfg = DistConfig {
+            workers: 2,
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            profile: ClusterProfile::zero_cost(2),
+        };
+        let opts = RunOptions {
+            recovery: RecoveryPolicy { step_timeout: Duration::ZERO, ..Default::default() },
+            ..Default::default()
+        };
+        let mut comp = NoCompression::new();
+        let err =
+            train_data_parallel_with(|_| mlp(1), &batches, &mut comp, &cfg, &opts).unwrap_err();
+        assert!(matches!(err, DistError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn shard_batch_extracts_contiguous_rows() {
+        let batch = (Tensor::randn(&[6, 2], 1.0, 1), vec![0, 1, 2, 0, 1, 2]);
+        let (x, labels) = shard_batch(&batch, 1, 3).unwrap();
+        assert_eq!(x.shape(), &[2, 2]);
+        assert_eq!(labels, vec![2, 0]);
+        assert_eq!(x.as_slice(), &batch.0.as_slice()[4..8]);
+        assert!(shard_batch(&batch, 3, 3).is_err());
+    }
+
+    #[test]
+    fn pool_guard_restores_width() {
+        let before = puffer_tensor::pool::num_threads();
+        {
+            let _g = PoolWidthGuard::cap_for(64);
+            assert!(puffer_tensor::pool::num_threads() <= before);
+        }
+        assert_eq!(puffer_tensor::pool::num_threads(), before);
     }
 }

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use puffer_dist::cost::ClusterProfile;
 use puffer_dist::ddp::{bucketize, simulate_step, DEFAULT_BUCKET_BYTES};
+use puffer_dist::ring::ring_allreduce;
 use std::time::Duration;
 
 proptest! {
@@ -54,6 +55,23 @@ proptest! {
             .sum();
         prop_assert!(step.total <= step.compute + serial + Duration::from_micros(1));
         prop_assert_eq!(step.exposed_comm, step.total - step.compute);
+    }
+
+    #[test]
+    fn ring_trace_traffic_matches_closed_form(p in 2usize..12, n in 1usize..200) {
+        // Total per-node traffic over an executed ring allreduce must equal
+        // the bandwidth term of the closed-form cost, 2·((p−1)/p)·n·4 bytes,
+        // up to chunk-rounding: each of the 2(p−1) steps moves a chunk whose
+        // size differs from n/p by at most one element.
+        let mut buffers: Vec<Vec<f32>> = (0..p).map(|i| vec![i as f32; n]).collect();
+        let trace = ring_allreduce(&mut buffers);
+        let total: usize = trace.step_bytes.iter().sum();
+        let closed = 2.0 * ((p - 1) as f64 / p as f64) * (n * 4) as f64;
+        let slack = (8 * (p - 1)) as f64;
+        prop_assert!(
+            (total as f64 - closed).abs() <= slack,
+            "total {} vs closed form {} (p={}, n={})", total, closed, p, n
+        );
     }
 
     #[test]

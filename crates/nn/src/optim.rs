@@ -40,6 +40,20 @@ impl Sgd {
         self.lr = lr;
     }
 
+    /// The momentum buffers, positionally matching the parameter list
+    /// passed to [`Sgd::step`] (empty before the first step). Exposed so
+    /// checkpointing can freeze optimizer state.
+    pub fn velocity(&self) -> &[Tensor] {
+        &self.velocity
+    }
+
+    /// Restores momentum buffers captured by [`Sgd::velocity`]. The next
+    /// [`Sgd::step`] resets them if their count does not match the
+    /// parameter list.
+    pub fn set_velocity(&mut self, velocity: Vec<Tensor>) {
+        self.velocity = velocity;
+    }
+
     /// Applies one update step to `params` using their accumulated
     /// gradients. Gradients are **not** zeroed; call
     /// [`crate::Layer::zero_grad`] before the next accumulation.

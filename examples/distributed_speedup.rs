@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &batches,
             compressor,
             &cfg,
-        );
+        )?;
         let b = out.breakdown;
         println!(
             "{:<22} {:>9.2}s {:>13.3}s {:>11.4}s {:>10.3}",

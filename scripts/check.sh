@@ -14,4 +14,24 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+echo "== fault-injection suite (fixed seeds)"
+cargo test -q -p puffer-dist --test fault_suite
+
+echo "== no unwrap()/expect() in puffer-dist non-test code"
+# The fault-tolerance contract: production code in crates/dist/src must
+# route failures through DistError, never panic. Test modules (everything
+# from `#[cfg(test)]` down) are exempt.
+lint_fail=0
+for f in crates/dist/src/*.rs; do
+  if awk '/#\[cfg\(test\)\]/{exit} /^[[:space:]]*\/\//{next} {print}' "$f" \
+      | grep -nE '\.(unwrap|expect)\(' \
+      | sed "s|^|$f:|"; then
+    lint_fail=1
+  fi
+done
+if [ "$lint_fail" -ne 0 ]; then
+  echo "error: unwrap()/expect() found in puffer-dist non-test code" >&2
+  exit 1
+fi
+
 echo "All checks passed."

@@ -41,9 +41,9 @@ fn four_worker_cnn_matches_single_process() {
     };
     let factory = |_w: usize| ResNet::new(ResNetConfig::resnet18(0.0625, 4, 11)).unwrap();
     let mut c1 = NoCompression::new();
-    let a = train_data_parallel(factory, &data, &mut c1, &cfg);
+    let a = train_data_parallel(factory, &data, &mut c1, &cfg).unwrap();
     let mut c2 = NoCompression::new();
-    let b = train_data_parallel(factory, &data, &mut c2, &cfg);
+    let b = train_data_parallel(factory, &data, &mut c2, &cfg).unwrap();
     assert_eq!(a.final_params, b.final_params, "distributed run must be deterministic");
     let early: f32 = a.step_losses[..3].iter().sum::<f32>() / 3.0;
     let late: f32 = a.step_losses[13..].iter().sum::<f32>() / 3.0;
@@ -56,14 +56,16 @@ fn pufferfish_hybrid_ships_fewer_bytes_than_vanilla() {
     let profile = ClusterProfile::p3_like(8);
     let mut vanilla = ResNet::new(ResNetConfig::resnet18(0.0625, 4, 1)).unwrap();
     let mut comp = NoCompression::new();
-    let (bd_v, _) = measure_sequential_epoch(&mut vanilla, &data, 8, &mut comp, &profile, 0.05);
+    let (bd_v, _) =
+        measure_sequential_epoch(&mut vanilla, &data, 8, &mut comp, &profile, 0.05).unwrap();
 
     let mut hybrid = ResNet::new(ResNetConfig::resnet18(0.0625, 4, 1))
         .unwrap()
         .to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::Random(3))
         .unwrap();
     let mut comp = NoCompression::new();
-    let (bd_p, _) = measure_sequential_epoch(&mut hybrid, &data, 8, &mut comp, &profile, 0.05);
+    let (bd_p, _) =
+        measure_sequential_epoch(&mut hybrid, &data, 8, &mut comp, &profile, 0.05).unwrap();
     assert!(bd_p.comm < bd_v.comm, "hybrid comm {:?} !< vanilla {:?}", bd_p.comm, bd_v.comm);
 }
 
@@ -73,7 +75,7 @@ fn powersgd_moves_fewest_bytes_but_pays_codec() {
     let profile = ClusterProfile::p3_like(8);
     let run = |comp: &mut dyn GradCompressor| {
         let mut model = ResNet::new(ResNetConfig::resnet18(0.0625, 4, 1)).unwrap();
-        measure_sequential_epoch(&mut model, &data, 8, comp, &profile, 0.05).0
+        measure_sequential_epoch(&mut model, &data, 8, comp, &profile, 0.05).unwrap().0
     };
     let vanilla = run(&mut NoCompression::new());
     let powersgd = run(&mut PowerSgd::new(2, 5));
@@ -125,7 +127,8 @@ fn compressed_training_still_converges_end_to_end() {
         &data,
         &mut comp,
         &cfg,
-    );
+    )
+    .unwrap();
     let early: f32 = out.step_losses[..4].iter().sum::<f32>() / 4.0;
     let late: f32 = out.step_losses[out.step_losses.len() - 4..].iter().sum::<f32>() / 4.0;
     assert!(late < early, "compressed training diverged: {early} -> {late}");
@@ -140,7 +143,8 @@ fn sequential_and_threaded_paths_agree_on_losses() {
     let profile = ClusterProfile::zero_cost(2);
     let mut model = ResNet::new(ResNetConfig::resnet18(0.0625, 4, 21)).unwrap();
     let mut comp = NoCompression::new();
-    let (_, seq_loss) = measure_sequential_epoch(&mut model, &data, 2, &mut comp, &profile, 0.05);
+    let (_, seq_loss) =
+        measure_sequential_epoch(&mut model, &data, 2, &mut comp, &profile, 0.05).unwrap();
 
     let cfg = DistConfig { workers: 2, lr: 0.05, momentum: 0.9, weight_decay: 1e-4, profile };
     let mut comp = NoCompression::new();
@@ -149,7 +153,8 @@ fn sequential_and_threaded_paths_agree_on_losses() {
         &data,
         &mut comp,
         &cfg,
-    );
+    )
+    .unwrap();
     let thr_loss = out.step_losses[0];
     assert!((seq_loss - thr_loss).abs() < 1e-4, "sequential {seq_loss} vs threaded {thr_loss}");
 }
