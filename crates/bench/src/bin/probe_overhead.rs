@@ -1,0 +1,94 @@
+//! Measures the probe's overhead on a GEMM microbench and records it to
+//! `BENCH_probe.json` at the workspace root.
+//!
+//! Three regimes on the same kernel loop:
+//!
+//! * **disabled** — instrumentation compiled in, probe off (the default
+//!   production state);
+//! * **disabled + extra calls** — the same loop making 16 additional
+//!   disabled span/counter calls per GEMM, an upper bound on what the
+//!   real instrumentation's disabled fast path can cost;
+//! * **enabled (in-memory)** — full collection, what a traced run pays.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin probe_overhead`
+
+use puffer_probe as probe;
+use puffer_tensor::matmul::matmul;
+use puffer_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 128;
+const REPS: usize = 8;
+const TRIALS: usize = 9;
+const EXTRA_CALLS: usize = 16;
+
+fn gemm_batch(a: &Tensor, b: &Tensor, extra_probe_calls: bool) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        if extra_probe_calls {
+            for _ in 0..EXTRA_CALLS {
+                let _sp = probe::span("overhead", "extra");
+                probe::counter_add("overhead.calls", 1);
+            }
+        }
+        let c = matmul(a, b).expect("gemm");
+        std::hint::black_box(c);
+    }
+    t0.elapsed()
+}
+
+fn best(a: &Tensor, b: &Tensor, extra: bool) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..TRIALS {
+        best = best.min(gemm_batch(a, b, extra));
+    }
+    best
+}
+
+fn main() {
+    probe::reset();
+    let a = Tensor::randn(&[DIM, DIM], 1.0, 1);
+    let b = Tensor::randn(&[DIM, DIM], 1.0, 2);
+    let _ = gemm_batch(&a, &b, true); // warm-up
+
+    let base = best(&a, &b, false);
+    let probed = best(&a, &b, true);
+    let overhead_pct =
+        100.0 * (probed.as_secs_f64() - base.as_secs_f64()).max(0.0) / base.as_secs_f64();
+
+    // Enabled regime: in-memory collection, drained afterwards.
+    probe::configure(probe::ProbeConfig::in_memory());
+    let enabled = best(&a, &b, true);
+    let events = probe::take_events().len();
+    probe::reset();
+    let enabled_pct =
+        100.0 * (enabled.as_secs_f64() - base.as_secs_f64()).max(0.0) / base.as_secs_f64();
+
+    println!("GEMM {DIM}x{DIM}, {REPS} reps/batch, best of {TRIALS}:");
+    println!("  disabled probe:             {:>10.1} µs", base.as_secs_f64() * 1e6);
+    println!(
+        "  disabled + {EXTRA_CALLS} extra calls: {:>10.1} µs  ({overhead_pct:.3}% overhead)",
+        probed.as_secs_f64() * 1e6
+    );
+    println!(
+        "  enabled (in-memory):        {:>10.1} µs  ({enabled_pct:.3}% overhead, {events} events)",
+        enabled.as_secs_f64() * 1e6
+    );
+    let pass = overhead_pct < 2.0;
+    println!("disabled-probe overhead < 2%: {}", if pass { "PASS" } else { "FAIL" });
+
+    let json = format!(
+        "{{\n  \"bench\": \"probe_overhead\",\n  \"gemm\": [{DIM}, {DIM}, {DIM}],\n  \"reps_per_batch\": {REPS},\n  \"trials\": {TRIALS},\n  \"extra_disabled_calls_per_gemm\": {EXTRA_CALLS},\n  \"disabled_us\": {:.3},\n  \"disabled_extra_calls_us\": {:.3},\n  \"enabled_us\": {:.3},\n  \"disabled_overhead_pct\": {overhead_pct:.4},\n  \"enabled_overhead_pct\": {enabled_pct:.4},\n  \"threshold_pct\": 2.0,\n  \"pass\": {pass}\n}}\n",
+        base.as_secs_f64() * 1e6,
+        probed.as_secs_f64() * 1e6,
+        enabled.as_secs_f64() * 1e6,
+    );
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|p| std::path::PathBuf::from(p).join("../.."))
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join("BENCH_probe.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

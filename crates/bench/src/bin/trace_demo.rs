@@ -1,0 +1,71 @@
+//! Emits a loadable Chrome trace of a faulty 4-worker hybrid training
+//! run — the observability quick-start.
+//!
+//! Usage:
+//!
+//! ```text
+//! PUFFER_TRACE=trace.json cargo run --release -p puffer-bench --bin trace_demo
+//! ```
+//!
+//! Open the file in `chrome://tracing` or <https://ui.perfetto.dev>. With
+//! neither `PUFFER_TRACE` nor `PUFFER_METRICS` set, the trace and the
+//! JSONL metrics land in `results/trace_demo.json` and
+//! `results/trace_demo_metrics.jsonl`.
+
+use puffer_bench::probe_demo::run_trace_demo;
+use puffer_bench::results_dir;
+use puffer_probe::ProbeConfig;
+
+fn main() {
+    if !puffer_probe::init_from_env() {
+        let dir = results_dir();
+        puffer_probe::configure(ProbeConfig {
+            trace_path: Some(dir.join("trace_demo.json")),
+            metrics_path: Some(dir.join("trace_demo_metrics.jsonl")),
+            collect: false,
+        });
+    }
+
+    let report = run_trace_demo();
+    let b = report.outcome.breakdown;
+    println!(
+        "faulty hybrid run: {} workers, {} steps, {} survivors",
+        report.workers, report.steps, report.outcome.faults.survivors
+    );
+    println!(
+        "breakdown: compute {:.3}ms  encode {:.3}ms  comm {:.3}ms  decode {:.3}ms  ({} skipped)",
+        b.compute.as_secs_f64() * 1e3,
+        b.encode.as_secs_f64() * 1e3,
+        b.comm.as_secs_f64() * 1e3,
+        b.decode.as_secs_f64() * 1e3,
+        b.skipped_steps
+    );
+    let f = &report.outcome.faults;
+    println!(
+        "faults absorbed: {} crashed, {} corrupted, {} stale, {} skipped, {} lost contributions",
+        f.crashed.len(),
+        f.corrupted_messages,
+        f.stale_messages,
+        f.skipped_steps.len(),
+        f.lost_contributions
+    );
+
+    match puffer_probe::flush() {
+        Ok(rep) => {
+            if let Some(p) = rep.trace_path {
+                println!(
+                    "wrote {} ({} events) — open in chrome://tracing",
+                    p.display(),
+                    rep.trace_events
+                );
+            }
+            if let Some(p) = rep.metrics_path {
+                println!("wrote {} ({} rows + counters)", p.display(), rep.metrics_rows);
+            }
+            if rep.dropped_events > 0 {
+                eprintln!("warning: {} events dropped at the buffer cap", rep.dropped_events);
+            }
+        }
+        Err(e) => eprintln!("warning: probe flush failed: {e}"),
+    }
+}

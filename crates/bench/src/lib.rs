@@ -9,6 +9,7 @@
 //! quick/full [`scale`] switch, and the shared bench-scale [`setups`]
 //! (datasets and scaled models used consistently across experiments).
 
+pub mod probe_demo;
 pub mod scale;
 pub mod setups;
 pub mod table;

@@ -1,0 +1,114 @@
+//! Shared logic behind the `trace_demo` binary: a small faulty 4-worker
+//! run of a Pufferfish *hybrid* model (dense + low-rank layers) with the
+//! probe collecting, so the resulting Chrome trace shows every layer of
+//! the stack at once — tensor-pool kernel chunks on the `puffer-pool-*`
+//! threads, `nn` forward/backward/optimizer spans, the `dist` round
+//! phases (compute/encode/comm/decode, the Fig.-4 bins), and structured
+//! fault events with worker/step attribution.
+//!
+//! The demo lives in the library (not the binary) so the schema test can
+//! run the exact same workload in memory and validate the trace it
+//! renders.
+
+use puffer_compress::none::NoCompression;
+use puffer_dist::cost::ClusterProfile;
+use puffer_dist::fault::FaultPlan;
+use puffer_dist::trainer::{train_data_parallel_with, DistConfig, DistOutcome, RunOptions};
+use puffer_nn::activation::Relu;
+use puffer_nn::linear::{Linear, LowRankLinear};
+use puffer_nn::Sequential;
+use puffer_probe as probe;
+use puffer_tensor::{pool, Tensor};
+
+/// Seed for the demo's model init, data, and fault sites.
+pub const DEMO_SEED: u64 = 17;
+
+/// Workers in the demo cluster.
+pub const DEMO_WORKERS: usize = 4;
+
+/// Steps the demo trains for.
+pub const DEMO_STEPS: usize = 6;
+
+/// The hybrid demo network: a dense first layer (the paper keeps early
+/// layers full-rank) followed by a factorized middle layer.
+fn demo_model(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::new(12, 32, true, seed).expect("demo linear")),
+        Box::new(Relu::new()),
+        Box::new(LowRankLinear::new(32, 32, 4, true, seed + 1).expect("demo low-rank")),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(32, 4, true, seed + 2).expect("demo head")),
+    ])
+}
+
+fn demo_batches() -> Vec<(Tensor, Vec<usize>)> {
+    (0..DEMO_STEPS)
+        .map(|b| {
+            let x = Tensor::randn(&[16, 12], 1.0, DEMO_SEED + 100 + b as u64);
+            let labels = (0..16).map(|i| (i + b) % 4).collect();
+            (x, labels)
+        })
+        .collect()
+}
+
+/// The demo's fault schedule: one straggler, one dropped-then-resent
+/// message, one non-finite gradient (skipped step), one corrupted
+/// message, and one worker crash — at least five distinct fault event
+/// types on the trace.
+pub fn demo_faults() -> FaultPlan {
+    FaultPlan::new(DEMO_SEED)
+        .with_slowdown(1, 2.5)
+        .with_drop(2, 1)
+        .with_nonfinite(0, 2)
+        .with_corrupt(3, 1)
+        .with_crash(3, 4)
+}
+
+/// What [`run_trace_demo`] produced, for the caller's summary.
+pub struct DemoReport {
+    /// The training run's outcome (breakdown, losses, fault report).
+    pub outcome: DistOutcome,
+    /// Steps the run executed.
+    pub steps: usize,
+    /// Workers the run started with.
+    pub workers: usize,
+}
+
+/// Runs the demo workload. The probe must already be configured
+/// (collecting); the caller flushes or drains the events afterwards.
+///
+/// # Panics
+///
+/// Panics if the training run itself errors — the injected faults are all
+/// within what the trainer degrades through gracefully.
+pub fn run_trace_demo() -> DemoReport {
+    // Kernel warm-up at an explicit pool width: guarantees the trace shows
+    // tensor-pool worker occupancy (`puffer-pool-*` thread lanes) even on
+    // single-core machines, where the pool would otherwise stay inline.
+    let prior_width = pool::num_threads();
+    pool::set_num_threads(DEMO_WORKERS);
+    {
+        let _sp = probe::span("demo", "warmup_gemm");
+        let a = Tensor::randn(&[128, 128], 1.0, DEMO_SEED + 1);
+        let b = Tensor::randn(&[128, 128], 1.0, DEMO_SEED + 2);
+        let _ = puffer_tensor::matmul::matmul(&a, &b).expect("warmup gemm");
+    }
+
+    let cfg = DistConfig {
+        workers: DEMO_WORKERS,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        profile: ClusterProfile::p3_like(DEMO_WORKERS),
+    };
+    let opts = RunOptions { faults: demo_faults(), ..RunOptions::default() };
+    let mut comp = NoCompression::new();
+    let data = demo_batches();
+    let outcome = {
+        let _sp = probe::span("demo", "faulty_hybrid_run");
+        train_data_parallel_with(|_| demo_model(DEMO_SEED), &data, &mut comp, &cfg, &opts)
+            .expect("the demo's faults must degrade gracefully, not abort")
+    };
+    pool::set_num_threads(prior_width);
+    DemoReport { outcome, steps: data.len(), workers: DEMO_WORKERS }
+}

@@ -1,0 +1,51 @@
+//! Acceptance check for the observability layer: the `trace_demo`
+//! workload, run in memory, must render a schema-valid Chrome trace that
+//! contains spans from every layer of the stack and at least three
+//! distinct fault event types. One test per file — the probe's state is
+//! process-global.
+
+use puffer_bench::probe_demo::run_trace_demo;
+use puffer_probe as probe;
+use std::collections::BTreeSet;
+
+#[test]
+fn trace_demo_covers_every_layer_and_validates() {
+    probe::reset();
+    probe::configure(probe::ProbeConfig::in_memory());
+
+    let report = run_trace_demo();
+    assert!(!report.outcome.faults.is_clean(), "the demo must actually be faulty");
+
+    let events = probe::take_events();
+    let doc = probe::render_chrome_trace(&events);
+    let summary = probe::validate_chrome_trace(&doc).expect("demo trace must be schema-valid");
+
+    // Tensor-pool worker occupancy: the kernel chunks ran on named pool
+    // threads, which appear as thread_name metadata lanes.
+    assert!(
+        summary.has_thread_prefix("puffer-pool-"),
+        "trace must contain tensor-pool worker lanes; threads: {:?}",
+        summary.thread_names
+    );
+    assert!(summary.has_name("chunk"), "pool chunk spans missing");
+
+    // nn layer: forward/backward spans from the per-worker replicas.
+    assert!(summary.has_name("forward") && summary.has_name("backward"));
+    assert!(summary.cats.contains("nn"));
+
+    // dist layer: all four round phases (the Fig.-4 bins).
+    for phase in ["compute", "encode", "comm", "decode"] {
+        assert!(
+            events.iter().any(|e| e.phase == 'X' && e.cat == "dist" && e.name == phase),
+            "dist round phase {phase:?} missing"
+        );
+    }
+
+    // Structured fault events: at least three distinct types, each an
+    // instant event in the `fault` category.
+    let fault_kinds: BTreeSet<&str> =
+        events.iter().filter(|e| e.phase == 'i' && e.cat == "fault").map(|e| e.name).collect();
+    assert!(fault_kinds.len() >= 3, "expected ≥3 distinct fault event types, got {fault_kinds:?}");
+
+    probe::reset();
+}

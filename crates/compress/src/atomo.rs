@@ -109,7 +109,16 @@ impl GradCompressor for Atomo {
         }
         // Per-node encode: each node factorizes only its own gradient.
         encode_time /= n_workers.max(1) as u32;
-        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
+        (
+            out,
+            RoundStats::new(
+                bytes,
+                worker_grads.len(),
+                self.aggregation(),
+                encode_time,
+                decode_time,
+            ),
+        )
     }
 }
 

@@ -42,6 +42,7 @@ pub mod quant;
 pub mod signum;
 pub mod topk;
 
+use puffer_probe as probe;
 use puffer_tensor::Tensor;
 use std::time::Duration;
 
@@ -65,10 +66,42 @@ pub enum AggregationKind {
 pub struct RoundStats {
     /// Bytes each worker puts on the wire.
     pub bytes_per_worker: usize,
+    /// Total bytes encoded this round across all workers
+    /// (`bytes_per_worker · workers`).
+    pub encoded_bytes: usize,
+    /// Bytes one node must decode after aggregation: the reduced message
+    /// for allreduce methods, every worker's message for allgather ones
+    /// (the appendix-F asymmetry, in bytes).
+    pub decoded_bytes: usize,
     /// Per-node encode wall-clock (mean across workers).
     pub encode_time: Duration,
     /// Per-node decode/aggregation wall-clock.
     pub decode_time: Duration,
+}
+
+impl RoundStats {
+    /// Builds the stats of one round from the per-worker message size,
+    /// deriving the encoded/decoded byte totals from the collective kind,
+    /// and surfaces them on the probe's `compress.*` counters.
+    pub fn new(
+        bytes_per_worker: usize,
+        workers: usize,
+        aggregation: AggregationKind,
+        encode_time: Duration,
+        decode_time: Duration,
+    ) -> Self {
+        let encoded_bytes = bytes_per_worker * workers;
+        let decoded_bytes = match aggregation {
+            AggregationKind::AllReduce => bytes_per_worker,
+            AggregationKind::AllGather => bytes_per_worker * workers,
+        };
+        if probe::enabled() {
+            probe::counter_add("compress.rounds", 1);
+            probe::counter_add("compress.encoded_bytes", encoded_bytes as u64);
+            probe::counter_add("compress.decoded_bytes", decoded_bytes as u64);
+        }
+        RoundStats { bytes_per_worker, encoded_bytes, decoded_bytes, encode_time, decode_time }
+    }
 }
 
 /// A gradient-compression scheme playing full synchronization rounds.
@@ -139,5 +172,62 @@ mod tests {
     #[should_panic(expected = "no workers")]
     fn exact_mean_rejects_empty() {
         let _ = exact_mean(&[]);
+    }
+
+    #[test]
+    fn round_byte_counters_match_closed_form_sizes() {
+        use crate::atomo::Atomo;
+        use crate::none::NoCompression;
+        use crate::powersgd::PowerSgd;
+        use crate::quant::BinaryQuant;
+        use crate::signum::Signum;
+        use crate::topk::TopK;
+
+        // Two workers, one 16×8 matrix layer + one length-8 vector layer:
+        // 136 coordinates, 544 raw bytes per worker.
+        let workers: Vec<Vec<Tensor>> = (0..2)
+            .map(|w| vec![Tensor::randn(&[16, 8], 1.0, 40 + w), Tensor::randn(&[8], 1.0, 50 + w)])
+            .collect();
+        let check = |mut c: Box<dyn GradCompressor>, per_worker: usize| {
+            let (_, stats) = c.round(&workers);
+            assert_eq!(stats.bytes_per_worker, per_worker, "{}", c.name());
+            assert_eq!(stats.encoded_bytes, per_worker * 2, "{}", c.name());
+            let decoded = match c.aggregation() {
+                AggregationKind::AllReduce => per_worker,
+                AggregationKind::AllGather => per_worker * 2,
+            };
+            assert_eq!(stats.decoded_bytes, decoded, "{}", c.name());
+        };
+
+        // Vanilla: raw f32s, allreduce.
+        check(Box::new(NoCompression::new()), 136 * 4);
+        // PowerSGD rank 2: P (16×2) + Q (8×2) for the matrix, raw vector.
+        check(Box::new(PowerSgd::new(2, 1)), (16 * 2 + 8 * 2) * 4 + 8 * 4);
+        // ATOMO rank 2: (U, σ, Vᵀ) triplet for the matrix, raw vector.
+        check(Box::new(Atomo::new(2, 1)), (16 * 2 + 2 + 2 * 8) * 4 + 8 * 4);
+        // Signum: 1 bit per coordinate, packed into u64 words.
+        check(Box::new(Signum::new(0.9)), 136usize.div_ceil(64) * 8);
+        // Top-k 25%: ⌈136/4⌉ = 34 (index, value) pairs.
+        check(Box::new(TopK::new(0.25)), 34 * (4 + 4));
+        // Binary quantization: (min, max) header + 1 bit per coordinate.
+        check(Box::new(BinaryQuant::new(1)), 8 + 136usize.div_ceil(64) * 8);
+    }
+
+    #[test]
+    fn round_byte_counters_surface_on_probe() {
+        use crate::signum::Signum;
+        // Other tests in this binary may also play rounds concurrently, so
+        // assert the counters advanced by at least our round's bytes.
+        puffer_probe::configure(puffer_probe::ProbeConfig::in_memory());
+        let before = puffer_probe::counter_value("compress.encoded_bytes").unwrap_or(0.0);
+        let workers: Vec<Vec<Tensor>> =
+            (0..2).map(|w| vec![Tensor::randn(&[64], 1.0, 60 + w)]).collect();
+        let (_, stats) = Signum::new(0.9).round(&workers);
+        let after = puffer_probe::counter_value("compress.encoded_bytes").unwrap_or(0.0);
+        assert!(
+            after - before >= stats.encoded_bytes as f64,
+            "probe counter must advance by the round's encoded bytes"
+        );
+        puffer_probe::reset();
     }
 }

@@ -39,7 +39,16 @@ impl GradCompressor for NoCompression {
         let (mean_buf, layout) = pack(&mean);
         let out = unpack(&mean_buf, &layout);
         let decode_time = t0.elapsed();
-        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
+        (
+            out,
+            RoundStats::new(
+                bytes,
+                worker_grads.len(),
+                self.aggregation(),
+                encode_time,
+                decode_time,
+            ),
+        )
     }
 }
 

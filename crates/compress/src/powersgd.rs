@@ -152,7 +152,16 @@ impl GradCompressor for PowerSgd {
         // Per-node encode: each node computes only its own P/Q products
         // (the allreduce sums them in flight).
         encode_time /= n_workers.max(1) as u32;
-        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
+        (
+            out,
+            RoundStats::new(
+                bytes,
+                worker_grads.len(),
+                self.aggregation(),
+                encode_time,
+                decode_time,
+            ),
+        )
     }
 
     fn state_snapshot(&self) -> Vec<(String, Tensor)> {

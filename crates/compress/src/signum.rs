@@ -129,7 +129,16 @@ impl GradCompressor for Signum {
         }
         let out = crate::pack::unpack(&voted, layout);
         let decode_time = t0.elapsed();
-        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
+        (
+            out,
+            RoundStats::new(
+                bytes,
+                worker_grads.len(),
+                self.aggregation(),
+                encode_time,
+                decode_time,
+            ),
+        )
     }
 
     fn state_snapshot(&self) -> Vec<(String, Tensor)> {

@@ -94,7 +94,16 @@ impl GradCompressor for TopK {
         dense.scale(1.0 / n_workers as f32);
         let out = unpack(&dense, self.layout.as_ref().expect("layout set"));
         let decode_time = t0.elapsed();
-        (out, RoundStats { bytes_per_worker: bytes, encode_time, decode_time })
+        (
+            out,
+            RoundStats::new(
+                bytes,
+                worker_grads.len(),
+                self.aggregation(),
+                encode_time,
+                decode_time,
+            ),
+        )
     }
 
     fn state_snapshot(&self) -> Vec<(String, Tensor)> {

@@ -13,8 +13,8 @@ use puffer_nn::optim::{clip_grad_norm, Sgd};
 use puffer_nn::param::Param;
 use puffer_nn::schedule::{LrSchedule, StepDecay};
 use puffer_nn::Result;
+use puffer_probe as probe;
 use puffer_tensor::Tensor;
-use std::time::Instant;
 
 /// An image-classification model Pufferfish can train: either family of
 /// the paper's CNNs.
@@ -207,10 +207,11 @@ pub fn train(
     for epoch in 0..cfg.epochs {
         // Warm-up boundary: factorize the partially trained weights.
         if epoch == cfg.warmup_epochs && cfg.warmup_epochs > 0 {
-            let t0 = Instant::now();
+            let sp =
+                probe::timed_span_with("core", "svd_factorize", || vec![("epoch", epoch.into())]);
             if let Some(converted) = convert(&model, plan, FactorInit::WarmStart)? {
                 model = converted;
-                report.svd_time = Some(t0.elapsed());
+                report.svd_time = Some(sp.finish());
                 report.switch_epoch = Some(epoch);
                 report.hybrid_params = model.param_count();
                 // Parameter set changed: fresh optimizer state, same schedule.
@@ -220,7 +221,9 @@ pub fn train(
         let lr = cfg.schedule.lr_at(epoch);
         opt.set_lr(lr);
 
-        let t0 = Instant::now();
+        let epoch_span = probe::timed_span_with("core", "epoch", || {
+            vec![("epoch", epoch.into()), ("lr", lr.into())]
+        });
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for (images, labels) in data.train_batches(cfg.batch_size, epoch as u64) {
@@ -234,6 +237,7 @@ pub fn train(
                 let _ = model.backward(&dlogits);
                 amp.restore_masters(&mut model.params_mut());
                 if !amp.unscale_grads(&mut model.params_mut()) {
+                    probe::counter_add("core.amp_skipped_steps", 1);
                     continue; // overflow: skip step, scale backed off
                 }
                 loss
@@ -251,14 +255,29 @@ pub fn train(
             batches += 1;
         }
         let (eval_loss, eval_acc) = evaluate(&mut model, data, cfg.batch_size)?;
+        // The epoch span (and EpochMetrics::wall) covers train + eval, as
+        // the pre-probe accounting did.
+        let wall = epoch_span.finish();
+        let train_loss = (loss_sum / batches.max(1) as f64) as f32;
+        probe::metrics_row(
+            "epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("train_loss", train_loss.into()),
+                ("eval_loss", eval_loss.into()),
+                ("eval_acc", eval_acc.into()),
+                ("lr", lr.into()),
+                ("wall_us", (wall.as_micros() as u64).into()),
+            ],
+        );
         report.epochs.push(EpochMetrics {
             epoch,
-            train_loss: (loss_sum / batches.max(1) as f64) as f32,
+            train_loss,
             eval_loss,
             eval_accuracy: Some(eval_acc),
             lr,
             params: model.param_count(),
-            wall: t0.elapsed(),
+            wall,
         });
     }
     Ok(TrainOutcome { model, report })

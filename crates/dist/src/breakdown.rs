@@ -8,6 +8,7 @@
 
 use crate::cost::ClusterProfile;
 use puffer_compress::{AggregationKind, GradCompressor, RoundStats};
+use puffer_probe as probe;
 use std::time::Duration;
 
 /// One epoch's time decomposition.
@@ -28,6 +29,15 @@ pub struct EpochBreakdown {
 
 impl EpochBreakdown {
     /// Total epoch time.
+    ///
+    /// **Invariant**: steps skipped by the non-finite guard still
+    /// contribute their *compute* — the forward/backward work was paid
+    /// before the guard tripped — but zero encode/comm/decode, because no
+    /// synchronization round was played for them. Every duration summed
+    /// here flows through [`BreakdownAccumulator`], which mirrors each one
+    /// onto the probe as a `dist`-category span, so `total()` equals the
+    /// sum of the probe's `compute`/`encode`/`comm`/`decode` span
+    /// durations exactly (same `Duration` values, no re-timing).
     pub fn total(&self) -> Duration {
         self.compute + self.encode + self.comm + self.decode
     }
@@ -94,13 +104,28 @@ impl BreakdownAccumulator {
         self.acc.decode += stats.decode_time;
         self.acc.comm += comm;
         self.rounds += 1;
+        if probe::enabled() {
+            // Mirror the exact durations just accumulated onto the trace:
+            // the Fig.-4 bins and the probe's span sums are the same
+            // numbers by construction, not two timing paths.
+            probe::emit_span("dist", "compute", compute, Vec::new());
+            probe::emit_span("dist", "encode", stats.encode_time, Vec::new());
+            probe::emit_span("dist", "comm", comm, vec![("bytes", stats.encoded_bytes.into())]);
+            probe::emit_span("dist", "decode", stats.decode_time, Vec::new());
+            probe::counter_add("dist.rounds", 1);
+            probe::counter_add("dist.wire_bytes", stats.encoded_bytes as u64);
+        }
     }
 
     /// Records a step skipped by the non-finite-gradient guard: compute
-    /// happened, but no round was played.
+    /// happened, but no round was played (see [`EpochBreakdown::total`]).
     pub fn record_skipped(&mut self, compute: Duration) {
         self.acc.compute += compute;
         self.acc.skipped_steps += 1;
+        if probe::enabled() {
+            probe::emit_span("dist", "compute", compute, vec![("skipped", 1usize.into())]);
+            probe::counter_add("dist.skipped_steps", 1);
+        }
     }
 
     /// Number of recorded rounds.
@@ -148,13 +173,13 @@ pub fn measure_sequential_epoch<M: Layer>(
         let mut loss_mean = 0.0f32;
         for w in 0..nodes {
             let (images, labels) = crate::trainer::shard_batch(batch, w, nodes)?;
-            let t0 = Instant::now();
+            let sp = probe::timed_span_with("dist", "shard_compute", || vec![("worker", w.into())]);
             model.zero_grad();
             let logits = model.forward(&images, Mode::Train);
             let (loss, dl) = softmax_cross_entropy(&logits, &labels, 0.0)
                 .map_err(|e| DistError::WorkerFailed { worker: w, reason: e.to_string() })?;
             let _ = model.backward(&dl);
-            slowest = slowest.max(t0.elapsed());
+            slowest = slowest.max(sp.finish());
             loss_mean += loss / nodes as f32;
             worker_grads.push(model.params().iter().map(|p| p.grad.clone()).collect());
         }
@@ -174,7 +199,6 @@ pub fn measure_sequential_epoch<M: Layer>(
 use crate::error::{DistError, DistResult};
 use puffer_nn::layer::{Layer, Mode};
 use puffer_tensor::Tensor;
-use std::time::Instant;
 
 #[cfg(test)]
 mod tests {

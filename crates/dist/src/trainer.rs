@@ -35,10 +35,11 @@ use puffer_compress::GradCompressor;
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::Sgd;
+use puffer_probe as probe;
 use puffer_tensor::Tensor;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a data-parallel run.
 #[derive(Debug, Clone)]
@@ -205,7 +206,10 @@ type Snapshot = (usize, Vec<Tensor>, Vec<Tensor>, Vec<Tensor>);
 
 /// Restores the tensor pool width when the run ends, even on an error
 /// path (the old trainer leaked the cap when a worker panicked).
-struct PoolWidthGuard {
+///
+/// Public so integration tests can exercise the width-restore contract
+/// (including under panics and nested probe spans) directly.
+pub struct PoolWidthGuard {
     prev: usize,
 }
 
@@ -213,7 +217,7 @@ impl PoolWidthGuard {
     /// Caps the pool so `workers × pool threads` stays within the
     /// hardware parallelism. Thread count never changes numerical results
     /// (the pool's kernels are bitwise deterministic), only contention.
-    fn cap_for(n_workers: usize) -> Self {
+    pub fn cap_for(n_workers: usize) -> Self {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
         let prev = puffer_tensor::pool::num_threads();
         puffer_tensor::pool::set_num_threads((hw / n_workers.max(1)).max(1).min(prev));
@@ -410,33 +414,60 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
     let mut start_step = 0;
     if let Some(ck) = &ctx.opts.resume {
         if !load_resume_state(&mut model, &mut opt, ck) {
+            probe::event("fault", "worker_fatal", vec![("worker", w.into())]);
             let _ = ctx.to_agg.send(WorkerMsg::Fatal {
                 worker: w,
                 reason: "resume checkpoint does not match the model".into(),
             });
             return;
         }
+        probe::event(
+            "dist",
+            "checkpoint_resumed",
+            vec![("worker", w.into()), ("step", ck.step.into())],
+        );
         start_step = ck.step;
     }
     for (step, (images, labels)) in ctx.shard.iter().enumerate().skip(start_step) {
         if faults.should_crash(w, step) {
+            probe::event(
+                "fault",
+                "worker_crash",
+                vec![("worker", w.into()), ("step", step.into())],
+            );
             return; // channels drop; the aggregator's probe sees the death
         }
-        let t0 = Instant::now();
+        let sp = probe::timed_span_with("dist", "worker_compute", || {
+            vec![("worker", w.into()), ("step", step.into())]
+        });
         model.zero_grad();
         let logits = model.forward(images, Mode::Train);
         let (loss, dl) = match softmax_cross_entropy(&logits, labels, 0.0) {
             Ok(v) => v,
             Err(e) => {
+                probe::event(
+                    "fault",
+                    "worker_fatal",
+                    vec![("worker", w.into()), ("step", step.into())],
+                );
                 let _ = ctx.to_agg.send(WorkerMsg::Fatal { worker: w, reason: e.to_string() });
                 return;
             }
         };
         let _ = model.backward(&dl);
         let mut grads: Vec<Tensor> = model.params().iter().map(|p| p.grad.clone()).collect();
-        let measured = t0.elapsed();
+        let measured = sp.finish();
         let delay = faults.compute_delay(w, step, measured);
         if delay > Duration::ZERO {
+            probe::event(
+                "fault",
+                "straggler_delay",
+                vec![
+                    ("worker", w.into()),
+                    ("step", step.into()),
+                    ("delay_us", (delay.as_micros() as u64).into()),
+                ],
+            );
             std::thread::sleep(delay);
         }
         let compute = measured + delay;
@@ -457,6 +488,12 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
                     None => break true,
                 }
             }
+            probe::counter_add("dist.dropped_messages", 1);
+            probe::event(
+                "fault",
+                "message_dropped",
+                vec![("worker", w.into()), ("step", step.into()), ("attempt", attempt.into())],
+            );
             if attempt >= ctx.opts.recovery.max_retries {
                 break true; // message lost for good; the aggregator degrades
             }
@@ -570,10 +607,26 @@ fn run_aggregator(
                         // A straggler's contribution from an already-closed
                         // step (or a duplicate): discard.
                         report.stale_messages += 1;
+                        probe::counter_add("dist.stale_messages", 1);
+                        probe::event(
+                            "fault",
+                            "stale_message",
+                            vec![
+                                ("worker", m.worker.into()),
+                                ("msg_step", m.step.into()),
+                                ("step", step.into()),
+                            ],
+                        );
                     } else if message_checksum(&m.grads) != m.checksum {
                         // Bit corruption on the wire: reject the
                         // contribution, keep the worker.
                         report.corrupted_messages += 1;
+                        probe::counter_add("dist.corrupted_messages", 1);
+                        probe::event(
+                            "fault",
+                            "message_corrupted",
+                            vec![("worker", m.worker.into()), ("step", step.into())],
+                        );
                         expected.remove(&m.worker);
                     } else {
                         got.insert(m.worker, m);
@@ -589,6 +642,16 @@ fn run_aggregator(
                             expected.remove(&x);
                             live.remove(&x);
                             report.crashed.push((x, step));
+                            probe::counter_add("dist.crashes", 1);
+                            probe::event(
+                                "fault",
+                                "crash_detected",
+                                vec![
+                                    ("worker", x.into()),
+                                    ("step", step.into()),
+                                    ("survivors", live.len().into()),
+                                ],
+                            );
                         }
                     }
                     if live.is_empty() {
@@ -598,8 +661,16 @@ fn run_aggregator(
                         break; // crashes explained every missing member
                     }
                     retries += 1;
+                    probe::counter_add("dist.retries", 1);
                     if retries > recovery.max_retries {
-                        report.lost_contributions += expected.len() - got.len();
+                        let lost = expected.len() - got.len();
+                        report.lost_contributions += lost;
+                        probe::counter_add("dist.lost_contributions", lost as u64);
+                        probe::event(
+                            "fault",
+                            "contribution_lost",
+                            vec![("step", step.into()), ("lost", lost.into())],
+                        );
                         break; // degrade: proceed with what arrived
                     }
                     timeout = Duration::from_secs_f64(timeout.as_secs_f64() * recovery.backoff);
@@ -630,8 +701,23 @@ fn run_aggregator(
                 }
             }
             report.skipped_steps.push(step);
+            probe::event(
+                "fault",
+                "step_skipped",
+                vec![("step", step.into()), ("contributors", got.len().into())],
+            );
             acc.record_skipped(slowest);
             step_losses.push(loss_mean);
+            probe::metrics_row(
+                "dist_step",
+                &[
+                    ("step", step.into()),
+                    ("loss", loss_mean.into()),
+                    ("contributors", got.len().into()),
+                    ("live", live.len().into()),
+                    ("skipped", 1usize.into()),
+                ],
+            );
             continue;
         }
 
@@ -639,6 +725,7 @@ fn run_aggregator(
         // `got` is keyed by worker id, so the round sees survivors in
         // id order and the mean is automatically re-normalized to the
         // contributing member count. ----
+        let n_contributors = got.len();
         let contributions: Vec<Vec<Tensor>> = got.into_values().map(|m| m.grads).collect();
         let (mean, stats) = compressor.round(&contributions);
 
@@ -651,6 +738,16 @@ fn run_aggregator(
         let comm = round_comm_time(&profile, compressor.aggregation(), &stats).mul_f64(jitter);
         acc.record_with_comm(comm, slowest, &stats);
         step_losses.push(loss_mean);
+        probe::metrics_row(
+            "dist_step",
+            &[
+                ("step", step.into()),
+                ("loss", loss_mean.into()),
+                ("contributors", n_contributors.into()),
+                ("live", live.len().into()),
+                ("bytes", stats.encoded_bytes.into()),
+            ],
+        );
 
         // ---- Broadcast the verdict; the lowest-indexed survivor doubles
         // as checkpoint leader. ----
@@ -685,10 +782,16 @@ fn run_aggregator(
                     };
                     if let Some(path) = args.opts.checkpoint.path_for(s) {
                         ck.save(&path)?;
+                        probe::counter_add("dist.checkpoint_writes", 1);
+                        probe::event("dist", "checkpoint_written", vec![("step", s.into())]);
                         checkpoints.push(path);
                     }
                 }
-                None => report.checkpoint_failures += 1,
+                None => {
+                    report.checkpoint_failures += 1;
+                    probe::counter_add("dist.checkpoint_failures", 1);
+                    probe::event("fault", "checkpoint_failed", vec![("step", next_step.into())]);
+                }
             }
         }
     }

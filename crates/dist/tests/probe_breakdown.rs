@@ -1,0 +1,99 @@
+//! Satellite guarantee: the trainer's `EpochBreakdown` and the probe's
+//! `dist`-category spans are the *same numbers* — `BreakdownAccumulator`
+//! mirrors every duration it accumulates onto the trace, so the span sums
+//! must equal the breakdown fields exactly (`Duration` equality, not
+//! approximate). This file holds a single test because the probe's state
+//! is process-global.
+
+use puffer_compress::none::NoCompression;
+use puffer_dist::cost::ClusterProfile;
+use puffer_dist::fault::FaultPlan;
+use puffer_dist::trainer::{train_data_parallel_with, DistConfig, RunOptions};
+use puffer_nn::activation::Relu;
+use puffer_nn::linear::Linear;
+use puffer_nn::Sequential;
+use puffer_probe as probe;
+use puffer_tensor::Tensor;
+use std::time::Duration;
+
+fn mlp(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::new(6, 16, true, seed).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(16, 3, true, seed + 1).unwrap()),
+    ])
+}
+
+fn batches(n: usize, rows: usize) -> Vec<(Tensor, Vec<usize>)> {
+    (0..n)
+        .map(|b| {
+            let x = Tensor::randn(&[rows, 6], 1.0, 300 + b as u64);
+            let labels = (0..rows).map(|i| (i + b) % 3).collect();
+            (x, labels)
+        })
+        .collect()
+}
+
+/// Sums the durations of every `dist`-category complete span with `name`.
+fn span_sum(events: &[probe::TraceEvent], name: &str) -> Duration {
+    events
+        .iter()
+        .filter(|e| e.phase == 'X' && e.cat == "dist" && e.name == name)
+        .map(|e| e.dur)
+        .sum()
+}
+
+#[test]
+fn breakdown_equals_probe_span_sums_exactly() {
+    probe::reset();
+    probe::configure(probe::ProbeConfig::in_memory());
+
+    // Inject a non-finite gradient so the run contains a skipped step:
+    // its compute must appear in both the breakdown and the span sums
+    // (the `EpochBreakdown::total` invariant), with no encode/comm/decode.
+    let cfg = DistConfig {
+        workers: 2,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        profile: ClusterProfile::p3_like(2),
+    };
+    let opts =
+        RunOptions { faults: FaultPlan::new(11).with_nonfinite(0, 1), ..RunOptions::default() };
+    let mut comp = NoCompression::new();
+    let out = train_data_parallel_with(|_| mlp(21), &batches(4, 8), &mut comp, &cfg, &opts)
+        .expect("faulty run must degrade, not fail");
+    assert_eq!(out.breakdown.skipped_steps, 1, "the NaN step must be skipped");
+
+    let events = probe::take_events();
+    let b = out.breakdown;
+    assert_eq!(span_sum(&events, "compute"), b.compute, "compute spans ≠ breakdown.compute");
+    assert_eq!(span_sum(&events, "encode"), b.encode, "encode spans ≠ breakdown.encode");
+    assert_eq!(span_sum(&events, "comm"), b.comm, "comm spans ≠ breakdown.comm");
+    assert_eq!(span_sum(&events, "decode"), b.decode, "decode spans ≠ breakdown.decode");
+    // And therefore total() == the sum over all four phase span sums.
+    let phases = ["compute", "encode", "comm", "decode"];
+    let total: Duration = phases.iter().map(|p| span_sum(&events, p)).sum();
+    assert_eq!(total, b.total(), "total() must equal the probe's phase span sum");
+
+    // The skipped step's round played no encode/comm/decode: exactly one
+    // compute span carries the skipped marker, and there is one fewer
+    // encode span than compute spans.
+    let skipped_spans = events
+        .iter()
+        .filter(|e| {
+            e.phase == 'X' && e.name == "compute" && e.args.iter().any(|(k, _)| *k == "skipped")
+        })
+        .count();
+    assert_eq!(skipped_spans, 1);
+    let n = |name| {
+        events.iter().filter(|e| e.phase == 'X' && e.cat == "dist" && e.name == name).count()
+    };
+    assert_eq!(n("compute"), n("encode") + 1);
+
+    // The skip itself surfaced as a structured fault event with step
+    // attribution.
+    assert!(events.iter().any(|e| e.phase == 'i' && e.cat == "fault" && e.name == "step_skipped"));
+
+    probe::reset();
+}

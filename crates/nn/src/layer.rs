@@ -1,6 +1,7 @@
 //! The [`Layer`] trait and [`Sequential`] container.
 
 use crate::param::Param;
+use puffer_probe as probe;
 use puffer_tensor::Tensor;
 
 /// Whether a forward pass is part of training or evaluation.
@@ -140,6 +141,9 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let _sp = probe::span_with("nn", "forward", || {
+            vec![("layers", self.layers.len().into()), ("batch", input.shape()[0].into())]
+        });
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x, mode);
@@ -148,6 +152,7 @@ impl Layer for Sequential {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let _sp = probe::span_with("nn", "backward", || vec![("layers", self.layers.len().into())]);
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);

@@ -8,6 +8,7 @@
 //! matching the reference implementation.
 
 use crate::param::Param;
+use puffer_probe as probe;
 use puffer_tensor::Tensor;
 
 /// Stochastic gradient descent with momentum and decoupled-from-BN weight
@@ -58,6 +59,9 @@ impl Sgd {
     /// gradients. Gradients are **not** zeroed; call
     /// [`crate::Layer::zero_grad`] before the next accumulation.
     pub fn step(&mut self, params: &mut [&mut Param]) {
+        let _sp = probe::span_with("nn", "optimizer_step", || {
+            vec![("optim", "sgd".into()), ("params", params.len().into())]
+        });
         if self.velocity.len() != params.len() {
             self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
         }
@@ -113,6 +117,9 @@ impl Adam {
 
     /// Applies one update step (see [`Sgd::step`] for the contract).
     pub fn step(&mut self, params: &mut [&mut Param]) {
+        let _sp = probe::span_with("nn", "optimizer_step", || {
+            vec![("optim", "adam".into()), ("params", params.len().into())]
+        });
         if self.m.len() != params.len() {
             self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
             self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();

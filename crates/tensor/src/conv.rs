@@ -17,6 +17,7 @@
 
 use crate::matmul::parallel_under_default;
 use crate::{pool, Result, Tensor, TensorError};
+use puffer_probe as probe;
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +102,9 @@ pub fn im2col(input: &Tensor, geo: &ConvGeometry) -> Result<Tensor> {
     if rows == 0 || cols == 0 {
         return Ok(out);
     }
+    let _sp = probe::span_with("tensor", "im2col", || {
+        vec![("rows", rows.into()), ("cols", cols.into()), ("n", n.into())]
+    });
     let src = input.as_slice();
     let pad = geo.padding as isize;
     let stride = geo.stride;
@@ -166,6 +170,9 @@ pub fn col2im(cols: &Tensor, geo: &ConvGeometry, n: usize) -> Result<Tensor> {
     if out.is_empty() {
         return Ok(out);
     }
+    let _sp = probe::span_with("tensor", "col2im", || {
+        vec![("rows", rows.into()), ("cols", ncols.into()), ("n", n.into())]
+    });
     let src = cols.as_slice();
     let pad = geo.padding as isize;
     let stride = geo.stride;

@@ -17,6 +17,21 @@
 
 use crate::pool;
 use crate::{Result, Tensor, TensorError};
+use puffer_probe as probe;
+
+/// Opens a probe span over a dense kernel and bumps the process-global
+/// multiply–add counter. One relaxed atomic load when the probe is off.
+#[inline]
+fn kernel_span(name: &'static str, m: usize, k: usize, n: usize) -> probe::SpanGuard {
+    if !probe::enabled() {
+        return probe::span(Q, name); // disabled fast path: returns an empty guard
+    }
+    probe::counter_add("tensor.macs", (m * k * n) as u64);
+    probe::span_with(Q, name, || vec![("m", m.into()), ("k", k.into()), ("n", n.into())])
+}
+
+/// Probe category of every dense kernel in this module.
+const Q: &str = "tensor";
 
 /// Execution profile for [`matmul_with_profile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -128,6 +143,7 @@ pub fn matmul_with_profile(a: &Tensor, b: &Tensor, profile: MatmulProfile) -> Re
             op: "matmul",
         });
     }
+    let _sp = kernel_span("matmul", m, ka, n);
     let mut c = Tensor::zeros(&[m, n]);
     match profile {
         MatmulProfile::Reproducible => {
@@ -161,6 +177,7 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul_tn",
         });
     }
+    let _sp = kernel_span("matmul_tn", m, k, n);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut c = Tensor::zeros(&[m, n]);
     if m == 0 || n == 0 {
@@ -213,6 +230,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             op: "matmul_nt",
         });
     }
+    let _sp = kernel_span("matmul_nt", m, k, n);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let mut c = Tensor::zeros(&[m, n]);
     if m == 0 || n == 0 {

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use puffer_probe as probe;
 
 /// Hard cap on the configurable thread count; guards against absurd
 /// `PUFFER_NUM_THREADS` values spawning unbounded OS threads.
@@ -93,7 +94,9 @@ pub fn num_threads() -> usize {
 /// Takes effect for subsequent [`run_partitioned`] calls; already-spawned
 /// workers are kept parked rather than torn down when shrinking.
 pub fn set_num_threads(n: usize) {
-    SETTING.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+    let clamped = n.clamp(1, MAX_THREADS);
+    SETTING.store(clamped, Ordering::Relaxed);
+    probe::gauge_set("pool.width", clamped as f64);
 }
 
 fn pool_with_workers(needed: usize) -> &'static Pool {
@@ -146,6 +149,11 @@ where
     }
 
     let n_jobs = parts - 1;
+    probe::counter_add("pool.dispatches", 1);
+    probe::counter_add("pool.jobs", n_jobs as u64);
+    let _sp = probe::span_with("pool", "dispatch", || {
+        vec![("items", n_items.into()), ("parts", parts.into())]
+    });
     let pool = pool_with_workers(n_jobs);
     let (done_tx, done_rx) = bounded::<std::thread::Result<()>>(n_jobs);
     for idx in 1..parts {
@@ -153,7 +161,13 @@ where
         let done = done_tx.clone();
         let fref: &(dyn Fn(Range<usize>) + Sync) = &f;
         let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // The span runs on the worker thread, so the trace shows
+            // per-worker occupancy under the pool's own thread names.
+            let sp = probe::span_with("pool", "chunk", || {
+                vec![("start", range.start.into()), ("len", range.len().into())]
+            });
             let result = catch_unwind(AssertUnwindSafe(|| fref(range)));
+            drop(sp);
             let _ = done.send(result);
         });
         // SAFETY: the job borrows `f` (and anything `f` captures) for less

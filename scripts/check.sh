@@ -34,4 +34,24 @@ if [ "$lint_fail" -ne 0 ]; then
   exit 1
 fi
 
+echo "== no raw std::time::Instant in puffer-dist non-test code"
+# The observability contract: all timing in crates/dist flows through
+# puffer-probe's TimedSpan, so the Fig.-4 breakdown bins and the trace are
+# the same numbers (DESIGN.md §7). Test modules are exempt.
+lint_fail=0
+for f in crates/dist/src/*.rs; do
+  if awk '/#\[cfg\(test\)\]/{exit} /^[[:space:]]*\/\//{next} {print}' "$f" \
+      | grep -nE '\bInstant\b' \
+      | sed "s|^|$f:|"; then
+    lint_fail=1
+  fi
+done
+if [ "$lint_fail" -ne 0 ]; then
+  echo "error: raw std::time::Instant found in puffer-dist non-test code (use puffer_probe::TimedSpan)" >&2
+  exit 1
+fi
+
+echo "== probe overhead guard (disabled-probe cost < 2% on a GEMM)"
+cargo test -q --release -p puffer-tensor --test probe_overhead
+
 echo "All checks passed."
