@@ -18,8 +18,8 @@ use puffer_dist::breakdown::measure_sequential_epoch;
 use puffer_dist::cost::ClusterProfile;
 use puffer_models::resnet::ResNetHybridPlan;
 use puffer_models::units::FactorInit;
+use puffer_probe::Stopwatch;
 use pufferfish::trainer::ImageModel;
-use std::time::Instant;
 
 const NODES: usize = 8;
 
@@ -38,7 +38,7 @@ fn main() {
     for method in ["atomo-r2", "powersgd-r2", "pufferfish"] {
         let mut svd_once = 0.0f64;
         let mut model: ImageModel = if method == "pufferfish" {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let hybrid = setups::resnet18(10, 1)
                 .to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart)
                 .expect("hybrid");

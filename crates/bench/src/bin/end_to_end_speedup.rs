@@ -20,8 +20,8 @@ use puffer_dist::breakdown::measure_sequential_epoch;
 use puffer_dist::cost::ClusterProfile;
 use puffer_models::resnet::ResNetHybridPlan;
 use puffer_models::units::FactorInit;
+use puffer_probe::Stopwatch;
 use pufferfish::trainer::{evaluate, ImageModel};
-use std::time::Instant;
 
 const NODES: usize = 8;
 
@@ -87,7 +87,7 @@ fn main() {
                     .expect("epoch");
             total += bd.total().as_secs_f64();
         }
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let ImageModel::ResNet(net) = model else { unreachable!() };
         let mut model: ImageModel = net
             .to_hybrid(&ResNetHybridPlan::resnet18_paper(), FactorInit::WarmStart)

@@ -19,8 +19,9 @@ use puffer_models::spec::{resnet50_imagenet, SpecVariant};
 use puffer_models::units::FactorInit;
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
+use puffer_probe::Stopwatch;
 use puffer_tensor::Tensor;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Measures mean (forward, backward) time per batch.
 fn fwd_bwd_time<M: Layer>(
@@ -32,11 +33,11 @@ fn fwd_bwd_time<M: Layer>(
     let (mut fwd, mut bwd) = (Duration::ZERO, Duration::ZERO);
     for _ in 0..reps {
         model.zero_grad();
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let logits = model.forward(images, Mode::Train);
         fwd += t0.elapsed();
         let (_, dl) = softmax_cross_entropy(&logits, labels, 0.0).expect("loss");
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let _ = model.backward(&dl);
         bwd += t0.elapsed();
     }

@@ -13,9 +13,9 @@ use puffer_bench::{record_result, setups};
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::Sgd;
+use puffer_probe::Stopwatch;
 use puffer_prune::lth::LotteryState;
 use pufferfish::trainer::{evaluate, train, ModelPlan, TrainConfig};
-use std::time::Instant;
 
 fn main() {
     let scale = RunScale::from_env();
@@ -26,7 +26,7 @@ fn main() {
 
     // Pufferfish single run.
     let cfg = TrainConfig::cifar_small(epochs_per_round, scale.pick(1, 2));
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let puffer = train(
         setups::vgg19(10, 1),
         ModelPlan::VggHybrid { first_low_rank: 10, rank_ratio: 0.25 },
@@ -44,7 +44,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut cumulative = 0.0f64;
     for round in 0..rounds {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut opt = Sgd::new(0.1, 0.9, 1e-4);
         for epoch in 0..epochs_per_round {
             for (images, labels) in data.train_batches(32, (round * 100 + epoch) as u64) {

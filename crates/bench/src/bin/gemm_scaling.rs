@@ -11,9 +11,8 @@
 //! Usage: `cargo run --release -p puffer-bench --bin gemm_scaling`
 //! (`PUFFER_GEMM_THREADS=1,2,4,8` overrides the thread grid).
 
-use std::time::Instant;
-
 use puffer_bench::record_result;
+use puffer_probe::Stopwatch;
 use puffer_tensor::matmul::{matmul_with_profile, MatmulProfile};
 use puffer_tensor::{pool, Tensor};
 
@@ -21,7 +20,7 @@ use puffer_tensor::{pool, Tensor};
 fn time_matmul(a: &Tensor, b: &Tensor, reps: usize) -> f64 {
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let c = matmul_with_profile(a, b, MatmulProfile::Optimized).unwrap();
         samples.push(t0.elapsed().as_secs_f64());
         // Keep the result observable so the multiply cannot be elided.

@@ -14,12 +14,12 @@ use puffer_models::resnet::ResNetHybridPlan;
 use puffer_models::units::FactorInit;
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
-use std::time::Instant;
+use puffer_probe::Stopwatch;
 
 fn time_trials<F: FnMut()>(mut f: F, trials: usize) -> (f64, f64) {
     let mut times = Vec::with_capacity(trials);
     for _ in 0..trials {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         f();
         times.push(t0.elapsed().as_secs_f64());
     }
@@ -100,7 +100,7 @@ fn main() {
 
     // Ratio against one measured ResNet-18 training epoch.
     let mut net = setups::resnet18(10, 1);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     for (images, labels) in data.train_batches(32, 0) {
         net.zero_grad();
         let logits = net.forward(&images, Mode::Train);

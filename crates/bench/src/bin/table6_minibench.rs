@@ -17,8 +17,8 @@ use puffer_models::units::FactorInit;
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::Sgd;
+use puffer_probe::Stopwatch;
 use puffer_tensor::matmul::{set_default_profile, MatmulProfile};
-use std::time::Instant;
 
 fn epoch_time<M: Layer>(
     model: &mut M,
@@ -28,7 +28,7 @@ fn epoch_time<M: Layer>(
     let mut opt = Sgd::new(0.05, 0.9, 1e-4);
     let mut times = Vec::new();
     for rep in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         for (images, labels) in data.train_batches(32, rep as u64) {
             model.zero_grad();
             let logits = model.forward(&images, Mode::Train);

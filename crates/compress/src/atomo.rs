@@ -11,9 +11,10 @@
 //! and Pufferfish's zero-cost rounds.
 
 use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_probe::Stopwatch;
 use puffer_tensor::svd::truncated_svd_seeded;
 use puffer_tensor::Tensor;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// ATOMO compressor at fixed spectral rank.
 #[derive(Debug)]
@@ -83,7 +84,7 @@ impl GradCompressor for Atomo {
                     let r = self.rank.min(m).min(n);
                     // Encode: per-worker truncated SVD — the per-step cost
                     // the paper's intro criticizes.
-                    let t_enc = Instant::now();
+                    let t_enc = Stopwatch::start();
                     let factors: Vec<_> = worker_grads
                         .iter()
                         .map(|grads| {
@@ -96,7 +97,7 @@ impl GradCompressor for Atomo {
                     bytes += (m * r + r + r * n) * 4;
                     // Decode: every worker reconstructs and averages all
                     // workers' triplets (allgather semantics).
-                    let t_dec = Instant::now();
+                    let t_dec = Stopwatch::start();
                     let mut mean = Tensor::zeros(&[m, n]);
                     for f in &factors {
                         mean.axpy(1.0, &f.reconstruct()).expect("shape");

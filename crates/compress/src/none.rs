@@ -4,8 +4,8 @@
 
 use crate::pack::{pack, unpack};
 use crate::{exact_mean, AggregationKind, GradCompressor, RoundStats};
+use puffer_probe::Stopwatch;
 use puffer_tensor::Tensor;
-use std::time::Instant;
 
 /// No compression: ships raw f32 gradients.
 #[derive(Debug, Default)]
@@ -29,12 +29,12 @@ impl GradCompressor for NoCompression {
 
     fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats) {
         // Encode = flatten into one buffer (the paper's packing step).
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let packed: Vec<_> = worker_grads.iter().map(|g| pack(g)).collect();
         let encode_time = t0.elapsed() / worker_grads.len().max(1) as u32;
         let bytes = packed.first().map(|(_, l)| l.total_bytes()).unwrap_or(0);
         // Decode = unpack the (conceptually allreduced) buffer.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mean = exact_mean(worker_grads);
         let (mean_buf, layout) = pack(&mean);
         let out = unpack(&mean_buf, &layout);

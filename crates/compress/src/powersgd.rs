@@ -15,10 +15,11 @@
 //! communication baseline in Figure 4(b).
 
 use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_probe::Stopwatch;
 use puffer_tensor::matmul::{matmul, matmul_tn};
 use puffer_tensor::svd::orthogonalize_columns;
 use puffer_tensor::Tensor;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// PowerSGD compressor state.
 #[derive(Debug)]
@@ -101,7 +102,7 @@ impl GradCompressor for PowerSgd {
                 Some(m0) => {
                     let (m, n) = (m0.shape()[0], m0.shape()[1]);
                     let r = self.rank.min(m).min(n);
-                    let t_enc = Instant::now();
+                    let t_enc = Stopwatch::start();
                     // Error-compensated per-worker matrices.
                     let mats: Vec<Tensor> = worker_grads
                         .iter()
@@ -133,7 +134,7 @@ impl GradCompressor for PowerSgd {
                     q_mean.scale(1.0 / n_workers as f32);
                     encode_time += t_enc.elapsed();
 
-                    let t_dec = Instant::now();
+                    let t_dec = Stopwatch::start();
                     let decoded = matmul(&p_mean, &q_mean.transpose()).expect("shape");
                     // Update error feedback: e_w = M_w − M̂.
                     for (w, mat) in mats.iter().enumerate() {

@@ -11,10 +11,11 @@
 
 use crate::pack::{pack, unpack, PackLayout};
 use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_probe::Stopwatch;
 use puffer_tensor::Tensor;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One worker's quantized flat gradient.
 #[derive(Debug, Clone)]
@@ -95,7 +96,7 @@ impl GradCompressor for BinaryQuant {
         let mut msgs = Vec::with_capacity(n_workers);
         let mut total_len = 0;
         for grads in worker_grads {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let (flat, layout) = pack(grads);
             total_len = layout.total_len();
             self.layout = Some(layout);
@@ -108,7 +109,7 @@ impl GradCompressor for BinaryQuant {
 
         // Decode: expand every worker's message and average — O(workers · n),
         // the dominant cost in the paper's appendix-F measurement.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut dense = Tensor::zeros(&[total_len]);
         for msg in &msgs {
             for i in 0..total_len {

@@ -9,8 +9,9 @@
 
 use crate::pack::{pack, PackLayout};
 use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_probe::Stopwatch;
 use puffer_tensor::Tensor;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Signum compressor state.
 #[derive(Debug)]
@@ -94,7 +95,7 @@ impl GradCompressor for Signum {
         // Encode: update momentum, take signs.
         let mut msgs = Vec::with_capacity(n_workers);
         for (w, grads) in worker_grads.iter().enumerate() {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let (flat, layout) = pack(grads);
             if self.layout.as_ref() != Some(&layout) {
                 self.layout = Some(layout.clone());
@@ -116,7 +117,7 @@ impl GradCompressor for Signum {
 
         // Decode: majority vote over n_workers sign vectors (cost grows
         // linearly with worker count — the allgather penalty).
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let layout = self.layout.as_ref().expect("layout set above");
         let total = layout.total_len();
         let mut voted = Tensor::zeros(&[total]);

@@ -9,9 +9,10 @@
 
 use crate::pack::{pack, unpack, PackLayout};
 use crate::{AggregationKind, GradCompressor, RoundStats};
+use puffer_probe::Stopwatch;
 use puffer_tensor::stats::top_k_indices;
 use puffer_tensor::Tensor;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Top-k compressor state.
 #[derive(Debug)]
@@ -54,7 +55,7 @@ impl GradCompressor for TopK {
         let mut sparse_msgs: Vec<(Vec<u32>, Vec<f32>)> = Vec::with_capacity(n_workers);
         let mut total_len = 0usize;
         for (w, grads) in worker_grads.iter().enumerate() {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let (mut flat, layout) = pack(grads);
             total_len = layout.total_len();
             if self.layout.as_ref() != Some(&layout) {
@@ -84,7 +85,7 @@ impl GradCompressor for TopK {
         encode_time /= n_workers.max(1) as u32;
 
         // Decode: scatter-add all workers' sparse messages, divide by count.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut dense = Tensor::zeros(&[total_len]);
         for (idx, vals) in &sparse_msgs {
             for (&i, &v) in idx.iter().zip(vals) {

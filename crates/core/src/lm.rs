@@ -12,7 +12,7 @@ use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::clip_grad_norm;
 use puffer_nn::schedule::PlateauDecay;
 use puffer_nn::Result;
-use std::time::Instant;
+use puffer_probe as probe;
 
 /// Hyper-parameters for the LM run.
 #[derive(Debug, Clone)]
@@ -89,16 +89,19 @@ pub fn train_lm(vanilla: LstmLm, corpus: &TextCorpus, cfg: &LmTrainConfig) -> Re
 
     for epoch in 0..cfg.epochs {
         if epoch == cfg.warmup_epochs && cfg.warmup_epochs > 0 && needs_conversion(cfg) {
-            let t0 = Instant::now();
+            let sp =
+                probe::timed_span_with("core", "svd_factorize", || vec![("epoch", epoch.into())]);
             model = model.to_low_rank(cfg.rank, true)?;
-            report.svd_time = Some(t0.elapsed());
+            report.svd_time = Some(sp.finish());
             report.switch_epoch = Some(epoch);
             report.hybrid_params = model.param_count();
             // Paper: LR halves at the switch.
             lr_ctl.scale_lr(0.5);
         }
         let lr = lr_ctl.lr();
-        let t0 = Instant::now();
+        let epoch_span = probe::timed_span_with("core", "epoch", || {
+            vec![("epoch", epoch.into()), ("lr", lr.into())]
+        });
         let mut loss_sum = 0.0f64;
         let mut steps = 0usize;
         for batch in bptt_batches(&train_b, cfg.bptt) {
@@ -117,6 +120,8 @@ pub fn train_lm(vanilla: LstmLm, corpus: &TextCorpus, cfg: &LmTrainConfig) -> Re
             steps += 1;
         }
         let val_loss = eval_stream(&mut model, &valid_b, cfg.bptt)?;
+        // The epoch span covers train + eval, as in the image trainer.
+        let wall = epoch_span.finish();
         lr_ctl.observe(val_loss);
         report.epochs.push(EpochMetrics {
             epoch,
@@ -125,7 +130,7 @@ pub fn train_lm(vanilla: LstmLm, corpus: &TextCorpus, cfg: &LmTrainConfig) -> Re
             eval_accuracy: None,
             lr,
             params: model.param_count(),
-            wall: t0.elapsed(),
+            wall,
         });
     }
     let test_loss = eval_stream(&mut model, &test_b, cfg.bptt)?;

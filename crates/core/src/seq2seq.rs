@@ -9,8 +9,8 @@ use puffer_models::transformer::TransformerModel;
 use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::{clip_grad_norm, Adam};
 use puffer_nn::Result;
+use puffer_probe as probe;
 use puffer_tensor::Tensor;
-use std::time::Instant;
 
 /// Hyper-parameters for the seq2seq run.
 #[derive(Debug, Clone)]
@@ -83,14 +83,15 @@ pub fn train_seq2seq(
 
     for epoch in 0..cfg.epochs {
         if epoch == cfg.warmup_epochs && cfg.warmup_epochs > 0 && needs_conversion {
-            let t0 = Instant::now();
+            let sp =
+                probe::timed_span_with("core", "svd_factorize", || vec![("epoch", epoch.into())]);
             model = model.to_hybrid(cfg.rank, true)?;
-            report.svd_time = Some(t0.elapsed());
+            report.svd_time = Some(sp.finish());
             report.switch_epoch = Some(epoch);
             report.hybrid_params = model.param_count();
             opt = Adam::new(cfg.lr, 0.9, 0.98, 1e-8, 0.0);
         }
-        let t0 = Instant::now();
+        let epoch_span = probe::timed_span_with("core", "epoch", || vec![("epoch", epoch.into())]);
         let mut loss_sum = 0.0f64;
         let mut steps = 0usize;
         for (src, tgt) in data.batches(data.train_pairs(), cfg.batch_size) {
@@ -105,6 +106,8 @@ pub fn train_seq2seq(
             steps += 1;
         }
         let val_loss = evaluate_nll(&mut model, data, data.valid_pairs(), cfg.batch_size)?;
+        // The epoch span covers train + eval, as in the image trainer.
+        let wall = epoch_span.finish();
         report.epochs.push(EpochMetrics {
             epoch,
             train_loss: (loss_sum / steps.max(1) as f64) as f32,
@@ -112,7 +115,7 @@ pub fn train_seq2seq(
             eval_accuracy: None,
             lr: cfg.lr,
             params: model.param_count(),
-            wall: t0.elapsed(),
+            wall,
         });
     }
     let valid_bleu = evaluate_bleu(&mut model, data.valid_pairs(), 24);

@@ -1,7 +1,7 @@
 //! Corpus-level BLEU (Papineni et al. 2002), the metric of the paper's
 //! Table 3 translation experiment.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Corpus BLEU with n-gram precision up to `max_n` (standard BLEU-4 uses
 /// `max_n = 4`) and the brevity penalty, with +1 smoothing on the
@@ -63,8 +63,10 @@ pub fn bleu4_percent(hypotheses: &[Vec<usize>], references: &[Vec<usize>]) -> f6
     corpus_bleu(hypotheses, references, 4) * 100.0
 }
 
-fn ngram_counts(seq: &[usize], n: usize) -> HashMap<&[usize], usize> {
-    let mut map = HashMap::new();
+// BTreeMap so iteration order (and thus any float accumulation driven by
+// it) is a function of the data alone, not the hasher.
+fn ngram_counts(seq: &[usize], n: usize) -> BTreeMap<&[usize], usize> {
+    let mut map = BTreeMap::new();
     if seq.len() >= n {
         for gram in seq.windows(n) {
             *map.entry(gram).or_insert(0) += 1;
@@ -131,5 +133,24 @@ mod tests {
     #[should_panic(expected = "corpus size")]
     fn mismatched_sizes_panic() {
         let _ = corpus_bleu(&[vec![1]], &[], 4);
+    }
+
+    #[test]
+    fn ngram_iteration_order_is_pinned() {
+        // The counts map drives a float log-sum in corpus_bleu; its
+        // iteration order must be a property of the data, not the hasher.
+        let seq = [3usize, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let grams: Vec<&[usize]> = ngram_counts(&seq, 2).into_keys().collect();
+        let mut sorted = grams.clone();
+        sorted.sort();
+        assert_eq!(grams, sorted, "ngram iteration must follow key order");
+
+        // And the corpus score is bitwise-stable across calls.
+        let hyp = vec![vec![3, 1, 4, 1, 5], vec![9, 2, 6, 5, 3]];
+        let rf = vec![vec![3, 1, 4, 2, 5], vec![9, 2, 6, 3, 5]];
+        let first = corpus_bleu(&hyp, &rf, 4);
+        for _ in 0..8 {
+            assert_eq!(first.to_bits(), corpus_bleu(&hyp, &rf, 4).to_bits());
+        }
     }
 }

@@ -182,12 +182,14 @@ mod tests {
         // predictable, so an LM has something to learn.
         let c = TextCorpus::generate(TextCorpusConfig::small(5));
         let v = c.vocab();
-        let mut counts = std::collections::HashMap::new();
+        // BTreeMap: the entropy below is a float sum over the iteration
+        // order, which must not depend on the hasher.
+        let mut counts = std::collections::BTreeMap::new();
         let s = c.train_stream();
         for w in s.windows(2) {
             *counts.entry((w[0], w[1])).or_insert(0usize) += 1;
         }
-        let mut ctx_totals = std::collections::HashMap::new();
+        let mut ctx_totals = std::collections::BTreeMap::new();
         for (&(a, _), &n) in &counts {
             *ctx_totals.entry(a).or_insert(0usize) += n;
         }

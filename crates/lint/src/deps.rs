@@ -1,0 +1,288 @@
+//! `dep-allowlist`: a minimal Cargo manifest reader.
+//!
+//! The workspace's zero-dependency posture is a contract: the substrate
+//! stays auditable and builds anywhere the toolchain does. This module
+//! parses just enough TOML to enumerate dependency entries — bracketed
+//! sections, `name = "ver"`, `name = { … }` inline tables, and the
+//! `name.workspace = true` dotted form — and classifies each as internal
+//! (a `path` dependency, directly or through `[workspace.dependencies]`)
+//! or external. Externals must be on [`crate::rules::ALLOWED_DEPS`]
+//! (plus [`crate::rules::ALLOWED_DEV_DEPS`] in dev sections).
+
+use crate::rules::{Diagnostic, ALLOWED_DEPS, ALLOWED_DEV_DEPS};
+use std::collections::BTreeMap;
+
+/// Which manifest table a dependency entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepSection {
+    /// `[dependencies]` / `[build-dependencies]` / target-specific.
+    Normal,
+    /// `[dev-dependencies]`.
+    Dev,
+    /// `[workspace.dependencies]` declarations at the workspace root.
+    WorkspaceDecl,
+}
+
+/// One parsed dependency entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEntry {
+    /// Crate name.
+    pub name: String,
+    /// Table it appeared in.
+    pub section: DepSection,
+    /// 1-based line of the entry.
+    pub line: u32,
+    /// Entry carries a `path` key (workspace-internal crate).
+    pub has_path: bool,
+    /// Entry is a `workspace = true` reference.
+    pub workspace_ref: bool,
+}
+
+fn dep_section(section: &str) -> Option<DepSection> {
+    if section == "workspace.dependencies" {
+        Some(DepSection::WorkspaceDecl)
+    } else if section == "dev-dependencies" || section.ends_with(".dev-dependencies") {
+        Some(DepSection::Dev)
+    } else if section == "dependencies"
+        || section == "build-dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".build-dependencies")
+    {
+        Some(DepSection::Normal)
+    } else {
+        None
+    }
+}
+
+fn strip_quotes(s: &str) -> &str {
+    s.trim().trim_matches('"')
+}
+
+/// Keys present in a single-line inline table `{ k = v, … }`.
+fn inline_table_keys(value: &str) -> Vec<String> {
+    let inner = value.trim().trim_start_matches('{').trim_end_matches('}');
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                keys.push(current.clone());
+                current.clear();
+                continue;
+            }
+            _ => {}
+        }
+        current.push(c);
+    }
+    keys.push(current);
+    keys.iter()
+        .filter_map(|kv| kv.split('=').next())
+        .map(|k| strip_quotes(k).to_string())
+        .filter(|k| !k.is_empty())
+        .collect()
+}
+
+/// Parses every dependency entry in a manifest.
+pub fn parse_manifest(text: &str) -> Vec<DepEntry> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut in_dep_subtable = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).trim().to_string();
+            in_dep_subtable = false;
+            // `[dependencies.foo]` declares entry `foo` as its own table.
+            for tbl in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+                if let Some(name) = section.strip_prefix(tbl) {
+                    // Subsequent `path = …` lines belong to this entry; we
+                    // record it now and patch `has_path` as they arrive.
+                    in_dep_subtable = true;
+                    out.push(DepEntry {
+                        name: strip_quotes(name).to_string(),
+                        section: dep_section(tbl.trim_end_matches('.'))
+                            .unwrap_or(DepSection::Normal),
+                        line: idx as u32 + 1,
+                        has_path: false,
+                        workspace_ref: false,
+                    });
+                }
+            }
+            continue;
+        }
+        let Some(sec) = dep_section(&section) else {
+            // Inside `[dependencies.foo]`-style subtables the section name
+            // itself carried the entry; pick up its `path`/`workspace` keys.
+            if in_dep_subtable {
+                if let Some((key, value)) = line.split_once('=') {
+                    if let Some(last) = out.last_mut() {
+                        let key = strip_quotes(key);
+                        if key == "path" {
+                            last.has_path = true;
+                        } else if key == "workspace" && value.trim() == "true" {
+                            last.workspace_ref = true;
+                        }
+                    }
+                }
+            }
+            continue;
+        };
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = strip_quotes(key);
+        let value = value.trim();
+        // `name.workspace = true` dotted form.
+        if let Some((name, attr)) = key.split_once('.') {
+            out.push(DepEntry {
+                name: strip_quotes(name).to_string(),
+                section: sec,
+                line: idx as u32 + 1,
+                has_path: attr == "path",
+                workspace_ref: attr == "workspace" && value == "true",
+            });
+            continue;
+        }
+        let keys = if value.starts_with('{') { inline_table_keys(value) } else { Vec::new() };
+        out.push(DepEntry {
+            name: name_of(key),
+            section: sec,
+            line: idx as u32 + 1,
+            has_path: keys.iter().any(|k| k == "path"),
+            workspace_ref: keys.iter().any(|k| k == "workspace"),
+        });
+    }
+    out
+}
+
+fn name_of(key: &str) -> String {
+    strip_quotes(key).to_string()
+}
+
+/// Internal/external classification of the root `[workspace.dependencies]`.
+pub type WorkspaceDeps = BTreeMap<String, bool>;
+
+/// Extracts `name → is_path` from the root manifest's workspace table.
+pub fn workspace_decls(root_manifest: &str) -> WorkspaceDeps {
+    parse_manifest(root_manifest)
+        .into_iter()
+        .filter(|d| d.section == DepSection::WorkspaceDecl)
+        .map(|d| (d.name, d.has_path))
+        .collect()
+}
+
+/// Checks one manifest's entries against the allowlist.
+pub fn check_manifest(rel_path: &str, text: &str, workspace: &WorkspaceDeps) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for dep in parse_manifest(text) {
+        let internal = dep.has_path
+            || (dep.workspace_ref && workspace.get(&dep.name).copied().unwrap_or(false));
+        if internal {
+            continue;
+        }
+        let allowed = match dep.section {
+            DepSection::Normal => ALLOWED_DEPS.contains(&dep.name.as_str()),
+            DepSection::Dev | DepSection::WorkspaceDecl => {
+                ALLOWED_DEPS.contains(&dep.name.as_str())
+                    || ALLOWED_DEV_DEPS.contains(&dep.name.as_str())
+            }
+        };
+        if !allowed {
+            let hint = if ALLOWED_DEV_DEPS.contains(&dep.name.as_str()) {
+                format!("`{}` is allowed as a dev-dependency only", dep.name)
+            } else {
+                format!(
+                    "external dependency `{}` is not on the workspace allowlist \
+                     ({}; dev-only: {})",
+                    dep.name,
+                    ALLOWED_DEPS.join(", "),
+                    ALLOWED_DEV_DEPS.join(", ")
+                )
+            };
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: dep.line,
+                col: 1,
+                rule: "dep-allowlist",
+                message: hint,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROOT: &str = r#"
+[workspace.dependencies]
+puffer-tensor = { path = "crates/tensor" }
+rand = { version = "0.8", default-features = false }
+proptest = "1"
+"#;
+
+    #[test]
+    fn parses_all_entry_forms() {
+        let m = r#"
+[dependencies]
+puffer-tensor.workspace = true
+rand = { version = "0.8" }
+local = { path = "../local" }
+
+[dev-dependencies]
+proptest = "1"
+"#;
+        let deps = parse_manifest(m);
+        assert_eq!(deps.len(), 4);
+        assert!(deps[0].workspace_ref && deps[0].name == "puffer-tensor");
+        assert!(!deps[1].has_path && deps[1].name == "rand");
+        assert!(deps[2].has_path);
+        assert_eq!(deps[3].section, DepSection::Dev);
+    }
+
+    #[test]
+    fn dotted_subtable_form() {
+        let m = "[dependencies.serde_json]\nversion = \"1\"\n";
+        let deps = parse_manifest(m);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].name, "serde_json");
+        assert!(!deps[0].has_path);
+    }
+
+    #[test]
+    fn workspace_ref_resolves_through_root() {
+        let ws = workspace_decls(ROOT);
+        let ok = "[dependencies]\npuffer-tensor.workspace = true\nrand.workspace = true\n";
+        assert!(check_manifest("c/Cargo.toml", ok, &ws).is_empty());
+    }
+
+    #[test]
+    fn external_not_on_allowlist_flagged_with_line() {
+        let ws = workspace_decls(ROOT);
+        let bad = "[dependencies]\nserde_json = \"1\"\n";
+        let diags = check_manifest("c/Cargo.toml", bad, &ws);
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].line, diags[0].rule), (2, "dep-allowlist"));
+    }
+
+    #[test]
+    fn criterion_dev_only() {
+        let ws = workspace_decls(ROOT);
+        let bad = "[dependencies]\ncriterion = \"0.5\"\n";
+        assert_eq!(check_manifest("c/Cargo.toml", bad, &ws).len(), 1);
+        let ok = "[dev-dependencies]\ncriterion = \"0.5\"\n";
+        assert!(check_manifest("c/Cargo.toml", ok, &ws).is_empty());
+    }
+
+    #[test]
+    fn comments_and_package_tables_ignored() {
+        let ws = WorkspaceDeps::new();
+        let m = "[package]\nname = \"x\"\n# criterion = \"0.5\"\n[dependencies]\n# serde_json = \"1\"\n";
+        assert!(check_manifest("c/Cargo.toml", m, &ws).is_empty());
+    }
+}

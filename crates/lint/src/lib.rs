@@ -1,0 +1,238 @@
+//! `puffer-lint`: the workspace's own static analyzer.
+//!
+//! The repo's correctness story rests on contracts no compiler checks:
+//! the fault-tolerance layer must never panic (a panicking aggregator
+//! cannot survive its own fault model), timing must flow through
+//! `puffer-probe` (so the Fig.-4 breakdowns and the Chrome trace are the
+//! same numbers), `unsafe` must carry its safety argument in-source, and
+//! the dependency set must stay frozen. Those contracts used to be two
+//! awk/grep lines in `scripts/check.sh` — comment-blind, string-blind,
+//! and blind to everything after the first `#[cfg(test)]` in a file.
+//!
+//! This crate replaces them with a real (zero-dependency) analyzer:
+//!
+//! 1. [`lexer`] — a full Rust token model (nested block comments, raw
+//!    strings, lifetimes vs. chars, raw identifiers);
+//! 2. [`scope`] — exact per-token `#[cfg(test)]` masking, nested and
+//!    repeated test modules included;
+//! 3. [`rules`] — the rule catalog and engine (see `rules::RULES`);
+//! 4. [`deps`] — a Cargo manifest reader backing `dep-allowlist`.
+//!
+//! [`run`] walks a workspace root and returns a [`Report`]; the binary
+//! renders it as `file:line:col` diagnostics or `--json`.
+
+pub mod deps;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+pub use rules::{Diagnostic, RuleInfo, RULES};
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What to scan and which rules to run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (diagnostic paths are reported relative to it).
+    pub root: PathBuf,
+    /// Rule-name filter; `None` runs everything.
+    pub rules: Option<BTreeSet<String>>,
+}
+
+impl Config {
+    /// All rules over `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Config { root: root.into(), rules: None }
+    }
+
+    fn enabled(&self, rule: &str) -> bool {
+        self.rules.as_ref().is_none_or(|set| set.contains(rule))
+    }
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col).
+    pub diagnostics: Vec<Diagnostic>,
+    /// `.rs` files lexed.
+    pub files_scanned: usize,
+    /// `Cargo.toml` files checked.
+    pub manifests_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the machine-readable `--json` document (schema: object with
+    /// `version`, `files_scanned`, `manifests_scanned`, and `diagnostics`,
+    /// an array of `{file, line, col, rule, message}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(
+            out,
+            "  \"version\": 1,\n  \"files_scanned\": {},\n  \"manifests_scanned\": {},\n",
+            self.files_scanned, self.manifests_scanned
+        );
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"file\": ");
+            json_str(&mut out, &d.file);
+            let _ = write!(out, ", \"line\": {}, \"col\": {}, \"rule\": ", d.line, d.col);
+            json_str(&mut out, d.rule);
+            out.push_str(", \"message\": ");
+            json_str(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str(if self.diagnostics.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// the lint suite's own deliberately-violating fixtures.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+fn walk(dir: &Path, rs: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(&path, rs, manifests)?;
+            }
+        } else if name.ends_with(".rs") {
+            rs.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the configured rules over the workspace.
+///
+/// # Errors
+///
+/// Returns a message if the root cannot be walked or a file cannot be
+/// read; individual rule findings are *not* errors (they land in the
+/// [`Report`]).
+pub fn run(config: &Config) -> Result<Report, String> {
+    let mut rs_files = Vec::new();
+    let mut manifests = Vec::new();
+    walk(&config.root, &mut rs_files, &mut manifests)?;
+    rs_files.sort();
+    manifests.sort();
+
+    let mut report = Report::default();
+    for path in &rs_files {
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(&config.root).unwrap_or(path);
+        let tokens = lexer::lex(&src);
+        let mask = scope::test_mask(&tokens);
+        let ctx = rules::FileContext::new(rel, &tokens, &mask);
+        report.diagnostics.extend(rules::check_tokens(&ctx, &|rule| config.enabled(rule)));
+        report.files_scanned += 1;
+    }
+
+    if config.enabled("dep-allowlist") {
+        let root_manifest = config.root.join("Cargo.toml");
+        let workspace = if root_manifest.is_file() {
+            let text = fs::read_to_string(&root_manifest)
+                .map_err(|e| format!("cannot read {}: {e}", root_manifest.display()))?;
+            deps::workspace_decls(&text)
+        } else {
+            deps::WorkspaceDeps::new()
+        };
+        for path in &manifests {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path.strip_prefix(&config.root).unwrap_or(path);
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            report.diagnostics.extend(deps::check_manifest(&rel, &text, &workspace));
+            report.manifests_scanned += 1;
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Resolves a `--rules` filter string, rejecting unknown rule names.
+///
+/// # Errors
+///
+/// Returns the offending name if it is not in [`RULES`].
+pub fn parse_rules_filter(spec: &str) -> Result<BTreeSet<String>, String> {
+    let mut set = BTreeSet::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !RULES.iter().any(|r| r.name == name) {
+            return Err(format!(
+                "unknown rule `{name}` (known: {})",
+                RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        set.insert(name.to_string());
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_filter_rejects_unknown() {
+        assert!(parse_rules_filter("dist-no-panic, dep-allowlist").is_ok());
+        assert!(parse_rules_filter("no-such-rule").is_err());
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut s = String::new();
+        json_str(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_renders_valid_json() {
+        let r = Report::default();
+        let j = r.to_json();
+        assert!(j.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,88 @@
+//! CLI for `puffer-lint`.
+//!
+//! ```text
+//! cargo run --release -p puffer-lint                # lint the workspace
+//! cargo run --release -p puffer-lint -- --json      # machine-readable
+//! cargo run --release -p puffer-lint -- --rules dist-no-panic,dep-allowlist
+//! cargo run --release -p puffer-lint -- --root path/to/tree
+//! cargo run --release -p puffer-lint -- --list      # print the rule catalog
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use puffer_lint::{run, Config, RULES};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: puffer-lint [--root DIR] [--rules a,b,...] [--json] [--list]"
+}
+
+fn main() -> ExitCode {
+    let mut config = Config::new(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => {
+                for rule in RULES {
+                    println!("{:30} {}", rule.name, rule.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => config.root = dir.into(),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => match args.next().map(|s| puffer_lint::parse_rules_filter(&s)) {
+                Some(Ok(set)) => config.rules = Some(set),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--rules needs a comma-separated list\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("puffer-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{}:{}:{}: {}: {}", d.file, d.line, d.col, d.rule, d.message);
+        }
+        eprintln!(
+            "puffer-lint: {} finding(s) across {} source file(s), {} manifest(s)",
+            report.diagnostics.len(),
+            report.files_scanned,
+            report.manifests_scanned
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

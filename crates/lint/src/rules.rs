@@ -1,0 +1,461 @@
+//! The rule engine: each rule walks a lexed token stream (with its
+//! `#[cfg(test)]` mask) or a manifest and emits [`Diagnostic`]s.
+//!
+//! # Rule catalog
+//!
+//! | rule | scope | contract |
+//! |---|---|---|
+//! | `dist-no-panic` | `crates/dist/src`, non-test | failures route through `DistError`, never panic |
+//! | `dist-no-instant` | `crates/dist/src`, non-test | dist timing flows through `puffer_probe::TimedSpan` |
+//! | `unsafe-needs-safety-comment` | workspace, incl. tests | every `unsafe` is preceded by a `// SAFETY:` comment |
+//! | `no-wall-clock-outside-probe` | workspace minus `crates/probe`, non-test | `Instant`/`SystemTime` live only in `puffer-probe` |
+//! | `dep-allowlist` | every `Cargo.toml` | external deps restricted to the workspace allowlist |
+//!
+//! # Suppression
+//!
+//! A comment containing `lint:allow(<rule>[, <rule>…])` suppresses those
+//! rules on the comment's own line(s) and the line immediately after it —
+//! so both trailing (`stmt // lint:allow(x)`) and preceding-line markers
+//! work. Suppressions are deliberate, visible exemptions; prefer fixing.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// One finding, positioned for `file:line:col` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the scan root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Static description of a rule, for `--rules` filtering and docs.
+pub struct RuleInfo {
+    /// The rule's name as used in `--rules` and `lint:allow(...)`.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// Every rule this binary knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "dist-no-panic",
+        description: "no .unwrap()/.expect()/panic!/unreachable! in crates/dist non-test code \
+                      (route failures through DistError)",
+    },
+    RuleInfo {
+        name: "dist-no-instant",
+        description: "no raw std::time::Instant in crates/dist non-test code \
+                      (use puffer_probe::TimedSpan)",
+    },
+    RuleInfo {
+        name: "unsafe-needs-safety-comment",
+        description: "every unsafe block/fn/impl must be preceded by a // SAFETY: comment",
+    },
+    RuleInfo {
+        name: "no-wall-clock-outside-probe",
+        description: "Instant/SystemTime are confined to crates/probe \
+                      (use puffer_probe::{timed_span, Stopwatch})",
+    },
+    RuleInfo {
+        name: "dep-allowlist",
+        description: "external dependencies restricted to the workspace allowlist \
+                      (rand/crossbeam/parking_lot/serde; criterion/proptest as dev-deps only)",
+    },
+];
+
+/// External crates allowed as regular dependencies.
+pub const ALLOWED_DEPS: &[&str] = &["rand", "crossbeam", "parking_lot", "serde"];
+/// External crates additionally allowed as dev-dependencies.
+pub const ALLOWED_DEV_DEPS: &[&str] = &["proptest", "criterion"];
+
+/// Pre-computed per-file context shared by the token rules.
+pub struct FileContext<'a> {
+    /// Path relative to the scan root, `/`-separated.
+    pub rel_path: String,
+    /// Lexed tokens.
+    pub tokens: &'a [Token],
+    /// Per-token `#[cfg(test)]` mask.
+    pub test_mask: &'a [bool],
+    /// `lint:allow` suppressions: line → rules allowed there.
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Whether the file itself is test/bench code (under a `tests/` or
+    /// `benches/` directory).
+    pub is_test_file: bool,
+}
+
+impl<'a> FileContext<'a> {
+    /// Builds the context for one lexed file.
+    pub fn new(root_rel: &Path, tokens: &'a [Token], test_mask: &'a [bool]) -> Self {
+        let rel_path = root_rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let is_test_file = root_rel
+            .components()
+            .any(|c| matches!(c.as_os_str().to_str(), Some("tests") | Some("benches")));
+        let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+        for t in tokens.iter().filter(|t| t.is_comment()) {
+            for rule in parse_allow_marker(&t.text) {
+                // The marker covers the comment's own line(s) and the line
+                // right below it.
+                for line in t.line..=t.end_line() + 1 {
+                    allows.entry(line).or_default().insert(rule.clone());
+                }
+            }
+        }
+        FileContext { rel_path, tokens, test_mask, allows, is_test_file }
+    }
+
+    fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(&line).is_some_and(|set| set.contains(rule))
+    }
+
+    fn diag(&self, rule: &'static str, tok: &Token, message: String, out: &mut Vec<Diagnostic>) {
+        if !self.suppressed(rule, tok.line) {
+            out.push(Diagnostic {
+                file: self.rel_path.clone(),
+                line: tok.line,
+                col: tok.col,
+                rule,
+                message,
+            });
+        }
+    }
+
+    fn in_dist_src(&self) -> bool {
+        self.rel_path.contains("crates/dist/src/")
+    }
+
+    fn in_probe(&self) -> bool {
+        self.rel_path.contains("crates/probe/")
+    }
+}
+
+/// Extracts rule names from `lint:allow(a, b)` markers in a comment.
+fn parse_allow_marker(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(idx) = rest.find("lint:allow(") {
+        rest = &rest[idx + "lint:allow(".len()..];
+        if let Some(close) = rest.find(')') {
+            out.extend(
+                rest[..close].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()),
+            );
+            rest = &rest[close + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Runs every enabled token-level rule over one file.
+pub fn check_tokens(ctx: &FileContext<'_>, enabled: &dyn Fn(&str) -> bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if enabled("dist-no-panic") {
+        dist_no_panic(ctx, &mut out);
+    }
+    if enabled("dist-no-instant") {
+        dist_no_instant(ctx, &mut out);
+    }
+    if enabled("unsafe-needs-safety-comment") {
+        unsafe_needs_safety_comment(ctx, &mut out);
+    }
+    if enabled("no-wall-clock-outside-probe") {
+        no_wall_clock_outside_probe(ctx, &mut out);
+    }
+    out
+}
+
+/// Iterator over non-comment token indices with their mask.
+fn code_tokens<'a>(
+    ctx: &'a FileContext<'_>,
+) -> impl Iterator<Item = (usize, &'a Token, bool)> + 'a {
+    ctx.tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .map(|(i, t)| (i, t, ctx.test_mask[i]))
+}
+
+/// Previous / next non-comment token relative to index `i`.
+fn prev_code<'a>(ctx: &'a FileContext<'_>, i: usize) -> Option<&'a Token> {
+    ctx.tokens[..i].iter().rev().find(|t| !t.is_comment())
+}
+
+fn next_code<'a>(ctx: &'a FileContext<'_>, i: usize) -> Option<&'a Token> {
+    ctx.tokens[i + 1..].iter().find(|t| !t.is_comment())
+}
+
+fn dist_no_panic(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_dist_src() || ctx.is_test_file {
+        return;
+    }
+    for (i, tok, in_test) in code_tokens(ctx) {
+        if in_test || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "unwrap" | "expect" => {
+                let after_dot = prev_code(ctx, i).is_some_and(|p| p.kind == TokenKind::Punct('.'));
+                let called = next_code(ctx, i).is_some_and(|n| n.kind == TokenKind::Punct('('));
+                if after_dot && called {
+                    ctx.diag(
+                        "dist-no-panic",
+                        tok,
+                        format!(
+                            "`.{}()` in puffer-dist non-test code; route the failure through \
+                             DistError instead",
+                            tok.text
+                        ),
+                        out,
+                    );
+                }
+            }
+            "panic" | "unreachable"
+                if next_code(ctx, i).is_some_and(|n| n.kind == TokenKind::Punct('!')) =>
+            {
+                ctx.diag(
+                    "dist-no-panic",
+                    tok,
+                    format!(
+                        "`{}!` in puffer-dist non-test code; a panicking aggregator cannot \
+                         survive its own fault model — return DistError",
+                        tok.text
+                    ),
+                    out,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn dist_no_instant(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.in_dist_src() || ctx.is_test_file {
+        return;
+    }
+    for (_, tok, in_test) in code_tokens(ctx) {
+        if !in_test && tok.kind == TokenKind::Ident && tok.text == "Instant" {
+            ctx.diag(
+                "dist-no-instant",
+                tok,
+                "raw std::time::Instant in puffer-dist non-test code; time through \
+                 puffer_probe::TimedSpan so breakdown bins and traces stay one set of numbers"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Tokens that may legitimately sit between a `SAFETY:` comment and the
+/// `unsafe` keyword it justifies: the rest of the item/statement header.
+fn header_token(t: &Token) -> bool {
+    match t.kind {
+        TokenKind::Ident | TokenKind::Lifetime | TokenKind::NumLit => true,
+        TokenKind::Punct(c) => "#[]()<>,:&*=!".contains(c),
+        _ => false,
+    }
+}
+
+fn unsafe_needs_safety_comment(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        // Walk backward over the header of the construct containing
+        // `unsafe` (`pub`, `let x =`, attributes…) and through the
+        // contiguous comment run above it — a multi-line `//` justification
+        // is several comment tokens, any of which may carry `SAFETY:`. A
+        // statement boundary (`;`, `{`, `}`) or other code token ends the
+        // search, so a comment on an *earlier* statement cannot justify
+        // this one.
+        let mut justified = false;
+        let mut in_comment_run = false;
+        for prev in ctx.tokens[..i].iter().rev() {
+            if prev.is_comment() {
+                in_comment_run = true;
+                if prev.text.contains("SAFETY:") {
+                    justified = true;
+                    break;
+                }
+                continue;
+            }
+            if in_comment_run || !header_token(prev) {
+                break;
+            }
+        }
+        if !justified {
+            ctx.diag(
+                "unsafe-needs-safety-comment",
+                tok,
+                "`unsafe` without a preceding `// SAFETY:` comment; state the invariant that \
+                 makes this sound"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+fn no_wall_clock_outside_probe(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.in_probe() || ctx.is_test_file {
+        return;
+    }
+    for (_, tok, in_test) in code_tokens(ctx) {
+        if !in_test
+            && tok.kind == TokenKind::Ident
+            && (tok.text == "Instant" || tok.text == "SystemTime")
+        {
+            ctx.diag(
+                "no-wall-clock-outside-probe",
+                tok,
+                format!(
+                    "`{}` outside crates/probe; use puffer_probe::timed_span for traced \
+                     intervals or puffer_probe::Stopwatch for raw measurements",
+                    tok.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::test_mask;
+
+    fn run(path: &str, src: &str) -> Vec<(String, u32, String)> {
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let ctx = FileContext::new(Path::new(path), &toks, &mask);
+        check_tokens(&ctx, &|_| true)
+            .into_iter()
+            .map(|d| (d.rule.to_string(), d.line, d.message))
+            .collect()
+    }
+
+    #[test]
+    fn dist_panics_flagged_only_outside_tests_and_literals() {
+        let src = r##"
+fn live(x: Option<u32>) -> u32 {
+    let s = ".unwrap(";          // string decoy
+    /* panic!("decoy") */
+    let r = r#"panic!("x")"#;    // raw string decoy
+    x.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u32>) { x.unwrap(); panic!("fine in tests"); }
+}
+"##;
+        let diags = run("crates/dist/src/foo.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].0.as_str(), diags[0].1), ("dist-no-panic", 6));
+    }
+
+    #[test]
+    fn expect_and_macros_flagged() {
+        let src = "fn f(x: Option<u32>) { x.expect(\"m\"); panic!(\"b\"); unreachable!() }";
+        let diags = run("crates/dist/src/foo.rs", src);
+        let rules: Vec<_> = diags.iter().map(|d| d.0.as_str()).collect();
+        assert_eq!(rules, ["dist-no-panic"; 3]);
+    }
+
+    #[test]
+    fn expect_method_name_without_call_not_flagged() {
+        // `std::panic::catch_unwind` has `panic` as a path segment, not a
+        // macro bang; a field named `expect` is not a call.
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| 1); let e = cfg.expect; }";
+        assert!(run("crates/dist/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dist_rules_do_not_apply_outside_dist() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }";
+        assert!(run("crates/nn/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_probe_but_not_inside() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert_eq!(run("crates/core/src/foo.rs", src).len(), 2);
+        assert!(run("crates/probe/src/span.rs", src).is_empty());
+        let sys = "fn f() { let t = std::time::SystemTime::now(); }";
+        assert_eq!(run("crates/nn/src/x.rs", sys).len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_exempt_in_test_and_bench_files() {
+        let src = "use std::time::Instant;";
+        assert!(run("crates/tensor/tests/probe_overhead.rs", src).is_empty());
+        assert!(run("crates/nn/benches/layer_bench.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let good = "// SAFETY: disjoint chunks.\nunsafe { do_it() }";
+        assert!(run("crates/tensor/src/x.rs", good).is_empty());
+        let good_header = "// SAFETY: sound because X.\npub unsafe fn f() {}";
+        assert!(run("crates/tensor/src/x.rs", good_header).is_empty());
+        let good_block = "/* SAFETY: block form. */\nunsafe impl Send for X {}";
+        assert!(run("crates/tensor/src/x.rs", good_block).is_empty());
+        let bad = "fn f() { unsafe { do_it() } }";
+        let diags = run("crates/tensor/src/x.rs", bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].0, "unsafe-needs-safety-comment");
+    }
+
+    #[test]
+    fn multi_line_comment_run_with_safety_first_line_counts() {
+        let src = "\
+// SAFETY: the borrow is joined below,
+// so the transmute to 'static never
+// outlives the data.
+let job: Job = unsafe { transmute(job) };";
+        assert!(run("crates/tensor/src/x.rs", src).is_empty());
+        // …but a comment on an earlier statement does not justify this one.
+        let src = "// SAFETY: for that line.\nlet a = 1;\nunsafe { b() }";
+        assert_eq!(run("crates/tensor/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn second_unsafe_impl_needs_its_own_comment() {
+        let src = "// SAFETY: for Send.\nunsafe impl Send for X {}\nunsafe impl Sync for X {}";
+        let diags = run("crates/tensor/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].1, 3);
+    }
+
+    #[test]
+    fn lint_allow_suppresses_on_line_and_next_line() {
+        let trailing =
+            "fn f() { let t = Instant::now(); } // lint:allow(no-wall-clock-outside-probe)";
+        assert!(run("crates/core/src/x.rs", trailing).is_empty());
+        let above =
+            "// lint:allow(no-wall-clock-outside-probe)\nfn f() { let t = Instant::now(); }";
+        assert!(run("crates/core/src/x.rs", above).is_empty());
+        let wrong_rule = "// lint:allow(dist-no-panic)\nfn f() { let t = Instant::now(); }";
+        assert_eq!(run("crates/core/src/x.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn allow_marker_parses_lists() {
+        assert_eq!(parse_allow_marker("// lint:allow(a, b)"), ["a", "b"]);
+        assert!(parse_allow_marker("// nothing here").is_empty());
+    }
+}

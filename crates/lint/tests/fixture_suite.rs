@@ -1,0 +1,101 @@
+//! The lint's self-test: run the engine over `tests/fixtures/` — a
+//! miniature workspace seeded with one violation per rule edge case — and
+//! pin every finding to its exact `file:line`.
+//!
+//! This is also the regression suite for the two bugs the lexer-based
+//! lint fixes over the old awk/grep gate:
+//!
+//! 1. **comment/string blindness** — decoy `".unwrap("` literals and
+//!    `panic!` in comments must produce *zero* findings;
+//! 2. **the first-`#[cfg(test)]` early exit** — code after an early test
+//!    module must still be scanned (`after_test_module.rs`).
+
+use puffer_lint::{run, Config};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Every seeded violation: (file, line, rule).
+const EXPECTED: &[(&str, u32, &str)] = &[
+    ("crates/badcrate/Cargo.toml", 12, "dep-allowlist"),
+    ("crates/badcrate/Cargo.toml", 13, "dep-allowlist"),
+    ("crates/badcrate/Cargo.toml", 19, "dep-allowlist"),
+    ("crates/dist/src/after_test_module.rs", 23, "dist-no-panic"),
+    ("crates/dist/src/after_test_module.rs", 26, "dist-no-instant"),
+    ("crates/dist/src/after_test_module.rs", 26, "no-wall-clock-outside-probe"),
+    ("crates/dist/src/after_test_module.rs", 29, "dist-no-instant"),
+    ("crates/dist/src/after_test_module.rs", 29, "no-wall-clock-outside-probe"),
+    ("crates/dist/src/nested_tests.rs", 20, "dist-no-panic"),
+    ("crates/dist/src/nested_tests.rs", 30, "dist-no-panic"),
+    ("crates/dist/src/panics.rs", 15, "dist-no-panic"),
+    ("crates/dist/src/panics.rs", 19, "dist-no-panic"),
+    ("crates/dist/src/panics.rs", 24, "dist-no-panic"),
+    ("crates/dist/src/panics.rs", 28, "dist-no-panic"),
+    ("crates/other/src/wall_clock.rs", 3, "no-wall-clock-outside-probe"),
+    ("crates/other/src/wall_clock.rs", 4, "no-wall-clock-outside-probe"),
+    ("crates/other/src/wall_clock.rs", 7, "no-wall-clock-outside-probe"),
+    ("crates/other/src/wall_clock.rs", 8, "no-wall-clock-outside-probe"),
+    ("crates/tensor/src/unsafe_blocks.rs", 7, "unsafe-needs-safety-comment"),
+    ("crates/tensor/src/unsafe_blocks.rs", 18, "unsafe-needs-safety-comment"),
+    ("crates/tensor/src/unsafe_blocks.rs", 30, "unsafe-needs-safety-comment"),
+];
+
+#[test]
+fn every_seeded_violation_is_reported_at_its_exact_position() {
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    let got: Vec<(String, u32, &str)> =
+        report.diagnostics.iter().map(|d| (d.file.clone(), d.line, d.rule)).collect();
+    let want: Vec<(String, u32, &str)> =
+        EXPECTED.iter().map(|(f, l, r)| (f.to_string(), *l, *r)).collect();
+    assert_eq!(got, want, "fixture findings diverged");
+}
+
+#[test]
+fn decoys_produce_no_findings() {
+    // panics.rs seeds its decoys (strings, comments, raw strings) in the
+    // first 12 lines; nothing there may be flagged.
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.file.ends_with("panics.rs") && d.line < 14),
+        "a decoy was flagged: {:?}",
+        report.diagnostics
+    );
+    // And the probe fixture (raw Instant inside crates/probe) stays clean.
+    assert!(!report.diagnostics.iter().any(|d| d.file.contains("probe")));
+}
+
+#[test]
+fn awk_gate_regression_code_after_early_test_module_is_scanned() {
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    let after: Vec<_> =
+        report.diagnostics.iter().filter(|d| d.file.ends_with("after_test_module.rs")).collect();
+    // The early test module ends on line 20; every finding sits below it —
+    // exactly the region the awk gate never scanned.
+    assert!(!after.is_empty(), "post-test-module code was not scanned");
+    assert!(after.iter().all(|d| d.line > 20));
+}
+
+#[test]
+fn rules_filter_restricts_findings() {
+    let mut config = Config::new(fixtures_root());
+    config.rules = Some(BTreeSet::from(["dep-allowlist".to_string()]));
+    let report = run(&config).expect("fixture scan");
+    assert_eq!(report.diagnostics.len(), 3);
+    assert!(report.diagnostics.iter().all(|d| d.rule == "dep-allowlist"));
+
+    config.rules = Some(BTreeSet::from(["unsafe-needs-safety-comment".to_string()]));
+    let report = run(&config).expect("fixture scan");
+    assert_eq!(report.diagnostics.len(), 3);
+    assert!(report.diagnostics.iter().all(|d| d.file.ends_with("unsafe_blocks.rs")));
+}
+
+#[test]
+fn scan_counts_cover_the_fixture_tree() {
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    assert_eq!(report.files_scanned, 6, "fixture .rs census changed");
+    assert_eq!(report.manifests_scanned, 1, "fixture manifest census changed");
+    assert!(!report.is_clean());
+}

@@ -1,0 +1,31 @@
+//! Fixture: the latent gate bug in the old awk lint. awk exited at the
+//! *first* `#[cfg(test)]` line, so everything below an early test module
+//! was silently unchecked. The lexer-based lint must flag the violations
+//! after the module.
+
+pub fn clean() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod early_tests {
+    use super::*;
+
+    #[test]
+    fn fine() {
+        assert_eq!(clean(), 7);
+        let x: Option<u32> = Some(1);
+        let _ = x.unwrap(); // exempt: inside the test module
+    }
+}
+
+pub fn hidden_from_awk(x: Option<u32>) -> u32 {
+    x.unwrap() // line 23: flagged — awk never saw this line
+}
+
+use std::time::Instant; // line 26: flagged by dist-no-instant (and wall-clock)
+
+pub fn timing_hidden_from_awk() -> std::time::Duration {
+    let t0 = Instant::now(); // line 29: flagged
+    t0.elapsed()
+}

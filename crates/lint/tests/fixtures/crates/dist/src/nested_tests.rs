@@ -1,0 +1,45 @@
+//! Fixture: module-scope tracking. Multiple test modules, a nested inner
+//! module, and a `#[cfg(test)]` on an inner *function* — exemption must
+//! cover exactly the annotated item, nothing more.
+
+#[cfg(test)]
+mod tests_one {
+    mod inner {
+        pub fn helper(x: Option<u32>) -> u32 {
+            x.unwrap() // exempt: nested inside a test module
+        }
+    }
+
+    #[test]
+    fn t() {
+        assert_eq!(inner::helper(Some(2)), 2);
+    }
+}
+
+pub fn live_between(x: Option<u32>) -> u32 {
+    x.unwrap() // line 20: flagged — between two test modules
+}
+
+#[cfg(test)]
+fn test_only_helper() {
+    panic!("exempt: the attribute is on this function only");
+}
+
+pub fn live_after(n: u32) {
+    if n == 99 {
+        panic!("line 30: flagged — after an annotated inner function");
+    }
+}
+
+#[cfg(test)]
+mod tests_two {
+    #[test]
+    fn t2() {
+        super::test_only_helper_guard();
+        let v: Vec<u32> = Vec::new();
+        assert!(v.first().is_none());
+    }
+}
+
+#[cfg(test)]
+fn test_only_helper_guard() {}

@@ -1,0 +1,47 @@
+//! Fixture: dist-no-panic violations plus every decoy the old awk lint
+//! tripped on. Lines matter — the self-test pins them.
+
+fn decoys() -> String {
+    let a = ".unwrap(";
+    let b = "calls .expect(\"x\") in a string";
+    /* a block comment mentioning panic!("nope") and .unwrap() */
+    // a line comment with unreachable!() and .expect(
+    let c = r#"raw string: panic!(".unwrap(")"#;
+    let d = r##"raw with hashes: x.expect("y") and "quotes""##;
+    format!("{a}{b}{c}{d}")
+}
+
+fn violation_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 15: flagged
+}
+
+fn violation_expect(x: Option<u32>) -> u32 {
+    x.expect("boom") // line 19: flagged
+}
+
+fn violation_macros(n: u32) {
+    if n > 3 {
+        panic!("line 24: flagged");
+    }
+    match n {
+        0..=3 => {}
+        _ => unreachable!(), // line 28: flagged
+    }
+}
+
+fn not_a_call(map: &std::collections::BTreeMap<u32, u32>) -> Option<&u32> {
+    // `expect` as a plain path segment / field is fine; so is catch_unwind.
+    let _ = std::panic::catch_unwind(|| 0);
+    map.get(&0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let y: Result<u32, ()> = Ok(2);
+        assert_eq!(y.expect("fine"), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: no-wall-clock-outside-probe.
+
+use std::time::Instant; // line 3: flagged
+use std::time::SystemTime; // line 4: flagged
+
+pub fn measure() -> std::time::Duration {
+    let t0 = Instant::now(); // line 7: flagged
+    let _ = SystemTime::now(); // line 8: flagged
+    t0.elapsed()
+}
+
+pub fn suppressed() {
+    let _t = Instant::now(); // lint:allow(no-wall-clock-outside-probe)
+    // lint:allow(no-wall-clock-outside-probe) — next line is exempt too
+    let _u = Instant::now();
+}
+
+pub fn decoys() -> &'static str {
+    // A comment about Instant and SystemTime is fine.
+    "so is the string Instant::now()"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

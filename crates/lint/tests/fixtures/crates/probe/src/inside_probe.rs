@@ -1,0 +1,9 @@
+//! Fixture: the probe crate itself owns the wall clock — never flagged.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn clock_reads() -> Duration {
+    let t0 = Instant::now();
+    let _ = SystemTime::now();
+    t0.elapsed()
+}

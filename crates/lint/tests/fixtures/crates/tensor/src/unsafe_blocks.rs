@@ -1,0 +1,31 @@
+//! Fixture: unsafe-needs-safety-comment. Good and bad forms side by side.
+
+struct SendPtr(*mut f32);
+
+// SAFETY: only disjoint regions are ever dereferenced.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {} // line 7: flagged — needs its own comment
+
+// SAFETY: caller guarantees `p` points at `len` initialized floats; a
+// multi-line run still counts as one justification.
+pub unsafe fn documented(p: *const f32, len: usize) -> f32 {
+    // SAFETY: bounds were just asserted by the contract above.
+    let s = unsafe { std::slice::from_raw_parts(p, len) };
+    s.iter().sum()
+}
+
+pub fn undocumented(p: *mut f32) {
+    unsafe {
+        // line 18: flagged — the comment is inside, not preceding
+        *p = 1.0;
+    }
+}
+
+/* SAFETY: block-comment form is accepted too. */
+pub fn block_comment_ok(p: *mut f32) {
+    let _ = p;
+}
+
+pub fn tail_without_comment(p: *mut f32) {
+    let _v = unsafe { *p }; // line 30: flagged
+}

@@ -73,7 +73,7 @@ pub use metrics::{
 };
 pub use span::{
     emit_span, event, span, span_depth, span_with, timed_span, timed_span_with, ArgValue,
-    SpanGuard, TimedSpan, TraceEvent,
+    SpanGuard, Stopwatch, TimedSpan, TraceEvent,
 };
 
 use std::path::PathBuf;

@@ -309,6 +309,32 @@ impl Drop for TimedSpan {
     }
 }
 
+/// A plain wall-clock stopwatch: measures, records nothing.
+///
+/// This is the sanctioned way to read the monotonic clock outside
+/// `crates/probe` (the `no-wall-clock-outside-probe` lint confines
+/// `std::time::Instant` to this crate). Reach for [`timed_span`] when the
+/// interval belongs in the trace; reach for `Stopwatch` when it is a raw
+/// measurement — a bench harness sampling loop, or a compressor's internal
+/// encode/decode split that the trainer later surfaces via [`emit_span`]
+/// without re-timing it (a `timed_span` there would double-record).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
 /// Records an instant (`"i"`) event — fault events, one-off markers.
 #[inline]
 pub fn event(cat: &'static str, name: &'static str, args: Args) {
@@ -420,6 +446,18 @@ mod tests {
         assert_eq!(m.dur, Duration::from_millis(5));
         let c = events.iter().find(|e| e.name == "crash_detected").unwrap();
         assert_eq!(c.phase, 'i');
+        reset();
+    }
+
+    #[test]
+    fn stopwatch_measures_and_records_nothing() {
+        let _guard = testutil::lock();
+        reset();
+        configure(ProbeConfig::in_memory());
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() >= Duration::from_millis(2));
+        assert!(take_events().is_empty(), "a stopwatch never touches the trace");
         reset();
     }
 

@@ -228,6 +228,8 @@ where
     // ever dereferenced, and run_partitioned joins all chunks before
     // returning.
     unsafe impl Send for SendPtr {}
+    // SAFETY: shared references to SendPtr only ever read the pointer value;
+    // the disjointness argument above covers the derived slices.
     unsafe impl Sync for SendPtr {}
 
     let base = SendPtr(data.as_mut_ptr());
@@ -235,6 +237,9 @@ where
         // Capture the whole SendPtr, not its raw-pointer field (edition 2021
         // disjoint capture would otherwise lose the Send + Sync impls).
         let base = &base;
+        // SAFETY: run_partitioned hands every worker a distinct, in-bounds
+        // `range` over `n_items`, so each slice covers `data` exclusively and
+        // the borrow ends when run_partitioned joins.
         let chunk = unsafe {
             std::slice::from_raw_parts_mut(
                 base.0.add(range.start * item_len),

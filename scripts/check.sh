@@ -17,39 +17,14 @@ cargo test -q
 echo "== fault-injection suite (fixed seeds)"
 cargo test -q -p puffer-dist --test fault_suite
 
-echo "== no unwrap()/expect() in puffer-dist non-test code"
-# The fault-tolerance contract: production code in crates/dist/src must
-# route failures through DistError, never panic. Test modules (everything
-# from `#[cfg(test)]` down) are exempt.
-lint_fail=0
-for f in crates/dist/src/*.rs; do
-  if awk '/#\[cfg\(test\)\]/{exit} /^[[:space:]]*\/\//{next} {print}' "$f" \
-      | grep -nE '\.(unwrap|expect)\(' \
-      | sed "s|^|$f:|"; then
-    lint_fail=1
-  fi
-done
-if [ "$lint_fail" -ne 0 ]; then
-  echo "error: unwrap()/expect() found in puffer-dist non-test code" >&2
-  exit 1
-fi
+echo "== puffer-lint (workspace correctness contracts, DESIGN.md §8)"
+# Replaces the old awk/grep source checks: token-accurate no-panic and
+# no-raw-clock rules, SAFETY-comment enforcement, and the dependency
+# allowlist. Findings print as file:line:col and fail the gate.
+cargo run --release -q -p puffer-lint
 
-echo "== no raw std::time::Instant in puffer-dist non-test code"
-# The observability contract: all timing in crates/dist flows through
-# puffer-probe's TimedSpan, so the Fig.-4 breakdown bins and the trace are
-# the same numbers (DESIGN.md §7). Test modules are exempt.
-lint_fail=0
-for f in crates/dist/src/*.rs; do
-  if awk '/#\[cfg\(test\)\]/{exit} /^[[:space:]]*\/\//{next} {print}' "$f" \
-      | grep -nE '\bInstant\b' \
-      | sed "s|^|$f:|"; then
-    lint_fail=1
-  fi
-done
-if [ "$lint_fail" -ne 0 ]; then
-  echo "error: raw std::time::Instant found in puffer-dist non-test code (use puffer_probe::TimedSpan)" >&2
-  exit 1
-fi
+echo "== puffer-lint self-test (seeded fixture violations must be caught)"
+cargo test -q -p puffer-lint
 
 echo "== probe overhead guard (disabled-probe cost < 2% on a GEMM)"
 cargo test -q --release -p puffer-tensor --test probe_overhead
