@@ -1,0 +1,260 @@
+//! Allocation-churn benchmark for the scratch-arena workspace: how many
+//! bytes a steady-state training step allocates with the buffer pool off
+//! vs on, and what that does to step time, on the Table 6 mini-benchmark
+//! setups (bench-scale VGG-19 and ResNet-18 on the CIFAR stand-in).
+//!
+//! Reuse must be free in accuracy terms: the run also checks that pooled
+//! and fresh execution produce **bitwise identical** logits and parameters
+//! after several optimizer steps.
+//!
+//! Writes a machine-readable record to `BENCH_alloc.json` at the workspace
+//! root (plus a line-oriented copy under `results/`).
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin alloc_churn`
+//! (`-- --check` runs only the steady-state gate: exits nonzero if a
+//! warmed-up training step still misses the pool).
+
+use puffer_bench::scale::RunScale;
+use puffer_bench::{record_result, setups};
+use puffer_nn::layer::{Layer, Mode};
+use puffer_nn::loss::softmax_cross_entropy;
+use puffer_nn::optim::Sgd;
+use puffer_probe as probe;
+use puffer_probe::Stopwatch;
+use puffer_tensor::{workspace, Tensor};
+
+/// Steps measured after the two-step warm-up.
+const MEASURED_STEPS: usize = 3;
+
+fn train_step<M: Layer>(model: &mut M, opt: &mut Sgd, images: &Tensor, labels: &[usize]) -> Tensor {
+    model.zero_grad();
+    let logits = model.forward(images, Mode::Train);
+    let (_, dl) = softmax_cross_entropy(&logits, labels, 0.0).expect("loss");
+    let _ = model.backward(&dl);
+    opt.step(&mut model.params_mut());
+    logits
+}
+
+struct ChurnCounters {
+    /// Bytes allocated by the two warm-up steps (pool fills here).
+    warmup_bytes: f64,
+    /// Fresh bytes per steady-state step.
+    bytes_per_step: f64,
+    /// Pool misses per steady-state step.
+    misses_per_step: f64,
+}
+
+/// Runs warm-up plus [`MEASURED_STEPS`] steps under the probe and reports
+/// the steady-state allocation counters.
+fn measure_counters<M: Layer>(
+    mut model: M,
+    images: &Tensor,
+    labels: &[usize],
+    pooled: bool,
+) -> ChurnCounters {
+    workspace::set_enabled(pooled);
+    workspace::clear_thread_arena();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    probe::reset();
+    probe::configure(probe::ProbeConfig::in_memory());
+    let _ = train_step(&mut model, &mut opt, images, labels);
+    let _ = train_step(&mut model, &mut opt, images, labels);
+    let warm_bytes = probe::counter_value("alloc.fresh_bytes").unwrap_or(0.0);
+    let warm_misses = probe::counter_value("alloc.pool_misses").unwrap_or(0.0);
+    for _ in 0..MEASURED_STEPS {
+        let _ = train_step(&mut model, &mut opt, images, labels);
+    }
+    let bytes = probe::counter_value("alloc.fresh_bytes").unwrap_or(0.0) - warm_bytes;
+    let misses = probe::counter_value("alloc.pool_misses").unwrap_or(0.0) - warm_misses;
+    probe::reset();
+    workspace::set_enabled(true);
+    ChurnCounters {
+        warmup_bytes: warm_bytes,
+        bytes_per_step: bytes / MEASURED_STEPS as f64,
+        misses_per_step: misses / MEASURED_STEPS as f64,
+    }
+}
+
+fn best(samples: Vec<f64>) -> f64 {
+    samples.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Best-observed steady-state step times `(fresh, pooled)` with the probe
+/// disabled. The two configurations are timed **interleaved** — one fresh
+/// step, one pooled step, repeat — so slow drift in machine load hits both
+/// sample sets equally instead of biasing whichever ran second; the
+/// minimum over the interleaved reps is the least-interfered sample of
+/// each.
+fn measure_step_times<M: Layer>(
+    mut fresh_model: M,
+    mut pooled_model: M,
+    images: &Tensor,
+    labels: &[usize],
+    reps: usize,
+) -> (f64, f64) {
+    probe::reset();
+    let mut fresh_opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut pooled_opt = Sgd::new(0.05, 0.9, 1e-4);
+    // Warm both: fill the pooled arena, fault in both models' weights.
+    for _ in 0..2 {
+        workspace::set_enabled(true);
+        let _ = train_step(&mut pooled_model, &mut pooled_opt, images, labels);
+        workspace::set_enabled(false);
+        let _ = train_step(&mut fresh_model, &mut fresh_opt, images, labels);
+    }
+    let mut fresh_s = Vec::with_capacity(reps);
+    let mut pooled_s = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        // Alternate which configuration goes first within the pair so
+        // neither systematically inherits the other's cache/thermal state.
+        for phase in 0..2 {
+            if (rep + phase) % 2 == 0 {
+                workspace::set_enabled(false);
+                let t0 = Stopwatch::start();
+                let _ = train_step(&mut fresh_model, &mut fresh_opt, images, labels);
+                fresh_s.push(t0.elapsed().as_secs_f64());
+            } else {
+                workspace::set_enabled(true);
+                let t0 = Stopwatch::start();
+                let _ = train_step(&mut pooled_model, &mut pooled_opt, images, labels);
+                pooled_s.push(t0.elapsed().as_secs_f64());
+            }
+        }
+    }
+    workspace::set_enabled(true);
+    (best(fresh_s), best(pooled_s))
+}
+
+/// Runs a few optimizer steps and fingerprints the final logits and every
+/// parameter, bit for bit.
+fn run_fingerprint<M: Layer>(
+    mut model: M,
+    images: &Tensor,
+    labels: &[usize],
+    pooled: bool,
+) -> Vec<u32> {
+    workspace::set_enabled(pooled);
+    workspace::clear_thread_arena();
+    probe::reset();
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut logits = Tensor::zeros(&[1]);
+    for _ in 0..3 {
+        logits = train_step(&mut model, &mut opt, images, labels);
+    }
+    workspace::set_enabled(true);
+    let mut bits: Vec<u32> = logits.as_slice().iter().map(|v| v.to_bits()).collect();
+    for p in model.params() {
+        bits.extend(p.value.as_slice().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+fn first_batch(data: &puffer_data::images::ImageDataset) -> (Tensor, Vec<usize>) {
+    data.train_batches(32, 0).into_iter().next().expect("dataset has at least one batch")
+}
+
+fn check_mode() -> ! {
+    // Gate: a warmed-up ResNet-18 training step must be served entirely
+    // from the pools — zero fresh allocations in the steady state.
+    let data = setups::cifar_data(RunScale::Quick);
+    let (images, labels) = first_batch(&data);
+    let c = measure_counters(setups::resnet18(10, 1), &images, &labels, true);
+    if c.misses_per_step > 0.0 {
+        eprintln!(
+            "alloc_churn --check FAILED: steady-state step still allocates \
+             ({:.1} pool misses, {:.0} fresh bytes per step)",
+            c.misses_per_step, c.bytes_per_step
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "alloc_churn --check ok: steady-state step is allocation-free \
+         (warm-up allocated {:.1} MiB)",
+        c.warmup_bytes / (1 << 20) as f64
+    );
+    std::process::exit(0);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check_mode();
+    }
+    let scale = RunScale::from_env();
+    let reps = scale.pick(5, 15);
+    let data = setups::cifar_data(scale);
+    let (images, labels) = first_batch(&data);
+
+    println!("== Allocation churn, batch 32, {MEASURED_STEPS}-step steady state ==\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>12} {:>9} {:>9}",
+        "model", "fresh B/step", "pooled B/step", "fresh s", "pooled s", "speedup", "bitwise"
+    );
+
+    let mut entries = Vec::new();
+    for name in ["vgg19", "resnet18"] {
+        let build_vgg = || setups::vgg19(10, 1);
+        let build_resnet = || setups::resnet18(10, 1);
+        // Same measurement code for both; models differ in type.
+        let (fresh, pooled, (t_fresh, t_pooled), identical) = if name == "vgg19" {
+            (
+                measure_counters(build_vgg(), &images, &labels, false),
+                measure_counters(build_vgg(), &images, &labels, true),
+                measure_step_times(build_vgg(), build_vgg(), &images, &labels, reps),
+                run_fingerprint(build_vgg(), &images, &labels, false)
+                    == run_fingerprint(build_vgg(), &images, &labels, true),
+            )
+        } else {
+            (
+                measure_counters(build_resnet(), &images, &labels, false),
+                measure_counters(build_resnet(), &images, &labels, true),
+                measure_step_times(build_resnet(), build_resnet(), &images, &labels, reps),
+                run_fingerprint(build_resnet(), &images, &labels, false)
+                    == run_fingerprint(build_resnet(), &images, &labels, true),
+            )
+        };
+        assert!(identical, "{name}: pooled run diverged bitwise from fresh run");
+        assert!(
+            pooled.misses_per_step == 0.0,
+            "{name}: steady-state step still misses the pool ({} per step)",
+            pooled.misses_per_step
+        );
+        let speedup = t_fresh / t_pooled;
+        println!(
+            "{name:<12} {:>14.0} {:>14.0} {:>12.6} {:>12.6} {:>8.2}x {:>9}",
+            fresh.bytes_per_step, pooled.bytes_per_step, t_fresh, t_pooled, speedup, identical
+        );
+        record_result(
+            "alloc_churn",
+            &format!(
+                "{name} fresh_bytes_per_step={:.0} pooled_bytes_per_step={:.0} \
+                 fresh_step_s={t_fresh:.6} pooled_step_s={t_pooled:.6} speedup={speedup:.3} \
+                 bitwise_identical={identical}",
+                fresh.bytes_per_step, pooled.bytes_per_step
+            ),
+        );
+        entries.push(format!(
+            "    {{ \"model\": \"{name}\", \"fresh_bytes_per_step\": {:.0}, \
+             \"pooled_bytes_per_step\": {:.0}, \"pooled_misses_per_step\": {:.1}, \
+             \"warmup_bytes\": {:.0}, \"fresh_step_s\": {t_fresh:.6}, \
+             \"pooled_step_s\": {t_pooled:.6}, \"speedup\": {speedup:.3}, \
+             \"bitwise_identical\": {identical} }}",
+            fresh.bytes_per_step,
+            pooled.bytes_per_step,
+            pooled.misses_per_step,
+            pooled.warmup_bytes
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"alloc_churn\",\n  \"setup\": \"table6 minibench models, CIFAR stand-in, batch 32, steady-state step after 2-step warm-up\",\n  \"note\": \"fresh = workspace disabled (every scratch buffer heap-allocated); pooled = per-thread scratch arenas; bitwise_identical compares logits and all parameters after 3 optimizer steps\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|p| std::path::PathBuf::from(p).join("../.."))
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join("BENCH_alloc.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

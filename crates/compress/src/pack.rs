@@ -29,6 +29,18 @@ impl PackLayout {
         PackLayout { shapes: tensors.iter().map(|t| t.shape().to_vec()).collect(), offsets, total }
     }
 
+    /// Derives the layout from borrowed tensors (e.g. live parameter
+    /// gradients) without requiring an owned slice of them.
+    pub fn of_refs(tensors: &[&Tensor]) -> Self {
+        let mut offsets = Vec::with_capacity(tensors.len());
+        let mut total = 0;
+        for t in tensors {
+            offsets.push(total);
+            total += t.len();
+        }
+        PackLayout { shapes: tensors.iter().map(|t| t.shape().to_vec()).collect(), offsets, total }
+    }
+
     /// Total number of f32 elements in the packed buffer.
     pub fn total_len(&self) -> usize {
         self.total
@@ -135,6 +147,29 @@ pub fn pack(tensors: &[Tensor]) -> (Tensor, PackLayout) {
     (buf, layout)
 }
 
+/// Packs borrowed tensors into one flat buffer, encoding straight from
+/// the borrows — no owned copies of the inputs are made.
+pub fn pack_refs(tensors: &[&Tensor]) -> (Tensor, PackLayout) {
+    let layout = PackLayout::of_refs(tensors);
+    let buf = pack_refs_with(&layout, tensors);
+    (buf, layout)
+}
+
+/// Packs borrowed tensors into a flat buffer using a precomputed layout
+/// (the steady-state path: derive the layout once, pack every round).
+///
+/// # Panics
+///
+/// Panics if the tensors do not match the layout.
+pub fn pack_refs_with(layout: &PackLayout, tensors: &[&Tensor]) -> Tensor {
+    assert_eq!(tensors.len(), layout.shapes.len(), "tensor/layout count mismatch");
+    let mut buf = Tensor::zeros(&[layout.total]);
+    for (t, &off) in tensors.iter().zip(&layout.offsets) {
+        buf.as_mut_slice()[off..off + t.len()].copy_from_slice(t.as_slice());
+    }
+    buf
+}
+
 /// Unpacks a flat buffer back into tensors.
 ///
 /// # Panics
@@ -148,8 +183,8 @@ pub fn unpack(buf: &Tensor, layout: &PackLayout) -> Vec<Tensor> {
         .zip(&layout.offsets)
         .map(|(shape, &off)| {
             let len: usize = shape.iter().product();
-            Tensor::from_vec(buf.as_slice()[off..off + len].to_vec(), shape)
-                .expect("layout shapes are consistent")
+            let data = puffer_tensor::workspace::take_copied(&buf.as_slice()[off..off + len]);
+            Tensor::from_vec(data, shape).expect("layout shapes are consistent")
         })
         .collect()
 }
@@ -180,6 +215,17 @@ mod tests {
         let back = PackLayout::from_tensor(&layout.to_tensor()).unwrap();
         assert_eq!(back, layout);
         assert!(PackLayout::from_tensor(&Tensor::full(&[2], 9.0)).is_none());
+    }
+
+    #[test]
+    fn pack_refs_matches_pack() {
+        let tensors = vec![Tensor::randn(&[3, 2], 1.0, 4), Tensor::randn(&[5], 1.0, 5)];
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let (owned_buf, owned_layout) = pack(&tensors);
+        let (ref_buf, ref_layout) = pack_refs(&refs);
+        assert_eq!(ref_buf, owned_buf);
+        assert_eq!(ref_layout, owned_layout);
+        assert_eq!(pack_refs_with(&owned_layout, &refs), owned_buf);
     }
 
     #[test]

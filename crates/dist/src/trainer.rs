@@ -31,6 +31,7 @@ use crate::cost::ClusterProfile;
 use crate::error::{DistError, DistResult};
 use crate::fault::{any_nonfinite, message_checksum, FaultPlan, FaultReport};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use puffer_compress::pack::{pack_refs, pack_refs_with, unpack, PackLayout};
 use puffer_compress::GradCompressor;
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
@@ -39,6 +40,7 @@ use puffer_probe as probe;
 use puffer_tensor::Tensor;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of a data-parallel run.
@@ -170,11 +172,16 @@ pub struct DistOutcome {
     pub checkpoints: Vec<PathBuf>,
 }
 
-/// One worker's per-step gradient contribution.
+/// One worker's per-step gradient contribution: every parameter gradient
+/// packed into one flat buffer (the paper's single-allreduce bucket,
+/// §4.1), encoded straight from the live `Param::grad` borrows — no
+/// per-tensor clones. The layout is derived once per worker and shared by
+/// reference.
 struct GradMsg {
     worker: usize,
     step: usize,
-    grads: Vec<Tensor>,
+    flat: Tensor,
+    layout: Arc<PackLayout>,
     loss: f32,
     compute: Duration,
     checksum: u64,
@@ -187,9 +194,10 @@ enum WorkerMsg {
 
 #[derive(Clone)]
 enum AggMsg {
-    /// Apply this aggregated gradient; if `snapshot`, report post-update
+    /// Apply this aggregated gradient (packed flat, same layout as the
+    /// worker's own contribution); if `snapshot`, report post-update
     /// state for checkpointing.
-    Mean { grads: Vec<Tensor>, snapshot: bool },
+    Mean { flat: Tensor, snapshot: bool },
     /// Skip this step without updating (non-finite guard tripped or no
     /// usable contribution survived).
     Skip,
@@ -428,6 +436,13 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
         );
         start_step = ck.step;
     }
+    // Gradient shapes are fixed for the whole run: derive the flat-bucket
+    // layout once and reuse it every round.
+    let layout = {
+        let params = model.params();
+        let grad_refs: Vec<&Tensor> = params.iter().map(|p| &p.grad).collect();
+        Arc::new(PackLayout::of_refs(&grad_refs))
+    };
     for (step, (images, labels)) in ctx.shard.iter().enumerate().skip(start_step) {
         if faults.should_crash(w, step) {
             probe::event(
@@ -455,7 +470,13 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
             }
         };
         let _ = model.backward(&dl);
-        let mut grads: Vec<Tensor> = model.params().iter().map(|p| p.grad.clone()).collect();
+        // Serialize straight from the borrowed gradients into one flat
+        // bucket (one message per round, no per-tensor clones).
+        let mut flat = {
+            let params = model.params();
+            let grad_refs: Vec<&Tensor> = params.iter().map(|p| &p.grad).collect();
+            pack_refs_with(&layout, &grad_refs)
+        };
         let measured = sp.finish();
         let delay = faults.compute_delay(w, step, measured);
         if delay > Duration::ZERO {
@@ -474,12 +495,19 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
         // Non-finite injection happens before checksumming (the worker
         // "really" computed it); bit corruption after (it happens on the
         // wire, so the checksum catches it).
-        faults.inject_nonfinite(w, step, &mut grads);
-        let checksum = message_checksum(&grads);
-        faults.corrupt_message(w, step, &mut grads);
+        faults.inject_nonfinite(w, step, std::slice::from_mut(&mut flat));
+        let checksum = message_checksum(std::slice::from_ref(&flat));
+        faults.corrupt_message(w, step, std::slice::from_mut(&mut flat));
 
-        let mut payload =
-            Some(WorkerMsg::Grads(GradMsg { worker: w, step, grads, loss, compute, checksum }));
+        let mut payload = Some(WorkerMsg::Grads(GradMsg {
+            worker: w,
+            step,
+            flat,
+            layout: Arc::clone(&layout),
+            loss,
+            compute,
+            checksum,
+        }));
         let mut attempt = 0u32;
         let sent = loop {
             if !faults.drops_message(w, step, attempt) {
@@ -508,8 +536,8 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
             match ctx.rx.recv() {
                 Ok(AggMsg::Ping) => {}
                 Ok(AggMsg::Skip) => break,
-                Ok(AggMsg::Mean { grads: mean, snapshot }) => {
-                    for (p, g) in model.params_mut().into_iter().zip(mean) {
+                Ok(AggMsg::Mean { flat: mean, snapshot }) => {
+                    for (p, g) in model.params_mut().into_iter().zip(unpack(&mean, &layout)) {
                         p.grad = g;
                     }
                     opt.step(&mut model.params_mut());
@@ -617,7 +645,7 @@ fn run_aggregator(
                                 ("step", step.into()),
                             ],
                         );
-                    } else if message_checksum(&m.grads) != m.checksum {
+                    } else if message_checksum(std::slice::from_ref(&m.flat)) != m.checksum {
                         // Bit corruption on the wire: reject the
                         // contribution, keep the worker.
                         report.corrupted_messages += 1;
@@ -693,7 +721,7 @@ fn run_aggregator(
 
         // ---- AMP-style guard: a poisoned gradient (or a round with no
         // usable contribution) skips the step on every replica. ----
-        if got.is_empty() || got.values().any(|m| any_nonfinite(&m.grads)) {
+        if got.is_empty() || got.values().any(|m| any_nonfinite(std::slice::from_ref(&m.flat))) {
             for x in live.clone() {
                 if to_workers[x].send(AggMsg::Skip).is_err() {
                     live.remove(&x);
@@ -726,7 +754,9 @@ fn run_aggregator(
         // id order and the mean is automatically re-normalized to the
         // contributing member count. ----
         let n_contributors = got.len();
-        let contributions: Vec<Vec<Tensor>> = got.into_values().map(|m| m.grads).collect();
+        let layout = got.values().next().map(|m| Arc::clone(&m.layout));
+        let contributions: Vec<Vec<Tensor>> =
+            got.into_values().map(|m| unpack(&m.flat, &m.layout)).collect();
         let (mean, stats) = compressor.round(&contributions);
 
         // ---- Price the round for the *surviving* member set. ----
@@ -755,9 +785,16 @@ fn run_aggregator(
         let want_ckpt =
             args.opts.checkpoint.is_enabled() && next_step % args.opts.checkpoint.every == 0;
         let leader = live.iter().next().copied();
+        // Re-pack the mean into one flat bucket per recipient (same layout
+        // the workers used to encode their contributions).
+        let mean_refs: Vec<&Tensor> = mean.iter().collect();
+        let mean_flat = match &layout {
+            Some(l) => pack_refs_with(l, &mean_refs),
+            None => pack_refs(&mean_refs).0,
+        };
         for x in live.clone() {
             let snapshot = want_ckpt && Some(x) == leader;
-            if to_workers[x].send(AggMsg::Mean { grads: mean.clone(), snapshot }).is_err() {
+            if to_workers[x].send(AggMsg::Mean { flat: mean_flat.clone(), snapshot }).is_err() {
                 live.remove(&x);
                 report.crashed.push((x, step));
             }

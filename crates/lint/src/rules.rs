@@ -10,6 +10,7 @@
 //! | `unsafe-needs-safety-comment` | workspace, incl. tests | every `unsafe` is preceded by a `// SAFETY:` comment |
 //! | `no-wall-clock-outside-probe` | workspace minus `crates/probe`, non-test | `Instant`/`SystemTime` live only in `puffer-probe` |
 //! | `dep-allowlist` | every `Cargo.toml` | external deps restricted to the workspace allowlist |
+//! | `no-vec-alloc-in-kernel` | tensor kernel modules, non-test | kernel scratch comes from `workspace`, not `vec![x; n]`/`Vec::with_capacity` |
 //!
 //! # Suppression
 //!
@@ -71,7 +72,18 @@ pub const RULES: &[RuleInfo] = &[
         description: "external dependencies restricted to the workspace allowlist \
                       (rand/crossbeam/parking_lot/serde; criterion/proptest as dev-deps only)",
     },
+    RuleInfo {
+        name: "no-vec-alloc-in-kernel",
+        description: "no `vec![elem; len]` / `Vec::with_capacity` in tensor kernel modules \
+                      (draw scratch from puffer_tensor::workspace so steady-state steps stay \
+                      allocation-free)",
+    },
 ];
+
+/// Kernel modules whose hot loops must draw scratch memory from
+/// `puffer_tensor::workspace` rather than the global allocator (the
+/// workspace module itself is the one place allowed to allocate).
+const KERNEL_MODULES: &[&str] = &["crates/tensor/src/matmul.rs", "crates/tensor/src/conv.rs"];
 
 /// External crates allowed as regular dependencies.
 pub const ALLOWED_DEPS: &[&str] = &["rand", "crossbeam", "parking_lot", "serde"];
@@ -174,6 +186,9 @@ pub fn check_tokens(ctx: &FileContext<'_>, enabled: &dyn Fn(&str) -> bool) -> Ve
     }
     if enabled("no-wall-clock-outside-probe") {
         no_wall_clock_outside_probe(ctx, &mut out);
+    }
+    if enabled("no-vec-alloc-in-kernel") {
+        no_vec_alloc_in_kernel(ctx, &mut out);
     }
     out
 }
@@ -333,6 +348,101 @@ fn no_wall_clock_outside_probe(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>)
     }
 }
 
+/// Index of the next non-comment token after `i`.
+fn next_code_idx(ctx: &FileContext<'_>, i: usize) -> Option<usize> {
+    (i + 1..ctx.tokens.len()).find(|&j| !ctx.tokens[j].is_comment())
+}
+
+/// Whether the `vec!` invocation whose `[` sits at token index `open` is
+/// the repeat form `vec![elem; len]`: a `;` at the macro's own bracket
+/// depth before the matching `]`.
+fn vec_macro_is_repeat_form(ctx: &FileContext<'_>, open: usize) -> bool {
+    let mut depth = 1u32;
+    for tok in ctx.tokens[open + 1..].iter().filter(|t| !t.is_comment()) {
+        match tok.kind {
+            TokenKind::Punct('[' | '(' | '{') => depth += 1,
+            TokenKind::Punct(']' | ')' | '}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            TokenKind::Punct(';') if depth == 1 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn no_vec_alloc_in_kernel(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !KERNEL_MODULES.iter().any(|m| ctx.rel_path.ends_with(m)) {
+        return;
+    }
+    for (i, tok, in_test) in code_tokens(ctx) {
+        if in_test || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            // Repeat form `vec![elem; len]` — a fresh zero-filled (or
+            // fill-initialized) heap buffer. The list form `vec![a, b]`
+            // is fine: it builds small fixed collections (span attrs,
+            // error shapes), not kernel scratch.
+            "vec" => {
+                let bang = next_code_idx(ctx, i);
+                let open = bang.and_then(|j| {
+                    (ctx.tokens[j].kind == TokenKind::Punct('!'))
+                        .then(|| next_code_idx(ctx, j))
+                        .flatten()
+                });
+                if let Some(open) = open {
+                    if ctx.tokens[open].kind == TokenKind::Punct('[')
+                        && vec_macro_is_repeat_form(ctx, open)
+                    {
+                        ctx.diag(
+                            "no-vec-alloc-in-kernel",
+                            tok,
+                            "`vec![elem; len]` in a tensor kernel module; take the buffer from \
+                             puffer_tensor::workspace instead so warmed-up training steps stay \
+                             allocation-free"
+                                .to_string(),
+                            out,
+                        );
+                    }
+                }
+            }
+            "Vec" => {
+                // `Vec::with_capacity(...)`: Vec :: with_capacity (
+                let c1 = next_code_idx(ctx, i);
+                let c2 = c1.and_then(|j| {
+                    (ctx.tokens[j].kind == TokenKind::Punct(':'))
+                        .then(|| next_code_idx(ctx, j))
+                        .flatten()
+                });
+                let name = c2.and_then(|j| {
+                    (ctx.tokens[j].kind == TokenKind::Punct(':'))
+                        .then(|| next_code_idx(ctx, j))
+                        .flatten()
+                });
+                if let Some(name) = name {
+                    let n = &ctx.tokens[name];
+                    if n.kind == TokenKind::Ident && n.text == "with_capacity" {
+                        ctx.diag(
+                            "no-vec-alloc-in-kernel",
+                            tok,
+                            "`Vec::with_capacity` in a tensor kernel module; take the buffer \
+                             from puffer_tensor::workspace (take/take_with_capacity) so \
+                             warmed-up training steps stay allocation-free"
+                                .to_string(),
+                            out,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,5 +567,44 @@ let job: Job = unsafe { transmute(job) };";
     fn allow_marker_parses_lists() {
         assert_eq!(parse_allow_marker("// lint:allow(a, b)"), ["a", "b"]);
         assert!(parse_allow_marker("// nothing here").is_empty());
+    }
+
+    #[test]
+    fn kernel_vec_alloc_flagged_in_kernel_modules_only() {
+        let src = "fn f(n: usize) { let mut c = vec![0.0f32; n]; c[0] = 1.0; }";
+        for path in ["crates/tensor/src/matmul.rs", "crates/tensor/src/conv.rs"] {
+            let diags = run(path, src);
+            assert_eq!(diags.len(), 1, "{path}: {diags:?}");
+            assert_eq!(diags[0].0, "no-vec-alloc-in-kernel");
+        }
+        // Same pattern elsewhere — including the workspace module, which is
+        // the one place that is *supposed* to allocate — is fine.
+        assert!(run("crates/tensor/src/workspace.rs", src).is_empty());
+        assert!(run("crates/nn/src/linear.rs", src).is_empty());
+    }
+
+    #[test]
+    fn kernel_with_capacity_flagged_but_list_vec_is_not() {
+        let cap = "fn f(n: usize) { let mut c = Vec::with_capacity(n); c.push(1.0); }";
+        let diags = run("crates/tensor/src/matmul.rs", cap);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].0, "no-vec-alloc-in-kernel");
+        // List-form vec! builds small fixed collections (probe span attrs,
+        // error shapes) — not scratch buffers.
+        let list = "fn f(m: usize) { let attrs = vec![(\"m\", m), (\"n\", 2)]; }";
+        assert!(run("crates/tensor/src/matmul.rs", list).is_empty());
+        // A `;` nested inside the element expression does not make the
+        // list form a repeat form.
+        let nested = "fn f() { let v = vec![{ let x = 1; x }, 2]; }";
+        assert!(run("crates/tensor/src/matmul.rs", nested).is_empty());
+    }
+
+    #[test]
+    fn kernel_vec_alloc_exempt_in_tests_and_suppressible() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { let v = vec![0.0; 4]; }\n}";
+        assert!(run("crates/tensor/src/conv.rs", in_test).is_empty());
+        let allowed = "// lint:allow(no-vec-alloc-in-kernel) — one-shot cold-path buffer\n\
+                       fn f(n: usize) { let v = vec![0.0f32; n]; }";
+        assert!(run("crates/tensor/src/matmul.rs", allowed).is_empty());
     }
 }

@@ -1,0 +1,30 @@
+//! Seeded violations for `no-vec-alloc-in-kernel`: this fixture path ends
+//! with `crates/tensor/src/matmul.rs`, so the kernel-module scope applies.
+
+// Decoy: the list form builds small fixed collections (probe span attrs,
+// error shapes) and is allowed.
+fn decoy_list(m: usize) -> Vec<(&'static str, usize)> {
+    vec![("m", m), ("n", 2)]
+}
+
+// Decoy: a deliberate, visible exemption.
+fn suppressed(n: usize) -> Vec<f32> {
+    // lint:allow(no-vec-alloc-in-kernel) — one-shot cold-path setup buffer
+    vec![0.0; n]
+}
+
+fn violation_repeat(n: usize) -> Vec<f32> {
+    vec![0.0f32; n]
+}
+
+fn violation_with_capacity(n: usize) -> Vec<f32> {
+    Vec::with_capacity(n)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test scratch may allocate however it likes.
+    fn fine_in_tests() {
+        let _ = vec![0.0f32; 8];
+    }
+}

@@ -180,7 +180,7 @@ impl MultiHeadAttention {
             }
         }
         let out = self.wo.apply(&z);
-        self.cache = Some(AttnCache { q_in, kv_in, q, k, v, attn, z: z.clone(), b, tq, tk });
+        self.cache = Some(AttnCache { q_in, kv_in, q, k, v, attn, z, b, tq, tk });
         out.reshape(&[b, tq, dm]).expect("unflatten")
     }
 
@@ -203,6 +203,9 @@ impl MultiHeadAttention {
         let mut dq = Tensor::zeros(&[b * tq, dm]);
         let mut dk = Tensor::zeros(&[b * tk, dm]);
         let mut dv = Tensor::zeros(&[b * tk, dm]);
+        // One pooled row buffer shared across all (batch, head, query) rows;
+        // every element is overwritten before it is read.
+        let mut da = puffer_tensor::workspace::take(tk);
         for bi in 0..b {
             for h in 0..p {
                 for i in 0..tq {
@@ -210,7 +213,6 @@ impl MultiHeadAttention {
                         [(bi * tq + i) * dm + h * dh..(bi * tq + i) * dm + (h + 1) * dh];
                     let arow_base = ((bi * p + h) * tq + i) * tk;
                     // dA_ij = <dZ_i, V_j>; dV_j += a_ij dZ_i
-                    let mut da = vec![0.0f32; tk];
                     for (j, daj) in da.iter_mut().enumerate() {
                         let a = cache.attn.as_slice()[arow_base + j];
                         let vrow_base = (bi * tk + j) * dm + h * dh;

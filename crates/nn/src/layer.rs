@@ -194,6 +194,16 @@ impl std::fmt::Debug for Sequential {
     }
 }
 
+/// Stores a copy of `src` in `slot`, overwriting the previously cached
+/// tensor's storage in place when the shape repeats (the steady state of a
+/// training loop) instead of allocating a fresh clone each step.
+pub fn cache_activation(slot: &mut Option<Tensor>, src: &Tensor) {
+    match slot {
+        Some(t) if t.shape() == src.shape() => t.as_mut_slice().copy_from_slice(src.as_slice()),
+        _ => *slot = Some(src.clone()),
+    }
+}
+
 /// Numerically checks a layer's input gradient with central finite
 /// differences. Returns the max absolute deviation between analytic and
 /// numeric `∂(sum κ·output)/∂input` for a random direction `κ`.

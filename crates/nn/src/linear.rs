@@ -98,7 +98,7 @@ impl Layer for Linear {
             add_bias_rows(&mut y, &b.value);
         }
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            crate::layer::cache_activation(&mut self.cached_input, input);
         }
         y
     }
@@ -238,7 +238,7 @@ impl Layer for LowRankLinear {
             add_bias_rows(&mut y, &b.value);
         }
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            crate::layer::cache_activation(&mut self.cached_input, input);
             self.cached_hidden = Some(hidden);
         }
         y

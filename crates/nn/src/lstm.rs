@@ -306,15 +306,15 @@ impl LstmLayer {
                 .expect("shape");
             let tanh_c = new_c.map(f32::tanh);
             let new_h = o.hadamard(&tanh_c).expect("shape");
+            // Move the previous state into the cache and the new state into
+            // the recurrence in one swap — no h/c clones per step.
             self.cache.push(StepCache {
                 x: x.clone(),
-                h_prev: h.clone(),
-                c_prev: c.clone(),
+                h_prev: std::mem::replace(&mut h, new_h.clone()),
+                c_prev: std::mem::replace(&mut c, new_c),
                 gates: [i, f, g_, o],
                 tanh_c,
             });
-            h = new_h.clone();
-            c = new_c;
             out.push(new_h);
         }
         out

@@ -23,6 +23,15 @@
 //! reduction order, so results are **bitwise identical for every thread
 //! count** — parallelism never costs reproducibility.
 //!
+//! # Memory reuse
+//!
+//! Tensor storage and kernel scratch (GEMM packing panels, im2col
+//! matrices) come from per-thread scratch arenas ([`workspace`]) and are
+//! returned on drop, so a steady-state training step allocates nothing
+//! fresh. Pooled buffers are zeroed or fully overwritten before use —
+//! results are bitwise identical to fresh allocation
+//! ([`workspace::set_enabled`] toggles reuse off to verify).
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +55,7 @@ pub mod pool;
 pub mod stats;
 pub mod svd;
 mod tensor;
+pub mod workspace;
 
 pub use error::TensorError;
 pub use tensor::Tensor;

@@ -15,7 +15,7 @@
 //! Only the profile switch changes results (within f32 associativity), the
 //! thread count never does.
 
-use crate::pool;
+use crate::{pool, workspace};
 use crate::{Result, Tensor, TensorError};
 use puffer_probe as probe;
 
@@ -330,15 +330,16 @@ fn mm_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) 
         return;
     }
     let n_panels = n.div_ceil(NR);
-    let mut packed = vec![0.0f32; n_panels * k * NR];
-    pack_b(b, &mut packed, k, n);
+    let mut packed_buf = workspace::take(n_panels * k * NR);
+    let packed = packed_buf.as_mut_slice();
+    pack_b(b, packed, k, n);
     if k > 0 && parallel_under_default(m * k * n) {
-        let packed = &packed;
+        let packed = &*packed;
         pool::run_chunked(c, n, |row0, chunk| {
             mm_rows_packed(a, packed, chunk, row0, k, n);
         });
     } else {
-        mm_rows_packed(a, &packed, c, 0, k, n);
+        mm_rows_packed(a, packed, c, 0, k, n);
     }
 }
 

@@ -7,7 +7,7 @@
 //! sequential ones.
 
 use crate::matmul::parallel_under_default;
-use crate::{pool, Result, TensorError};
+use crate::{pool, workspace, Result, TensorError};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
@@ -17,6 +17,12 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 /// All shape-changing operations either copy or, for [`Tensor::reshape`],
 /// reuse the buffer.
 ///
+/// Storage comes from the per-thread scratch arenas in
+/// [`crate::workspace`]: constructors take recycled buffers when one of a
+/// suitable size is free, and `Drop` returns the buffer, so repeated
+/// allocation patterns (a steady-state training step) stop touching the
+/// heap entirely.
+///
 /// # Example
 ///
 /// ```
@@ -25,10 +31,22 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 /// let b = a.map(|x| x * 2.0);
 /// assert_eq!(b.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { data: workspace::take_copied(&self.data), shape: self.shape.clone() }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        workspace::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -53,7 +71,13 @@ impl Tensor {
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Tensor { data: vec![value; len], shape: shape.to_vec() }
+        let mut data = workspace::take_zeroed(len);
+        // Bit-compare against +0.0 so `full(shape, -0.0)` still writes the
+        // sign bit instead of keeping the arena's +0.0 fill.
+        if value.to_bits() != 0 {
+            data.fill(value);
+        }
+        Tensor { data, shape: shape.to_vec() }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -134,8 +158,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning its flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a 2-D index.
@@ -196,7 +220,7 @@ impl Tensor {
                 op: "reshape",
             });
         }
-        Ok(Tensor { data: self.data.clone(), shape: shape.to_vec() })
+        Ok(Tensor { data: workspace::take_copied(&self.data), shape: shape.to_vec() })
     }
 
     /// Transpose of a 2-D tensor.
@@ -221,8 +245,9 @@ impl Tensor {
     /// Fans out to the worker pool for large tensors (hence the `Sync`
     /// bound); results are bitwise identical to the sequential loop.
     pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Tensor {
-        let mut data = vec![0.0f32; self.data.len()];
-        if parallel_under_default(data.len()) {
+        let len = self.data.len();
+        let data = if parallel_under_default(len) {
+            let mut data = workspace::take_zeroed(len);
             let src = &self.data;
             pool::run_chunked(&mut data, 1, |i0, chunk| {
                 let end = i0 + chunk.len();
@@ -230,11 +255,12 @@ impl Tensor {
                     *d = f(*s);
                 }
             });
+            data
         } else {
-            for (d, s) in data.iter_mut().zip(&self.data) {
-                *d = f(*s);
-            }
-        }
+            let mut data = workspace::take_with_capacity(len);
+            data.extend(self.data.iter().map(|&x| f(x)));
+            data
+        };
         Tensor { data, shape: self.shape.clone() }
     }
 
@@ -260,8 +286,9 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn zip_map<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Tensor, f: F) -> Result<Tensor> {
         self.check_same_shape(other, "zip_map")?;
-        let mut data = vec![0.0f32; self.data.len()];
-        if parallel_under_default(data.len()) {
+        let len = self.data.len();
+        let data = if parallel_under_default(len) {
+            let mut data = workspace::take_zeroed(len);
             let (lhs, rhs) = (&self.data, &other.data);
             pool::run_chunked(&mut data, 1, |i0, chunk| {
                 let end = i0 + chunk.len();
@@ -269,11 +296,12 @@ impl Tensor {
                     *d = f(*a, *b);
                 }
             });
+            data
         } else {
-            for ((d, a), b) in data.iter_mut().zip(&self.data).zip(&other.data) {
-                *d = f(*a, *b);
-            }
-        }
+            let mut data = workspace::take_with_capacity(len);
+            data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+            data
+        };
         Ok(Tensor { data, shape: self.shape.clone() })
     }
 
@@ -347,7 +375,7 @@ impl Tensor {
     /// Panics if the tensor is not 2-D or `i` is out of bounds.
     pub fn row(&self, i: usize) -> Tensor {
         let c = self.cols();
-        Tensor { data: self.data[i * c..(i + 1) * c].to_vec(), shape: vec![c] }
+        Tensor { data: workspace::take_copied(&self.data[i * c..(i + 1) * c]), shape: vec![c] }
     }
 
     /// Immutable slice of row `i` of a 2-D tensor.

@@ -29,4 +29,7 @@ cargo test -q -p puffer-lint
 echo "== probe overhead guard (disabled-probe cost < 2% on a GEMM)"
 cargo test -q --release -p puffer-tensor --test probe_overhead
 
+echo "== allocation steady-state guard (warmed-up step must not miss the pool)"
+cargo run --release -q -p puffer-bench --bin alloc_churn -- --check
+
 echo "All checks passed."
