@@ -29,7 +29,7 @@
 //!
 //! The linear-algebra-heavy compressors — PowerSGD's power iteration /
 //! Gram–Schmidt orthogonalization and ATOMO's per-step SVD — run on
-//! `puffer-tensor`'s threaded panel-packed GEMM, so their measured
+//! `puffer-tensor`'s threaded cache-blocked SIMD GEMM, so their measured
 //! encode/decode times reflect a genuinely optimized compute side rather
 //! than a single-threaded strawman (the comparison the paper's §4.2 and
 //! Fig. 6 hinge on). Thread count never changes their numerical output.

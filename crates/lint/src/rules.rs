@@ -11,6 +11,7 @@
 //! | `no-wall-clock-outside-probe` | workspace minus `crates/probe`, non-test | `Instant`/`SystemTime` live only in `puffer-probe` |
 //! | `dep-allowlist` | every `Cargo.toml` | external deps restricted to the workspace allowlist |
 //! | `no-vec-alloc-in-kernel` | tensor kernel modules, non-test | kernel scratch comes from `workspace`, not `vec![x; n]`/`Vec::with_capacity` |
+//! | `simd-needs-feature-gate` | workspace, non-test | `_mm*` intrinsic calls live in `#[target_feature]` fns, in a file with an `is_x86_feature_detected!` gate |
 //!
 //! # Suppression
 //!
@@ -78,12 +79,19 @@ pub const RULES: &[RuleInfo] = &[
                       (draw scratch from puffer_tensor::workspace so steady-state steps stay \
                       allocation-free)",
     },
+    RuleInfo {
+        name: "simd-needs-feature-gate",
+        description: "every `_mm*` intrinsic call sits inside a #[target_feature] fn, and any \
+                      file defining such fns also carries an is_x86_feature_detected! runtime \
+                      gate (so SIMD paths can never execute on unsupporting hardware)",
+    },
 ];
 
 /// Kernel modules whose hot loops must draw scratch memory from
 /// `puffer_tensor::workspace` rather than the global allocator (the
 /// workspace module itself is the one place allowed to allocate).
-const KERNEL_MODULES: &[&str] = &["crates/tensor/src/matmul.rs", "crates/tensor/src/conv.rs"];
+const KERNEL_MODULES: &[&str] =
+    &["crates/tensor/src/matmul.rs", "crates/tensor/src/gemm.rs", "crates/tensor/src/conv.rs"];
 
 /// External crates allowed as regular dependencies.
 pub const ALLOWED_DEPS: &[&str] = &["rand", "crossbeam", "parking_lot", "serde"];
@@ -190,6 +198,9 @@ pub fn check_tokens(ctx: &FileContext<'_>, enabled: &dyn Fn(&str) -> bool) -> Ve
     if enabled("no-vec-alloc-in-kernel") {
         no_vec_alloc_in_kernel(ctx, &mut out);
     }
+    if enabled("simd-needs-feature-gate") {
+        simd_needs_feature_gate(ctx, &mut out);
+    }
     out
 }
 
@@ -277,9 +288,13 @@ fn dist_no_instant(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
 
 /// Tokens that may legitimately sit between a `SAFETY:` comment and the
 /// `unsafe` keyword it justifies: the rest of the item/statement header.
+/// String literals appear in attribute arguments
+/// (`#[target_feature(enable = "avx2")]`); statement boundaries
+/// (`;`/`{`/`}`) still end the search, so a literal in a *previous*
+/// statement cannot extend it.
 fn header_token(t: &Token) -> bool {
     match t.kind {
-        TokenKind::Ident | TokenKind::Lifetime | TokenKind::NumLit => true,
+        TokenKind::Ident | TokenKind::Lifetime | TokenKind::NumLit | TokenKind::StrLit => true,
         TokenKind::Punct(c) => "#[]()<>,:&*=!".contains(c),
         _ => false,
     }
@@ -443,6 +458,64 @@ fn no_vec_alloc_in_kernel(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+fn simd_needs_feature_gate(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.is_test_file {
+        return;
+    }
+    let tf_mask = crate::scope::target_feature_mask(ctx.tokens);
+    let has_detection = ctx
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "is_x86_feature_detected");
+    let mut first_gated: Option<&Token> = None;
+    for (i, tok, in_test) in code_tokens(ctx) {
+        if in_test {
+            continue;
+        }
+        if tf_mask[i] && first_gated.is_none() {
+            first_gated = Some(tok);
+        }
+        // An intrinsic *call* outside any #[target_feature] fn: `_mm…(`.
+        // Imports (`use core::arch::x86_64::_mm256_loadu_ps;`) are idents
+        // followed by `,`/`;`/`}` and stay legal — only execution paths
+        // need the gate.
+        if tok.kind == TokenKind::Ident
+            && tok.text.starts_with("_mm")
+            && !tf_mask[i]
+            && next_code(ctx, i).is_some_and(|n| n.kind == TokenKind::Punct('('))
+        {
+            ctx.diag(
+                "simd-needs-feature-gate",
+                tok,
+                format!(
+                    "`{}` called outside a #[target_feature] fn; move the call into a \
+                     #[target_feature(enable = …)] kernel reached only behind runtime \
+                     detection, or it faults on hardware without the feature",
+                    tok.text
+                ),
+                out,
+            );
+        }
+    }
+    // A file that defines gated kernels must also carry the runtime check
+    // that makes them reachable-safe. Keeping detection in the same file is
+    // the repo convention (see puffer_tensor::gemm::simd_supported), and it
+    // is what makes this rule checkable file-locally.
+    if let Some(tok) = first_gated {
+        if !has_detection {
+            ctx.diag(
+                "simd-needs-feature-gate",
+                tok,
+                "#[target_feature] fn in a file with no is_x86_feature_detected! call; keep \
+                 the runtime gate next to the kernel it protects so the gated path is \
+                 provably unreachable on unsupporting hardware"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +617,22 @@ let job: Job = unsafe { transmute(job) };";
     }
 
     #[test]
+    fn attribute_with_string_argument_does_not_break_safety_search() {
+        let src = "\
+// SAFETY: discharged by the runtime detection gate at the call site.
+#[target_feature(enable = \"avx2\", enable = \"fma\")]
+pub unsafe fn kernel(a: *const f32) {}";
+        let diags = run("crates/tensor/src/gemm.rs", src);
+        assert!(
+            !diags.iter().any(|d| d.0 == "unsafe-needs-safety-comment"),
+            "attr string literal must not hide the SAFETY comment: {diags:?}"
+        );
+        // …but a string in a previous *statement* still ends the search.
+        let src = "// SAFETY: for the earlier line.\nlet s = \"x\";\nunsafe { b() }";
+        assert_eq!(run("crates/tensor/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
     fn second_unsafe_impl_needs_its_own_comment() {
         let src = "// SAFETY: for Send.\nunsafe impl Send for X {}\nunsafe impl Sync for X {}";
         let diags = run("crates/tensor/src/x.rs", src);
@@ -597,6 +686,47 @@ let job: Job = unsafe { transmute(job) };";
         // list form a repeat form.
         let nested = "fn f() { let v = vec![{ let x = 1; x }, 2]; }";
         assert!(run("crates/tensor/src/matmul.rs", nested).is_empty());
+    }
+
+    #[test]
+    fn gated_intrinsics_with_detection_are_clean() {
+        let src = "\
+use core::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps};
+fn supported() -> bool { is_x86_feature_detected!(\"avx2\") }
+#[target_feature(enable = \"avx2\", enable = \"fma\")]
+fn kernel(a: *const f32) { let v = _mm256_loadu_ps(a); }";
+        assert!(run("crates/tensor/src/gemm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ungated_intrinsic_call_flagged_but_import_is_not() {
+        let src = "\
+use core::arch::x86_64::_mm256_add_ps;
+fn supported() -> bool { is_x86_feature_detected!(\"avx2\") }
+fn f(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }";
+        let diags = run("crates/tensor/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].0.as_str(), diags[0].1), ("simd-needs-feature-gate", 3));
+    }
+
+    #[test]
+    fn gated_fn_without_runtime_detection_flagged() {
+        let src = "#[target_feature(enable = \"avx2\")]\nfn kernel(a: *const f32) {}";
+        let diags = run("crates/tensor/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!((diags[0].0.as_str(), diags[0].1), ("simd-needs-feature-gate", 1));
+    }
+
+    #[test]
+    fn simd_rule_exempts_tests_and_honors_suppression() {
+        let src = "fn f(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }";
+        assert!(run("crates/tensor/tests/simd_probe.rs", src).is_empty());
+        assert!(run("crates/tensor/benches/kernel_bench.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t(a: __m256) { _mm_probe(a); }\n}";
+        assert!(run("crates/tensor/src/x.rs", in_test).is_empty());
+        let allowed = "// lint:allow(simd-needs-feature-gate) — cfg-gated call site\n\
+                       fn f(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }";
+        assert!(run("crates/tensor/src/x.rs", allowed).is_empty());
     }
 
     #[test]

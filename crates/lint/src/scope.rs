@@ -53,37 +53,73 @@ pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
         if !saw_cfg_test {
             continue;
         }
-        // Mask from the attribute through the annotated item: up to a `;`
-        // (item without body) or through the matching `}` of the first `{`.
-        let mut j = i;
-        let mut depth = 0usize;
-        while j < tokens.len() {
-            match tokens[j].kind {
-                TokenKind::Punct(';') if depth == 0 => {
-                    j += 1;
-                    break;
-                }
-                TokenKind::Punct('{') => depth += 1,
-                // A close brace at depth 0 means the attribute dangled at
-                // the end of a block (malformed input); stop masking there.
-                TokenKind::Punct('}') if depth == 0 => break,
-                TokenKind::Punct('}') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
+        let j = item_end(tokens, i);
         for m in mask.iter_mut().take(j).skip(attrs_start) {
             *m = true;
         }
         i = j;
     }
     mask
+}
+
+/// Returns, for every token, whether it sits inside an item annotated with
+/// `#[target_feature(...)]` (attribute run included). The simd rule uses
+/// this to tell gated micro-kernel bodies apart from stray intrinsic calls.
+pub fn target_feature_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let attrs_start = i;
+        let mut saw_tf = false;
+        while is_attr_start(tokens, i) {
+            let (end, body) = scan_attr_body(tokens, i);
+            saw_tf |= body.first() == Some(&"target_feature");
+            i = end;
+        }
+        if !saw_tf {
+            continue;
+        }
+        let j = item_end(tokens, i);
+        for m in mask.iter_mut().take(j).skip(attrs_start) {
+            *m = true;
+        }
+        i = j;
+    }
+    mask
+}
+
+/// Index one past the extent of the item starting at `i` (the first token
+/// after its attributes): up to a `;` at brace depth 0 (item without body)
+/// or through the matching `}` of the first `{`.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct(';') if depth == 0 => {
+                j += 1;
+                break;
+            }
+            TokenKind::Punct('{') => depth += 1,
+            // A close brace at depth 0 means the attribute dangled at
+            // the end of a block (malformed input); stop masking there.
+            TokenKind::Punct('}') if depth == 0 => break,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
 }
 
 /// Is `tokens[i]` the `#` of an attribute (`#[…]` or `#![…]`)?
@@ -97,6 +133,13 @@ fn is_attr_start(tokens: &[Token], i: usize) -> bool {
 /// Scans the attribute starting at `i` (the `#`). Returns the index just
 /// past its closing `]` and whether the attribute is exactly `cfg(test)`.
 fn scan_attr(tokens: &[Token], i: usize) -> (usize, bool) {
+    let (j, body) = scan_attr_body(tokens, i);
+    (j, body == ["cfg", "(", "test", ")"])
+}
+
+/// Scans the attribute starting at `i` (the `#`). Returns the index just
+/// past its closing `]` and the attribute's body tokens (comments skipped).
+fn scan_attr_body(tokens: &[Token], i: usize) -> (usize, Vec<&str>) {
     let mut j = i + 1;
     if tokens.get(j).is_some_and(|t| t.kind == TokenKind::Punct('!')) {
         j += 1;
@@ -119,7 +162,7 @@ fn scan_attr(tokens: &[Token], i: usize) -> (usize, bool) {
         }
         j += 1;
     }
-    (j, body == ["cfg", "(", "test", ")"])
+    (j, body)
 }
 
 #[cfg(test)]
@@ -202,6 +245,24 @@ fn live2() {}";
         let src = "#![cfg(test)]\nfn a() {}\nfn b() {}";
         let masked = masked_idents(src);
         assert!(masked.contains(&"a".to_string()) && masked.contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn target_feature_mask_covers_only_the_annotated_fn() {
+        let src = "\
+fn plain() { before(); }
+#[target_feature(enable = \"avx2\", enable = \"fma\")]
+unsafe fn kernel(a: *const f32) { inner(); }
+fn after() { outside(); }";
+        let toks = lex(src);
+        let mask = target_feature_mask(&toks);
+        let at = |name: &str| toks.iter().position(|t| t.text == name).unwrap();
+        assert!(mask[at("inner")]);
+        assert!(mask[at("kernel")]);
+        assert!(!mask[at("before")]);
+        assert!(!mask[at("outside")]);
+        // cfg(test) masking is unaffected by target_feature attributes.
+        assert!(test_mask(&toks).iter().all(|m| !m));
     }
 
     #[test]

@@ -40,6 +40,8 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/other/src/wall_clock.rs", 8, "no-wall-clock-outside-probe"),
     ("crates/tensor/src/matmul.rs", 17, "no-vec-alloc-in-kernel"),
     ("crates/tensor/src/matmul.rs", 21, "no-vec-alloc-in-kernel"),
+    ("crates/tensor/src/simd.rs", 21, "simd-needs-feature-gate"),
+    ("crates/tensor/src/simd_nodetect.rs", 7, "simd-needs-feature-gate"),
     ("crates/tensor/src/unsafe_blocks.rs", 7, "unsafe-needs-safety-comment"),
     ("crates/tensor/src/unsafe_blocks.rs", 18, "unsafe-needs-safety-comment"),
     ("crates/tensor/src/unsafe_blocks.rs", 30, "unsafe-needs-safety-comment"),
@@ -97,7 +99,7 @@ fn rules_filter_restricts_findings() {
 #[test]
 fn scan_counts_cover_the_fixture_tree() {
     let report = run(&Config::new(fixtures_root())).expect("fixture scan");
-    assert_eq!(report.files_scanned, 7, "fixture .rs census changed");
+    assert_eq!(report.files_scanned, 9, "fixture .rs census changed");
     assert_eq!(report.manifests_scanned, 1, "fixture manifest census changed");
     assert!(!report.is_clean());
 }

@@ -1,0 +1,38 @@
+//! Seeded violations for `simd-needs-feature-gate`: intrinsic calls must
+//! sit inside `#[target_feature]` fns behind runtime detection.
+
+use core::arch::x86_64::{__m256, _mm256_add_ps, _mm256_loadu_ps};
+
+// Decoy: picks the kernel behind a runtime check; calling gated fns from
+// here is the sanctioned pattern.
+fn supported() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+// Decoy: the gated kernel itself — intrinsic calls in here are legal.
+// SAFETY: callers check `supported()` first.
+#[target_feature(enable = "avx2")]
+unsafe fn gated(a: *const f32) -> __m256 {
+    _mm256_loadu_ps(a)
+}
+
+// Violation: an intrinsic call on a plain, unguarded path.
+fn violation(a: __m256, b: __m256) -> __m256 {
+    _mm256_add_ps(a, b)
+}
+
+// Decoy: a deliberate, visible exemption.
+fn suppressed(a: __m256, b: __m256) -> __m256 {
+    // lint:allow(simd-needs-feature-gate) — call site is cfg-gated upstream
+    _mm256_add_ps(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test code may poke intrinsics directly.
+    fn fine_in_tests(a: __m256, b: __m256) -> __m256 {
+        _mm256_add_ps(a, b)
+    }
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: a `#[target_feature]` kernel in a file with no
+//! `is_x86_feature_detected!` runtime gate anywhere — the gated path has
+//! nothing in-file proving it unreachable on unsupporting hardware.
+
+// SAFETY: upheld by a detection check that lives in another file — which
+// is exactly the split this rule forbids.
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel(_a: *const f32) {}

@@ -12,7 +12,7 @@
 //!
 //! # Threading
 //!
-//! Every layer bottoms out in `puffer-tensor`'s panel-packed GEMM and
+//! Every layer bottoms out in `puffer-tensor`'s cache-blocked SIMD GEMM and
 //! im2col kernels, which fan out to the process-wide worker pool
 //! (re-exported here as [`threading`], since [`pool`] is pooling layers)
 //! under the default `Optimized` matmul profile. Forward/backward results

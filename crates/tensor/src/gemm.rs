@@ -1,0 +1,602 @@
+//! BLIS-style cache-blocked GEMM engine with a runtime-detected SIMD
+//! micro-kernel.
+//!
+//! This module is the single dense-compute core of the repository: the
+//! `Optimized` profile of [`crate::matmul`] (plain, `ᵀ·` and `·ᵀ` variants,
+//! and through them the im2col convolution lowering in `puffer-nn`) all
+//! funnel into [`gemm`]. The engine follows the classic three-level
+//! blocking hierarchy (Goto/BLIS):
+//!
+//! ```text
+//! for jc in 0..n step NC         # B column block   → L3-resident
+//!   for pc in 0..k step KC       # K block          → panels sliced per pass
+//!     for ic in 0..m step MC     # A row block      → L2-resident packed A
+//!       for jr (NR-wide panels)  # B micro-panel    → L1-resident (KC×NR)
+//!         for ir (MR-wide panels)
+//!           MR×NR register-tile micro-kernel over p = pc..pc+kc
+//! ```
+//!
+//! Both operands are repacked once per call into micro-panels grouped by
+//! KC block (A: `[pc][ir][p][MR]`, B: `[pc][jr][p][NR]`), drawn from the
+//! per-thread scratch arenas ([`crate::workspace`]) so steady-state steps
+//! allocate nothing fresh. Threads own whole `(jc, ic)` tiles of C — the
+//! NC/MC loop nest, not raw output rows — so each worker streams
+//! cache-resident panels instead of fighting its siblings for the same
+//! B panel bandwidth.
+//!
+//! # The micro-kernel
+//!
+//! The register tile is MR=6 × NR=16: twelve 8-lane f32 accumulators, two
+//! B vectors and one A broadcast fill 15 of the 16 AVX2 `ymm` registers,
+//! and every `p` step issues 12 FMAs against 8 load-port µops — the
+//! FMA-throughput-bound shape on every AVX2 core. The kernel is selected
+//! at runtime via `is_x86_feature_detected!("avx2")/("fma")` and can be
+//! forced off with `PUFFER_SIMD=0` (or [`set_simd_enabled`]); the scalar
+//! fallback computes the *identical* fused chain through [`f32::mul_add`],
+//! which (like the hardware FMA) rounds once per step, so SIMD-on and
+//! SIMD-off results are **bitwise identical**.
+//!
+//! # Determinism
+//!
+//! Every output element is one accumulator reduced over `p = 0..k` in
+//! ascending order with a single rounding per step:
+//! `c ← fma(a[i,p], b[p,j], c)`. Vectorization is across the NR *column
+//! lanes* — different output elements — so lane order never touches any
+//! element's reduction order. KC blocking stores the accumulator to C at a
+//! block boundary and reloads the same bits for the next block, which is
+//! bit-for-bit the uninterrupted chain; MC/NC/tile partitioning only picks
+//! *which thread* owns an element. Results are therefore bitwise invariant
+//! to thread count, SIMD on/off, **and** the KC/MC/NC choices — pinned by
+//! `crates/tensor/tests/simd_bitwise.rs` against the scalar `mul_add`
+//! reference.
+
+use crate::{pool, workspace};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Register-tile height: rows of C held in accumulators by the micro-kernel.
+pub const MR: usize = 6;
+
+/// Register-tile width: columns of C held in accumulators (two 8-lane
+/// vectors in the AVX2 kernel).
+pub const NR: usize = 16;
+
+/// Default K-dimension block: one packed B micro-panel is `KC×NR` f32
+/// (16 KiB) — half of a 32 KiB L1d — and stays resident across the whole
+/// `ir` loop.
+const KC_DEFAULT: usize = 256;
+
+/// Default M-dimension block: the packed `MC×KC` A block is 96 KiB, sized
+/// to sit in L2 while the micro-kernel streams it NR columns at a time.
+const MC_DEFAULT: usize = 96;
+
+/// Default N-dimension block: the packed `KC×NC` B slab is 2 MiB, sized
+/// for an L3 share; one `(jc, ic)` tile of C is the unit of thread work.
+const NC_DEFAULT: usize = 2048;
+
+/// Minimum packed-element count before operand packing itself fans out to
+/// the worker pool (overridable via `PUFFER_GEMM_PAR_MIN_PACK`).
+const PAR_MIN_PACK_DEFAULT: usize = 1 << 16;
+
+static KC: AtomicUsize = AtomicUsize::new(0);
+static MC: AtomicUsize = AtomicUsize::new(0);
+static NC: AtomicUsize = AtomicUsize::new(0);
+static PAR_MIN_PACK: AtomicUsize = AtomicUsize::new(0);
+
+/// `0` = unresolved, `1` = scalar fallback, `2` = AVX2+FMA kernel.
+static SIMD: AtomicU8 = AtomicU8::new(0);
+
+/// Whether this build/host can run the vector micro-kernel at all
+/// (compile-time x86-64 and runtime AVX2 + FMA detection).
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the vector micro-kernel is currently in use. Resolves lazily:
+/// `PUFFER_SIMD=0` (or `false`/`off`) forces the scalar fallback, otherwise
+/// runtime feature detection decides. Results are bitwise identical either
+/// way; the switch exists for A/B benchmarking and fallback testing.
+pub fn simd_enabled() -> bool {
+    match SIMD.load(Ordering::Relaxed) {
+        0 => {
+            let env_off = std::env::var("PUFFER_SIMD")
+                .map(|v| matches!(v.trim(), "0" | "false" | "off"))
+                .unwrap_or(false);
+            let on = !env_off && simd_supported();
+            let _ = SIMD.compare_exchange(
+                0,
+                if on { 2 } else { 1 },
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            SIMD.load(Ordering::Relaxed) == 2
+        }
+        s => s == 2,
+    }
+}
+
+/// Forces the micro-kernel choice at runtime. Requesting SIMD on a host
+/// without AVX2+FMA keeps the scalar fallback (the setting is effective,
+/// not aspirational). The bitwise-equality tests toggle this to compare
+/// both paths in one process.
+pub fn set_simd_enabled(on: bool) {
+    SIMD.store(if on && simd_supported() { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+fn resolve(cell: &AtomicUsize, env: &str, default: usize, round_to: usize) -> usize {
+    let v = cell.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let raw = std::env::var(env)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&x| x > 0)
+        .unwrap_or(default);
+    let rounded = raw.div_ceil(round_to).max(1) * round_to;
+    let _ = cell.compare_exchange(0, rounded, Ordering::Relaxed, Ordering::Relaxed);
+    cell.load(Ordering::Relaxed)
+}
+
+/// The effective `(KC, MC, NC)` blocking, resolving `PUFFER_GEMM_KC` /
+/// `PUFFER_GEMM_MC` / `PUFFER_GEMM_NC` on first use. MC is rounded up to a
+/// multiple of MR and NC to a multiple of NR so block edges coincide with
+/// register-tile edges.
+pub fn blocking() -> (usize, usize, usize) {
+    (
+        resolve(&KC, "PUFFER_GEMM_KC", KC_DEFAULT, 1),
+        resolve(&MC, "PUFFER_GEMM_MC", MC_DEFAULT, MR),
+        resolve(&NC, "PUFFER_GEMM_NC", NC_DEFAULT, NR),
+    )
+}
+
+/// Overrides the blocking hierarchy at runtime (rounded like [`blocking`]).
+/// Results are bitwise invariant to these choices — the boundary proptests
+/// shrink them to force multi-block paths on small matrices.
+pub fn set_blocking(kc: usize, mc: usize, nc: usize) {
+    KC.store(kc.max(1), Ordering::Relaxed);
+    MC.store(mc.div_ceil(MR).max(1) * MR, Ordering::Relaxed);
+    NC.store(nc.div_ceil(NR).max(1) * NR, Ordering::Relaxed);
+}
+
+/// The packed-element count above which operand packing fans out
+/// (`PUFFER_GEMM_PAR_MIN_PACK`, default `2^16`).
+pub fn pack_parallel_threshold() -> usize {
+    resolve(&PAR_MIN_PACK, "PUFFER_GEMM_PAR_MIN_PACK", PAR_MIN_PACK_DEFAULT, 1)
+}
+
+/// A strided read-only view of a row-major operand: element `(i, j)` lives
+/// at `data[i * rs + j * cs]`. `matmul` passes `(k, 1)`-strided A and
+/// `(n, 1)`-strided B; the fused-transpose variants swap strides instead of
+/// materializing the transpose.
+#[derive(Clone, Copy)]
+pub struct View<'a> {
+    /// Backing storage.
+    pub data: &'a [f32],
+    /// Row stride (elements between `(i, j)` and `(i+1, j)`).
+    pub rs: usize,
+    /// Column stride (elements between `(i, j)` and `(i, j+1)`).
+    pub cs: usize,
+}
+
+impl<'a> View<'a> {
+    /// A view over a row-major `rows×cols` matrix.
+    pub fn row_major(data: &'a [f32], cols: usize) -> Self {
+        View { data, rs: cols, cs: 1 }
+    }
+
+    /// The transposed view (no data movement).
+    pub fn t(self) -> Self {
+        View { data: self.data, rs: self.cs, cs: self.rs }
+    }
+}
+
+/// Shared pointer to the output matrix, handed to pool workers that write
+/// disjoint `(jc, ic)` tiles.
+struct SendPtr(*mut f32);
+// SAFETY: only disjoint C tiles derived from distinct tile indices are ever
+// written through this pointer, and the dispatching call joins all workers
+// before returning.
+unsafe impl Send for SendPtr {}
+// SAFETY: shared references to SendPtr only read the pointer value; the
+// disjoint-tile argument above covers every derived write.
+unsafe impl Sync for SendPtr {}
+
+/// `C += A · B` on a zero-initialized row-major `m×n` C, with `A: m×k` and
+/// `B: k×n` given as [`View`]s. `parallel` fans the `(jc, ic)` tile grid
+/// (and, above [`pack_parallel_threshold`], the operand packing) out to the
+/// worker pool; results are bitwise identical for every thread count and
+/// for SIMD on/off.
+pub fn gemm(a: View<'_>, b: View<'_>, c: &mut [f32], m: usize, k: usize, n: usize, parallel: bool) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    debug_assert!(c.len() == m * n);
+    let (kc, mc, nc) = blocking();
+    let a_panels = m.div_ceil(MR);
+    let b_panels = n.div_ceil(NR);
+
+    let mut packed_a = workspace::take(a_panels * MR * k);
+    let mut packed_b = workspace::take(b_panels * NR * k);
+    // Pack A's columns (the k×m transposed view) into MR-wide micro-panels
+    // and B's rows into NR-wide ones, both grouped by KC block.
+    pack_operand(a.t(), k, m, MR, kc, packed_a.as_mut_slice(), parallel);
+    pack_operand(b, k, n, NR, kc, packed_b.as_mut_slice(), parallel);
+
+    let eng = Engine {
+        packed_a: packed_a.as_slice(),
+        packed_b: packed_b.as_slice(),
+        c: SendPtr(c.as_mut_ptr()),
+        m,
+        k,
+        n,
+        kc,
+        mc,
+        nc,
+        simd: simd_enabled(),
+    };
+    let n_ic = m.div_ceil(mc);
+    let n_jc = n.div_ceil(nc);
+    let n_tiles = n_ic * n_jc;
+    if parallel && n_tiles > 1 {
+        pool::run_partitioned(n_tiles, |range| {
+            for tile in range {
+                eng.process_tile(tile / n_ic, tile % n_ic);
+            }
+        });
+    } else {
+        for tile in 0..n_tiles {
+            eng.process_tile(tile / n_ic, tile % n_ic);
+        }
+    }
+}
+
+/// Packs a logical `k×d` operand (element `(p, j)` of `src`) into `r`-wide
+/// zero-padded micro-panels grouped by KC block: panel `(pc, id)` holds
+/// `kc_len` rows of `r` consecutive `j` lanes, laid out contiguously so the
+/// micro-kernel streams it. The destination comes zeroed from the
+/// workspace, so padding lanes need no explicit writes. Pure element
+/// copies — packed contents are independent of the thread partition.
+fn pack_operand(
+    src: View<'_>,
+    k: usize,
+    d: usize,
+    r: usize,
+    kc: usize,
+    packed: &mut [f32],
+    parallel: bool,
+) {
+    let panels = d.div_ceil(r);
+    let n_pc = k.div_ceil(kc);
+    let n_items = n_pc * panels;
+    let fill = |pc: usize, id: usize, dst: &mut [f32]| {
+        let p0 = pc * kc;
+        let kc_len = kc.min(k - p0);
+        let j0 = id * r;
+        let w = r.min(d - j0);
+        for p in 0..kc_len {
+            let row = &mut dst[p * r..p * r + w];
+            for (q, slot) in row.iter_mut().enumerate() {
+                *slot = src.data[(p0 + p) * src.rs + (j0 + q) * src.cs];
+            }
+        }
+    };
+    // Panel (pc, id) starts at block base `panels·r·(pc·kc)` (previous
+    // blocks hold exactly pc·kc packed rows) plus `id` whole panels.
+    let offset = |pc: usize, id: usize| {
+        let kc_len = kc.min(k - pc * kc);
+        (panels * r * (pc * kc) + id * r * kc_len, r * kc_len)
+    };
+    if parallel && packed.len() >= pack_parallel_threshold() {
+        let base = SendPtr(packed.as_mut_ptr());
+        pool::run_partitioned(n_items, |range| {
+            let base = &base;
+            for item in range {
+                let (pc, id) = (item / panels, item % panels);
+                let (off, len) = offset(pc, id);
+                // SAFETY: panel ranges `(off, len)` are disjoint across item
+                // indices and in-bounds for `packed`; run_partitioned hands
+                // each worker distinct items and joins before returning.
+                let dst = unsafe { std::slice::from_raw_parts_mut(base.0.add(off), len) };
+                fill(pc, id, dst);
+            }
+        });
+    } else {
+        for item in 0..n_items {
+            let (pc, id) = (item / panels, item % panels);
+            let (off, len) = offset(pc, id);
+            fill(pc, id, &mut packed[off..off + len]);
+        }
+    }
+}
+
+/// Everything a worker needs to compute one `(jc, ic)` tile of C.
+struct Engine<'a> {
+    packed_a: &'a [f32],
+    packed_b: &'a [f32],
+    c: SendPtr,
+    m: usize,
+    k: usize,
+    n: usize,
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    simd: bool,
+}
+
+impl Engine<'_> {
+    /// Computes the C tile `(jc, ic)`: for each KC block, sweep the tile's
+    /// NR-wide B panels (L1-resident) over its MR-wide A panels. Per
+    /// element the KC loop continues the same fused accumulator chain —
+    /// stored to C at a block edge and reloaded bit-for-bit — so the
+    /// result is independent of `kc` and of which thread owns the tile.
+    fn process_tile(&self, jc: usize, ic: usize) {
+        let (m, k, n) = (self.m, self.k, self.n);
+        let a_panels = m.div_ceil(MR);
+        let b_panels = n.div_ceil(NR);
+        let (i0, i1) = (ic * self.mc, m.min((ic + 1) * self.mc));
+        let (j0, j1) = (jc * self.nc, n.min((jc + 1) * self.nc));
+        let mut p0 = 0;
+        while p0 < k {
+            let kc_len = self.kc.min(k - p0);
+            let a_base = a_panels * MR * p0;
+            let b_base = b_panels * NR * p0;
+            // MC is a multiple of MR and NC of NR, so block edges coincide
+            // with whole panels.
+            for jp in j0 / NR..j1.div_ceil(NR) {
+                let pb = &self.packed_b[b_base + jp * NR * kc_len..][..NR * kc_len];
+                let cols = NR.min(n - jp * NR);
+                for ip in i0 / MR..i1.div_ceil(MR) {
+                    let pa = &self.packed_a[a_base + ip * MR * kc_len..][..MR * kc_len];
+                    let rows = MR.min(m - ip * MR);
+                    // SAFETY: the tile pointer stays inside this worker's
+                    // disjoint (jc, ic) region of C: rows ip·MR..ip·MR+rows
+                    // and cols jp·NR..jp·NR+cols are in-bounds and owned by
+                    // this tile alone.
+                    let c_tile = unsafe { self.c.0.add(ip * MR * n + jp * NR) };
+                    micro_tile(self.simd, kc_len, pa, pb, c_tile, n, rows, cols);
+                }
+            }
+            p0 += kc_len;
+        }
+    }
+}
+
+/// Runs the register-tile kernel on one `rows×cols` tile of C (top-left at
+/// `c`, row stride `ldc`). Full MR×NR tiles run in place; edge tiles stage
+/// through a stack buffer: valid C elements are loaded into the buffer, the
+/// same full-size kernel runs (padded lanes compute over packed zeros and
+/// are discarded), and the valid region is stored back — per element this
+/// is the identical fused chain, so edge handling never perturbs results.
+#[allow(clippy::too_many_arguments)]
+fn micro_tile(
+    simd: bool,
+    kc: usize,
+    pa: &[f32],
+    pb: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    if rows == MR && cols == NR {
+        kernel(simd, kc, pa, pb, c, ldc);
+        return;
+    }
+    let mut tile = [0.0f32; MR * NR];
+    for r in 0..rows {
+        for q in 0..cols {
+            // SAFETY: (r, q) < (rows, cols) stays inside the caller's C tile.
+            unsafe { tile[r * NR + q] = *c.add(r * ldc + q) };
+        }
+    }
+    kernel(simd, kc, pa, pb, tile.as_mut_ptr(), NR);
+    for r in 0..rows {
+        for q in 0..cols {
+            // SAFETY: same in-bounds argument as the load above.
+            unsafe { *c.add(r * ldc + q) = tile[r * NR + q] };
+        }
+    }
+}
+
+/// Dispatches one MR×NR register tile to the vector or scalar kernel.
+#[inline]
+fn kernel(simd: bool, kc: usize, pa: &[f32], pb: &[f32], c: *mut f32, ldc: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: `simd` is only true when is_x86_feature_detected! reported
+        // AVX2+FMA (see simd_enabled/set_simd_enabled), and the pointer
+        // contract is the same as kernel_scalar's, upheld by micro_tile.
+        unsafe { avx::kernel_6x16(kc, pa.as_ptr(), pb.as_ptr(), c, ldc) };
+        return;
+    }
+    let _ = simd;
+    kernel_scalar(kc, pa, pb, c, ldc);
+}
+
+/// Scalar micro-kernel: the identical fused chain as the AVX2 kernel,
+/// `acc ← f32::mul_add(a, b, acc)`, which rounds once per step exactly like
+/// `_mm256_fmadd_ps` — so the two paths are bitwise interchangeable.
+fn kernel_scalar(kc: usize, pa: &[f32], pb: &[f32], c: *mut f32, ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (t, row) in acc.iter_mut().enumerate() {
+        for (q, slot) in row.iter_mut().enumerate() {
+            // SAFETY: micro_tile hands a tile with MR rows of stride ldc
+            // and NR valid columns per row.
+            *slot = unsafe { *c.add(t * ldc + q) };
+        }
+    }
+    for p in 0..kc {
+        let arow = &pa[p * MR..(p + 1) * MR];
+        let brow = &pb[p * NR..(p + 1) * NR];
+        for (t, row) in acc.iter_mut().enumerate() {
+            let a = arow[t];
+            for (slot, &bv) in row.iter_mut().zip(brow) {
+                *slot = a.mul_add(bv, *slot);
+            }
+        }
+    }
+    for (t, row) in acc.iter().enumerate() {
+        for (q, &v) in row.iter().enumerate() {
+            // SAFETY: same tile contract as the loads above.
+            unsafe { *c.add(t * ldc + q) = v };
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    //! The AVX2+FMA register-tile kernel. Everything here is reachable only
+    //! through [`super::kernel`], which checks runtime feature detection
+    //! before taking this path.
+
+    use super::{MR, NR};
+    use core::arch::x86_64::{
+        __m256, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// 6×16 micro-kernel: twelve accumulators (`MR` rows × two 8-lane
+    /// halves) are loaded from C, swept by `kc` fused multiply–adds each —
+    /// `acc ← fma(broadcast(a), b, acc)`, one rounding per step, ascending
+    /// `p` — and stored back. Lanes are distinct output columns, so
+    /// vector width never reorders any element's reduction.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and FMA at runtime; `pa`/`pb` must hold `kc` packed
+    /// rows of MR / NR elements, and `c` must address an MR×NR tile with
+    /// row stride `ldc` that no other thread touches.
+    // SAFETY: the target_feature promise is discharged by the runtime
+    // detection gate in super::kernel; all pointer accesses stay inside the
+    // packed panels and the caller's C tile per the contract above.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn kernel_6x16(kc: usize, pa: *const f32, pb: *const f32, c: *mut f32, ldc: usize) {
+        const { assert!(NR == 16) };
+        let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        for (t, row) in acc.iter_mut().enumerate() {
+            row[0] = _mm256_loadu_ps(c.add(t * ldc));
+            row[1] = _mm256_loadu_ps(c.add(t * ldc + 8));
+        }
+        for p in 0..kc {
+            let b0 = _mm256_loadu_ps(pb.add(p * NR));
+            let b1 = _mm256_loadu_ps(pb.add(p * NR + 8));
+            let ap = pa.add(p * MR);
+            for (t, row) in acc.iter_mut().enumerate() {
+                let a = _mm256_broadcast_ss(&*ap.add(t));
+                row[0] = _mm256_fmadd_ps(a, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(a, b1, row[1]);
+            }
+        }
+        for (t, row) in acc.iter().enumerate() {
+            _mm256_storeu_ps(c.add(t * ldc), row[0]);
+            _mm256_storeu_ps(c.add(t * ldc + 8), row[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The per-element contract in its simplest form: one fused chain over
+    /// ascending p. Everything the engine does must equal this bitwise.
+    fn fma_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc = a[i * k + p].mul_add(b[p * n + j], acc);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn run_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        gemm(View::row_major(a, k), View::row_major(b, n), &mut c, m, k, n, false);
+        c
+    }
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        // Cheap deterministic pseudo-random values with varied magnitudes.
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((x >> 33) as i32 % 1000) as f32 / 97.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_fma_reference_bitwise_across_shapes_and_blockings() {
+        let shapes =
+            [(1, 1, 1), (6, 16, 16), (7, 17, 18), (13, 40, 33), (64, 64, 64), (97, 130, 51)];
+        for &(m, k, n) in &shapes {
+            let a = filled(m * k, 1);
+            let b = filled(k * n, 2);
+            let want = fma_reference(&a, &b, m, k, n);
+            for &(kc, mc, nc) in &[(256usize, 96usize, 2048usize), (8, 12, 32), (1, 6, 16)] {
+                set_blocking(kc, mc, nc);
+                for simd in [true, false] {
+                    set_simd_enabled(simd);
+                    let got = run_gemm(&a, &b, m, k, n);
+                    assert_eq!(
+                        got, want,
+                        "(m,k,n)=({m},{k},{n}) kc={kc} mc={mc} nc={nc} simd={simd}"
+                    );
+                }
+            }
+            set_blocking(KC_DEFAULT, MC_DEFAULT, NC_DEFAULT);
+            set_simd_enabled(true);
+        }
+    }
+
+    #[test]
+    fn transposed_views_match_explicit_transpose() {
+        let (m, k, n) = (9, 21, 14);
+        let at = filled(k * m, 3); // stored k×m, viewed as m×k
+        let b = filled(k * n, 4);
+        let mut a = vec![0.0f32; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                a[i * k + p] = at[p * m + i];
+            }
+        }
+        let want = run_gemm(&a, &b, m, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm(View::row_major(&at, m).t(), View::row_major(&b, n), &mut got, m, k, n, false);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn env_rounding_rules() {
+        set_blocking(100, 50, 100);
+        let (kc, mc, nc) = blocking();
+        assert_eq!(kc, 100);
+        assert_eq!(mc % MR, 0);
+        assert!(mc >= 50);
+        assert_eq!(nc % NR, 0);
+        assert!(nc >= 100);
+        set_blocking(KC_DEFAULT, MC_DEFAULT, NC_DEFAULT);
+        assert_eq!(blocking(), (KC_DEFAULT, MC_DEFAULT, NC_DEFAULT));
+    }
+
+    #[test]
+    fn simd_switch_is_effective_only_when_supported() {
+        set_simd_enabled(true);
+        assert_eq!(simd_enabled(), simd_supported());
+        set_simd_enabled(false);
+        assert!(!simd_enabled());
+        set_simd_enabled(true);
+    }
+}

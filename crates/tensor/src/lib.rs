@@ -48,6 +48,7 @@
 pub mod conv;
 pub mod error;
 pub mod f16;
+pub mod gemm;
 pub mod init;
 pub mod io;
 pub mod matmul;

@@ -1,21 +1,24 @@
-//! Panel-packed, thread-parallel dense matrix multiplication.
+//! Profile-dispatched dense matrix multiplication.
 //!
 //! Two execution profiles mirror the paper's two cuDNN settings (Table 6 vs
 //! Table 20): [`MatmulProfile::Reproducible`] uses a straightforward,
-//! strictly sequential ikj loop, while [`MatmulProfile::Optimized`] packs B
-//! into contiguous column panels once and then drives an unrolled
-//! `MR×NR` register-blocked micro-kernel over row panels, fanning the row
-//! panels out to the process-wide worker pool (see [`crate::pool`]) above a
-//! size threshold.
+//! strictly sequential ikj loop, while [`MatmulProfile::Optimized`] routes
+//! through the BLIS-style cache-blocked SIMD engine in [`crate::gemm`] —
+//! KC/MC/NC blocking, workspace-packed micro-panels, a runtime-detected
+//! AVX2+FMA 6×16 register-tile kernel, and thread partitioning over
+//! `(jc, ic)` cache tiles. The fused-transpose variants ([`matmul_tn`],
+//! [`matmul_nt`]) feed the same engine through strided views, so the
+//! convolution lowering and every `puffer-nn` layer hit the fast path too.
 //!
-//! The parallel kernel is **bitwise deterministic across thread counts**:
-//! work is partitioned over output rows, and every `(i, j)` element is a
-//! single accumulator reduced over `p = 0..k` in ascending order regardless
-//! of how rows are grouped into `MR`-blocks or distributed over threads.
-//! Only the profile switch changes results (within f32 associativity), the
-//! thread count never does.
+//! The engine is **bitwise deterministic across thread counts and SIMD
+//! on/off**: every `(i, j)` element is a single accumulator reduced over
+//! `p = 0..k` in ascending order with one fused rounding per step,
+//! regardless of blocking, tile ownership, or vector width (lanes are
+//! distinct output columns). Only the profile switch changes results
+//! (within f32 associativity); the thread count never does.
 
-use crate::{pool, workspace};
+use crate::gemm::{self, View};
+use crate::pool;
 use crate::{Result, Tensor, TensorError};
 use puffer_probe as probe;
 
@@ -40,42 +43,49 @@ pub enum MatmulProfile {
     /// Simple ikj-ordered triple loop; sequential on the caller thread.
     /// Stands in for the paper's "reproducibility optimized cuDNN" setting.
     Reproducible = 0,
-    /// Panel-packed parallel kernel; stands in for "speed optimized cuDNN".
+    /// Cache-blocked SIMD engine ([`crate::gemm`]); stands in for "speed
+    /// optimized cuDNN".
     #[default]
     Optimized = 1,
 }
 
-/// Column-panel width of the packed micro-kernel. B is repacked into
-/// `k×NR` panels so the inner loop reads both operands contiguously.
-const NR: usize = 8;
-
-/// Row-block height of the micro-kernel: `MR×NR` accumulators stay in
-/// registers across the whole `k` reduction.
-const MR: usize = 4;
-
 /// Default minimum multiply–add count before a dense kernel fans out to
-/// the pool; below this the dispatch overhead outweighs the parallelism.
-const PAR_MIN_FLOPS: usize = 1 << 18;
+/// the pool. Recalibrated for the blocked SIMD engine: at ~50 GFLOPS a
+/// 2^20-MAC GEMM runs in ~20 µs, about the break-even point against pool
+/// dispatch + packing coordination (the old scalar kernel broke even at
+/// 2^18). Overridable via `PUFFER_GEMM_PAR_MIN_FLOPS`.
+const PAR_MIN_FLOPS: usize = 1 << 20;
 
-/// Minimum packed-buffer element count before B-packing itself fans out.
-const PAR_MIN_PACK: usize = 1 << 16;
-
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 
 static DEFAULT_PROFILE: AtomicU8 = AtomicU8::new(1);
 
-static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(PAR_MIN_FLOPS);
+static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+// Separate resolved flag: 0 is a meaningful threshold ("parallelize
+// everything", used by the determinism tests), so it cannot double as the
+// unresolved sentinel.
+static PAR_THRESHOLD_RESOLVED: AtomicBool = AtomicBool::new(false);
 
 /// Overrides the multiply–add count above which dense kernels fan out to
-/// the worker pool (default `2^18`). `0` parallelizes every eligible call —
-/// the determinism test suite uses this to exercise the threaded path at
-/// tiny sizes; results are bitwise identical either way.
+/// the worker pool (default `2^20`, env `PUFFER_GEMM_PAR_MIN_FLOPS`). `0`
+/// parallelizes every eligible call — the determinism test suite uses this
+/// to exercise the threaded path at tiny sizes; results are bitwise
+/// identical either way.
 pub fn set_parallel_threshold(min_flops: usize) {
     PAR_THRESHOLD.store(min_flops, Ordering::Relaxed);
+    PAR_THRESHOLD_RESOLVED.store(true, Ordering::Relaxed);
 }
 
-/// The current fan-out threshold in multiply–adds.
+/// The current fan-out threshold in multiply–adds, resolving
+/// `PUFFER_GEMM_PAR_MIN_FLOPS` on first use.
 pub fn parallel_threshold() -> usize {
+    if !PAR_THRESHOLD_RESOLVED.load(Ordering::Relaxed) {
+        let v = std::env::var("PUFFER_GEMM_PAR_MIN_FLOPS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(PAR_MIN_FLOPS);
+        set_parallel_threshold(v);
+    }
     PAR_THRESHOLD.load(Ordering::Relaxed)
 }
 
@@ -102,7 +112,7 @@ pub fn default_profile() -> MatmulProfile {
 /// always answers no, keeping that regime strictly sequential.
 pub(crate) fn parallel_under_default(work: usize) -> bool {
     default_profile() == MatmulProfile::Optimized
-        && work >= PAR_THRESHOLD.load(Ordering::Relaxed)
+        && work >= parallel_threshold()
         && pool::num_threads() > 1
 }
 
@@ -149,22 +159,29 @@ pub fn matmul_with_profile(a: &Tensor, b: &Tensor, profile: MatmulProfile) -> Re
         MatmulProfile::Reproducible => {
             mm_ikj(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, ka, n)
         }
-        MatmulProfile::Optimized => {
-            mm_packed(a.as_slice(), b.as_slice(), c.as_mut_slice(), m, ka, n)
-        }
+        MatmulProfile::Optimized => gemm::gemm(
+            View::row_major(a.as_slice(), ka),
+            View::row_major(b.as_slice(), n),
+            c.as_mut_slice(),
+            m,
+            ka,
+            n,
+            parallel_under_default(m * ka * n),
+        ),
     }
     Ok(c)
 }
 
-/// `C = Aᵀ · B` without materializing the transpose.
+/// `C = Aᵀ · B` without materializing the transpose (`A: k×m`, `B: k×n`).
 ///
-/// Row-parallel over the `m` output rows under the `Optimized` default
-/// profile; the per-element reduction order is thread-count independent.
+/// Under the `Optimized` default profile this is the blocked engine fed a
+/// column-strided view of A — packing absorbs the transpose, so the
+/// micro-kernel runs at full speed on the paper's `rᵀ·` backward GEMMs.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::WrongDimensions`] / [`TensorError::ShapeMismatch`]
-/// on rank or inner-dimension mismatch (`A: k×m`, `B: k×n`).
+/// on rank or inner-dimension mismatch.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_2d(a, "matmul_tn")?;
     check_2d(b, "matmul_tn")?;
@@ -178,46 +195,49 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let _sp = kernel_span("matmul_tn", m, k, n);
-    let (av, bv) = (a.as_slice(), b.as_slice());
     let mut c = Tensor::zeros(&[m, n]);
     if m == 0 || n == 0 {
         return Ok(c);
     }
+    if default_profile() == MatmulProfile::Optimized {
+        gemm::gemm(
+            View::row_major(a.as_slice(), m).t(),
+            View::row_major(b.as_slice(), n),
+            c.as_mut_slice(),
+            m,
+            k,
+            n,
+            parallel_under_default(m * k * n),
+        );
+        return Ok(c);
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
     let cv = c.as_mut_slice();
-    // Outer-product accumulation over k within each row chunk: B rows are
-    // reused across the chunk while every (i, j) still reduces over
-    // ascending p, so results do not depend on the partition.
-    let tn_rows = |i0: usize, chunk: &mut [f32]| {
-        let rows = chunk.len() / n;
-        for p in 0..k {
-            let arow = &av[p * m..(p + 1) * m];
-            let brow = &bv[p * n..(p + 1) * n];
-            for li in 0..rows {
-                let aip = arow[i0 + li];
-                let crow = &mut chunk[li * n..(li + 1) * n];
-                for (cj, bj) in crow.iter_mut().zip(brow) {
-                    *cj += aip * bj;
-                }
+    // Reproducible: sequential outer-product accumulation over k, reusing
+    // each B row across all output rows.
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aip) in arow.iter().enumerate() {
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aip * bj;
             }
         }
-    };
-    if parallel_under_default(m * k * n) {
-        pool::run_chunked(cv, n, tn_rows);
-    } else {
-        tn_rows(0, cv);
     }
     Ok(c)
 }
 
-/// `C = A · Bᵀ` without materializing the transpose.
+/// `C = A · Bᵀ` without materializing the transpose (`A: m×k`, `B: n×k`).
 ///
-/// Each output element is an unrolled 4-lane dot product; rows of C are
-/// computed in parallel under the `Optimized` default profile.
+/// Under the `Optimized` default profile this is the blocked engine fed a
+/// column-strided view of B — the layout Linear layers store their weights
+/// in, so every forward pass takes this route.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::WrongDimensions`] / [`TensorError::ShapeMismatch`]
-/// on rank or inner-dimension mismatch (`A: m×k`, `B: n×k`).
+/// on rank or inner-dimension mismatch.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_2d(a, "matmul_nt")?;
     check_2d(b, "matmul_nt")?;
@@ -231,30 +251,36 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let _sp = kernel_span("matmul_nt", m, k, n);
-    let (av, bv) = (a.as_slice(), b.as_slice());
     let mut c = Tensor::zeros(&[m, n]);
     if m == 0 || n == 0 {
         return Ok(c);
     }
-    let cv = c.as_mut_slice();
-    let nt_rows = |i0: usize, chunk: &mut [f32]| {
-        for (li, crow) in chunk.chunks_exact_mut(n).enumerate() {
-            let i = i0 + li;
-            let arow = &av[i * k..(i + 1) * k];
-            for (j, cj) in crow.iter_mut().enumerate() {
-                *cj = dot_unrolled(arow, &bv[j * k..(j + 1) * k]);
-            }
+    if default_profile() == MatmulProfile::Optimized {
+        gemm::gemm(
+            View::row_major(a.as_slice(), k),
+            View::row_major(b.as_slice(), k).t(),
+            c.as_mut_slice(),
+            m,
+            k,
+            n,
+            parallel_under_default(m * k * n),
+        );
+        return Ok(c);
+    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    for (i, crow) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
+        let arow = &av[i * k..(i + 1) * k];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            *cj = dot_unrolled(arow, &bv[j * k..(j + 1) * k]);
         }
-    };
-    if parallel_under_default(m * k * n) {
-        pool::run_chunked(cv, n, nt_rows);
-    } else {
-        nt_rows(0, cv);
     }
     Ok(c)
 }
 
 /// Matrix–vector product `y = A · x` (`A: m×k`, `x: k`).
+///
+/// Stays on the unrolled-dot path: with one output column there is no
+/// register tile to fill, so the blocked engine has nothing to offer.
 ///
 /// # Errors
 ///
@@ -317,105 +343,6 @@ fn mm_ikj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
             for (cj, bj) in crow.iter_mut().zip(brow) {
                 *cj += aip * bj;
             }
-        }
-    }
-}
-
-/// Packed parallel GEMM: packs B into `k×NR` column panels once, then
-/// computes `MR`-row blocks of C with a register-blocked micro-kernel,
-/// partitioning rows across the worker pool when the problem is large
-/// enough.
-fn mm_packed(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    if m == 0 || n == 0 {
-        return;
-    }
-    let n_panels = n.div_ceil(NR);
-    let mut packed_buf = workspace::take(n_panels * k * NR);
-    let packed = packed_buf.as_mut_slice();
-    pack_b(b, packed, k, n);
-    if k > 0 && parallel_under_default(m * k * n) {
-        let packed = &*packed;
-        pool::run_chunked(c, n, |row0, chunk| {
-            mm_rows_packed(a, packed, chunk, row0, k, n);
-        });
-    } else {
-        mm_rows_packed(a, packed, c, 0, k, n);
-    }
-}
-
-/// Copies B (`k×n` row-major) into zero-padded `k×NR` column panels laid
-/// out contiguously per panel, so the micro-kernel streams both operands.
-fn pack_b(b: &[f32], packed: &mut [f32], k: usize, n: usize) {
-    if k == 0 || packed.is_empty() {
-        return;
-    }
-    let panel_len = k * NR;
-    let pack_panels = |jp0: usize, chunk: &mut [f32]| {
-        for (pi, panel) in chunk.chunks_exact_mut(panel_len).enumerate() {
-            let j0 = (jp0 + pi) * NR;
-            let w = NR.min(n - j0);
-            for p in 0..k {
-                panel[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
-            }
-        }
-    };
-    if packed.len() >= PAR_MIN_PACK && default_profile() == MatmulProfile::Optimized {
-        pool::run_chunked(packed, panel_len, pack_panels);
-    } else {
-        pack_panels(0, packed);
-    }
-}
-
-/// Computes the C rows in `c_chunk` (whose first row is global row `row0`)
-/// from A and packed B, blocking rows by `MR`. Per-element reduction order
-/// is identical for the `MR`-wide and single-row kernels, so chunk
-/// boundaries never change results.
-fn mm_rows_packed(a: &[f32], packed: &[f32], c_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
-    let rows = c_chunk.len() / n;
-    let mut r = 0;
-    while r + MR <= rows {
-        mm_row_block::<MR>(a, packed, c_chunk, row0 + r, r, k, n);
-        r += MR;
-    }
-    while r < rows {
-        mm_row_block::<1>(a, packed, c_chunk, row0 + r, r, k, n);
-        r += 1;
-    }
-}
-
-/// `M×NR` register-blocked micro-kernel: accumulates `M` rows of C against
-/// one packed column panel at a time, reducing over `p = 0..k` with a
-/// single accumulator per output element.
-#[inline(always)]
-fn mm_row_block<const M: usize>(
-    a: &[f32],
-    packed: &[f32],
-    c_chunk: &mut [f32],
-    global_row: usize,
-    local_row: usize,
-    k: usize,
-    n: usize,
-) {
-    let panel_len = k * NR;
-    let arows: [&[f32]; M] =
-        std::array::from_fn(|t| &a[(global_row + t) * k..(global_row + t + 1) * k]);
-    for jp in 0..n.div_ceil(NR) {
-        let bp = &packed[jp * panel_len..(jp + 1) * panel_len];
-        let mut acc = [[0.0f32; NR]; M];
-        for (p, brow) in bp.chunks_exact(NR).enumerate() {
-            let brow: &[f32; NR] = brow.try_into().expect("panel row is NR wide");
-            for (acc_t, arow) in acc.iter_mut().zip(&arows) {
-                let atp = arow[p];
-                for (aj, &bj) in acc_t.iter_mut().zip(brow) {
-                    *aj += atp * bj;
-                }
-            }
-        }
-        let j0 = jp * NR;
-        let w = NR.min(n - j0);
-        for (t, acc_t) in acc.iter().enumerate() {
-            let base = (local_row + t) * n + j0;
-            c_chunk[base..base + w].copy_from_slice(&acc_t[..w]);
         }
     }
 }
@@ -489,6 +416,21 @@ mod tests {
     }
 
     #[test]
+    fn transposed_variants_match_reproducible_too() {
+        let prev = default_profile();
+        set_default_profile(MatmulProfile::Reproducible);
+        let a = Tensor::randn(&[11, 7], 1.0, 14);
+        let b = Tensor::randn(&[11, 13], 1.0, 15);
+        let tn = matmul_tn(&a, &b).unwrap();
+        let c = Tensor::randn(&[9, 7], 1.0, 16);
+        let d = Tensor::randn(&[5, 7], 1.0, 17);
+        let nt = matmul_nt(&c, &d).unwrap();
+        set_default_profile(prev);
+        assert_close(&tn, &matmul(&a.transpose(), &b).unwrap(), 1e-4);
+        assert_close(&nt, &matmul(&c, &d.transpose()).unwrap(), 1e-4);
+    }
+
+    #[test]
     fn matvec_matches_matmul() {
         let a = Tensor::randn(&[6, 4], 1.0, 8);
         let x = Tensor::randn(&[4], 1.0, 9);
@@ -518,10 +460,17 @@ mod tests {
 
     #[test]
     fn panel_boundary_sizes() {
-        // Sizes straddling the NR=8 panel and MR=4 row-block boundaries.
-        for &(m, k, n) in
-            &[(1, 1, 1), (4, 8, 8), (5, 9, 7), (8, 8, 9), (65, 63, 64), (1, 128, 1), (130, 2, 70)]
-        {
+        // Sizes straddling the MR=6 / NR=16 register-tile edges and the
+        // KC=256 / MC=96 block edges of the gemm engine.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (6, 16, 16),
+            (5, 9, 7),
+            (7, 17, 18),
+            (97, 130, 51),
+            (1, 300, 1),
+            (130, 2, 70),
+        ] {
             let a = Tensor::randn(&[m, k], 1.0, (m * k) as u64);
             let b = Tensor::randn(&[k, n], 1.0, (k * n + 1) as u64);
             assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-2);

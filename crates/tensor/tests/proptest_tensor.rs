@@ -107,18 +107,19 @@ proptest! {
 
 proptest! {
     // Fewer cases than the block above: each case runs three full GEMMs at
-    // up to 256×256×256 under three thread counts.
+    // up to ~101×260×130 under four thread counts.
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn optimized_gemm_bitwise_deterministic_across_threads(
-        idx in 0usize..3,
+        idx in 0usize..4,
         seed in 0u64..500,
     ) {
-        // Sizes straddle the NR=8 panel and MR=4 row-block boundaries:
-        // degenerate, unaligned, and large-aligned.
-        const SIZES: [(usize, usize, usize); 3] =
-            [(1, 1, 1), (63, 65, 64), (256, 256, 256)];
+        // Sizes straddle every level of the blocked engine: the MR=6 row
+        // and NR=16 column micro-tiles, the KC=256 depth block (k=257/260
+        // forces a second, short KC iteration), and the MC=96 row block.
+        const SIZES: [(usize, usize, usize); 4] =
+            [(1, 1, 1), (7, 257, 18), (96, 96, 96), (101, 260, 130)];
         let (m, k, n) = SIZES[idx];
         let a = Tensor::randn(&[m, k], 1.0, seed);
         let b = Tensor::randn(&[k, n], 1.0, seed.wrapping_add(1));
@@ -132,7 +133,7 @@ proptest! {
         set_parallel_threshold(0);
 
         let mut reference = None;
-        for &t in &[1usize, 2, 8] {
+        for &t in &[1usize, 2, 4, 8] {
             set_num_threads(t);
             let c = matmul_with_profile(&a, &b, MatmulProfile::Optimized).unwrap();
             let tn = matmul_tn(&at, &b).unwrap();

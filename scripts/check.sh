@@ -29,7 +29,16 @@ cargo test -q -p puffer-lint
 echo "== probe overhead guard (disabled-probe cost < 2% on a GEMM)"
 cargo test -q --release -p puffer-tensor --test probe_overhead
 
+echo "== tensor suite under the scalar GEMM fallback (PUFFER_SIMD=0)"
+# The blocked engine promises bitwise-identical results with the SIMD
+# micro-kernel disabled; prove the whole tensor suite agrees, not just
+# the dedicated A/B tests (which force both paths in-process anyway).
+PUFFER_SIMD=0 cargo test -q -p puffer-tensor
+
 echo "== allocation steady-state guard (warmed-up step must not miss the pool)"
 cargo run --release -q -p puffer-bench --bin alloc_churn -- --check
+
+echo "== allocation steady-state guard under the scalar GEMM fallback"
+PUFFER_SIMD=0 cargo run --release -q -p puffer-bench --bin alloc_churn -- --check
 
 echo "All checks passed."
