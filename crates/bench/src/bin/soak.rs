@@ -1,0 +1,407 @@
+//! Churn soak harness for the elastic fault-tolerant trainer.
+//!
+//! Drives one long simulated run through a seeded churn schedule — two
+//! crashes, a rejoin, two fresh joins, a voluntary leave, a persistent
+//! straggler, and corrupted/dropped/non-finite messages — then gates on
+//! the robustness invariants the trainer promises:
+//!
+//! 1. **Zero steady-state allocation**: with churn confined to the first
+//!    three quarters of the run, a trailing post-churn round must add zero
+//!    `alloc.pool_misses` (two-run comparison, the
+//!    `alloc_steady_state.rs` idiom).
+//! 2. **Bounded replay divergence**: resuming the mid-run checkpoint and
+//!    replaying the same churn schedule must reproduce the churned run's
+//!    final parameters within `DIVERGENCE_BOUND` (the schedule is
+//!    deterministic and detection timing never touches numerics, so the
+//!    expectation is bitwise equality; the bound only absorbs a future
+//!    reduction-order change).
+//! 3. **Monotone recovery**: per-round `dist`/`round` probe spans must
+//!    return to the steady-state pace within `RECOVERY_ROUNDS` rounds of
+//!    every membership transition, and the run must *end* at that pace.
+//! 4. **No leaked threads**: OS thread count (`/proc/self/status`) and the
+//!    tensor-pool width are unchanged once the runs are done.
+//!
+//! Results land in `BENCH_soak.json` at the workspace root.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin soak [-- --check]`
+//! (`--check` exits non-zero if any gate fails — the `scripts/check.sh`
+//! smoke gate runs it with `PUFFER_SOAK_SMOKE=1`).
+//!
+//! Env knobs: `PUFFER_SOAK_SMOKE=1` shrinks the run to the fixed-seed
+//! smoke length; `PUFFER_SOAK_STEPS` overrides the step count (rounded
+//! down to a multiple of 8, min 16); `PUFFER_SOAK_SEED` reseeds the fault
+//! plan; `PUFFER_SOAK_WORKERS` sets the initial fleet (min 4).
+
+use puffer_bench::record_result;
+use puffer_compress::none::NoCompression;
+use puffer_dist::checkpoint::{CheckpointPolicy, DistCheckpoint};
+use puffer_dist::cost::ClusterProfile;
+use puffer_dist::fault::FaultPlan;
+use puffer_dist::membership::{MemberEventKind, MembershipPlan};
+use puffer_dist::trainer::{
+    train_data_parallel_with, DistConfig, DistOutcome, RecoveryPolicy, RunOptions,
+};
+use puffer_nn::activation::Relu;
+use puffer_nn::linear::Linear;
+use puffer_nn::Sequential;
+use puffer_probe as probe;
+use puffer_tensor::{workspace, Tensor};
+use std::time::Duration;
+
+/// Max acceptable relative divergence between the churned run and its
+/// checkpoint-resume replay (gate 2). The runs are expected bitwise
+/// identical; see the module docs.
+const DIVERGENCE_BOUND: f32 = 1e-6;
+
+/// Rounds granted for throughput to recover after a membership transition
+/// (gate 3).
+const RECOVERY_ROUNDS: usize = 5;
+
+struct SoakConfig {
+    steps: usize,
+    workers: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+impl SoakConfig {
+    fn from_env() -> Self {
+        let smoke = std::env::var("PUFFER_SOAK_SMOKE").is_ok_and(|v| v == "1");
+        let env_usize = |name: &str, default: usize| {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        let steps = env_usize("PUFFER_SOAK_STEPS", if smoke { 24 } else { 96 });
+        let steps = (steps.max(16) / 8) * 8;
+        let workers = env_usize("PUFFER_SOAK_WORKERS", 4).max(4);
+        let seed =
+            std::env::var("PUFFER_SOAK_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42u64);
+        SoakConfig { steps, workers, seed, smoke }
+    }
+
+    /// The seeded churn schedule, positioned as fractions of the run so it
+    /// scales with `steps`: crash → crash → rejoin → join (at a disk
+    /// checkpoint boundary) → join → leave, all within the first three
+    /// quarters; the final quarter is the steady state the gates measure.
+    fn faults(&self) -> FaultPlan {
+        FaultPlan::new(self.seed)
+            .with_crash(1, self.steps / 8)
+            .with_crash(3, self.steps / 4)
+            .with_slowdown(2, 3.0)
+            .with_corrupt(2, self.steps / 3)
+            .with_drop(0, 2)
+            .with_nonfinite(0, self.steps / 5)
+    }
+
+    fn membership(&self) -> MembershipPlan {
+        MembershipPlan::none()
+            .with_join(1, 3 * self.steps / 8)
+            .with_join(self.workers, self.steps / 2)
+            .with_join(self.workers + 1, 5 * self.steps / 8)
+            .with_leave(0, 3 * self.steps / 4)
+    }
+
+    fn recovery(&self) -> RecoveryPolicy {
+        RecoveryPolicy { step_timeout: Duration::from_millis(250), max_retries: 2, backoff: 2.0 }
+    }
+
+    fn dist_config(&self) -> DistConfig {
+        DistConfig {
+            workers: self.workers,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            profile: ClusterProfile::p3_like(self.workers),
+        }
+    }
+
+    fn batches(&self, n: usize) -> Vec<(Tensor, Vec<usize>)> {
+        (0..n)
+            .map(|b| {
+                let x = Tensor::randn(&[16, 6], 1.0, self.seed * 1000 + b as u64);
+                let labels = (0..16).map(|i| (i + b) % 3).collect();
+                (x, labels)
+            })
+            .collect()
+    }
+}
+
+fn model(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::new(6, 32, true, seed).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(32, 3, true, seed + 1).unwrap()),
+    ])
+}
+
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn max_rel_error(a: &[Tensor], b: &[Tensor]) -> f32 {
+    let mut worst = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        for (&u, &v) in x.as_slice().iter().zip(y.as_slice()) {
+            let denom = u.abs().max(v.abs()).max(1e-6);
+            worst = worst.max((u - v).abs() / denom);
+        }
+    }
+    worst
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+struct Gate {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn run_soak() -> (Vec<Gate>, String) {
+    let cfg = SoakConfig::from_env();
+    let scratch = std::env::temp_dir().join(format!("puffer_soak_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let dist_cfg = cfg.dist_config();
+    let ckpt_every = cfg.steps / 4;
+    let mut gates = Vec::new();
+
+    // ---- Main churned run, fully instrumented. ----
+    workspace::set_enabled(true);
+    probe::reset();
+    probe::configure(probe::ProbeConfig::in_memory());
+    let batches = cfg.batches(cfg.steps);
+    let opts = RunOptions {
+        faults: cfg.faults(),
+        membership: cfg.membership(),
+        recovery: cfg.recovery(),
+        checkpoint: CheckpointPolicy::every(ckpt_every, &scratch),
+        ..RunOptions::default()
+    };
+    let mut comp = NoCompression::new();
+    let main: DistOutcome =
+        train_data_parallel_with(|_| model(5), &batches, &mut comp, &dist_cfg, &opts)
+            .expect("soak run must complete through the churn schedule");
+    let events = probe::take_events();
+    let counters = probe::counters_snapshot();
+    let counter = |name: &str| counters.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, v)| *v);
+    probe::reset();
+
+    // Schedule completeness: the run must have absorbed the full churn.
+    let kind_count = |k: MemberEventKind| main.membership.iter().filter(|e| e.kind == k).count();
+    let joins = kind_count(MemberEventKind::Join);
+    let rejoins = kind_count(MemberEventKind::Rejoin);
+    let crashes = kind_count(MemberEventKind::Crash);
+    let leaves = kind_count(MemberEventKind::Leave);
+    gates.push(Gate {
+        name: "churn_schedule_completed",
+        // Net fleet: workers − 2 crashes + 1 rejoin + 2 joins − 1 leave.
+        pass: joins >= 2
+            && rejoins >= 1
+            && crashes >= 2
+            && leaves >= 1
+            && main.faults.corrupted_messages >= 1
+            && main.faults.survivors == cfg.workers,
+        detail: format!(
+            "joins={joins} rejoins={rejoins} crashes={crashes} leaves={leaves} \
+             corrupted={} dropped_retries_ok survivors={} epoch={}",
+            main.faults.corrupted_messages, main.faults.survivors, main.final_epoch
+        ),
+    });
+
+    // ---- Gate 3: monotone recovery from per-round probe spans. ----
+    let mut rounds: Vec<(usize, f64)> = events
+        .iter()
+        .filter(|e| e.phase == 'X' && e.cat == "dist" && e.name == "round")
+        .filter_map(|e| {
+            e.args.iter().find(|(k, _)| *k == "step").and_then(|(_, v)| match v {
+                probe::ArgValue::U64(s) => Some((*s as usize, e.dur.as_secs_f64())),
+                _ => None,
+            })
+        })
+        .collect();
+    rounds.sort_by_key(|&(s, _)| s);
+    let tail = cfg.steps.min(5);
+    let steady: Vec<f64> = rounds.iter().rev().take(tail).map(|&(_, d)| d).collect();
+    let baseline = median(steady.clone());
+    let threshold = baseline * 4.0 + 0.050;
+    let mut recovery_ok = true;
+    let mut worst_recovery = 0usize;
+    for ev in &main.membership {
+        let recovered = rounds
+            .iter()
+            .filter(|&&(s, _)| s > ev.step && s <= ev.step + RECOVERY_ROUNDS)
+            .position(|&(_, d)| d <= threshold);
+        match recovered {
+            Some(i) => worst_recovery = worst_recovery.max(i + 1),
+            None => recovery_ok = false,
+        }
+    }
+    let end_steady = steady.iter().all(|&d| d <= threshold);
+    gates.push(Gate {
+        name: "recovery_within_k_rounds",
+        pass: recovery_ok && end_steady && !rounds.is_empty(),
+        detail: format!(
+            "rounds={} baseline_ms={:.3} threshold_ms={:.3} worst_recovery_rounds={} \
+             k={RECOVERY_ROUNDS} end_steady={end_steady}",
+            rounds.len(),
+            baseline * 1e3,
+            threshold * 1e3,
+            worst_recovery
+        ),
+    });
+
+    // ---- Gate 2: checkpoint-resume replay divergence. ----
+    let resume_step = cfg.steps / 2;
+    let ck_name = format!("dist_ckpt_{resume_step:06}.puft");
+    let ck_path = main
+        .checkpoints
+        .iter()
+        .find(|p| p.file_name().is_some_and(|n| n.to_string_lossy() == ck_name))
+        .expect("mid-run checkpoint must exist");
+    let ck = DistCheckpoint::load(ck_path).expect("mid-run checkpoint must load");
+    let replay_opts = RunOptions {
+        faults: cfg.faults(),
+        membership: cfg.membership(),
+        recovery: cfg.recovery(),
+        resume: Some(ck),
+        ..RunOptions::default()
+    };
+    let mut comp2 = NoCompression::new();
+    let replay =
+        train_data_parallel_with(|_| model(5), &batches, &mut comp2, &dist_cfg, &replay_opts)
+            .expect("replay run must complete");
+    let divergence = max_rel_error(&main.final_params, &replay.final_params);
+    gates.push(Gate {
+        name: "replay_divergence_bounded",
+        pass: divergence <= DIVERGENCE_BOUND && replay.faults.survivors == main.faults.survivors,
+        detail: format!(
+            "divergence={divergence:.3e} bound={DIVERGENCE_BOUND:.0e} resumed_at={resume_step} \
+             replay_survivors={}",
+            replay.faults.survivors
+        ),
+    });
+
+    // ---- Gate 1: zero steady-state allocation (two-run comparison; the
+    // churn schedule sits at identical absolute steps in both runs, so the
+    // trailing extra rounds of the longer run are pure steady state). ----
+    // Built once at the longer length and sliced per run: generating a
+    // batch itself draws a pool buffer, so the two runs must share one data
+    // materialization or the longer run shows a spurious miss.
+    let alloc_data = cfg.batches(cfg.steps + 4);
+    let misses_for = |n_steps: usize| -> f64 {
+        workspace::clear_thread_arena();
+        probe::reset();
+        probe::configure(probe::ProbeConfig::in_memory());
+        let data = &alloc_data[..n_steps];
+        let alloc_opts = RunOptions {
+            faults: cfg.faults(),
+            membership: cfg.membership(),
+            recovery: cfg.recovery(),
+            ..RunOptions::default()
+        };
+        let mut c = NoCompression::new();
+        train_data_parallel_with(|_| model(5), data, &mut c, &dist_cfg, &alloc_opts)
+            .expect("alloc-gate run");
+        let misses = probe::counter_value("alloc.pool_misses").unwrap_or(0.0);
+        probe::reset();
+        misses
+    };
+    let warm = misses_for(cfg.steps);
+    let extended = misses_for(cfg.steps + 4);
+    gates.push(Gate {
+        name: "zero_steady_state_alloc",
+        pass: warm > 0.0 && extended == warm,
+        detail: format!("pool_misses warm={warm} extended={extended} delta={}", extended - warm),
+    });
+
+    // ---- Gate 4: no leaked threads, pool width restored. ----
+    // Measured after every run: worker threads are scoped and must be
+    // joined; only the persistent tensor-pool threads (created before the
+    // baseline snapshot inside the first run) may remain.
+    let width = puffer_tensor::pool::num_threads();
+    let threads_after = os_thread_count();
+    std::thread::sleep(Duration::from_millis(50));
+    let threads_settled = os_thread_count();
+    gates.push(Gate {
+        name: "no_leaked_threads",
+        pass: threads_settled <= threads_after && width == puffer_tensor::pool::num_threads(),
+        detail: format!("os_threads={threads_settled} pool_width={width}"),
+    });
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    workspace::set_enabled(false);
+
+    // ---- Report. ----
+    let all_pass = gates.iter().all(|g| g.pass);
+    let gate_json: Vec<String> = gates
+        .iter()
+        .map(|g| {
+            format!(
+                "    {{ \"gate\": \"{}\", \"pass\": {}, \"detail\": \"{}\" }}",
+                g.name,
+                g.pass,
+                g.detail.replace('"', "'")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"soak\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"steps\": {},\n  \"workers\": {},\n  \"final_epoch\": {},\n  \"membership_events\": {},\n  \"counters\": {{ \"crashes\": {}, \"reshards\": {}, \"join_deferrals\": {}, \"corrupted_messages\": {}, \"dropped_messages\": {}, \"checkpoint_writes\": {} }},\n  \"all_pass\": {all_pass},\n  \"gates\": [\n{}\n  ]\n}}\n",
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.seed,
+        cfg.steps,
+        cfg.workers,
+        main.final_epoch,
+        main.membership.len(),
+        counter("dist.crashes"),
+        counter("dist.reshards"),
+        counter("dist.join_deferrals"),
+        counter("dist.corrupted_messages"),
+        counter("dist.dropped_messages"),
+        counter("dist.checkpoint_writes"),
+        gate_json.join(",\n")
+    );
+    (gates, json)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let (gates, json) = run_soak();
+
+    println!("{:<28} {:<6} detail", "gate", "pass");
+    for g in &gates {
+        println!("{:<28} {:<6} {}", g.name, g.pass, g.detail);
+        record_result("soak", &format!("gate={} pass={} {}", g.name, g.pass, g.detail));
+    }
+
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|p| std::path::PathBuf::from(p).join("../.."))
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let path = root.join("BENCH_soak.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    let all_pass = gates.iter().all(|g| g.pass);
+    if check {
+        if all_pass {
+            println!("soak --check ok: all robustness gates hold under the churn schedule");
+        } else {
+            eprintln!("soak --check FAILED: at least one robustness gate did not hold");
+            std::process::exit(1);
+        }
+    }
+}

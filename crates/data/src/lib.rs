@@ -13,12 +13,16 @@
 //!   (the WikiText-2 stand-in), with the standard `batchify`/BPTT layout;
 //! * [`translation`] — a deterministic toy translation task (token
 //!   remapping + reversal) scored with real corpus [`bleu`];
-//! * [`bleu`] — corpus-level BLEU-4 with brevity penalty.
+//! * [`bleu`] — corpus-level BLEU-4 with brevity penalty;
+//! * [`shard`] — deterministic row-wise batch sharding for data-parallel
+//!   members (pure function of rank and member count, so elastic member
+//!   sets can re-shard a stream mid-run).
 //!
 //! Every generator takes an explicit seed; identical seeds produce
 //! identical datasets across runs and platforms.
 
 pub mod bleu;
 pub mod images;
+pub mod shard;
 pub mod text;
 pub mod translation;

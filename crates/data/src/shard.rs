@@ -1,0 +1,153 @@
+//! Row-wise batch sharding for data-parallel members.
+//!
+//! A global batch is split into `members` equal contiguous row ranges;
+//! member `rank` owns rows `[rank·per, (rank+1)·per)` with
+//! `per = rows / members` (trailing remainder rows are dropped, matching
+//! DistributedSampler-style even division). The split is a pure function
+//! of `(rank, members)`, so an elastic trainer can re-shard a stream
+//! mid-run for a changed member set and every member still sees a
+//! disjoint, deterministic slice.
+
+use puffer_tensor::Tensor;
+use std::fmt;
+
+/// Why a shard could not be extracted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// `members` equal shards of a `rows`-row batch would be empty.
+    EmptyShard {
+        /// Rows in the global batch.
+        rows: usize,
+        /// Members the batch was split across.
+        members: usize,
+    },
+    /// `rank` does not name one of the `members` shards.
+    RankOutOfRange {
+        /// The requested shard.
+        rank: usize,
+        /// Number of shards.
+        members: usize,
+    },
+    /// The label vector does not cover the batch rows, or the feature
+    /// tensor has no row dimension.
+    Malformed {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::EmptyShard { rows, members } => {
+                write!(f, "{rows} rows split across {members} members leaves empty shards")
+            }
+            ShardError::RankOutOfRange { rank, members } => {
+                write!(f, "shard rank {rank} out of range for {members} members")
+            }
+            ShardError::Malformed { reason } => write!(f, "malformed batch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Extracts member `rank`'s rows of a `(features, labels)` batch split
+/// evenly across `members` members.
+///
+/// The feature tensor's first dimension is the row (sample) dimension;
+/// `labels` must have one entry per row.
+///
+/// # Errors
+///
+/// [`ShardError::RankOutOfRange`] for `rank ≥ members` (or `members == 0`),
+/// [`ShardError::EmptyShard`] when the batch has fewer rows than members,
+/// and [`ShardError::Malformed`] for label/shape inconsistencies.
+pub fn shard_rows(
+    features: &Tensor,
+    labels: &[usize],
+    rank: usize,
+    members: usize,
+) -> Result<(Tensor, Vec<usize>), ShardError> {
+    if rank >= members {
+        return Err(ShardError::RankOutOfRange { rank, members });
+    }
+    let shape = features.shape();
+    let Some((&rows, rest)) = shape.split_first() else {
+        return Err(ShardError::Malformed { reason: "feature tensor has no row dimension".into() });
+    };
+    if labels.len() != rows {
+        return Err(ShardError::Malformed {
+            reason: format!("{} labels for {rows} rows", labels.len()),
+        });
+    }
+    let per = rows / members;
+    if per == 0 {
+        return Err(ShardError::EmptyShard { rows, members });
+    }
+    let row_width: usize = rest.iter().product();
+    let start = rank * per;
+    let data = features.as_slice()[start * row_width..(start + per) * row_width].to_vec();
+    let mut shard_shape = vec![per];
+    shard_shape.extend_from_slice(rest);
+    let shard = Tensor::from_vec(data, &shard_shape)
+        .map_err(|e| ShardError::Malformed { reason: e.to_string() })?;
+    Ok((shard, labels[start..start + per].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_are_disjoint_and_cover_the_divisible_prefix() {
+        let batch = Tensor::randn(&[9, 4], 1.0, 3);
+        let labels: Vec<usize> = (0..9).collect();
+        let mut seen = Vec::new();
+        for rank in 0..4 {
+            let (x, l) = shard_rows(&batch, &labels, rank, 4).unwrap();
+            assert_eq!(x.shape(), &[2, 4]);
+            assert_eq!(l, vec![rank * 2, rank * 2 + 1]);
+            seen.extend(l);
+        }
+        // 4 members × 2 rows; the 9th (remainder) row is dropped.
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resharding_is_a_pure_function_of_rank_and_count() {
+        // A member's shard depends only on (rank, members) — rank 0 of 2
+        // sees the same rows regardless of which worker id holds it.
+        let batch = Tensor::randn(&[8, 3], 1.0, 5);
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let a = shard_rows(&batch, &labels, 0, 2).unwrap();
+        let b = shard_rows(&batch, &labels, 0, 2).unwrap();
+        assert_eq!(a, b);
+        // Shrinking 4 → 2 members widens every shard.
+        let narrow = shard_rows(&batch, &labels, 0, 4).unwrap();
+        assert_eq!(narrow.0.shape(), &[2, 3]);
+        assert_eq!(a.0.shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let batch = Tensor::randn(&[2, 3], 1.0, 1);
+        let labels = vec![0, 1];
+        assert_eq!(
+            shard_rows(&batch, &labels, 2, 2).unwrap_err(),
+            ShardError::RankOutOfRange { rank: 2, members: 2 }
+        );
+        assert_eq!(
+            shard_rows(&batch, &labels, 0, 0).unwrap_err(),
+            ShardError::RankOutOfRange { rank: 0, members: 0 }
+        );
+        assert_eq!(
+            shard_rows(&batch, &labels, 0, 3).unwrap_err(),
+            ShardError::EmptyShard { rows: 2, members: 3 }
+        );
+        assert!(matches!(
+            shard_rows(&batch, &[0], 0, 2).unwrap_err(),
+            ShardError::Malformed { .. }
+        ));
+    }
+}

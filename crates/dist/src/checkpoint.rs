@@ -18,6 +18,7 @@ use puffer_tensor::Tensor;
 use std::path::{Path, PathBuf};
 
 const META_NAME: &str = "dist.meta";
+const MEMBERS_NAME: &str = "dist.members";
 const PARAM_PREFIX: &str = "param.";
 const VEL_PREFIX: &str = "vel.";
 const BUF_PREFIX: &str = "buf.";
@@ -70,6 +71,14 @@ pub struct DistCheckpoint {
     /// The compressor's cross-round state
     /// ([`puffer_compress::GradCompressor::state_snapshot`]).
     pub compressor: Vec<(String, Tensor)>,
+    /// Active member ids at `step` (ascending). Empty means the
+    /// checkpoint predates elastic membership (or was taken by a
+    /// static-fleet run): a resumed run then activates all
+    /// `DistConfig::workers` ids, the pre-elastic behavior.
+    pub members: Vec<usize>,
+    /// Membership epoch at `step` (0 for legacy checkpoints); a resumed
+    /// run continues the epoch sequence from here.
+    pub epoch: u64,
 }
 
 impl DistCheckpoint {
@@ -79,19 +88,34 @@ impl DistCheckpoint {
     ///
     /// Returns [`DistError::Checkpoint`] on I/O failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> DistResult<()> {
-        // Steps are stored as f32 (exact below 2^24 — far beyond any run
-        // this trainer simulates).
+        // Steps, counts, and the epoch are stored as f32 (exact below
+        // 2^24 — far beyond any run this trainer simulates).
         let meta = Tensor::from_vec(
             vec![
                 self.step as f32,
                 self.params.len() as f32,
                 self.velocity.len() as f32,
                 self.buffers.len() as f32,
+                self.epoch as f32,
+                self.members.len() as f32,
             ],
-            &[4],
+            &[6],
         )
         .map_err(|e| DistError::Checkpoint { reason: e.to_string() })?;
+        let members_t = if self.members.is_empty() {
+            None
+        } else {
+            let ids: Vec<f32> = self.members.iter().map(|&w| w as f32).collect();
+            let n = ids.len();
+            Some(
+                Tensor::from_vec(ids, &[n])
+                    .map_err(|e| DistError::Checkpoint { reason: e.to_string() })?,
+            )
+        };
         let mut entries: Vec<(String, &Tensor)> = vec![(META_NAME.to_string(), &meta)];
+        if let Some(t) = &members_t {
+            entries.push((MEMBERS_NAME.to_string(), t));
+        }
         for (i, t) in self.params.iter().enumerate() {
             entries.push((format!("{PARAM_PREFIX}{i:04}"), t));
         }
@@ -121,17 +145,24 @@ impl DistCheckpoint {
             .find(|(n, _)| n == META_NAME)
             .ok_or_else(|| DistError::Checkpoint { reason: "missing meta entry".into() })?;
         let m = meta.1.as_slice();
-        if m.len() != 4 {
+        // Legacy (pre-elastic) checkpoints carry a 4-entry meta tensor:
+        // no epoch, no member list. They load as epoch 0 / empty members,
+        // which the trainer interprets as "all configured workers".
+        if m.len() != 4 && m.len() != 6 {
             return Err(DistError::Checkpoint { reason: "malformed meta entry".into() });
         }
         let (step, n_params, n_vel, n_buf) =
             (m[0] as usize, m[1] as usize, m[2] as usize, m[3] as usize);
+        let (epoch, n_members) = if m.len() == 6 { (m[4] as u64, m[5] as usize) } else { (0, 0) };
         let mut params = vec![None; n_params];
         let mut velocity = vec![None; n_vel];
         let mut buffers = vec![None; n_buf];
         let mut compressor = Vec::new();
+        let mut members: Vec<usize> = Vec::new();
         for (name, t) in entries {
-            if let Some(i) = parse_index(&name, PARAM_PREFIX) {
+            if name == MEMBERS_NAME {
+                members = t.as_slice().iter().map(|&v| v as usize).collect();
+            } else if let Some(i) = parse_index(&name, PARAM_PREFIX) {
                 if i < n_params {
                     params[i] = Some(t);
                 }
@@ -150,9 +181,12 @@ impl DistCheckpoint {
         let params: Option<Vec<Tensor>> = params.into_iter().collect();
         let velocity: Option<Vec<Tensor>> = velocity.into_iter().collect();
         let buffers: Option<Vec<Tensor>> = buffers.into_iter().collect();
+        if members.len() != n_members {
+            return Err(DistError::Checkpoint { reason: "malformed member list".into() });
+        }
         match (params, velocity, buffers) {
             (Some(params), Some(velocity), Some(buffers)) => {
-                Ok(DistCheckpoint { step, params, velocity, buffers, compressor })
+                Ok(DistCheckpoint { step, params, velocity, buffers, compressor, members, epoch })
             }
             _ => Err(DistError::Checkpoint { reason: "missing param/velocity entries".into() }),
         }
@@ -177,6 +211,8 @@ mod tests {
                 ("q.0000".into(), Tensor::randn(&[4, 2], 1.0, 5)),
                 ("m.00.0000".into(), Tensor::randn(&[3, 4], 1.0, 6)),
             ],
+            members: vec![0, 2, 5],
+            epoch: 4,
         }
     }
 
@@ -198,10 +234,30 @@ mod tests {
             velocity: Vec::new(),
             buffers: Vec::new(),
             compressor: Vec::new(),
+            members: Vec::new(),
+            epoch: 0,
         };
         let path = std::env::temp_dir().join("puffer_dist_ckpt_empty.puft");
         ck.save(&path).unwrap();
         assert_eq!(DistCheckpoint::load(&path).unwrap(), ck);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn legacy_four_entry_meta_loads_with_empty_membership() {
+        // A pre-elastic checkpoint: 4-long meta, no member entry. It must
+        // load as epoch 0 / empty members (= "all configured workers").
+        use puffer_tensor::io::save_tensors;
+        let meta = Tensor::from_vec(vec![3.0, 1.0, 0.0, 0.0], &[4]).unwrap();
+        let p = Tensor::randn(&[2, 2], 1.0, 8);
+        let path = std::env::temp_dir().join("puffer_dist_ckpt_legacy.puft");
+        save_tensors(&path, &[("dist.meta".to_string(), &meta), ("param.0000".to_string(), &p)])
+            .unwrap();
+        let ck = DistCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.step, 3);
+        assert_eq!(ck.params, vec![p]);
+        assert!(ck.members.is_empty());
+        assert_eq!(ck.epoch, 0);
         let _ = std::fs::remove_file(path);
     }
 

@@ -10,6 +10,7 @@
 //! which is why sign/quantization methods lose their wire savings at scale
 //! (appendix F).
 
+use crate::error::{DistError, DistResult};
 use std::time::Duration;
 
 /// A homogeneous cluster's network parameters.
@@ -119,19 +120,39 @@ impl HeteroProfile {
         self.alphas.len()
     }
 
+    /// Checks that every id in `members` names a configured node.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::UnknownMember`] naming the first id outside the
+    /// profile.
+    pub fn validate_members(&self, members: &[usize]) -> DistResult<()> {
+        let nodes = self.nodes();
+        match members.iter().find(|&&n| n >= nodes) {
+            Some(&worker) => Err(DistError::UnknownMember { worker, nodes }),
+            None => Ok(()),
+        }
+    }
+
     /// The homogeneous profile equivalent to running a synchronous
     /// collective over the member subset `live`: the slowest member's α
-    /// and β dominate, and `p` is the survivor count.
-    pub fn effective(&self, live: &[usize]) -> ClusterProfile {
+    /// and β dominate, and `p` is the member count.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::UnknownMember`] if `live` references a node id the
+    /// profile does not configure. (This used to clamp silently, pricing
+    /// a phantom member at zero cost; an unknown id is a configuration
+    /// bug and is now rejected.)
+    pub fn effective(&self, live: &[usize]) -> DistResult<ClusterProfile> {
+        self.validate_members(live)?;
         let mut alpha = 0.0f64;
         let mut beta = 0.0f64;
         for &n in live {
-            if n < self.alphas.len() {
-                alpha = alpha.max(self.alphas[n]);
-                beta = beta.max(self.betas[n]);
-            }
+            alpha = alpha.max(self.alphas[n]);
+            beta = beta.max(self.betas[n]);
         }
-        ClusterProfile { alpha, beta, nodes: live.len() }
+        Ok(ClusterProfile { alpha, beta, nodes: live.len() })
     }
 
     /// Deterministic per-round jitter factor in `[1, 1 + comm_jitter]`.
@@ -202,15 +223,27 @@ mod tests {
         let base = ClusterProfile::p3_like(4);
         let h = HeteroProfile::uniform(base).with_node(2, 200e-6, 8.0 / 1e9);
         // With the slow node in the set, its α and the worst β dominate.
-        let all = h.effective(&[0, 1, 2, 3]);
+        let all = h.effective(&[0, 1, 2, 3]).unwrap();
         assert_eq!(all.nodes, 4);
         assert_eq!(all.alpha, 200e-6);
         assert_eq!(all.beta, 8.0 / 1e9);
         // Dropping the slow node restores the base parameters at p = 3.
-        let survivors = h.effective(&[0, 1, 3]);
+        let survivors = h.effective(&[0, 1, 3]).unwrap();
         assert_eq!(survivors.nodes, 3);
         assert_eq!(survivors.alpha, base.alpha);
         assert_eq!(survivors.beta, base.beta);
+    }
+
+    #[test]
+    fn unknown_member_is_a_typed_error_not_a_clamp() {
+        let h = HeteroProfile::uniform(ClusterProfile::p3_like(4));
+        assert!(h.validate_members(&[0, 3]).is_ok());
+        let err = h.effective(&[0, 4]).unwrap_err();
+        assert_eq!(err, crate::error::DistError::UnknownMember { worker: 4, nodes: 4 });
+        assert_eq!(
+            h.validate_members(&[7]),
+            Err(crate::error::DistError::UnknownMember { worker: 7, nodes: 4 })
+        );
     }
 
     #[test]
@@ -218,7 +251,7 @@ mod tests {
         let base = ClusterProfile::p3_like(8);
         let h = HeteroProfile::uniform(base);
         let live: Vec<usize> = (0..8).collect();
-        assert_eq!(h.effective(&live).allreduce(1 << 20), base.allreduce(1 << 20));
+        assert_eq!(h.effective(&live).unwrap().allreduce(1 << 20), base.allreduce(1 << 20));
         assert_eq!(h.jitter_factor(3), 1.0);
     }
 

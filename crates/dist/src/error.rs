@@ -54,6 +54,21 @@ pub enum DistError {
         /// Underlying I/O or format error.
         reason: String,
     },
+    /// A member set references a node id outside the configured
+    /// [`crate::cost::HeteroProfile`] — pricing it would silently clamp
+    /// the cost model instead of describing the cluster.
+    UnknownMember {
+        /// The offending worker (node) id.
+        worker: usize,
+        /// How many nodes the profile actually configures.
+        nodes: usize,
+    },
+    /// A membership transition was invalid (joining an active member,
+    /// retiring a non-member, an inconsistent churn schedule).
+    Membership {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -72,6 +87,10 @@ impl fmt::Display for DistError {
                 write!(f, "all workers dead at step {step}; no survivors to train on")
             }
             DistError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            DistError::UnknownMember { worker, nodes } => {
+                write!(f, "member set references node {worker} outside the {nodes}-node profile")
+            }
+            DistError::Membership { reason } => write!(f, "membership error: {reason}"),
         }
     }
 }
@@ -88,6 +107,11 @@ mod tests {
         assert!(e.to_string().contains("cannot feed 4 workers"));
         let e = DistError::AllWorkersDead { step: 7 };
         assert!(e.to_string().contains("step 7"));
+        let e = DistError::UnknownMember { worker: 9, nodes: 4 };
+        assert!(e.to_string().contains("node 9"));
+        assert!(e.to_string().contains("4-node"));
+        let e = DistError::Membership { reason: "already active".into() };
+        assert!(e.to_string().contains("already active"));
     }
 
     #[test]

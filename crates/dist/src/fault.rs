@@ -61,8 +61,11 @@ pub struct FaultPlan {
     slowdown: BTreeMap<usize, f64>,
     /// Fractional straggler jitter applied to every worker's compute.
     jitter: f64,
-    /// Worker → step at which it crashes (exits before contributing).
-    crashes: BTreeMap<usize, usize>,
+    /// Worker → steps at which it crashes (exits before contributing). A
+    /// worker may carry several crash steps: after an elastic *rejoin* its
+    /// first crash is history, and only crash steps at or after its
+    /// re-entry step apply (see [`FaultPlan::should_crash_since`]).
+    crashes: BTreeMap<usize, BTreeSet<usize>>,
     /// Messages lost on the first send attempt only (resend recovers).
     drop_once: BTreeSet<(usize, usize)>,
     /// Messages lost on every attempt (the contribution is gone).
@@ -102,9 +105,11 @@ impl FaultPlan {
     }
 
     /// Crashes `worker` at `step`: its thread exits without contributing
-    /// to that or any later step.
+    /// to that or any later step. May be called several times for one
+    /// worker — each crash step applies to the membership stint that
+    /// contains it, so a rejoined worker can be crashed again.
     pub fn with_crash(mut self, worker: usize, step: usize) -> Self {
-        self.crashes.insert(worker, step);
+        self.crashes.entry(worker).or_default().insert(step);
         self
     }
 
@@ -171,9 +176,25 @@ impl FaultPlan {
         Duration::from_secs_f64(measured.as_secs_f64() * stretch).min(MAX_INJECTED_DELAY)
     }
 
-    /// Whether `worker` crashes at (or before) `step`.
+    /// Whether `worker` crashes at (or before) `step`, counting every
+    /// scheduled crash from the beginning of the run (the static-fleet
+    /// predicate; equivalent to [`FaultPlan::should_crash_since`] with
+    /// `entry = 0`).
     pub fn should_crash(&self, worker: usize, step: usize) -> bool {
-        self.crashes.get(&worker).is_some_and(|&s| step >= s)
+        self.should_crash_since(worker, step, 0)
+    }
+
+    /// Whether `worker` crashes at (or before) `step` given that its
+    /// current membership stint began at `entry`: only crash steps in
+    /// `entry..=step` fire. A worker that crashed, was re-admitted by the
+    /// elastic trainer, and holds no *later* crash step stays alive —
+    /// without the entry cut-off a rejoiner would re-crash on its first
+    /// round, forever.
+    pub fn should_crash_since(&self, worker: usize, step: usize, entry: usize) -> bool {
+        if step < entry {
+            return false;
+        }
+        self.crashes.get(&worker).is_some_and(|s| s.range(entry..=step).next().is_some())
     }
 
     /// Whether `worker`'s step-`step` message is lost on send `attempt`.
@@ -335,6 +356,21 @@ mod tests {
         assert!(p.should_crash(3, 5));
         assert!(p.should_crash(3, 9));
         assert!(!p.should_crash(2, 9));
+    }
+
+    #[test]
+    fn rejoin_entry_step_masks_spent_crashes() {
+        // Crash at 5, rejoin at 8 → the spent crash never re-fires; a
+        // second scheduled crash at 12 fires within the new stint.
+        let p = FaultPlan::new(1).with_crash(3, 5).with_crash(3, 12);
+        assert!(p.should_crash_since(3, 5, 0));
+        assert!(!p.should_crash_since(3, 8, 8));
+        assert!(!p.should_crash_since(3, 11, 8));
+        assert!(p.should_crash_since(3, 12, 8));
+        // A step before the entry never crashes.
+        assert!(!p.should_crash_since(3, 7, 8));
+        // The static predicate still sees the earliest crash.
+        assert!(p.should_crash(3, 5));
     }
 
     #[test]

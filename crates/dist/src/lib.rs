@@ -29,6 +29,14 @@
 //! aggregator drops the member, re-normalizes the gradient mean over the
 //! survivors, and re-prices communication for the surviving member set
 //! (optionally under a heterogeneous per-node α–β profile).
+//!
+//! It is also **elastic**: [`membership`] tracks the active member set
+//! through epochs — a [`membership::MembershipPlan`] schedules mid-run
+//! joins (catch-up from the latest checkpoint) and voluntary leaves,
+//! crashes shrink the set, workers re-shard the data stream on every
+//! epoch change, and the tensor-pool width cap is re-priced for the
+//! current member count (pool width is only ever touched through
+//! [`membership::PoolWidthGuard`]).
 
 pub mod breakdown;
 pub mod checkpoint;
@@ -36,5 +44,6 @@ pub mod cost;
 pub mod ddp;
 pub mod error;
 pub mod fault;
+pub mod membership;
 pub mod ring;
 pub mod trainer;

@@ -1,12 +1,15 @@
-//! A real multi-threaded, fault-tolerant data-parallel trainer.
+//! A real multi-threaded, fault-tolerant, **elastic** data-parallel
+//! trainer.
 //!
-//! `N` worker threads each hold an identical model replica and a shard of
-//! every global batch. Per step: workers compute real gradients
-//! (forward/backward), a shared aggregator plays one compression round
-//! (exact mean for vanilla SGD), and every worker applies the same update
-//! — the synchronous data-parallel SGD the paper's prototype implements
-//! with allreduce. Communication cost is accounted by the α–β model;
-//! computation and encode/decode are measured wall-clock.
+//! Worker threads each hold an identical model replica and a shard of
+//! every global batch. Per step: the aggregator broadcasts a `Step`
+//! message naming the round and the current member set, workers compute
+//! real gradients (forward/backward), the aggregator plays one
+//! compression round (exact mean for vanilla SGD), and every worker
+//! applies the same update — the synchronous data-parallel SGD the
+//! paper's prototype implements with allreduce. Communication cost is
+//! accounted by the α–β model; computation and encode/decode are measured
+//! wall-clock.
 //!
 //! On top of that baseline the trainer is **fault-tolerant**
 //! ([`train_data_parallel_with`]): a seeded [`FaultPlan`] injects
@@ -19,17 +22,35 @@
 //! optimizer momentum + compressor state so a killed run can resume
 //! **bitwise identically** ([`crate::checkpoint::DistCheckpoint`]).
 //!
+//! It is also **elastic** ([`crate::membership`]): a
+//! [`MembershipPlan`] schedules mid-run joins and voluntary leaves.
+//! A joiner is admitted at a round boundary for which the aggregator
+//! holds catch-up state (the checkpoint-leader snapshot of the previous
+//! round): it loads parameters + momentum + buffers from the latest
+//! checkpoint (the on-disk PUFT file when the boundary is a periodic
+//! checkpoint, an in-memory copy otherwise), takes over a re-sharded
+//! slice of the remaining data stream, and enters lockstep at the next
+//! `Step` broadcast. Departures — voluntary or crash — shrink the active
+//! set the same way, and [`crate::cost::HeteroProfile`] re-prices α/β for
+//! whatever member set is live each round.
+//!
 //! Worker compute runs on `puffer-tensor`'s threaded kernels; for the
 //! duration of a run the tensor pool is capped so that
-//! `workers × pool threads` does not oversubscribe the hardware
-//! (`PUFFER_NUM_THREADS` still sets the outer bound). The cap is restored
-//! by an RAII guard even if the run errors.
+//! `members × pool threads` does not oversubscribe the hardware
+//! (`PUFFER_NUM_THREADS` still sets the outer bound). The cap is
+//! re-priced on every membership epoch change and restored by an RAII
+//! guard even if the run errors (see [`PoolWidthGuard`], which lives in
+//! the membership module — the only place allowed to touch pool width).
 
 use crate::breakdown::{round_comm_time, BreakdownAccumulator, EpochBreakdown};
 use crate::checkpoint::DistCheckpoint;
 use crate::cost::ClusterProfile;
 use crate::error::{DistError, DistResult};
 use crate::fault::{any_nonfinite, message_checksum, FaultPlan, FaultReport};
+use crate::membership::{
+    MemberEvent, MemberEventKind, Membership, MembershipPlan, EV_CATCH_UP, EV_CRASHED, EV_JOINED,
+    EV_LEFT, PROBE_CATEGORY, ROW_TYPE,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use puffer_compress::pack::{pack_refs, pack_refs_with, unpack, PackLayout};
 use puffer_compress::GradCompressor;
@@ -43,10 +64,13 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+pub use crate::membership::PoolWidthGuard;
+
 /// Configuration of a data-parallel run.
 #[derive(Debug, Clone)]
 pub struct DistConfig {
-    /// Worker (node) count.
+    /// Initial worker (node) count; workers `0..workers` are active at
+    /// step 0. A [`MembershipPlan`] may add ids beyond this range mid-run.
     pub workers: usize,
     /// Learning rate.
     pub lr: f32,
@@ -137,9 +161,9 @@ impl RecoveryPolicy {
 }
 
 /// Robustness knobs of a run: fault injection, recovery, heterogeneous
-/// cost accounting, and checkpoint/resume. The default is a clean run on a
-/// homogeneous cluster with no checkpointing — exactly the pre-fault
-/// trainer.
+/// cost accounting, checkpoint/resume, and elastic membership. The
+/// default is a clean static-fleet run on a homogeneous cluster with no
+/// checkpointing — exactly the pre-fault trainer.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Faults to inject (deterministic, seeded).
@@ -147,12 +171,14 @@ pub struct RunOptions {
     /// Timeout/retry policy for slow or dead workers.
     pub recovery: RecoveryPolicy,
     /// Per-node network parameters; `None` prices every round with
-    /// `cfg.profile` (node count still tracks the survivor set).
+    /// `cfg.profile` (node count still tracks the live member set).
     pub hetero: Option<crate::cost::HeteroProfile>,
     /// Periodic checkpointing policy.
     pub checkpoint: crate::checkpoint::CheckpointPolicy,
     /// Resume from this checkpoint instead of starting at step 0.
     pub resume: Option<DistCheckpoint>,
+    /// Scheduled joins and voluntary leaves (deterministic churn).
+    pub membership: MembershipPlan,
 }
 
 /// Result of a data-parallel run.
@@ -170,6 +196,11 @@ pub struct DistOutcome {
     pub faults: FaultReport,
     /// Paths of the checkpoints written during the run, in step order.
     pub checkpoints: Vec<PathBuf>,
+    /// Membership transition audit log (joins, rejoins, leaves, crashes)
+    /// in occurrence order; empty for a static clean run.
+    pub membership: Vec<MemberEvent>,
+    /// Membership epoch at the end of the run.
+    pub final_epoch: u64,
 }
 
 /// One worker's per-step gradient contribution: every parameter gradient
@@ -194,15 +225,34 @@ enum WorkerMsg {
 
 #[derive(Clone)]
 enum AggMsg {
+    /// Begin round `step` under membership `epoch`. `members` is the
+    /// ascending active set; a worker re-shards its slice of the stream
+    /// when its (rank, member count) changes.
+    Step { step: usize, epoch: u64, members: Arc<Vec<usize>> },
     /// Apply this aggregated gradient (packed flat, same layout as the
     /// worker's own contribution); if `snapshot`, report post-update
-    /// state for checkpointing.
+    /// state for checkpointing/catch-up.
     Mean { flat: Tensor, snapshot: bool },
     /// Skip this step without updating (non-finite guard tripped or no
-    /// usable contribution survived).
-    Skip,
+    /// usable contribution survived); if `snapshot`, report the — still
+    /// valid — unchanged state.
+    Skip { snapshot: bool },
     /// Liveness probe; carries no state change.
     Ping,
+    /// Retire voluntarily: exit now without reporting final parameters.
+    Retire,
+    /// The run is over: report final parameters and exit.
+    Finish,
+}
+
+/// Where a mid-run joiner obtains its catch-up state.
+enum CatchUp {
+    /// Load the periodic checkpoint file written at the admission
+    /// boundary (the "latest PUFT checkpoint" path).
+    Disk(PathBuf),
+    /// The same state handed over in memory (checkpointing to disk is
+    /// disabled or the boundary is not a periodic one).
+    Memory(Arc<DistCheckpoint>),
 }
 
 /// Final parameters reported by a finished worker: `(worker index, params)`.
@@ -212,39 +262,12 @@ type FinalParams = (usize, Vec<Tensor>);
 /// `(next step, params, velocity, buffers)`.
 type Snapshot = (usize, Vec<Tensor>, Vec<Tensor>, Vec<Tensor>);
 
-/// Restores the tensor pool width when the run ends, even on an error
-/// path (the old trainer leaked the cap when a worker panicked).
-///
-/// Public so integration tests can exercise the width-restore contract
-/// (including under panics and nested probe spans) directly.
-pub struct PoolWidthGuard {
-    prev: usize,
-}
-
-impl PoolWidthGuard {
-    /// Caps the pool so `workers × pool threads` stays within the
-    /// hardware parallelism. Thread count never changes numerical results
-    /// (the pool's kernels are bitwise deterministic), only contention.
-    pub fn cap_for(n_workers: usize) -> Self {
-        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let prev = puffer_tensor::pool::num_threads();
-        puffer_tensor::pool::set_num_threads((hw / n_workers.max(1)).max(1).min(prev));
-        PoolWidthGuard { prev }
-    }
-}
-
-impl Drop for PoolWidthGuard {
-    fn drop(&mut self) {
-        puffer_tensor::pool::set_num_threads(self.prev);
-    }
-}
-
 /// Runs synchronous data-parallel SGD over `global_batches` with no
 /// injected faults and default recovery (see
 /// [`train_data_parallel_with`]).
 ///
 /// `factory(worker)` must build **identical** replicas for every worker
-/// (same seed). Each global batch is split row-wise into equal worker
+/// (same seed). Each global batch is split row-wise into equal member
 /// shards (trailing remainder rows are dropped, as with PyTorch's
 /// DistributedSampler padding semantics).
 ///
@@ -266,7 +289,8 @@ where
 }
 
 /// Runs synchronous data-parallel SGD with fault injection, graceful
-/// degradation, heterogeneous cost accounting, and checkpoint/resume.
+/// degradation, heterogeneous cost accounting, checkpoint/resume, and
+/// elastic membership.
 ///
 /// Fault semantics (see [`FaultPlan`]):
 ///
@@ -282,9 +306,24 @@ where
 ///   skipped on every replica (no optimizer update anywhere) and recorded
 ///   in the breakdown, keeping replicas in lockstep.
 ///
+/// Membership semantics (see [`MembershipPlan`]):
+///
+/// * a **join** scheduled at step `s` is admitted at the first round
+///   boundary `u ≥ max(s, start + 1)` for which the aggregator holds a
+///   leader snapshot of the previous round; the joiner catches up from
+///   that state (the on-disk checkpoint when the boundary is a periodic
+///   one) and participates from round `u` on;
+/// * a **leave** scheduled at step `s` retires the member before round
+///   `s` begins; it reports no final parameters;
+/// * every transition bumps the membership **epoch**; workers re-shard
+///   the remaining data stream over the new member set, the tensor-pool
+///   width cap is re-priced, and [`crate::cost::HeteroProfile`] prices
+///   each round for the members actually live.
+///
 /// The run errors only when it cannot possibly continue: every worker is
-/// dead, a worker reports a fatal error, a thread panics, or a checkpoint
-/// cannot be written.
+/// dead, a worker reports a fatal error, a thread panics, a checkpoint
+/// cannot be written, or the churn schedule is inconsistent with reality
+/// (e.g. a join targeting an active member).
 ///
 /// # Errors
 ///
@@ -302,14 +341,35 @@ where
 {
     cfg.validate()?;
     opts.recovery.validate()?;
-    let n_workers = cfg.workers;
+    let plan = &opts.membership;
+    plan.validate()?;
     let steps = global_batches.len();
+
+    // The largest fleet the run can ever assemble: the initial workers
+    // plus every planned joiner. Batches, the hetero profile, and leave
+    // targets are all validated against it up front.
+    let mut all_ids: BTreeSet<usize> = (0..cfg.workers).collect();
+    all_ids.extend(plan.join_ids());
+    let max_fleet = all_ids.len();
     for b in global_batches {
         let rows = b.1.len();
-        if rows < n_workers {
-            return Err(DistError::BatchTooSmall { rows, workers: n_workers });
+        if rows < max_fleet {
+            return Err(DistError::BatchTooSmall { rows, workers: max_fleet });
         }
     }
+    if let Some(w) = plan.leave_ids().into_iter().find(|w| !all_ids.contains(w)) {
+        return Err(DistError::Membership {
+            reason: format!(
+                "worker {w} is scheduled to leave but is neither an initial worker nor a \
+                 planned joiner"
+            ),
+        });
+    }
+    if let Some(h) = &opts.hetero {
+        let ids: Vec<usize> = all_ids.iter().copied().collect();
+        h.validate_members(&ids)?;
+    }
+
     let start_step = match &opts.resume {
         Some(ck) => {
             if ck.step > steps {
@@ -333,47 +393,51 @@ where
         None => 0,
     };
 
-    let _pool_guard = PoolWidthGuard::cap_for(n_workers);
+    // The member set the run starts with: a checkpoint with a recorded
+    // member list restores exactly that fleet (and continues its epoch
+    // sequence); a legacy checkpoint — or a fresh run — activates all
+    // configured workers.
+    let membership = match &opts.resume {
+        Some(ck) if !ck.members.is_empty() => {
+            if let Some(&w) = ck.members.iter().find(|w| !all_ids.contains(w)) {
+                return Err(DistError::Membership {
+                    reason: format!(
+                        "checkpoint member {w} is neither an initial worker nor a planned joiner"
+                    ),
+                });
+            }
+            Membership::with_epoch(ck.members.iter().copied(), ck.epoch)
+        }
+        _ => Membership::new(0..cfg.workers),
+    };
 
-    // Pre-split shards per worker.
-    let shards: Vec<Vec<(Tensor, Vec<usize>)>> = (0..n_workers)
-        .map(|w| {
-            global_batches.iter().map(|b| shard_batch(b, w, n_workers)).collect::<DistResult<_>>()
-        })
-        .collect::<DistResult<_>>()?;
+    let mut pool_guard = PoolWidthGuard::cap_for(membership.active_count());
 
     let (to_agg, from_workers): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
-    let mut to_workers: Vec<Sender<AggMsg>> = Vec::new();
-    let mut worker_rx: Vec<Receiver<AggMsg>> = Vec::new();
-    for _ in 0..n_workers {
-        let (tx, rx) = unbounded();
-        to_workers.push(tx);
-        worker_rx.push(rx);
-    }
     let (param_tx, param_rx): (Sender<FinalParams>, Receiver<FinalParams>) = unbounded();
     let (snap_tx, snap_rx): (Sender<Snapshot>, Receiver<Snapshot>) = unbounded();
 
-    let args = AggArgs { cfg, opts, steps, start_step };
+    let ctx = AggCtx {
+        cfg,
+        opts,
+        steps,
+        start_step,
+        factory: &factory,
+        batches: global_batches,
+        to_agg,
+        param_tx,
+        snap_tx,
+    };
+    let pool_guard_ref = &mut pool_guard;
     let agg = crossbeam::scope(|scope| {
-        for (w, (shard, rx)) in shards.into_iter().zip(worker_rx.drain(..)).enumerate() {
-            let to_agg = to_agg.clone();
-            let param_tx = param_tx.clone();
-            let snap_tx = snap_tx.clone();
-            let factory = &factory;
-            scope.spawn(move |_| {
-                let model = factory(w);
-                let ctx = WorkerCtx { worker: w, shard, rx, to_agg, param_tx, snap_tx, cfg, opts };
-                run_worker(ctx, model);
-            });
-        }
-        // The aggregator's receivers must be the only remaining handles so
-        // channel disconnects reflect worker death.
-        drop(to_agg);
-        drop(param_tx);
-        drop(snap_tx);
-        run_aggregator(&args, to_workers, &from_workers, &snap_rx, compressor)
+        run_aggregator(&ctx, scope, membership, &from_workers, &snap_rx, compressor, pool_guard_ref)
     })
     .map_err(|_| DistError::WorkerPanicked)??;
+
+    // The aggregator context holds channel templates (it needs them to
+    // spawn joiners mid-run); drop them so `param_rx` terminates now that
+    // every worker has been joined by the scope.
+    drop(ctx);
 
     // The lowest-indexed survivor's parameters stand for the run (all
     // survivors applied identical updates).
@@ -397,18 +461,168 @@ where
         final_params,
         faults: agg.report,
         checkpoints: agg.checkpoints,
+        membership: agg.membership,
+        final_epoch: agg.final_epoch,
     })
+}
+
+/// Everything the aggregator needs to drive a run, including the channel
+/// templates and model factory it uses to spawn mid-run joiners.
+struct AggCtx<'a, F> {
+    cfg: &'a DistConfig,
+    opts: &'a RunOptions,
+    steps: usize,
+    start_step: usize,
+    factory: &'a F,
+    batches: &'a [(Tensor, Vec<usize>)],
+    to_agg: Sender<WorkerMsg>,
+    param_tx: Sender<FinalParams>,
+    snap_tx: Sender<Snapshot>,
 }
 
 struct WorkerCtx<'a> {
     worker: usize,
-    shard: Vec<(Tensor, Vec<usize>)>,
+    /// First global step this worker participates in (0 for initial
+    /// members of a fresh run; the admission boundary for joiners).
+    entry_step: usize,
+    batches: &'a [(Tensor, Vec<usize>)],
     rx: Receiver<AggMsg>,
     to_agg: Sender<WorkerMsg>,
     param_tx: Sender<FinalParams>,
     snap_tx: Sender<Snapshot>,
     cfg: &'a DistConfig,
     opts: &'a RunOptions,
+    catch_up: Option<CatchUp>,
+}
+
+/// Spawns one member thread (initial worker or mid-run joiner) and
+/// registers its command channel.
+fn spawn_member<'env, M, F>(
+    ctx: &AggCtx<'env, F>,
+    scope: &crossbeam::thread::Scope<'env>,
+    senders: &mut BTreeMap<usize, Sender<AggMsg>>,
+    worker: usize,
+    entry_step: usize,
+    catch_up: Option<CatchUp>,
+) where
+    M: Layer + Send,
+    F: Fn(usize) -> M + Sync,
+{
+    let (tx, rx) = unbounded();
+    senders.insert(worker, tx);
+    let to_agg = ctx.to_agg.clone();
+    let param_tx = ctx.param_tx.clone();
+    let snap_tx = ctx.snap_tx.clone();
+    let factory = ctx.factory;
+    let cfg = ctx.cfg;
+    let opts = ctx.opts;
+    let batches = ctx.batches;
+    scope.spawn(move |_| {
+        let model = factory(worker);
+        let wctx = WorkerCtx {
+            worker,
+            entry_step,
+            batches,
+            rx,
+            to_agg,
+            param_tx,
+            snap_tx,
+            cfg,
+            opts,
+            catch_up,
+        };
+        run_worker(wctx, model);
+    });
+}
+
+fn report_fatal(ctx: &WorkerCtx<'_>, step: usize, reason: String) {
+    probe::event(
+        "fault",
+        "worker_fatal",
+        vec![("worker", ctx.worker.into()), ("step", step.into())],
+    );
+    let _ = ctx.to_agg.send(WorkerMsg::Fatal { worker: ctx.worker, reason });
+}
+
+fn note_catch_up(worker: usize, ck: &DistCheckpoint, source: &'static str) {
+    probe::event(
+        PROBE_CATEGORY,
+        EV_CATCH_UP,
+        vec![
+            ("worker", worker.into()),
+            ("step", ck.step.into()),
+            ("epoch", ck.epoch.into()),
+            ("source", source.into()),
+        ],
+    );
+    probe::metrics_row(
+        ROW_TYPE,
+        &[
+            ("kind", "catch_up".into()),
+            ("worker", worker.into()),
+            ("step", ck.step.into()),
+            ("epoch", ck.epoch.into()),
+        ],
+    );
+}
+
+/// Emits probe attribution (event + JSONL row) for the latest membership
+/// transition.
+fn note_member_event(ev: Option<&MemberEvent>) {
+    let Some(ev) = ev else { return };
+    let name = match ev.kind {
+        MemberEventKind::Join | MemberEventKind::Rejoin => EV_JOINED,
+        MemberEventKind::Leave => EV_LEFT,
+        MemberEventKind::Crash => EV_CRASHED,
+    };
+    probe::event(
+        PROBE_CATEGORY,
+        name,
+        vec![
+            ("worker", ev.worker.into()),
+            ("step", ev.step.into()),
+            ("epoch", ev.epoch.into()),
+            ("kind", ev.kind.name().into()),
+        ],
+    );
+    probe::metrics_row(
+        ROW_TYPE,
+        &[
+            ("kind", ev.kind.name().into()),
+            ("worker", ev.worker.into()),
+            ("step", ev.step.into()),
+            ("epoch", ev.epoch.into()),
+        ],
+    );
+}
+
+/// Records `worker` as crashed: drops its command channel, retires it
+/// from the membership (bumping the epoch), and emits fault + membership
+/// attribution. Idempotent for an already departed worker.
+fn mark_crashed(
+    membership: &mut Membership,
+    senders: &mut BTreeMap<usize, Sender<AggMsg>>,
+    report: &mut FaultReport,
+    worker: usize,
+    step: usize,
+) {
+    senders.remove(&worker);
+    if !membership.is_active(worker) {
+        return;
+    }
+    membership.crash(worker, step);
+    report.crashed.push((worker, step));
+    probe::counter_add("dist.crashes", 1);
+    probe::event(
+        "fault",
+        "crash_detected",
+        vec![
+            ("worker", worker.into()),
+            ("step", step.into()),
+            ("survivors", membership.active_count().into()),
+        ],
+    );
+    note_member_event(membership.log().last());
 }
 
 /// The worker loop. Never panics: channel failures mean the aggregator is
@@ -419,22 +633,53 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
     let w = ctx.worker;
     let faults = &ctx.opts.faults;
     let mut opt = Sgd::new(ctx.cfg.lr, ctx.cfg.momentum, ctx.cfg.weight_decay);
-    let mut start_step = 0;
-    if let Some(ck) = &ctx.opts.resume {
-        if !load_resume_state(&mut model, &mut opt, ck) {
-            probe::event("fault", "worker_fatal", vec![("worker", w.into())]);
-            let _ = ctx.to_agg.send(WorkerMsg::Fatal {
-                worker: w,
-                reason: "resume checkpoint does not match the model".into(),
-            });
-            return;
+    match &ctx.catch_up {
+        Some(CatchUp::Disk(path)) => {
+            let ck = match DistCheckpoint::load(path) {
+                Ok(ck) => ck,
+                Err(e) => {
+                    report_fatal(&ctx, ctx.entry_step, format!("catch-up load failed: {e}"));
+                    return;
+                }
+            };
+            if !load_resume_state(&mut model, &mut opt, &ck) {
+                report_fatal(
+                    &ctx,
+                    ctx.entry_step,
+                    "catch-up checkpoint does not match the model".into(),
+                );
+                return;
+            }
+            note_catch_up(w, &ck, "disk");
         }
-        probe::event(
-            "dist",
-            "checkpoint_resumed",
-            vec![("worker", w.into()), ("step", ck.step.into())],
-        );
-        start_step = ck.step;
+        Some(CatchUp::Memory(ck)) => {
+            if !load_resume_state(&mut model, &mut opt, ck) {
+                report_fatal(
+                    &ctx,
+                    ctx.entry_step,
+                    "catch-up checkpoint does not match the model".into(),
+                );
+                return;
+            }
+            note_catch_up(w, ck, "memory");
+        }
+        None => {
+            if let Some(ck) = &ctx.opts.resume {
+                if !load_resume_state(&mut model, &mut opt, ck) {
+                    report_fatal(
+                        &ctx,
+                        ctx.entry_step,
+                        "resume checkpoint does not match the model".into(),
+                    );
+                    return;
+                }
+                probe::event(
+                    "dist",
+                    "checkpoint_resumed",
+                    vec![("worker", w.into()), ("step", ck.step.into())],
+                );
+            }
+        }
     }
     // Gradient shapes are fixed for the whole run: derive the flat-bucket
     // layout once and reuse it every round.
@@ -443,8 +688,51 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
         let grad_refs: Vec<&Tensor> = params.iter().map(|p| &p.grad).collect();
         Arc::new(PackLayout::of_refs(&grad_refs))
     };
-    for (step, (images, labels)) in ctx.shard.iter().enumerate().skip(start_step) {
-        if faults.should_crash(w, step) {
+    // This member's shard of the remaining stream, re-extracted only when
+    // its (rank, member count) changes — a clean static run extracts once
+    // and the steady state stays allocation-free.
+    let mut epoch_seen: Option<u64> = None;
+    let (mut rank, mut count) = (0usize, 0usize);
+    let mut shard_base = ctx.entry_step;
+    let mut shard: Vec<(Tensor, Vec<usize>)> = Vec::new();
+    loop {
+        let (step, epoch, members) = match ctx.rx.recv() {
+            Ok(AggMsg::Step { step, epoch, members }) => (step, epoch, members),
+            Ok(AggMsg::Ping) => continue,
+            Ok(AggMsg::Retire) => {
+                probe::event("dist", "worker_retired", vec![("worker", w.into())]);
+                return;
+            }
+            Ok(AggMsg::Finish) => break,
+            // A verdict outside a round cannot happen in lockstep; drain it.
+            Ok(AggMsg::Mean { .. }) | Ok(AggMsg::Skip { .. }) => continue,
+            Err(_) => return, // aggregator shut down
+        };
+        if epoch_seen != Some(epoch) {
+            let first = epoch_seen.is_none();
+            epoch_seen = Some(epoch);
+            let Ok(new_rank) = members.binary_search(&w) else {
+                // The broadcast member set excludes us: retire quietly.
+                return;
+            };
+            let new_count = members.len();
+            if first || (new_rank, new_count) != (rank, count) {
+                rank = new_rank;
+                count = new_count;
+                shard_base = step;
+                if !first {
+                    probe::counter_add("dist.reshards", 1);
+                }
+                shard = match resharded(ctx.batches, step, rank, count) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        report_fatal(&ctx, step, e.to_string());
+                        return;
+                    }
+                };
+            }
+        }
+        if faults.should_crash_since(w, step, ctx.entry_step) {
             probe::event(
                 "fault",
                 "worker_crash",
@@ -452,6 +740,7 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
             );
             return; // channels drop; the aggregator's probe sees the death
         }
+        let (images, labels) = &shard[step - shard_base];
         let sp = probe::timed_span_with("dist", "worker_compute", || {
             vec![("worker", w.into()), ("step", step.into())]
         });
@@ -460,12 +749,7 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
         let (loss, dl) = match softmax_cross_entropy(&logits, labels, 0.0) {
             Ok(v) => v,
             Err(e) => {
-                probe::event(
-                    "fault",
-                    "worker_fatal",
-                    vec![("worker", w.into()), ("step", step.into())],
-                );
-                let _ = ctx.to_agg.send(WorkerMsg::Fatal { worker: w, reason: e.to_string() });
+                report_fatal(&ctx, step, e.to_string());
                 return;
             }
         };
@@ -535,29 +819,52 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
         loop {
             match ctx.rx.recv() {
                 Ok(AggMsg::Ping) => {}
-                Ok(AggMsg::Skip) => break,
+                Ok(AggMsg::Skip { snapshot }) => {
+                    if snapshot {
+                        send_snapshot(step + 1, &model, &opt, &ctx.snap_tx);
+                    }
+                    break;
+                }
                 Ok(AggMsg::Mean { flat: mean, snapshot }) => {
                     for (p, g) in model.params_mut().into_iter().zip(unpack(&mean, &layout)) {
                         p.grad = g;
                     }
                     opt.step(&mut model.params_mut());
                     if snapshot {
-                        let params = model.params().iter().map(|p| p.value.clone()).collect();
-                        let _ = ctx.snap_tx.send((
-                            step + 1,
-                            params,
-                            opt.velocity().to_vec(),
-                            model.buffers(),
-                        ));
+                        send_snapshot(step + 1, &model, &opt, &ctx.snap_tx);
                     }
                     break;
                 }
+                Ok(AggMsg::Retire) => {
+                    probe::event("dist", "worker_retired", vec![("worker", w.into())]);
+                    return;
+                }
+                // Lockstep forbids a new round before this one's verdict.
+                Ok(AggMsg::Step { .. }) | Ok(AggMsg::Finish) => {}
                 Err(_) => return, // aggregator shut down
             }
         }
     }
     let finals: Vec<Tensor> = model.params().iter().map(|p| p.value.clone()).collect();
     let _ = ctx.param_tx.send((w, finals));
+}
+
+/// Reports post-round replica state to the aggregator for checkpointing
+/// and joiner catch-up.
+fn send_snapshot<M: Layer>(next_step: usize, model: &M, opt: &Sgd, snap_tx: &Sender<Snapshot>) {
+    let params = model.params().iter().map(|p| p.value.clone()).collect();
+    let _ = snap_tx.send((next_step, params, opt.velocity().to_vec(), model.buffers()));
+}
+
+/// Extracts one member's shard of every batch from `from` on, for its
+/// rank within a `count`-member set.
+fn resharded(
+    batches: &[(Tensor, Vec<usize>)],
+    from: usize,
+    rank: usize,
+    count: usize,
+) -> DistResult<Vec<(Tensor, Vec<usize>)>> {
+    batches[from.min(batches.len())..].iter().map(|b| shard_batch(b, rank, count)).collect()
 }
 
 /// Loads checkpointed parameters, buffers, and optimizer momentum into a
@@ -588,40 +895,164 @@ fn load_resume_state<M: Layer>(model: &mut M, opt: &mut Sgd, ck: &DistCheckpoint
     true
 }
 
-struct AggArgs<'a> {
-    cfg: &'a DistConfig,
-    opts: &'a RunOptions,
-    steps: usize,
-    start_step: usize,
-}
-
 struct AggOutput {
     breakdown: EpochBreakdown,
     step_losses: Vec<f32>,
     report: FaultReport,
     checkpoints: Vec<PathBuf>,
+    membership: Vec<MemberEvent>,
+    final_epoch: u64,
 }
 
-/// The aggregator loop: collects contributions with timeout/retry,
-/// detects crashes, re-normalizes the mean over survivors, prices the
-/// round for the surviving member set, and drives checkpointing.
-fn run_aggregator(
-    args: &AggArgs<'_>,
-    to_workers: Vec<Sender<AggMsg>>,
+/// The aggregator loop: processes the membership boundary (leaves, join
+/// admission with catch-up, periodic checkpoints), broadcasts each round,
+/// collects contributions with timeout/retry, detects crashes,
+/// re-normalizes the mean over survivors, and prices the round for the
+/// live member set.
+fn run_aggregator<'env, M, F>(
+    ctx: &AggCtx<'env, F>,
+    scope: &crossbeam::thread::Scope<'env>,
+    mut membership: Membership,
     from_workers: &Receiver<WorkerMsg>,
     snap_rx: &Receiver<Snapshot>,
     compressor: &mut dyn GradCompressor,
-) -> DistResult<AggOutput> {
-    let recovery = &args.opts.recovery;
-    let mut live: BTreeSet<usize> = (0..to_workers.len()).collect();
+    pool_guard: &mut PoolWidthGuard,
+) -> DistResult<AggOutput>
+where
+    M: Layer + Send,
+    F: Fn(usize) -> M + Sync,
+{
+    let recovery = &ctx.opts.recovery;
+    let plan = &ctx.opts.membership;
+    let mut senders: BTreeMap<usize, Sender<AggMsg>> = BTreeMap::new();
+    for w in membership.active() {
+        spawn_member(ctx, scope, &mut senders, w, ctx.start_step, None);
+    }
+    // Join requests at or before the resume point were already satisfied
+    // by the original run: a checkpoint at step `u` implies the leader
+    // snapshot at `u` succeeded, which implies every join pending at `u`
+    // was admitted there. Whether those members later departed is encoded
+    // in the checkpointed member set — replaying the admission would
+    // resurrect them and diverge from the original run.
+    let mut admitted: BTreeSet<(usize, usize)> = plan.joins_through(ctx.start_step).collect();
+
     let mut acc = BreakdownAccumulator::new();
-    let mut step_losses = Vec::with_capacity(args.steps.saturating_sub(args.start_step));
+    let mut step_losses = Vec::with_capacity(ctx.steps.saturating_sub(ctx.start_step));
     let mut report = FaultReport::default();
     let mut checkpoints: Vec<PathBuf> = Vec::new();
+    // Leader snapshot of the previous round, keyed by the boundary step
+    // it describes; feeds both periodic checkpoints and joiner catch-up.
+    let mut pending_snapshot: Option<Snapshot> = None;
+    let mut members_arc: Arc<Vec<usize>> = Arc::new(membership.active());
+    let mut broadcast_epoch = membership.epoch();
 
-    for step in args.start_step..args.steps {
-        // ---- Collect this step's contributions from live workers. ----
-        let mut expected = live.clone();
+    for step in ctx.start_step..ctx.steps {
+        // ---- Membership boundary: leaves, then join admission, then the
+        // checkpoint that records the post-transition member set. ----
+        let leavers: Vec<usize> = plan.leaves_at(step).collect();
+        for wk in leavers {
+            if !membership.is_active(wk) {
+                continue; // departed earlier (e.g. crashed); nothing to retire
+            }
+            let ok = senders.get(&wk).is_some_and(|tx| tx.send(AggMsg::Retire).is_ok());
+            senders.remove(&wk);
+            if ok {
+                membership.leave(wk, step)?;
+                note_member_event(membership.log().last());
+            } else {
+                mark_crashed(&mut membership, &mut senders, &mut report, wk, step);
+            }
+        }
+        let pending: Vec<(usize, usize)> =
+            plan.joins_through(step).filter(|key| !admitted.contains(key)).collect();
+        let snap_ready = pending_snapshot.as_ref().is_some_and(|s| s.0 == step);
+        let mut admitted_now: Vec<usize> = Vec::new();
+        if snap_ready {
+            for &(wk, sched) in &pending {
+                if membership.is_active(wk) {
+                    return Err(DistError::Membership {
+                        reason: format!(
+                            "worker {wk} is scheduled to join at step {sched} but is already \
+                             an active member"
+                        ),
+                    });
+                }
+                membership.join(wk, step)?;
+                note_member_event(membership.log().last());
+                admitted.insert((wk, sched));
+                admitted_now.push(wk);
+            }
+        } else if !pending.is_empty() {
+            // No catch-up state for this boundary (start of a run, or the
+            // leader snapshot failed): the requests stay pending and are
+            // retried at the next boundary.
+            probe::counter_add("dist.join_deferrals", pending.len() as u64);
+        }
+        let want_ckpt_here = ctx.opts.checkpoint.is_enabled()
+            && step > ctx.start_step
+            && step.is_multiple_of(ctx.opts.checkpoint.every);
+        if (want_ckpt_here || !admitted_now.is_empty()) && snap_ready {
+            if let Some((s, params, velocity, buffers)) = pending_snapshot.take() {
+                let ck = DistCheckpoint {
+                    step: s,
+                    params,
+                    velocity,
+                    buffers,
+                    compressor: compressor.state_snapshot(),
+                    members: membership.active(),
+                    epoch: membership.epoch(),
+                };
+                let mut on_disk: Option<PathBuf> = None;
+                if want_ckpt_here {
+                    if let Some(path) = ctx.opts.checkpoint.path_for(s) {
+                        ck.save(&path)?;
+                        probe::counter_add("dist.checkpoint_writes", 1);
+                        probe::event("dist", "checkpoint_written", vec![("step", s.into())]);
+                        checkpoints.push(path.clone());
+                        on_disk = Some(path);
+                    }
+                }
+                let shared = Arc::new(ck);
+                for &wk in &admitted_now {
+                    let catch_up = match &on_disk {
+                        Some(p) => CatchUp::Disk(p.clone()),
+                        None => CatchUp::Memory(Arc::clone(&shared)),
+                    };
+                    spawn_member(ctx, scope, &mut senders, wk, step, Some(catch_up));
+                }
+            }
+        }
+        // ---- Epoch sync: refresh the broadcast member view and re-price
+        // the tensor-pool width for the current member count. ----
+        if membership.epoch() != broadcast_epoch {
+            broadcast_epoch = membership.epoch();
+            members_arc = Arc::new(membership.active());
+            pool_guard.recap(membership.active_count());
+        }
+
+        let round_sp = probe::timed_span_with("dist", "round", || {
+            vec![
+                ("step", step.into()),
+                ("epoch", broadcast_epoch.into()),
+                ("live", members_arc.len().into()),
+            ]
+        });
+
+        // ---- Begin the round: a crashed member fails the send. ----
+        for &x in members_arc.clone().iter() {
+            let msg =
+                AggMsg::Step { step, epoch: broadcast_epoch, members: Arc::clone(&members_arc) };
+            let sent = senders.get(&x).is_some_and(|tx| tx.send(msg).is_ok());
+            if !sent {
+                mark_crashed(&mut membership, &mut senders, &mut report, x, step);
+            }
+        }
+        if membership.active_count() == 0 {
+            return Err(DistError::AllWorkersDead { step });
+        }
+
+        // ---- Collect this step's contributions from live members. ----
+        let mut expected: BTreeSet<usize> = membership.active().into_iter().collect();
         let mut got: BTreeMap<usize, GradMsg> = BTreeMap::new();
         let mut timeout = recovery.step_timeout;
         let mut retries = 0u32;
@@ -666,23 +1097,13 @@ fn run_aggregator(
                     let missing: Vec<usize> =
                         expected.iter().copied().filter(|x| !got.contains_key(x)).collect();
                     for x in missing {
-                        if to_workers[x].send(AggMsg::Ping).is_err() {
+                        let alive = senders.get(&x).is_some_and(|tx| tx.send(AggMsg::Ping).is_ok());
+                        if !alive {
                             expected.remove(&x);
-                            live.remove(&x);
-                            report.crashed.push((x, step));
-                            probe::counter_add("dist.crashes", 1);
-                            probe::event(
-                                "fault",
-                                "crash_detected",
-                                vec![
-                                    ("worker", x.into()),
-                                    ("step", step.into()),
-                                    ("survivors", live.len().into()),
-                                ],
-                            );
+                            mark_crashed(&mut membership, &mut senders, &mut report, x, step);
                         }
                     }
-                    if live.is_empty() {
+                    if membership.active_count() == 0 {
                         return Err(DistError::AllWorkersDead { step });
                     }
                     if got.len() >= expected.len() {
@@ -708,7 +1129,7 @@ fn run_aggregator(
                 }
             }
         }
-        if live.is_empty() {
+        if membership.active_count() == 0 {
             return Err(DistError::AllWorkersDead { step });
         }
 
@@ -719,13 +1140,28 @@ fn run_aggregator(
             got.values().map(|m| m.loss).sum::<f32>() / got.len() as f32
         };
 
+        // The *next* boundary needs catch-up state if a periodic
+        // checkpoint falls on it or a join is waiting for admission.
+        let next_step = step + 1;
+        let want_ckpt =
+            ctx.opts.checkpoint.is_enabled() && next_step.is_multiple_of(ctx.opts.checkpoint.every);
+        let pending_join = next_step < ctx.steps
+            && plan.joins_through(next_step).any(|key| !admitted.contains(&key));
+        let want_state = want_ckpt || pending_join;
+        // The lowest-indexed live member doubles as snapshot leader.
+        let leader = senders.keys().next().copied();
+
         // ---- AMP-style guard: a poisoned gradient (or a round with no
-        // usable contribution) skips the step on every replica. ----
+        // usable contribution) skips the step on every replica. The
+        // unchanged state is still valid, so snapshots proceed. ----
         if got.is_empty() || got.values().any(|m| any_nonfinite(std::slice::from_ref(&m.flat))) {
-            for x in live.clone() {
-                if to_workers[x].send(AggMsg::Skip).is_err() {
-                    live.remove(&x);
-                    report.crashed.push((x, step));
+            let ids: Vec<usize> = senders.keys().copied().collect();
+            for x in ids {
+                let snapshot = want_state && Some(x) == leader;
+                let sent =
+                    senders.get(&x).is_some_and(|tx| tx.send(AggMsg::Skip { snapshot }).is_ok());
+                if !sent {
+                    mark_crashed(&mut membership, &mut senders, &mut report, x, step);
                 }
             }
             report.skipped_steps.push(step);
@@ -742,16 +1178,28 @@ fn run_aggregator(
                     ("step", step.into()),
                     ("loss", loss_mean.into()),
                     ("contributors", got.len().into()),
-                    ("live", live.len().into()),
+                    ("live", membership.active_count().into()),
                     ("skipped", 1usize.into()),
                 ],
             );
+            collect_snapshot(
+                ctx,
+                snap_rx,
+                &membership,
+                &mut report,
+                &mut pending_snapshot,
+                want_state,
+                want_ckpt,
+                leader,
+                next_step,
+            );
+            round_sp.finish();
             continue;
         }
 
         // ---- One compression round over the collected contributions.
-        // `got` is keyed by worker id, so the round sees survivors in
-        // id order and the mean is automatically re-normalized to the
+        // `got` is keyed by worker id, so the round sees members in id
+        // order and the mean is automatically re-normalized to the
         // contributing member count. ----
         let n_contributors = got.len();
         let layout = got.values().next().map(|m| Arc::clone(&m.layout));
@@ -759,11 +1207,11 @@ fn run_aggregator(
             got.into_values().map(|m| unpack(&m.flat, &m.layout)).collect();
         let (mean, stats) = compressor.round(&contributions);
 
-        // ---- Price the round for the *surviving* member set. ----
-        let live_vec: Vec<usize> = live.iter().copied().collect();
-        let (profile, jitter) = match &args.opts.hetero {
-            Some(h) => (h.effective(&live_vec), h.jitter_factor(step as u64)),
-            None => (ClusterProfile { nodes: live.len(), ..args.cfg.profile }, 1.0),
+        // ---- Price the round for the member set actually live. ----
+        let live_vec: Vec<usize> = membership.active();
+        let (profile, jitter) = match &ctx.opts.hetero {
+            Some(h) => (h.effective(&live_vec)?, h.jitter_factor(step as u64)),
+            None => (ClusterProfile { nodes: live_vec.len(), ..ctx.cfg.profile }, 1.0),
         };
         let comm = round_comm_time(&profile, compressor.aggregation(), &stats).mul_f64(jitter);
         acc.record_with_comm(comm, slowest, &stats);
@@ -774,17 +1222,12 @@ fn run_aggregator(
                 ("step", step.into()),
                 ("loss", loss_mean.into()),
                 ("contributors", n_contributors.into()),
-                ("live", live.len().into()),
+                ("live", live_vec.len().into()),
                 ("bytes", stats.encoded_bytes.into()),
             ],
         );
 
-        // ---- Broadcast the verdict; the lowest-indexed survivor doubles
-        // as checkpoint leader. ----
-        let next_step = step + 1;
-        let want_ckpt =
-            args.opts.checkpoint.is_enabled() && next_step % args.opts.checkpoint.every == 0;
-        let leader = live.iter().next().copied();
+        // ---- Broadcast the verdict. ----
         // Re-pack the mean into one flat bucket per recipient (same layout
         // the workers used to encode their contributions).
         let mean_refs: Vec<&Tensor> = mean.iter().collect();
@@ -792,85 +1235,132 @@ fn run_aggregator(
             Some(l) => pack_refs_with(l, &mean_refs),
             None => pack_refs(&mean_refs).0,
         };
-        for x in live.clone() {
-            let snapshot = want_ckpt && Some(x) == leader;
-            if to_workers[x].send(AggMsg::Mean { flat: mean_flat.clone(), snapshot }).is_err() {
-                live.remove(&x);
-                report.crashed.push((x, step));
+        let ids: Vec<usize> = senders.keys().copied().collect();
+        for x in ids {
+            let snapshot = want_state && Some(x) == leader;
+            let msg = AggMsg::Mean { flat: mean_flat.clone(), snapshot };
+            let sent = senders.get(&x).is_some_and(|tx| tx.send(msg).is_ok());
+            if !sent {
+                mark_crashed(&mut membership, &mut senders, &mut report, x, step);
             }
         }
 
-        if want_ckpt {
-            let deadline = recovery.step_timeout * (recovery.max_retries + 1);
-            let leader_alive = leader.is_some_and(|l| live.contains(&l));
-            let collected = if leader_alive {
-                snap_rx.recv_timeout(deadline).ok().filter(|(s, ..)| *s == next_step)
-            } else {
-                None
+        collect_snapshot(
+            ctx,
+            snap_rx,
+            &membership,
+            &mut report,
+            &mut pending_snapshot,
+            want_state,
+            want_ckpt,
+            leader,
+            next_step,
+        );
+        round_sp.finish();
+    }
+
+    // ---- Final boundary: a periodic checkpoint falling exactly on the
+    // end of the run is still written. ----
+    let want_ckpt_final = ctx.opts.checkpoint.is_enabled()
+        && ctx.steps > ctx.start_step
+        && ctx.steps.is_multiple_of(ctx.opts.checkpoint.every);
+    if want_ckpt_final && pending_snapshot.as_ref().is_some_and(|s| s.0 == ctx.steps) {
+        if let Some((s, params, velocity, buffers)) = pending_snapshot.take() {
+            let ck = DistCheckpoint {
+                step: s,
+                params,
+                velocity,
+                buffers,
+                compressor: compressor.state_snapshot(),
+                members: membership.active(),
+                epoch: membership.epoch(),
             };
-            match collected {
-                Some((s, params, velocity, buffers)) => {
-                    let ck = DistCheckpoint {
-                        step: s,
-                        params,
-                        velocity,
-                        buffers,
-                        compressor: compressor.state_snapshot(),
-                    };
-                    if let Some(path) = args.opts.checkpoint.path_for(s) {
-                        ck.save(&path)?;
-                        probe::counter_add("dist.checkpoint_writes", 1);
-                        probe::event("dist", "checkpoint_written", vec![("step", s.into())]);
-                        checkpoints.push(path);
-                    }
-                }
-                None => {
-                    report.checkpoint_failures += 1;
-                    probe::counter_add("dist.checkpoint_failures", 1);
-                    probe::event("fault", "checkpoint_failed", vec![("step", next_step.into())]);
-                }
+            if let Some(path) = ctx.opts.checkpoint.path_for(s) {
+                ck.save(&path)?;
+                probe::counter_add("dist.checkpoint_writes", 1);
+                probe::event("dist", "checkpoint_written", vec![("step", s.into())]);
+                checkpoints.push(path);
             }
         }
     }
-    report.survivors = live.len();
-    Ok(AggOutput { breakdown: acc.breakdown(), step_losses, report, checkpoints })
+
+    // ---- Finish: survivors report their final parameters. ----
+    let ids: Vec<usize> = senders.keys().copied().collect();
+    for x in ids {
+        let sent = senders.get(&x).is_some_and(|tx| tx.send(AggMsg::Finish).is_ok());
+        if !sent {
+            mark_crashed(&mut membership, &mut senders, &mut report, x, ctx.steps);
+        }
+    }
+    report.survivors = membership.active_count();
+    Ok(AggOutput {
+        breakdown: acc.breakdown(),
+        step_losses,
+        report,
+        checkpoints,
+        final_epoch: membership.epoch(),
+        membership: membership.into_log(),
+    })
 }
 
-/// Extracts worker `w`'s rows of a global batch (rows split evenly;
-/// remainder rows dropped).
+/// Collects the leader's post-round snapshot for the upcoming boundary.
+/// A missed snapshot when a periodic checkpoint is due is a recorded
+/// checkpoint failure; joins waiting on it are simply deferred.
+#[allow(clippy::too_many_arguments)]
+fn collect_snapshot<F>(
+    ctx: &AggCtx<'_, F>,
+    snap_rx: &Receiver<Snapshot>,
+    membership: &Membership,
+    report: &mut FaultReport,
+    pending_snapshot: &mut Option<Snapshot>,
+    want_state: bool,
+    want_ckpt: bool,
+    leader: Option<usize>,
+    next_step: usize,
+) {
+    if !want_state {
+        *pending_snapshot = None;
+        return;
+    }
+    let recovery = &ctx.opts.recovery;
+    let deadline = recovery.step_timeout * (recovery.max_retries + 1);
+    let leader_alive = leader.is_some_and(|l| membership.is_active(l));
+    *pending_snapshot = if leader_alive {
+        snap_rx.recv_timeout(deadline).ok().filter(|(s, ..)| *s == next_step)
+    } else {
+        None
+    };
+    if pending_snapshot.is_none() && want_ckpt {
+        report.checkpoint_failures += 1;
+        probe::counter_add("dist.checkpoint_failures", 1);
+        probe::event("fault", "checkpoint_failed", vec![("step", next_step.into())]);
+    }
+}
+
+/// Extracts member `w`'s rows of a global batch (rows split evenly across
+/// `workers` members; remainder rows dropped). Delegates the row
+/// arithmetic to [`puffer_data::shard`], the crate-neutral re-sharding
+/// helper the elastic trainer also uses mid-run.
 ///
 /// # Errors
 ///
 /// Returns [`DistError::BatchTooSmall`] if the batch has fewer rows than
-/// workers and [`DistError::Shard`] on shape arithmetic failures.
+/// members and [`DistError::Shard`] on shape arithmetic failures.
 pub fn shard_batch(
     batch: &(Tensor, Vec<usize>),
     w: usize,
     workers: usize,
 ) -> DistResult<(Tensor, Vec<usize>)> {
-    let (images, labels) = batch;
-    let n = labels.len();
     if workers == 0 {
         return Err(DistError::InvalidConfig { reason: "workers must be at least 1".into() });
     }
-    if w >= workers {
-        return Err(DistError::Shard {
-            reason: format!("worker {w} out of range for {workers} shards"),
-        });
-    }
-    let per = n / workers;
-    if per == 0 {
-        return Err(DistError::BatchTooSmall { rows: n, workers });
-    }
-    let start = w * per;
-    let end = start + per;
-    let row_len = images.len() / n;
-    let data = images.as_slice()[start * row_len..end * row_len].to_vec();
-    let mut shape = images.shape().to_vec();
-    shape[0] = per;
-    let shard =
-        Tensor::from_vec(data, &shape).map_err(|e| DistError::Shard { reason: e.to_string() })?;
-    Ok((shard, labels[start..end].to_vec()))
+    let (images, labels) = batch;
+    puffer_data::shard::shard_rows(images, labels, w, workers).map_err(|e| match e {
+        puffer_data::shard::ShardError::EmptyShard { rows, members } => {
+            DistError::BatchTooSmall { rows, workers: members }
+        }
+        other => DistError::Shard { reason: other.to_string() },
+    })
 }
 
 #[cfg(test)]
@@ -917,6 +1407,8 @@ mod tests {
         let out = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg).unwrap();
         assert!(out.faults.is_clean(), "clean run must report no faults: {:?}", out.faults);
         assert_eq!(out.faults.survivors, 2);
+        assert!(out.membership.is_empty(), "static run must log no transitions");
+        assert_eq!(out.final_epoch, 0);
 
         // Reference: single process on the full batches.
         let mut model = mlp(1);
@@ -1002,6 +1494,59 @@ mod tests {
         let mut comp = NoCompression::new();
         let err = train_data_parallel(|_| mlp(1), &batches, &mut comp, &cfg).unwrap_err();
         assert_eq!(err, DistError::BatchTooSmall { rows: 2, workers: 4 });
+    }
+
+    #[test]
+    fn planned_joiners_raise_the_batch_floor() {
+        // Two joiners on top of 3 initial workers: every batch must be able
+        // to feed the 5-member fleet the run can grow into.
+        let batches = synthetic_batches(2, 4);
+        let cfg = DistConfig {
+            workers: 3,
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            profile: ClusterProfile::zero_cost(3),
+        };
+        let opts = RunOptions {
+            membership: MembershipPlan::none().with_join(3, 1).with_join(4, 1),
+            ..Default::default()
+        };
+        let mut comp = NoCompression::new();
+        let err =
+            train_data_parallel_with(|_| mlp(1), &batches, &mut comp, &cfg, &opts).unwrap_err();
+        assert_eq!(err, DistError::BatchTooSmall { rows: 4, workers: 5 });
+    }
+
+    #[test]
+    fn plan_referencing_unknown_ids_rejected() {
+        let batches = synthetic_batches(2, 8);
+        let cfg = DistConfig {
+            workers: 2,
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            profile: ClusterProfile::zero_cost(2),
+        };
+        // A leave for a worker that is neither initial nor a planned joiner.
+        let opts = RunOptions {
+            membership: MembershipPlan::none().with_leave(9, 1),
+            ..Default::default()
+        };
+        let mut comp = NoCompression::new();
+        let err =
+            train_data_parallel_with(|_| mlp(1), &batches, &mut comp, &cfg, &opts).unwrap_err();
+        assert!(matches!(err, DistError::Membership { .. }), "{err}");
+        // A joiner outside the hetero profile is a typed UnknownMember error.
+        let opts = RunOptions {
+            membership: MembershipPlan::none().with_join(5, 1),
+            hetero: Some(crate::cost::HeteroProfile::uniform(ClusterProfile::p3_like(2))),
+            ..Default::default()
+        };
+        let mut comp = NoCompression::new();
+        let err =
+            train_data_parallel_with(|_| mlp(1), &batches, &mut comp, &cfg, &opts).unwrap_err();
+        assert_eq!(err, DistError::UnknownMember { worker: 5, nodes: 2 });
     }
 
     #[test]

@@ -346,6 +346,8 @@ fn invalid_inputs_are_rejected_up_front() {
             velocity: Vec::new(),
             buffers: Vec::new(),
             compressor: Vec::new(),
+            members: Vec::new(),
+            epoch: 0,
         }),
         ..RunOptions::default()
     };

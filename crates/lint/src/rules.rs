@@ -12,6 +12,7 @@
 //! | `dep-allowlist` | every `Cargo.toml` | external deps restricted to the workspace allowlist |
 //! | `no-vec-alloc-in-kernel` | tensor kernel modules, non-test | kernel scratch comes from `workspace`, not `vec![x; n]`/`Vec::with_capacity` |
 //! | `simd-needs-feature-gate` | workspace, non-test | `_mm*` intrinsic calls live in `#[target_feature]` fns, in a file with an `is_x86_feature_detected!` gate |
+//! | `dist-pool-width-via-membership` | `crates/dist/src` minus `membership.rs`, non-test | pool width changes only through `membership::PoolWidthGuard` |
 //!
 //! # Suppression
 //!
@@ -84,6 +85,12 @@ pub const RULES: &[RuleInfo] = &[
         description: "every `_mm*` intrinsic call sits inside a #[target_feature] fn, and any \
                       file defining such fns also carries an is_x86_feature_detected! runtime \
                       gate (so SIMD paths can never execute on unsupporting hardware)",
+    },
+    RuleInfo {
+        name: "dist-pool-width-via-membership",
+        description: "no direct pool::set_num_threads in crates/dist non-test code outside the \
+                      membership module (pool width follows the active member set; go through \
+                      membership::PoolWidthGuard)",
     },
 ];
 
@@ -200,6 +207,9 @@ pub fn check_tokens(ctx: &FileContext<'_>, enabled: &dyn Fn(&str) -> bool) -> Ve
     }
     if enabled("simd-needs-feature-gate") {
         simd_needs_feature_gate(ctx, &mut out);
+    }
+    if enabled("dist-pool-width-via-membership") {
+        dist_pool_width_via_membership(ctx, &mut out);
     }
     out
 }
@@ -516,6 +526,29 @@ fn simd_needs_feature_gate(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+fn dist_pool_width_via_membership(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    // The membership module owns the pool width: `PoolWidthGuard` recaps it
+    // to the live member count at each epoch and restores it on drop. Any
+    // other dist call site would fight that bookkeeping, so the identifier
+    // itself is the violation — whether called or merely imported.
+    if !ctx.in_dist_src() || ctx.is_test_file || ctx.rel_path.ends_with("membership.rs") {
+        return;
+    }
+    for (_, tok, in_test) in code_tokens(ctx) {
+        if !in_test && tok.kind == TokenKind::Ident && tok.text == "set_num_threads" {
+            ctx.diag(
+                "dist-pool-width-via-membership",
+                tok,
+                "direct `set_num_threads` in puffer-dist outside the membership module; pool \
+                 width follows the active member set — resize through \
+                 membership::PoolWidthGuard so epoch transitions stay the single owner"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,6 +760,31 @@ fn f(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }";
         let allowed = "// lint:allow(simd-needs-feature-gate) — cfg-gated call site\n\
                        fn f(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }";
         assert!(run("crates/tensor/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn pool_width_mutation_flagged_in_dist_outside_membership() {
+        let src = "fn grow(n: usize) { puffer_tensor::pool::set_num_threads(n); }";
+        let diags = run("crates/dist/src/trainer.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].0, "dist-pool-width-via-membership");
+        // The membership module is the one dist file allowed to resize.
+        assert!(run("crates/dist/src/membership.rs", src).is_empty());
+        // Other crates manage their own pools; out of scope.
+        assert!(run("crates/tensor/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pool_width_rule_exempts_tests_and_honors_suppression() {
+        let src = "fn grow(n: usize) { puffer_tensor::pool::set_num_threads(n); }";
+        assert!(run("crates/dist/tests/pool_guard_probe.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { pool::set_num_threads(1); }\n}";
+        assert!(run("crates/dist/src/trainer.rs", in_test).is_empty());
+        let decoy = "fn f() { let s = \"set_num_threads(\"; } // set_num_threads in comment";
+        assert!(run("crates/dist/src/trainer.rs", decoy).is_empty());
+        let allowed = "// lint:allow(dist-pool-width-via-membership) — startup pinning\n\
+                       fn f() { pool::set_num_threads(1); }";
+        assert!(run("crates/dist/src/trainer.rs", allowed).is_empty());
     }
 
     #[test]

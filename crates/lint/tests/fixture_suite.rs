@@ -34,6 +34,7 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/dist/src/panics.rs", 19, "dist-no-panic"),
     ("crates/dist/src/panics.rs", 24, "dist-no-panic"),
     ("crates/dist/src/panics.rs", 28, "dist-no-panic"),
+    ("crates/dist/src/pool_width.rs", 14, "dist-pool-width-via-membership"),
     ("crates/other/src/wall_clock.rs", 3, "no-wall-clock-outside-probe"),
     ("crates/other/src/wall_clock.rs", 4, "no-wall-clock-outside-probe"),
     ("crates/other/src/wall_clock.rs", 7, "no-wall-clock-outside-probe"),
@@ -83,6 +84,19 @@ fn awk_gate_regression_code_after_early_test_module_is_scanned() {
 }
 
 #[test]
+fn pool_width_fixture_flags_only_the_unexempted_mutation() {
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    let pool: Vec<_> =
+        report.diagnostics.iter().filter(|d| d.rule == "dist-pool-width-via-membership").collect();
+    // pool_width.rs seeds one live violation plus three exempt call sites
+    // (string decoy, lint:allow, #[cfg(test)]); membership.rs — the module
+    // that owns the pool width — must stay clean.
+    assert_eq!(pool.len(), 1, "{pool:?}");
+    assert!(pool[0].file.ends_with("pool_width.rs"));
+    assert!(!report.diagnostics.iter().any(|d| d.file.ends_with("membership.rs")));
+}
+
+#[test]
 fn rules_filter_restricts_findings() {
     let mut config = Config::new(fixtures_root());
     config.rules = Some(BTreeSet::from(["dep-allowlist".to_string()]));
@@ -99,7 +113,7 @@ fn rules_filter_restricts_findings() {
 #[test]
 fn scan_counts_cover_the_fixture_tree() {
     let report = run(&Config::new(fixtures_root())).expect("fixture scan");
-    assert_eq!(report.files_scanned, 9, "fixture .rs census changed");
+    assert_eq!(report.files_scanned, 11, "fixture .rs census changed");
     assert_eq!(report.manifests_scanned, 1, "fixture manifest census changed");
     assert!(!report.is_clean());
 }

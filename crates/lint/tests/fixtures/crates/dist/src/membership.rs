@@ -1,0 +1,20 @@
+//! Fixture: the membership module is the one dist file allowed to resize
+//! the compute pool — `PoolWidthGuard` recaps the width to the live
+//! member count at each epoch and restores it on drop. Never flagged.
+
+pub struct PoolWidthGuard {
+    prev: usize,
+}
+
+impl PoolWidthGuard {
+    pub fn recap(&mut self, n_workers: usize) {
+        let hw = 8;
+        puffer_tensor::pool::set_num_threads((hw / n_workers.max(1)).max(1).min(self.prev));
+    }
+}
+
+impl Drop for PoolWidthGuard {
+    fn drop(&mut self) {
+        puffer_tensor::pool::set_num_threads(self.prev);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: direct pool-width mutation in dist outside the membership
+//! module. Epoch transitions own the thread pool via `PoolWidthGuard`;
+//! any other `set_num_threads` call site fights that bookkeeping.
+//!
+//! Decoys first — none of these may be flagged:
+//! a comment mentioning set_num_threads(4) is inert.
+
+pub fn decoys() {
+    let _s = "pool::set_num_threads(8)"; // string decoy
+    /* set_num_threads(2) in a block comment */
+}
+
+pub fn grow_pool(width: usize) {
+    puffer_tensor::pool::set_num_threads(width);
+}
+
+pub fn pinned_startup_width() {
+    // lint:allow(dist-pool-width-via-membership) — deliberate, visible exemption
+    puffer_tensor::pool::set_num_threads(1);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn tests_may_pin_widths() {
+        puffer_tensor::pool::set_num_threads(1);
+    }
+}

@@ -41,4 +41,11 @@ cargo run --release -q -p puffer-bench --bin alloc_churn -- --check
 echo "== allocation steady-state guard under the scalar GEMM fallback"
 PUFFER_SIMD=0 cargo run --release -q -p puffer-bench --bin alloc_churn -- --check
 
+echo "== elastic-membership soak, smoke length (seeded churn, DESIGN.md §11)"
+# 24 steps, fixed seed, ≤30 s: joins/rejoins/crashes/leave plus corrupted,
+# dropped, and non-finite messages; gates on schedule completion, zero
+# steady-state allocation, bounded replay divergence, recovery within k
+# rounds, and no leaked pool threads. Writes BENCH_soak.json.
+PUFFER_SOAK_SMOKE=1 cargo run --release -q -p puffer-bench --bin soak -- --check
+
 echo "All checks passed."
