@@ -1,0 +1,80 @@
+//! Noise-aware comparison of two `BENCH_*.json` files — the perf
+//! regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p puffer-bench --bin bench_diff -- \
+//!     <baseline.json> <candidate.json> [--threshold 0.4] [--check]
+//! ```
+//!
+//! Timing leaves (`*_s`/`*_ms`/`*_us`/`*_ns`) regress when they grow,
+//! throughput leaves (`gflops`, `speedup*`) when they shrink — in both
+//! cases only beyond the relative threshold *and* a 1 ms absolute noise
+//! floor. Boolean `pass`/`all_pass` leaves are hard gates. Keys present
+//! on only one side are notes, never failures, so bench schemas can
+//! evolve without breaking old baselines. `--check` exits non-zero on
+//! any regression — `scripts/check.sh` gates on it.
+
+use puffer_insight::{diff, DiffOptions};
+use puffer_probe::json;
+
+fn load(path: &str) -> json::Json {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match json::parse(&doc) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_diff: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut check = false;
+    let mut opts = DiffOptions::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--threshold" => {
+                let v = args.next().and_then(|v| v.parse::<f64>().ok());
+                match v {
+                    Some(t) if t > 0.0 => opts.threshold = t,
+                    _ => {
+                        eprintln!("bench_diff: --threshold needs a positive number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--threshold X] [--check]");
+        std::process::exit(2);
+    }
+
+    let old = load(&paths[0]);
+    let new = load(&paths[1]);
+    let report = diff(&old, &new, opts);
+    println!(
+        "comparing {} (baseline) vs {} (candidate), threshold {:.0}%",
+        paths[0],
+        paths[1],
+        opts.threshold * 100.0
+    );
+    print!("{}", report.render());
+
+    if check && !report.regressions().is_empty() {
+        eprintln!("bench_diff --check FAILED: {} regression(s)", report.regressions().len());
+        std::process::exit(1);
+    }
+}

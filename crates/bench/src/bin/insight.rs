@@ -1,0 +1,90 @@
+//! Renders the puffer-insight report for an exported run.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p puffer-bench --bin insight \
+//!     [-- [trace.json] [metrics.jsonl] [--check]]
+//! ```
+//!
+//! With no paths, reads the `trace_demo` exports from `results/`
+//! (`trace_demo.json` + `trace_demo_metrics.jsonl` — run the `trace_demo`
+//! bin first). Writes the text report to `results/insight_<stem>.txt`,
+//! the machine-readable form to `BENCH_insight.json` at the workspace
+//! root, and prints the report. `--check` exits non-zero if any insight
+//! gate fails — `scripts/check.sh` runs it that way.
+
+use puffer_bench::results_dir;
+use puffer_insight::{analyze, ingest};
+use std::path::{Path, PathBuf};
+
+fn read_opt(path: &Path) -> Option<String> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("note: cannot read {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn main() {
+    let mut check = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    let (trace_path, metrics_path) = match paths.len() {
+        0 => {
+            let dir = results_dir();
+            (dir.join("trace_demo.json"), Some(dir.join("trace_demo_metrics.jsonl")))
+        }
+        1 => (paths[0].clone(), None),
+        _ => (paths[0].clone(), Some(paths[1].clone())),
+    };
+
+    let trace_doc = read_opt(&trace_path);
+    let metrics_doc = metrics_path.as_deref().and_then(read_opt);
+    let rd = match ingest::load(trace_doc.as_deref(), metrics_doc.as_deref()) {
+        Ok(rd) => rd,
+        Err(e) => {
+            eprintln!("insight: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stem = trace_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "run".to_string());
+    let report = analyze(&rd, &stem);
+    print!("{}", report.text);
+
+    let txt_path = results_dir().join(format!("insight_{stem}.txt"));
+    if let Some(dir) = txt_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&txt_path, &report.text) {
+        Ok(()) => println!("wrote {}", txt_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", txt_path.display()),
+    }
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|p| PathBuf::from(p).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let json_path = root.join("BENCH_insight.json");
+    match std::fs::write(&json_path, &report.json) {
+        Ok(()) => println!("wrote {}", json_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", json_path.display()),
+    }
+
+    if check && !report.all_pass {
+        eprintln!("insight --check FAILED: at least one gate did not hold");
+        std::process::exit(1);
+    }
+    if check {
+        println!("insight --check ok: all gates hold");
+    }
+}

@@ -156,12 +156,16 @@ fn max_rel_error(a: &[Tensor], b: &[Tensor]) -> f32 {
     worst
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+/// p50 of a set of durations in seconds, via the probe's log2-bucketed
+/// [`probe::Histogram`] — the same summary the exporter emits, so the gate
+/// and the report can never disagree on what "median round" means. Bucket
+/// quantization (≤12.5%) is far inside the gate's 4× + 50ms slack.
+fn p50_seconds(xs: &[f64]) -> f64 {
+    let mut h = probe::Histogram::new();
+    for &x in xs {
+        h.record((x * 1e9).max(0.0) as u64);
     }
-    xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
+    h.p50() as f64 / 1e9
 }
 
 struct Gate {
@@ -182,6 +186,16 @@ fn run_soak() -> (Vec<Gate>, String) {
     workspace::set_enabled(true);
     probe::reset();
     probe::configure(probe::ProbeConfig::in_memory());
+    probe::run_header(&[
+        ("bench", "soak".into()),
+        ("seed", cfg.seed.into()),
+        ("workers", cfg.workers.into()),
+        ("steps", cfg.steps.into()),
+        ("scheme", "none".into()),
+        ("alpha", dist_cfg.profile.alpha.into()),
+        ("beta", dist_cfg.profile.beta.into()),
+    ]);
+    probe::run_header_env();
     let batches = cfg.batches(cfg.steps);
     let opts = RunOptions {
         faults: cfg.faults(),
@@ -197,6 +211,9 @@ fn run_soak() -> (Vec<Gate>, String) {
     let events = probe::take_events();
     let counters = probe::counters_snapshot();
     let counter = |name: &str| counters.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, v)| *v);
+    // Round-phase latency histograms, auto-recorded by the probe for every
+    // span family; snapshot before reset clears the registry.
+    let phase_hists = probe::hist_snapshot();
     probe::reset();
 
     // Schedule completeness: the run must have absorbed the full churn.
@@ -235,7 +252,7 @@ fn run_soak() -> (Vec<Gate>, String) {
     rounds.sort_by_key(|&(s, _)| s);
     let tail = cfg.steps.min(5);
     let steady: Vec<f64> = rounds.iter().rev().take(tail).map(|&(_, d)| d).collect();
-    let baseline = median(steady.clone());
+    let baseline = p50_seconds(&steady);
     let threshold = baseline * 4.0 + 0.050;
     let mut recovery_ok = true;
     let mut worst_recovery = 0usize;
@@ -357,8 +374,25 @@ fn run_soak() -> (Vec<Gate>, String) {
             )
         })
         .collect();
+    // Per-phase round latency percentiles from the probe's auto-recorded
+    // histograms (µs): the soak's latency fingerprint, diffable across
+    // runs by `bench_diff`.
+    let phase_json: Vec<String> = phase_hists
+        .iter()
+        .filter(|((c, _), h)| *c == "dist" && !h.is_empty())
+        .map(|((_, n), h)| {
+            format!(
+                "    \"{}\": {{ \"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1} }}",
+                n,
+                h.count(),
+                h.p50() as f64 / 1e3,
+                h.p99() as f64 / 1e3,
+                h.max() as f64 / 1e3
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"soak\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"steps\": {},\n  \"workers\": {},\n  \"final_epoch\": {},\n  \"membership_events\": {},\n  \"counters\": {{ \"crashes\": {}, \"reshards\": {}, \"join_deferrals\": {}, \"corrupted_messages\": {}, \"dropped_messages\": {}, \"checkpoint_writes\": {} }},\n  \"all_pass\": {all_pass},\n  \"gates\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"soak\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \"steps\": {},\n  \"workers\": {},\n  \"final_epoch\": {},\n  \"membership_events\": {},\n  \"counters\": {{ \"crashes\": {}, \"reshards\": {}, \"join_deferrals\": {}, \"corrupted_messages\": {}, \"dropped_messages\": {}, \"checkpoint_writes\": {} }},\n  \"phases\": {{\n{}\n  }},\n  \"all_pass\": {all_pass},\n  \"gates\": [\n{}\n  ]\n}}\n",
         if cfg.smoke { "smoke" } else { "full" },
         cfg.seed,
         cfg.steps,
@@ -371,6 +405,7 @@ fn run_soak() -> (Vec<Gate>, String) {
         counter("dist.corrupted_messages"),
         counter("dist.dropped_messages"),
         counter("dist.checkpoint_writes"),
+        phase_json.join(",\n"),
         gate_json.join(",\n")
     );
     (gates, json)

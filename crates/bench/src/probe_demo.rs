@@ -3,8 +3,9 @@
 //! probe collecting, so the resulting Chrome trace shows every layer of
 //! the stack at once — tensor-pool kernel chunks on the `puffer-pool-*`
 //! threads, `nn` forward/backward/optimizer spans, the `dist` round
-//! phases (compute/encode/comm/decode, the Fig.-4 bins), and structured
-//! fault events with worker/step attribution.
+//! phases (compute/encode/allreduce/decode/apply — the Fig.-4 bins, with
+//! the comm phase named after its collective), and structured fault
+//! events with worker/step attribution.
 //!
 //! The demo lives in the library (not the binary) so the schema test can
 //! run the exact same workload in memory and validate the trace it
@@ -101,6 +102,19 @@ pub fn run_trace_demo() -> DemoReport {
         weight_decay: 0.0,
         profile: ClusterProfile::p3_like(DEMO_WORKERS),
     };
+    // Stamp the run header so the exported trace/metrics are
+    // self-describing (and insight can reconcile against the configured
+    // α–β profile). PUFFER_* env knobs ride along.
+    probe::run_header(&[
+        ("bench", "trace_demo".into()),
+        ("seed", DEMO_SEED.into()),
+        ("workers", DEMO_WORKERS.into()),
+        ("steps", DEMO_STEPS.into()),
+        ("scheme", "none".into()),
+        ("alpha", cfg.profile.alpha.into()),
+        ("beta", cfg.profile.beta.into()),
+    ]);
+    probe::run_header_env();
     let opts = RunOptions { faults: demo_faults(), ..RunOptions::default() };
     let mut comp = NoCompression::new();
     let data = demo_batches();

@@ -1,0 +1,65 @@
+//! Acceptance check for the insight pipeline on the real demo workload:
+//! run the seeded 4-worker faulty hybrid run, export its trace through the
+//! probe's own renderer, re-ingest it, and assert the report attributes at
+//! least one injected straggler round as straggler-bound — and that the
+//! whole pipeline is deterministic (byte-identical re-render). One test
+//! per file — the probe's state is process-global.
+
+use puffer_bench::probe_demo::run_trace_demo;
+use puffer_insight::{analyze, ingest, Bound};
+use puffer_probe as probe;
+
+#[test]
+fn insight_attributes_the_demo_stragglers_and_renders_deterministically() {
+    probe::reset();
+    probe::configure(probe::ProbeConfig::in_memory());
+
+    let report = run_trace_demo();
+    assert!(!report.outcome.faults.is_clean(), "the demo must actually be faulty");
+
+    let mut events = probe::take_events();
+    events.extend(probe::trace_extras());
+    let doc = probe::render_chrome_trace(&events);
+    let metrics = probe::metrics_rows().join("\n");
+    probe::reset();
+
+    let rd = ingest::load(Some(&doc), Some(&metrics)).expect("demo trace must re-ingest");
+    assert!(!rd.header.is_empty(), "run_context header must be stamped");
+    assert_eq!(ingest::num(&rd.header, "workers"), Some(report.workers as f64));
+
+    let insight = analyze(&rd, "trace_demo");
+    assert!(insight.all_pass, "insight gates must hold on the demo run: {:?}", insight.gates);
+    assert_eq!(insight.rounds.len(), report.steps, "every demo step reconstructs to a round");
+
+    // The acceptance criterion: at least one round with an injected
+    // straggler delay is classified straggler-bound, attributed to the
+    // slowed worker (the demo slows worker 1 by 2.5×).
+    let straggler_rounds: Vec<_> = insight
+        .rounds
+        .iter()
+        .filter(|r| r.bound == Bound::Straggler && r.faults.iter().any(|f| f == "straggler_delay"))
+        .collect();
+    assert!(
+        !straggler_rounds.is_empty(),
+        "no straggler-faulted round was classified straggler-bound; rounds: {:?}",
+        insight.rounds.iter().map(|r| (r.step, r.bound, r.faults.clone())).collect::<Vec<_>>()
+    );
+    assert!(
+        straggler_rounds.iter().all(|r| r.slowest_worker == Some(1)),
+        "the slowed worker must own the critical path"
+    );
+
+    // The demo's crash changes the node count mid-run, so the α–β fit is
+    // well-posed and must reconcile against the stamped profile.
+    assert!(insight.fits.iter().any(|f| f.collective == "allreduce" && !f.degenerate));
+    assert!(!insight.reconciliations.is_empty(), "header α–β must be reconciled");
+
+    // Determinism: analyzing the same ingested data again is byte-identical.
+    let again = analyze(&rd, "trace_demo");
+    assert_eq!(insight.text, again.text);
+    assert_eq!(insight.json, again.json);
+
+    // The JSON form parses and carries the gate verdicts.
+    let parsed = probe::json::parse(&insight.json).expect("BENCH_insight.json must be valid");
+    assert_eq!(parsed.get("all_pass"), Some(&probe::Json::Bool(true)));
+}

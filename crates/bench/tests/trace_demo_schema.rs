@@ -16,7 +16,10 @@ fn trace_demo_covers_every_layer_and_validates() {
     let report = run_trace_demo();
     assert!(!report.outcome.faults.is_clean(), "the demo must actually be faulty");
 
-    let events = probe::take_events();
+    let mut events = probe::take_events();
+    // Append what the file exporter would add (run-context header +
+    // per-family histograms) so the in-memory trace matches flush output.
+    events.extend(probe::trace_extras());
     let doc = probe::render_chrome_trace(&events);
     let summary = probe::validate_chrome_trace(&doc).expect("demo trace must be schema-valid");
 
@@ -33,8 +36,9 @@ fn trace_demo_covers_every_layer_and_validates() {
     assert!(summary.has_name("forward") && summary.has_name("backward"));
     assert!(summary.cats.contains("nn"));
 
-    // dist layer: all four round phases (the Fig.-4 bins).
-    for phase in ["compute", "encode", "comm", "decode"] {
+    // dist layer: all round phases (the Fig.-4 bins, comm named after its
+    // collective) plus the worker-side apply of the broadcast mean.
+    for phase in ["compute", "encode", "allreduce", "decode", "apply"] {
         assert!(
             events.iter().any(|e| e.phase == 'X' && e.cat == "dist" && e.name == phase),
             "dist round phase {phase:?} missing"
@@ -46,6 +50,11 @@ fn trace_demo_covers_every_layer_and_validates() {
     let fault_kinds: BTreeSet<&str> =
         events.iter().filter(|e| e.phase == 'i' && e.cat == "fault").map(|e| e.name).collect();
     assert!(fault_kinds.len() >= 3, "expected ≥3 distinct fault event types, got {fault_kinds:?}");
+
+    // Run-level metadata: the demo stamps a run_context header, and every
+    // span family accumulated a histogram record.
+    assert!(summary.has_name("run_context"), "run header missing from trace");
+    assert!(summary.has_name("histogram"), "span-family histograms missing from trace");
 
     probe::reset();
 }

@@ -70,6 +70,17 @@ pub fn round_comm_time(
     }
 }
 
+/// The trace span name of a collective's communication phase. The comm
+/// phase is named after the collective that priced it ("allreduce" /
+/// "allgather"), so per-collective latency histograms and α–β fits fall
+/// out of the span family directly.
+pub fn collective_span_name(aggregation: AggregationKind) -> &'static str {
+    match aggregation {
+        AggregationKind::AllReduce => "allreduce",
+        AggregationKind::AllGather => "allgather",
+    }
+}
+
 /// Accumulates an epoch breakdown from measured per-round quantities.
 #[derive(Debug, Default)]
 pub struct BreakdownAccumulator {
@@ -83,22 +94,34 @@ impl BreakdownAccumulator {
         Self::default()
     }
 
-    /// Records one synchronization round.
+    /// Records one synchronization round at global step `step`.
     pub fn record(
         &mut self,
+        step: usize,
         profile: &ClusterProfile,
         compressor: &dyn GradCompressor,
         compute: Duration,
         stats: &RoundStats,
     ) {
         let comm = round_comm_time(profile, compressor.aggregation(), stats);
-        self.record_with_comm(comm, compute, stats);
+        self.record_with_comm(step, compressor.aggregation(), profile.nodes, comm, compute, stats);
     }
 
     /// Records one round with an explicitly priced communication time —
     /// used by the trainer when the effective profile varies per round
-    /// (surviving member set, heterogeneous links, comm jitter).
-    pub fn record_with_comm(&mut self, comm: Duration, compute: Duration, stats: &RoundStats) {
+    /// (surviving member set, heterogeneous links, comm jitter). `nodes`
+    /// is the participant count the comm phase was priced at; together
+    /// with the byte counts on the collective span it makes the measured
+    /// α–β fit in `puffer-insight` well-posed.
+    pub fn record_with_comm(
+        &mut self,
+        step: usize,
+        aggregation: AggregationKind,
+        nodes: usize,
+        comm: Duration,
+        compute: Duration,
+        stats: &RoundStats,
+    ) {
         self.acc.compute += compute;
         self.acc.encode += stats.encode_time;
         self.acc.decode += stats.decode_time;
@@ -107,11 +130,23 @@ impl BreakdownAccumulator {
         if probe::enabled() {
             // Mirror the exact durations just accumulated onto the trace:
             // the Fig.-4 bins and the probe's span sums are the same
-            // numbers by construction, not two timing paths.
-            probe::emit_span("dist", "compute", compute, Vec::new());
-            probe::emit_span("dist", "encode", stats.encode_time, Vec::new());
-            probe::emit_span("dist", "comm", comm, vec![("bytes", stats.encoded_bytes.into())]);
-            probe::emit_span("dist", "decode", stats.decode_time, Vec::new());
+            // numbers by construction, not two timing paths. Every phase
+            // span carries its step so a round can be reassembled from the
+            // trace alone; the comm span is named after its collective.
+            probe::emit_span("dist", "compute", compute, vec![("step", step.into())]);
+            probe::emit_span("dist", "encode", stats.encode_time, vec![("step", step.into())]);
+            probe::emit_span(
+                "dist",
+                collective_span_name(aggregation),
+                comm,
+                vec![
+                    ("step", step.into()),
+                    ("nodes", nodes.into()),
+                    ("bytes", stats.encoded_bytes.into()),
+                    ("bytes_per_worker", stats.bytes_per_worker.into()),
+                ],
+            );
+            probe::emit_span("dist", "decode", stats.decode_time, vec![("step", step.into())]);
             probe::counter_add("dist.rounds", 1);
             probe::counter_add("dist.wire_bytes", stats.encoded_bytes as u64);
         }
@@ -119,11 +154,16 @@ impl BreakdownAccumulator {
 
     /// Records a step skipped by the non-finite-gradient guard: compute
     /// happened, but no round was played (see [`EpochBreakdown::total`]).
-    pub fn record_skipped(&mut self, compute: Duration) {
+    pub fn record_skipped(&mut self, step: usize, compute: Duration) {
         self.acc.compute += compute;
         self.acc.skipped_steps += 1;
         if probe::enabled() {
-            probe::emit_span("dist", "compute", compute, vec![("skipped", 1usize.into())]);
+            probe::emit_span(
+                "dist",
+                "compute",
+                compute,
+                vec![("step", step.into()), ("skipped", 1usize.into())],
+            );
             probe::counter_add("dist.skipped_steps", 1);
         }
     }
@@ -184,7 +224,7 @@ pub fn measure_sequential_epoch<M: Layer>(
             worker_grads.push(model.params().iter().map(|p| p.grad.clone()).collect());
         }
         let (mean, stats) = compressor.round(&worker_grads);
-        acc.record(profile, compressor, slowest, &stats);
+        acc.record(steps, profile, compressor, slowest, &stats);
         model.zero_grad();
         for (p, g) in model.params_mut().into_iter().zip(mean) {
             p.grad = g;
@@ -232,11 +272,11 @@ mod tests {
 
         let mut acc_v = BreakdownAccumulator::new();
         let (_, stats) = vanilla.round(&grads);
-        acc_v.record(&profile, &vanilla, Duration::from_millis(3), &stats);
+        acc_v.record(0, &profile, &vanilla, Duration::from_millis(3), &stats);
 
         let mut acc_s = BreakdownAccumulator::new();
         let (_, stats) = signum.round(&grads);
-        acc_s.record(&profile, &signum, Duration::from_millis(3), &stats);
+        acc_s.record(0, &profile, &signum, Duration::from_millis(3), &stats);
 
         // Signum moves 32× fewer bytes; on 4 nodes its comm must be smaller.
         assert!(acc_s.breakdown().comm < acc_v.breakdown().comm);

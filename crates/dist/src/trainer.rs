@@ -826,10 +826,14 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
                     break;
                 }
                 Ok(AggMsg::Mean { flat: mean, snapshot }) => {
+                    let ap = probe::timed_span_with("dist", "apply", || {
+                        vec![("worker", w.into()), ("step", step.into())]
+                    });
                     for (p, g) in model.params_mut().into_iter().zip(unpack(&mean, &layout)) {
                         p.grad = g;
                     }
                     opt.step(&mut model.params_mut());
+                    let _ = ap.finish();
                     if snapshot {
                         send_snapshot(step + 1, &model, &opt, &ctx.snap_tx);
                     }
@@ -1170,7 +1174,7 @@ where
                 "step_skipped",
                 vec![("step", step.into()), ("contributors", got.len().into())],
             );
-            acc.record_skipped(slowest);
+            acc.record_skipped(step, slowest);
             step_losses.push(loss_mean);
             probe::metrics_row(
                 "dist_step",
@@ -1214,7 +1218,7 @@ where
             None => (ClusterProfile { nodes: live_vec.len(), ..ctx.cfg.profile }, 1.0),
         };
         let comm = round_comm_time(&profile, compressor.aggregation(), &stats).mul_f64(jitter);
-        acc.record_with_comm(comm, slowest, &stats);
+        acc.record_with_comm(step, compressor.aggregation(), profile.nodes, comm, slowest, &stats);
         step_losses.push(loss_mean);
         probe::metrics_row(
             "dist_step",

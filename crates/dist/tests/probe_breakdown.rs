@@ -67,14 +67,23 @@ fn breakdown_equals_probe_span_sums_exactly() {
 
     let events = probe::take_events();
     let b = out.breakdown;
+    // The comm phase is named after its collective (NoCompression sums on
+    // an allreduce), so per-collective histograms and α–β fits fall out of
+    // the span family.
     assert_eq!(span_sum(&events, "compute"), b.compute, "compute spans ≠ breakdown.compute");
     assert_eq!(span_sum(&events, "encode"), b.encode, "encode spans ≠ breakdown.encode");
-    assert_eq!(span_sum(&events, "comm"), b.comm, "comm spans ≠ breakdown.comm");
+    assert_eq!(span_sum(&events, "allreduce"), b.comm, "allreduce spans ≠ breakdown.comm");
     assert_eq!(span_sum(&events, "decode"), b.decode, "decode spans ≠ breakdown.decode");
     // And therefore total() == the sum over all four phase span sums.
-    let phases = ["compute", "encode", "comm", "decode"];
+    let phases = ["compute", "encode", "allreduce", "decode"];
     let total: Duration = phases.iter().map(|p| span_sum(&events, p)).sum();
     assert_eq!(total, b.total(), "total() must equal the probe's phase span sum");
+    // Every phase span carries its step, so a round can be reassembled
+    // from the trace alone.
+    assert!(events
+        .iter()
+        .filter(|e| e.phase == 'X' && e.cat == "dist" && phases.contains(&e.name))
+        .all(|e| e.args.iter().any(|(k, _)| *k == "step")));
 
     // The skipped step's round played no encode/comm/decode: exactly one
     // compute span carries the skipped marker, and there is one fewer

@@ -1,0 +1,265 @@
+//! Measured α–β extraction and reconciliation against the analytic model.
+//!
+//! Every comm span carries `(nodes, bytes_per_worker, duration)`. Under
+//! the cost model (`puffer_dist::cost`), a collective's time is linear in
+//! α and β with closed-form coefficients:
+//!
+//! ```text
+//! allreduce: T = 2(p−1)·α + 2·((p−1)/p)·n·β      (ring)
+//! allgather: T = (p−1)·α + (p−1)·n·β
+//! ```
+//!
+//! so a per-collective least-squares fit over the observed
+//! `(coeff_α, coeff_β, T)` triples recovers the α and β the run actually
+//! exhibited. A run at a single `(p, n)` operating point is rank-deficient
+//! (all rows proportional) — the fit is flagged [`AlphaBetaFit::degenerate`]
+//! and pins α to 0, reporting only the effective per-byte rate. Elastic
+//! runs (a crash, a join) change `p` mid-run and make the system
+//! well-posed for free.
+//!
+//! [`reconcile`] then replays every round through the *configured*
+//! profile via [`ClusterProfile::allreduce`]/[`ClusterProfile::allgather`]
+//! — the same code the trainer priced with — and reports the relative
+//! error between modeled and measured comm. For a jitter-free run the two
+//! agree to clock quantization; per-round jitter widens it by at most the
+//! configured jitter fraction.
+
+use crate::rounds::Round;
+use puffer_dist::cost::ClusterProfile;
+
+/// The α and β coefficients of one observation: `T = cα·α + cβ·β`.
+#[must_use]
+pub fn coefficients(collective: &str, nodes: f64, bytes_per_worker: f64) -> Option<(f64, f64)> {
+    if nodes <= 1.0 {
+        return None;
+    }
+    match collective {
+        "allreduce" => {
+            Some((2.0 * (nodes - 1.0), 2.0 * ((nodes - 1.0) / nodes) * bytes_per_worker))
+        }
+        "allgather" => Some((nodes - 1.0, (nodes - 1.0) * bytes_per_worker)),
+        _ => None,
+    }
+}
+
+/// A per-collective least-squares α–β fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlphaBetaFit {
+    /// Collective the fit covers.
+    pub collective: String,
+    /// Observations used.
+    pub points: usize,
+    /// Fitted per-message latency α in seconds.
+    pub alpha: f64,
+    /// Fitted per-byte time β in seconds.
+    pub beta: f64,
+    /// Rank-deficient fit (single operating point): α pinned to 0, β is
+    /// the effective per-byte rate only.
+    pub degenerate: bool,
+    /// Largest relative residual `|model − T| / T` over the fit points.
+    pub max_rel_residual: f64,
+}
+
+/// Fits α–β per collective from the reconstructed rounds (skipped rounds
+/// and single-node rounds contribute nothing).
+#[must_use]
+pub fn fit_collectives(rounds: &[Round]) -> Vec<AlphaBetaFit> {
+    // (coeff_α, coeff_β, measured seconds) observations per collective.
+    type Obs = (f64, f64, f64);
+    let mut by_collective: Vec<(String, Vec<Obs>)> = Vec::new();
+    for r in rounds {
+        if r.skipped || r.comm_us <= 0.0 {
+            continue;
+        }
+        let Some(name) = &r.collective else { continue };
+        let Some((ca, cb)) = coefficients(name, r.nodes as f64, r.bytes_per_worker) else {
+            continue;
+        };
+        let t = r.comm_us * 1e-6;
+        match by_collective.iter_mut().find(|(n, _)| n == name) {
+            Some((_, pts)) => pts.push((ca, cb, t)),
+            None => by_collective.push((name.clone(), vec![(ca, cb, t)])),
+        }
+    }
+    by_collective
+        .into_iter()
+        .map(|(collective, pts)| {
+            let (mut scc, mut scd, mut sdd, mut sct, mut sdt) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for &(c, d, t) in &pts {
+                scc += c * c;
+                scd += c * d;
+                sdd += d * d;
+                sct += c * t;
+                sdt += d * t;
+            }
+            let det = scc * sdd - scd * scd;
+            let (alpha, beta, degenerate) = if det > 1e-9 * scc * sdd {
+                ((sct * sdd - sdt * scd) / det, (scc * sdt - scd * sct) / det, false)
+            } else if sdd > 0.0 {
+                // Rank-deficient: report the effective per-byte rate.
+                (0.0, sdt / sdd, true)
+            } else {
+                (0.0, 0.0, true)
+            };
+            let max_rel_residual = pts
+                .iter()
+                .map(|&(c, d, t)| (c * alpha + d * beta - t).abs() / t.max(1e-12))
+                .fold(0.0f64, f64::max);
+            AlphaBetaFit {
+                collective,
+                points: pts.len(),
+                alpha,
+                beta,
+                degenerate,
+                max_rel_residual,
+            }
+        })
+        .collect()
+}
+
+/// How the configured analytic model compares to the measured comm spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelReconciliation {
+    /// Collective reconciled.
+    pub collective: String,
+    /// Rounds replayed through the model.
+    pub rounds: usize,
+    /// Mean relative error `|model − measured| / measured`.
+    pub mean_rel_err: f64,
+    /// Worst-round relative error.
+    pub max_rel_err: f64,
+}
+
+/// Replays every round through the configured [`ClusterProfile`] (the
+/// analytic α–β model in `puffer_dist::cost`) and reports per-collective
+/// relative error against the measured comm spans. Returns an empty list
+/// when the run stamped no `alpha`/`beta` in its header.
+#[must_use]
+pub fn reconcile(rounds: &[Round], alpha: f64, beta: f64) -> Vec<ModelReconciliation> {
+    let mut out: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in rounds {
+        if r.skipped || r.comm_us <= 0.0 || r.nodes <= 1 {
+            continue;
+        }
+        let Some(name) = &r.collective else { continue };
+        let profile = ClusterProfile { alpha, beta, nodes: r.nodes as usize };
+        let bytes = r.bytes_per_worker as usize;
+        let model = match name.as_str() {
+            "allreduce" => profile.allreduce(bytes),
+            "allgather" => profile.allgather(bytes),
+            _ => continue,
+        };
+        let measured_s = r.comm_us * 1e-6;
+        let rel = (model.as_secs_f64() - measured_s).abs() / measured_s.max(1e-12);
+        match out.iter_mut().find(|(n, _)| n == name) {
+            Some((_, errs)) => errs.push(rel),
+            None => out.push((name.clone(), vec![rel])),
+        }
+    }
+    out.into_iter()
+        .map(|(collective, errs)| ModelReconciliation {
+            collective,
+            rounds: errs.len(),
+            mean_rel_err: errs.iter().sum::<f64>() / errs.len() as f64,
+            max_rel_err: errs.iter().copied().fold(0.0, f64::max),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounds::Bound;
+    use std::collections::BTreeMap;
+
+    /// A minimal round carrying only what the fitter reads.
+    fn comm_round(step: u64, nodes: u64, bytes_per_worker: f64, comm_us: f64) -> Round {
+        Round {
+            step,
+            nodes,
+            round_us: comm_us,
+            skipped: false,
+            worker_compute_us: BTreeMap::new(),
+            slowest_worker: None,
+            compute_us: 0.0,
+            encode_us: 0.0,
+            comm_us,
+            collective: Some("allreduce".to_string()),
+            bytes_per_worker,
+            bytes: bytes_per_worker * nodes as f64,
+            decode_us: 0.0,
+            apply_us: 0.0,
+            apply_worker: None,
+            faults: Vec::new(),
+            critical_path: Vec::new(),
+            bound: Bound::Comm,
+        }
+    }
+
+    fn model_us(alpha: f64, beta: f64, p: f64, n: f64) -> f64 {
+        (2.0 * (p - 1.0) * alpha + 2.0 * ((p - 1.0) / p) * n * beta) * 1e6
+    }
+
+    #[test]
+    fn two_operating_points_recover_alpha_beta_exactly() {
+        let (alpha, beta) = (50e-6, 8.0 / 10e9);
+        // Mix of p=4 and p=3 rounds at two message sizes — well-posed.
+        let rounds = vec![
+            comm_round(0, 4, 3344.0, model_us(alpha, beta, 4.0, 3344.0)),
+            comm_round(1, 4, 3344.0, model_us(alpha, beta, 4.0, 3344.0)),
+            comm_round(2, 3, 3344.0, model_us(alpha, beta, 3.0, 3344.0)),
+            comm_round(3, 3, 104.0, model_us(alpha, beta, 3.0, 104.0)),
+        ];
+        let fits = fit_collectives(&rounds);
+        assert_eq!(fits.len(), 1);
+        let f = &fits[0];
+        assert!(!f.degenerate);
+        assert_eq!(f.points, 4);
+        assert!((f.alpha - alpha).abs() / alpha < 1e-6, "alpha {} vs {alpha}", f.alpha);
+        assert!((f.beta - beta).abs() / beta < 1e-6, "beta {} vs {beta}", f.beta);
+        assert!(f.max_rel_residual < 1e-6);
+    }
+
+    #[test]
+    fn single_operating_point_is_flagged_degenerate() {
+        let rounds: Vec<Round> =
+            (0..5).map(|s| comm_round(s, 4, 1000.0, model_us(50e-6, 1e-9, 4.0, 1000.0))).collect();
+        let fits = fit_collectives(&rounds);
+        assert!(fits[0].degenerate, "one (p, n) point cannot separate α from β");
+        assert_eq!(fits[0].alpha, 0.0);
+        assert!(fits[0].beta > 0.0, "effective per-byte rate still reported");
+    }
+
+    #[test]
+    fn reconcile_agrees_with_the_generating_model() {
+        let (alpha, beta) = (50e-6, 8.0 / 10e9);
+        let rounds = vec![
+            comm_round(0, 4, 3344.0, model_us(alpha, beta, 4.0, 3344.0)),
+            comm_round(1, 3, 3344.0, model_us(alpha, beta, 3.0, 3344.0)),
+        ];
+        let recs = reconcile(&rounds, alpha, beta);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rounds, 2);
+        assert!(recs[0].max_rel_err < 1e-6, "max_rel_err {}", recs[0].max_rel_err);
+        // A mis-configured model is visibly off.
+        let wrong = reconcile(&rounds, alpha * 3.0, beta);
+        assert!(wrong[0].mean_rel_err > 0.1);
+    }
+
+    #[test]
+    fn coefficient_forms_match_cost_rs() {
+        // The fitter's closed forms must be the analytic model's.
+        // `ClusterProfile` returns a `Duration`, which quantizes to whole
+        // nanoseconds, so agree to within that rounding (0.5 ns).
+        let p = ClusterProfile { alpha: 2e-5, beta: 3e-10, nodes: 5 };
+        let n = 12_345usize;
+        let (ca, cb) = coefficients("allreduce", 5.0, n as f64).unwrap();
+        let t = ca * p.alpha + cb * p.beta;
+        assert!((t - p.allreduce(n).as_secs_f64()).abs() < 1e-9);
+        let (ca, cb) = coefficients("allgather", 5.0, n as f64).unwrap();
+        let t = ca * p.alpha + cb * p.beta;
+        assert!((t - p.allgather(n).as_secs_f64()).abs() < 1e-9);
+        assert!(coefficients("allreduce", 1.0, 10.0).is_none(), "p=1 is free, no fit point");
+        assert!(coefficients("broadcast", 4.0, 10.0).is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Parsing the probe's export formats back into structured run data.
+//!
+//! Both readers reuse `puffer_probe::json` — the same parser the probe
+//! uses to validate its own output — so the exporter and the analyzer
+//! cannot drift apart silently. A [`RunData`] can be assembled from a
+//! Chrome trace document, a JSONL metrics document, or both (fields
+//! merge; the trace wins on spans, the metrics file wins on rows).
+
+use puffer_probe::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// Parsed `args` of one record: key → raw JSON value.
+pub type Args = BTreeMap<String, Json>;
+
+/// One complete (`"X"`) span from a trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// Span name (e.g. `"worker_compute"`, `"allreduce"`).
+    pub name: String,
+    /// Category (e.g. `"dist"`).
+    pub cat: String,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Probe-local thread id.
+    pub tid: u64,
+    /// Parsed args.
+    pub args: Args,
+}
+
+/// One instant (`"i"`) event from a trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantRec {
+    /// Event name (e.g. `"straggler_delay"`).
+    pub name: String,
+    /// Category (e.g. `"fault"`).
+    pub cat: String,
+    /// Timestamp in microseconds.
+    pub ts_us: f64,
+    /// Probe-local thread id.
+    pub tid: u64,
+    /// Parsed args.
+    pub args: Args,
+}
+
+/// Everything a run exported, reassembled.
+#[derive(Debug, Clone, Default)]
+pub struct RunData {
+    /// The run-context header (`run_context` trace record and/or
+    /// `run_header` metrics row).
+    pub header: Args,
+    /// All complete spans.
+    pub spans: Vec<SpanRec>,
+    /// All instant events.
+    pub instants: Vec<InstantRec>,
+    /// Final value of every counter/gauge.
+    pub counters: BTreeMap<String, f64>,
+    /// Histogram summary records (`histogram` trace records and/or
+    /// `{"type":"hist"}` metrics rows).
+    pub hist_rows: Vec<Args>,
+    /// Non-header, non-hist, non-counters metrics rows (e.g. `dist_step`).
+    pub step_rows: Vec<Args>,
+    /// Probe thread id → thread name.
+    pub thread_names: BTreeMap<u64, String>,
+}
+
+/// Numeric field of a parsed args map.
+#[must_use]
+pub fn num(args: &Args, key: &str) -> Option<f64> {
+    args.get(key).and_then(Json::as_num)
+}
+
+/// String field of a parsed args map.
+#[must_use]
+pub fn str_field<'a>(args: &'a Args, key: &str) -> Option<&'a str> {
+    args.get(key).and_then(Json::as_str)
+}
+
+fn obj_to_args(v: &Json) -> Args {
+    match v {
+        Json::Obj(fields) => fields.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        _ => Args::new(),
+    }
+}
+
+/// Parses a Chrome trace-event JSON document.
+///
+/// # Errors
+///
+/// Returns a message if the document is not a JSON array of event
+/// objects.
+pub fn parse_trace(doc: &str) -> Result<RunData, String> {
+    let parsed = json::parse(doc)?;
+    let events = parsed.as_arr().ok_or("trace must be a JSON array")?;
+    let mut rd = RunData::default();
+    for ev in events {
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or_default().to_string();
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or_default();
+        let cat = ev.get("cat").and_then(Json::as_str).unwrap_or_default().to_string();
+        let ts_us = ev.get("ts").and_then(Json::as_num).unwrap_or(0.0);
+        let tid = ev.get("tid").and_then(Json::as_num).unwrap_or(0.0) as u64;
+        let args = ev.get("args").map(obj_to_args).unwrap_or_default();
+        match ph {
+            "X" => {
+                let dur_us = ev.get("dur").and_then(Json::as_num).unwrap_or(0.0);
+                rd.spans.push(SpanRec { name, cat, ts_us, dur_us, tid, args });
+            }
+            "i" => rd.instants.push(InstantRec { name, cat, ts_us, tid, args }),
+            "C" => {
+                // Counter samples arrive in time order; keep the last.
+                if let Some(v) = num(&args, "value") {
+                    rd.counters.insert(name, v);
+                }
+            }
+            "M" => match name.as_str() {
+                "thread_name" => {
+                    if let Some(n) = str_field(&args, "name") {
+                        rd.thread_names.insert(tid, n.to_string());
+                    }
+                }
+                "run_context" => rd.header.extend(args),
+                "histogram" => rd.hist_rows.push(args),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    Ok(rd)
+}
+
+/// Merges a JSONL metrics document into `rd`.
+///
+/// # Errors
+///
+/// Returns the parse error of the first malformed line.
+pub fn merge_metrics(rd: &mut RunData, doc: &str) -> Result<(), String> {
+    for (i, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = json::parse(line).map_err(|e| format!("metrics line {}: {e}", i + 1))?;
+        let args = obj_to_args(&row);
+        match str_field(&args, "type") {
+            Some("run_header") => {
+                rd.header.extend(args.into_iter().filter(|(k, _)| k != "type"));
+            }
+            Some("counters") => {
+                for (k, v) in &args {
+                    if k == "type" {
+                        continue;
+                    }
+                    if let Some(n) = v.as_num() {
+                        rd.counters.insert(k.clone(), n);
+                    }
+                }
+            }
+            Some("hist") => rd.hist_rows.push(args),
+            Some(_) => rd.step_rows.push(args),
+            None => return Err(format!("metrics line {}: row without a type", i + 1)),
+        }
+    }
+    Ok(())
+}
+
+/// Builds a [`RunData`] from a trace document and/or a metrics document.
+///
+/// # Errors
+///
+/// Propagates either parser's error; at least one document must be given.
+pub fn load(trace_doc: Option<&str>, metrics_doc: Option<&str>) -> Result<RunData, String> {
+    let mut rd = match trace_doc {
+        Some(doc) => parse_trace(doc)?,
+        None => RunData::default(),
+    };
+    if let Some(doc) = metrics_doc {
+        merge_metrics(&mut rd, doc)?;
+    }
+    if trace_doc.is_none() && metrics_doc.is_none() {
+        return Err("no input: need a trace and/or a metrics document".to_string());
+    }
+    Ok(rd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = r#"[
+{"name":"run_context","ph":"M","pid":1,"tid":0,"ts":0,"args":{"seed":17,"workers":2}},
+{"name":"thread_name","ph":"M","pid":1,"tid":3,"ts":0,"args":{"name":"agg"}},
+{"name":"worker_compute","cat":"dist","ph":"X","pid":1,"tid":3,"ts":10.0,"dur":120.5,"args":{"worker":1,"step":0}},
+{"name":"straggler_delay","cat":"fault","ph":"i","pid":1,"tid":3,"ts":140,"s":"t","args":{"worker":1,"step":0,"delay_us":90}},
+{"name":"dist.rounds","cat":"metric","ph":"C","pid":1,"tid":3,"ts":150,"args":{"value":1}},
+{"name":"dist.rounds","cat":"metric","ph":"C","pid":1,"tid":3,"ts":160,"args":{"value":2}},
+{"name":"histogram","ph":"M","pid":1,"tid":3,"ts":170,"args":{"cat":"dist","name":"round","count":2,"p50_ns":1000}}
+]"#;
+
+    #[test]
+    fn trace_round_trips_all_record_kinds() {
+        let rd = parse_trace(TRACE).unwrap();
+        assert_eq!(num(&rd.header, "seed"), Some(17.0));
+        assert_eq!(rd.spans.len(), 1);
+        let sp = &rd.spans[0];
+        assert_eq!((sp.name.as_str(), sp.cat.as_str(), sp.tid), ("worker_compute", "dist", 3));
+        assert_eq!(sp.dur_us, 120.5);
+        assert_eq!(num(&sp.args, "worker"), Some(1.0));
+        assert_eq!(rd.instants.len(), 1);
+        assert_eq!(num(&rd.instants[0].args, "delay_us"), Some(90.0));
+        assert_eq!(rd.counters.get("dist.rounds"), Some(&2.0), "last counter sample wins");
+        assert_eq!(rd.hist_rows.len(), 1);
+        assert_eq!(str_field(&rd.hist_rows[0], "name"), Some("round"));
+        assert_eq!(rd.thread_names.get(&3).map(String::as_str), Some("agg"));
+    }
+
+    #[test]
+    fn metrics_rows_merge_by_type() {
+        let metrics = concat!(
+            "{\"type\":\"run_header\",\"scheme\":\"none\",\"seed\":18}\n",
+            "{\"type\":\"dist_step\",\"t_us\":5,\"step\":0,\"loss\":1.25}\n",
+            "{\"type\":\"counters\",\"dist.rounds\":6}\n",
+            "{\"type\":\"hist\",\"cat\":\"dist\",\"name\":\"round\",\"count\":6,\"p50_ns\":2000}\n",
+        );
+        let mut rd = parse_trace(TRACE).unwrap();
+        merge_metrics(&mut rd, metrics).unwrap();
+        // The metrics header merges over the trace header (seed 17 → 18).
+        assert_eq!(num(&rd.header, "seed"), Some(18.0));
+        assert_eq!(str_field(&rd.header, "scheme"), Some("none"));
+        assert_eq!(rd.counters.get("dist.rounds"), Some(&6.0));
+        assert_eq!(rd.step_rows.len(), 1);
+        assert_eq!(rd.hist_rows.len(), 2);
+    }
+
+    #[test]
+    fn load_requires_some_input_and_rejects_garbage() {
+        assert!(load(None, None).is_err());
+        assert!(parse_trace("{\"not\":\"an array\"}").is_err());
+        let mut rd = RunData::default();
+        assert!(merge_metrics(&mut rd, "{\"no_type\":1}\n").is_err());
+        assert!(merge_metrics(&mut rd, "not json\n").is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Per-round reconstruction: span trees, critical paths, and
+//! compute/comm/straggler bound classification.
+//!
+//! The dist trainer stamps every phase span with its `step`, the comm
+//! span with its collective name and `(nodes, bytes)` and each
+//! `worker_compute` span with its worker id, so a full synchronous round
+//! can be reassembled from the trace alone:
+//!
+//! ```text
+//! round(step) = compute(slowest worker) → encode → allreduce → decode → apply
+//! ```
+//!
+//! The **critical path** of a round is that chain with the slowest worker
+//! identified by its measured compute *plus* any injected straggler delay
+//! (the `straggler_delay` fault event carries `delay_us`; the trainer
+//! sleeps it *after* closing the compute span, so the analyzer re-adds it
+//! exactly as the aggregator's `slowest = max(compute)` saw it).
+//!
+//! The **bound rule** (documented in DESIGN.md §12):
+//! 1. a skipped round (non-finite guard) is `Skipped` — no round played;
+//! 2. else, if ≥2 workers reported and the slowest exceeds
+//!    [`STRAGGLER_FACTOR`] × the median, the round is `Straggler` —
+//!    the cluster is not network-bound, one machine is;
+//! 3. else, if modeled comm ≥ the compute phase, the round is `Comm`;
+//! 4. else `Compute`.
+
+use crate::ingest::{num, RunData};
+use std::collections::BTreeMap;
+
+/// A round is straggler-bound when its slowest worker exceeds this factor
+/// times the median worker compute.
+pub const STRAGGLER_FACTOR: f64 = 1.5;
+
+/// What dominates a round's wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Gradient computation dominates.
+    Compute,
+    /// The collective (α–β modeled wire time) dominates.
+    Comm,
+    /// One worker's outlier compute dominates (slowdown fault or skew).
+    Straggler,
+    /// The non-finite guard skipped the round; only compute was paid.
+    Skipped,
+}
+
+impl Bound {
+    /// Lower-case label used in reports and JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Bound::Compute => "compute",
+            Bound::Comm => "comm",
+            Bound::Straggler => "straggler",
+            Bound::Skipped => "skipped",
+        }
+    }
+}
+
+/// One link of a round's critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// Phase name (`"compute"`, `"encode"`, `"allreduce"`, ...).
+    pub phase: String,
+    /// The worker the phase ran on (`None` for aggregator-side phases).
+    pub worker: Option<u64>,
+    /// Phase duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// One reconstructed synchronization round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Round {
+    /// Global step index.
+    pub step: u64,
+    /// Participant count the comm phase was priced at.
+    pub nodes: u64,
+    /// Aggregator-side wall-clock of the whole round (µs).
+    pub round_us: f64,
+    /// Whether the non-finite guard skipped this round.
+    pub skipped: bool,
+    /// Per-worker compute (µs), straggler delay included.
+    pub worker_compute_us: BTreeMap<u64, f64>,
+    /// The worker on the critical path (slowest compute), if workers
+    /// reported.
+    pub slowest_worker: Option<u64>,
+    /// The round's compute phase: the aggregator's `max(compute)` (µs).
+    pub compute_us: f64,
+    /// Encode phase (µs).
+    pub encode_us: f64,
+    /// Modeled collective time (µs).
+    pub comm_us: f64,
+    /// Collective that priced the comm phase (`"allreduce"`/`"allgather"`).
+    pub collective: Option<String>,
+    /// Bytes each worker put on the wire.
+    pub bytes_per_worker: f64,
+    /// Total encoded bytes across workers.
+    pub bytes: f64,
+    /// Decode phase (µs).
+    pub decode_us: f64,
+    /// Slowest worker-side apply of the broadcast mean (µs).
+    pub apply_us: f64,
+    /// The worker with the slowest apply.
+    pub apply_worker: Option<u64>,
+    /// Fault event names attributed to this step (sorted, deduplicated).
+    pub faults: Vec<String>,
+    /// The compute→encode→collective→decode→apply chain, slowest owners
+    /// attributed.
+    pub critical_path: Vec<PathSegment>,
+    /// Bound classification (see the module docs for the rule).
+    pub bound: Bound,
+}
+
+impl Round {
+    /// The longest segment of the critical path.
+    #[must_use]
+    pub fn critical_phase(&self) -> Option<&PathSegment> {
+        self.critical_path
+            .iter()
+            .max_by(|a, b| a.dur_us.partial_cmp(&b.dur_us).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    nodes: Option<u64>,
+    round_us: f64,
+    skipped: bool,
+    worker_compute_us: BTreeMap<u64, f64>,
+    compute_us: f64,
+    encode_us: f64,
+    comm_us: f64,
+    collective: Option<String>,
+    bytes_per_worker: f64,
+    bytes: f64,
+    decode_us: f64,
+    apply: BTreeMap<u64, f64>,
+    faults: Vec<String>,
+}
+
+/// Lower median: for an even count this takes the lower of the two middle
+/// elements, so a 2-worker round can still flag its slower half as the
+/// straggler (the upper median would equal the slowest and the rule could
+/// never fire).
+fn median_of(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Reconstructs every round recorded in `rd`, sorted by step.
+#[must_use]
+pub fn extract_rounds(rd: &RunData) -> Vec<Round> {
+    let mut builders: BTreeMap<u64, Builder> = BTreeMap::new();
+    for sp in &rd.spans {
+        if sp.cat != "dist" {
+            continue;
+        }
+        let Some(step) = num(&sp.args, "step").map(|s| s as u64) else {
+            continue;
+        };
+        let b = builders.entry(step).or_default();
+        match sp.name.as_str() {
+            "round" => {
+                b.round_us = sp.dur_us;
+                if let Some(live) = num(&sp.args, "live") {
+                    b.nodes.get_or_insert(live as u64);
+                }
+            }
+            "worker_compute" => {
+                if let Some(w) = num(&sp.args, "worker") {
+                    *b.worker_compute_us.entry(w as u64).or_insert(0.0) += sp.dur_us;
+                }
+            }
+            "compute" => {
+                b.compute_us = sp.dur_us;
+                if num(&sp.args, "skipped").is_some() {
+                    b.skipped = true;
+                }
+            }
+            "encode" => b.encode_us = sp.dur_us,
+            "decode" => b.decode_us = sp.dur_us,
+            "apply" => {
+                if let Some(w) = num(&sp.args, "worker") {
+                    *b.apply.entry(w as u64).or_insert(0.0) += sp.dur_us;
+                }
+            }
+            "allreduce" | "allgather" => {
+                b.comm_us = sp.dur_us;
+                b.collective = Some(sp.name.clone());
+                b.bytes_per_worker = num(&sp.args, "bytes_per_worker").unwrap_or(0.0);
+                b.bytes = num(&sp.args, "bytes").unwrap_or(0.0);
+                if let Some(n) = num(&sp.args, "nodes") {
+                    b.nodes = Some(n as u64);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Straggler delays happen after the worker_compute span closes; re-add
+    // them so the analyzer sees the same per-worker totals the aggregator
+    // timed. Then attach every fault event to its step.
+    for inst in &rd.instants {
+        if inst.cat != "fault" {
+            continue;
+        }
+        let Some(step) = num(&inst.args, "step").map(|s| s as u64) else {
+            continue;
+        };
+        let Some(b) = builders.get_mut(&step) else {
+            continue;
+        };
+        if inst.name == "straggler_delay" {
+            if let (Some(w), Some(d)) = (num(&inst.args, "worker"), num(&inst.args, "delay_us")) {
+                *b.worker_compute_us.entry(w as u64).or_insert(0.0) += d;
+            }
+        }
+        if !b.faults.contains(&inst.name) {
+            b.faults.push(inst.name.clone());
+        }
+    }
+
+    builders
+        .into_iter()
+        .map(|(step, b)| {
+            let slowest_worker = b
+                .worker_compute_us
+                .iter()
+                .max_by(|a, c| a.1.partial_cmp(c.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(w, _)| *w);
+            let apply_worker = b
+                .apply
+                .iter()
+                .max_by(|a, c| a.1.partial_cmp(c.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(w, _)| *w);
+            let apply_us = apply_worker.and_then(|w| b.apply.get(&w)).copied().unwrap_or(0.0);
+            let mut faults = b.faults;
+            faults.sort();
+
+            let bound = if b.skipped {
+                Bound::Skipped
+            } else {
+                let mut computes: Vec<f64> = b.worker_compute_us.values().copied().collect();
+                computes.sort_by(|a, c| a.partial_cmp(c).unwrap_or(std::cmp::Ordering::Equal));
+                let median = median_of(&computes);
+                let slowest = computes.last().copied().unwrap_or(0.0);
+                if computes.len() >= 2 && median > 0.0 && slowest > STRAGGLER_FACTOR * median {
+                    Bound::Straggler
+                } else if b.comm_us >= b.compute_us {
+                    Bound::Comm
+                } else {
+                    Bound::Compute
+                }
+            };
+
+            let mut critical_path = vec![PathSegment {
+                phase: "compute".to_string(),
+                worker: slowest_worker,
+                dur_us: b.compute_us,
+            }];
+            if !b.skipped {
+                critical_path.push(PathSegment {
+                    phase: "encode".to_string(),
+                    worker: None,
+                    dur_us: b.encode_us,
+                });
+                critical_path.push(PathSegment {
+                    phase: b.collective.clone().unwrap_or_else(|| "comm".to_string()),
+                    worker: None,
+                    dur_us: b.comm_us,
+                });
+                critical_path.push(PathSegment {
+                    phase: "decode".to_string(),
+                    worker: None,
+                    dur_us: b.decode_us,
+                });
+                if apply_worker.is_some() {
+                    critical_path.push(PathSegment {
+                        phase: "apply".to_string(),
+                        worker: apply_worker,
+                        dur_us: apply_us,
+                    });
+                }
+            }
+
+            Round {
+                step,
+                nodes: b.nodes.unwrap_or(b.worker_compute_us.len() as u64),
+                round_us: b.round_us,
+                skipped: b.skipped,
+                worker_compute_us: b.worker_compute_us,
+                slowest_worker,
+                compute_us: b.compute_us,
+                encode_us: b.encode_us,
+                comm_us: b.comm_us,
+                collective: b.collective,
+                bytes_per_worker: b.bytes_per_worker,
+                bytes: b.bytes,
+                decode_us: b.decode_us,
+                apply_us,
+                apply_worker,
+                faults,
+                critical_path,
+                bound,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{Args, SpanRec};
+    use puffer_probe::json::Json;
+
+    fn args(pairs: &[(&str, f64)]) -> Args {
+        pairs.iter().map(|(k, v)| ((*k).to_string(), Json::Num(*v))).collect()
+    }
+
+    fn span(name: &str, dur_us: f64, a: Args) -> SpanRec {
+        SpanRec {
+            name: name.to_string(),
+            cat: "dist".to_string(),
+            ts_us: 0.0,
+            dur_us,
+            tid: 1,
+            args: a,
+        }
+    }
+
+    fn round_spans(step: f64, computes: &[f64], comm: f64) -> Vec<SpanRec> {
+        let mut spans =
+            vec![span("round", 1000.0, args(&[("step", step), ("live", computes.len() as f64)]))];
+        let mut slowest = 0.0f64;
+        for (w, &c) in computes.iter().enumerate() {
+            spans.push(span("worker_compute", c, args(&[("worker", w as f64), ("step", step)])));
+            slowest = slowest.max(c);
+        }
+        spans.push(span("compute", slowest, args(&[("step", step)])));
+        spans.push(span("encode", 5.0, args(&[("step", step)])));
+        spans.push(span(
+            "allreduce",
+            comm,
+            args(&[
+                ("step", step),
+                ("nodes", computes.len() as f64),
+                ("bytes", 4000.0),
+                ("bytes_per_worker", 1000.0),
+            ]),
+        ));
+        spans.push(span("decode", 4.0, args(&[("step", step)])));
+        for w in 0..computes.len() {
+            spans.push(span(
+                "apply",
+                2.0 + w as f64,
+                args(&[("worker", w as f64), ("step", step)]),
+            ));
+        }
+        spans
+    }
+
+    #[test]
+    fn classifies_compute_comm_and_straggler_rounds() {
+        let mut rd = RunData::default();
+        // step 0: balanced compute 100µs each, comm 20µs → compute-bound.
+        rd.spans.extend(round_spans(0.0, &[100.0, 100.0, 100.0, 100.0], 20.0));
+        // step 1: balanced compute 50µs, comm 300µs → comm-bound.
+        rd.spans.extend(round_spans(1.0, &[50.0, 50.0, 50.0, 50.0], 300.0));
+        // step 2: worker 2 at 5× the median → straggler-bound.
+        rd.spans.extend(round_spans(2.0, &[100.0, 100.0, 500.0, 100.0], 300.0));
+        let rounds = extract_rounds(&rd);
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(rounds[0].bound, Bound::Compute);
+        assert_eq!(rounds[1].bound, Bound::Comm);
+        assert_eq!(rounds[2].bound, Bound::Straggler);
+        assert_eq!(rounds[2].slowest_worker, Some(2));
+        assert_eq!(rounds[0].nodes, 4);
+        assert_eq!(rounds[0].collective.as_deref(), Some("allreduce"));
+        // Critical phase: compute at step 0, the collective at step 1.
+        assert_eq!(rounds[0].critical_phase().unwrap().phase, "compute");
+        assert_eq!(rounds[1].critical_phase().unwrap().phase, "allreduce");
+        // The critical path chain covers all five phases with owners.
+        let phases: Vec<&str> = rounds[0].critical_path.iter().map(|s| s.phase.as_str()).collect();
+        assert_eq!(phases, vec!["compute", "encode", "allreduce", "decode", "apply"]);
+        assert_eq!(rounds[0].critical_path[0].worker, rounds[0].slowest_worker);
+        assert_eq!(rounds[0].apply_worker, Some(3), "slowest apply owner attributed");
+    }
+
+    #[test]
+    fn straggler_delay_events_are_readded_to_worker_compute() {
+        let mut rd = RunData::default();
+        // Worker 1's span measured 100µs but a 150µs injected delay makes
+        // it the 2.5× straggler the aggregator actually waited for.
+        rd.spans.extend(round_spans(0.0, &[100.0, 100.0], 50.0));
+        rd.instants.push(crate::ingest::InstantRec {
+            name: "straggler_delay".to_string(),
+            cat: "fault".to_string(),
+            ts_us: 0.0,
+            tid: 1,
+            args: args(&[("worker", 1.0), ("step", 0.0), ("delay_us", 150.0)]),
+        });
+        let rounds = extract_rounds(&rd);
+        assert_eq!(rounds[0].worker_compute_us[&1], 250.0);
+        assert_eq!(rounds[0].bound, Bound::Straggler);
+        assert_eq!(rounds[0].slowest_worker, Some(1));
+        assert_eq!(rounds[0].faults, vec!["straggler_delay".to_string()]);
+    }
+
+    #[test]
+    fn skipped_rounds_short_circuit() {
+        let mut rd = RunData::default();
+        rd.spans.push(span("round", 100.0, args(&[("step", 0.0), ("live", 2.0)])));
+        rd.spans.push(span("compute", 80.0, args(&[("step", 0.0), ("skipped", 1.0)])));
+        let rounds = extract_rounds(&rd);
+        assert_eq!(rounds[0].bound, Bound::Skipped);
+        assert!(rounds[0].skipped);
+        assert_eq!(rounds[0].critical_path.len(), 1, "skipped rounds end at compute");
+    }
+}

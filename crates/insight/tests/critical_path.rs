@@ -1,0 +1,170 @@
+//! End-to-end: hand-built probe `TraceEvent`s → `render_chrome_trace` →
+//! insight ingest → round reconstruction, critical-path attribution, and
+//! α–β recovery. Exercises the exact byte path a real run takes through
+//! the exporter, not a synthetic JSON fixture.
+
+use puffer_insight::alphabeta::fit_collectives;
+use puffer_insight::ingest::parse_trace;
+use puffer_insight::{extract_rounds, Bound};
+use puffer_probe::export::render_chrome_trace;
+use puffer_probe::{ArgValue, TraceEvent};
+use std::time::Duration;
+
+fn ev(
+    phase: char,
+    name: &'static str,
+    cat: &'static str,
+    ts_us: u64,
+    dur_us: f64,
+    tid: u64,
+    args: Vec<(&'static str, ArgValue)>,
+) -> TraceEvent {
+    TraceEvent {
+        phase,
+        name,
+        cat,
+        ts: Duration::from_micros(ts_us),
+        dur: Duration::from_secs_f64(dur_us * 1e-6),
+        tid,
+        args,
+    }
+}
+
+/// One full synchronous round's spans, `base_us` apart per phase.
+///
+/// `computes` are the workers' *measured* spans; `stall_us` is extra time
+/// the aggregator waited beyond the slowest measured span (an injected
+/// straggler delay sleeps after the compute span closes, so it shows up
+/// in the aggregator-side phases but not in any worker's own span).
+#[allow(clippy::too_many_arguments)]
+fn round_events(
+    step: u64,
+    computes: &[f64],
+    stall_us: f64,
+    comm_us: f64,
+    nodes: u64,
+    bytes_per_worker: u64,
+    out: &mut Vec<TraceEvent>,
+) {
+    let base = step * 10_000;
+    let slowest = computes.iter().copied().fold(0.0f64, f64::max) + stall_us;
+    let total_us = slowest + 10.0 + comm_us + 8.0;
+    out.push(ev(
+        'X',
+        "round",
+        "dist",
+        base,
+        total_us,
+        9,
+        vec![("step", step.into()), ("epoch", 0u64.into()), ("live", nodes.into())],
+    ));
+    for (w, &c) in computes.iter().enumerate() {
+        out.push(ev(
+            'X',
+            "worker_compute",
+            "dist",
+            base,
+            c,
+            1 + w as u64,
+            vec![("worker", (w as u64).into()), ("step", step.into())],
+        ));
+    }
+    out.push(ev('X', "compute", "dist", base, slowest, 9, vec![("step", step.into())]));
+    out.push(ev('X', "encode", "dist", base + 3000, 6.0, 9, vec![("step", step.into())]));
+    out.push(ev(
+        'X',
+        "allreduce",
+        "dist",
+        base + 3100,
+        comm_us,
+        9,
+        vec![
+            ("step", step.into()),
+            ("nodes", nodes.into()),
+            ("bytes", (bytes_per_worker * nodes).into()),
+            ("bytes_per_worker", bytes_per_worker.into()),
+        ],
+    ));
+    out.push(ev('X', "decode", "dist", base + 4000, 4.0, 9, vec![("step", step.into())]));
+    for w in 0..computes.len() {
+        out.push(ev(
+            'X',
+            "apply",
+            "dist",
+            base + 4100,
+            3.0 + w as f64,
+            1 + w as u64,
+            vec![("worker", (w as u64).into()), ("step", step.into())],
+        ));
+    }
+}
+
+#[test]
+fn critical_path_and_bounds_survive_the_exporter_round_trip() {
+    let mut events = Vec::new();
+    // step 0: comm-bound (balanced 80µs compute, 300µs collective).
+    round_events(0, &[80.0, 78.0, 79.0, 80.0], 0.0, 300.0, 4, 3344, &mut events);
+    // step 1: straggler — worker 2's measured span is only 80µs but a
+    // 400µs injected delay makes it what the aggregator waited for.
+    round_events(1, &[80.0, 78.0, 80.0, 80.0], 400.0, 300.0, 4, 3344, &mut events);
+    events.push(ev(
+        'i',
+        "straggler_delay",
+        "fault",
+        14_000,
+        0.0,
+        3,
+        vec![("worker", 2u64.into()), ("step", 1u64.into()), ("delay_us", 400u64.into())],
+    ));
+    // step 2: compute-bound (one slow balanced phase, cheap collective).
+    round_events(2, &[900.0, 890.0, 895.0, 900.0], 0.0, 120.0, 4, 3344, &mut events);
+
+    let doc = render_chrome_trace(&events);
+    let rd = parse_trace(&doc).expect("exporter output must re-ingest");
+    let rounds = extract_rounds(&rd);
+    assert_eq!(rounds.len(), 3);
+
+    assert_eq!(rounds[0].bound, Bound::Comm);
+    assert_eq!(rounds[0].critical_phase().unwrap().phase, "allreduce");
+    assert_eq!(rounds[0].nodes, 4);
+
+    assert_eq!(rounds[1].bound, Bound::Straggler);
+    assert_eq!(rounds[1].slowest_worker, Some(2), "the delayed worker owns the critical path");
+    assert_eq!(rounds[1].faults, vec!["straggler_delay".to_string()]);
+    assert!((rounds[1].worker_compute_us[&2] - 480.0).abs() < 0.5, "delay re-added");
+
+    assert_eq!(rounds[2].bound, Bound::Compute);
+    let cp = &rounds[2].critical_path;
+    let phases: Vec<&str> = cp.iter().map(|s| s.phase.as_str()).collect();
+    assert_eq!(phases, vec!["compute", "encode", "allreduce", "decode", "apply"]);
+    assert_eq!(cp[0].worker, rounds[2].slowest_worker);
+    assert_eq!(cp.last().unwrap().worker, Some(3), "slowest apply attributed");
+}
+
+#[test]
+fn alpha_beta_recovery_survives_the_exporter_round_trip() {
+    let (alpha, beta) = (50e-6, 8.0 / 10e9);
+    let model_us = |p: f64, n: f64| -> f64 {
+        (2.0 * (p - 1.0) * alpha + 2.0 * ((p - 1.0) / p) * n * beta) * 1e6
+    };
+    let mut events = Vec::new();
+    // Two node counts and two message sizes: a well-posed system.
+    round_events(0, &[50.0; 4], 0.0, model_us(4.0, 3344.0), 4, 3344, &mut events);
+    round_events(1, &[50.0; 4], 0.0, model_us(4.0, 3344.0), 4, 3344, &mut events);
+    round_events(2, &[50.0; 3], 0.0, model_us(3.0, 3344.0), 3, 3344, &mut events);
+    round_events(3, &[50.0; 3], 0.0, model_us(3.0, 104.0), 3, 104, &mut events);
+
+    let doc = render_chrome_trace(&events);
+    let rd = parse_trace(&doc).expect("exporter output must re-ingest");
+    let rounds = extract_rounds(&rd);
+    let fits = fit_collectives(&rounds);
+    assert_eq!(fits.len(), 1);
+    let f = &fits[0];
+    assert_eq!(f.collective, "allreduce");
+    assert!(!f.degenerate, "two (p, n) operating points separate α from β");
+    // Export quantizes durations to Chrome's microsecond floats; recovery
+    // is exact to well inside that quantization.
+    assert!((f.alpha - alpha).abs() / alpha < 1e-3, "alpha {} vs {alpha}", f.alpha);
+    assert!((f.beta - beta).abs() / beta < 1e-3, "beta {} vs {beta}", f.beta);
+    assert!(f.max_rel_residual < 1e-3);
+}

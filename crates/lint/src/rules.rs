@@ -13,6 +13,7 @@
 //! | `no-vec-alloc-in-kernel` | tensor kernel modules, non-test | kernel scratch comes from `workspace`, not `vec![x; n]`/`Vec::with_capacity` |
 //! | `simd-needs-feature-gate` | workspace, non-test | `_mm*` intrinsic calls live in `#[target_feature]` fns, in a file with an `is_x86_feature_detected!` gate |
 //! | `dist-pool-width-via-membership` | `crates/dist/src` minus `membership.rs`, non-test | pool width changes only through `membership::PoolWidthGuard` |
+//! | `no-raw-percentile-math` | workspace minus `crates/probe`/`crates/insight`, non-test | percentile/median helpers live in the probe's `Histogram` and puffer-insight, not re-derived ad hoc |
 //!
 //! # Suppression
 //!
@@ -91,6 +92,12 @@ pub const RULES: &[RuleInfo] = &[
         description: "no direct pool::set_num_threads in crates/dist non-test code outside the \
                       membership module (pool width follows the active member set; go through \
                       membership::PoolWidthGuard)",
+    },
+    RuleInfo {
+        name: "no-raw-percentile-math",
+        description: "no ad-hoc median/percentile/pNN helper fns outside crates/probe and \
+                      crates/insight (summarize through puffer_probe::Histogram so every \
+                      quantile in the repo means the same thing)",
     },
 ];
 
@@ -210,6 +217,9 @@ pub fn check_tokens(ctx: &FileContext<'_>, enabled: &dyn Fn(&str) -> bool) -> Ve
     }
     if enabled("dist-pool-width-via-membership") {
         dist_pool_width_via_membership(ctx, &mut out);
+    }
+    if enabled("no-raw-percentile-math") {
+        no_raw_percentile_math(ctx, &mut out);
     }
     out
 }
@@ -549,6 +559,50 @@ fn dist_pool_width_via_membership(ctx: &FileContext<'_>, out: &mut Vec<Diagnosti
     }
 }
 
+/// Whether a function name claims to compute a quantile: the generic
+/// statistics names, or `p` followed by two or more digits (`p50`,
+/// `p999`). Compound names like `p50_seconds` are fine — they *consume* a
+/// quantile primitive rather than re-deriving one — and single-digit
+/// names like `p3` are presets (`ClusterProfile::p3`), not percentiles.
+fn is_percentile_fn_name(name: &str) -> bool {
+    matches!(name, "median" | "percentile" | "percentiles" | "quantile" | "quantiles")
+        || name
+            .strip_prefix('p')
+            .is_some_and(|rest| rest.len() >= 2 && rest.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn no_raw_percentile_math(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    // The probe's Histogram is the one quantile implementation and
+    // puffer-insight is its one consumer-side aggregator; everywhere else
+    // a hand-rolled sort-and-index median silently disagrees with the
+    // exported summaries.
+    if ctx.is_test_file
+        || ctx.rel_path.contains("crates/probe/")
+        || ctx.rel_path.contains("crates/insight/")
+    {
+        return;
+    }
+    for (i, tok, in_test) in code_tokens(ctx) {
+        if in_test || tok.kind != TokenKind::Ident || tok.text != "fn" {
+            continue;
+        }
+        let Some(name) = next_code(ctx, i) else { continue };
+        if name.kind == TokenKind::Ident && is_percentile_fn_name(&name.text) {
+            ctx.diag(
+                "no-raw-percentile-math",
+                name,
+                format!(
+                    "`fn {}` re-derives a quantile outside crates/probe//crates/insight; \
+                     record into puffer_probe::Histogram (or its hist_record registry) and \
+                     read p50/p90/p99 from it so all percentiles share one definition",
+                    name.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,6 +839,43 @@ fn f(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }";
         let allowed = "// lint:allow(dist-pool-width-via-membership) — startup pinning\n\
                        fn f() { pool::set_num_threads(1); }";
         assert!(run("crates/dist/src/trainer.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn percentile_fns_flagged_outside_probe_and_insight() {
+        let src =
+            "fn median(mut xs: Vec<f64>) -> f64 { xs.sort_by(f64::total_cmp); xs[xs.len() / 2] }";
+        let diags = run("crates/bench/src/bin/soak.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].0, "no-raw-percentile-math");
+        // The two crates that own quantile math are exempt…
+        assert!(run("crates/probe/src/hist.rs", src).is_empty());
+        assert!(run("crates/insight/src/report.rs", src).is_empty());
+        // …and so are test/bench files.
+        assert!(run("crates/bench/tests/soak_gates.rs", src).is_empty());
+        let p99 = "fn p99(xs: &[f64]) -> f64 { xs[xs.len() * 99 / 100] }";
+        assert_eq!(run("crates/dist/src/trainer.rs", p99).len(), 1);
+    }
+
+    #[test]
+    fn percentile_rule_spares_consumers_and_honors_suppression() {
+        // Compound names consume a quantile, they don't re-derive one.
+        let consumer = "fn p50_seconds(xs: &[f64]) -> f64 { hist(xs).p50() as f64 / 1e9 }";
+        assert!(run("crates/bench/src/bin/soak.rs", consumer).is_empty());
+        // Calls and variables named median are fine — only `fn` defs claim
+        // to implement the math.
+        let call = "fn f(h: &Histogram) { let median = h.p50(); report(median); }";
+        assert!(run("crates/bench/src/lib.rs", call).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn median(xs: &[f64]) -> f64 { xs[0] }\n}";
+        assert!(run("crates/bench/src/lib.rs", in_test).is_empty());
+        let allowed = "// lint:allow(no-raw-percentile-math) — exact median needed here\n\
+                       fn median(xs: &mut [f64]) -> f64 { xs[0] }";
+        assert!(run("crates/bench/src/lib.rs", allowed).is_empty());
+        assert!(is_percentile_fn_name("p999"));
+        assert!(!is_percentile_fn_name("p"));
+        assert!(!is_percentile_fn_name("p3"), "ClusterProfile::p3 is a preset, not a percentile");
+        assert!(!is_percentile_fn_name("print"));
+        assert!(!is_percentile_fn_name("p2p_send"));
     }
 
     #[test]

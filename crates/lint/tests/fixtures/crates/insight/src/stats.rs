@@ -1,0 +1,10 @@
+//! Inside crates/insight — the analyzer half of the observability stack
+//! is allowed to own quantile math, so nothing here may be flagged.
+
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    xs[((xs.len() - 1) as f64 * q) as usize]
+}
+
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 0.5)
+}

@@ -1,0 +1,27 @@
+//! Seeds one `no-raw-percentile-math` violation plus the exempt shapes
+//! the rule must spare: a consumer-named helper, a suppressed
+//! definition, and a test-module definition.
+
+/// The violation: a hand-rolled median that will drift from the probe's
+/// histogram summaries.
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Consumer-shaped name: reads a quantile someone else computed.
+pub fn p50_seconds(p50_ns: u64) -> f64 {
+    p50_ns as f64 / 1e9
+}
+
+// lint:allow(no-raw-percentile-math) — deliberate exact quantile
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    xs[((xs.len() - 1) as f64 * q) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn p99(xs: &[f64]) -> f64 {
+        xs[xs.len() * 99 / 100]
+    }
+}

@@ -110,19 +110,34 @@ pub(crate) fn export(
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir)?;
         }
-        write_chrome_trace(std::fs::File::create(path)?, events)?;
+        // Prepend the run-context header and append per-family histogram
+        // summaries so the trace file is self-describing.
+        let extras = crate::trace_extras();
+        let mut all = Vec::with_capacity(events.len() + extras.len());
+        all.extend(extras.iter().filter(|e| e.name == "run_context").cloned());
+        all.extend_from_slice(events);
+        all.extend(extras.into_iter().filter(|e| e.name != "run_context"));
+        write_chrome_trace(std::fs::File::create(path)?, &all)?;
     }
     if let Some(path) = &cfg.metrics_path {
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir)?;
         }
         let mut doc = String::with_capacity(rows.iter().map(|r| r.len() + 1).sum::<usize>() + 64);
+        if let Some(header) = crate::context::header_row() {
+            doc.push_str(&header);
+            doc.push('\n');
+        }
         for row in rows {
             doc.push_str(row);
             doc.push('\n');
         }
         doc.push_str(&crate::metrics::counters_row());
         doc.push('\n');
+        for row in crate::hist::hist_rows() {
+            doc.push_str(&row);
+            doc.push('\n');
+        }
         std::fs::write(path, doc)?;
     }
     Ok(FlushReport {
@@ -174,6 +189,7 @@ mod tests {
             metrics_path: Some(metrics.clone()),
             collect: false,
         });
+        crate::run_header(&[("seed", 17u64.into())]);
         crate::emit_span("t", "modeled", Duration::from_micros(10), Vec::new());
         crate::metrics_row("step", &[("step", 0usize.into())]);
         crate::counter_add("c", 2);
@@ -181,13 +197,22 @@ mod tests {
         assert_eq!(report.metrics_rows, 1);
         assert!(report.trace_events >= 1);
         let doc = std::fs::read_to_string(&trace).unwrap();
-        validate_chrome_trace(&doc).unwrap();
+        let summary = validate_chrome_trace(&doc).unwrap();
+        assert!(summary.has_name("run_context"), "trace carries the run header");
+        assert!(summary.has_name("histogram"), "trace carries span-family histograms");
         let lines: Vec<String> =
             std::fs::read_to_string(&metrics).unwrap().lines().map(String::from).collect();
-        assert_eq!(lines.len(), 2, "one step row + counters summary");
-        let last = crate::json::parse(lines.last().unwrap()).unwrap();
-        assert_eq!(last.get("type").unwrap().as_str(), Some("counters"));
-        assert_eq!(last.get("c").unwrap().as_num(), Some(2.0));
+        assert_eq!(lines.len(), 4, "header + step row + counters summary + one hist row");
+        let first = crate::json::parse(&lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("run_header"));
+        assert_eq!(first.get("seed").unwrap().as_num(), Some(17.0));
+        let counters = crate::json::parse(&lines[2]).unwrap();
+        assert_eq!(counters.get("type").unwrap().as_str(), Some("counters"));
+        assert_eq!(counters.get("c").unwrap().as_num(), Some(2.0));
+        let hist = crate::json::parse(&lines[3]).unwrap();
+        assert_eq!(hist.get("type").unwrap().as_str(), Some("hist"));
+        assert_eq!(hist.get("name").unwrap().as_str(), Some("modeled"));
+        assert_eq!(hist.get("count").unwrap().as_num(), Some(1.0));
         // Second flush starts from drained buffers.
         let report2 = flush().unwrap();
         assert_eq!((report2.trace_events, report2.metrics_rows), (0, 0));

@@ -61,12 +61,16 @@
 //! puffer_probe::reset();
 //! ```
 
+pub mod context;
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
+pub use context::{run_header, run_header_env, run_header_snapshot};
 pub use export::{render_chrome_trace, write_chrome_trace, FlushReport};
+pub use hist::{hist_record, hist_record_duration, hist_snapshot, hist_value, Histogram};
 pub use json::{validate_chrome_trace, Json, TraceSummary};
 pub use metrics::{
     counter_add, counter_value, counters_snapshot, gauge_set, metrics_row, metrics_rows,
@@ -185,6 +189,12 @@ pub(crate) fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> R {
 }
 
 pub(crate) fn push_event(ev: TraceEvent) {
+    // Every completed span is also a latency sample: fold it into the
+    // histogram of its (cat, name) family before buffering, so span
+    // families accumulate p50/p90/p99 with no extra instrumentation.
+    if ev.phase == 'X' {
+        hist::record_span(ev.cat, ev.name, ev.dur);
+    }
     with_sink(|s| {
         if s.events.len() < MAX_EVENTS {
             s.events.push(ev);
@@ -198,6 +208,18 @@ pub(crate) fn push_event(ev: TraceEvent) {
 /// exporters; [`flush`] uses the same buffer).
 pub fn take_events() -> Vec<TraceEvent> {
     with_sink(|s| std::mem::take(&mut s.events))
+}
+
+/// The metadata records [`flush`] prepends/appends around the buffered
+/// events when writing a trace file: the `"run_context"` header (if any
+/// context was stamped) followed by one `"histogram"` record per span
+/// family. Callers rendering a trace by hand ([`take_events`] +
+/// [`render_chrome_trace`]) append these to get exporter-identical output.
+pub fn trace_extras() -> Vec<TraceEvent> {
+    let mut extras = Vec::new();
+    extras.extend(context::header_event());
+    extras.extend(hist::hist_trace_events());
+    extras
 }
 
 /// Trace events dropped after the [`MAX_EVENTS`] cap was hit.
@@ -235,6 +257,8 @@ pub fn reset() {
         s.dropped_events = 0;
     });
     metrics::clear_registry();
+    hist::clear_registry();
+    context::clear();
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+//! Property tests for the streaming histogram: bucket containment,
+//! merge associativity/commutativity, percentile monotonicity, and the
+//! bounded relative error of every quantile. The seeded-loop versions of
+//! these properties live in `src/hist.rs`; this file widens them to
+//! arbitrary inputs via proptest.
+
+use proptest::prelude::*;
+use puffer_probe::Histogram;
+
+fn build(xs: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in xs {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn count_sum_min_max_are_exact(xs in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let h = build(&xs);
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.min(), *xs.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *xs.iter().max().unwrap());
+    }
+
+    #[test]
+    fn percentiles_are_monotone(xs in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let h = build(&xs);
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = h.percentile(f64::from(i) / 20.0);
+            prop_assert!(q >= prev, "quantiles must be non-decreasing in p");
+            prev = q;
+        }
+        prop_assert_eq!(h.percentile(1.0), h.max(), "p100 is the exact maximum");
+    }
+
+    #[test]
+    fn quantile_error_is_bounded(xs in proptest::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let h = build(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        for p in [0.5, 0.9, 0.99] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.percentile(p);
+            prop_assert!(approx >= exact, "upper-bound quantile cannot undershoot");
+            prop_assert!(
+                approx as f64 <= exact as f64 * 1.125 + 1.0,
+                "bucket error exceeded: approx {} vs exact {}", approx, exact
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_equals_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+        c in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge must be associative");
+        // c ⊕ b ⊕ a
+        let mut rev = hc.clone();
+        rev.merge(&hb);
+        rev.merge(&ha);
+        prop_assert_eq!(&left, &rev, "merge must be commutative");
+        // And equal to recording the concatenated stream.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &build(&all), "shards must equal the unsharded stream");
+    }
+}

@@ -46,6 +46,25 @@ echo "== elastic-membership soak, smoke length (seeded churn, DESIGN.md §11)"
 # dropped, and non-finite messages; gates on schedule completion, zero
 # steady-state allocation, bounded replay divergence, recovery within k
 # rounds, and no leaked pool threads. Writes BENCH_soak.json.
+# Keep the committed baseline aside first: the bench-diff gate below
+# compares the fresh run against it.
+SOAK_BASELINE="$(mktemp)"
+trap 'rm -f "$SOAK_BASELINE"' EXIT
+cp BENCH_soak.json "$SOAK_BASELINE"
 PUFFER_SOAK_SMOKE=1 cargo run --release -q -p puffer-bench --bin soak -- --check
+
+echo "== insight pipeline (trace_demo → report + gates, DESIGN.md §12)"
+# Re-export the demo trace, re-ingest it through puffer-insight, and gate
+# on round reconstruction, straggler attribution, and α–β reconciliation.
+# The trace must also still validate against the Chrome schema.
+PUFFER_TRACE=results/trace_demo.json PUFFER_METRICS=results/trace_demo_metrics.jsonl \
+    cargo run --release -q -p puffer-bench --bin trace_demo
+cargo run --release -q -p puffer-bench --bin insight -- --check
+
+echo "== bench-regression gate (noise-aware diff against committed baselines)"
+# Identity diff proves the gate's plumbing; the soak diff catches real
+# perf drift vs the baseline captured before this run regenerated it.
+cargo run --release -q -p puffer-bench --bin bench_diff -- BENCH_gemm.json BENCH_gemm.json --check
+cargo run --release -q -p puffer-bench --bin bench_diff -- "$SOAK_BASELINE" BENCH_soak.json --check
 
 echo "All checks passed."
