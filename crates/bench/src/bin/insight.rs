@@ -65,7 +65,8 @@ fn main() {
 
     let txt_path = results_dir().join(format!("insight_{stem}.txt"));
     if let Some(dir) = txt_path.parent() {
-        let _ = std::fs::create_dir_all(dir);
+        // Best-effort: the write below reports its own error if this failed.
+        std::fs::create_dir_all(dir).ok();
     }
     match std::fs::write(&txt_path, &report.text) {
         Ok(()) => println!("wrote {}", txt_path.display()),

@@ -358,7 +358,8 @@ fn run_soak() -> (Vec<Gate>, String) {
         detail: format!("os_threads={threads_settled} pool_width={width}"),
     });
 
-    let _ = std::fs::remove_dir_all(&scratch);
+    // Best-effort cleanup of the scratch dir; leftovers are harmless.
+    std::fs::remove_dir_all(&scratch).ok();
     workspace::set_enabled(false);
 
     // ---- Report. ----

@@ -151,9 +151,10 @@ impl DistCheckpoint {
         if m.len() != 4 && m.len() != 6 {
             return Err(DistError::Checkpoint { reason: "malformed meta entry".into() });
         }
-        let (step, n_params, n_vel, n_buf) =
+        let (step, n_params, n_vel, n_buf) = // lint:allow(dist-panic-reachability) — len is 4 or 6, checked above
             (m[0] as usize, m[1] as usize, m[2] as usize, m[3] as usize);
-        let (epoch, n_members) = if m.len() == 6 { (m[4] as u64, m[5] as usize) } else { (0, 0) };
+        let (epoch, n_members) = // lint:allow(dist-panic-reachability) — guarded by the len == 6 test
+            if m.len() == 6 { (m[4] as u64, m[5] as usize) } else { (0, 0) };
         let mut params = vec![None; n_params];
         let mut velocity = vec![None; n_vel];
         let mut buffers = vec![None; n_buf];
@@ -163,16 +164,16 @@ impl DistCheckpoint {
             if name == MEMBERS_NAME {
                 members = t.as_slice().iter().map(|&v| v as usize).collect();
             } else if let Some(i) = parse_index(&name, PARAM_PREFIX) {
-                if i < n_params {
-                    params[i] = Some(t);
+                if let Some(slot) = params.get_mut(i) {
+                    *slot = Some(t);
                 }
             } else if let Some(i) = parse_index(&name, VEL_PREFIX) {
-                if i < n_vel {
-                    velocity[i] = Some(t);
+                if let Some(slot) = velocity.get_mut(i) {
+                    *slot = Some(t);
                 }
             } else if let Some(i) = parse_index(&name, BUF_PREFIX) {
-                if i < n_buf {
-                    buffers[i] = Some(t);
+                if let Some(slot) = buffers.get_mut(i) {
+                    *slot = Some(t);
                 }
             } else if let Some(rest) = name.strip_prefix(COMP_PREFIX) {
                 compressor.push((rest.to_string(), t));

@@ -149,7 +149,7 @@ impl HeteroProfile {
         let mut alpha = 0.0f64;
         let mut beta = 0.0f64;
         for &n in live {
-            alpha = alpha.max(self.alphas[n]);
+            alpha = alpha.max(self.alphas[n]); // lint:allow(dist-panic-reachability) — validate_members above rejects out-of-range ids
             beta = beta.max(self.betas[n]);
         }
         Ok(ClusterProfile { alpha, beta, nodes: live.len() })

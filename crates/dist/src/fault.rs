@@ -224,12 +224,12 @@ impl FaultPlan {
         let mut target = (h as usize) % total;
         let bit = (h >> 48) as u32 % 32;
         for g in grads.iter_mut() {
-            if target < g.len() {
-                let s = g.as_mut_slice();
-                s[target] = f32::from_bits(s[target].to_bits() ^ (1 << bit));
+            let len = g.len();
+            if let Some(v) = g.as_mut_slice().get_mut(target) {
+                *v = f32::from_bits(v.to_bits() ^ (1 << bit));
                 return true;
             }
-            target -= g.len();
+            target -= len;
         }
         false
     }
@@ -242,8 +242,8 @@ impl FaultPlan {
             return false;
         }
         for g in grads.iter_mut() {
-            if !g.is_empty() {
-                g.as_mut_slice()[0] = f32::NAN;
+            if let Some(v) = g.as_mut_slice().first_mut() {
+                *v = f32::NAN;
                 return true;
             }
         }

@@ -541,7 +541,9 @@ fn report_fatal(ctx: &WorkerCtx<'_>, step: usize, reason: String) {
         "worker_fatal",
         vec![("worker", ctx.worker.into()), ("step", step.into())],
     );
-    let _ = ctx.to_agg.send(WorkerMsg::Fatal { worker: ctx.worker, reason });
+    // Best-effort: if the aggregator is already gone there is nobody left
+    // to tell.
+    ctx.to_agg.send(WorkerMsg::Fatal { worker: ctx.worker, reason }).ok();
 }
 
 fn note_catch_up(worker: usize, ck: &DistCheckpoint, source: &'static str) {
@@ -740,7 +742,12 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
             );
             return; // channels drop; the aggregator's probe sees the death
         }
-        let (images, labels) = &shard[step - shard_base];
+        let Some((images, labels)) = shard.get(step - shard_base) else {
+            // A broadcast step outside our extracted shard is a protocol
+            // bug; report it instead of panicking mid-round.
+            report_fatal(&ctx, step, format!("step {step} outside shard from {shard_base}"));
+            return;
+        };
         let sp = probe::timed_span_with("dist", "worker_compute", || {
             vec![("worker", w.into()), ("step", step.into())]
         });
@@ -850,14 +857,17 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
         }
     }
     let finals: Vec<Tensor> = model.params().iter().map(|p| p.value.clone()).collect();
-    let _ = ctx.param_tx.send((w, finals));
+    // Best-effort: the trainer may already have collected enough replicas.
+    ctx.param_tx.send((w, finals)).ok();
 }
 
 /// Reports post-round replica state to the aggregator for checkpointing
 /// and joiner catch-up.
 fn send_snapshot<M: Layer>(next_step: usize, model: &M, opt: &Sgd, snap_tx: &Sender<Snapshot>) {
     let params = model.params().iter().map(|p| p.value.clone()).collect();
-    let _ = snap_tx.send((next_step, params, opt.velocity().to_vec(), model.buffers()));
+    // Best-effort: a closed snapshot channel just means the aggregator is
+    // shutting down.
+    snap_tx.send((next_step, params, opt.velocity().to_vec(), model.buffers())).ok();
 }
 
 /// Extracts one member's shard of every batch from `from` on, for its
@@ -868,6 +878,7 @@ fn resharded(
     rank: usize,
     count: usize,
 ) -> DistResult<Vec<(Tensor, Vec<usize>)>> {
+    // lint:allow(dist-panic-reachability) — `from` is clamped to len; the worst case is an empty slice
     batches[from.min(batches.len())..].iter().map(|b| shard_batch(b, rank, count)).collect()
 }
 

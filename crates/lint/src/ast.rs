@@ -1,0 +1,2287 @@
+//! A lightweight recursive-descent parser over the lexer's token stream.
+//!
+//! The token-rule engine can answer "does `unwrap` appear here?"; it
+//! cannot answer "is this `unwrap` *reachable* from the trainer's entry
+//! point?" or "are these two locks ever taken in opposite orders?". Those
+//! questions need structure: which function a call sits in, what a method
+//! chain's receiver is, where a `let` binding's scope ends. This module
+//! parses exactly that much structure and no more:
+//!
+//! * items — `fn` (with signature and return type), `mod`, `impl`,
+//!   `trait`, everything else opaque;
+//! * blocks and statements — `let` bindings (pattern, type annotation,
+//!   initializer), expression statements, nested items;
+//! * expressions — calls, method calls (with turbofish), field accesses,
+//!   indexing, `?`, closures, macros, blocks, `if`/`match`/loops, struct
+//!   literals, and a flat `Chain` for operator sequences (the semantic
+//!   rules never need operator precedence, only call/receiver structure).
+//!
+//! The parser is total: it never fails on any input. Unparseable stretches
+//! are skipped to the next statement boundary and recorded as
+//! [`ExprKind::Opaque`], so one exotic construct cannot hide the rest of a
+//! file from analysis. Every node carries a [`Span`] with byte offsets
+//! into the original source (`src[span.lo..span.hi]` is the node's exact
+//! text) plus the token-index range, which is how the `#[cfg(test)]` mask
+//! from [`crate::scope`] is consulted per node.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Byte- and token-extent of a node in its source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first token.
+    pub lo: usize,
+    /// Byte offset one past the last token.
+    pub hi: usize,
+    /// 1-based line of the first token.
+    pub line: u32,
+    /// 1-based column of the first token.
+    pub col: u32,
+    /// Token index of the first token.
+    pub tok_lo: usize,
+    /// Token index one past the last token.
+    pub tok_hi: usize,
+}
+
+impl Span {
+    fn at(tokens: &[Token], lo: usize, hi: usize) -> Span {
+        let first = &tokens[lo.min(tokens.len() - 1)];
+        let last = &tokens[hi.saturating_sub(1).min(tokens.len() - 1)];
+        Span {
+            lo: first.off,
+            hi: last.end_off(),
+            line: first.line,
+            col: first.col,
+            tok_lo: lo,
+            tok_hi: hi,
+        }
+    }
+}
+
+/// A parsed source file: its top-level items.
+#[derive(Debug, Default)]
+pub struct File {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level or nested item.
+#[derive(Debug)]
+pub enum Item {
+    /// A free function, method, or trait default method.
+    Fn(FnDef),
+    /// An inline module with its nested items.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Nested items.
+        items: Vec<Item>,
+        /// Extent.
+        span: Span,
+    },
+    /// An `impl` block; `fns` are its methods.
+    Impl {
+        /// The `Self` type's last path segment (`Trainer` for
+        /// `impl<T> Trainer<T>`).
+        self_ty: String,
+        /// `Some(trait_name)` for `impl Trait for Type`.
+        trait_name: Option<String>,
+        /// Methods.
+        fns: Vec<FnDef>,
+        /// Extent.
+        span: Span,
+    },
+    /// A trait declaration; `fns` are methods with default bodies (and
+    /// bodiless signatures, body `None`).
+    Trait {
+        /// Trait name.
+        name: String,
+        /// Methods.
+        fns: Vec<FnDef>,
+        /// Extent.
+        span: Span,
+    },
+    /// Anything else (struct, enum, use, const, static, type, macro…).
+    Other {
+        /// Extent.
+        span: Span,
+    },
+}
+
+/// A function definition: signature plus (optionally) a body.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the name (for `#[cfg(test)]` mask lookup).
+    pub name_tok: usize,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Normalized return type text (`Result < ( ) , E >`), `None` for `()`.
+    pub ret: Option<String>,
+    /// The body, `None` for bodiless trait signatures.
+    pub body: Option<Block>,
+    /// Extent from `fn` through the closing brace or `;`.
+    pub span: Span,
+}
+
+impl FnDef {
+    /// The first path-segment "head" of the return type, skipping leading
+    /// qualifiers: `std::io::Result<()>` → `Result`.
+    pub fn ret_head(&self) -> Option<&str> {
+        let ret = self.ret.as_deref()?;
+        let mut head = None;
+        for word in ret.split_whitespace() {
+            if word == "<" || word == "(" {
+                break;
+            }
+            if word == "impl" {
+                // `impl Trait` is opaque; the head is `impl`, not the
+                // trait name.
+                return Some("impl");
+            }
+            if word.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+                head = Some(word);
+            } else if word != ":" && word != "&" && !word.starts_with('\'') {
+                break;
+            }
+        }
+        head
+    }
+}
+
+/// A `{ … }` block.
+#[derive(Debug)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Extent including the braces.
+    pub span: Span,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let pat: ty = init;` (any part after `pat` optional).
+    Let {
+        /// Pattern text, whitespace-joined (`_`, `mut spawned`, `( a , b )`).
+        pat: String,
+        /// Head segment of the type annotation, if any (`HashMap` for
+        /// `HashMap<u32, f32>`).
+        ty_head: Option<String>,
+        /// Initializer expression.
+        init: Option<Expr>,
+        /// `let … else { … }` diverging block.
+        els: Option<Block>,
+        /// Extent.
+        span: Span,
+    },
+    /// An expression statement; `semi` records the trailing `;`.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` followed.
+        semi: bool,
+    },
+    /// A nested item (fn-in-fn, inline module, …).
+    Item(Item),
+}
+
+/// One expression node.
+#[derive(Debug)]
+pub struct Expr {
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Extent.
+    pub span: Span,
+}
+
+/// Expression structure, only as deep as the semantic rules need.
+#[derive(Debug)]
+pub enum ExprKind {
+    /// A path used as a value (`x`, `f32::INFINITY`, `Shape::Square`).
+    Path(String),
+    /// A literal.
+    Lit(String),
+    /// A free or associated call: `f(args)`, `Membership::join(args)`.
+    Call {
+        /// Path segments (`["Membership", "join"]`).
+        path: Vec<String>,
+        /// Token index of the last segment.
+        name_tok: usize,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A method call `recv.name::<T>(args)`.
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Token index of the method name.
+        name_tok: usize,
+        /// Turbofish text, if present (`f32` for `sum::<f32>`).
+        turbofish: Option<String>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Field access `recv.name` (tuple fields included, name = digits).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+    },
+    /// Indexing `base[index]` — a potential panic site.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expression (may itself be a range).
+        index: Box<Expr>,
+    },
+    /// `inner?`.
+    Try(Box<Expr>),
+    /// A closure; the rules treat its body as deferred code.
+    Closure(Box<Expr>),
+    /// A macro invocation `name!(args)` / `name![…]` / `name!{…}`.
+    Macro {
+        /// Macro name (last path segment).
+        name: String,
+        /// Token index of the name.
+        name_tok: usize,
+        /// Leniently parsed interior expressions.
+        args: Vec<Expr>,
+    },
+    /// A block expression (incl. `unsafe { … }`).
+    Block(Block),
+    /// `if cond { … } else …` (`else` arm is a Block or another If).
+    If {
+        /// Condition (for `if let`, the bound expression).
+        cond: Box<Expr>,
+        /// Then-block.
+        then: Block,
+        /// Else arm.
+        els: Option<Box<Expr>>,
+    },
+    /// `match scrut { arms }`.
+    Match {
+        /// Scrutinee.
+        scrut: Box<Expr>,
+        /// Arms.
+        arms: Vec<Arm>,
+    },
+    /// `while cond { … }` (incl. `while let`).
+    While {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `loop { … }`.
+    Loop(Block),
+    /// `for pat in iter { … }`.
+    For {
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `return expr?` / `break expr?` / `continue`.
+    Jump(Option<Box<Expr>>),
+    /// A prefix-operator application (`&x`, `*x`, `-x`, `!x`).
+    Unary(Box<Expr>),
+    /// An operator chain `a + b * c` / `a = b` / `a..b`, operands only —
+    /// the rules never need precedence.
+    Chain(Vec<Expr>),
+    /// Struct literal `Path { fields }`; `fields` are the value exprs.
+    StructLit {
+        /// Type path (last segment).
+        path: String,
+        /// Field value expressions (incl. `..base`).
+        fields: Vec<Expr>,
+    },
+    /// Tuple `(a, b)` or parenthesized `(a)`.
+    Tuple(Vec<Expr>),
+    /// Array `[a, b]` or `[elem; len]`.
+    Array(Vec<Expr>),
+    /// Something the parser skipped over (never an error: logged extent).
+    Opaque,
+}
+
+/// One match arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// `if` guard expression, if present.
+    pub guard: Option<Expr>,
+    /// Arm body.
+    pub body: Expr,
+}
+
+/// Calls `f` on `expr` and every sub-expression, pre-order.
+pub fn walk_expr<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    f(expr);
+    match &expr.kind {
+        ExprKind::Call { args, .. } | ExprKind::Macro { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Field { base, .. } => walk_expr(base, f),
+        ExprKind::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        ExprKind::Try(inner) | ExprKind::Closure(inner) | ExprKind::Unary(inner) => {
+            walk_expr(inner, f);
+        }
+        ExprKind::Block(b) | ExprKind::Loop(b) => walk_block(b, f),
+        ExprKind::If { cond, then, els } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = els {
+                walk_expr(e, f);
+            }
+        }
+        ExprKind::Match { scrut, arms } => {
+            walk_expr(scrut, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        ExprKind::For { iter, body } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        ExprKind::Jump(inner) => {
+            if let Some(e) = inner {
+                walk_expr(e, f);
+            }
+        }
+        ExprKind::Chain(parts) | ExprKind::Tuple(parts) | ExprKind::Array(parts) => {
+            for p in parts {
+                walk_expr(p, f);
+            }
+        }
+        ExprKind::StructLit { fields, .. } => {
+            for fl in fields {
+                walk_expr(fl, f);
+            }
+        }
+        ExprKind::Path(_) | ExprKind::Lit(_) | ExprKind::Opaque => {}
+    }
+}
+
+/// Calls `f` on every expression in the block, pre-order.
+pub fn walk_block<'a>(block: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, els, .. } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+                if let Some(b) = els {
+                    walk_block(b, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => walk_expr(expr, f),
+            Stmt::Item(item) => walk_item(item, f),
+        }
+    }
+}
+
+/// Calls `f` on every expression under the item, pre-order.
+pub fn walk_item<'a>(item: &'a Item, f: &mut dyn FnMut(&'a Expr)) {
+    match item {
+        Item::Fn(fd) => {
+            if let Some(b) = &fd.body {
+                walk_block(b, f);
+            }
+        }
+        Item::Mod { items, .. } => {
+            for it in items {
+                walk_item(it, f);
+            }
+        }
+        Item::Impl { fns, .. } | Item::Trait { fns, .. } => {
+            for fd in fns {
+                if let Some(b) = &fd.body {
+                    walk_block(b, f);
+                }
+            }
+        }
+        Item::Other { .. } => {}
+    }
+}
+
+/// Every function in the file, with its `impl`/`trait` self-type (if any)
+/// and its module path, depth-first.
+pub fn collect_fns(file: &File) -> Vec<(&FnDef, Option<&str>)> {
+    let mut out = Vec::new();
+    fn go<'a>(items: &'a [Item], out: &mut Vec<(&'a FnDef, Option<&'a str>)>) {
+        for item in items {
+            match item {
+                Item::Fn(fd) => collect_nested(fd, None, out),
+                Item::Mod { items, .. } => go(items, out),
+                Item::Impl { self_ty, fns, .. } => {
+                    for fd in fns {
+                        collect_nested(fd, Some(self_ty.as_str()), out);
+                    }
+                }
+                Item::Trait { name, fns, .. } => {
+                    for fd in fns {
+                        collect_nested(fd, Some(name.as_str()), out);
+                    }
+                }
+                Item::Other { .. } => {}
+            }
+        }
+    }
+    fn collect_nested<'a>(
+        fd: &'a FnDef,
+        self_ty: Option<&'a str>,
+        out: &mut Vec<(&'a FnDef, Option<&'a str>)>,
+    ) {
+        out.push((fd, self_ty));
+        // fn-in-fn: nested definitions are callable units of their own.
+        if let Some(body) = &fd.body {
+            for stmt in &body.stmts {
+                if let Stmt::Item(item) = stmt {
+                    go(std::slice::from_ref(item), out);
+                }
+            }
+        }
+        fn go<'a>(items: &'a [Item], out: &mut Vec<(&'a FnDef, Option<&'a str>)>) {
+            for item in items {
+                match item {
+                    Item::Fn(fd) => collect_nested(fd, None, out),
+                    Item::Mod { items, .. } => go(items, out),
+                    Item::Impl { self_ty, fns, .. } => {
+                        for fd in fns {
+                            collect_nested(fd, Some(self_ty.as_str()), out);
+                        }
+                    }
+                    Item::Trait { name, fns, .. } => {
+                        for fd in fns {
+                            collect_nested(fd, Some(name.as_str()), out);
+                        }
+                    }
+                    Item::Other { .. } => {}
+                }
+            }
+        }
+    }
+    go(&file.items, &mut out);
+    out
+}
+
+/// Renders an expression back to a compact receiver label (`pool.spawned`,
+/// `self.inner`); used by the lock rules to name what a guard protects.
+pub fn receiver_label(expr: &Expr) -> String {
+    match &expr.kind {
+        ExprKind::Path(p) => p.clone(),
+        ExprKind::Field { base, name } => format!("{}.{}", receiver_label(base), name),
+        ExprKind::MethodCall { recv, name, .. } => {
+            format!("{}.{}()", receiver_label(recv), name)
+        }
+        ExprKind::Call { path, .. } => format!("{}()", path.join("::")),
+        ExprKind::Index { base, .. } => format!("{}[]", receiver_label(base)),
+        ExprKind::Unary(inner) | ExprKind::Try(inner) => receiver_label(inner),
+        ExprKind::Tuple(parts) if parts.len() == 1 => receiver_label(&parts[0]),
+        _ => "<expr>".to_string(),
+    }
+}
+
+/// Parses a whole lexed file. Never fails.
+pub fn parse_file(tokens: &[Token]) -> File {
+    if tokens.is_empty() {
+        return File::default();
+    }
+    let mut p = Parser { toks: tokens, pos: 0 };
+    File { items: p.items_until(None) }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    // ---- token cursor -------------------------------------------------
+
+    /// The next non-comment token at or after the cursor, `ahead` steps on.
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        let mut n = 0;
+        for t in &self.toks[self.pos..] {
+            if t.is_comment() {
+                continue;
+            }
+            if n == ahead {
+                return Some(t);
+            }
+            n += 1;
+        }
+        None
+    }
+
+    fn peek_text(&self, ahead: usize) -> &str {
+        self.peek(ahead).map_or("", |t| t.text.as_str())
+    }
+
+    fn peek_punct(&self, ahead: usize) -> Option<char> {
+        match self.peek(ahead)?.kind {
+            TokenKind::Punct(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Advances past comments to the next code token and returns its index,
+    /// bumping the cursor one past it.
+    fn bump(&mut self) -> Option<usize> {
+        while self.pos < self.toks.len() && self.toks[self.pos].is_comment() {
+            self.pos += 1;
+        }
+        if self.pos >= self.toks.len() {
+            return None;
+        }
+        self.pos += 1;
+        Some(self.pos - 1)
+    }
+
+    /// Consumes the next token if it is the punct `c`.
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek_punct(0) == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it is the identifier `kw`.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek(0).is_some_and(|t| t.kind == TokenKind::Ident && t.text == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek(0).is_none()
+    }
+
+    fn span_from(&self, start_tok: usize) -> Span {
+        Span::at(self.toks, start_tok, self.pos.max(start_tok + 1))
+    }
+
+    /// Skips a balanced delimiter group; the cursor sits ON the opener.
+    fn skip_group(&mut self) {
+        let Some(open) = self.peek_punct(0) else {
+            self.bump();
+            return;
+        };
+        let close = match open {
+            '(' => ')',
+            '[' => ']',
+            '{' => '}',
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek_punct(0) {
+                None if self.at_eof() => return,
+                Some(c) if c == open => {
+                    depth += 1;
+                }
+                Some(c) if c == close => {
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips balanced `<…>` generics; the cursor sits ON the `<`. `->`
+    /// inside (`Fn(a) -> b`) must not close the group, so a `>` right
+    /// after `-` is ignored; nested parens are skipped wholesale.
+    fn skip_generics(&mut self) {
+        self.bump(); // <
+        let mut depth = 1usize;
+        let mut prev_dash = false;
+        while depth > 0 && !self.at_eof() {
+            match self.peek_punct(0) {
+                Some('<') => {
+                    depth += 1;
+                    self.bump();
+                    prev_dash = false;
+                }
+                Some('>') => {
+                    if prev_dash {
+                        self.bump();
+                    } else {
+                        depth -= 1;
+                        self.bump();
+                    }
+                    prev_dash = false;
+                }
+                Some('(') | Some('[') => {
+                    self.skip_group();
+                    prev_dash = false;
+                }
+                Some('-') => {
+                    self.bump();
+                    prev_dash = true;
+                }
+                _ => {
+                    self.bump();
+                    prev_dash = false;
+                }
+            }
+        }
+    }
+
+    /// Skips one attribute (`#[…]` / `#![…]`); cursor sits ON the `#`.
+    fn skip_attr(&mut self) {
+        self.bump(); // #
+        self.eat_punct('!');
+        if self.peek_punct(0) == Some('[') {
+            self.skip_group();
+        }
+    }
+
+    fn skip_attrs(&mut self) {
+        while self.peek_punct(0) == Some('#')
+            && (self.peek_punct(1) == Some('[')
+                || (self.peek_punct(1) == Some('!') && self.peek_punct(2) == Some('[')))
+        {
+            self.skip_attr();
+        }
+    }
+
+    // ---- items --------------------------------------------------------
+
+    /// Parses items until EOF (`stop_brace = None`) or a closing `}`.
+    fn items_until(&mut self, stop_brace: Option<()>) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            if self.at_eof() {
+                break;
+            }
+            if stop_brace.is_some() && self.peek_punct(0) == Some('}') {
+                break;
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                // No progress: drop one token so the loop always ends.
+                self.bump();
+            }
+        }
+        items
+    }
+
+    /// Parses one item, or skips leniently to a boundary.
+    fn parse_item(&mut self) -> Option<Item> {
+        self.skip_attrs();
+        let start = self.pos;
+        // Visibility and qualifier run: pub(crate) / const / async / unsafe
+        // / extern "C".
+        loop {
+            if self.eat_kw("pub") {
+                if self.peek_punct(0) == Some('(') {
+                    self.skip_group();
+                }
+                continue;
+            }
+            // `const fn` / `unsafe fn` / `async fn` / `extern "C" fn` are
+            // fn qualifiers; `const X: T` / `unsafe impl` fall through to
+            // their item kind below.
+            if self.peek_text(0) == "const" && self.peek_text(1) == "fn" {
+                self.bump();
+                continue;
+            }
+            if self.peek_text(0) == "unsafe"
+                && matches!(self.peek_text(1), "fn" | "impl" | "trait" | "extern")
+            {
+                self.bump();
+                continue;
+            }
+            if self.peek_text(0) == "async" {
+                self.bump();
+                continue;
+            }
+            if self.peek_text(0) == "extern"
+                && self
+                    .peek(1)
+                    .is_some_and(|t| matches!(t.kind, TokenKind::StrLit | TokenKind::RawStrLit))
+                && self.peek_text(2) == "fn"
+            {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        match self.peek_text(0) {
+            "fn" => self.parse_fn().map(Item::Fn),
+            "mod" => self.parse_mod(start),
+            "impl" => self.parse_impl(start),
+            "trait" => self.parse_trait(start),
+            _ => {
+                self.skip_opaque_item();
+                Some(Item::Other { span: self.span_from(start) })
+            }
+        }
+    }
+
+    /// Skips a non-fn item: to a `;` or through the first brace group at
+    /// depth 0 (whichever comes first).
+    fn skip_opaque_item(&mut self) {
+        while !self.at_eof() {
+            match self.peek_punct(0) {
+                Some(';') => {
+                    self.bump();
+                    return;
+                }
+                Some('{') => {
+                    self.skip_group();
+                    return;
+                }
+                Some('}') => return, // dangling: let the caller see it
+                Some('(') | Some('[') => self.skip_group(),
+                Some('<') => self.skip_generics(),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_mod(&mut self, start: usize) -> Option<Item> {
+        self.bump(); // mod
+        let name = self.peek_text(0).to_string();
+        self.bump();
+        if self.eat_punct(';') {
+            return Some(Item::Other { span: self.span_from(start) });
+        }
+        if !self.eat_punct('{') {
+            self.skip_opaque_item();
+            return Some(Item::Other { span: self.span_from(start) });
+        }
+        let items = self.items_until(Some(()));
+        self.eat_punct('}');
+        Some(Item::Mod { name, items, span: self.span_from(start) })
+    }
+
+    fn parse_impl(&mut self, start: usize) -> Option<Item> {
+        self.bump(); // impl
+        if self.peek_punct(0) == Some('<') {
+            self.skip_generics();
+        }
+        // Path A [for Path B]; self type is B if `for` present, else A.
+        let first = self.parse_type_path();
+        let second = if self.eat_kw("for") { Some(self.parse_type_path()) } else { None };
+        let (trait_name, self_ty) = match second {
+            Some(b) => (Some(first), b),
+            None => (None, first),
+        };
+        // where clause
+        while !self.at_eof() && self.peek_punct(0) != Some('{') {
+            if self.peek_punct(0) == Some('<') {
+                self.skip_generics();
+            } else if matches!(self.peek_punct(0), Some('(')) {
+                self.skip_group();
+            } else if self.peek_punct(0) == Some(';') {
+                self.bump();
+                return Some(Item::Other { span: self.span_from(start) });
+            } else {
+                self.bump();
+            }
+        }
+        if !self.eat_punct('{') {
+            return Some(Item::Other { span: self.span_from(start) });
+        }
+        let mut fns = Vec::new();
+        while !self.at_eof() && self.peek_punct(0) != Some('}') {
+            let before = self.pos;
+            self.skip_attrs();
+            // Qualifier run before fn.
+            let mut save = self.pos;
+            loop {
+                if self.eat_kw("pub") {
+                    if self.peek_punct(0) == Some('(') {
+                        self.skip_group();
+                    }
+                    save = self.pos;
+                    continue;
+                }
+                if matches!(self.peek_text(0), "const" | "unsafe" | "async" | "extern")
+                    && self.peek_text(1) != ":"
+                {
+                    // Distinguish `const fn` from `const NAME: T`.
+                    if self.peek_text(0) == "const"
+                        && self.peek(1).is_some_and(|t| t.kind == TokenKind::Ident)
+                        && self.peek_text(1) != "fn"
+                    {
+                        break;
+                    }
+                    if self.peek_text(0) == "extern"
+                        && self.peek(1).is_some_and(|t| {
+                            matches!(t.kind, TokenKind::StrLit | TokenKind::RawStrLit)
+                        })
+                    {
+                        self.bump();
+                    }
+                    self.bump();
+                    save = self.pos;
+                    continue;
+                }
+                break;
+            }
+            let _ = save;
+            if self.peek_text(0) == "fn" {
+                if let Some(fd) = self.parse_fn() {
+                    fns.push(fd);
+                }
+            } else {
+                self.skip_opaque_item();
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        Some(Item::Impl { self_ty, trait_name, fns, span: self.span_from(start) })
+    }
+
+    fn parse_trait(&mut self, start: usize) -> Option<Item> {
+        self.bump(); // trait
+        let name = self.peek_text(0).to_string();
+        self.bump();
+        while !self.at_eof() && !matches!(self.peek_punct(0), Some('{') | Some(';')) {
+            if self.peek_punct(0) == Some('<') {
+                self.skip_generics();
+            } else if self.peek_punct(0) == Some('(') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        if self.eat_punct(';') || !self.eat_punct('{') {
+            return Some(Item::Other { span: self.span_from(start) });
+        }
+        let mut fns = Vec::new();
+        while !self.at_eof() && self.peek_punct(0) != Some('}') {
+            let before = self.pos;
+            self.skip_attrs();
+            while matches!(self.peek_text(0), "const" | "unsafe" | "async")
+                && self.peek_text(1) == "fn"
+            {
+                self.bump();
+            }
+            if self.peek_text(0) == "fn" {
+                if let Some(fd) = self.parse_fn() {
+                    fns.push(fd);
+                }
+            } else {
+                self.skip_opaque_item();
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        Some(Item::Trait { name, fns, span: self.span_from(start) })
+    }
+
+    /// Last segment of a type path, skipping generics (`Trainer` for
+    /// `crate::trainer::Trainer<M>`), stopping before `for`/`where`/`{`.
+    fn parse_type_path(&mut self) -> String {
+        let mut last = String::new();
+        loop {
+            match self.peek(0) {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    if t.text == "for" || t.text == "where" {
+                        break;
+                    }
+                    last = t.text.clone();
+                    self.bump();
+                }
+                Some(t) if t.kind == TokenKind::Punct('<') => {
+                    self.skip_generics();
+                }
+                Some(t)
+                    if matches!(
+                        t.kind,
+                        TokenKind::Punct(':') | TokenKind::Punct('&') | TokenKind::Punct('*')
+                    ) =>
+                {
+                    self.bump();
+                }
+                Some(t) if t.kind == TokenKind::Lifetime => {
+                    self.bump();
+                }
+                Some(t) if t.kind == TokenKind::Punct('(') => {
+                    // Tuple type impl — rare; skip and keep whatever we had.
+                    self.skip_group();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        last
+    }
+
+    fn parse_fn(&mut self) -> Option<FnDef> {
+        let start = self.pos;
+        if !self.eat_kw("fn") {
+            return None;
+        }
+        let name_tok = {
+            while self.pos < self.toks.len() && self.toks[self.pos].is_comment() {
+                self.pos += 1;
+            }
+            self.pos
+        };
+        let name = self.peek_text(0).to_string();
+        self.bump();
+        if self.peek_punct(0) == Some('<') {
+            self.skip_generics();
+        }
+        // Parameters: record whether a `self` receiver leads.
+        let mut has_self = false;
+        if self.peek_punct(0) == Some('(') {
+            let params_start = self.pos;
+            self.skip_group();
+            for t in &self.toks[params_start..self.pos] {
+                if t.is_comment() {
+                    continue;
+                }
+                match t.kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('&') => continue,
+                    TokenKind::Lifetime => continue,
+                    TokenKind::Ident if t.text == "mut" => continue,
+                    TokenKind::Ident => {
+                        has_self = t.text == "self";
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // Return type: `-> …` until `{`, `;`, or `where` at depth 0.
+        let mut ret = None;
+        if self.peek_punct(0) == Some('-') && self.peek_punct(1) == Some('>') {
+            self.bump();
+            self.bump();
+            let mut parts: Vec<String> = Vec::new();
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some(t)
+                        if t.kind == TokenKind::Punct('{') || t.kind == TokenKind::Punct(';') =>
+                    {
+                        break
+                    }
+                    Some(t) if t.kind == TokenKind::Ident && t.text == "where" => break,
+                    Some(t) if t.kind == TokenKind::Punct('<') => {
+                        let from = self.pos;
+                        self.skip_generics();
+                        for tk in &self.toks[from..self.pos] {
+                            if !tk.is_comment() {
+                                parts.push(tk.text.clone());
+                            }
+                        }
+                    }
+                    Some(t) if t.kind == TokenKind::Punct('(') => {
+                        let from = self.pos;
+                        self.skip_group();
+                        for tk in &self.toks[from..self.pos] {
+                            if !tk.is_comment() {
+                                parts.push(tk.text.clone());
+                            }
+                        }
+                    }
+                    Some(t) => {
+                        parts.push(t.text.clone());
+                        self.bump();
+                    }
+                }
+            }
+            if !parts.is_empty() {
+                ret = Some(parts.join(" "));
+            }
+        }
+        // where clause
+        if self.peek_text(0) == "where" {
+            while !self.at_eof() && !matches!(self.peek_punct(0), Some('{') | Some(';')) {
+                if self.peek_punct(0) == Some('<') {
+                    self.skip_generics();
+                } else if self.peek_punct(0) == Some('(') {
+                    self.skip_group();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let body = if self.peek_punct(0) == Some('{') {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        Some(FnDef { name, name_tok, has_self, ret, body, span: self.span_from(start) })
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    /// Parses a `{ … }` block; the cursor sits ON the `{`.
+    fn parse_block(&mut self) -> Block {
+        let start = self.pos;
+        self.eat_punct('{');
+        let mut stmts = Vec::new();
+        loop {
+            if self.at_eof() || self.peek_punct(0) == Some('}') {
+                break;
+            }
+            let before = self.pos;
+            self.skip_attrs();
+            if self.eat_punct(';') {
+                continue;
+            }
+            if self.peek_text(0) == "let" {
+                stmts.push(self.parse_let());
+            } else if self.starts_item() {
+                if let Some(item) = self.parse_item() {
+                    stmts.push(Stmt::Item(item));
+                }
+            } else {
+                let expr = self.parse_expr(false);
+                let semi = self.eat_punct(';');
+                stmts.push(Stmt::Expr { expr, semi });
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        Block { stmts, span: self.span_from(start) }
+    }
+
+    /// Whether an item (not an expression) starts at the cursor. `unsafe`
+    /// and `const` are shared prefixes: `unsafe { … }` is an expression,
+    /// `unsafe fn` an item; `const X: T` an item.
+    fn starts_item(&self) -> bool {
+        let head = self.peek_text(0);
+        match head {
+            "fn" | "mod" | "impl" | "trait" | "struct" | "enum" | "union" | "use" | "static"
+            | "type" | "macro_rules" | "pub" => {
+                // `struct`/`enum` never open expressions; `type` only as
+                // item. `macro_rules! name {}` is an item.
+                head != "macro_rules" || self.peek_punct(1) == Some('!')
+            }
+            "unsafe" => matches!(self.peek_text(1), "fn" | "impl" | "trait" | "extern"),
+            "const" => {
+                self.peek_text(1) != "{" && {
+                    // `const fn` or `const NAME : T` — both items.
+                    self.peek_text(1) == "fn"
+                        || (self.peek(1).is_some_and(|t| t.kind == TokenKind::Ident)
+                            && self.peek_punct(2) == Some(':'))
+                }
+            }
+            "extern" => true,
+            "async" => self.peek_text(1) == "fn",
+            _ => false,
+        }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let start = self.pos;
+        self.bump(); // let
+                     // Pattern: tokens up to `:`, `=`, or `;` at depth 0.
+        let mut pat_parts: Vec<String> = Vec::new();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(t) if t.kind == TokenKind::Punct(':') && self.peek_punct(1) != Some(':') => {
+                    break;
+                }
+                Some(t) if t.kind == TokenKind::Punct('=') && self.peek_punct(1) != Some('=') => {
+                    break;
+                }
+                Some(t) if t.kind == TokenKind::Punct(';') => break,
+                Some(t) if matches!(t.kind, TokenKind::Punct('(') | TokenKind::Punct('[')) => {
+                    let from = self.pos;
+                    self.skip_group();
+                    for tk in &self.toks[from..self.pos] {
+                        if !tk.is_comment() {
+                            pat_parts.push(tk.text.clone());
+                        }
+                    }
+                }
+                Some(t) if t.kind == TokenKind::Punct('{') => break, // malformed
+                Some(t) => {
+                    pat_parts.push(t.text.clone());
+                    self.bump();
+                    // Paths in patterns: `Some`, `Ordering::Less` — the
+                    // `::` run is consumed via the loop.
+                }
+            }
+        }
+        // Type annotation.
+        let mut ty_head = None;
+        if self.peek_punct(0) == Some(':') {
+            self.bump();
+            let mut first_ident: Option<String> = None;
+            let mut last_ident: Option<String> = None;
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some(t)
+                        if t.kind == TokenKind::Punct('=') && self.peek_punct(1) != Some('=') =>
+                    {
+                        break
+                    }
+                    Some(t) if t.kind == TokenKind::Punct(';') => break,
+                    Some(t) if t.kind == TokenKind::Punct('<') => {
+                        // Generic args end the head path.
+                        if first_ident.is_none() {
+                            first_ident = last_ident.clone();
+                        }
+                        self.skip_generics();
+                        break;
+                    }
+                    Some(t) if t.kind == TokenKind::Punct('(') => {
+                        self.skip_group();
+                    }
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        last_ident = Some(t.text.clone());
+                        self.bump();
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+            ty_head = first_ident.or(last_ident);
+        }
+        // Initializer.
+        let mut init = None;
+        if self.eat_punct('=') {
+            init = Some(self.parse_expr(false));
+        }
+        // let-else.
+        let mut els = None;
+        if self.peek_text(0) == "else" {
+            self.bump();
+            if self.peek_punct(0) == Some('{') {
+                els = Some(self.parse_block());
+            }
+        }
+        self.eat_punct(';');
+        Stmt::Let { pat: pat_parts.join(" "), ty_head, init, els, span: self.span_from(start) }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    /// Parses an expression up to a statement/argument boundary (`;`, `,`,
+    /// or an unmatched closer). With `no_struct`, a `{` after an operand
+    /// terminates the expression instead of opening a struct literal —
+    /// the `if cond {` / `match scrut {` position.
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        let mut parts = Vec::new();
+        let first = self.parse_operand(no_struct);
+        parts.push(first);
+        while let Some(t) = self.peek(0) {
+            let c = match t.kind {
+                TokenKind::Punct(c) => c,
+                TokenKind::Ident if t.text == "as" => {
+                    // `expr as Type`: consume the cast, keep parsing ops.
+                    self.bump();
+                    self.skip_cast_type();
+                    continue;
+                }
+                _ => break,
+            };
+            match c {
+                ';' | ',' | ')' | ']' | '}' => break,
+                '=' if self.peek_punct(1) == Some('>') => break, // match arm
+                '.' if self.peek_punct(1) == Some('.') => {
+                    // Range `a..b` / `a..=b`: operator; RHS optional.
+                    self.bump();
+                    self.bump();
+                    self.eat_punct('=');
+                    if self.range_rhs_follows(no_struct) {
+                        parts.push(self.parse_operand(no_struct));
+                    }
+                }
+                '+' | '-' | '*' | '/' | '%' | '^' | '!' | '=' => {
+                    self.bump();
+                    // Compound assignment tail (`+=`) and `==`/`!=`.
+                    self.eat_punct('=');
+                    parts.push(self.parse_operand(no_struct));
+                }
+                '&' | '|' => {
+                    self.bump();
+                    if self.peek_punct(0) == Some(c) {
+                        self.bump(); // && / ||
+                    }
+                    self.eat_punct('=');
+                    parts.push(self.parse_operand(no_struct));
+                }
+                '<' | '>' => {
+                    self.bump();
+                    if self.peek_punct(0) == Some(c) {
+                        self.bump(); // << / >>
+                    }
+                    self.eat_punct('=');
+                    parts.push(self.parse_operand(no_struct));
+                }
+                _ => break,
+            }
+        }
+        if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            let span = self.span_from(start);
+            Expr { kind: ExprKind::Chain(parts), span }
+        }
+    }
+
+    /// After `..`: does an operand follow (vs. `0..` in an index or
+    /// `[..5]`-style open starts handled by the operand path)?
+    fn range_rhs_follows(&self, no_struct: bool) -> bool {
+        match self.peek(0) {
+            None => false,
+            Some(t) => match t.kind {
+                TokenKind::Punct(c) => {
+                    !(matches!(c, ';' | ',' | ')' | ']' | '}') || (no_struct && c == '{'))
+                }
+                TokenKind::Ident if no_struct && t.text == "{" => false,
+                _ => true,
+            },
+        }
+    }
+
+    /// Skips a type after `as` (path, generics, references, fn-pointer
+    /// parens) without consuming operators that would belong to the
+    /// surrounding expression.
+    fn skip_cast_type(&mut self) {
+        loop {
+            match self.peek(0) {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    // `usize`, `f32`, path segments; `as` chains stop at
+                    // non-type keywords handled by the caller naturally.
+                    self.bump();
+                    if self.peek_punct(0) == Some(':') && self.peek_punct(1) == Some(':') {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    if self.peek_punct(0) == Some('<') {
+                        self.skip_generics();
+                    }
+                    break;
+                }
+                Some(t)
+                    if matches!(
+                        t.kind,
+                        TokenKind::Punct('&') | TokenKind::Punct('*') | TokenKind::Punct('\'')
+                    ) =>
+                {
+                    self.bump();
+                }
+                Some(t) if t.kind == TokenKind::Lifetime => {
+                    self.bump();
+                }
+                Some(t) if t.kind == TokenKind::Ident && t.text == "mut" => {
+                    self.bump();
+                }
+                Some(t) if t.kind == TokenKind::Punct('(') => {
+                    self.skip_group();
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn parse_operand(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        // Prefix operators.
+        let mut prefixed = false;
+        loop {
+            match self.peek(0) {
+                Some(t) if matches!(t.kind, TokenKind::Punct('&') | TokenKind::Punct('*')) => {
+                    // `&&` prefix (double reference) also lands here.
+                    self.bump();
+                    prefixed = true;
+                    self.eat_kw("mut");
+                }
+                Some(t) if t.kind == TokenKind::Punct('-') || t.kind == TokenKind::Punct('!') => {
+                    self.bump();
+                    prefixed = true;
+                }
+                _ => break,
+            }
+        }
+        let mut expr = self.parse_primary(no_struct);
+        // Postfix chain.
+        loop {
+            match self.peek_punct(0) {
+                Some('.') if self.peek_punct(1) == Some('.') => break, // range
+                Some('.') => {
+                    self.bump(); // .
+                    let Some(name_t) = self.peek(0) else { break };
+                    match name_t.kind {
+                        TokenKind::Ident => {
+                            let name = name_t.text.clone();
+                            let name_tok = {
+                                while self.toks[self.pos].is_comment() {
+                                    self.pos += 1;
+                                }
+                                self.pos
+                            };
+                            self.bump();
+                            // Turbofish.
+                            let mut turbofish = None;
+                            if self.peek_punct(0) == Some(':')
+                                && self.peek_punct(1) == Some(':')
+                                && self.peek_punct(2) == Some('<')
+                            {
+                                self.bump();
+                                self.bump();
+                                let from = self.pos;
+                                self.skip_generics();
+                                let text: Vec<&str> = self.toks[from..self.pos]
+                                    .iter()
+                                    .filter(|t| !t.is_comment())
+                                    .map(|t| t.text.as_str())
+                                    .collect();
+                                turbofish = Some(text.join(" "));
+                            }
+                            if self.peek_punct(0) == Some('(') {
+                                let args = self.parse_call_args();
+                                let span = self.span_from(start);
+                                expr = Expr {
+                                    kind: ExprKind::MethodCall {
+                                        recv: Box::new(expr),
+                                        name,
+                                        name_tok,
+                                        turbofish,
+                                        args,
+                                    },
+                                    span,
+                                };
+                            } else {
+                                let span = self.span_from(start);
+                                expr = Expr {
+                                    kind: ExprKind::Field { base: Box::new(expr), name },
+                                    span,
+                                };
+                            }
+                        }
+                        TokenKind::NumLit => {
+                            let name = name_t.text.clone();
+                            self.bump();
+                            let span = self.span_from(start);
+                            expr =
+                                Expr { kind: ExprKind::Field { base: Box::new(expr), name }, span };
+                        }
+                        _ => break,
+                    }
+                }
+                Some('?') => {
+                    self.bump();
+                    let span = self.span_from(start);
+                    expr = Expr { kind: ExprKind::Try(Box::new(expr)), span };
+                }
+                Some('[') => {
+                    self.bump();
+                    let index = self.parse_expr(false);
+                    self.eat_punct(']');
+                    let span = self.span_from(start);
+                    expr = Expr {
+                        kind: ExprKind::Index { base: Box::new(expr), index: Box::new(index) },
+                        span,
+                    };
+                }
+                Some('(') if matches!(expr.kind, ExprKind::Closure(_)) => break,
+                Some('(') if matches!(expr.kind, ExprKind::Tuple(_) | ExprKind::Block(_)) => {
+                    // `(f)(x)` / `{…}(x)` — call of an expression; keep the
+                    // args as children without a resolvable name.
+                    let args = self.parse_call_args();
+                    let span = self.span_from(start);
+                    let mut parts = vec![expr];
+                    parts.extend(args);
+                    expr = Expr { kind: ExprKind::Chain(parts), span };
+                }
+                _ => break,
+            }
+        }
+        if prefixed {
+            let span = self.span_from(start);
+            return Expr { kind: ExprKind::Unary(Box::new(expr)), span };
+        }
+        expr
+    }
+
+    /// Parses `( a, b, … )`; the cursor sits ON the `(`.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        self.eat_punct('(');
+        let mut args = Vec::new();
+        loop {
+            if self.at_eof() || self.peek_punct(0) == Some(')') {
+                break;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(false));
+            if !self.eat_punct(',') && self.peek_punct(0) != Some(')') && self.pos == before {
+                self.bump();
+            }
+            let _ = self.eat_punct(',');
+        }
+        self.eat_punct(')');
+        args
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let start = self.pos;
+        let Some(t) = self.peek(0) else {
+            return Expr { kind: ExprKind::Opaque, span: self.span_from(start.saturating_sub(1)) };
+        };
+        match t.kind {
+            TokenKind::NumLit | TokenKind::StrLit | TokenKind::RawStrLit | TokenKind::CharLit => {
+                let text = t.text.clone();
+                self.bump();
+                Expr { kind: ExprKind::Lit(text), span: self.span_from(start) }
+            }
+            TokenKind::Lifetime => {
+                // Loop label `'outer: loop { … }`.
+                self.bump();
+                self.eat_punct(':');
+                self.parse_primary(no_struct)
+            }
+            TokenKind::Punct('(') => {
+                self.bump();
+                let mut parts = Vec::new();
+                loop {
+                    if self.at_eof() || self.peek_punct(0) == Some(')') {
+                        break;
+                    }
+                    let before = self.pos;
+                    parts.push(self.parse_expr(false));
+                    let _ = self.eat_punct(',');
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                self.eat_punct(')');
+                Expr { kind: ExprKind::Tuple(parts), span: self.span_from(start) }
+            }
+            TokenKind::Punct('[') => {
+                self.bump();
+                let mut parts = Vec::new();
+                loop {
+                    if self.at_eof() || self.peek_punct(0) == Some(']') {
+                        break;
+                    }
+                    let before = self.pos;
+                    parts.push(self.parse_expr(false));
+                    if !self.eat_punct(',') {
+                        let _ = self.eat_punct(';');
+                    }
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                self.eat_punct(']');
+                Expr { kind: ExprKind::Array(parts), span: self.span_from(start) }
+            }
+            TokenKind::Punct('{') => {
+                let block = self.parse_block();
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::Block(block), span }
+            }
+            TokenKind::Punct('|') => self.parse_closure(start),
+            TokenKind::Punct('.') if self.peek_punct(1) == Some('.') => {
+                // Open range start `..x` / `..=x` / bare `..`.
+                self.bump();
+                self.bump();
+                self.eat_punct('=');
+                if self.range_rhs_follows(no_struct) {
+                    let rhs = self.parse_operand(no_struct);
+                    let span = self.span_from(start);
+                    Expr { kind: ExprKind::Chain(vec![rhs]), span }
+                } else {
+                    Expr { kind: ExprKind::Opaque, span: self.span_from(start) }
+                }
+            }
+            TokenKind::Ident => self.parse_ident_primary(start, no_struct),
+            _ => {
+                self.bump();
+                Expr { kind: ExprKind::Opaque, span: self.span_from(start) }
+            }
+        }
+    }
+
+    fn parse_closure(&mut self, start: usize) -> Expr {
+        // `|…| body` or `||` + body; `move` was consumed by the ident path.
+        if self.peek_punct(0) == Some('|') && self.peek_punct(1) == Some('|') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump(); // opening |
+            while !self.at_eof() {
+                match self.peek_punct(0) {
+                    Some('|') => {
+                        self.bump();
+                        break;
+                    }
+                    Some('(') | Some('[') | Some('{') => self.skip_group(),
+                    Some('<') => self.skip_generics(),
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // Optional return annotation `-> T` (body must then be a block).
+        if self.peek_punct(0) == Some('-') && self.peek_punct(1) == Some('>') {
+            self.bump();
+            self.bump();
+            while !self.at_eof() && self.peek_punct(0) != Some('{') {
+                if self.peek_punct(0) == Some('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let body = self.parse_expr(false);
+        let span = self.span_from(start);
+        Expr { kind: ExprKind::Closure(Box::new(body)), span }
+    }
+
+    fn parse_ident_primary(&mut self, start: usize, no_struct: bool) -> Expr {
+        let head = self.peek_text(0).to_string();
+        match head.as_str() {
+            "if" => {
+                self.bump();
+                let cond = self.parse_cond();
+                let then = if self.peek_punct(0) == Some('{') {
+                    self.parse_block()
+                } else {
+                    Block { stmts: Vec::new(), span: self.span_from(self.pos) }
+                };
+                let mut els = None;
+                if self.peek_text(0) == "else" {
+                    self.bump();
+                    let e = if self.peek_text(0) == "if" {
+                        self.parse_ident_primary(self.pos, no_struct)
+                    } else if self.peek_punct(0) == Some('{') {
+                        let b = self.parse_block();
+                        let span = self.span_from(start);
+                        Expr { kind: ExprKind::Block(b), span }
+                    } else {
+                        Expr { kind: ExprKind::Opaque, span: self.span_from(self.pos) }
+                    };
+                    els = Some(Box::new(e));
+                }
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::If { cond: Box::new(cond), then, els }, span }
+            }
+            "while" => {
+                self.bump();
+                let cond = self.parse_cond();
+                let body = if self.peek_punct(0) == Some('{') {
+                    self.parse_block()
+                } else {
+                    Block { stmts: Vec::new(), span: self.span_from(self.pos) }
+                };
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::While { cond: Box::new(cond), body }, span }
+            }
+            "loop" => {
+                self.bump();
+                let body = if self.peek_punct(0) == Some('{') {
+                    self.parse_block()
+                } else {
+                    Block { stmts: Vec::new(), span: self.span_from(self.pos) }
+                };
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::Loop(body), span }
+            }
+            "for" => {
+                self.bump();
+                // Pattern until `in` at depth 0.
+                while !self.at_eof() {
+                    if self.peek_text(0) == "in" {
+                        self.bump();
+                        break;
+                    }
+                    if matches!(self.peek_punct(0), Some('(') | Some('[')) {
+                        self.skip_group();
+                    } else {
+                        self.bump();
+                    }
+                }
+                let iter = self.parse_expr(true);
+                let body = if self.peek_punct(0) == Some('{') {
+                    self.parse_block()
+                } else {
+                    Block { stmts: Vec::new(), span: self.span_from(self.pos) }
+                };
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::For { iter: Box::new(iter), body }, span }
+            }
+            "match" => {
+                self.bump();
+                let scrut = self.parse_expr(true);
+                let arms = self.parse_match_arms();
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::Match { scrut: Box::new(scrut), arms }, span }
+            }
+            "unsafe" => {
+                self.bump();
+                if self.peek_punct(0) == Some('{') {
+                    let b = self.parse_block();
+                    let span = self.span_from(start);
+                    Expr { kind: ExprKind::Block(b), span }
+                } else {
+                    Expr { kind: ExprKind::Opaque, span: self.span_from(start) }
+                }
+            }
+            "return" | "break" => {
+                self.bump();
+                let arg = match self.peek(0) {
+                    None => None,
+                    Some(t) => match t.kind {
+                        TokenKind::Punct(';' | ',' | ')' | ']' | '}') => None,
+                        TokenKind::Lifetime => {
+                            // `break 'label value?`
+                            self.bump();
+                            match self.peek_punct(0) {
+                                Some(';') | Some('}') | None => None,
+                                _ => Some(Box::new(self.parse_expr(no_struct))),
+                            }
+                        }
+                        _ => Some(Box::new(self.parse_expr(no_struct))),
+                    },
+                };
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::Jump(arg), span }
+            }
+            "continue" => {
+                self.bump();
+                if self.peek(0).is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                    self.bump();
+                }
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::Jump(None), span }
+            }
+            "move" => {
+                self.bump();
+                if self.peek_punct(0) == Some('|') {
+                    self.parse_closure(start)
+                } else if self.peek_punct(0) == Some('{') {
+                    let b = self.parse_block();
+                    let span = self.span_from(start);
+                    Expr { kind: ExprKind::Block(b), span }
+                } else {
+                    Expr { kind: ExprKind::Opaque, span: self.span_from(start) }
+                }
+            }
+            "let" => {
+                // `if let`-chain fragment reached as an expression (let-chains
+                // inside conditions): skip pattern to `=`, parse the bound
+                // expression.
+                self.bump();
+                while !self.at_eof() {
+                    match self.peek_punct(0) {
+                        Some('=') if self.peek_punct(1) != Some('=') => {
+                            self.bump();
+                            break;
+                        }
+                        Some('(') | Some('[') => self.skip_group(),
+                        Some('<') => self.skip_generics(),
+                        Some('{') | Some(';') => break,
+                        _ => {
+                            self.bump();
+                        }
+                    }
+                }
+                self.parse_expr(true)
+            }
+            _ => {
+                // Path: segments separated by `::`, optional turbofish.
+                let mut segs: Vec<String> = Vec::new();
+                let mut name_tok = self.pos;
+                loop {
+                    match self.peek(0) {
+                        Some(t) if t.kind == TokenKind::Ident => {
+                            name_tok = {
+                                while self.toks[self.pos].is_comment() {
+                                    self.pos += 1;
+                                }
+                                self.pos
+                            };
+                            segs.push(t.text.clone());
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                    if self.peek_punct(0) == Some(':') && self.peek_punct(1) == Some(':') {
+                        self.bump();
+                        self.bump();
+                        if self.peek_punct(0) == Some('<') {
+                            self.skip_generics();
+                            // `Foo::<T>::bar` — continue if another `::`.
+                            if self.peek_punct(0) == Some(':') && self.peek_punct(1) == Some(':') {
+                                self.bump();
+                                self.bump();
+                                continue;
+                            }
+                            break;
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                if segs.is_empty() {
+                    self.bump();
+                    return Expr { kind: ExprKind::Opaque, span: self.span_from(start) };
+                }
+                // Macro?
+                if self.peek_punct(0) == Some('!')
+                    && matches!(self.peek_punct(1), Some('(') | Some('[') | Some('{'))
+                {
+                    self.bump(); // !
+                    let args = self.parse_macro_args();
+                    let span = self.span_from(start);
+                    return Expr {
+                        kind: ExprKind::Macro {
+                            name: segs.last().cloned().unwrap_or_default(),
+                            name_tok,
+                            args,
+                        },
+                        span,
+                    };
+                }
+                // Call?
+                if self.peek_punct(0) == Some('(') {
+                    let args = self.parse_call_args();
+                    let span = self.span_from(start);
+                    return Expr { kind: ExprKind::Call { path: segs, name_tok, args }, span };
+                }
+                // Struct literal?
+                if !no_struct && self.peek_punct(0) == Some('{') && self.looks_like_struct_lit() {
+                    self.bump(); // {
+                    let mut fields = Vec::new();
+                    loop {
+                        if self.at_eof() || self.peek_punct(0) == Some('}') {
+                            break;
+                        }
+                        let before = self.pos;
+                        // `name: expr` | `name` | `..base`
+                        if self.peek_punct(0) == Some('.') && self.peek_punct(1) == Some('.') {
+                            self.bump();
+                            self.bump();
+                            fields.push(self.parse_expr(false));
+                        } else if self.peek(0).is_some_and(|t| t.kind == TokenKind::Ident) {
+                            let shorthand_name = self.peek_text(0).to_string();
+                            let shorthand_tok = self.pos;
+                            self.bump();
+                            if self.eat_punct(':') {
+                                fields.push(self.parse_expr(false));
+                            } else {
+                                let span = Span::at(self.toks, shorthand_tok, self.pos);
+                                fields.push(Expr { kind: ExprKind::Path(shorthand_name), span });
+                            }
+                        }
+                        let _ = self.eat_punct(',');
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct('}');
+                    let span = self.span_from(start);
+                    return Expr {
+                        kind: ExprKind::StructLit {
+                            path: segs.last().cloned().unwrap_or_default(),
+                            fields,
+                        },
+                        span,
+                    };
+                }
+                let span = self.span_from(start);
+                Expr { kind: ExprKind::Path(segs.join("::")), span }
+            }
+        }
+    }
+
+    /// After a path, a `{` opens a struct literal when its first tokens
+    /// look like field syntax (`ident:` / `ident,` / `ident }` / `..`).
+    fn looks_like_struct_lit(&self) -> bool {
+        debug_assert_eq!(self.peek_punct(0), Some('{'));
+        match self.peek(1) {
+            None => false,
+            Some(t) => match t.kind {
+                TokenKind::Ident => {
+                    matches!(self.peek_punct(2), Some(':') | Some(',') | Some('}'))
+                    // `Foo { name: x }` with `name` being a keyword-ish
+                    // ident still matches the shapes above.
+                    && self.peek_punct(3) != Some(':')
+                } // rule out `{ x :: y }` path exprs
+                TokenKind::Punct('.') => self.peek_punct(2) == Some('.'),
+                TokenKind::Punct('}') => true, // `Foo {}`
+                _ => false,
+            },
+        }
+    }
+
+    /// Condition position: struct literals disabled, `if let`/`while let`
+    /// pattern skipped to its `=`.
+    fn parse_cond(&mut self) -> Expr {
+        if self.peek_text(0) == "let" {
+            self.bump();
+            while !self.at_eof() {
+                match self.peek_punct(0) {
+                    Some('=') if self.peek_punct(1) != Some('=') => {
+                        self.bump();
+                        break;
+                    }
+                    Some('(') | Some('[') => self.skip_group(),
+                    Some('{') => break, // malformed; bail before the body
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.parse_expr(true)
+    }
+
+    fn parse_match_arms(&mut self) -> Vec<Arm> {
+        let mut arms = Vec::new();
+        if !self.eat_punct('{') {
+            return arms;
+        }
+        loop {
+            if self.at_eof() || self.peek_punct(0) == Some('}') {
+                break;
+            }
+            let before = self.pos;
+            self.skip_attrs();
+            // Pattern: skip to `=>` or an `if` guard at depth 0.
+            let mut guard = None;
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some(t)
+                        if t.kind == TokenKind::Punct('=') && self.peek_punct(1) == Some('>') =>
+                    {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    Some(t) if t.kind == TokenKind::Ident && t.text == "if" => {
+                        self.bump();
+                        guard = Some(self.parse_guard());
+                        // parse_guard stops before `=>`.
+                        if self.peek_punct(0) == Some('=') && self.peek_punct(1) == Some('>') {
+                            self.bump();
+                            self.bump();
+                        }
+                        break;
+                    }
+                    Some(t)
+                        if matches!(
+                            t.kind,
+                            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{')
+                        ) =>
+                    {
+                        self.skip_group();
+                    }
+                    Some(t) if t.kind == TokenKind::Punct('}') => break,
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+            let body = self.parse_expr(false);
+            let _ = self.eat_punct(',');
+            arms.push(Arm { guard, body });
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        arms
+    }
+
+    /// A match-arm guard: an expression that must stop before `=>`.
+    fn parse_guard(&mut self) -> Expr {
+        // parse_expr already stops at `=>`.
+        self.parse_expr(true)
+    }
+
+    /// Macro arguments: the delimiter group parsed leniently as a list of
+    /// expressions split on `,`/`;` — enough structure to see `unwrap()`
+    /// inside `panic!(…)` arguments or exprs inside `vec![…]`.
+    fn parse_macro_args(&mut self) -> Vec<Expr> {
+        let Some(open) = self.peek_punct(0) else { return Vec::new() };
+        let close = match open {
+            '(' => ')',
+            '[' => ']',
+            '{' => '}',
+            _ => return Vec::new(),
+        };
+        self.bump();
+        let mut args = Vec::new();
+        loop {
+            if self.at_eof() {
+                break;
+            }
+            if self.peek_punct(0) == Some(close) {
+                self.bump();
+                break;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(false));
+            if !self.eat_punct(',') {
+                let _ = self.eat_punct(';');
+            }
+            if self.pos == before {
+                // Token the expression grammar cannot start (e.g. pattern
+                // fragments in matches!): skip it.
+                self.bump();
+            }
+        }
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> File {
+        parse_file(&lex(src))
+    }
+
+    fn first_fn(file: &File) -> &FnDef {
+        match &file.items[0] {
+            Item::Fn(fd) => fd,
+            other => panic!("expected fn, got {other:?}"),
+        }
+    }
+
+    /// All method-call names in a source string, in walk order.
+    fn method_names(src: &str) -> Vec<String> {
+        let file = parse(src);
+        let mut out = Vec::new();
+        for item in &file.items {
+            walk_item(item, &mut |e| {
+                if let ExprKind::MethodCall { name, .. } = &e.kind {
+                    out.push(name.clone());
+                }
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn fn_signature_and_return_type() {
+        let file = parse("pub fn load(path: &Path) -> DistResult<DistCheckpoint> { body() }");
+        let fd = first_fn(&file);
+        assert_eq!(fd.name, "load");
+        assert_eq!(fd.ret_head(), Some("DistResult"));
+        assert!(fd.body.is_some());
+    }
+
+    #[test]
+    fn qualified_return_type_head_is_last_segment() {
+        let file = parse("fn f() -> std::io::Result<()> { x() }");
+        assert_eq!(first_fn(&file).ret_head(), Some("Result"));
+    }
+
+    #[test]
+    fn generic_fn_with_where_clause() {
+        let file = parse(
+            "fn go<M: Layer, F>(model: M, cb: F) -> Result<Out, E>\nwhere F: Fn(usize) -> bool \
+             { cb(1); }",
+        );
+        let fd = first_fn(&file);
+        assert_eq!(fd.name, "go");
+        assert_eq!(fd.ret_head(), Some("Result"));
+        assert_eq!(fd.body.as_ref().map(|b| b.stmts.len()), Some(1));
+    }
+
+    #[test]
+    fn impl_trait_return_type() {
+        let file = parse("fn make() -> impl Iterator<Item = f32> { it() }");
+        let fd = first_fn(&file);
+        assert_eq!(fd.ret_head(), Some("impl"));
+    }
+
+    #[test]
+    fn impl_block_methods_and_self_type() {
+        let src = "impl<T> Trainer<T> { pub fn run(&self) { self.round(0); } fn round(&self, \
+                   s: usize) {} }";
+        let file = parse(src);
+        match &file.items[0] {
+            Item::Impl { self_ty, fns, trait_name, .. } => {
+                assert_eq!(self_ty, "Trainer");
+                assert!(trait_name.is_none());
+                assert_eq!(fns.len(), 2);
+                assert!(fns[0].has_self);
+                assert_eq!(fns[0].name, "run");
+            }
+            other => panic!("expected impl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trait_impl_records_trait_and_self_ty() {
+        let file = parse("impl Layer for Linear { fn forward(&self) {} }");
+        match &file.items[0] {
+            Item::Impl { self_ty, trait_name, fns, .. } => {
+                assert_eq!(self_ty, "Linear");
+                assert_eq!(trait_name.as_deref(), Some("Layer"));
+                assert_eq!(fns[0].name, "forward");
+            }
+            other => panic!("expected impl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_closures_and_method_chains() {
+        let names = method_names(
+            "fn f(v: Vec<Vec<f32>>) { v.iter().map(|row| row.iter().map(|x| x.abs()).sum::<f32>\
+             ()).collect::<Vec<_>>(); }",
+        );
+        // Pre-order, receiver before arguments: the outermost call first,
+        // then its receiver chain, then the closure arguments' bodies.
+        assert_eq!(names, ["collect", "map", "iter", "sum", "map", "iter", "abs"]);
+    }
+
+    #[test]
+    fn turbofish_captured_on_method_calls() {
+        let file = parse("fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }");
+        let mut fish = None;
+        walk_item(&file.items[0], &mut |e| {
+            if let ExprKind::MethodCall { name, turbofish, .. } = &e.kind {
+                if name == "sum" {
+                    fish = turbofish.clone();
+                }
+            }
+        });
+        assert_eq!(fish.as_deref(), Some("< f32 >"));
+    }
+
+    #[test]
+    fn index_try_and_macro_structure() {
+        let file = parse(
+            "fn f(v: &[u32]) -> Result<u32, E> { check(v[0])?; panic!(\"{}\", \
+                          v[1]); Ok(v[2]) }",
+        );
+        let mut idx = 0;
+        let mut macros = Vec::new();
+        walk_item(&file.items[0], &mut |e| match &e.kind {
+            ExprKind::Index { .. } => idx += 1,
+            ExprKind::Macro { name, .. } => macros.push(name.clone()),
+            _ => {}
+        });
+        assert_eq!(idx, 3);
+        assert_eq!(macros, ["panic"]);
+    }
+
+    #[test]
+    fn let_binding_type_head_and_underscore_pattern() {
+        let file = parse(
+            "fn f() { let mut m: HashMap<u32, f32> = HashMap::new(); let _ = send(); let (a, b) \
+             = pair(); }",
+        );
+        let body = first_fn(&file).body.as_ref().unwrap();
+        match &body.stmts[0] {
+            Stmt::Let { pat, ty_head, .. } => {
+                assert_eq!(pat, "mut m");
+                assert_eq!(ty_head.as_deref(), Some("HashMap"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &body.stmts[1] {
+            Stmt::Let { pat, init, .. } => {
+                assert_eq!(pat, "_");
+                assert!(matches!(init.as_ref().unwrap().kind, ExprKind::Call { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &body.stmts[2] {
+            Stmt::Let { pat, .. } => assert_eq!(pat, "( a , b )"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_let_match_and_loops_parse() {
+        let src = "fn f(rx: &Rx) { if let Some(x) = rx.peek() { use_it(x); } match rx.recv() { \
+                   Ok(m) if m.live() => handle(m), Err(_) => return, _ => {} } while let Ok(v) = \
+                   rx.recv() { push(v); } for (i, x) in xs.iter().enumerate() { go(i, x); } }";
+        let names = method_names(src);
+        assert!(names.contains(&"peek".to_string()));
+        assert_eq!(names.iter().filter(|n| *n == "recv").count(), 2);
+        assert!(names.contains(&"live".to_string()));
+        assert!(names.contains(&"enumerate".to_string()));
+    }
+
+    #[test]
+    fn struct_literals_vs_blocks() {
+        let src = "fn f() -> W { if cond { ret() } else { other() }; W { a: g(), b } }";
+        let file = parse(src);
+        let mut calls = Vec::new();
+        let mut lits = Vec::new();
+        walk_item(&file.items[0], &mut |e| match &e.kind {
+            ExprKind::Call { path, .. } => calls.push(path.join("::")),
+            ExprKind::StructLit { path, .. } => lits.push(path.clone()),
+            _ => {}
+        });
+        assert_eq!(lits, ["W"]);
+        assert!(calls.contains(&"g".to_string()));
+        assert!(calls.contains(&"ret".to_string()));
+    }
+
+    #[test]
+    fn chains_capture_all_operands() {
+        let file = parse("fn f() -> f32 { a.norm() * 2.0 + b[0] / c.get().unwrap() }");
+        let names = method_names("fn f() -> f32 { a.norm() * 2.0 + b[0] / c.get().unwrap() }");
+        assert!(names.contains(&"norm".to_string()));
+        assert!(names.contains(&"unwrap".to_string()));
+        drop(file);
+    }
+
+    #[test]
+    fn closure_bodies_are_marked() {
+        let file = parse("fn f(xs: &[f32]) { xs.iter().for_each(|x| sink.send(*x).unwrap()); }");
+        let mut in_closure = Vec::new();
+        walk_item(&file.items[0], &mut |e| {
+            if let ExprKind::Closure(body) = &e.kind {
+                walk_expr(body, &mut |inner| {
+                    if let ExprKind::MethodCall { name, .. } = &inner.kind {
+                        in_closure.push(name.clone());
+                    }
+                });
+            }
+        });
+        assert_eq!(in_closure, ["unwrap", "send"]);
+    }
+
+    #[test]
+    fn spans_round_trip_byte_offsets() {
+        let src = "fn f(v: &[f32]) -> f32 { v.iter().map(|x| x * 2.0).sum::<f32>() }";
+        let toks = lex(src);
+        let file = parse_file(&toks);
+        let mut checked = 0;
+        walk_item(&file.items[0], &mut |e| {
+            let slice = &src[e.span.lo..e.span.hi];
+            assert!(!slice.is_empty());
+            // The span starts exactly at its first token.
+            assert_eq!(e.span.lo, toks[e.span.tok_lo].off);
+            checked += 1;
+        });
+        assert!(checked > 5);
+        let Item::Fn(fd) = &file.items[0] else { panic!() };
+        assert_eq!(&src[fd.span.lo..fd.span.hi], src);
+    }
+
+    #[test]
+    fn malformed_input_never_panics_and_recovers() {
+        for src in [
+            "fn f( {",
+            "impl } fn g() { h(); }",
+            "fn f() { let x = ; }",
+            "fn f() { a.b.(); } fn g() { ok(); }",
+            "#[cfg(test)] mod t { fn x() { }",
+            "fn f() { match x { } }",
+        ] {
+            let file = parse(src);
+            drop(file);
+        }
+        // And later items still parse after garbage.
+        let file = parse("struct ???; fn g() { ok(); }");
+        let fns = collect_fns(&file);
+        assert!(fns.iter().any(|(fd, _)| fd.name == "g"));
+    }
+
+    #[test]
+    fn let_else_parses_with_diverging_block() {
+        let file = parse("fn f() { let Some(x) = get() else { return; }; use_it(x); }");
+        let body = first_fn(&file).body.as_ref().unwrap();
+        match &body.stmts[0] {
+            Stmt::Let { els, init, .. } => {
+                assert!(els.is_some());
+                assert!(init.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn collect_fns_sees_nested_and_impl_fns() {
+        let src = "mod outer { impl T { fn m(&self) {} } fn free() { fn inner() {} } }";
+        let file = parse(src);
+        let fns = collect_fns(&file);
+        let names: Vec<_> = fns.iter().map(|(fd, st)| (fd.name.as_str(), *st)).collect();
+        assert!(names.contains(&("m", Some("T"))));
+        assert!(names.contains(&("free", None)));
+        assert!(names.contains(&("inner", None)));
+    }
+
+    #[test]
+    fn cast_and_ranges_do_not_derail() {
+        let names = method_names(
+            "fn f() { let x = n as f64 * 0.5; for i in 0..xs.len() { xs[i].touch(); } let s = \
+             &buf[lo..hi]; }",
+        );
+        assert!(names.contains(&"len".to_string()));
+        assert!(names.contains(&"touch".to_string()));
+    }
+
+    #[test]
+    fn receiver_labels_render() {
+        let file = parse("fn f() { pool.spawned.lock(); }");
+        let mut label = None;
+        walk_item(&file.items[0], &mut |e| {
+            if let ExprKind::MethodCall { recv, name, .. } = &e.kind {
+                if name == "lock" {
+                    label = Some(receiver_label(recv));
+                }
+            }
+        });
+        assert_eq!(label.as_deref(), Some("pool.spawned"));
+    }
+}

@@ -1,0 +1,301 @@
+//! A workspace call graph over the [`crate::symbols`] function index.
+//!
+//! Each function gets an adjacency list of resolved call sites. Edges are
+//! name-resolved through the symbol table (see its caveats: no type
+//! inference, no trait dispatch), and test functions never contribute
+//! edges — a call that only happens under `#[cfg(test)]` cannot make a
+//! panic "reachable" in production. Closure bodies belong to the defining
+//! function: a worker closure handed to a thread pool still executes the
+//! trainer's code.
+//!
+//! [`reachable`] runs a BFS from a root set and keeps one parent pointer
+//! per reached function, so findings can pin the *shortest* call chain
+//! (`run → round → pack_refs`) into their message.
+
+use crate::ast::{Block, Expr, ExprKind, Stmt};
+use crate::symbols::SymbolTable;
+use std::collections::{HashMap, VecDeque};
+
+/// One resolved call site.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    /// Callee function id.
+    pub callee: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// 1-based column of the call.
+    pub col: u32,
+}
+
+/// Adjacency lists, indexed by function id.
+pub struct CallGraph {
+    /// `calls[f]` = call sites inside function `f`, in source order.
+    pub calls: Vec<Vec<CallEdge>>,
+}
+
+impl CallGraph {
+    /// Resolves every call site in every non-test function.
+    pub fn build(symbols: &SymbolTable<'_>) -> CallGraph {
+        let mut calls = vec![Vec::new(); symbols.fns.len()];
+        for (id, f) in symbols.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = &f.def.body else { continue };
+            let mut edges = Vec::new();
+            walk_own_exprs(body, &mut |expr| {
+                let targets = match &expr.kind {
+                    ExprKind::Call { path, .. } => symbols.candidates_for_call(f.file, path),
+                    ExprKind::MethodCall { recv, name, .. } => symbols.candidates_for_method(
+                        f.file,
+                        f.self_ty,
+                        receiver_is_self(recv),
+                        name,
+                    ),
+                    _ => return,
+                };
+                for callee in targets {
+                    edges.push(CallEdge { callee, line: expr.span.line, col: expr.span.col });
+                }
+            });
+            calls[id] = edges;
+        }
+        CallGraph { calls }
+    }
+}
+
+fn receiver_is_self(recv: &Expr) -> bool {
+    match &recv.kind {
+        ExprKind::Path(p) => p == "self",
+        ExprKind::Unary(inner) | ExprKind::Try(inner) => receiver_is_self(inner),
+        _ => false,
+    }
+}
+
+/// Pre-order walk over a function's *own* expressions: descends into
+/// blocks and closures but not into nested item definitions (those are
+/// separate call-graph nodes).
+pub fn walk_own_exprs<'a>(block: &'a Block, f: &mut dyn FnMut(&'a Expr)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { init, els, .. } => {
+                if let Some(e) = init {
+                    walk(e, f);
+                }
+                if let Some(b) = els {
+                    walk_own_exprs(b, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => walk(expr, f),
+            Stmt::Item(_) => {}
+        }
+    }
+    fn walk<'a>(expr: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+        f(expr);
+        match &expr.kind {
+            ExprKind::Call { args, .. } | ExprKind::Macro { args, .. } => {
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                walk(recv, f);
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            ExprKind::Field { base, .. } => walk(base, f),
+            ExprKind::Index { base, index } => {
+                walk(base, f);
+                walk(index, f);
+            }
+            ExprKind::Try(inner) | ExprKind::Closure(inner) | ExprKind::Unary(inner) => {
+                walk(inner, f);
+            }
+            ExprKind::Block(b) | ExprKind::Loop(b) => walk_own_exprs(b, f),
+            ExprKind::If { cond, then, els } => {
+                walk(cond, f);
+                walk_own_exprs(then, f);
+                if let Some(e) = els {
+                    walk(e, f);
+                }
+            }
+            ExprKind::Match { scrut, arms } => {
+                walk(scrut, f);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        walk(g, f);
+                    }
+                    walk(&arm.body, f);
+                }
+            }
+            ExprKind::While { cond, body } => {
+                walk(cond, f);
+                walk_own_exprs(body, f);
+            }
+            ExprKind::For { iter, body } => {
+                walk(iter, f);
+                walk_own_exprs(body, f);
+            }
+            ExprKind::Jump(inner) => {
+                if let Some(e) = inner {
+                    walk(e, f);
+                }
+            }
+            ExprKind::Chain(parts) | ExprKind::Tuple(parts) | ExprKind::Array(parts) => {
+                for p in parts {
+                    walk(p, f);
+                }
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for fl in fields {
+                    walk(fl, f);
+                }
+            }
+            ExprKind::Path(_) | ExprKind::Lit(_) | ExprKind::Opaque => {}
+        }
+    }
+}
+
+/// BFS from `roots` over functions passing `allow`; returns each reached
+/// function's parent (`None` for roots). Shortest-path parents, ties
+/// broken by source order, so chains are deterministic.
+pub fn reachable(
+    graph: &CallGraph,
+    roots: &[usize],
+    allow: &dyn Fn(usize) -> bool,
+) -> HashMap<usize, Option<usize>> {
+    let mut pred: HashMap<usize, Option<usize>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for &r in roots {
+        if allow(r) && !pred.contains_key(&r) {
+            pred.insert(r, None);
+            queue.push_back(r);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for edge in &graph.calls[id] {
+            if allow(edge.callee) && !pred.contains_key(&edge.callee) {
+                pred.insert(edge.callee, Some(id));
+                queue.push_back(edge.callee);
+            }
+        }
+    }
+    pred
+}
+
+/// Renders the call chain from a root down to `id`:
+/// `run → round → pack_refs`.
+pub fn chain(symbols: &SymbolTable<'_>, pred: &HashMap<usize, Option<usize>>, id: usize) -> String {
+    let mut names = Vec::new();
+    let mut cur = Some(id);
+    while let Some(c) = cur {
+        names.push(symbols.fns[c].def.name.clone());
+        cur = pred.get(&c).copied().flatten();
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::ParsedFile;
+    use std::path::Path;
+
+    fn table_of(sources: &[(&str, &str)]) -> Vec<ParsedFile> {
+        sources.iter().map(|(rel, src)| ParsedFile::parse(Path::new(rel), src)).collect()
+    }
+
+    fn id_of(symbols: &SymbolTable<'_>, name: &str) -> usize {
+        symbols.all_named(name)[0]
+    }
+
+    #[test]
+    fn three_deep_chain_resolves_and_renders() {
+        let files = table_of(&[(
+            "crates/dist/src/trainer.rs",
+            "impl Trainer { pub fn run(&self) { self.round(0); } \
+             fn round(&self, s: usize) { pack_refs(s); } } \
+             fn pack_refs(s: usize) { helper(s); } \
+             fn helper(_s: usize) {}",
+        )]);
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&symbols);
+        let run = id_of(&symbols, "run");
+        let pred = reachable(&graph, &[run], &|_| true);
+        let helper = id_of(&symbols, "helper");
+        assert!(pred.contains_key(&helper));
+        assert_eq!(chain(&symbols, &pred, helper), "run → round → pack_refs → helper");
+    }
+
+    #[test]
+    fn test_fns_emit_no_edges_and_are_not_reached() {
+        let files = table_of(&[(
+            "crates/dist/src/x.rs",
+            "fn entry() { live(); } fn live() {} \
+             #[cfg(test)] mod t { fn t_only() { super::live(); } }",
+        )]);
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&symbols);
+        let t_only = id_of(&symbols, "t_only");
+        assert!(graph.calls[t_only].is_empty());
+        let pred = reachable(&graph, &[id_of(&symbols, "entry")], &|_| true);
+        assert!(pred.contains_key(&id_of(&symbols, "live")));
+        assert!(!pred.contains_key(&t_only));
+    }
+
+    #[test]
+    fn closure_calls_belong_to_the_defining_fn() {
+        let files = table_of(&[(
+            "crates/dist/src/x.rs",
+            "fn entry(xs: &[u32]) { xs.iter().for_each(|x| deferred(*x)); } \
+             fn deferred(_x: u32) {}",
+        )]);
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&symbols);
+        let pred = reachable(&graph, &[id_of(&symbols, "entry")], &|_| true);
+        assert!(pred.contains_key(&id_of(&symbols, "deferred")));
+    }
+
+    #[test]
+    fn nested_item_fns_are_separate_nodes() {
+        let files = table_of(&[(
+            "crates/dist/src/x.rs",
+            "fn outer() { fn inner() { secret(); } inner(); } fn secret() {}",
+        )]);
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&symbols);
+        let outer = id_of(&symbols, "outer");
+        // outer calls inner (not secret directly)…
+        assert!(graph.calls[outer].iter().any(|e| symbols.fns[e.callee].def.name == "inner"));
+        assert!(!graph.calls[outer].iter().any(|e| symbols.fns[e.callee].def.name == "secret"));
+        // …but secret is still transitively reachable through inner.
+        let pred = reachable(&graph, &[outer], &|_| true);
+        assert!(pred.contains_key(&id_of(&symbols, "secret")));
+    }
+
+    #[test]
+    fn allow_filter_bounds_the_traversal() {
+        let files = table_of(&[
+            ("crates/dist/src/x.rs", "fn entry() { crosses(); }"),
+            ("crates/dist/src/y.rs", "fn crosses() { far(); } fn far() {}"),
+        ]);
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&symbols);
+        let entry = id_of(&symbols, "entry");
+        let crosses = id_of(&symbols, "crosses");
+        let pred = reachable(&graph, &[entry], &|id| id != crosses);
+        assert!(!pred.contains_key(&crosses));
+        assert!(!pred.contains_key(&id_of(&symbols, "far")));
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let files = table_of(&[("crates/dist/src/x.rs", "fn a() { b(); } fn b() { a(); }")]);
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&symbols);
+        let pred = reachable(&graph, &[id_of(&symbols, "a")], &|_| true);
+        assert_eq!(pred.len(), 2);
+    }
+}

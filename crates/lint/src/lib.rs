@@ -15,16 +15,28 @@
 //!    strings, lifetimes vs. chars, raw identifiers);
 //! 2. [`scope`] — exact per-token `#[cfg(test)]` masking, nested and
 //!    repeated test modules included;
-//! 3. [`rules`] — the rule catalog and engine (see `rules::RULES`);
-//! 4. [`deps`] — a Cargo manifest reader backing `dep-allowlist`.
+//! 3. [`ast`] — a lenient recursive-descent parser producing a
+//!    lightweight item/statement/expression tree over those tokens;
+//! 4. [`symbols`] + [`callgraph`] — a workspace-wide function index and
+//!    name-resolved call graph (test-aware: `#[cfg(test)]` code never
+//!    contributes edges);
+//! 5. [`rules`] — the rule catalog and the file-local token rules;
+//! 6. [`semantic`] — the cross-file rules (panic reachability with
+//!    pinned call chains, lock-order and guard-liveness hazards, float
+//!    determinism, discarded `Result`s);
+//! 7. [`deps`] — a Cargo manifest reader backing `dep-allowlist`.
 //!
 //! [`run`] walks a workspace root and returns a [`Report`]; the binary
 //! renders it as `file:line:col` diagnostics or `--json`.
 
+pub mod ast;
+pub mod callgraph;
 pub mod deps;
 pub mod lexer;
 pub mod rules;
 pub mod scope;
+pub mod semantic;
+pub mod symbols;
 
 pub use rules::{Diagnostic, RuleInfo, RULES};
 
@@ -152,17 +164,37 @@ pub fn run(config: &Config) -> Result<Report, String> {
     rs_files.sort();
     manifests.sort();
 
-    let mut report = Report::default();
+    // Phase 1: lex/mask/parse the whole workspace, so the semantic rules
+    // can resolve names across files.
+    let mut parsed = Vec::with_capacity(rs_files.len());
     for path in &rs_files {
         let src =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = path.strip_prefix(&config.root).unwrap_or(path);
-        let tokens = lexer::lex(&src);
-        let mask = scope::test_mask(&tokens);
-        let ctx = rules::FileContext::new(rel, &tokens, &mask);
-        report.diagnostics.extend(rules::check_tokens(&ctx, &|rule| config.enabled(rule)));
-        report.files_scanned += 1;
+        parsed.push(symbols::ParsedFile::parse(rel, &src));
     }
+
+    // Phase 2: file-local token rules, then the workspace-wide semantic
+    // pass over the same parsed files.
+    let mut report = Report { files_scanned: parsed.len(), ..Report::default() };
+    for pf in &parsed {
+        let ctx = rules::FileContext::new(Path::new(&pf.rel), &pf.tokens, &pf.mask);
+        report.diagnostics.extend(rules::check_tokens(&ctx, &|rule| config.enabled(rule)));
+    }
+    report.diagnostics.extend(semantic::check(&parsed, &|rule| config.enabled(rule)));
+
+    // A reachable panic site is reported with its call chain by
+    // dist-panic-reachability; the plain dist-no-panic finding at the
+    // same position is redundant noise.
+    let reach: BTreeSet<(String, u32, u32)> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "dist-panic-reachability")
+        .map(|d| (d.file.clone(), d.line, d.col))
+        .collect();
+    report
+        .diagnostics
+        .retain(|d| d.rule != "dist-no-panic" || !reach.contains(&(d.file.clone(), d.line, d.col)));
 
     if config.enabled("dep-allowlist") {
         let root_manifest = config.root.join("Cargo.toml");

@@ -6,6 +6,7 @@
 //! cargo run --release -p puffer-lint -- --rules dist-no-panic,dep-allowlist
 //! cargo run --release -p puffer-lint -- --root path/to/tree
 //! cargo run --release -p puffer-lint -- --list      # print the rule catalog
+//! cargo run --release -p puffer-lint -- --explain lock-order-consistency
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
@@ -14,7 +15,33 @@ use puffer_lint::{run, Config, RULES};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: puffer-lint [--root DIR] [--rules a,b,...] [--json] [--list]"
+    "usage: puffer-lint [--root DIR] [--rules a,b,...] [--json] [--list] [--explain RULE]"
+}
+
+/// Prints one rule's rationale and minimal before/after example. The
+/// catalog in `RULES` is the single source of truth — DESIGN.md's §8
+/// table is checked against it by `catalog_docs_sync`.
+fn explain(name: &str) -> ExitCode {
+    let Some(rule) = RULES.iter().find(|r| r.name == name) else {
+        eprintln!(
+            "unknown rule `{name}` (known: {})",
+            RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    println!("{}", rule.name);
+    println!("  {}\n", rule.description);
+    println!("why:");
+    println!("  {}\n", rule.rationale);
+    println!("violates:");
+    for line in rule.example_bad.lines() {
+        println!("    {line}");
+    }
+    println!("\nfixed:");
+    for line in rule.example_good.lines() {
+        println!("    {line}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -30,6 +57,13 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => match args.next() {
+                Some(name) => return explain(&name),
+                None => {
+                    eprintln!("--explain needs a rule name\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => config.root = dir.into(),
                 None => {

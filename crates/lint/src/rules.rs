@@ -3,9 +3,18 @@
 //!
 //! # Rule catalog
 //!
+//! Token rules run here; the starred rules are semantic (AST +
+//! call-graph) and live in [`crate::semantic`] — `dist-no-panic`
+//! migrated there when the AST landed. [`RULES`] describes all of them.
+//!
 //! | rule | scope | contract |
 //! |---|---|---|
-//! | `dist-no-panic` | `crates/dist/src`, non-test | failures route through `DistError`, never panic |
+//! | `dist-no-panic`* | `crates/dist/src`, non-test | failures route through `DistError`, never panic |
+//! | `dist-panic-reachability`* | `crates/dist/src`, non-test | no panic site transitively reachable from a dist entry point |
+//! | `lock-order-consistency`* | workspace, non-test | every lock pair acquired in one consistent order |
+//! | `guard-across-blocking-op`* | workspace, non-test | no live lock guard across channel `send`/`recv`/thread `join` |
+//! | `nondeterministic-float-reduction`* | workspace minus tensor kernels/probe/insight, non-test | no float reduction over hash iteration order |
+//! | `discarded-result`* | workspace, non-test | no silent `let _ =`/bare-statement discard of a `Result` |
 //! | `dist-no-instant` | `crates/dist/src`, non-test | dist timing flows through `puffer_probe::TimedSpan` |
 //! | `unsafe-needs-safety-comment` | workspace, incl. tests | every `unsafe` is preceded by a `// SAFETY:` comment |
 //! | `no-wall-clock-outside-probe` | workspace minus `crates/probe`, non-test | `Instant`/`SystemTime` live only in `puffer-probe` |
@@ -41,12 +50,19 @@ pub struct Diagnostic {
     pub message: String,
 }
 
-/// Static description of a rule, for `--rules` filtering and docs.
+/// Static description of a rule, for `--rules` filtering, `--explain`,
+/// and the DESIGN.md catalog (which a test keeps in sync).
 pub struct RuleInfo {
     /// The rule's name as used in `--rules` and `lint:allow(...)`.
     pub name: &'static str,
     /// One-line description.
     pub description: &'static str,
+    /// Why the rule exists — the failure it prevents.
+    pub rationale: &'static str,
+    /// A minimal violating snippet.
+    pub example_bad: &'static str,
+    /// The same snippet, fixed.
+    pub example_good: &'static str,
 }
 
 /// Every rule this binary knows, in reporting order.
@@ -55,49 +71,165 @@ pub const RULES: &[RuleInfo] = &[
         name: "dist-no-panic",
         description: "no .unwrap()/.expect()/panic!/unreachable! in crates/dist non-test code \
                       (route failures through DistError)",
+        rationale: "The fault-tolerance layer exists to survive worker failure; a panic inside \
+                    it is a failure mode it cannot model. Every fallible step in crates/dist \
+                    must surface as DistError so the aggregator's recovery path sees it.",
+        example_bad: "let msg = rx.recv().unwrap();",
+        example_good: "let msg = rx.recv().map_err(|_| DistError::ChannelClosed)?;",
+    },
+    RuleInfo {
+        name: "dist-panic-reachability",
+        description: "no unwrap/expect/panic!/direct indexing transitively reachable from a \
+                      dist entry point (train_data_parallel*, run_worker, run_aggregator, run) \
+                      — findings pin the call chain",
+        rationale: "dist-no-panic sees one file at a time; this rule walks the call graph, so \
+                    a helper three calls below Trainer::run cannot hide an unwrap. A panic \
+                    anywhere on a reachable path kills the trainer mid-protocol and strands \
+                    the other workers at a barrier.",
+        example_bad: "pub fn run_worker(s: &[f32], i: usize) -> f32 { pick(s, i) }\n\
+                      fn pick(s: &[f32], i: usize) -> f32 { s[i] }",
+        example_good: "pub fn run_worker(s: &[f32], i: usize) -> DistResult<f32> { pick(s, i) }\n\
+                       fn pick(s: &[f32], i: usize) -> DistResult<f32> {\n    \
+                       s.get(i).copied().ok_or(DistError::ShardOutOfRange)\n}",
+    },
+    RuleInfo {
+        name: "lock-order-consistency",
+        description: "two locks acquired in opposite orders in different functions (one level \
+                      of call-graph propagation) are a deadlock under contention",
+        rationale: "Thread A holds lock X and wants Y; thread B holds Y and wants X — both \
+                    block forever. The hazard is invisible file-locally because each function \
+                    looks fine on its own; only comparing acquisition orders across the \
+                    workspace exposes it.",
+        example_bad: "fn a(s: &S) { let g = s.x.lock(); let h = s.y.lock(); }\n\
+                      fn b(s: &S) { let h = s.y.lock(); let g = s.x.lock(); }",
+        example_good: "fn a(s: &S) { let g = s.x.lock(); let h = s.y.lock(); }\n\
+                       fn b(s: &S) { let g = s.x.lock(); let h = s.y.lock(); }",
+    },
+    RuleInfo {
+        name: "guard-across-blocking-op",
+        description: "no live Mutex/RwLock guard held across a channel send/recv or thread \
+                      join; drop the guard before blocking",
+        rationale: "A channel op can block indefinitely (full buffer, dead peer). Holding a \
+                    lock while blocked stalls every other thread that needs that lock — in \
+                    the dist trainer that is the whole worker pool, one heartbeat from being \
+                    declared failed.",
+        example_bad: "let st = state.lock().unwrap();\nlet msg = rx.recv();",
+        example_good: "let snapshot = { state.lock().unwrap().clone() };\nlet msg = rx.recv();",
+    },
+    RuleInfo {
+        name: "nondeterministic-float-reduction",
+        description: "no float .sum()/.fold()/.product() over HashMap/HashSet iteration \
+                      outside crates/tensor kernels and probe/insight (hash order varies per \
+                      process; float addition does not commute)",
+        rationale: "The repo's distributed training is bitwise-deterministic by design \
+                    (seeded data order, exact mean aggregation). Float addition is not \
+                    associative, so reducing over hash iteration order silently produces \
+                    different bits on different runs and breaks replica equivalence checks.",
+        example_bad: "let total: f32 = grads_by_worker.values().sum::<f32>();",
+        example_good: "let mut vals: Vec<(usize, f32)> = grads_by_worker.iter()\n    \
+                       .map(|(k, v)| (*k, *v)).collect();\n\
+                       vals.sort_unstable_by_key(|(k, _)| *k);\n\
+                       let total: f32 = vals.iter().map(|(_, v)| v).sum::<f32>();",
+    },
+    RuleInfo {
+        name: "discarded-result",
+        description: "no `let _ =` or bare-statement discard of a call whose workspace-resolved \
+                      return type is Result (make best-effort calls explicit with .ok())",
+        rationale: "`let _ = fallible()` swallows the error and compiles clean forever. When \
+                    the discard is intentional (best-effort notify on an already-failing \
+                    path), `.ok()` says so; when it is not, this rule is the only thing that \
+                    notices.",
+        example_bad: "let _ = tx.send(Update::Done);",
+        example_good: "tx.send(Update::Done).ok(); // best-effort: receiver may be gone",
     },
     RuleInfo {
         name: "dist-no-instant",
         description: "no raw std::time::Instant in crates/dist non-test code \
                       (use puffer_probe::TimedSpan)",
+        rationale: "Dist timing must flow through puffer-probe so the Fig.-4 breakdown bins \
+                    and the Chrome trace are produced from the same clocks; a raw Instant is \
+                    a number nobody can cross-check.",
+        example_bad: "let t0 = Instant::now();\nstep();\nlet dt = t0.elapsed();",
+        example_good: "let span = timed_span(\"step\");\nstep();\nlet dt = span.finish();",
     },
     RuleInfo {
         name: "unsafe-needs-safety-comment",
         description: "every unsafe block/fn/impl must be preceded by a // SAFETY: comment",
+        rationale: "unsafe moves a proof obligation from the compiler to the author; the \
+                    SAFETY comment is where that proof lives. Without it, the next editor \
+                    cannot know which invariant they are about to break.",
+        example_bad: "unsafe { pack_b(b.as_ptr(), bp.as_mut_ptr()) }",
+        example_good: "// SAFETY: bp holds KC*NR floats, written before any read.\n\
+                       unsafe { pack_b(b.as_ptr(), bp.as_mut_ptr()) }",
     },
     RuleInfo {
         name: "no-wall-clock-outside-probe",
         description: "Instant/SystemTime are confined to crates/probe \
                       (use puffer_probe::{timed_span, Stopwatch})",
+        rationale: "One crate owns the clocks so every latency number in the repo is \
+                    comparable; scattered Instant::now() calls produce timings with no \
+                    registry, no histogram, and no trace events.",
+        example_bad: "let t0 = std::time::Instant::now();",
+        example_good: "let sw = puffer_probe::Stopwatch::start();",
     },
     RuleInfo {
         name: "dep-allowlist",
         description: "external dependencies restricted to the workspace allowlist \
                       (rand/crossbeam/parking_lot/serde; criterion/proptest as dev-deps only)",
+        rationale: "The reproduction's claims depend on the code in this repo, not on an \
+                    unreviewed transitive tree; the frozen allowlist keeps the supply chain \
+                    and the build offline-capable.",
+        example_bad: "[dependencies]\nrayon = \"1\"",
+        example_good: "[dependencies]\ncrossbeam = { workspace = true }",
     },
     RuleInfo {
         name: "no-vec-alloc-in-kernel",
         description: "no `vec![elem; len]` / `Vec::with_capacity` in tensor kernel modules \
                       (draw scratch from puffer_tensor::workspace so steady-state steps stay \
                       allocation-free)",
+        rationale: "Kernel hot loops run thousands of times per step; an allocation inside \
+                    one shows up as allocator contention across the worker pool and ruins \
+                    the perf numbers the paper tables depend on.",
+        example_bad: "let mut packed = vec![0.0f32; kc * nr];",
+        example_good: "let mut packed = workspace::take(kc * nr);",
     },
     RuleInfo {
         name: "simd-needs-feature-gate",
         description: "every `_mm*` intrinsic call sits inside a #[target_feature] fn, and any \
                       file defining such fns also carries an is_x86_feature_detected! runtime \
                       gate (so SIMD paths can never execute on unsupporting hardware)",
+        rationale: "Calling an AVX2 intrinsic on a CPU without AVX2 is undefined behavior \
+                    (usually SIGILL). The attribute alone is not enough — something must \
+                    prove at runtime that the gated fn is reachable only on supporting \
+                    hardware, and keeping that check in the same file keeps the proof local.",
+        example_bad: "fn add(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }",
+        example_good: "fn supported() -> bool { is_x86_feature_detected!(\"avx2\") }\n\
+                       #[target_feature(enable = \"avx2\")]\n\
+                       unsafe fn add(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }",
     },
     RuleInfo {
         name: "dist-pool-width-via-membership",
         description: "no direct pool::set_num_threads in crates/dist non-test code outside the \
                       membership module (pool width follows the active member set; go through \
                       membership::PoolWidthGuard)",
+        rationale: "Pool width tracks the live member count across join/leave epochs; a \
+                    second writer fights the guard's save/restore bookkeeping and leaves the \
+                    pool sized for a membership that no longer exists.",
+        example_bad: "pool::set_num_threads(members.len());",
+        example_good: "let _guard = membership::PoolWidthGuard::resize_for(&members);",
     },
     RuleInfo {
         name: "no-raw-percentile-math",
         description: "no ad-hoc median/percentile/pNN helper fns outside crates/probe and \
                       crates/insight (summarize through puffer_probe::Histogram so every \
                       quantile in the repo means the same thing)",
+        rationale: "Two quantile definitions (nearest-rank vs interpolated, sorted-index \
+                    off-by-one) produce reports that disagree about the same run; one \
+                    Histogram implementation keeps every p50/p99 in the repo comparable.",
+        example_bad: "fn median(xs: &mut Vec<f64>) -> f64 { xs.sort_by(f64::total_cmp); \
+                      xs[xs.len() / 2] }",
+        example_good: "let mut h = Histogram::new();\nfor x in xs { h.record_ns(x); }\n\
+                       let med = h.p50();",
     },
 ];
 
@@ -151,7 +283,9 @@ impl<'a> FileContext<'a> {
         FileContext { rel_path, tokens, test_mask, allows, is_test_file }
     }
 
-    fn suppressed(&self, rule: &str, line: u32) -> bool {
+    /// Whether `lint:allow(rule)` covers this line. Public because the
+    /// semantic rules reuse the same suppression machinery.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
         self.allows.get(&line).is_some_and(|set| set.contains(rule))
     }
 
@@ -197,9 +331,6 @@ fn parse_allow_marker(comment: &str) -> Vec<String> {
 /// Runs every enabled token-level rule over one file.
 pub fn check_tokens(ctx: &FileContext<'_>, enabled: &dyn Fn(&str) -> bool) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    if enabled("dist-no-panic") {
-        dist_no_panic(ctx, &mut out);
-    }
     if enabled("dist-no-instant") {
         dist_no_instant(ctx, &mut out);
     }
@@ -235,57 +366,9 @@ fn code_tokens<'a>(
         .map(|(i, t)| (i, t, ctx.test_mask[i]))
 }
 
-/// Previous / next non-comment token relative to index `i`.
-fn prev_code<'a>(ctx: &'a FileContext<'_>, i: usize) -> Option<&'a Token> {
-    ctx.tokens[..i].iter().rev().find(|t| !t.is_comment())
-}
-
+/// Next non-comment token after index `i`.
 fn next_code<'a>(ctx: &'a FileContext<'_>, i: usize) -> Option<&'a Token> {
     ctx.tokens[i + 1..].iter().find(|t| !t.is_comment())
-}
-
-fn dist_no_panic(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-    if !ctx.in_dist_src() || ctx.is_test_file {
-        return;
-    }
-    for (i, tok, in_test) in code_tokens(ctx) {
-        if in_test || tok.kind != TokenKind::Ident {
-            continue;
-        }
-        match tok.text.as_str() {
-            "unwrap" | "expect" => {
-                let after_dot = prev_code(ctx, i).is_some_and(|p| p.kind == TokenKind::Punct('.'));
-                let called = next_code(ctx, i).is_some_and(|n| n.kind == TokenKind::Punct('('));
-                if after_dot && called {
-                    ctx.diag(
-                        "dist-no-panic",
-                        tok,
-                        format!(
-                            "`.{}()` in puffer-dist non-test code; route the failure through \
-                             DistError instead",
-                            tok.text
-                        ),
-                        out,
-                    );
-                }
-            }
-            "panic" | "unreachable"
-                if next_code(ctx, i).is_some_and(|n| n.kind == TokenKind::Punct('!')) =>
-            {
-                ctx.diag(
-                    "dist-no-panic",
-                    tok,
-                    format!(
-                        "`{}!` in puffer-dist non-test code; a panicking aggregator cannot \
-                         survive its own fault model — return DistError",
-                        tok.text
-                    ),
-                    out,
-                );
-            }
-            _ => {}
-        }
-    }
 }
 
 fn dist_no_instant(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
@@ -617,47 +700,6 @@ mod tests {
             .into_iter()
             .map(|d| (d.rule.to_string(), d.line, d.message))
             .collect()
-    }
-
-    #[test]
-    fn dist_panics_flagged_only_outside_tests_and_literals() {
-        let src = r##"
-fn live(x: Option<u32>) -> u32 {
-    let s = ".unwrap(";          // string decoy
-    /* panic!("decoy") */
-    let r = r#"panic!("x")"#;    // raw string decoy
-    x.unwrap()
-}
-#[cfg(test)]
-mod tests {
-    fn t(x: Option<u32>) { x.unwrap(); panic!("fine in tests"); }
-}
-"##;
-        let diags = run("crates/dist/src/foo.rs", src);
-        assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!((diags[0].0.as_str(), diags[0].1), ("dist-no-panic", 6));
-    }
-
-    #[test]
-    fn expect_and_macros_flagged() {
-        let src = "fn f(x: Option<u32>) { x.expect(\"m\"); panic!(\"b\"); unreachable!() }";
-        let diags = run("crates/dist/src/foo.rs", src);
-        let rules: Vec<_> = diags.iter().map(|d| d.0.as_str()).collect();
-        assert_eq!(rules, ["dist-no-panic"; 3]);
-    }
-
-    #[test]
-    fn expect_method_name_without_call_not_flagged() {
-        // `std::panic::catch_unwind` has `panic` as a path segment, not a
-        // macro bang; a field named `expect` is not a call.
-        let src = "fn f() { let _ = std::panic::catch_unwind(|| 1); let e = cfg.expect; }";
-        assert!(run("crates/dist/src/foo.rs", src).is_empty());
-    }
-
-    #[test]
-    fn dist_rules_do_not_apply_outside_dist() {
-        let src = "fn f(x: Option<u32>) { x.unwrap(); }";
-        assert!(run("crates/nn/src/foo.rs", src).is_empty());
     }
 
     #[test]

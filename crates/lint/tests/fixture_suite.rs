@@ -28,6 +28,9 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/dist/src/after_test_module.rs", 26, "no-wall-clock-outside-probe"),
     ("crates/dist/src/after_test_module.rs", 29, "dist-no-instant"),
     ("crates/dist/src/after_test_module.rs", 29, "no-wall-clock-outside-probe"),
+    ("crates/dist/src/guard_block.rs", 14, "guard-across-blocking-op"),
+    ("crates/dist/src/lock_order.rs", 18, "lock-order-consistency"),
+    ("crates/dist/src/lock_order.rs", 24, "lock-order-consistency"),
     ("crates/dist/src/nested_tests.rs", 20, "dist-no-panic"),
     ("crates/dist/src/nested_tests.rs", 30, "dist-no-panic"),
     ("crates/dist/src/panics.rs", 15, "dist-no-panic"),
@@ -35,6 +38,11 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/dist/src/panics.rs", 24, "dist-no-panic"),
     ("crates/dist/src/panics.rs", 28, "dist-no-panic"),
     ("crates/dist/src/pool_width.rs", 14, "dist-pool-width-via-membership"),
+    ("crates/dist/src/reachable.rs", 24, "dist-panic-reachability"),
+    ("crates/dist/src/reachable.rs", 25, "dist-panic-reachability"),
+    ("crates/other/src/discards.rs", 12, "discarded-result"),
+    ("crates/other/src/discards.rs", 16, "discarded-result"),
+    ("crates/other/src/float_reduce.rs", 9, "nondeterministic-float-reduction"),
     ("crates/other/src/percentiles.rs", 7, "no-raw-percentile-math"),
     ("crates/other/src/wall_clock.rs", 3, "no-wall-clock-outside-probe"),
     ("crates/other/src/wall_clock.rs", 4, "no-wall-clock-outside-probe"),
@@ -98,6 +106,70 @@ fn pool_width_fixture_flags_only_the_unexempted_mutation() {
 }
 
 #[test]
+fn seeded_deep_unwrap_reports_its_full_call_chain_in_json() {
+    // The acceptance case for dist-panic-reachability: reachable.rs seeds
+    // an `.unwrap()` three calls below `Trainer::run` (run → round →
+    // pack_refs → deep_unwrap), and the chain must survive into the
+    // `--json` document verbatim.
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    let unwrap_finding = report
+        .diagnostics
+        .iter()
+        .find(|d| d.file.ends_with("reachable.rs") && d.message.contains("`.unwrap()`"))
+        .expect("seeded deep unwrap not found");
+    assert_eq!(unwrap_finding.rule, "dist-panic-reachability");
+    assert_eq!(unwrap_finding.line, 25);
+    assert!(
+        unwrap_finding.message.contains("run → round → pack_refs → deep_unwrap"),
+        "call chain missing from finding: {}",
+        unwrap_finding.message
+    );
+    let json = report.to_json();
+    assert!(
+        json.contains("run → round → pack_refs → deep_unwrap"),
+        "call chain missing from --json output"
+    );
+}
+
+#[test]
+fn semantic_fixtures_honor_allows_and_test_exemption() {
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    // reachable.rs: the allowed slice access (line 27) and the test-module
+    // unwrap stay silent; only the two seeded sites fire.
+    assert_eq!(report.diagnostics.iter().filter(|d| d.file.ends_with("reachable.rs")).count(), 2);
+    // lock_order.rs: the c/d pair reverses like a/b but both sides carry
+    // allows, and the test module's reversal is exempt — only a/b fires.
+    let lock: Vec<_> =
+        report.diagnostics.iter().filter(|d| d.file.ends_with("lock_order.rs")).collect();
+    assert_eq!(lock.len(), 2, "{lock:?}");
+    assert!(lock.iter().all(|d| d.line < 26), "suppressed c/d pair leaked: {lock:?}");
+    // guard_block.rs / float_reduce.rs / discards.rs: exactly the
+    // unsuppressed non-test sites from EXPECTED, nothing else.
+    for (file, n) in [("guard_block.rs", 1), ("float_reduce.rs", 1), ("discards.rs", 2)] {
+        assert_eq!(
+            report.diagnostics.iter().filter(|d| d.file.ends_with(file)).count(),
+            n,
+            "{file} finding count"
+        );
+    }
+}
+
+#[test]
+fn reachability_dedupes_the_plain_no_panic_finding() {
+    // reachable.rs line 25 is an unwrap in dist non-test code: both
+    // dist-no-panic and dist-panic-reachability match, but the report
+    // keeps only the chain-carrying reachability finding.
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.file.ends_with("reachable.rs") && d.rule == "dist-no-panic"),
+        "dist-no-panic finding not deduped against dist-panic-reachability"
+    );
+}
+
+#[test]
 fn rules_filter_restricts_findings() {
     let mut config = Config::new(fixtures_root());
     config.rules = Some(BTreeSet::from(["dep-allowlist".to_string()]));
@@ -112,9 +184,30 @@ fn rules_filter_restricts_findings() {
 }
 
 #[test]
+fn design_doc_rule_table_matches_the_published_catalog() {
+    // DESIGN.md §8's rule table and `rules::RULES` must name exactly the
+    // same rules — the doc is the human half of the catalog, and a rule
+    // added to one but not the other is a broken contract either way.
+    let design_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("DESIGN.md");
+    let design = std::fs::read_to_string(&design_path).expect("read DESIGN.md");
+    let section = design
+        .split("## 8.")
+        .nth(1)
+        .and_then(|rest| rest.split("\n## ").next())
+        .expect("DESIGN.md §8 missing");
+    let documented: BTreeSet<&str> = section
+        .lines()
+        .filter(|l| l.starts_with("| `"))
+        .filter_map(|l| l.trim_start_matches("| `").split('`').next())
+        .collect();
+    let published: BTreeSet<&str> = puffer_lint::RULES.iter().map(|r| r.name).collect();
+    assert_eq!(documented, published, "DESIGN.md §8 rule table out of sync with rules::RULES");
+}
+
+#[test]
 fn scan_counts_cover_the_fixture_tree() {
     let report = run(&Config::new(fixtures_root())).expect("fixture scan");
-    assert_eq!(report.files_scanned, 13, "fixture .rs census changed");
+    assert_eq!(report.files_scanned, 18, "fixture .rs census changed");
     assert_eq!(report.manifests_scanned, 1, "fixture manifest census changed");
     assert!(!report.is_clean());
 }

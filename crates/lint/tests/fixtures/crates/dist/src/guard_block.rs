@@ -1,0 +1,44 @@
+//! Guard-across-blocking-op fixture: a channel send under a live mutex
+//! guard, a suppressed variant, a drop-first variant, and a test-only
+//! offender that must stay invisible.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Shared {
+    inner: Mutex<u32>,
+}
+
+pub fn sends_under_guard(s: &Shared, tx: &Sender<u32>) {
+    let g = s.inner.lock();
+    tx.send(1).ok();
+    drop(g);
+}
+
+pub fn suppressed(s: &Shared, tx: &Sender<u32>) {
+    let g = s.inner.lock();
+    // lint:allow(guard-across-blocking-op) — fixture: annotated as intentional
+    tx.send(1).ok();
+    drop(g);
+}
+
+pub fn drops_first(s: &Shared, tx: &Sender<u32>) {
+    let g = s.inner.lock();
+    drop(g);
+    tx.send(1).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn guard_across_send_in_tests_is_exempt() {
+        let s = Shared { inner: Mutex::new(0) };
+        let (tx, rx) = channel();
+        let g = s.inner.lock();
+        tx.send(1).ok();
+        drop((g, rx));
+    }
+}

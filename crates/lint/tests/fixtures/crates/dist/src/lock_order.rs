@@ -1,0 +1,57 @@
+//! Lock-order fixture: `ab` acquires `p.a` then `p.b` while `ba` reverses
+//! the order (both sides must be flagged). The `c`/`d` pair reverses too,
+//! but each conflicting site carries an allow; the test module reverses a
+//! pair as well and must stay invisible.
+
+use std::sync::Mutex;
+
+#[derive(Default)]
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+}
+
+pub fn ab(p: &Pair) -> u32 {
+    let ga = p.a.lock();
+    let gb = p.b.lock();
+    combine(&ga, &gb)
+}
+
+pub fn ba(p: &Pair) -> u32 {
+    let gb = p.b.lock();
+    let ga = p.a.lock();
+    combine(&ga, &gb)
+}
+
+pub fn cd(p: &Pair) -> u32 {
+    let gc = p.c.lock();
+    // lint:allow(lock-order-consistency) — fixture: annotated half of a reversed pair
+    let gd = p.d.lock();
+    combine(&gc, &gd)
+}
+
+pub fn dc(p: &Pair) -> u32 {
+    let gd = p.d.lock();
+    // lint:allow(lock-order-consistency) — fixture: the other annotated half
+    let gc = p.c.lock();
+    combine(&gc, &gd)
+}
+
+fn combine(x: &u32, y: &u32) -> u32 {
+    *x + *y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_order_in_tests_is_exempt() {
+        let p = Pair::default();
+        let gb = p.b.lock();
+        let ga = p.a.lock();
+        drop((ga, gb));
+    }
+}

@@ -1,0 +1,41 @@
+//! Panic-reachability fixture: a seeded `.unwrap()` three calls below
+//! `Trainer::run`, a reachable indexing site, a suppressed slice access,
+//! and a test-only panic that must stay invisible to the call-graph walk.
+
+pub struct Trainer {
+    steps: Vec<u32>,
+}
+
+impl Trainer {
+    pub fn run(&self) -> u32 {
+        self.round(0)
+    }
+
+    fn round(&self, step: usize) -> u32 {
+        pack_refs(&self.steps, step)
+    }
+}
+
+fn pack_refs(steps: &[u32], step: usize) -> u32 {
+    deep_unwrap(steps, step)
+}
+
+fn deep_unwrap(steps: &[u32], step: usize) -> u32 {
+    let direct = steps[step];
+    let checked = steps.get(step + 1).copied().unwrap();
+    // lint:allow(dist-panic-reachability) — fixture: the allow must hold on the next line
+    let suppressed = steps[step + 2];
+    direct + checked + suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_in_tests_are_invisible_to_the_walk() {
+        let t = Trainer { steps: vec![1, 2, 3] };
+        let v: Option<u32> = Some(t.run());
+        v.unwrap();
+    }
+}

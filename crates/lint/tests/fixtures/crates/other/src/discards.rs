@@ -1,0 +1,41 @@
+//! Discarded-result fixture: `let _ =` and bare-statement discards of
+//! workspace and `std::fs` `Result`s, a suppressed variant, and the
+//! accepted handling forms (`?` and an explicit `.ok()`).
+
+use std::path::Path;
+
+pub fn save_manifest(path: &Path) -> Result<(), String> {
+    std::fs::write(path, b"puffer").map_err(|e| e.to_string())
+}
+
+pub fn let_discard(path: &Path) {
+    let _ = save_manifest(path);
+}
+
+pub fn bare_discard(path: &Path) {
+    std::fs::remove_file(path);
+}
+
+pub fn suppressed(path: &Path) {
+    // lint:allow(discarded-result) — fixture: annotated best-effort write
+    let _ = save_manifest(path);
+}
+
+pub fn propagates(path: &Path) -> Result<(), String> {
+    save_manifest(path)?;
+    Ok(())
+}
+
+pub fn best_effort(path: &Path) {
+    save_manifest(path).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discards_in_tests_are_exempt() {
+        let _ = save_manifest(Path::new("/tmp/puffer_fixture"));
+    }
+}

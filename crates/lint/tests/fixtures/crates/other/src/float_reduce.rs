@@ -1,0 +1,38 @@
+//! Float-reduction fixture: a `HashMap`-backed `.sum::<f32>()` (flagged),
+//! a suppressed variant, order-safe reductions (`BTreeMap`, min/max
+//! folds), and a test-only offender.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn hash_backed_sum(xs: &[(u32, f32)]) -> f32 {
+    let m: HashMap<u32, f32> = xs.iter().copied().collect();
+    m.values().sum::<f32>()
+}
+
+pub fn suppressed(xs: &[(u32, f32)]) -> f32 {
+    let m: HashMap<u32, f32> = xs.iter().copied().collect();
+    // lint:allow(nondeterministic-float-reduction) — fixture: annotated
+    m.values().sum::<f32>()
+}
+
+pub fn sorted_sum(xs: &[(u32, f32)]) -> f32 {
+    let m: BTreeMap<u32, f32> = xs.iter().copied().collect();
+    m.values().sum::<f32>()
+}
+
+pub fn hash_extreme(xs: &[(u32, f32)]) -> f32 {
+    let m: HashMap<u32, f32> = xs.iter().copied().collect();
+    m.values().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_sum_in_tests_is_exempt() {
+        let m: HashMap<u32, f32> = HashMap::new();
+        let s = m.values().sum::<f32>();
+        assert_eq!(s, 0.0);
+    }
+}

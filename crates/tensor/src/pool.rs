@@ -168,7 +168,9 @@ where
             });
             let result = catch_unwind(AssertUnwindSafe(|| fref(range)));
             drop(sp);
-            let _ = done.send(result);
+            // Best-effort: the dispatcher may have bailed after a panic in
+            // an earlier chunk.
+            done.send(result).ok();
         });
         // SAFETY: the job borrows `f` (and anything `f` captures) for less
         // than this stack frame: we block on `done_rx` below until every

@@ -18,13 +18,22 @@ echo "== fault-injection suite (fixed seeds)"
 cargo test -q -p puffer-dist --test fault_suite
 
 echo "== puffer-lint (workspace correctness contracts, DESIGN.md §8)"
-# Replaces the old awk/grep source checks: token-accurate no-panic and
-# no-raw-clock rules, SAFETY-comment enforcement, and the dependency
-# allowlist. Findings print as file:line:col and fail the gate.
+# The full pass: token rules plus the AST/call-graph semantic rules
+# (panic reachability with pinned call chains, lock-order and
+# guard-liveness hazards, float determinism, discarded Results).
+# Findings print as file:line:col and fail the gate.
 cargo run --release -q -p puffer-lint
 
 echo "== puffer-lint self-test (seeded fixture violations must be caught)"
 cargo test -q -p puffer-lint
+
+echo "== lint semantic-pass bench (zero findings + 5 s scan budget)"
+# Times the full cold analysis and rewrites BENCH_lint.json; keep the
+# committed baseline aside for the bench-diff gate below.
+LINT_BASELINE="$(mktemp)"
+trap 'rm -f "$LINT_BASELINE"' EXIT
+cp BENCH_lint.json "$LINT_BASELINE"
+cargo run --release -q -p puffer-bench --bin lint_bench -- --check
 
 echo "== probe overhead guard (disabled-probe cost < 2% on a GEMM)"
 cargo test -q --release -p puffer-tensor --test probe_overhead
@@ -49,7 +58,7 @@ echo "== elastic-membership soak, smoke length (seeded churn, DESIGN.md §11)"
 # Keep the committed baseline aside first: the bench-diff gate below
 # compares the fresh run against it.
 SOAK_BASELINE="$(mktemp)"
-trap 'rm -f "$SOAK_BASELINE"' EXIT
+trap 'rm -f "$SOAK_BASELINE" "$LINT_BASELINE"' EXIT
 cp BENCH_soak.json "$SOAK_BASELINE"
 PUFFER_SOAK_SMOKE=1 cargo run --release -q -p puffer-bench --bin soak -- --check
 
@@ -66,5 +75,6 @@ echo "== bench-regression gate (noise-aware diff against committed baselines)"
 # perf drift vs the baseline captured before this run regenerated it.
 cargo run --release -q -p puffer-bench --bin bench_diff -- BENCH_gemm.json BENCH_gemm.json --check
 cargo run --release -q -p puffer-bench --bin bench_diff -- "$SOAK_BASELINE" BENCH_soak.json --check
+cargo run --release -q -p puffer-bench --bin bench_diff -- "$LINT_BASELINE" BENCH_lint.json --check
 
 echo "All checks passed."
