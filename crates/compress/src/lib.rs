@@ -137,6 +137,16 @@ pub trait GradCompressor {
     fn restore_state(&mut self, state: &[(String, Tensor)]) -> bool {
         state.is_empty()
     }
+
+    /// Whether the method's aggregation distributes over a bucketed flat
+    /// buffer: reducing each contiguous bucket independently and
+    /// concatenating must equal one reduction of the whole buffer. True
+    /// only for linear, stateless aggregation (the exact mean); methods
+    /// with error feedback, low-rank factorization, or whole-tensor
+    /// statistics must see complete tensors and keep the default.
+    fn supports_bucketed_overlap(&self) -> bool {
+        false
+    }
 }
 
 /// Exact mean of per-worker gradient lists (the reference aggregation all

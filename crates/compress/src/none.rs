@@ -27,6 +27,12 @@ impl GradCompressor for NoCompression {
         AggregationKind::AllReduce
     }
 
+    fn supports_bucketed_overlap(&self) -> bool {
+        // The exact mean is linear and stateless: reducing each bucket of
+        // the flat buffer independently equals reducing the whole buffer.
+        true
+    }
+
     fn round(&mut self, worker_grads: &[Vec<Tensor>]) -> (Vec<Tensor>, RoundStats) {
         // Encode = flatten into one buffer (the paper's packing step).
         let t0 = Stopwatch::start();
@@ -66,5 +72,6 @@ mod tests {
         assert_eq!(out[1].as_slice(), &[1.0, 1.0]);
         assert_eq!(stats.bytes_per_worker, 6 * 4);
         assert_eq!(c.aggregation(), AggregationKind::AllReduce);
+        assert!(c.supports_bucketed_overlap());
     }
 }

@@ -56,6 +56,18 @@ impl PackLayout {
         self.total * std::mem::size_of::<f32>()
     }
 
+    /// Element range tensor `i` occupies in the packed buffer — the slicing
+    /// primitive gradient bucketing builds on (a bucket is a contiguous run
+    /// of whole tensors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn range_of(&self, i: usize) -> std::ops::Range<usize> {
+        let len: usize = self.shapes[i].iter().product();
+        self.offsets[i]..self.offsets[i] + len
+    }
+
     /// Serializes the layout's shape list as one f32 tensor
     /// (`[n, ndim₀, dims…, ndim₁, dims…]`) so stateful compressors can
     /// checkpoint it alongside their flat buffers.
@@ -204,6 +216,9 @@ mod tests {
         assert_eq!(buf.len(), 14);
         assert_eq!(layout.total_bytes(), 56);
         assert_eq!(layout.tensor_count(), 3);
+        assert_eq!(layout.range_of(0), 0..6);
+        assert_eq!(layout.range_of(1), 6..10);
+        assert_eq!(layout.range_of(2), 10..14);
         let back = unpack(&buf, &layout);
         assert_eq!(back, tensors);
     }

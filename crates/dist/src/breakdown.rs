@@ -18,8 +18,16 @@ pub struct EpochBreakdown {
     pub compute: Duration,
     /// Gradient encoding (compression).
     pub encode: Duration,
-    /// Wire time under the cost model.
+    /// Wire time under the cost model (total, whether or not it overlapped
+    /// compute).
     pub comm: Duration,
+    /// The part of `comm` **not** hidden behind compute: under bucketed
+    /// overlap only the tail of the per-bucket collective timeline that
+    /// outlasts the slowest contributor's compute is exposed; on the
+    /// synchronous path every comm nanosecond is (`comm_exposed == comm`).
+    /// Always `≤ comm`. Informational — [`EpochBreakdown::total`] sums the
+    /// serialized phases so span-sum accounting stays exact.
+    pub comm_exposed: Duration,
     /// Gradient decoding/aggregation.
     pub decode: Duration,
     /// Steps skipped by the non-finite-gradient guard (compute was paid,
@@ -51,6 +59,7 @@ impl EpochBreakdown {
             compute: s(self.compute),
             encode: s(self.encode),
             comm: s(self.comm),
+            comm_exposed: s(self.comm_exposed),
             decode: s(self.decode),
             skipped_steps: self.skipped_steps,
         }
@@ -79,6 +88,23 @@ pub fn collective_span_name(aggregation: AggregationKind) -> &'static str {
         AggregationKind::AllReduce => "allreduce",
         AggregationKind::AllGather => "allgather",
     }
+}
+
+/// One bucket's priced communication within an overlapped round: what the
+/// α–β model charged for its collective and how much of that outlasted the
+/// round's compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BucketComm {
+    /// Bytes each worker contributed to this bucket.
+    pub bytes_per_worker: usize,
+    /// Total bytes this bucket moved across all contributors.
+    pub wire_bytes: usize,
+    /// Modeled collective time for this bucket.
+    pub comm: Duration,
+    /// The share of `comm` not hidden behind compute
+    /// (`max(0, end − max(start, slowest_compute))` on the round's
+    /// modeled timeline). Always `≤ comm`.
+    pub exposed: Duration,
 }
 
 /// Accumulates an epoch breakdown from measured per-round quantities.
@@ -126,6 +152,9 @@ impl BreakdownAccumulator {
         self.acc.encode += stats.encode_time;
         self.acc.decode += stats.decode_time;
         self.acc.comm += comm;
+        // The synchronous round serializes after compute: every comm
+        // nanosecond is exposed.
+        self.acc.comm_exposed += comm;
         self.rounds += 1;
         if probe::enabled() {
             // Mirror the exact durations just accumulated onto the trace:
@@ -144,8 +173,61 @@ impl BreakdownAccumulator {
                     ("nodes", nodes.into()),
                     ("bytes", stats.encoded_bytes.into()),
                     ("bytes_per_worker", stats.bytes_per_worker.into()),
+                    ("exposed_ns", (comm.as_nanos() as u64).into()),
                 ],
             );
+            probe::emit_span("dist", "decode", stats.decode_time, vec![("step", step.into())]);
+            probe::counter_add("dist.rounds", 1);
+            probe::counter_add("dist.wire_bytes", stats.encoded_bytes as u64);
+        }
+    }
+
+    /// Records one **overlapped** round: the comm phase ran as a pipeline
+    /// of per-bucket collectives whose start times were gated by gradient
+    /// readiness during backward, so part of the wire time hid behind
+    /// compute. One collective span is emitted per bucket — named after
+    /// the pricing algorithm (`span_name`, see
+    /// [`crate::cost::CollectiveAlgo::span_name`]) and carrying its bucket
+    /// index, per-worker bytes, and the `exposed_ns` share that outlasted
+    /// compute — so the trace's span sum still equals the breakdown's
+    /// `comm` exactly, while `Σ exposed_ns` reproduces `comm_exposed`.
+    /// `group` stamps the intra-group size on hierarchical spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_overlapped(
+        &mut self,
+        step: usize,
+        span_name: &'static str,
+        group: Option<usize>,
+        nodes: usize,
+        buckets: &[BucketComm],
+        compute: Duration,
+        stats: &RoundStats,
+    ) {
+        self.acc.compute += compute;
+        self.acc.encode += stats.encode_time;
+        self.acc.decode += stats.decode_time;
+        for b in buckets {
+            self.acc.comm += b.comm;
+            self.acc.comm_exposed += b.exposed;
+        }
+        self.rounds += 1;
+        if probe::enabled() {
+            probe::emit_span("dist", "compute", compute, vec![("step", step.into())]);
+            probe::emit_span("dist", "encode", stats.encode_time, vec![("step", step.into())]);
+            for (i, b) in buckets.iter().enumerate() {
+                let mut args = vec![
+                    ("step", step.into()),
+                    ("nodes", nodes.into()),
+                    ("bytes", b.wire_bytes.into()),
+                    ("bytes_per_worker", b.bytes_per_worker.into()),
+                    ("bucket", i.into()),
+                    ("exposed_ns", (b.exposed.as_nanos() as u64).into()),
+                ];
+                if let Some(g) = group {
+                    args.push(("group", g.into()));
+                }
+                probe::emit_span("dist", span_name, b.comm, args);
+            }
             probe::emit_span("dist", "decode", stats.decode_time, vec![("step", step.into())]);
             probe::counter_add("dist.rounds", 1);
             probe::counter_add("dist.wire_bytes", stats.encoded_bytes as u64);
@@ -253,13 +335,51 @@ mod tests {
             compute: Duration::from_millis(10),
             encode: Duration::from_millis(1),
             comm: Duration::from_millis(5),
+            comm_exposed: Duration::from_millis(2),
             decode: Duration::from_millis(2),
             skipped_steps: 3,
         };
+        // `comm_exposed` is a subset of `comm`, not an extra phase.
         assert_eq!(b.total(), Duration::from_millis(18));
         assert_eq!(b.scaled(2.0).total(), Duration::from_millis(36));
+        assert_eq!(b.scaled(2.0).comm_exposed, Duration::from_millis(4));
         // Skip counts are not times; scaling leaves them alone.
         assert_eq!(b.scaled(2.0).skipped_steps, 3);
+    }
+
+    #[test]
+    fn sync_rounds_expose_all_comm_and_overlapped_rounds_less() {
+        let profile = ClusterProfile::p3_like(4);
+        let mut vanilla = NoCompression::new();
+        let grads: Vec<Vec<Tensor>> =
+            (0..4).map(|w| vec![Tensor::randn(&[64, 64], 1.0, w as u64)]).collect();
+        let (_, stats) = vanilla.round(&grads);
+
+        let mut sync = BreakdownAccumulator::new();
+        sync.record(0, &profile, &vanilla, Duration::from_millis(3), &stats);
+        assert_eq!(sync.breakdown().comm_exposed, sync.breakdown().comm);
+
+        let mut over = BreakdownAccumulator::new();
+        let buckets = [
+            BucketComm {
+                bytes_per_worker: 8 << 10,
+                wire_bytes: 32 << 10,
+                comm: Duration::from_millis(2),
+                exposed: Duration::ZERO, // fully hidden behind compute
+            },
+            BucketComm {
+                bytes_per_worker: 8 << 10,
+                wire_bytes: 32 << 10,
+                comm: Duration::from_millis(2),
+                exposed: Duration::from_millis(1), // half hidden
+            },
+        ];
+        over.record_overlapped(0, "allreduce", None, 4, &buckets, Duration::from_millis(3), &stats);
+        let b = over.breakdown();
+        assert_eq!(b.comm, Duration::from_millis(4));
+        assert_eq!(b.comm_exposed, Duration::from_millis(1));
+        assert!(b.comm_exposed < b.comm);
+        assert_eq!(over.rounds(), 1);
     }
 
     #[test]

@@ -9,9 +9,105 @@
 //! Allgather: `T = (p−1)·α + (p−1)·n·β` — per-node traffic grows with `p`,
 //! which is why sign/quantization methods lose their wire savings at scale
 //! (appendix F).
+//!
+//! Beyond the ring, two more allreduce shapes are priced (and simulated in
+//! `crate::collectives`), selectable via [`CollectiveAlgo`]:
+//!
+//! * **binary tree**: `T = 2·⌈log₂ p⌉·(α + n·β)` — reduce up the tree,
+//!   broadcast back down; latency-optimal, bandwidth-poor (the full buffer
+//!   crosses every level twice).
+//! * **hierarchical** (two-level): intra-group tree reduce to a leader,
+//!   ring allreduce across the `G` leaders, intra-group broadcast:
+//!   `T = 2·⌈log₂ g⌉·(α + n·β) + 2(G−1)·α + 2·((G−1)/G)·n·β` — the shape
+//!   real multi-rack deployments use, where intra-group links are assumed
+//!   to share the same α/β as the inter-group fabric (a pessimistic,
+//!   single-profile model).
 
 use crate::error::{DistError, DistResult};
 use std::time::Duration;
+
+/// `⌈log₂ p⌉` for `p ≥ 1` (0 for `p ≤ 1`) — the round count of one
+/// direction of a binary-tree collective.
+pub fn ceil_log2(p: usize) -> u32 {
+    if p <= 1 {
+        return 0;
+    }
+    usize::BITS - (p - 1).leading_zeros()
+}
+
+/// Normalizes a hierarchical group size against the node count: `0` means
+/// auto (`⌈√p⌉`, balancing the intra-tree depth against the leader-ring
+/// length), and any explicit value is clamped to `1..=p`.
+pub fn hier_group(p: usize, group: usize) -> usize {
+    if p <= 1 {
+        return 1;
+    }
+    if group == 0 {
+        let mut g = 1;
+        while g * g < p {
+            g += 1;
+        }
+        g
+    } else {
+        group.clamp(1, p)
+    }
+}
+
+/// Which allreduce algorithm a round is priced (and simulated) as.
+///
+/// Selecting an algorithm changes *pricing only*: the trainer's gradient
+/// arithmetic is identical for every variant, so final parameters stay
+/// bitwise-identical across algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectiveAlgo {
+    /// Bandwidth-optimal ring (the PR 5 default).
+    #[default]
+    Ring,
+    /// Latency-optimal binary tree (reduce up, broadcast down).
+    Tree,
+    /// Two-level: intra-group tree → inter-group ring → broadcast.
+    /// `group` is the intra-group size; `0` = auto (`⌈√p⌉`).
+    Hierarchical {
+        /// Intra-group size (`0` = auto `⌈√p⌉`; clamped to `1..=p`).
+        group: usize,
+    },
+}
+
+/// Environment variable selecting the collective algorithm
+/// (`ring` | `tree` | `hier[:G]` | `hierarchical[:G]`).
+pub const ENV_COLLECTIVE: &str = "PUFFER_COLLECTIVE";
+
+impl CollectiveAlgo {
+    /// Parses a `PUFFER_COLLECTIVE` value. Accepts `ring`, `tree`,
+    /// `hier`/`hierarchical` (auto group), and `hier:G`/`hierarchical:G`
+    /// for an explicit intra-group size.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        match s {
+            "ring" => return Some(CollectiveAlgo::Ring),
+            "tree" => return Some(CollectiveAlgo::Tree),
+            "hier" | "hierarchical" => return Some(CollectiveAlgo::Hierarchical { group: 0 }),
+            _ => {}
+        }
+        let rest = s.strip_prefix("hier:").or_else(|| s.strip_prefix("hierarchical:"))?;
+        rest.parse::<usize>().ok().map(|group| CollectiveAlgo::Hierarchical { group })
+    }
+
+    /// Reads [`ENV_COLLECTIVE`] (`None` when unset, empty, or unparseable).
+    pub fn from_env() -> Option<Self> {
+        std::env::var(ENV_COLLECTIVE).ok().as_deref().and_then(Self::parse)
+    }
+
+    /// The probe span name the trainer emits for a round priced with this
+    /// algorithm (puffer-insight keys its per-collective α–β fit on it).
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            CollectiveAlgo::Ring => "allreduce",
+            CollectiveAlgo::Tree => "tree_allreduce",
+            CollectiveAlgo::Hierarchical { .. } => "hier_allreduce",
+        }
+    }
+}
 
 /// A homogeneous cluster's network parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +150,39 @@ impl ClusterProfile {
         }
         let t = (p - 1.0) * self.alpha + (p - 1.0) * bytes as f64 * self.beta;
         Duration::from_secs_f64(t)
+    }
+
+    /// Binary-tree allreduce time: `2·⌈log₂ p⌉·(α + n·β)` — reduce up the
+    /// tree, broadcast back down, the whole buffer crossing each level.
+    pub fn tree_allreduce(&self, bytes: usize) -> Duration {
+        if self.nodes <= 1 {
+            return Duration::ZERO;
+        }
+        let rounds = 2.0 * f64::from(ceil_log2(self.nodes));
+        Duration::from_secs_f64(rounds * (self.alpha + bytes as f64 * self.beta))
+    }
+
+    /// Two-level hierarchical allreduce time for intra-group size `group`
+    /// (`0` = auto `⌈√p⌉`): intra-group tree reduce, ring allreduce across
+    /// the `G = ⌈p/g⌉` group leaders, intra-group tree broadcast.
+    pub fn hier_allreduce(&self, bytes: usize, group: usize) -> Duration {
+        if self.nodes <= 1 {
+            return Duration::ZERO;
+        }
+        let g = hier_group(self.nodes, group);
+        let groups = self.nodes.div_ceil(g);
+        let intra = 2.0 * f64::from(ceil_log2(g)) * (self.alpha + bytes as f64 * self.beta);
+        let leaders = ClusterProfile { nodes: groups, ..*self };
+        leaders.allreduce(bytes) + Duration::from_secs_f64(intra)
+    }
+
+    /// Allreduce time under the selected [`CollectiveAlgo`].
+    pub fn allreduce_with(&self, algo: CollectiveAlgo, bytes: usize) -> Duration {
+        match algo {
+            CollectiveAlgo::Ring => self.allreduce(bytes),
+            CollectiveAlgo::Tree => self.tree_allreduce(bytes),
+            CollectiveAlgo::Hierarchical { group } => self.hier_allreduce(bytes, group),
+        }
     }
 
     /// Total time of `calls` independent allreduces of `bytes` each —
@@ -265,6 +394,115 @@ mod tests {
         }
         // Not constant across rounds.
         assert_ne!(h.jitter_factor(0), h.jitter_factor(1));
+    }
+
+    #[test]
+    fn ceil_log2_matches_definition() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    fn hier_group_auto_is_ceil_sqrt_and_explicit_is_clamped() {
+        assert_eq!(hier_group(1, 0), 1);
+        assert_eq!(hier_group(4, 0), 2);
+        assert_eq!(hier_group(8, 0), 3);
+        assert_eq!(hier_group(16, 0), 4);
+        assert_eq!(hier_group(17, 0), 5);
+        assert_eq!(hier_group(8, 4), 4);
+        assert_eq!(hier_group(8, 100), 8);
+        // An explicit group of 0 is "auto", so the smallest explicit size
+        // is 1; below-range requests clamp up.
+        assert_eq!(hier_group(8, 1), 1);
+    }
+
+    #[test]
+    fn tree_allreduce_matches_closed_form() {
+        let c = ClusterProfile::p3_like(8);
+        let n = 1usize << 20;
+        let want = 2.0 * 3.0 * (c.alpha + n as f64 * c.beta);
+        // Duration round-trips at nanosecond resolution.
+        let got = c.tree_allreduce(n).as_secs_f64();
+        assert!((got - want).abs() < 2e-9, "got {got} want {want}");
+        assert_eq!(ClusterProfile::p3_like(1).tree_allreduce(n), Duration::ZERO);
+    }
+
+    #[test]
+    fn hier_allreduce_matches_closed_form() {
+        let c = ClusterProfile::p3_like(8);
+        let n = 1usize << 20;
+        // group 4 → G = 2 groups: intra tree depth ⌈log₂4⌉ = 2 both ways,
+        // plus a 2-node leader ring.
+        let intra = 2.0 * 2.0 * (c.alpha + n as f64 * c.beta);
+        let ring = ClusterProfile { nodes: 2, ..c }.allreduce(n).as_secs_f64();
+        let got = c.hier_allreduce(n, 4).as_secs_f64();
+        assert!((got - (intra + ring)).abs() < 2e-9, "got {got} want {}", intra + ring);
+        // group = p degenerates to a pure tree.
+        assert_eq!(c.hier_allreduce(n, 8), c.tree_allreduce(n));
+        // group = 1 degenerates to a pure ring.
+        assert_eq!(c.hier_allreduce(n, 1), c.allreduce(n));
+        assert_eq!(ClusterProfile::p3_like(1).hier_allreduce(n, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn hierarchical_beats_both_extremes_at_scale() {
+        // At large p with a mid-size buffer, two-level beats the ring on
+        // latency and the tree on bandwidth.
+        let c = ClusterProfile::p3_like(64);
+        let n = 256 << 10;
+        let hier = c.hier_allreduce(n, 0);
+        assert!(hier < c.allreduce(n), "hier {hier:?} ring {:?}", c.allreduce(n));
+        assert!(hier < c.tree_allreduce(n), "hier {hier:?} tree {:?}", c.tree_allreduce(n));
+    }
+
+    #[test]
+    fn collective_algo_parses_and_names_spans() {
+        assert_eq!(CollectiveAlgo::parse("ring"), Some(CollectiveAlgo::Ring));
+        assert_eq!(CollectiveAlgo::parse("tree"), Some(CollectiveAlgo::Tree));
+        assert_eq!(CollectiveAlgo::parse("hier"), Some(CollectiveAlgo::Hierarchical { group: 0 }));
+        assert_eq!(
+            CollectiveAlgo::parse("hierarchical"),
+            Some(CollectiveAlgo::Hierarchical { group: 0 })
+        );
+        assert_eq!(
+            CollectiveAlgo::parse("hier:4"),
+            Some(CollectiveAlgo::Hierarchical { group: 4 })
+        );
+        assert_eq!(
+            CollectiveAlgo::parse(" hierarchical:16 "),
+            Some(CollectiveAlgo::Hierarchical { group: 16 })
+        );
+        assert_eq!(CollectiveAlgo::parse("mesh"), None);
+        assert_eq!(CollectiveAlgo::parse("hier:x"), None);
+        assert_eq!(CollectiveAlgo::Ring.span_name(), "allreduce");
+        assert_eq!(CollectiveAlgo::Tree.span_name(), "tree_allreduce");
+        assert_eq!(CollectiveAlgo::Hierarchical { group: 0 }.span_name(), "hier_allreduce");
+        assert_eq!(CollectiveAlgo::default(), CollectiveAlgo::Ring);
+    }
+
+    #[test]
+    fn env_collective_round_trips() {
+        // from_env reads the ambient variable, so only exercise the unset
+        // path here (tests run in parallel; parse() covers the grammar).
+        assert_eq!(CollectiveAlgo::parse(""), None);
+    }
+
+    #[test]
+    fn allreduce_with_dispatches_to_each_form() {
+        let c = ClusterProfile::p3_like(16);
+        let n = 1 << 20;
+        assert_eq!(c.allreduce_with(CollectiveAlgo::Ring, n), c.allreduce(n));
+        assert_eq!(c.allreduce_with(CollectiveAlgo::Tree, n), c.tree_allreduce(n));
+        assert_eq!(
+            c.allreduce_with(CollectiveAlgo::Hierarchical { group: 4 }, n),
+            c.hier_allreduce(n, 4)
+        );
     }
 
     #[test]

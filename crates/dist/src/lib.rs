@@ -6,9 +6,16 @@
 //! deterministic function of message bytes, collective type, and node
 //! count). This crate reproduces that decomposition:
 //!
-//! * [`cost`] — the α–β cost model of ring-allreduce and allgather
-//!   (Thakur, Rabenseifner & Gropp 2005), with an EC2-p3.2xlarge-like
-//!   cluster profile (10 Gbps, the paper's testbed);
+//! * [`cost`] — the α–β cost model of ring, binary-tree, and two-level
+//!   hierarchical allreduce plus allgather (Thakur, Rabenseifner & Gropp
+//!   2005), with an EC2-p3.2xlarge-like cluster profile (10 Gbps, the
+//!   paper's testbed), selectable per run via [`cost::CollectiveAlgo`];
+//! * [`collectives`] — executable simulations of the tree and
+//!   hierarchical schedules whose message traces validate the closed
+//!   forms;
+//! * [`bucket`] — DDP-style reverse-backward bucket assignment over the
+//!   packed flat gradient, plus the pinned-order bucketed reducer the
+//!   trainer overlaps communication with backward through;
 //! * [`breakdown`] — per-epoch breakdown accounting combining measured
 //!   compute/encode/decode times with modeled communication;
 //! * [`ddp`] — PyTorch-DDP-style 25 MB gradient bucketing with
@@ -39,7 +46,9 @@
 //! [`membership::PoolWidthGuard`]).
 
 pub mod breakdown;
+pub mod bucket;
 pub mod checkpoint;
+pub mod collectives;
 pub mod cost;
 pub mod ddp;
 pub mod error;

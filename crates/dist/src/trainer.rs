@@ -34,6 +34,29 @@
 //! set the same way, and [`crate::cost::HeteroProfile`] re-prices α/β for
 //! whatever member set is live each round.
 //!
+//! Gradient exchange is **bucketed** ([`crate::bucket`]): every worker
+//! splits its packed flat gradient into size-targeted buckets
+//! ([`RunOptions::bucket_bytes`] / `PUFFER_BUCKET_BYTES`), assigned by
+//! walking the layer list in reverse so the first buckets to fill are the
+//! first the backward pass finalizes — each bucket ships as its own
+//! message the moment backward reaches it, and the aggregator reduces a
+//! bucket eagerly once every expected member delivered it. The apply
+//! order is pinned (worker-id order per bucket, buckets concatenated),
+//! so the final parameters are **bitwise identical** to the
+//! one-flat-bucket run at any bucket size, worker count, or collective
+//! algorithm; the default (`usize::MAX`) *is* the one-flat-bucket run.
+//! Per-bucket communication is priced by the selected
+//! [`CollectiveAlgo`] (ring, binary tree, or two-level hierarchical —
+//! [`RunOptions::collective`] / `PUFFER_COLLECTIVE`) and laid on an
+//! overlap timeline against the measured per-bucket readiness offsets:
+//! the share of comm hidden under still-running backward is *overlapped*,
+//! the remainder is *exposed* ([`EpochBreakdown::comm_exposed`]).
+//! Compressors that cannot aggregate per-bucket
+//! ([`GradCompressor::supports_bucketed_overlap`] is false) still ride
+//! the bucketed transport: the aggregator reassembles each worker's flat
+//! buffer and plays the classic whole-tensor round, with all comm
+//! exposed.
+//!
 //! Worker compute runs on `puffer-tensor`'s threaded kernels; for the
 //! duration of a run the tensor pool is capped so that
 //! `members × pool threads` does not oversubscribe the hardware
@@ -42,9 +65,10 @@
 //! guard even if the run errors (see [`PoolWidthGuard`], which lives in
 //! the membership module — the only place allowed to touch pool width).
 
-use crate::breakdown::{round_comm_time, BreakdownAccumulator, EpochBreakdown};
+use crate::breakdown::{round_comm_time, BreakdownAccumulator, BucketComm, EpochBreakdown};
+use crate::bucket::{BucketPlan, BucketedReducer, ReadyTracker};
 use crate::checkpoint::DistCheckpoint;
-use crate::cost::ClusterProfile;
+use crate::cost::{hier_group, ClusterProfile, CollectiveAlgo};
 use crate::error::{DistError, DistResult};
 use crate::fault::{any_nonfinite, message_checksum, FaultPlan, FaultReport};
 use crate::membership::{
@@ -52,8 +76,8 @@ use crate::membership::{
     EV_LEFT, PROBE_CATEGORY, ROW_TYPE,
 };
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use puffer_compress::pack::{pack_refs, pack_refs_with, unpack, PackLayout};
-use puffer_compress::GradCompressor;
+use puffer_compress::pack::{pack_refs_with, unpack, PackLayout};
+use puffer_compress::{AggregationKind, GradCompressor, RoundStats};
 use puffer_nn::layer::{Layer, Mode};
 use puffer_nn::loss::softmax_cross_entropy;
 use puffer_nn::optim::Sgd;
@@ -160,6 +184,11 @@ impl RecoveryPolicy {
     }
 }
 
+/// Environment variable naming the gradient bucket size in bytes for
+/// comm/compute overlap (consulted when [`RunOptions::bucket_bytes`] is
+/// `None`; unset or unparsable means one flat bucket).
+pub const ENV_BUCKET_BYTES: &str = "PUFFER_BUCKET_BYTES";
+
 /// Robustness knobs of a run: fault injection, recovery, heterogeneous
 /// cost accounting, checkpoint/resume, and elastic membership. The
 /// default is a clean static-fleet run on a homogeneous cluster with no
@@ -179,6 +208,44 @@ pub struct RunOptions {
     pub resume: Option<DistCheckpoint>,
     /// Scheduled joins and voluntary leaves (deterministic churn).
     pub membership: MembershipPlan,
+    /// Gradient bucket size in bytes: the flat buffer is split into
+    /// DDP-style buckets assigned in reverse-backward order, each sent
+    /// (and, when the compressor allows it, reduced and priced) as soon
+    /// as its gradients are final. `None` consults [`ENV_BUCKET_BYTES`],
+    /// defaulting to `usize::MAX` — one bucket, byte- and
+    /// timeline-identical to the synchronous flat path. `Some(0)` is
+    /// rejected by validation.
+    pub bucket_bytes: Option<usize>,
+    /// Collective algorithm pricing the overlap-eligible allreduce rounds
+    /// (ring, binary tree, or two-level hierarchical). Changes *pricing*
+    /// only — the reduction arithmetic is pinned, so final parameters are
+    /// bitwise-identical across algorithms. `None` consults
+    /// [`crate::cost::ENV_COLLECTIVE`], defaulting to ring.
+    pub collective: Option<CollectiveAlgo>,
+}
+
+impl RunOptions {
+    /// The effective bucket size: the explicit option, else the
+    /// environment, else one flat bucket.
+    fn resolve_bucket_bytes(&self) -> DistResult<usize> {
+        match self.bucket_bytes {
+            Some(0) => {
+                Err(DistError::InvalidConfig { reason: "bucket_bytes must be nonzero".into() })
+            }
+            Some(b) => Ok(b),
+            None => Ok(std::env::var(ENV_BUCKET_BYTES)
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&b| b > 0)
+                .unwrap_or(usize::MAX)),
+        }
+    }
+
+    /// The effective collective: the explicit option, else the
+    /// environment, else ring.
+    fn resolve_collective(&self) -> CollectiveAlgo {
+        self.collective.or_else(CollectiveAlgo::from_env).unwrap_or_default()
+    }
 }
 
 /// Result of a data-parallel run.
@@ -203,24 +270,49 @@ pub struct DistOutcome {
     pub final_epoch: u64,
 }
 
-/// One worker's per-step gradient contribution: every parameter gradient
-/// packed into one flat buffer (the paper's single-allreduce bucket,
-/// §4.1), encoded straight from the live `Param::grad` borrows — no
-/// per-tensor clones. The layout is derived once per worker and shared by
-/// reference.
+/// One bucket of one worker's per-step gradient contribution. The full
+/// flat buffer (the paper's single-allreduce pack, §4.1, encoded straight
+/// from the live `Param::grad` borrows) is split into [`BucketPlan`]
+/// buckets in reverse-backward order; each travels as its own message
+/// with its own checksum and readiness offset, so the aggregator can
+/// start reducing (and the α–β timeline can start pricing) a bucket
+/// before the sender's remaining buckets even exist. The default plan is
+/// one bucket — exactly the old flat protocol. The layout is derived once
+/// per worker and shared by reference.
 struct GradMsg {
     worker: usize,
     step: usize,
-    flat: Tensor,
+    /// Bucket index in [`BucketPlan`] ready order.
+    bucket: usize,
+    /// Total buckets this round (protocol check: must match the
+    /// aggregator's own plan).
+    buckets: usize,
+    /// This bucket's slice of the flat gradient buffer.
+    payload: Tensor,
     layout: Arc<PackLayout>,
+    /// Microseconds into the worker's compute at which this bucket's
+    /// gradients were final (straggler delay included, clamped to the
+    /// total compute time) — drives the modeled overlap timeline.
+    ready_us: u64,
     loss: f32,
     compute: Duration,
+    /// FNV-1a over this bucket's payload only: corruption rejects the
+    /// whole contribution but is *detected* per bucket.
     checksum: u64,
 }
 
 enum WorkerMsg {
     Grads(GradMsg),
     Fatal { worker: usize, reason: String },
+}
+
+/// Aggregator-side per-worker round bookkeeping: the scalar metadata of a
+/// contribution whose payload lives in the [`BucketedReducer`] slot.
+struct Contribution {
+    loss: f32,
+    compute: Duration,
+    /// Per-bucket readiness offsets (µs into the worker's compute).
+    ready_us: Vec<u64>,
 }
 
 #[derive(Clone)]
@@ -341,6 +433,8 @@ where
 {
     cfg.validate()?;
     opts.recovery.validate()?;
+    let bucket_bytes = opts.resolve_bucket_bytes()?;
+    let collective = opts.resolve_collective();
     let plan = &opts.membership;
     plan.validate()?;
     let steps = global_batches.len();
@@ -422,6 +516,8 @@ where
         opts,
         steps,
         start_step,
+        bucket_bytes,
+        collective,
         factory: &factory,
         batches: global_batches,
         to_agg,
@@ -473,6 +569,10 @@ struct AggCtx<'a, F> {
     opts: &'a RunOptions,
     steps: usize,
     start_step: usize,
+    /// Resolved bucket size (option → env → `usize::MAX`).
+    bucket_bytes: usize,
+    /// Resolved pricing collective (option → env → ring).
+    collective: CollectiveAlgo,
     factory: &'a F,
     batches: &'a [(Tensor, Vec<usize>)],
     to_agg: Sender<WorkerMsg>,
@@ -485,6 +585,8 @@ struct WorkerCtx<'a> {
     /// First global step this worker participates in (0 for initial
     /// members of a fresh run; the admission boundary for joiners).
     entry_step: usize,
+    /// Resolved gradient bucket size in bytes.
+    bucket_bytes: usize,
     batches: &'a [(Tensor, Vec<usize>)],
     rx: Receiver<AggMsg>,
     to_agg: Sender<WorkerMsg>,
@@ -517,11 +619,13 @@ fn spawn_member<'env, M, F>(
     let cfg = ctx.cfg;
     let opts = ctx.opts;
     let batches = ctx.batches;
+    let bucket_bytes = ctx.bucket_bytes;
     scope.spawn(move |_| {
         let model = factory(worker);
         let wctx = WorkerCtx {
             worker,
             entry_step,
+            bucket_bytes,
             batches,
             rx,
             to_agg,
@@ -683,13 +787,15 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
             }
         }
     }
-    // Gradient shapes are fixed for the whole run: derive the flat-bucket
-    // layout once and reuse it every round.
+    // Gradient shapes are fixed for the whole run: derive the flat
+    // layout and its bucket plan once and reuse them every round.
     let layout = {
         let params = model.params();
         let grad_refs: Vec<&Tensor> = params.iter().map(|p| &p.grad).collect();
         Arc::new(PackLayout::of_refs(&grad_refs))
     };
+    let plan = BucketPlan::new(&layout, ctx.bucket_bytes);
+    let mut tracker = ReadyTracker::new(&plan);
     // This member's shard of the remaining stream, re-extracted only when
     // its (rank, member count) changes — a clean static run extracts once
     // and the steady state stays allocation-free.
@@ -751,6 +857,8 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
         let sp = probe::timed_span_with("dist", "worker_compute", || {
             vec![("worker", w.into()), ("step", step.into())]
         });
+        let clock = probe::Stopwatch::start();
+        tracker.start_step();
         model.zero_grad();
         let logits = model.forward(images, Mode::Train);
         let (loss, dl) = match softmax_cross_entropy(&logits, labels, 0.0) {
@@ -760,9 +868,16 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
                 return;
             }
         };
-        let _ = model.backward(&dl);
+        // Backward announces gradient readiness layer by layer (reverse
+        // order); the tracker stamps each bucket with the compute offset
+        // at which its last gradient finalized — the overlap timeline's
+        // inputs.
+        let _ = model.backward_with_ready(&dl, &mut |first| {
+            tracker.on_ready(first, clock.elapsed().as_micros() as u64);
+        });
+        tracker.finish(clock.elapsed().as_micros() as u64);
         // Serialize straight from the borrowed gradients into one flat
-        // bucket (one message per round, no per-tensor clones).
+        // buffer (no per-tensor clones), then split per bucket below.
         let mut flat = {
             let params = model.params();
             let grad_refs: Vec<&Tensor> = params.iter().map(|p| &p.grad).collect();
@@ -783,43 +898,85 @@ fn run_worker<M: Layer>(ctx: WorkerCtx<'_>, mut model: M) {
             std::thread::sleep(delay);
         }
         let compute = measured + delay;
+        let delay_us = delay.as_micros() as u64;
+        let compute_us = compute.as_micros() as u64;
         // Non-finite injection happens before checksumming (the worker
         // "really" computed it); bit corruption after (it happens on the
-        // wire, so the checksum catches it).
+        // wire, so a checksum catches it). Both act on the full flat
+        // buffer / the whole message set, exactly as on the flat path —
+        // bucketing changes how the payload is sliced, not what faults
+        // see.
         faults.inject_nonfinite(w, step, std::slice::from_mut(&mut flat));
-        let checksum = message_checksum(std::slice::from_ref(&flat));
-        faults.corrupt_message(w, step, std::slice::from_mut(&mut flat));
-
-        let mut payload = Some(WorkerMsg::Grads(GradMsg {
-            worker: w,
-            step,
-            flat,
-            layout: Arc::clone(&layout),
-            loss,
-            compute,
-            checksum,
-        }));
-        let mut attempt = 0u32;
-        let sent = loop {
-            if !faults.drops_message(w, step, attempt) {
-                match payload.take() {
-                    Some(msg) => break ctx.to_agg.send(msg).is_ok(),
-                    None => break true,
-                }
-            }
-            probe::counter_add("dist.dropped_messages", 1);
-            probe::event(
-                "fault",
-                "message_dropped",
-                vec![("worker", w.into()), ("step", step.into()), ("attempt", attempt.into())],
-            );
-            if attempt >= ctx.opts.recovery.max_retries {
-                break true; // message lost for good; the aggregator degrades
-            }
-            attempt += 1;
-            std::thread::sleep(Duration::from_millis(u64::from(attempt)));
+        let mut payloads: Vec<Tensor> = if plan.buckets() == 1 {
+            vec![flat]
+        } else {
+            (0..plan.buckets())
+                .map(|b| {
+                    let r = plan.range(b);
+                    let mut t = Tensor::zeros(&[r.len()]);
+                    // lint:allow(dist-panic-reachability) — plan ranges cover exactly the flat buffer
+                    t.as_mut_slice().copy_from_slice(&flat.as_slice()[r]);
+                    t
+                })
+                .collect()
         };
-        if !sent {
+        let checksums: Vec<u64> =
+            payloads.iter().map(|p| message_checksum(std::slice::from_ref(p))).collect();
+        // One seeded bit flip lands in exactly one bucket's payload; that
+        // bucket's checksum catches it at the aggregator.
+        faults.corrupt_message(w, step, &mut payloads);
+
+        let buckets = payloads.len();
+        let mut aggregator_gone = false;
+        for (b, (payload, checksum)) in payloads.into_iter().zip(checksums).enumerate() {
+            // A straggler's buckets were ready during backward but only
+            // reach the wire after the injected sleep: readiness shifts by
+            // the delay, capped at the full compute time.
+            // lint:allow(dist-panic-reachability) — payloads and the tracker share the plan's bucket count
+            let ready_us = (tracker.ready_us()[b] + delay_us).min(compute_us);
+            let mut pending = Some(WorkerMsg::Grads(GradMsg {
+                worker: w,
+                step,
+                bucket: b,
+                buckets,
+                payload,
+                layout: Arc::clone(&layout),
+                ready_us,
+                loss,
+                compute,
+                checksum,
+            }));
+            let mut attempt = 0u32;
+            let sent = loop {
+                if !faults.drops_message(w, step, attempt) {
+                    match pending.take() {
+                        Some(msg) => break ctx.to_agg.send(msg).is_ok(),
+                        None => break true,
+                    }
+                }
+                probe::counter_add("dist.dropped_messages", 1);
+                probe::event(
+                    "fault",
+                    "message_dropped",
+                    vec![
+                        ("worker", w.into()),
+                        ("step", step.into()),
+                        ("bucket", b.into()),
+                        ("attempt", attempt.into()),
+                    ],
+                );
+                if attempt >= ctx.opts.recovery.max_retries {
+                    break true; // bucket lost for good; the aggregator degrades
+                }
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(u64::from(attempt)));
+            };
+            if !sent {
+                aggregator_gone = true;
+                break;
+            }
+        }
+        if aggregator_gone {
             return;
         }
         // Wait for this step's verdict, consuming liveness probes.
@@ -954,6 +1111,10 @@ where
     let mut acc = BreakdownAccumulator::new();
     let mut step_losses = Vec::with_capacity(ctx.steps.saturating_sub(ctx.start_step));
     let mut report = FaultReport::default();
+    // Bucketed reduction state, created from the first contribution's
+    // layout and reused (buffers and all) for every later round.
+    let mut reducer: Option<BucketedReducer> = None;
+    let mut round_layout: Option<Arc<PackLayout>> = None;
     let mut checkpoints: Vec<PathBuf> = Vec::new();
     // Leader snapshot of the previous round, keyed by the boundary step
     // it describes; feeds both periodic checkpoints and joiner catch-up.
@@ -1066,20 +1227,31 @@ where
             return Err(DistError::AllWorkersDead { step });
         }
 
-        // ---- Collect this step's contributions from live members. ----
+        // ---- Collect this step's contributions from live members, one
+        // bucket message at a time. A bucket is spliced into its sender's
+        // reducer slot on arrival, and any bucket every expected member
+        // has delivered is reduced *eagerly* — the reduction work tracks
+        // the message stream instead of waiting for the slowest sender's
+        // last bucket. The apply order stays pinned regardless (see
+        // [`BucketedReducer`]). ----
         let mut expected: BTreeSet<usize> = membership.active().into_iter().collect();
-        let mut got: BTreeMap<usize, GradMsg> = BTreeMap::new();
+        let mut expected_vec: Vec<usize> = expected.iter().copied().collect();
+        let mut got: BTreeMap<usize, Contribution> = BTreeMap::new();
+        let mut done: BTreeSet<usize> = BTreeSet::new();
+        if let Some(r) = reducer.as_mut() {
+            r.start_round();
+        }
         let mut timeout = recovery.step_timeout;
         let mut retries = 0u32;
-        while got.len() < expected.len() {
+        while done.len() < expected.len() {
             match from_workers.recv_timeout(timeout) {
                 Ok(WorkerMsg::Fatal { worker, reason }) => {
                     return Err(DistError::WorkerFailed { worker, reason });
                 }
                 Ok(WorkerMsg::Grads(m)) => {
                     if m.step != step || !expected.contains(&m.worker) {
-                        // A straggler's contribution from an already-closed
-                        // step (or a duplicate): discard.
+                        // A straggler's bucket from an already-closed step
+                        // (or from an already-rejected sender): discard.
                         report.stale_messages += 1;
                         probe::counter_add("dist.stale_messages", 1);
                         probe::event(
@@ -1091,43 +1263,83 @@ where
                                 ("step", step.into()),
                             ],
                         );
-                    } else if message_checksum(std::slice::from_ref(&m.flat)) != m.checksum {
-                        // Bit corruption on the wire: reject the
-                        // contribution, keep the worker.
+                        continue;
+                    }
+                    if reducer.is_none() {
+                        // First contribution of the run fixes the bucket
+                        // plan (every worker derives the identical layout).
+                        let mut r =
+                            BucketedReducer::new(BucketPlan::new(&m.layout, ctx.bucket_bytes));
+                        r.start_round();
+                        reducer = Some(r);
+                        round_layout = Some(Arc::clone(&m.layout));
+                    }
+                    let Some(red) = reducer.as_mut() else { continue };
+                    if m.buckets != red.plan().buckets()
+                        || message_checksum(std::slice::from_ref(&m.payload)) != m.checksum
+                    {
+                        // Bit corruption on the wire (or a protocol
+                        // mismatch): the first bad bucket rejects the whole
+                        // contribution once; the worker stays live.
                         report.corrupted_messages += 1;
                         probe::counter_add("dist.corrupted_messages", 1);
                         probe::event(
                             "fault",
                             "message_corrupted",
-                            vec![("worker", m.worker.into()), ("step", step.into())],
+                            vec![
+                                ("worker", m.worker.into()),
+                                ("step", step.into()),
+                                ("bucket", m.bucket.into()),
+                            ],
                         );
                         expected.remove(&m.worker);
-                    } else {
-                        got.insert(m.worker, m);
+                        expected_vec.retain(|&x| x != m.worker);
+                        done.remove(&m.worker);
+                        got.remove(&m.worker);
+                        continue;
                     }
+                    if !red.accept(m.worker, m.bucket, m.payload.as_slice()) {
+                        // Duplicate bucket delivery: stale, discard.
+                        report.stale_messages += 1;
+                        probe::counter_add("dist.stale_messages", 1);
+                        continue;
+                    }
+                    let c = got.entry(m.worker).or_insert_with(|| Contribution {
+                        loss: m.loss,
+                        compute: m.compute,
+                        ready_us: vec![0; m.buckets],
+                    });
+                    // lint:allow(dist-panic-reachability) — accept() verified bucket < buckets above
+                    c.ready_us[m.bucket] = m.ready_us;
+                    if red.complete(m.worker) {
+                        done.insert(m.worker);
+                    }
+                    red.try_reduce(&expected_vec);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     // Probe the missing members: a crashed worker dropped
                     // its receiver, so the probe send fails.
                     let missing: Vec<usize> =
-                        expected.iter().copied().filter(|x| !got.contains_key(x)).collect();
+                        expected.iter().copied().filter(|x| !done.contains(x)).collect();
                     for x in missing {
                         let alive = senders.get(&x).is_some_and(|tx| tx.send(AggMsg::Ping).is_ok());
                         if !alive {
                             expected.remove(&x);
+                            expected_vec.retain(|&y| y != x);
+                            got.remove(&x);
                             mark_crashed(&mut membership, &mut senders, &mut report, x, step);
                         }
                     }
                     if membership.active_count() == 0 {
                         return Err(DistError::AllWorkersDead { step });
                     }
-                    if got.len() >= expected.len() {
+                    if done.len() >= expected.len() {
                         break; // crashes explained every missing member
                     }
                     retries += 1;
                     probe::counter_add("dist.retries", 1);
                     if retries > recovery.max_retries {
-                        let lost = expected.len() - got.len();
+                        let lost = expected.len() - done.len();
                         report.lost_contributions += lost;
                         probe::counter_add("dist.lost_contributions", lost as u64);
                         probe::event(
@@ -1148,11 +1360,20 @@ where
             return Err(DistError::AllWorkersDead { step });
         }
 
-        let slowest = got.values().map(|m| m.compute).max().unwrap_or_default();
-        let loss_mean = if got.is_empty() {
+        // Contributors: members that delivered every bucket intact, in
+        // worker-id order (the pinned reduction order).
+        let contributors: Vec<usize> =
+            done.iter().copied().filter(|x| expected.contains(x)).collect();
+        let slowest = contributors
+            .iter()
+            .filter_map(|x| got.get(x).map(|c| c.compute))
+            .max()
+            .unwrap_or_default();
+        let loss_mean = if contributors.is_empty() {
             f32::NAN
         } else {
-            got.values().map(|m| m.loss).sum::<f32>() / got.len() as f32
+            contributors.iter().filter_map(|x| got.get(x).map(|c| c.loss)).sum::<f32>()
+                / contributors.len() as f32
         };
 
         // The *next* boundary needs catch-up state if a periodic
@@ -1169,7 +1390,16 @@ where
         // ---- AMP-style guard: a poisoned gradient (or a round with no
         // usable contribution) skips the step on every replica. The
         // unchanged state is still valid, so snapshots proceed. ----
-        if got.is_empty() || got.values().any(|m| any_nonfinite(std::slice::from_ref(&m.flat))) {
+        let poisoned = contributors.iter().any(|x| {
+            reducer
+                .as_ref()
+                .and_then(|r| r.assembled(*x))
+                .is_some_and(|t| any_nonfinite(std::slice::from_ref(t)))
+        });
+        if contributors.is_empty() || poisoned {
+            if let Some(r) = reducer.as_mut() {
+                r.mark_dirty();
+            }
             let ids: Vec<usize> = senders.keys().copied().collect();
             for x in ids {
                 let snapshot = want_state && Some(x) == leader;
@@ -1183,7 +1413,7 @@ where
             probe::event(
                 "fault",
                 "step_skipped",
-                vec![("step", step.into()), ("contributors", got.len().into())],
+                vec![("step", step.into()), ("contributors", contributors.len().into())],
             );
             acc.record_skipped(step, slowest);
             step_losses.push(loss_mean);
@@ -1192,7 +1422,7 @@ where
                 &[
                     ("step", step.into()),
                     ("loss", loss_mean.into()),
-                    ("contributors", got.len().into()),
+                    ("contributors", contributors.len().into()),
                     ("live", membership.active_count().into()),
                     ("skipped", 1usize.into()),
                 ],
@@ -1212,15 +1442,13 @@ where
             continue;
         }
 
-        // ---- One compression round over the collected contributions.
-        // `got` is keyed by worker id, so the round sees members in id
-        // order and the mean is automatically re-normalized to the
-        // contributing member count. ----
-        let n_contributors = got.len();
-        let layout = got.values().next().map(|m| Arc::clone(&m.layout));
-        let contributions: Vec<Vec<Tensor>> =
-            got.into_values().map(|m| unpack(&m.flat, &m.layout)).collect();
-        let (mean, stats) = compressor.round(&contributions);
+        // ---- One aggregation round over the collected contributions. ----
+        let n_contributors = contributors.len();
+        let (Some(red), Some(layout)) = (reducer.as_mut(), round_layout.as_ref()) else {
+            // Unreachable: a non-empty contributor set implies at least one
+            // accepted message, which created the reducer. Degrade to skip.
+            continue;
+        };
 
         // ---- Price the round for the member set actually live. ----
         let live_vec: Vec<usize> = membership.active();
@@ -1228,8 +1456,87 @@ where
             Some(h) => (h.effective(&live_vec)?, h.jitter_factor(step as u64)),
             None => (ClusterProfile { nodes: live_vec.len(), ..ctx.cfg.profile }, 1.0),
         };
-        let comm = round_comm_time(&profile, compressor.aggregation(), &stats).mul_f64(jitter);
-        acc.record_with_comm(step, compressor.aggregation(), profile.nodes, comm, slowest, &stats);
+
+        let (mean_flat, wire_bytes) = if compressor.supports_bucketed_overlap() {
+            // Pinned-order bucket finalize: bitwise equal to unpacking the
+            // flats and running the compressor's exact mean, at any bucket
+            // size. Each bucket's collective is priced with the selected
+            // algorithm and laid on a modeled timeline that starts when the
+            // slowest contributor produced that bucket's gradients — the
+            // comm time hidden under still-running backward is the round's
+            // *overlapped* share, the remainder is exposed.
+            let bplan = red.plan();
+            let mut bucket_comms: Vec<BucketComm> = Vec::with_capacity(bplan.buckets());
+            let mut cursor = Duration::ZERO;
+            for b in 0..bplan.buckets() {
+                let ready_us = contributors
+                    .iter()
+                    .filter_map(|x| got.get(x).and_then(|c| c.ready_us.get(b).copied()))
+                    .max()
+                    .unwrap_or(0);
+                let ready = Duration::from_micros(ready_us).min(slowest);
+                let start = ready.max(cursor);
+                let t = profile.allreduce_with(ctx.collective, bplan.bytes(b)).mul_f64(jitter);
+                let end = start + t;
+                let exposed = end.saturating_sub(start.max(slowest));
+                bucket_comms.push(BucketComm {
+                    bytes_per_worker: bplan.bytes(b),
+                    wire_bytes: bplan.bytes(b) * n_contributors,
+                    comm: t,
+                    exposed,
+                });
+                cursor = end;
+            }
+            let t0 = probe::Stopwatch::start();
+            let mean = red.finalize(&contributors);
+            let mut flat = Tensor::zeros(&[mean.len()]);
+            flat.as_mut_slice().copy_from_slice(mean.as_slice());
+            let decode_time = t0.elapsed();
+            let stats = RoundStats::new(
+                layout.total_bytes(),
+                n_contributors,
+                AggregationKind::AllReduce,
+                Duration::ZERO,
+                decode_time,
+            );
+            let group = match ctx.collective {
+                CollectiveAlgo::Hierarchical { group } => Some(hier_group(profile.nodes, group)),
+                _ => None,
+            };
+            acc.record_overlapped(
+                step,
+                ctx.collective.span_name(),
+                group,
+                profile.nodes,
+                &bucket_comms,
+                slowest,
+                &stats,
+            );
+            (flat, stats.encoded_bytes)
+        } else {
+            // The compressor needs whole tensors: reassemble each
+            // contributor's flat buffer, unpack, and run the classic round.
+            // All comm happens after the slowest backward, so it is fully
+            // exposed.
+            let contributions: Vec<Vec<Tensor>> = contributors
+                .iter()
+                .filter_map(|x| red.assembled(*x))
+                .map(|flat| unpack(flat, layout))
+                .collect();
+            red.mark_dirty();
+            let (mean, stats) = compressor.round(&contributions);
+            let comm = round_comm_time(&profile, compressor.aggregation(), &stats).mul_f64(jitter);
+            acc.record_with_comm(
+                step,
+                compressor.aggregation(),
+                profile.nodes,
+                comm,
+                slowest,
+                &stats,
+            );
+            let mean_refs: Vec<&Tensor> = mean.iter().collect();
+            (pack_refs_with(layout, &mean_refs), stats.encoded_bytes)
+        };
         step_losses.push(loss_mean);
         probe::metrics_row(
             "dist_step",
@@ -1238,18 +1545,12 @@ where
                 ("loss", loss_mean.into()),
                 ("contributors", n_contributors.into()),
                 ("live", live_vec.len().into()),
-                ("bytes", stats.encoded_bytes.into()),
+                ("bytes", wire_bytes.into()),
             ],
         );
 
-        // ---- Broadcast the verdict. ----
-        // Re-pack the mean into one flat bucket per recipient (same layout
-        // the workers used to encode their contributions).
-        let mean_refs: Vec<&Tensor> = mean.iter().collect();
-        let mean_flat = match &layout {
-            Some(l) => pack_refs_with(l, &mean_refs),
-            None => pack_refs(&mean_refs).0,
-        };
+        // ---- Broadcast the verdict (same flat layout the workers used to
+        // encode their contributions). ----
         let ids: Vec<usize> = senders.keys().copied().collect();
         for x in ids {
             let snapshot = want_state && Some(x) == leader;
@@ -1460,6 +1761,116 @@ mod tests {
         let b = train_data_parallel(|_| mlp(3), &batches, &mut comp, &cfg).unwrap();
         assert_eq!(a.final_params, b.final_params, "run must be deterministic");
         assert_eq!(a.step_losses.len(), 4);
+    }
+
+    #[test]
+    fn bucketed_runs_are_bitwise_identical_to_one_flat_bucket() {
+        // The bucketed overlap path must change *scheduling only*: final
+        // parameters are bitwise identical to the one-flat-bucket run at
+        // any bucket size and under any collective algorithm (the algo
+        // changes pricing, never arithmetic).
+        let batches = synthetic_batches(4, 8);
+        let cfg = DistConfig {
+            workers: 2,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            profile: ClusterProfile::p3_like(2),
+        };
+        let run = |bucket_bytes: usize, collective: CollectiveAlgo| {
+            let opts = RunOptions {
+                bucket_bytes: Some(bucket_bytes),
+                collective: Some(collective),
+                ..Default::default()
+            };
+            let mut comp = NoCompression::new();
+            train_data_parallel_with(|_| mlp(11), &batches, &mut comp, &cfg, &opts).unwrap()
+        };
+        let flat = run(usize::MAX, CollectiveAlgo::Ring);
+        // The MLP has 227 params (908 bytes): 256-byte buckets split every
+        // layer, 4 KiB collapses back to a single bucket.
+        for bytes in [256usize, 4096] {
+            for algo in [
+                CollectiveAlgo::Ring,
+                CollectiveAlgo::Tree,
+                CollectiveAlgo::Hierarchical { group: 0 },
+            ] {
+                let out = run(bytes, algo);
+                assert_eq!(
+                    out.final_params, flat.final_params,
+                    "bucket_bytes={bytes} algo={algo:?} must be bitwise identical"
+                );
+                assert!(out.faults.is_clean(), "{:?}", out.faults);
+                assert!(out.breakdown.comm > Duration::ZERO);
+                assert!(
+                    out.breakdown.comm_exposed <= out.breakdown.comm,
+                    "exposed comm is a subset of total comm"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_transport_is_transparent_to_ineligible_compressors() {
+        // A compressor that needs whole tensors (PowerSGD's per-matrix
+        // factorization) still rides the bucketed transport: the aggregator
+        // reassembles the flats, and results match the flat run bitwise.
+        let batches = synthetic_batches(3, 8);
+        let cfg = DistConfig {
+            workers: 2,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            profile: ClusterProfile::p3_like(2),
+        };
+        let run = |bytes: usize| {
+            let opts = RunOptions { bucket_bytes: Some(bytes), ..Default::default() };
+            let mut comp = PowerSgd::new(2, 9);
+            train_data_parallel_with(|_| mlp(13), &batches, &mut comp, &cfg, &opts).unwrap()
+        };
+        let flat = run(usize::MAX);
+        let bucketed = run(128);
+        assert_eq!(flat.final_params, bucketed.final_params);
+        // Without bucketed overlap, every comm nanosecond is exposed.
+        assert_eq!(bucketed.breakdown.comm, bucketed.breakdown.comm_exposed);
+    }
+
+    #[test]
+    fn bucket_options_resolve_and_zero_is_rejected() {
+        let opts = RunOptions { bucket_bytes: Some(0), ..Default::default() };
+        assert!(matches!(opts.resolve_bucket_bytes(), Err(DistError::InvalidConfig { .. })));
+
+        let opts = RunOptions {
+            bucket_bytes: Some(1 << 20),
+            collective: Some(CollectiveAlgo::Tree),
+            ..Default::default()
+        };
+        assert_eq!(opts.resolve_bucket_bytes().unwrap(), 1 << 20);
+        assert_eq!(opts.resolve_collective(), CollectiveAlgo::Tree);
+
+        // Defaults (when the env knobs are unset): one flat bucket, ring.
+        let opts = RunOptions::default();
+        if std::env::var(ENV_BUCKET_BYTES).is_err() {
+            assert_eq!(opts.resolve_bucket_bytes().unwrap(), usize::MAX);
+        }
+        if std::env::var(crate::cost::ENV_COLLECTIVE).is_err() {
+            assert_eq!(opts.resolve_collective(), CollectiveAlgo::Ring);
+        }
+
+        // The full entry point surfaces the zero-bucket error too.
+        let batches = synthetic_batches(1, 4);
+        let cfg = DistConfig {
+            workers: 2,
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            profile: ClusterProfile::zero_cost(2),
+        };
+        let opts = RunOptions { bucket_bytes: Some(0), ..Default::default() };
+        let mut comp = NoCompression::new();
+        let err =
+            train_data_parallel_with(|_| mlp(1), &batches, &mut comp, &cfg, &opts).unwrap_err();
+        assert!(matches!(err, DistError::InvalidConfig { .. }), "{err}");
     }
 
     #[test]

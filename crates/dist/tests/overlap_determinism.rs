@@ -1,0 +1,158 @@
+//! Satellite guarantee: the bucketed comm/compute-overlap path changes
+//! *scheduling and pricing only*. Final parameters are bitwise identical
+//! to the synchronous one-flat-bucket run at every bucket size and worker
+//! count, under every collective algorithm, and under fault injection
+//! (straggler sleeps, dropped bucket messages, wire corruption).
+//!
+//! The model here is deliberately large (~2 MiB of gradients) so a 1 MiB
+//! bucket target genuinely splits it into several buckets while 4 MiB
+//! collapses back to one — both must match the `usize::MAX` flat run.
+
+use puffer_compress::none::NoCompression;
+use puffer_dist::cost::{ClusterProfile, CollectiveAlgo};
+use puffer_dist::fault::FaultPlan;
+use puffer_dist::trainer::{train_data_parallel_with, DistConfig, RecoveryPolicy, RunOptions};
+use puffer_nn::activation::Relu;
+use puffer_nn::linear::Linear;
+use puffer_nn::Sequential;
+use puffer_tensor::Tensor;
+use std::time::Duration;
+
+const MIB: usize = 1 << 20;
+
+/// ~532k parameters (~2.03 MiB): a 1 MiB bucket target yields ≥2 buckets.
+fn big_mlp(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::new(6, 512, true, seed).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(512, 1024, true, seed + 1).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(1024, 3, true, seed + 2).unwrap()),
+    ])
+}
+
+fn batches(n: usize, rows: usize) -> Vec<(Tensor, Vec<usize>)> {
+    (0..n)
+        .map(|b| {
+            let x = Tensor::randn(&[rows, 6], 1.0, 900 + b as u64);
+            let labels = (0..rows).map(|i| (i + b) % 3).collect();
+            (x, labels)
+        })
+        .collect()
+}
+
+fn cfg(workers: usize) -> DistConfig {
+    DistConfig {
+        workers,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        profile: ClusterProfile::p3_like(workers),
+    }
+}
+
+/// Fast-failing recovery so timeout paths resolve in milliseconds.
+fn quick_recovery() -> RecoveryPolicy {
+    RecoveryPolicy { step_timeout: Duration::from_millis(80), max_retries: 2, backoff: 2.0 }
+}
+
+fn run(
+    workers: usize,
+    bucket_bytes: usize,
+    collective: CollectiveAlgo,
+    faults: FaultPlan,
+) -> Vec<Tensor> {
+    let opts = RunOptions {
+        bucket_bytes: Some(bucket_bytes),
+        collective: Some(collective),
+        faults,
+        recovery: quick_recovery(),
+        ..RunOptions::default()
+    };
+    let mut comp = NoCompression::new();
+    let out =
+        train_data_parallel_with(|_| big_mlp(31), &batches(2, 8), &mut comp, &cfg(workers), &opts)
+            .expect("run must degrade gracefully, not fail");
+    out.final_params
+}
+
+#[test]
+fn clean_runs_are_bitwise_identical_across_bucket_sizes_and_workers() {
+    for workers in [1usize, 2, 4] {
+        let flat = run(workers, usize::MAX, CollectiveAlgo::Ring, FaultPlan::none());
+        for bucket_bytes in [MIB, 4 * MIB] {
+            let bucketed = run(workers, bucket_bytes, CollectiveAlgo::Ring, FaultPlan::none());
+            assert_eq!(
+                bucketed, flat,
+                "workers={workers} bucket_bytes={bucket_bytes} diverged from the flat run"
+            );
+        }
+    }
+}
+
+#[test]
+fn collective_algorithm_only_reprices_never_rewrites() {
+    let flat = run(2, usize::MAX, CollectiveAlgo::Ring, FaultPlan::none());
+    for algo in [
+        CollectiveAlgo::Tree,
+        CollectiveAlgo::Hierarchical { group: 0 },
+        CollectiveAlgo::Hierarchical { group: 2 },
+    ] {
+        let out = run(2, MIB, algo, FaultPlan::none());
+        assert_eq!(out, flat, "algo {algo:?} must be bitwise identical to the ring flat run");
+    }
+}
+
+#[test]
+fn straggler_keeps_bucketed_run_bitwise_identical() {
+    // A 3× straggler shifts every bucket's wire time but no arithmetic.
+    let plan = || FaultPlan::new(23).with_slowdown(1, 3.0);
+    let flat = run(2, usize::MAX, CollectiveAlgo::Ring, plan());
+    let bucketed = run(2, MIB, CollectiveAlgo::Ring, plan());
+    assert_eq!(bucketed, flat);
+}
+
+#[test]
+fn dropped_bucket_messages_recover_to_the_same_parameters() {
+    // `with_drop` swallows each message's first send attempt at step 1 —
+    // on the bucketed path that is a drop of every bucket mid-stream, each
+    // recovered by its own retry. The aggregate must be unchanged.
+    let plan = || FaultPlan::new(13).with_drop(1, 1);
+    let flat = run(2, usize::MAX, CollectiveAlgo::Ring, plan());
+    let bucketed = run(2, MIB, CollectiveAlgo::Ring, plan());
+    assert_eq!(bucketed, flat);
+}
+
+#[test]
+fn corrupted_bucket_rejects_the_whole_contribution_once() {
+    // One seeded bit flip lands in exactly one bucket; its checksum fails
+    // and the sender's whole step-1 contribution is rejected — the same
+    // verdict the flat path reaches when its single message is corrupted.
+    let plan = || FaultPlan::new(19).with_corrupt(1, 1);
+    let opts = |bucket_bytes: usize| RunOptions {
+        bucket_bytes: Some(bucket_bytes),
+        collective: Some(CollectiveAlgo::Ring),
+        faults: plan(),
+        recovery: quick_recovery(),
+        ..RunOptions::default()
+    };
+    let mut comp = NoCompression::new();
+    let flat = train_data_parallel_with(
+        |_| big_mlp(31),
+        &batches(2, 8),
+        &mut comp,
+        &cfg(2),
+        &opts(usize::MAX),
+    )
+    .unwrap();
+    let mut comp = NoCompression::new();
+    let bucketed =
+        train_data_parallel_with(|_| big_mlp(31), &batches(2, 8), &mut comp, &cfg(2), &opts(MIB))
+            .unwrap();
+    assert_eq!(flat.faults.corrupted_messages, 1);
+    assert_eq!(
+        bucketed.faults.corrupted_messages, 1,
+        "one flipped bit must reject one contribution exactly once, not once per bucket"
+    );
+    assert_eq!(bucketed.final_params, flat.final_params);
+}

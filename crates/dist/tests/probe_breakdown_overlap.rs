@@ -1,0 +1,108 @@
+//! Satellite guarantee for the *overlapped* path: with real bucketing
+//! (several buckets per round), the per-bucket collective spans still sum
+//! to `EpochBreakdown.comm` **exactly**, and their `exposed_ns` args sum
+//! to `EpochBreakdown.comm_exposed` — so puffer-insight can price total
+//! wire time and critical-path (exposed) time from the same trace without
+//! double-counting comm that backward hid.
+//!
+//! One test only: the probe sink is process-global.
+
+use puffer_compress::none::NoCompression;
+use puffer_dist::cost::{ClusterProfile, CollectiveAlgo};
+use puffer_dist::trainer::{train_data_parallel_with, DistConfig, RunOptions};
+use puffer_nn::activation::Relu;
+use puffer_nn::linear::Linear;
+use puffer_nn::Sequential;
+use puffer_probe as probe;
+use puffer_tensor::Tensor;
+use std::time::Duration;
+
+/// ~532k parameters (~2.03 MiB) so a 1 MiB bucket target yields ≥2 buckets.
+fn big_mlp(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::new(6, 512, true, seed).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(512, 1024, true, seed + 1).unwrap()),
+        Box::new(Relu::new()),
+        Box::new(Linear::new(1024, 3, true, seed + 2).unwrap()),
+    ])
+}
+
+fn batches(n: usize, rows: usize) -> Vec<(Tensor, Vec<usize>)> {
+    (0..n)
+        .map(|b| {
+            let x = Tensor::randn(&[rows, 6], 1.0, 700 + b as u64);
+            let labels = (0..rows).map(|i| (i + b) % 3).collect();
+            (x, labels)
+        })
+        .collect()
+}
+
+/// Sums the durations of every `dist`-category complete span with `name`.
+fn span_sum(events: &[probe::TraceEvent], name: &str) -> Duration {
+    events
+        .iter()
+        .filter(|e| e.phase == 'X' && e.cat == "dist" && e.name == name)
+        .map(|e| e.dur)
+        .sum()
+}
+
+fn arg_u64(e: &probe::TraceEvent, key: &str) -> Option<u64> {
+    e.args.iter().find_map(|(k, v)| match v {
+        probe::ArgValue::U64(n) if *k == key => Some(*n),
+        _ => None,
+    })
+}
+
+#[test]
+fn overlapped_spans_reconcile_total_and_exposed_comm_exactly() {
+    probe::reset();
+    probe::configure(probe::ProbeConfig::in_memory());
+
+    let cfg = DistConfig {
+        workers: 2,
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        profile: ClusterProfile::p3_like(2),
+    };
+    let opts = RunOptions {
+        bucket_bytes: Some(1 << 20),
+        collective: Some(CollectiveAlgo::Ring),
+        ..RunOptions::default()
+    };
+    let mut comp = NoCompression::new();
+    let out = train_data_parallel_with(|_| big_mlp(41), &batches(3, 8), &mut comp, &cfg, &opts)
+        .expect("clean overlapped run");
+
+    let events = probe::take_events();
+    let b = out.breakdown;
+
+    // Span sums reproduce every breakdown phase exactly — Duration equality.
+    assert_eq!(span_sum(&events, "compute"), b.compute);
+    assert_eq!(span_sum(&events, "encode"), b.encode);
+    assert_eq!(span_sum(&events, "allreduce"), b.comm, "bucket spans ≠ breakdown.comm");
+    assert_eq!(span_sum(&events, "decode"), b.decode);
+    assert_eq!(b.total(), b.compute + b.encode + b.comm + b.decode);
+
+    // Exposed accounting: Σ exposed_ns == comm_exposed, a subset of comm.
+    let collective: Vec<_> = events
+        .iter()
+        .filter(|e| e.phase == 'X' && e.cat == "dist" && e.name == "allreduce")
+        .collect();
+    let exposed: u64 = collective.iter().map(|e| arg_u64(e, "exposed_ns").unwrap()).sum();
+    assert_eq!(Duration::from_nanos(exposed), b.comm_exposed, "Σ exposed_ns ≠ comm_exposed");
+    assert!(b.comm_exposed <= b.comm);
+    assert!(b.comm_exposed < b.comm, "a multi-bucket clean run must hide some comm");
+
+    // Every collective span is a bucket span, and the model really split:
+    // rounds × n_buckets spans with n_buckets ≥ 2 at a 1 MiB target.
+    let n_buckets = collective.iter().map(|e| arg_u64(e, "bucket").unwrap()).max().unwrap() + 1;
+    assert!(n_buckets >= 2, "~2 MiB of grads at 1 MiB/bucket must split, got {n_buckets}");
+    let rounds =
+        events.iter().filter(|e| e.phase == 'X' && e.cat == "dist" && e.name == "compute").count();
+    assert_eq!(collective.len(), rounds * n_buckets as usize);
+    for e in &collective {
+        assert!(arg_u64(e, "nodes").is_some() && arg_u64(e, "bytes_per_worker").is_some());
+    }
+}

@@ -1,11 +1,19 @@
-//! Property-based tests for the communication cost model and the DDP
+//! Property-based tests for the communication cost model (ring, tree, and
+//! hierarchical closed forms vs executed simulations) and the DDP
 //! bucketing simulator.
 
 use proptest::prelude::*;
-use puffer_dist::cost::ClusterProfile;
+use puffer_dist::collectives::{hier_allreduce, tree_allreduce};
+use puffer_dist::cost::{ceil_log2, hier_group, ClusterProfile};
 use puffer_dist::ddp::{bucketize, simulate_step, DEFAULT_BUCKET_BYTES};
 use puffer_dist::ring::ring_allreduce;
 use std::time::Duration;
+
+/// Per-rank buffers `buffer[i] = [(i+1); n]`, whose elementwise allreduce
+/// sum is exactly `p(p+1)/2` — representable in f32 for every `p ≤ 64`.
+fn rank_buffers(p: usize, n: usize) -> Vec<Vec<f32>> {
+    (0..p).map(|i| vec![(i + 1) as f32; n]).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -80,5 +88,54 @@ proptest! {
         let t_lo = ClusterProfile::p3_like(lo).allgather(bytes);
         let t_hi = ClusterProfile::p3_like(hi).allgather(bytes);
         prop_assert!(t_hi >= t_lo);
+    }
+
+    #[test]
+    fn tree_trace_matches_closed_form_and_sums(p in 2usize..=64, n in 1usize..300) {
+        let mut buffers = rank_buffers(p, n);
+        let trace = tree_allreduce(&mut buffers);
+        // Correctness: every rank holds the exact elementwise sum.
+        let want = (p * (p + 1) / 2) as f32;
+        prop_assert!(buffers.iter().all(|b| b.iter().all(|&v| v == want)));
+        // Schedule shape: 2⌈log₂p⌉ full-buffer steps.
+        prop_assert_eq!(trace.steps(), 2 * ceil_log2(p) as usize);
+        prop_assert!(trace.step_bytes.iter().all(|&b| b == n * 4));
+        // Priced trace reproduces the closed form (ns quantization only).
+        let profile = ClusterProfile::p3_like(p);
+        let closed = profile.tree_allreduce(n * 4);
+        let diff = trace.time(&profile).abs_diff(closed);
+        prop_assert!(diff <= Duration::from_nanos(2), "diff {:?}", diff);
+    }
+
+    #[test]
+    fn hier_trace_matches_closed_form_and_sums(
+        p in 2usize..=64,
+        n in 1usize..300,
+        group in 0usize..=9,
+    ) {
+        let mut buffers = rank_buffers(p, n);
+        let trace = hier_allreduce(&mut buffers, group);
+        let want = (p * (p + 1) / 2) as f32;
+        prop_assert!(buffers.iter().all(|b| b.iter().all(|&v| v == want)));
+        // Closed form: 2⌈log₂g⌉ intra steps of n bytes + ring over the
+        // ⌈p/g⌉ leaders. The leader ring's chunking rounds each of its
+        // 2(G−1) steps by at most one f32 against the (G−1)/G·n·β
+        // bandwidth term — everything else is exact.
+        let g = hier_group(p, group);
+        let groups = p.div_ceil(g);
+        let profile = ClusterProfile::p3_like(p);
+        let closed = profile.hier_allreduce(n * 4, group);
+        let ring_slack = 2.0 * (groups.saturating_sub(1)) as f64 * 4.0 * profile.beta;
+        let tol = Duration::from_secs_f64(ring_slack) + Duration::from_nanos(4);
+        let diff = trace.time(&profile).abs_diff(closed);
+        prop_assert!(diff <= tol, "diff {:?} > tol {:?} (p={}, g={}, n={})", diff, tol, p, g, n);
+    }
+
+    #[test]
+    fn hier_latency_beats_flat_ring_at_scale(n in 1usize..10_000, p in 16usize..=64) {
+        // The point of the two-level schedule: far fewer α rounds than the
+        // flat ring once p is large. Compare latency terms only.
+        let c = ClusterProfile { beta: 0.0, ..ClusterProfile::p3_like(p) };
+        prop_assert!(c.hier_allreduce(n * 4, 0) <= c.allreduce(n * 4));
     }
 }

@@ -5,17 +5,22 @@
 //! α and β with closed-form coefficients:
 //!
 //! ```text
-//! allreduce: T = 2(p−1)·α + 2·((p−1)/p)·n·β      (ring)
-//! allgather: T = (p−1)·α + (p−1)·n·β
+//! allreduce:      T = 2(p−1)·α + 2·((p−1)/p)·n·β            (ring)
+//! tree_allreduce: T = 2⌈log₂p⌉·α + 2⌈log₂p⌉·n·β
+//! hier_allreduce: T = (2⌈log₂g⌉ + 2(G−1))·α
+//!                   + (2⌈log₂g⌉ + 2(G−1)/G)·n·β             (G = ⌈p/g⌉)
+//! allgather:      T = (p−1)·α + (p−1)·n·β
 //! ```
 //!
 //! so a per-collective least-squares fit over the observed
 //! `(coeff_α, coeff_β, T)` triples recovers the α and β the run actually
-//! exhibited. A run at a single `(p, n)` operating point is rank-deficient
-//! (all rows proportional) — the fit is flagged [`AlphaBetaFit::degenerate`]
-//! and pins α to 0, reporting only the effective per-byte rate. Elastic
-//! runs (a crash, a join) change `p` mid-run and make the system
-//! well-posed for free.
+//! exhibited. Overlapped (bucketed) rounds contribute one observation per
+//! bucket span ([`Round::comm_obs`]) — different bucket sizes within one
+//! round are distinct `n` operating points for free. A run at a single
+//! `(p, n)` operating point is rank-deficient (all rows proportional) —
+//! the fit is flagged [`AlphaBetaFit::degenerate`] and pins α to 0,
+//! reporting only the effective per-byte rate. Elastic runs (a crash, a
+//! join) change `p` mid-run and make the system well-posed for free.
 //!
 //! [`reconcile`] then replays every round through the *configured*
 //! profile via [`ClusterProfile::allreduce`]/[`ClusterProfile::allgather`]
@@ -24,12 +29,19 @@
 //! agree to clock quantization; per-round jitter widens it by at most the
 //! configured jitter fraction.
 
-use crate::rounds::Round;
-use puffer_dist::cost::ClusterProfile;
+use crate::rounds::{CommObs, Round};
+use puffer_dist::cost::{ceil_log2, hier_group, ClusterProfile};
 
 /// The α and β coefficients of one observation: `T = cα·α + cβ·β`.
+/// `group` is the hierarchical intra-group size the span stamped (`None`
+/// for the other collectives, or to let the model auto-pick `⌈√p⌉`).
 #[must_use]
-pub fn coefficients(collective: &str, nodes: f64, bytes_per_worker: f64) -> Option<(f64, f64)> {
+pub fn coefficients(
+    collective: &str,
+    nodes: f64,
+    group: Option<f64>,
+    bytes_per_worker: f64,
+) -> Option<(f64, f64)> {
     if nodes <= 1.0 {
         return None;
     }
@@ -37,8 +49,40 @@ pub fn coefficients(collective: &str, nodes: f64, bytes_per_worker: f64) -> Opti
         "allreduce" => {
             Some((2.0 * (nodes - 1.0), 2.0 * ((nodes - 1.0) / nodes) * bytes_per_worker))
         }
+        "tree_allreduce" => {
+            let rounds = 2.0 * f64::from(ceil_log2(nodes as usize));
+            Some((rounds, rounds * bytes_per_worker))
+        }
+        "hier_allreduce" => {
+            let p = nodes as usize;
+            let g = hier_group(p, group.map_or(0, |g| g as usize));
+            let groups = p.div_ceil(g) as f64;
+            let intra = 2.0 * f64::from(ceil_log2(g));
+            let ca = intra + 2.0 * (groups - 1.0);
+            let cb = (intra + 2.0 * ((groups - 1.0) / groups)) * bytes_per_worker;
+            Some((ca, cb))
+        }
         "allgather" => Some((nodes - 1.0, (nodes - 1.0) * bytes_per_worker)),
         _ => None,
+    }
+}
+
+/// The comm observations of a round: the per-bucket spans when the trace
+/// recorded them, else one synthetic whole-round observation (legacy
+/// traces).
+fn round_obs(r: &Round) -> Vec<CommObs> {
+    if !r.comm_obs.is_empty() {
+        r.comm_obs.clone()
+    } else if let Some(name) = &r.collective {
+        vec![CommObs {
+            collective: name.clone(),
+            nodes: r.nodes,
+            group: None,
+            bytes_per_worker: r.bytes_per_worker,
+            dur_us: r.comm_us,
+        }]
+    } else {
+        Vec::new()
     }
 }
 
@@ -71,14 +115,21 @@ pub fn fit_collectives(rounds: &[Round]) -> Vec<AlphaBetaFit> {
         if r.skipped || r.comm_us <= 0.0 {
             continue;
         }
-        let Some(name) = &r.collective else { continue };
-        let Some((ca, cb)) = coefficients(name, r.nodes as f64, r.bytes_per_worker) else {
-            continue;
-        };
-        let t = r.comm_us * 1e-6;
-        match by_collective.iter_mut().find(|(n, _)| n == name) {
-            Some((_, pts)) => pts.push((ca, cb, t)),
-            None => by_collective.push((name.clone(), vec![(ca, cb, t)])),
+        for o in round_obs(r) {
+            if o.dur_us <= 0.0 {
+                continue;
+            }
+            let group = o.group.map(|g| g as f64);
+            let Some((ca, cb)) =
+                coefficients(&o.collective, o.nodes as f64, group, o.bytes_per_worker)
+            else {
+                continue;
+            };
+            let t = o.dur_us * 1e-6;
+            match by_collective.iter_mut().find(|(n, _)| *n == o.collective) {
+                Some((_, pts)) => pts.push((ca, cb, t)),
+                None => by_collective.push((o.collective.clone(), vec![(ca, cb, t)])),
+            }
         }
     }
     by_collective
@@ -138,22 +189,30 @@ pub struct ModelReconciliation {
 pub fn reconcile(rounds: &[Round], alpha: f64, beta: f64) -> Vec<ModelReconciliation> {
     let mut out: Vec<(String, Vec<f64>)> = Vec::new();
     for r in rounds {
-        if r.skipped || r.comm_us <= 0.0 || r.nodes <= 1 {
+        if r.skipped || r.comm_us <= 0.0 {
             continue;
         }
-        let Some(name) = &r.collective else { continue };
-        let profile = ClusterProfile { alpha, beta, nodes: r.nodes as usize };
-        let bytes = r.bytes_per_worker as usize;
-        let model = match name.as_str() {
-            "allreduce" => profile.allreduce(bytes),
-            "allgather" => profile.allgather(bytes),
-            _ => continue,
-        };
-        let measured_s = r.comm_us * 1e-6;
-        let rel = (model.as_secs_f64() - measured_s).abs() / measured_s.max(1e-12);
-        match out.iter_mut().find(|(n, _)| n == name) {
-            Some((_, errs)) => errs.push(rel),
-            None => out.push((name.clone(), vec![rel])),
+        for o in round_obs(r) {
+            if o.dur_us <= 0.0 || o.nodes <= 1 {
+                continue;
+            }
+            let profile = ClusterProfile { alpha, beta, nodes: o.nodes as usize };
+            let bytes = o.bytes_per_worker as usize;
+            let model = match o.collective.as_str() {
+                "allreduce" => profile.allreduce(bytes),
+                "allgather" => profile.allgather(bytes),
+                "tree_allreduce" => profile.tree_allreduce(bytes),
+                "hier_allreduce" => {
+                    profile.hier_allreduce(bytes, o.group.map_or(0, |g| g as usize))
+                }
+                _ => continue,
+            };
+            let measured_s = o.dur_us * 1e-6;
+            let rel = (model.as_secs_f64() - measured_s).abs() / measured_s.max(1e-12);
+            match out.iter_mut().find(|(n, _)| *n == o.collective) {
+                Some((_, errs)) => errs.push(rel),
+                None => out.push((o.collective.clone(), vec![rel])),
+            }
         }
     }
     out.into_iter()
@@ -184,7 +243,9 @@ mod tests {
             compute_us: 0.0,
             encode_us: 0.0,
             comm_us,
+            comm_exposed_us: comm_us,
             collective: Some("allreduce".to_string()),
+            comm_obs: Vec::new(),
             bytes_per_worker,
             bytes: bytes_per_worker * nodes as f64,
             decode_us: 0.0,
@@ -253,13 +314,92 @@ mod tests {
         // nanoseconds, so agree to within that rounding (0.5 ns).
         let p = ClusterProfile { alpha: 2e-5, beta: 3e-10, nodes: 5 };
         let n = 12_345usize;
-        let (ca, cb) = coefficients("allreduce", 5.0, n as f64).unwrap();
+        let (ca, cb) = coefficients("allreduce", 5.0, None, n as f64).unwrap();
         let t = ca * p.alpha + cb * p.beta;
         assert!((t - p.allreduce(n).as_secs_f64()).abs() < 1e-9);
-        let (ca, cb) = coefficients("allgather", 5.0, n as f64).unwrap();
+        let (ca, cb) = coefficients("allgather", 5.0, None, n as f64).unwrap();
         let t = ca * p.alpha + cb * p.beta;
         assert!((t - p.allgather(n).as_secs_f64()).abs() < 1e-9);
-        assert!(coefficients("allreduce", 1.0, 10.0).is_none(), "p=1 is free, no fit point");
-        assert!(coefficients("broadcast", 4.0, 10.0).is_none());
+        assert!(coefficients("allreduce", 1.0, None, 10.0).is_none(), "p=1 is free, no fit point");
+        assert!(coefficients("broadcast", 4.0, None, 10.0).is_none());
+    }
+
+    #[test]
+    fn tree_and_hier_coefficient_forms_match_cost_rs() {
+        // Pin the new collectives' fitter forms to the analytic model for
+        // every p the trainer can run, auto and explicit group sizes.
+        let n = 9_876usize;
+        for p in 2..=64usize {
+            let prof = ClusterProfile { alpha: 2e-5, beta: 3e-10, nodes: p };
+            let (ca, cb) = coefficients("tree_allreduce", p as f64, None, n as f64).unwrap();
+            let t = ca * prof.alpha + cb * prof.beta;
+            assert!(
+                (t - prof.tree_allreduce(n).as_secs_f64()).abs() < 1e-9,
+                "tree p={p}: {t} vs {}",
+                prof.tree_allreduce(n).as_secs_f64()
+            );
+            for group in [0usize, 1, 2, 4, p] {
+                // The spans stamp the *resolved* g; passing it back must
+                // price identically to the model's own resolution.
+                let g = puffer_dist::cost::hier_group(p, group);
+                let (ca, cb) =
+                    coefficients("hier_allreduce", p as f64, Some(g as f64), n as f64).unwrap();
+                let t = ca * prof.alpha + cb * prof.beta;
+                assert!(
+                    (t - prof.hier_allreduce(n, g).as_secs_f64()).abs() < 1e-9,
+                    "hier p={p} g={g}: {t} vs {}",
+                    prof.hier_allreduce(n, g).as_secs_f64()
+                );
+            }
+            // `None` falls back to the model's auto `⌈√p⌉` pick.
+            let (ca, cb) = coefficients("hier_allreduce", p as f64, None, n as f64).unwrap();
+            let t = ca * prof.alpha + cb * prof.beta;
+            assert!((t - prof.hier_allreduce(n, 0).as_secs_f64()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bucketed_observations_feed_the_fit_and_reconcile() {
+        use crate::rounds::CommObs;
+        let (alpha, beta) = (50e-6, 8.0 / 10e9);
+        let prof = |p: usize| ClusterProfile { alpha, beta, nodes: p };
+        // One overlapped round: three tree buckets at p=4 with distinct
+        // sizes — enough operating points for a well-posed fit on their
+        // own, all priced by the generating model.
+        let mut r = comm_round(0, 4, 0.0, 0.0);
+        r.collective = Some("tree_allreduce".to_string());
+        for bytes in [100usize, 5_000, 120_000] {
+            r.comm_obs.push(CommObs {
+                collective: "tree_allreduce".to_string(),
+                nodes: 4,
+                group: None,
+                bytes_per_worker: bytes as f64,
+                dur_us: prof(4).tree_allreduce(bytes).as_secs_f64() * 1e6,
+            });
+            r.comm_us += prof(4).tree_allreduce(bytes).as_secs_f64() * 1e6;
+        }
+        // A second round at p=3 varies the node count too.
+        let mut r2 = comm_round(1, 3, 0.0, 0.0);
+        r2.collective = Some("tree_allreduce".to_string());
+        r2.comm_obs.push(CommObs {
+            collective: "tree_allreduce".to_string(),
+            nodes: 3,
+            group: None,
+            bytes_per_worker: 5_000.0,
+            dur_us: prof(3).tree_allreduce(5_000).as_secs_f64() * 1e6,
+        });
+        r2.comm_us = r2.comm_obs[0].dur_us;
+        let rounds = vec![r, r2];
+        let fits = fit_collectives(&rounds);
+        assert_eq!(fits.len(), 1);
+        assert_eq!(fits[0].collective, "tree_allreduce");
+        assert_eq!(fits[0].points, 4, "one observation per bucket span");
+        assert!(!fits[0].degenerate);
+        assert!((fits[0].alpha - alpha).abs() / alpha < 1e-3, "alpha {}", fits[0].alpha);
+        assert!((fits[0].beta - beta).abs() / beta < 1e-3, "beta {}", fits[0].beta);
+        let recs = reconcile(&rounds, alpha, beta);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rounds, 4);
+        assert!(recs[0].max_rel_err < 1e-3, "max_rel_err {}", recs[0].max_rel_err);
     }
 }

@@ -60,8 +60,18 @@ pub struct InsightReport {
 }
 
 /// `dist`-phase span families summarized in the phase table.
-const DIST_PHASES: &[&str] =
-    &["round", "worker_compute", "compute", "encode", "allreduce", "allgather", "decode", "apply"];
+const DIST_PHASES: &[&str] = &[
+    "round",
+    "worker_compute",
+    "compute",
+    "encode",
+    "allreduce",
+    "tree_allreduce",
+    "hier_allreduce",
+    "allgather",
+    "decode",
+    "apply",
+];
 
 fn phase_stats(rd: &RunData) -> Vec<PhaseStats> {
     // Prefer the exporter's histogram records; fall back to rebuilding

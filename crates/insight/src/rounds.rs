@@ -16,12 +16,22 @@
 //! sleeps it *after* closing the compute span, so the analyzer re-adds it
 //! exactly as the aggregator's `slowest = max(compute)` saw it).
 //!
+//! **Overlapped rounds** (the bucketed trainer path) emit one collective
+//! span *per bucket*, each stamped with `exposed_ns` — the share of its
+//! modeled time not hidden under still-running backward. The analyzer
+//! accumulates them: `comm_us` is the round's total modeled wire time,
+//! `comm_exposed_us` the part that actually extended the round past the
+//! compute phase. Classification and the critical path use the exposed
+//! figure so hidden comm is never double-counted against compute; traces
+//! without the `exposed_ns` arg (pre-overlap runs) expose everything.
+//!
 //! The **bound rule** (documented in DESIGN.md §12):
 //! 1. a skipped round (non-finite guard) is `Skipped` — no round played;
 //! 2. else, if ≥2 workers reported and the slowest exceeds
 //!    [`STRAGGLER_FACTOR`] × the median, the round is `Straggler` —
 //!    the cluster is not network-bound, one machine is;
-//! 3. else, if modeled comm ≥ the compute phase, the round is `Comm`;
+//! 3. else, if *exposed* modeled comm ≥ the compute phase, the round is
+//!    `Comm`;
 //! 4. else `Compute`.
 
 use crate::ingest::{num, RunData};
@@ -57,6 +67,25 @@ impl Bound {
     }
 }
 
+/// One observed collective span — one bucket's worth of modeled comm on
+/// the overlapped path, the whole round's on the classic path. The α–β
+/// fitter consumes these directly so every bucket size contributes its
+/// own operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommObs {
+    /// Span name (`"allreduce"`, `"tree_allreduce"`, `"hier_allreduce"`,
+    /// `"allgather"`).
+    pub collective: String,
+    /// Participant count the span was priced at.
+    pub nodes: u64,
+    /// Hierarchical intra-group size, when the span stamped one.
+    pub group: Option<u64>,
+    /// Bytes each worker put on the wire for this span.
+    pub bytes_per_worker: f64,
+    /// Modeled duration (µs).
+    pub dur_us: f64,
+}
+
 /// One link of a round's critical path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PathSegment {
@@ -88,10 +117,17 @@ pub struct Round {
     pub compute_us: f64,
     /// Encode phase (µs).
     pub encode_us: f64,
-    /// Modeled collective time (µs).
+    /// Modeled collective time, all buckets summed (µs).
     pub comm_us: f64,
-    /// Collective that priced the comm phase (`"allreduce"`/`"allgather"`).
+    /// The share of `comm_us` exposed past the compute phase (µs); equals
+    /// `comm_us` on unoverlapped rounds.
+    pub comm_exposed_us: f64,
+    /// Collective that priced the comm phase (`"allreduce"`,
+    /// `"tree_allreduce"`, `"hier_allreduce"`, or `"allgather"`).
     pub collective: Option<String>,
+    /// Every collective span of the round, in trace order (one per bucket
+    /// on the overlapped path).
+    pub comm_obs: Vec<CommObs>,
     /// Bytes each worker put on the wire.
     pub bytes_per_worker: f64,
     /// Total encoded bytes across workers.
@@ -130,7 +166,9 @@ struct Builder {
     compute_us: f64,
     encode_us: f64,
     comm_us: f64,
+    comm_exposed_us: f64,
     collective: Option<String>,
+    comm_obs: Vec<CommObs>,
     bytes_per_worker: f64,
     bytes: f64,
     decode_us: f64,
@@ -186,14 +224,27 @@ pub fn extract_rounds(rd: &RunData) -> Vec<Round> {
                     *b.apply.entry(w as u64).or_insert(0.0) += sp.dur_us;
                 }
             }
-            "allreduce" | "allgather" => {
-                b.comm_us = sp.dur_us;
+            "allreduce" | "allgather" | "tree_allreduce" | "hier_allreduce" => {
+                // Accumulate: the overlapped path emits one span per
+                // bucket, the classic path exactly one per round.
+                b.comm_us += sp.dur_us;
+                b.comm_exposed_us +=
+                    num(&sp.args, "exposed_ns").map_or(sp.dur_us, |ns| ns / 1_000.0);
                 b.collective = Some(sp.name.clone());
-                b.bytes_per_worker = num(&sp.args, "bytes_per_worker").unwrap_or(0.0);
-                b.bytes = num(&sp.args, "bytes").unwrap_or(0.0);
-                if let Some(n) = num(&sp.args, "nodes") {
+                let bpw = num(&sp.args, "bytes_per_worker").unwrap_or(0.0);
+                b.bytes_per_worker += bpw;
+                b.bytes += num(&sp.args, "bytes").unwrap_or(0.0);
+                let nodes = num(&sp.args, "nodes");
+                if let Some(n) = nodes {
                     b.nodes = Some(n as u64);
                 }
+                b.comm_obs.push(CommObs {
+                    collective: sp.name.clone(),
+                    nodes: nodes.map_or(0, |n| n as u64),
+                    group: num(&sp.args, "group").map(|g| g as u64),
+                    bytes_per_worker: bpw,
+                    dur_us: sp.dur_us,
+                });
             }
             _ => {}
         }
@@ -247,7 +298,10 @@ pub fn extract_rounds(rd: &RunData) -> Vec<Round> {
                 let slowest = computes.last().copied().unwrap_or(0.0);
                 if computes.len() >= 2 && median > 0.0 && slowest > STRAGGLER_FACTOR * median {
                     Bound::Straggler
-                } else if b.comm_us >= b.compute_us {
+                } else if b.comm_exposed_us >= b.compute_us {
+                    // Only the *exposed* share competes with compute:
+                    // comm hidden under backward already cost its time
+                    // inside the compute phase.
                     Bound::Comm
                 } else {
                     Bound::Compute
@@ -268,7 +322,9 @@ pub fn extract_rounds(rd: &RunData) -> Vec<Round> {
                 critical_path.push(PathSegment {
                     phase: b.collective.clone().unwrap_or_else(|| "comm".to_string()),
                     worker: None,
-                    dur_us: b.comm_us,
+                    // The wall-clock chain only ever sees the exposed
+                    // share; the hidden share ran under `compute`.
+                    dur_us: b.comm_exposed_us,
                 });
                 critical_path.push(PathSegment {
                     phase: "decode".to_string(),
@@ -284,9 +340,16 @@ pub fn extract_rounds(rd: &RunData) -> Vec<Round> {
                 }
             }
 
+            let nodes = b.nodes.unwrap_or(b.worker_compute_us.len() as u64);
+            let mut comm_obs = b.comm_obs;
+            for o in &mut comm_obs {
+                if o.nodes == 0 {
+                    o.nodes = nodes;
+                }
+            }
             Round {
                 step,
-                nodes: b.nodes.unwrap_or(b.worker_compute_us.len() as u64),
+                nodes,
                 round_us: b.round_us,
                 skipped: b.skipped,
                 worker_compute_us: b.worker_compute_us,
@@ -294,7 +357,9 @@ pub fn extract_rounds(rd: &RunData) -> Vec<Round> {
                 compute_us: b.compute_us,
                 encode_us: b.encode_us,
                 comm_us: b.comm_us,
+                comm_exposed_us: b.comm_exposed_us,
                 collective: b.collective,
+                comm_obs,
                 bytes_per_worker: b.bytes_per_worker,
                 bytes: b.bytes,
                 decode_us: b.decode_us,
@@ -385,6 +450,54 @@ mod tests {
         assert_eq!(phases, vec!["compute", "encode", "allreduce", "decode", "apply"]);
         assert_eq!(rounds[0].critical_path[0].worker, rounds[0].slowest_worker);
         assert_eq!(rounds[0].apply_worker, Some(3), "slowest apply owner attributed");
+    }
+
+    #[test]
+    fn overlapped_rounds_accumulate_buckets_and_classify_on_exposed_comm() {
+        let mut rd = RunData::default();
+        rd.spans.push(span("round", 1000.0, args(&[("step", 0.0), ("live", 2.0)])));
+        for w in 0..2 {
+            rd.spans.push(span(
+                "worker_compute",
+                100.0,
+                args(&[("worker", w as f64), ("step", 0.0)]),
+            ));
+        }
+        rd.spans.push(span("compute", 100.0, args(&[("step", 0.0)])));
+        rd.spans.push(span("encode", 5.0, args(&[("step", 0.0)])));
+        // Three bucket spans: 300µs of modeled comm, only 40µs exposed.
+        for (i, (dur, exposed_us)) in [(100.0, 0.0), (150.0, 10.0), (50.0, 30.0)].iter().enumerate()
+        {
+            rd.spans.push(span(
+                "tree_allreduce",
+                *dur,
+                args(&[
+                    ("step", 0.0),
+                    ("nodes", 2.0),
+                    ("bytes", 2000.0),
+                    ("bytes_per_worker", 1000.0),
+                    ("bucket", i as f64),
+                    ("exposed_ns", exposed_us * 1000.0),
+                ]),
+            ));
+        }
+        rd.spans.push(span("decode", 4.0, args(&[("step", 0.0)])));
+        let rounds = extract_rounds(&rd);
+        assert_eq!(rounds.len(), 1);
+        let r = &rounds[0];
+        assert_eq!(r.comm_us, 300.0, "total modeled comm sums the buckets");
+        assert_eq!(r.comm_exposed_us, 40.0, "exposed comm sums exposed_ns");
+        assert_eq!(r.bytes_per_worker, 3000.0);
+        assert_eq!(r.bytes, 6000.0);
+        assert_eq!(r.collective.as_deref(), Some("tree_allreduce"));
+        assert_eq!(r.comm_obs.len(), 3);
+        assert_eq!(r.comm_obs[1].dur_us, 150.0);
+        assert_eq!(r.comm_obs[0].nodes, 2);
+        // 300µs of comm but only 40µs exposed vs 100µs compute: the round
+        // is compute-bound — hidden comm must not flip it.
+        assert_eq!(r.bound, Bound::Compute);
+        let coll = r.critical_path.iter().find(|s| s.phase == "tree_allreduce").unwrap();
+        assert_eq!(coll.dur_us, 40.0, "critical path carries only exposed comm");
     }
 
     #[test]

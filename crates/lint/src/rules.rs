@@ -22,6 +22,7 @@
 //! | `no-vec-alloc-in-kernel` | tensor kernel modules, non-test | kernel scratch comes from `workspace`, not `vec![x; n]`/`Vec::with_capacity` |
 //! | `simd-needs-feature-gate` | workspace, non-test | `_mm*` intrinsic calls live in `#[target_feature]` fns, in a file with an `is_x86_feature_detected!` gate |
 //! | `dist-pool-width-via-membership` | `crates/dist/src` minus `membership.rs`, non-test | pool width changes only through `membership::PoolWidthGuard` |
+//! | `bucket-apply-order-pinned` | `crates/dist/src` minus `bucket.rs`/`ring.rs`, non-test | gradient accumulation order stays pinned in its two owners |
 //! | `no-raw-percentile-math` | workspace minus `crates/probe`/`crates/insight`, non-test | percentile/median helpers live in the probe's `Histogram` and puffer-insight, not re-derived ad hoc |
 //!
 //! # Suppression
@@ -219,6 +220,18 @@ pub const RULES: &[RuleInfo] = &[
         example_good: "let _guard = membership::PoolWidthGuard::resize_for(&members);",
     },
     RuleInfo {
+        name: "bucket-apply-order-pinned",
+        description: "no indexed `+=` accumulation in crates/dist non-test code outside the \
+                      pinned owners (bucket.rs, ring.rs) — gradient summation order is the \
+                      bitwise-determinism contract and has exactly two implementations",
+        rationale: "The trainer promises bitwise-identical parameters at any bucket size, \
+                    worker count, or collective; that only holds because every gradient sum \
+                    adds contributors in one pinned id order. A second indexed accumulation \
+                    loop elsewhere in dist is an unpinned summation order waiting to diverge.",
+        example_bad: "for (w, g) in grads { mean[i] += g.as_slice()[i]; }",
+        example_good: "let mean = reducer.finalize(&contributors); // pinned id order",
+    },
+    RuleInfo {
         name: "no-raw-percentile-math",
         description: "no ad-hoc median/percentile/pNN helper fns outside crates/probe and \
                       crates/insight (summarize through puffer_probe::Histogram so every \
@@ -348,6 +361,9 @@ pub fn check_tokens(ctx: &FileContext<'_>, enabled: &dyn Fn(&str) -> bool) -> Ve
     }
     if enabled("dist-pool-width-via-membership") {
         dist_pool_width_via_membership(ctx, &mut out);
+    }
+    if enabled("bucket-apply-order-pinned") {
+        bucket_apply_order_pinned(ctx, &mut out);
     }
     if enabled("no-raw-percentile-math") {
         no_raw_percentile_math(ctx, &mut out);
@@ -642,6 +658,43 @@ fn dist_pool_width_via_membership(ctx: &FileContext<'_>, out: &mut Vec<Diagnosti
     }
 }
 
+fn bucket_apply_order_pinned(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    // Gradient accumulation order is the bitwise-determinism contract:
+    // contributors are summed in pinned id order by the bucketed reducer
+    // (bucket.rs) and position order by the executable ring (ring.rs).
+    // An indexed `+=` anywhere else in dist is a second accumulation site
+    // whose order nobody pins — the lexical signature is `]` immediately
+    // followed by the `+=` operator.
+    if !ctx.in_dist_src()
+        || ctx.is_test_file
+        || ctx.rel_path.ends_with("bucket.rs")
+        || ctx.rel_path.ends_with("ring.rs")
+    {
+        return;
+    }
+    let toks: Vec<(usize, &Token, bool)> = code_tokens(ctx).collect();
+    for w in toks.windows(3) {
+        let [(_, close, in_test), (_, plus, _), (_, eq, _)] = w else { continue };
+        if !in_test
+            && close.kind == TokenKind::Punct(']')
+            && plus.kind == TokenKind::Punct('+')
+            && eq.kind == TokenKind::Punct('=')
+            && plus.line == eq.line
+            && eq.col == plus.col + 1
+        {
+            ctx.diag(
+                "bucket-apply-order-pinned",
+                plus,
+                "indexed `+=` accumulation in puffer-dist outside bucket.rs/ring.rs; gradient \
+                 summation order is pinned by BucketedReducer — route the sum through it (or \
+                 the ring) so bitwise determinism has a single owner"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
 /// Whether a function name claims to compute a quantile: the generic
 /// statistics names, or `p` followed by two or more digits (`p50`,
 /// `p999`). Compound names like `p50_seconds` are fine — they *consume* a
@@ -880,6 +933,40 @@ fn f(a: __m256, b: __m256) -> __m256 { _mm256_add_ps(a, b) }";
         assert!(run("crates/dist/src/trainer.rs", decoy).is_empty());
         let allowed = "// lint:allow(dist-pool-width-via-membership) — startup pinning\n\
                        fn f() { pool::set_num_threads(1); }";
+        assert!(run("crates/dist/src/trainer.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn indexed_accumulation_flagged_in_dist_outside_pinned_owners() {
+        let src =
+            "fn sum(mean: &mut [f32], g: &[f32]) { for i in 0..g.len() { mean[i] += g[i]; } }";
+        let diags = run("crates/dist/src/trainer.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].0, "bucket-apply-order-pinned");
+        // The two pinned owners of accumulation order are exempt.
+        assert!(run("crates/dist/src/bucket.rs", src).is_empty());
+        assert!(run("crates/dist/src/ring.rs", src).is_empty());
+        // Other crates pin their own reduction orders; out of scope.
+        assert!(run("crates/tensor/src/gemm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexed_accumulation_rule_ignores_lookalikes_and_honors_suppression() {
+        // Plain indexed store, indexed read on the right-hand side, and a
+        // split `+` `=` across lines are not the `+=` operator.
+        let store = "fn f(a: &mut [u64], v: u64) { a[0] = v; }";
+        assert!(run("crates/dist/src/trainer.rs", store).is_empty());
+        let read = "fn f(a: &[f32], b: f32) -> f32 { a[0] + b }";
+        assert!(run("crates/dist/src/trainer.rs", read).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t(a: &mut [f32]) { a[0] += 1.0; }\n}";
+        assert!(run("crates/dist/src/trainer.rs", in_test).is_empty());
+        assert!(run(
+            "crates/dist/tests/overlap_determinism.rs",
+            "fn f(a: &mut [f32]) { a[0] += 1.0; }"
+        )
+        .is_empty());
+        let allowed = "// lint:allow(bucket-apply-order-pinned) — single-contributor path\n\
+                       fn f(a: &mut [f32]) { a[0] += 1.0; }";
         assert!(run("crates/dist/src/trainer.rs", allowed).is_empty());
     }
 

@@ -28,6 +28,7 @@ const EXPECTED: &[(&str, u32, &str)] = &[
     ("crates/dist/src/after_test_module.rs", 26, "no-wall-clock-outside-probe"),
     ("crates/dist/src/after_test_module.rs", 29, "dist-no-instant"),
     ("crates/dist/src/after_test_module.rs", 29, "no-wall-clock-outside-probe"),
+    ("crates/dist/src/bucket_apply.rs", 17, "bucket-apply-order-pinned"),
     ("crates/dist/src/guard_block.rs", 14, "guard-across-blocking-op"),
     ("crates/dist/src/lock_order.rs", 18, "lock-order-consistency"),
     ("crates/dist/src/lock_order.rs", 24, "lock-order-consistency"),
@@ -103,6 +104,18 @@ fn pool_width_fixture_flags_only_the_unexempted_mutation() {
     assert_eq!(pool.len(), 1, "{pool:?}");
     assert!(pool[0].file.ends_with("pool_width.rs"));
     assert!(!report.diagnostics.iter().any(|d| d.file.ends_with("membership.rs")));
+}
+
+#[test]
+fn bucket_apply_fixture_flags_only_the_unpinned_accumulation() {
+    let report = run(&Config::new(fixtures_root())).expect("fixture scan");
+    let apply: Vec<_> =
+        report.diagnostics.iter().filter(|d| d.rule == "bucket-apply-order-pinned").collect();
+    // bucket_apply.rs seeds one live violation plus four exempt sites
+    // (comment/string decoys, plain store, indexed read, lint:allow,
+    // #[cfg(test)]); the pinned owners bucket.rs/ring.rs never appear.
+    assert_eq!(apply.len(), 1, "{apply:?}");
+    assert!(apply[0].file.ends_with("bucket_apply.rs"));
 }
 
 #[test]
@@ -207,7 +220,7 @@ fn design_doc_rule_table_matches_the_published_catalog() {
 #[test]
 fn scan_counts_cover_the_fixture_tree() {
     let report = run(&Config::new(fixtures_root())).expect("fixture scan");
-    assert_eq!(report.files_scanned, 18, "fixture .rs census changed");
+    assert_eq!(report.files_scanned, 19, "fixture .rs census changed");
     assert_eq!(report.manifests_scanned, 1, "fixture manifest census changed");
     assert!(!report.is_clean());
 }

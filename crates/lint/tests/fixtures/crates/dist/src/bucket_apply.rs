@@ -1,0 +1,31 @@
+//! Fixture: an indexed `+=` accumulation loop in dist outside the pinned
+//! owners (bucket.rs / ring.rs). Gradient summation order is the bitwise
+//! determinism contract; a second accumulation site has no pinned order.
+//!
+//! Decoys first — none of these may be flagged:
+//! a comment mentioning `mean[i] += g[i]` is inert.
+
+pub fn decoys(a: &mut [f32], b: f32) -> f32 {
+    let _s = "mean[i] += g[i]"; // string decoy
+    /* acc[0] += 1.0 in a block comment */
+    a[0] = b; // plain indexed store, not +=
+    a[0] + b // indexed read on the right-hand side
+}
+
+pub fn unpinned_accumulate(mean: &mut [f32], grad: &[f32]) {
+    for i in 0..grad.len() {
+        mean[i] += grad[i];
+    }
+}
+
+pub fn single_writer_counter(hits: &mut [u64], slot: usize) {
+    // lint:allow(bucket-apply-order-pinned) — deliberate, visible exemption
+    hits[slot] += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn tests_may_accumulate(acc: &mut [f32]) {
+        acc[0] += 1.0;
+    }
+}

@@ -45,6 +45,24 @@ pub trait Layer: Send {
     /// gradient.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
 
+    /// Backward pass with a gradient-readiness hook, for bucketed
+    /// comm/compute overlap (`puffer-dist`). `on_ready(first)` announces
+    /// that every parameter tensor with index ≥ `first` (in
+    /// [`Layer::params`] order) now holds its final gradient — containers
+    /// fire it after each child finishes, in reverse order, so tail
+    /// buckets can start reducing while earlier layers are still running
+    /// backward. The default delegates to [`Layer::backward`] and
+    /// announces everything at once.
+    fn backward_with_ready(
+        &mut self,
+        grad_output: &Tensor,
+        on_ready: &mut dyn FnMut(usize),
+    ) -> Tensor {
+        let g = self.backward(grad_output);
+        on_ready(0);
+        g
+    }
+
     /// Immutable views of the layer's parameters, in a stable order.
     fn params(&self) -> Vec<&Param>;
 
@@ -152,10 +170,28 @@ impl Layer for Sequential {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        self.backward_with_ready(grad_output, &mut |_| {})
+    }
+
+    fn backward_with_ready(
+        &mut self,
+        grad_output: &Tensor,
+        on_ready: &mut dyn FnMut(usize),
+    ) -> Tensor {
         let _sp = probe::span_with("nn", "backward", || vec![("layers", self.layers.len().into())]);
+        // prefix[i] = number of parameter tensors in layers 0..i: once
+        // child i's backward returns, every tensor index ≥ prefix[i] holds
+        // its final gradient (children run in reverse).
+        let mut prefix = Vec::with_capacity(self.layers.len());
+        let mut acc = 0usize;
+        for layer in &self.layers {
+            prefix.push(acc);
+            acc += layer.params().len();
+        }
         let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             g = layer.backward(&g);
+            on_ready(prefix[i]);
         }
         g
     }
@@ -302,6 +338,30 @@ mod tests {
         let x = Tensor::rand_uniform(&[2, 3], 0.3, 1.0, 5);
         let dev = finite_diff_input_check(&mut net, &x, 1e-3);
         assert!(dev < 1e-2, "input grad deviation {dev}");
+    }
+
+    #[test]
+    fn backward_with_ready_fires_in_reverse_with_prefix_counts() {
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, true, 1).unwrap()), // tensors 0,1
+            Box::new(Relu::new()),                         // none
+            Box::new(Linear::new(5, 2, true, 2).unwrap()), // tensors 2,3
+        ]);
+        let x = Tensor::randn(&[4, 3], 1.0, 3);
+        let _ = net.forward(&x, Mode::Train);
+        let mut fired = Vec::new();
+        let gx = net.backward_with_ready(&Tensor::ones(&[4, 2]), &mut |first| fired.push(first));
+        assert_eq!(gx.shape(), &[4, 3]);
+        // Reverse child order: last Linear (prefix 2), Relu (prefix 2),
+        // first Linear (prefix 0 = everything final).
+        assert_eq!(fired, vec![2, 2, 0]);
+
+        // The default trait impl announces everything at the end.
+        let mut lone = Linear::new(2, 2, true, 9).unwrap();
+        let _ = lone.forward(&Tensor::ones(&[1, 2]), Mode::Train);
+        let mut fired = Vec::new();
+        let _ = lone.backward_with_ready(&Tensor::ones(&[1, 2]), &mut |first| fired.push(first));
+        assert_eq!(fired, vec![0]);
     }
 
     #[test]

@@ -62,6 +62,14 @@ trap 'rm -f "$SOAK_BASELINE" "$LINT_BASELINE"' EXIT
 cp BENCH_soak.json "$SOAK_BASELINE"
 PUFFER_SOAK_SMOKE=1 cargo run --release -q -p puffer-bench --bin soak -- --check
 
+echo "== bucketed overlap sweep (exposed-comm cut, bitwise params, alloc-free, DESIGN.md §13)"
+# Sync vs bucketed epoch on the seeded 8-worker α–β profile; rewrites
+# BENCH_dist.json, so keep the committed baseline aside for the diff gate.
+DIST_BASELINE="$(mktemp)"
+trap 'rm -f "$DIST_BASELINE" "$SOAK_BASELINE" "$LINT_BASELINE"' EXIT
+cp BENCH_dist.json "$DIST_BASELINE"
+cargo run --release -q -p puffer-bench --bin overlap_sweep -- --check
+
 echo "== insight pipeline (trace_demo → report + gates, DESIGN.md §12)"
 # Re-export the demo trace, re-ingest it through puffer-insight, and gate
 # on round reconstruction, straggler attribution, and α–β reconciliation.
@@ -76,5 +84,6 @@ echo "== bench-regression gate (noise-aware diff against committed baselines)"
 cargo run --release -q -p puffer-bench --bin bench_diff -- BENCH_gemm.json BENCH_gemm.json --check
 cargo run --release -q -p puffer-bench --bin bench_diff -- "$SOAK_BASELINE" BENCH_soak.json --check
 cargo run --release -q -p puffer-bench --bin bench_diff -- "$LINT_BASELINE" BENCH_lint.json --check
+cargo run --release -q -p puffer-bench --bin bench_diff -- "$DIST_BASELINE" BENCH_dist.json --check
 
 echo "All checks passed."
